@@ -1,0 +1,304 @@
+//! The GMP stand-in: kernels over heap-allocated arbitrary-precision
+//! integers.
+//!
+//! The paper benchmarks GMP "configured to perform exact integer
+//! arithmetic" as the arbitrary-precision baseline (§5.3–§5.4); at
+//! 128-bit operand sizes its cost is dominated by the generic
+//! multi-precision machinery — limb-vector allocation, normalization,
+//! full division after every multiplication — not by the arithmetic
+//! itself. The [`mqx_bignum::BigUint`] kernels here have exactly that
+//! profile.
+
+use mqx_bignum::BigUint;
+
+/// A ring ℤ_q over arbitrary-precision integers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GmpRing {
+    q: BigUint,
+}
+
+impl GmpRing {
+    /// Creates the ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q < 2`.
+    pub fn new(q: u128) -> Self {
+        assert!(q >= 2, "modulus must be at least 2");
+        GmpRing {
+            q: BigUint::from(q),
+        }
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> &BigUint {
+        &self.q
+    }
+
+    /// Lifts machine-word residues into the arbitrary-precision domain
+    /// (the marshalling an application using GMP would perform).
+    pub fn lift(&self, xs: &[u128]) -> Vec<BigUint> {
+        xs.iter().map(|&x| BigUint::from(x)).collect()
+    }
+
+    /// Lowers arbitrary-precision residues back to `u128`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value does not fit 128 bits (cannot happen for
+    /// reduced residues of a ≤ 124-bit modulus).
+    pub fn lower(&self, xs: &[BigUint]) -> Vec<u128> {
+        xs.iter()
+            .map(|x| x.to_u128().expect("reduced residue fits u128"))
+            .collect()
+    }
+
+    /// `(a + b) mod q` — allocates the sum, then divides.
+    pub fn add_mod(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        a.add_mod(b, &self.q)
+    }
+
+    /// `(a − b) mod q`.
+    pub fn sub_mod(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        a.sub_mod(b, &self.q)
+    }
+
+    /// `a·b mod q` — full product plus Knuth division, per call.
+    pub fn mul_mod(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        a.mul_mod(b, &self.q)
+    }
+
+    /// Vector addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn vadd(&self, x: &[BigUint], y: &[BigUint]) -> Vec<BigUint> {
+        assert_eq!(x.len(), y.len());
+        x.iter().zip(y).map(|(a, b)| self.add_mod(a, b)).collect()
+    }
+
+    /// Vector subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn vsub(&self, x: &[BigUint], y: &[BigUint]) -> Vec<BigUint> {
+        assert_eq!(x.len(), y.len());
+        x.iter().zip(y).map(|(a, b)| self.sub_mod(a, b)).collect()
+    }
+
+    /// Point-wise multiplication.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn vmul(&self, x: &[BigUint], y: &[BigUint]) -> Vec<BigUint> {
+        assert_eq!(x.len(), y.len());
+        x.iter().zip(y).map(|(a, b)| self.mul_mod(a, b)).collect()
+    }
+
+    /// `y ← a·x + y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn axpy(&self, a: &BigUint, x: &[BigUint], y: &mut [BigUint]) {
+        assert_eq!(x.len(), y.len());
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi = self.add_mod(&self.mul_mod(a, xi), yi);
+        }
+    }
+}
+
+/// A textbook radix-2 NTT over arbitrary-precision residues.
+#[derive(Clone, Debug)]
+pub struct GmpNtt {
+    ring: GmpRing,
+    n: usize,
+    fwd: Vec<Vec<BigUint>>,
+    inv: Vec<Vec<BigUint>>,
+    n_inv: BigUint,
+    bitrev: Vec<u32>,
+}
+
+impl GmpNtt {
+    /// Builds the transform for size `n` with the given primitive `n`-th
+    /// root of unity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two ≥ 2, or `omega` is not an
+    /// `n`-th root of unity, or `n` is not invertible mod `q`.
+    pub fn new(ring: GmpRing, n: usize, omega: u128) -> Self {
+        assert!(n >= 2 && n.is_power_of_two());
+        let q = ring.q.clone();
+        let w = BigUint::from(omega);
+        assert!(
+            w.mod_pow(&BigUint::from(n as u64), &q).is_one(),
+            "omega must have order n"
+        );
+        let w_inv = w.mod_inverse(&q).expect("omega invertible");
+        let n_inv = BigUint::from(n as u64)
+            .mod_inverse(&q)
+            .expect("n invertible mod q");
+        let log_n = n.trailing_zeros();
+        let build = |root: &BigUint| -> Vec<Vec<BigUint>> {
+            (0..log_n)
+                .map(|s| {
+                    let half = 1_usize << s;
+                    let step = root.mod_pow(&BigUint::from((n >> (s + 1)) as u64), &q);
+                    let mut tw = Vec::with_capacity(half);
+                    let mut cur = BigUint::one();
+                    for _ in 0..half {
+                        tw.push(cur.clone());
+                        cur = cur.mul_mod(&step, &q);
+                    }
+                    tw
+                })
+                .collect()
+        };
+        let mut bitrev = vec![0_u32; n];
+        for (i, slot) in bitrev.iter_mut().enumerate() {
+            *slot = (i as u32).reverse_bits() >> (32 - log_n);
+        }
+        GmpNtt {
+            fwd: build(&w),
+            inv: build(&w_inv),
+            ring,
+            n,
+            n_inv,
+            bitrev,
+        }
+    }
+
+    /// The transform size.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// In-place forward transform, natural order in and out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.size()`.
+    pub fn forward(&self, x: &mut [BigUint]) {
+        assert_eq!(x.len(), self.n);
+        self.permute(x);
+        self.butterflies(x, &self.fwd);
+    }
+
+    /// In-place inverse transform (with the `n⁻¹` scale).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.size()`.
+    pub fn inverse(&self, x: &mut [BigUint]) {
+        assert_eq!(x.len(), self.n);
+        self.permute(x);
+        self.butterflies(x, &self.inv);
+        for v in x.iter_mut() {
+            *v = self.ring.mul_mod(v, &self.n_inv);
+        }
+    }
+
+    fn permute(&self, x: &mut [BigUint]) {
+        for i in 0..self.n {
+            let j = self.bitrev[i] as usize;
+            if i < j {
+                x.swap(i, j);
+            }
+        }
+    }
+
+    fn butterflies(&self, x: &mut [BigUint], tables: &[Vec<BigUint>]) {
+        for (s, tw) in tables.iter().enumerate() {
+            let half = 1_usize << s;
+            let len = half * 2;
+            for block in (0..self.n).step_by(len) {
+                for j in 0..half {
+                    let u = x[block + j].clone();
+                    let v = self.ring.mul_mod(&x[block + j + half], &tw[j]);
+                    x[block + j] = self.ring.add_mod(&u, &v);
+                    x[block + j + half] = self.ring.sub_mod(&u, &v);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqx_core::{nt, primes, Modulus};
+
+    #[test]
+    fn ring_matches_core() {
+        let q = primes::Q124;
+        let ring = GmpRing::new(q);
+        let m = Modulus::new(q).unwrap();
+        let mut state: u128 = 0x1111_2222_3333_4444;
+        for _ in 0..100 {
+            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let a = state % q;
+            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let b = state % q;
+            let (ba, bb) = (BigUint::from(a), BigUint::from(b));
+            assert_eq!(ring.add_mod(&ba, &bb).to_u128().unwrap(), m.add_mod(a, b));
+            assert_eq!(ring.sub_mod(&ba, &bb).to_u128().unwrap(), m.sub_mod(a, b));
+            assert_eq!(ring.mul_mod(&ba, &bb).to_u128().unwrap(), m.mul_mod(a, b));
+        }
+    }
+
+    #[test]
+    fn lift_lower_roundtrip() {
+        let ring = GmpRing::new(primes::Q124);
+        let xs = vec![0_u128, 1, primes::Q124 - 1, 1 << 100];
+        assert_eq!(ring.lower(&ring.lift(&xs)), xs);
+        assert_eq!(ring.modulus().to_u128(), Some(primes::Q124));
+    }
+
+    #[test]
+    fn ntt_bitwise_identical_to_optimized() {
+        // "ensuring bitwise-identical results with both our
+        // implementation and other baselines" (§5.3).
+        let q = primes::Q124;
+        let m = Modulus::new_prime(q).unwrap();
+        let n = 32;
+        let omega = nt::root_of_unity(&m, n as u64).unwrap();
+        let ntt = GmpNtt::new(GmpRing::new(q), n, omega);
+        assert_eq!(ntt.size(), n);
+
+        let xs: Vec<u128> = (0..n as u64).map(|i| u128::from(i) * 7 + 3).collect();
+        let ring = GmpRing::new(q);
+        let mut big = ring.lift(&xs);
+        ntt.forward(&mut big);
+
+        let plan = mqx_ntt::NttPlan::new(&m, n).unwrap();
+        let mut expected = xs.clone();
+        plan.forward_scalar(&mut expected);
+        assert_eq!(ring.lower(&big), expected);
+
+        ntt.inverse(&mut big);
+        assert_eq!(ring.lower(&big), xs);
+    }
+
+    #[test]
+    fn vector_ops_match_core_blas() {
+        let q = primes::Q120;
+        let ring = GmpRing::new(q);
+        let m = Modulus::new(q).unwrap();
+        let x: Vec<u128> = (0..32_u64).map(|i| u128::from(i) * 991 % q).collect();
+        let y: Vec<u128> = (0..32_u64).map(|i| u128::from(i) * 1009 % q).collect();
+        let (bx, by) = (ring.lift(&x), ring.lift(&y));
+        assert_eq!(ring.lower(&ring.vadd(&bx, &by)), mqx_blas::scalar::vadd(&x, &y, &m));
+        assert_eq!(ring.lower(&ring.vsub(&bx, &by)), mqx_blas::scalar::vsub(&x, &y, &m));
+        assert_eq!(ring.lower(&ring.vmul(&bx, &by)), mqx_blas::scalar::vmul(&x, &y, &m));
+        let a = 777_u128;
+        let mut by2 = by.clone();
+        ring.axpy(&BigUint::from(a), &bx, &mut by2);
+        let mut y2 = y.clone();
+        mqx_blas::scalar::axpy(a, &x, &mut y2, &m);
+        assert_eq!(ring.lower(&by2), y2);
+    }
+}

@@ -1,0 +1,65 @@
+//! Criterion: the Figure 6 MQX-component ablation on the vector
+//! mulmod128 kernel (the butterfly's dominant cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mqx_core::{primes, Modulus};
+use mqx_simd::{mulmod, profiles, Mqx, Portable, SimdEngine, VDword, VModulus};
+use std::hint::black_box;
+
+fn bench_variant<E: SimdEngine>(c: &mut Criterion, label: &str) {
+    let m = Modulus::new(primes::Q124).unwrap();
+    let q = m.value();
+    let a: Vec<u128> = (1..=8_u128).map(|i| (q / 3) * i % q).collect();
+    let b: Vec<u128> = (1..=8_u128).map(|i| (q / 7) * i % q).collect();
+    let vm = VModulus::<E>::new(&m);
+    let av = VDword::<E>::from_u128s(&a);
+    let bv = VDword::<E>::from_u128s(&b);
+    c.bench_with_input(
+        BenchmarkId::new("mulmod128-ablation", label),
+        &(),
+        |bench, ()| bench.iter(|| black_box(mulmod::<E>(black_box(av), black_box(bv), &vm))),
+    );
+}
+
+#[cfg(all(
+    target_arch = "x86_64",
+    target_feature = "avx512f",
+    target_feature = "avx512dq"
+))]
+fn bench_ablation(c: &mut Criterion) {
+    use mqx_simd::Avx512;
+    bench_variant::<Avx512>(c, "Base");
+    bench_variant::<Mqx<Avx512, profiles::MPisa>>(c, "+M");
+    bench_variant::<Mqx<Avx512, profiles::CPisa>>(c, "+C");
+    bench_variant::<Mqx<Avx512, profiles::McPisa>>(c, "+M,C");
+    bench_variant::<Mqx<Avx512, profiles::MhCPisa>>(c, "+Mh,C");
+    bench_variant::<Mqx<Avx512, profiles::McpPisa>>(c, "+M,C,P");
+}
+
+#[cfg(not(all(
+    target_arch = "x86_64",
+    target_feature = "avx512f",
+    target_feature = "avx512dq"
+)))]
+fn bench_ablation(c: &mut Criterion) {
+    bench_variant::<Portable>(c, "Base");
+    bench_variant::<Mqx<Portable, profiles::MPisa>>(c, "+M");
+    bench_variant::<Mqx<Portable, profiles::CPisa>>(c, "+C");
+    bench_variant::<Mqx<Portable, profiles::McPisa>>(c, "+M,C");
+    bench_variant::<Mqx<Portable, profiles::MhCPisa>>(c, "+Mh,C");
+    bench_variant::<Mqx<Portable, profiles::McpPisa>>(c, "+M,C,P");
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(700))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Reproduces Figure 1: the headline CPU-vs-ASIC NTT comparison.
+fn main() {
+    mqx_bench::experiments::fig1::run(mqx_bench::quick_mode());
+}

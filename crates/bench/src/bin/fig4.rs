@@ -1,0 +1,4 @@
+//! Reproduces Figure 4: BLAS runtime per element across tiers.
+fn main() {
+    mqx_bench::experiments::fig4::run(mqx_bench::quick_mode());
+}

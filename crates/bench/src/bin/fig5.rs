@@ -1,0 +1,4 @@
+//! Reproduces Figure 5: NTT runtime per butterfly across sizes/tiers.
+fn main() {
+    mqx_bench::experiments::fig5::run(mqx_bench::quick_mode());
+}

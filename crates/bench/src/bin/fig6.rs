@@ -1,0 +1,4 @@
+//! Reproduces Figure 6: MQX component sensitivity ablation.
+fn main() {
+    mqx_bench::experiments::fig6::run(mqx_bench::quick_mode());
+}

@@ -1,0 +1,4 @@
+//! Reproduces Figure 7: speed-of-light projections vs accelerators.
+fn main() {
+    mqx_bench::experiments::fig7::run(mqx_bench::quick_mode());
+}

@@ -1,0 +1,4 @@
+//! Reproduces Listing 4 / Figure 3: static port-pressure analysis.
+fn main() {
+    mqx_bench::experiments::listing4::run(true);
+}

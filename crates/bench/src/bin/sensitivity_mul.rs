@@ -1,0 +1,4 @@
+//! Reproduces the §5.5 schoolbook-vs-Karatsuba sensitivity analysis.
+fn main() {
+    mqx_bench::experiments::sensitivity::run(mqx_bench::quick_mode());
+}

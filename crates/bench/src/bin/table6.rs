@@ -1,0 +1,4 @@
+//! Reproduces Tables 5-6: PISA validation relative error.
+fn main() {
+    mqx_bench::experiments::table6::run(mqx_bench::quick_mode());
+}

@@ -1,0 +1,83 @@
+//! Figure 1: the headline comparison — NTT implementations on CPUs vs
+//! an ASIC, at a representative size (2^14, the middle of the sweep).
+
+use super::{host_ghz, ntt_tiers};
+use crate::report::{fmt_ns, write_json, Table};
+use mqx_roofline::{accel, cpu, SolSeries};
+use serde::Serialize;
+
+/// One bar of Figure 1.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig1Row {
+    /// Implementation label.
+    pub name: String,
+    /// Hardware it runs on (or is projected onto).
+    pub hardware: String,
+    /// NTT runtime at the representative size, ns.
+    pub runtime_ns: f64,
+}
+
+/// Runs the comparison at `2^14` (or `2^12` in quick mode).
+pub fn run(quick: bool) -> Vec<Fig1Row> {
+    let log_n = if quick { 12 } else { 14 };
+    let ghz = host_ghz();
+    let tiers = ntt_tiers(log_n, quick, true);
+
+    let mut rows: Vec<Fig1Row> = Vec::new();
+
+    // The 32-core OpenFHE number the paper quotes from the RPU paper.
+    if let Some(t) = accel::openfhe_32core().at(log_n) {
+        rows.push(Fig1Row {
+            name: "OpenFHE (reference)".into(),
+            hardware: cpu::EPYC_7502.name.into(),
+            runtime_ns: t,
+        });
+    }
+    for t in &tiers {
+        rows.push(Fig1Row {
+            name: format!("{} (this host, 1 core)", t.tier),
+            hardware: "local CPU".into(),
+            runtime_ns: t.ns,
+        });
+    }
+    // SOL projection of the MQX tier.
+    if let Some(mqx) = tiers.iter().find(|t| t.tier.starts_with("mqx")) {
+        let series = [(log_n, mqx.ns)];
+        for target in [&cpu::XEON_6980P, &cpu::EPYC_9965S] {
+            let sol = SolSeries::project("mqx-sol", &series, ghz, target);
+            rows.push(Fig1Row {
+                name: "MQX-SOL (projected)".into(),
+                hardware: target.name.into(),
+                runtime_ns: sol.at(log_n).expect("projected point"),
+            });
+        }
+    }
+    if let Some(t) = accel::rpu().at(log_n) {
+        rows.push(Fig1Row {
+            name: "RPU (reference)".into(),
+            hardware: "ASIC".into(),
+            runtime_ns: t,
+        });
+    }
+
+    let fastest = rows
+        .iter()
+        .map(|r| r.runtime_ns)
+        .fold(f64::INFINITY, f64::min);
+    let mut table = Table::new(
+        &format!("Figure 1 — {}-point NTT, CPUs vs ASIC (lower is better)", 1 << log_n),
+        &["implementation", "hardware", "runtime", "vs fastest"],
+    );
+    for r in &rows {
+        table.row(&[
+            r.name.clone(),
+            r.hardware.clone(),
+            fmt_ns(r.runtime_ns),
+            format!("{:.1}x", r.runtime_ns / fastest),
+        ]);
+    }
+    table.print();
+
+    write_json("fig1_headline", &rows);
+    rows
+}

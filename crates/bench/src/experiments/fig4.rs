@@ -1,0 +1,112 @@
+//! Figure 4: BLAS operation runtime per element (ns), four operations ×
+//! five tiers, vector length 1,024.
+
+use super::{blas_tiers, BlasOp};
+use crate::report::{write_json, Table};
+use serde::Serialize;
+
+/// The full Figure 4 dataset.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig4 {
+    /// Per-op, per-tier nanoseconds **per element**.
+    pub rows: Vec<Fig4Row>,
+}
+
+/// One operation's tier timings.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig4Row {
+    /// Operation label.
+    pub op: &'static str,
+    /// `(tier, ns per element)`.
+    pub tiers: Vec<(String, f64)>,
+}
+
+/// Runs the experiment and prints the table.
+pub fn run(quick: bool) -> Fig4 {
+    let len = mqx_blas::PAPER_VECTOR_LEN as f64;
+    let mut rows = Vec::new();
+    for op in BlasOp::all() {
+        let tiers = blas_tiers(op, quick)
+            .into_iter()
+            .map(|t| (t.tier, t.ns / len))
+            .collect();
+        rows.push(Fig4Row {
+            op: op.label(),
+            tiers,
+        });
+    }
+
+    let tier_names: Vec<String> = rows[0].tiers.iter().map(|(n, _)| n.clone()).collect();
+    let mut header = vec!["op"];
+    let tier_strs: Vec<&str> = tier_names.iter().map(String::as_str).collect();
+    header.extend(tier_strs);
+    let mut table = Table::new(
+        "Figure 4 — BLAS runtime per element (ns), vector length 1024",
+        &header,
+    );
+    for row in &rows {
+        let mut cells = vec![row.op.to_string()];
+        cells.extend(row.tiers.iter().map(|(_, ns)| format!("{ns:.3}")));
+        table.row(&cells);
+    }
+    table.print();
+
+    // Headline ratios the paper reports (§5.3).
+    if let (Some(gmp), Some(best)) = (tier_avg(&rows, "gmp"), best_simd_avg(&rows)) {
+        println!(
+            "GMP vs best vector tier (geomean over ops): {:.1}x slower",
+            gmp / best
+        );
+    }
+    if let (Some(a512), Some(mqx)) = (tier_avg(&rows, "avx512"), tier_avg_prefix(&rows, "mqx")) {
+        println!("MQX speedup over AVX-512 (geomean over ops): {:.2}x", a512 / mqx);
+    }
+
+    let fig = Fig4 { rows };
+    write_json("fig4_blas", &fig);
+    fig
+}
+
+fn tier_avg(rows: &[Fig4Row], tier: &str) -> Option<f64> {
+    geomean(rows.iter().filter_map(|r| {
+        r.tiers
+            .iter()
+            .find(|(n, _)| n == tier)
+            .map(|(_, ns)| *ns)
+    }))
+}
+
+fn tier_avg_prefix(rows: &[Fig4Row], prefix: &str) -> Option<f64> {
+    geomean(rows.iter().filter_map(|r| {
+        r.tiers
+            .iter()
+            .find(|(n, _)| n.starts_with(prefix))
+            .map(|(_, ns)| *ns)
+    }))
+}
+
+fn best_simd_avg(rows: &[Fig4Row]) -> Option<f64> {
+    // Best non-baseline, non-mqx tier per op, geomeaned.
+    geomean(rows.iter().filter_map(|r| {
+        r.tiers
+            .iter()
+            .filter(|(n, _)| n != "gmp" && !n.starts_with("mqx"))
+            .map(|(_, ns)| *ns)
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.min(v)))
+            })
+    }))
+}
+
+fn geomean(values: impl Iterator<Item = f64>) -> Option<f64> {
+    let (mut log_sum, mut count) = (0.0, 0_u32);
+    for v in values {
+        log_sum += v.ln();
+        count += 1;
+    }
+    if count == 0 {
+        None
+    } else {
+        Some((log_sum / f64::from(count)).exp())
+    }
+}

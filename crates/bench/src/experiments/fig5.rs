@@ -1,0 +1,92 @@
+//! Figure 5: NTT runtime per butterfly (ns) across sizes, six tiers.
+
+use super::ntt_tiers;
+use crate::report::{write_json, Table};
+use crate::sweep_log_sizes;
+use mqx_ntt::butterfly_count;
+use serde::Serialize;
+
+/// The full Figure 5 dataset.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig5 {
+    /// One row per size.
+    pub rows: Vec<Fig5Row>,
+}
+
+/// One size's tier timings.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig5Row {
+    /// log₂ of the NTT size.
+    pub log_n: u32,
+    /// `(tier, ns per butterfly)`.
+    pub tiers: Vec<(String, f64)>,
+    /// `(tier, ns for the full transform)`.
+    pub total_ns: Vec<(String, f64)>,
+}
+
+/// Runs the sweep and prints the per-butterfly table.
+pub fn run(quick: bool) -> Fig5 {
+    let sizes = sweep_log_sizes();
+    let mut rows = Vec::new();
+    for &log_n in &sizes {
+        let tiers_raw = ntt_tiers(log_n, quick, true);
+        let bf = butterfly_count(1 << log_n) as f64;
+        rows.push(Fig5Row {
+            log_n,
+            tiers: tiers_raw
+                .iter()
+                .map(|t| (t.tier.clone(), t.ns / bf))
+                .collect(),
+            total_ns: tiers_raw.into_iter().map(|t| (t.tier, t.ns)).collect(),
+        });
+        eprintln!("  [fig5] 2^{log_n} done");
+    }
+
+    let tier_names: Vec<String> = rows[0].tiers.iter().map(|(n, _)| n.clone()).collect();
+    let mut header = vec!["size".to_string()];
+    header.extend(tier_names.iter().cloned());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new("Figure 5 — NTT runtime per butterfly (ns)", &header_refs);
+    for row in &rows {
+        let mut cells = vec![format!("2^{}", row.log_n)];
+        cells.extend(row.tiers.iter().map(|(_, ns)| format!("{ns:.3}")));
+        table.row(&cells);
+    }
+    table.print();
+
+    // Headline speedups (§5.4): geomean across sizes.
+    for (a, b, label) in [
+        ("scalar", "openfhe-like", "scalar vs OpenFHE-like"),
+        ("avx512", "openfhe-like", "AVX-512 vs OpenFHE-like"),
+        ("avx512", "gmp", "AVX-512 vs GMP"),
+        ("mqx(pisa)", "avx512", "MQX vs AVX-512"),
+        ("mqx(pisa)", "openfhe-like", "MQX vs OpenFHE-like"),
+    ] {
+        if let Some(s) = geomean_speedup(&rows, a, b) {
+            println!("{label}: {s:.1}x");
+        }
+    }
+
+    let fig = Fig5 { rows };
+    write_json("fig5_ntt", &fig);
+    fig
+}
+
+/// Geomean over sizes of `tier_b_time / tier_a_time` (how much faster
+/// `a` is than `b`).
+pub fn geomean_speedup(rows: &[Fig5Row], a: &str, b: &str) -> Option<f64> {
+    let (mut log_sum, mut count) = (0.0, 0_u32);
+    for row in rows {
+        let fa = row.tiers.iter().find(|(n, _)| n == a).map(|(_, v)| *v);
+        let fb = row.tiers.iter().find(|(n, _)| n == b).map(|(_, v)| *v);
+        if let (Some(ta), Some(tb)) = (fa, fb) {
+            log_sum += (tb / ta).ln();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        None
+    } else {
+        Some((log_sum / f64::from(count)).exp())
+    }
+}

@@ -1,0 +1,95 @@
+//! Figure 7: speed-of-light NTT performance on multi-core CPUs versus
+//! the accelerator reference series (RPU, FPMM, MoMA) and the 32-core
+//! OpenFHE baseline.
+
+use super::{host_ghz, ntt_tiers};
+use crate::report::{fmt_ns, write_json, Table};
+use crate::sweep_log_sizes;
+use mqx_roofline::accel;
+use mqx_roofline::{cpu, SolSeries};
+use serde::Serialize;
+
+/// The Figure 7 dataset: measured single-core MQX series plus its SOL
+/// projections and the accelerator references.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig7 {
+    /// `(log₂ n, measured single-core MQX ns)`.
+    pub measured_single_core: Vec<(u32, f64)>,
+    /// Projections onto the §6 targets.
+    pub sol: Vec<SolSeries>,
+    /// Geomean speedups vs each accelerator, per target.
+    pub speedups: Vec<(String, String, f64)>,
+}
+
+/// Runs the projection and prints the comparison tables.
+pub fn run(quick: bool) -> Fig7 {
+    let sizes = sweep_log_sizes();
+    let ghz = host_ghz();
+    println!("measuring single-core MQX (PISA) series at ~{ghz:.2} GHz…");
+
+    let mut measured = Vec::new();
+    for &log_n in &sizes {
+        let tiers = ntt_tiers(log_n, quick, false);
+        let mqx = tiers
+            .iter()
+            .find(|t| t.tier.starts_with("mqx"))
+            .expect("mqx tier always present");
+        measured.push((log_n, mqx.ns));
+    }
+
+    let targets = [&cpu::XEON_6980P, &cpu::EPYC_9965S];
+    let sol: Vec<SolSeries> = targets
+        .iter()
+        .map(|t| SolSeries::project("mqx-sol", &measured, ghz, t))
+        .collect();
+
+    let accels = [accel::rpu(), accel::fpmm(), accel::moma(), accel::openfhe_32core()];
+
+    // Per-size table.
+    let mut header: Vec<String> = vec!["size".into()];
+    header.extend(sol.iter().map(|s| s.name.clone()));
+    header.extend(accels.iter().map(|a| a.name.to_string()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new("Figure 7 — SOL NTT runtime vs accelerators", &header_refs);
+    for &(log_n, _) in &measured {
+        let mut cells = vec![format!("2^{log_n}")];
+        for s in &sol {
+            cells.push(s.at(log_n).map_or("-".into(), fmt_ns));
+        }
+        for a in &accels {
+            cells.push(a.at(log_n).map_or("-".into(), fmt_ns));
+        }
+        table.row(&cells);
+    }
+    table.print();
+
+    // Geomean speedups per target × accelerator (the §6 headline
+    // numbers: 1.3×/2.5× vs RPU, ~1×/2.9× vs FPMM, 0.7×/1.7× vs MoMA).
+    let mut speedups = Vec::new();
+    let mut sp_table = Table::new(
+        "Figure 7 — geomean speedup of MQX-SOL over each accelerator (>1 = CPU faster)",
+        &["target", "accelerator", "speedup"],
+    );
+    for s in &sol {
+        for a in &accels {
+            if let Some(v) = s.geomean_speedup_vs(a) {
+                sp_table.row(&[s.name.clone(), a.name.to_string(), format!("{v:.2}x")]);
+                speedups.push((s.name.clone(), a.name.to_string(), v));
+            }
+        }
+    }
+    sp_table.print();
+
+    println!(
+        "paper reference: MQX-SOL/6980P ≈ 1.3x RPU, ≈ 1x FPMM, 0.71x MoMA;\n\
+         MQX-SOL/9965S ≈ 2.5x RPU, 2.9x FPMM, 1.7x MoMA (§6)"
+    );
+
+    let fig = Fig7 {
+        measured_single_core: measured,
+        sol,
+        speedups,
+    };
+    write_json("fig7_sol", &fig);
+    fig
+}

@@ -1,0 +1,78 @@
+//! Listing 4 / Figure 3: the static port-pressure comparison of the
+//! AVX-512 and MQX instruction streams on the simplified machine models.
+
+use mqx_mca::{analyze, kernels, Machine};
+use serde::Serialize;
+
+/// Summary of one (kernel, ISA, machine) analysis.
+#[derive(Clone, Debug, Serialize)]
+pub struct Listing4Row {
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// "avx512" or "mqx".
+    pub isa: &'static str,
+    /// Machine model name.
+    pub machine: &'static str,
+    /// Instruction count.
+    pub instructions: usize,
+    /// Total µops.
+    pub uops: u32,
+    /// Block reciprocal throughput (cycles/iteration).
+    pub rthroughput: f64,
+    /// Dependency critical path (cycles).
+    pub critical_path: u32,
+}
+
+/// Prints the Listing 4 views and a cross-kernel summary.
+pub fn run(verbose: bool) -> Vec<Listing4Row> {
+    let machines = [Machine::sunny_cove(), Machine::zen4()];
+    let streams: [(&'static str, &'static str, fn() -> Vec<mqx_mca::Inst>); 6] = [
+        ("addmod128", "avx512", kernels::addmod128_avx512),
+        ("addmod128", "mqx", kernels::addmod128_mqx),
+        ("submod128", "avx512", kernels::submod128_avx512),
+        ("submod128", "mqx", kernels::submod128_mqx),
+        ("mulmod128", "avx512", kernels::mulmod128_avx512),
+        ("mulmod128", "mqx", kernels::mulmod128_mqx),
+    ];
+
+    let mut rows = Vec::new();
+    for machine in &machines {
+        for (kernel, isa, make) in streams {
+            let insts = make();
+            let report = analyze(machine, &insts);
+            if verbose && kernel == "addmod128" && machine.name() == "sunny-cove" {
+                // The actual Listing 4 content: addmod on Sunny Cove.
+                println!("{}", report.render(machine, &insts));
+            }
+            rows.push(Listing4Row {
+                kernel,
+                isa,
+                machine: machine.name(),
+                instructions: report.instruction_count,
+                uops: report.total_uops,
+                rthroughput: report.rthroughput,
+                critical_path: report.critical_path,
+            });
+        }
+    }
+
+    let mut table = crate::report::Table::new(
+        "Listing 4 / Figure 3 — static port-pressure summary",
+        &["kernel", "isa", "machine", "insts", "uops", "rthroughput", "crit.path"],
+    );
+    for r in &rows {
+        table.row(&[
+            r.kernel.to_string(),
+            r.isa.to_string(),
+            r.machine.to_string(),
+            r.instructions.to_string(),
+            r.uops.to_string(),
+            format!("{:.2}", r.rthroughput),
+            r.critical_path.to_string(),
+        ]);
+    }
+    table.print();
+
+    crate::report::write_json("listing4_mca", &rows);
+    rows
+}

@@ -1,0 +1,147 @@
+//! §5.5 (multiplication algorithms): schoolbook vs Karatsuba across the
+//! kernel tiers, at the raw-kernel level and inside full NTTs.
+
+use crate::report::{write_json, Table};
+use crate::timing::time_ntt;
+use crate::workload::Workload;
+use mqx_core::{primes, Modulus, MulAlgorithm};
+use mqx_ntt::{butterfly_count, NttPlan};
+use mqx_simd::{ResidueSoa, SimdEngine};
+use serde::Serialize;
+
+/// One tier's schoolbook-vs-Karatsuba comparison.
+#[derive(Clone, Debug, Serialize)]
+pub struct SensitivityRow {
+    /// Tier label.
+    pub tier: String,
+    /// Workload label ("mulmod ×4096" or "NTT 2^12 per butterfly").
+    pub workload: &'static str,
+    /// Schoolbook ns.
+    pub schoolbook_ns: f64,
+    /// Karatsuba ns.
+    pub karatsuba_ns: f64,
+    /// `karatsuba / schoolbook` (>1 means schoolbook wins, the paper's
+    /// CPU finding).
+    pub ratio: f64,
+}
+
+fn time_scalar_mulmod(m: &Modulus, xs: &[u128], ys: &[u128], quick: bool) -> f64 {
+    let mut acc = 0_u128;
+    let ns = time_ntt(quick, || {
+        for (&a, &b) in xs.iter().zip(ys) {
+            acc ^= m.mul_mod(a, b);
+        }
+    });
+    std::hint::black_box(acc);
+    ns
+}
+
+fn time_simd_ntt<E: SimdEngine>(m: &Modulus, n: usize, quick: bool) -> f64 {
+    let plan = NttPlan::new(m, n).expect("plan");
+    let mut w = Workload::new(*m, 0x5E51);
+    let mut x = w.residues_soa(n);
+    let mut scratch = ResidueSoa::zeros(n);
+    time_ntt(quick, || plan.forward_simd::<E>(&mut x, &mut scratch))
+}
+
+/// Runs the comparison and prints the table.
+pub fn run(quick: bool) -> Vec<SensitivityRow> {
+    let q = primes::Q124;
+    let school = Modulus::new(q).expect("Q124");
+    let kara = school.with_algorithm(MulAlgorithm::Karatsuba);
+    let mut rows = Vec::new();
+
+    // Raw scalar modular multiplication over an array.
+    {
+        let len = 4096;
+        let mut w = Workload::new(school, 0x4A11);
+        let xs = w.residues(len);
+        let ys = w.residues(len);
+        let ts = time_scalar_mulmod(&school, &xs, &ys, quick);
+        let tk = time_scalar_mulmod(&kara, &xs, &ys, quick);
+        rows.push(SensitivityRow {
+            tier: "scalar".into(),
+            workload: "mulmod ×4096",
+            schoolbook_ns: ts,
+            karatsuba_ns: tk,
+            ratio: tk / ts,
+        });
+    }
+
+    // Full NTTs, algorithm threaded through the modulus.
+    let n = if quick { 1 << 10 } else { 1 << 12 };
+    let bf = butterfly_count(n) as f64;
+
+    #[cfg(all(
+        target_arch = "x86_64",
+        target_feature = "avx512f",
+        target_feature = "avx512dq"
+    ))]
+    {
+        use mqx_simd::{profiles, Avx512, Mqx};
+        let ts = time_simd_ntt::<Avx512>(&school, n, quick);
+        let tk = time_simd_ntt::<Avx512>(&kara, n, quick);
+        rows.push(SensitivityRow {
+            tier: "avx512".into(),
+            workload: "NTT per butterfly",
+            schoolbook_ns: ts / bf,
+            karatsuba_ns: tk / bf,
+            ratio: tk / ts,
+        });
+        let ts = time_simd_ntt::<Mqx<Avx512, profiles::McPisa>>(&school, n, quick);
+        let tk = time_simd_ntt::<Mqx<Avx512, profiles::McPisa>>(&kara, n, quick);
+        rows.push(SensitivityRow {
+            tier: "mqx(pisa)".into(),
+            workload: "NTT per butterfly",
+            schoolbook_ns: ts / bf,
+            karatsuba_ns: tk / bf,
+            ratio: tk / ts,
+        });
+    }
+
+    #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+    {
+        use mqx_simd::Avx2;
+        let ts = time_simd_ntt::<Avx2>(&school, n, quick);
+        let tk = time_simd_ntt::<Avx2>(&kara, n, quick);
+        rows.push(SensitivityRow {
+            tier: "avx2".into(),
+            workload: "NTT per butterfly",
+            schoolbook_ns: ts / bf,
+            karatsuba_ns: tk / bf,
+            ratio: tk / ts,
+        });
+    }
+
+    {
+        use mqx_simd::Portable;
+        let ts = time_simd_ntt::<Portable>(&school, n, quick);
+        let tk = time_simd_ntt::<Portable>(&kara, n, quick);
+        rows.push(SensitivityRow {
+            tier: "portable-simd".into(),
+            workload: "NTT per butterfly",
+            schoolbook_ns: ts / bf,
+            karatsuba_ns: tk / bf,
+            ratio: tk / ts,
+        });
+    }
+
+    let mut table = Table::new(
+        "§5.5 — schoolbook vs Karatsuba (ratio >1 ⇒ schoolbook faster)",
+        &["tier", "workload", "schoolbook (ns)", "karatsuba (ns)", "kara/school"],
+    );
+    for r in &rows {
+        table.row(&[
+            r.tier.clone(),
+            r.workload.to_string(),
+            format!("{:.2}", r.schoolbook_ns),
+            format!("{:.2}", r.karatsuba_ns),
+            format!("{:.3}", r.ratio),
+        ]);
+    }
+    table.print();
+    println!("paper reference: schoolbook wins by ~1.1x on CPUs in almost all variants (§5.5)");
+
+    write_json("sensitivity_mul", &rows);
+    rows
+}

@@ -1,0 +1,146 @@
+//! Tables 5–6: validating PISA. Re-run the NTT with an existing
+//! instruction swapped for its PISA proxy (Table 5), then report the
+//! relative error ε between target and proxy runtimes (Eq. 12).
+
+use crate::report::{write_json, Table};
+use crate::timing::time_ntt;
+use crate::workload::Workload;
+use mqx_core::{primes, Modulus};
+use mqx_ntt::NttPlan;
+use mqx_simd::{ResidueSoa, SimdEngine};
+use serde::Serialize;
+
+/// One PISA validation row.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table6Row {
+    /// The real (target) instruction being modeled.
+    pub target: &'static str,
+    /// The proxy instruction PISA substitutes.
+    pub proxy: &'static str,
+    /// NTT runtime with the target instruction (ns).
+    pub t_target_ns: f64,
+    /// NTT runtime with the proxy (ns).
+    pub t_proxy_ns: f64,
+    /// Relative error ε = (t_target − t_proxy)/t_target · 100%.
+    pub epsilon_percent: f64,
+}
+
+fn time_engine<E: SimdEngine>(plan: &NttPlan, xs: &ResidueSoa, quick: bool) -> f64 {
+    let mut x = xs.clone();
+    let mut scratch = ResidueSoa::zeros(xs.len());
+    time_ntt(quick, || plan.forward_simd::<E>(&mut x, &mut scratch))
+}
+
+fn row<Target: SimdEngine, Proxy: SimdEngine>(
+    target: &'static str,
+    proxy: &'static str,
+    plan: &NttPlan,
+    xs: &ResidueSoa,
+    quick: bool,
+) -> Table6Row {
+    let t_target = time_engine::<Target>(plan, xs, quick);
+    let t_proxy = time_engine::<Proxy>(plan, xs, quick);
+    Table6Row {
+        target,
+        proxy,
+        t_target_ns: t_target,
+        t_proxy_ns: t_proxy,
+        epsilon_percent: (t_target - t_proxy) / t_target * 100.0,
+    }
+}
+
+/// Runs the validation at the paper's size (2^14; 2^12 in quick mode).
+pub fn run(quick: bool) -> Vec<Table6Row> {
+    let log_n = if quick { 12 } else { 14 };
+    let n = 1_usize << log_n;
+    let m = Modulus::new_prime(primes::Q124).expect("Q124 valid");
+    let plan = NttPlan::new(&m, n).expect("plan");
+    let mut w = Workload::new(m, 0x7AB6);
+    let xs = w.residues_soa(n);
+
+    let mut rows: Vec<Table6Row> = Vec::new();
+
+    #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+    {
+        use mqx_simd::proxy::ProxyMul32;
+        use mqx_simd::Avx2;
+        rows.push(row::<Avx2, ProxyMul32<Avx2>>(
+            "_mm256_mul_epu32",
+            "_mm256_mullo_epi32",
+            &plan,
+            &xs,
+            quick,
+        ));
+    }
+
+    #[cfg(all(
+        target_arch = "x86_64",
+        target_feature = "avx512f",
+        target_feature = "avx512dq"
+    ))]
+    {
+        use mqx_simd::proxy::{ProxyMaskAdd, ProxyMaskSub};
+        use mqx_simd::Avx512;
+        rows.push(row::<Avx512, ProxyMaskAdd<Avx512>>(
+            "_mm512_mask_add_epi64",
+            "_mm512_add_epi64",
+            &plan,
+            &xs,
+            quick,
+        ));
+        rows.push(row::<Avx512, ProxyMaskSub<Avx512>>(
+            "_mm512_mask_sub_epi64",
+            "_mm512_sub_epi64",
+            &plan,
+            &xs,
+            quick,
+        ));
+    }
+
+    if rows.is_empty() {
+        // Hosts without AVX: validate the methodology on the portable
+        // engine (the proxies still swap real work for different work).
+        use mqx_simd::proxy::{ProxyMaskAdd, ProxyMaskSub, ProxyMul32};
+        use mqx_simd::Portable;
+        rows.push(row::<Portable, ProxyMul32<Portable>>(
+            "mul32_wide (portable)",
+            "mullo32 (portable)",
+            &plan,
+            &xs,
+            quick,
+        ));
+        rows.push(row::<Portable, ProxyMaskAdd<Portable>>(
+            "mask_add (portable)",
+            "add (portable)",
+            &plan,
+            &xs,
+            quick,
+        ));
+        rows.push(row::<Portable, ProxyMaskSub<Portable>>(
+            "mask_sub (portable)",
+            "sub (portable)",
+            &plan,
+            &xs,
+            quick,
+        ));
+    }
+
+    let mut table = Table::new(
+        &format!("Table 6 — PISA validation: relative error ε at n = 2^{log_n}"),
+        &["target instruction", "proxy instruction", "t_target", "t_proxy", "ε"],
+    );
+    for r in &rows {
+        table.row(&[
+            r.target.to_string(),
+            r.proxy.to_string(),
+            format!("{:.0} ns", r.t_target_ns),
+            format!("{:.0} ns", r.t_proxy_ns),
+            format!("{:+.2}%", r.epsilon_percent),
+        ]);
+    }
+    table.print();
+    println!("paper reference: |ε| < 8% on both CPUs (Table 6)");
+
+    write_json("table6_pisa_validation", &rows);
+    rows
+}

@@ -1,0 +1,191 @@
+//! Addition and subtraction.
+
+use crate::BigUint;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// Adds `b` into `a` in place, growing `a` as needed.
+pub(crate) fn add_assign_limbs(a: &mut Vec<u64>, b: &[u64]) {
+    if a.len() < b.len() {
+        a.resize(b.len(), 0);
+    }
+    let mut carry = false;
+    for (i, &bl) in b.iter().enumerate() {
+        let (s1, c1) = a[i].overflowing_add(bl);
+        let (s2, c2) = s1.overflowing_add(u64::from(carry));
+        a[i] = s2;
+        carry = c1 || c2;
+    }
+    let mut i = b.len();
+    while carry {
+        if i == a.len() {
+            a.push(1);
+            break;
+        }
+        let (s, c) = a[i].overflowing_add(1);
+        a[i] = s;
+        carry = c;
+        i += 1;
+    }
+}
+
+/// Subtracts `b` from `a` in place. Requires `a >= b` limb-wise value.
+///
+/// Returns `true` on borrow-out, which indicates the precondition was
+/// violated (the caller treats that as a bug).
+pub(crate) fn sub_assign_limbs(a: &mut [u64], b: &[u64]) -> bool {
+    debug_assert!(a.len() >= b.len());
+    let mut borrow = false;
+    for (i, limb) in a.iter_mut().enumerate() {
+        let bl = b.get(i).copied().unwrap_or(0);
+        let (d1, o1) = limb.overflowing_sub(bl);
+        let (d2, o2) = d1.overflowing_sub(u64::from(borrow));
+        *limb = d2;
+        borrow = o1 || o2;
+    }
+    borrow
+}
+
+impl BigUint {
+    /// Subtracts `rhs` from `self`, returning `None` if the result would be
+    /// negative.
+    ///
+    /// ```
+    /// use mqx_bignum::BigUint;
+    /// let a = BigUint::from(10_u64);
+    /// let b = BigUint::from(3_u64);
+    /// assert_eq!(a.checked_sub(&b), Some(BigUint::from(7_u64)));
+    /// assert_eq!(b.checked_sub(&a), None);
+    /// ```
+    pub fn checked_sub(&self, rhs: &BigUint) -> Option<BigUint> {
+        if self < rhs {
+            return None;
+        }
+        let mut limbs = self.limbs.clone();
+        let borrow = sub_assign_limbs(&mut limbs, &rhs.limbs);
+        debug_assert!(!borrow);
+        Some(BigUint::from_limbs(limbs))
+    }
+}
+
+impl Add<&BigUint> for &BigUint {
+    type Output = BigUint;
+
+    fn add(self, rhs: &BigUint) -> BigUint {
+        let mut limbs = self.limbs.clone();
+        add_assign_limbs(&mut limbs, &rhs.limbs);
+        BigUint::from_limbs(limbs)
+    }
+}
+
+impl Add for BigUint {
+    type Output = BigUint;
+
+    fn add(self, rhs: BigUint) -> BigUint {
+        &self + &rhs
+    }
+}
+
+impl AddAssign<&BigUint> for BigUint {
+    fn add_assign(&mut self, rhs: &BigUint) {
+        add_assign_limbs(&mut self.limbs, &rhs.limbs);
+        self.normalize();
+    }
+}
+
+impl Sub<&BigUint> for &BigUint {
+    type Output = BigUint;
+
+    /// # Panics
+    ///
+    /// Panics if `rhs > self`; use [`BigUint::checked_sub`] to handle that
+    /// case without panicking.
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        self.checked_sub(rhs)
+            .expect("attempt to subtract a larger BigUint from a smaller one")
+    }
+}
+
+impl Sub for BigUint {
+    type Output = BigUint;
+
+    fn sub(self, rhs: BigUint) -> BigUint {
+        &self - &rhs
+    }
+}
+
+impl SubAssign<&BigUint> for BigUint {
+    fn sub_assign(&mut self, rhs: &BigUint) {
+        *self = &*self - rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BigUint;
+
+    #[test]
+    fn add_small() {
+        let a = BigUint::from(2_u64);
+        let b = BigUint::from(3_u64);
+        assert_eq!(&a + &b, BigUint::from(5_u64));
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        let a = BigUint::from(u64::MAX);
+        let b = BigUint::from(1_u64);
+        assert_eq!(&a + &b, BigUint::from_limbs(vec![0, 1]));
+    }
+
+    #[test]
+    fn add_carry_chain_propagates() {
+        // 2^192 - 1 + 1 = 2^192
+        let a = BigUint::from_limbs(vec![u64::MAX, u64::MAX, u64::MAX]);
+        let one = BigUint::one();
+        assert_eq!(&a + &one, BigUint::power_of_two(192));
+    }
+
+    #[test]
+    fn add_zero_is_identity() {
+        let a = BigUint::from(12345_u64);
+        assert_eq!(&a + &BigUint::zero(), a);
+        assert_eq!(&BigUint::zero() + &a, a);
+    }
+
+    #[test]
+    fn add_assign_matches_add() {
+        let mut a = BigUint::from(u64::MAX);
+        a += &BigUint::from(u64::MAX);
+        assert_eq!(a, &BigUint::from(u64::MAX) + &BigUint::from(u64::MAX));
+    }
+
+    #[test]
+    fn sub_roundtrip() {
+        let a = BigUint::from_limbs(vec![5, 9, 13]);
+        let b = BigUint::from_limbs(vec![u64::MAX, 2]);
+        let s = &a + &b;
+        assert_eq!(&s - &b, a);
+        assert_eq!(&s - &a, b);
+    }
+
+    #[test]
+    fn sub_borrows_across_limbs() {
+        let a = BigUint::from_limbs(vec![0, 1]); // 2^64
+        let b = BigUint::one();
+        assert_eq!(&a - &b, BigUint::from(u64::MAX));
+    }
+
+    #[test]
+    fn checked_sub_underflow_is_none() {
+        let a = BigUint::from(1_u64);
+        let b = BigUint::from(2_u64);
+        assert_eq!(a.checked_sub(&b), None);
+        assert_eq!(a.checked_sub(&a), Some(BigUint::zero()));
+    }
+
+    #[test]
+    #[should_panic(expected = "subtract a larger")]
+    fn sub_underflow_panics() {
+        let _ = &BigUint::zero() - &BigUint::one();
+    }
+}

@@ -1,0 +1,130 @@
+//! Conversions between [`BigUint`] and primitive integers.
+
+use crate::BigUint;
+
+impl From<u8> for BigUint {
+    fn from(v: u8) -> Self {
+        BigUint::from(u64::from(v))
+    }
+}
+
+impl From<u16> for BigUint {
+    fn from(v: u16) -> Self {
+        BigUint::from(u64::from(v))
+    }
+}
+
+impl From<u32> for BigUint {
+    fn from(v: u32) -> Self {
+        BigUint::from(u64::from(v))
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            BigUint::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        BigUint::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl From<usize> for BigUint {
+    fn from(v: usize) -> Self {
+        BigUint::from(v as u64)
+    }
+}
+
+/// The error returned when a [`BigUint`] does not fit the requested
+/// primitive width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TryFromBigUintError(pub(crate) ());
+
+impl std::fmt::Display for TryFromBigUintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BigUint value does not fit in the target integer type")
+    }
+}
+
+impl std::error::Error for TryFromBigUintError {}
+
+impl TryFrom<&BigUint> for u64 {
+    type Error = TryFromBigUintError;
+
+    fn try_from(v: &BigUint) -> Result<Self, Self::Error> {
+        match v.limbs.len() {
+            0 => Ok(0),
+            1 => Ok(v.limbs[0]),
+            _ => Err(TryFromBigUintError(())),
+        }
+    }
+}
+
+impl TryFrom<&BigUint> for u128 {
+    type Error = TryFromBigUintError;
+
+    fn try_from(v: &BigUint) -> Result<Self, Self::Error> {
+        match v.limbs.len() {
+            0 => Ok(0),
+            1 => Ok(u128::from(v.limbs[0])),
+            2 => Ok(u128::from(v.limbs[0]) | (u128::from(v.limbs[1]) << 64)),
+            _ => Err(TryFromBigUintError(())),
+        }
+    }
+}
+
+impl BigUint {
+    /// Returns the value as `u128` if it fits.
+    ///
+    /// ```
+    /// use mqx_bignum::BigUint;
+    /// assert_eq!(BigUint::from(42_u64).to_u128(), Some(42));
+    /// assert_eq!(BigUint::power_of_two(128).to_u128(), None);
+    /// ```
+    pub fn to_u128(&self) -> Option<u128> {
+        u128::try_from(self).ok()
+    }
+
+    /// Returns the value as `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        u64::try_from(self).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BigUint;
+
+    #[test]
+    fn u128_roundtrip() {
+        for v in [0_u128, 1, u128::from(u64::MAX), u64::MAX as u128 + 1, u128::MAX] {
+            assert_eq!(BigUint::from(v).to_u128(), Some(v));
+        }
+    }
+
+    #[test]
+    fn u64_roundtrip_and_overflow() {
+        assert_eq!(BigUint::from(7_u32).to_u64(), Some(7));
+        assert_eq!(BigUint::from(u128::MAX).to_u64(), None);
+    }
+
+    #[test]
+    fn small_widths_promote() {
+        assert_eq!(BigUint::from(200_u8), BigUint::from(200_u64));
+        assert_eq!(BigUint::from(70_000_u32), BigUint::from(70_000_u64));
+        assert_eq!(BigUint::from(5_usize), BigUint::from(5_u64));
+    }
+
+    #[test]
+    fn zero_converts() {
+        assert_eq!(BigUint::from(0_u128), BigUint::zero());
+        assert_eq!(BigUint::zero().to_u128(), Some(0));
+    }
+}

@@ -1,0 +1,269 @@
+//! Division: short division for single-limb divisors, Knuth Algorithm D
+//! (TAOCP vol. 2, §4.3.1) for the general case.
+
+use crate::BigUint;
+use std::ops::{Div, DivAssign, Rem, RemAssign};
+
+impl BigUint {
+    /// Computes quotient and remainder simultaneously.
+    ///
+    /// Exposed as a single call because both values fall out of one pass of
+    /// Algorithm D; callers that need both (modular exponentiation, Barrett
+    /// constant setup) avoid running the division twice.
+    ///
+    /// Returns `None` if `divisor` is zero.
+    ///
+    /// ```
+    /// use mqx_bignum::BigUint;
+    /// let x = BigUint::from(1000_u64);
+    /// let d = BigUint::from(7_u64);
+    /// let (q, r) = x.checked_div_rem(&d).unwrap();
+    /// assert_eq!(q, BigUint::from(142_u64));
+    /// assert_eq!(r, BigUint::from(6_u64));
+    /// assert!(BigUint::zero().checked_div_rem(&BigUint::zero()).is_none());
+    /// ```
+    pub fn checked_div_rem(&self, divisor: &BigUint) -> Option<(BigUint, BigUint)> {
+        if divisor.is_zero() {
+            return None;
+        }
+        if self < divisor {
+            return Some((BigUint::zero(), self.clone()));
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = div_rem_limb(&self.limbs, divisor.limbs[0]);
+            return Some((BigUint::from_limbs(q), BigUint::from(r)));
+        }
+        Some(div_rem_knuth(self, divisor))
+    }
+
+    /// Computes quotient and remainder simultaneously.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero; use [`BigUint::checked_div_rem`] to
+    /// handle that case without panicking.
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        self.checked_div_rem(divisor)
+            .expect("attempt to divide a BigUint by zero")
+    }
+}
+
+/// Divides a limb vector by a single limb; returns (quotient, remainder).
+fn div_rem_limb(u: &[u64], d: u64) -> (Vec<u64>, u64) {
+    debug_assert!(d != 0);
+    let mut q = vec![0_u64; u.len()];
+    let mut r: u64 = 0;
+    for i in (0..u.len()).rev() {
+        let cur = (u128::from(r) << 64) | u128::from(u[i]);
+        q[i] = (cur / u128::from(d)) as u64;
+        r = (cur % u128::from(d)) as u64;
+    }
+    (q, r)
+}
+
+/// Knuth Algorithm D for divisors of two or more limbs.
+fn div_rem_knuth(u: &BigUint, v: &BigUint) -> (BigUint, BigUint) {
+    // D1: normalize so the divisor's top limb has its high bit set. This
+    // keeps the two-limb quotient estimate within one of the true digit.
+    let s = u64::from(v.limbs.last().expect("non-empty divisor").leading_zeros());
+    let vn = (v << s).limbs;
+    let mut un = (u << s).limbs;
+    un.push(0);
+
+    let n = vn.len();
+    let m = un.len() - 1 - n; // quotient has m + 1 digits
+    let mut q = vec![0_u64; m + 1];
+    let v_top = vn[n - 1];
+    let v_next = vn[n - 2];
+
+    for j in (0..=m).rev() {
+        // D3: estimate q̂ from the top two dividend limbs.
+        let num = (u128::from(un[j + n]) << 64) | u128::from(un[j + n - 1]);
+        let mut qhat = num / u128::from(v_top);
+        let mut rhat = num % u128::from(v_top);
+
+        while qhat >> 64 != 0
+            || qhat * u128::from(v_next) > (rhat << 64) + u128::from(un[j + n - 2])
+        {
+            qhat -= 1;
+            rhat += u128::from(v_top);
+            if rhat >> 64 != 0 {
+                break;
+            }
+        }
+
+        // D4: multiply and subtract un[j..=j+n] -= q̂ · vn.
+        let mut borrow: u64 = 0;
+        let mut carry: u64 = 0;
+        for i in 0..n {
+            let p = qhat * u128::from(vn[i]) + u128::from(carry);
+            carry = (p >> 64) as u64;
+            let (d1, b1) = un[j + i].overflowing_sub(p as u64);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            un[j + i] = d2;
+            borrow = u64::from(b1) + u64::from(b2);
+        }
+        let (d1, b1) = un[j + n].overflowing_sub(carry);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        un[j + n] = d2;
+
+        let mut q_digit = qhat as u64;
+        if b1 || b2 {
+            // D6: the estimate was one too large; add the divisor back.
+            q_digit -= 1;
+            let mut carry = false;
+            for i in 0..n {
+                let (s1, c1) = un[j + i].overflowing_add(vn[i]);
+                let (s2, c2) = s1.overflowing_add(u64::from(carry));
+                un[j + i] = s2;
+                carry = c1 || c2;
+            }
+            un[j + n] = un[j + n].wrapping_add(u64::from(carry));
+        }
+        q[j] = q_digit;
+    }
+
+    // D8: the remainder is the low n limbs, de-normalized.
+    un.truncate(n);
+    let r = BigUint::from_limbs(un) >> s;
+    (BigUint::from_limbs(q), r)
+}
+
+impl Div<&BigUint> for &BigUint {
+    type Output = BigUint;
+
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn div(self, rhs: &BigUint) -> BigUint {
+        self.div_rem(rhs).0
+    }
+}
+
+impl Div for BigUint {
+    type Output = BigUint;
+
+    fn div(self, rhs: BigUint) -> BigUint {
+        &self / &rhs
+    }
+}
+
+impl DivAssign<&BigUint> for BigUint {
+    fn div_assign(&mut self, rhs: &BigUint) {
+        *self = &*self / rhs;
+    }
+}
+
+impl Rem<&BigUint> for &BigUint {
+    type Output = BigUint;
+
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn rem(self, rhs: &BigUint) -> BigUint {
+        self.div_rem(rhs).1
+    }
+}
+
+impl Rem for BigUint {
+    type Output = BigUint;
+
+    fn rem(self, rhs: BigUint) -> BigUint {
+        &self % &rhs
+    }
+}
+
+impl RemAssign<&BigUint> for BigUint {
+    fn rem_assign(&mut self, rhs: &BigUint) {
+        *self = &*self % rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BigUint;
+
+    #[test]
+    fn divide_by_smaller_single_limb() {
+        let x = BigUint::from_limbs(vec![0, 0, 1]); // 2^128
+        let (q, r) = x.div_rem(&BigUint::from(3_u64));
+        // 2^128 = 3 * q + 1
+        assert_eq!(&(&q * &BigUint::from(3_u64)) + &r, x);
+        assert_eq!(r, BigUint::one());
+    }
+
+    #[test]
+    fn dividend_smaller_than_divisor() {
+        let x = BigUint::from(5_u64);
+        let d = BigUint::from_limbs(vec![0, 1]);
+        let (q, r) = x.div_rem(&d);
+        assert!(q.is_zero());
+        assert_eq!(r, x);
+    }
+
+    #[test]
+    fn exact_division() {
+        let d = BigUint::from_limbs(vec![u64::MAX, 12345]);
+        let q = BigUint::from_limbs(vec![42, u64::MAX, 7]);
+        let x = &d * &q;
+        let (qq, rr) = x.div_rem(&d);
+        assert_eq!(qq, q);
+        assert!(rr.is_zero());
+    }
+
+    #[test]
+    fn division_invariant_multi_limb() {
+        // Deterministic pseudo-random inputs covering the add-back path.
+        let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..200 {
+            let ul: Vec<u64> = (0..6).map(|_| next()).collect();
+            let vl: Vec<u64> = (0..3).map(|_| next()).collect();
+            let u = BigUint::from_limbs(ul);
+            let v = BigUint::from_limbs(vl);
+            if v.is_zero() {
+                continue;
+            }
+            let (q, r) = u.div_rem(&v);
+            assert!(r < v);
+            assert_eq!(&(&q * &v) + &r, u);
+        }
+    }
+
+    #[test]
+    fn knuth_add_back_case() {
+        // Constructed to trigger the rare D6 add-back: u = b^4/2 style
+        // patterns with v_top = 2^63 are the canonical trigger (Hacker's
+        // Delight §9-2 test vectors).
+        let u = BigUint::from_limbs(vec![0, 0, 0x8000_0000_0000_0000, 0x7FFF_FFFF_FFFF_FFFF]);
+        let v = BigUint::from_limbs(vec![1, 0, 0x8000_0000_0000_0000]);
+        let (q, r) = u.div_rem(&v);
+        assert!(r < v);
+        assert_eq!(&(&q * &v) + &r, u);
+    }
+
+    #[test]
+    fn checked_div_rem_zero_divisor() {
+        assert!(BigUint::one().checked_div_rem(&BigUint::zero()).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "divide a BigUint by zero")]
+    fn div_by_zero_panics() {
+        let _ = &BigUint::one() / &BigUint::zero();
+    }
+
+    #[test]
+    fn operators_match_div_rem() {
+        let x = BigUint::from_limbs(vec![99, 98, 97]);
+        let d = BigUint::from_limbs(vec![5, 6]);
+        let (q, r) = x.div_rem(&d);
+        assert_eq!(&x / &d, q);
+        assert_eq!(&x % &d, r);
+    }
+}

@@ -1,0 +1,241 @@
+//! Formatting and parsing.
+
+use crate::types::{ParseBigUintError, ParseErrorKind};
+use crate::BigUint;
+use std::fmt;
+use std::str::FromStr;
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "", "0");
+        }
+        // Repeated short division by the largest power of ten in a limb.
+        const CHUNK: u64 = 10_000_000_000_000_000_000; // 10^19
+        let mut digits = String::new();
+        let mut rest = self.limbs.clone();
+        while !rest.is_empty() {
+            let mut r: u64 = 0;
+            for i in (0..rest.len()).rev() {
+                let cur = (u128::from(r) << 64) | u128::from(rest[i]);
+                rest[i] = (cur / u128::from(CHUNK)) as u64;
+                r = (cur % u128::from(CHUNK)) as u64;
+            }
+            while rest.last() == Some(&0) {
+                rest.pop();
+            }
+            if rest.is_empty() {
+                digits.insert_str(0, &r.to_string());
+            } else {
+                digits.insert_str(0, &format!("{r:019}"));
+            }
+        }
+        f.pad_integral(true, "", &digits)
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint({self})")
+    }
+}
+
+impl fmt::LowerHex for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "0x", "0");
+        }
+        let mut s = String::new();
+        for (i, limb) in self.limbs.iter().enumerate().rev() {
+            if i == self.limbs.len() - 1 {
+                s.push_str(&format!("{limb:x}"));
+            } else {
+                s.push_str(&format!("{limb:016x}"));
+            }
+        }
+        f.pad_integral(true, "0x", &s)
+    }
+}
+
+impl fmt::UpperHex for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let lower = format!("{self:x}");
+        f.pad_integral(true, "0x", &lower.to_uppercase())
+    }
+}
+
+impl fmt::Binary for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "0b", "0");
+        }
+        let mut s = String::new();
+        for (i, limb) in self.limbs.iter().enumerate().rev() {
+            if i == self.limbs.len() - 1 {
+                s.push_str(&format!("{limb:b}"));
+            } else {
+                s.push_str(&format!("{limb:064b}"));
+            }
+        }
+        f.pad_integral(true, "0b", &s)
+    }
+}
+
+impl fmt::Octal for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Octal digits do not align with 64-bit limbs; go through repeated
+        // division by 8^21 (the largest power of eight within a limb).
+        if self.is_zero() {
+            return f.pad_integral(true, "0o", "0");
+        }
+        const CHUNK: u64 = 1 << 63; // 8^21 = 2^63
+        let mut digits = String::new();
+        let mut rest = self.limbs.clone();
+        while !rest.is_empty() {
+            let mut r: u64 = 0;
+            for i in (0..rest.len()).rev() {
+                let cur = (u128::from(r) << 64) | u128::from(rest[i]);
+                rest[i] = (cur / u128::from(CHUNK)) as u64;
+                r = (cur % u128::from(CHUNK)) as u64;
+            }
+            while rest.last() == Some(&0) {
+                rest.pop();
+            }
+            if rest.is_empty() {
+                digits.insert_str(0, &format!("{r:o}"));
+            } else {
+                digits.insert_str(0, &format!("{r:021o}"));
+            }
+        }
+        f.pad_integral(true, "0o", &digits)
+    }
+}
+
+impl FromStr for BigUint {
+    type Err = ParseBigUintError;
+
+    /// Parses a decimal string, or a hexadecimal string with a `0x` prefix.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+            return Self::from_hex_digits(hex);
+        }
+        if s.is_empty() {
+            return Err(ParseBigUintError {
+                kind: ParseErrorKind::Empty,
+            });
+        }
+        let mut out = BigUint::zero();
+        for c in s.chars() {
+            let d = c.to_digit(10).ok_or(ParseBigUintError {
+                kind: ParseErrorKind::InvalidDigit(c),
+            })?;
+            out = out.mul_limb(10);
+            out += &BigUint::from(u64::from(d));
+        }
+        Ok(out)
+    }
+}
+
+impl BigUint {
+    /// Parses a hexadecimal string (without prefix).
+    ///
+    /// ```
+    /// use mqx_bignum::BigUint;
+    /// let x = BigUint::from_hex("ff").unwrap();
+    /// assert_eq!(x, BigUint::from(255_u64));
+    /// ```
+    pub fn from_hex(s: &str) -> Result<Self, ParseBigUintError> {
+        Self::from_hex_digits(s)
+    }
+
+    fn from_hex_digits(s: &str) -> Result<Self, ParseBigUintError> {
+        if s.is_empty() {
+            return Err(ParseBigUintError {
+                kind: ParseErrorKind::Empty,
+            });
+        }
+        let mut out = BigUint::zero();
+        for c in s.chars() {
+            let d = c.to_digit(16).ok_or(ParseBigUintError {
+                kind: ParseErrorKind::InvalidDigit(c),
+            })?;
+            out = &out << 4;
+            out += &BigUint::from(u64::from(d));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BigUint;
+
+    #[test]
+    fn display_small() {
+        assert_eq!(BigUint::zero().to_string(), "0");
+        assert_eq!(BigUint::from(12345_u64).to_string(), "12345");
+    }
+
+    #[test]
+    fn display_u128_boundary() {
+        assert_eq!(
+            BigUint::from(u128::MAX).to_string(),
+            "340282366920938463463374607431768211455"
+        );
+        assert_eq!(
+            BigUint::power_of_two(128).to_string(),
+            "340282366920938463463374607431768211456"
+        );
+    }
+
+    #[test]
+    fn parse_roundtrip_decimal() {
+        for s in ["0", "1", "999", "340282366920938463463374607431768211456"] {
+            let v: BigUint = s.parse().unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_hex() {
+        let v: BigUint = "0xDEADbeef".parse().unwrap();
+        assert_eq!(v, BigUint::from(0xDEAD_BEEF_u64));
+        assert_eq!(BigUint::from_hex("10000000000000000").unwrap(), BigUint::power_of_two(64));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("".parse::<BigUint>().is_err());
+        assert!("12a".parse::<BigUint>().is_err());
+        assert!("0x".parse::<BigUint>().is_err());
+        assert!("0xZZ".parse::<BigUint>().is_err());
+    }
+
+    #[test]
+    fn hex_binary_octal_formatting() {
+        let v = BigUint::from(255_u64);
+        assert_eq!(format!("{v:x}"), "ff");
+        assert_eq!(format!("{v:X}"), "FF");
+        assert_eq!(format!("{v:b}"), "11111111");
+        assert_eq!(format!("{v:o}"), "377");
+        assert_eq!(format!("{:#x}", BigUint::zero()), "0x0");
+        let w = BigUint::from_limbs(vec![0x1, 0xAB]);
+        assert_eq!(format!("{w:x}"), "ab0000000000000001");
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        assert_eq!(format!("{:?}", BigUint::zero()), "BigUint(0)");
+    }
+
+    #[test]
+    fn display_matches_u128_for_random_values() {
+        let mut state: u128 = 0xDEAD_BEEF_CAFE_BABE;
+        for _ in 0..50 {
+            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            assert_eq!(BigUint::from(state).to_string(), state.to_string());
+            assert_eq!(format!("{:x}", BigUint::from(state)), format!("{state:x}"));
+            assert_eq!(format!("{:o}", BigUint::from(state)), format!("{state:o}"));
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Arbitrary-precision unsigned integer arithmetic.
+//!
+//! This crate is the workspace's **GMP substitute**: the paper benchmarks
+//! its fixed-width double-word kernels against the GNU multi-precision
+//! library configured for exact integer arithmetic. GMP is a C library and
+//! out of scope for a pure-Rust offline build, so `mqx-bignum` provides the
+//! same *usage pattern* — a generic limb-vector big integer with
+//! heap-allocated temporaries, per-operation normalization, schoolbook and
+//! Karatsuba multiplication, and Knuth Algorithm D division — which is what
+//! the GMP baseline actually exercises at the 128-bit operand sizes used in
+//! the paper.
+//!
+//! The crate is also used as an *oracle* in the test suites of the
+//! fixed-width crates: Barrett reduction, double-word multiplication and
+//! the NTT twiddle precomputations are all cross-checked against bignum
+//! results.
+//!
+//! # Example
+//!
+//! ```
+//! use mqx_bignum::BigUint;
+//!
+//! let a = BigUint::from(123_456_789_u64);
+//! let b = "340282366920938463463374607431768211455".parse::<BigUint>().unwrap();
+//! let m = BigUint::from(1_000_000_007_u64);
+//! let c = (&a * &b) % &m;
+//! assert!(c < m);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod add;
+mod convert;
+mod div;
+mod fmt;
+mod modular;
+mod mul;
+mod ops_mixed;
+mod random;
+mod shift;
+mod types;
+
+pub use types::{BigUint, ParseBigUintError};
+
+#[cfg(test)]
+mod proptests;

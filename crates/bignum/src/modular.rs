@@ -1,0 +1,240 @@
+//! Modular arithmetic on [`BigUint`] values.
+//!
+//! These routines intentionally use the generic, allocation-per-operation
+//! style of a multi-precision library (reduce-by-division after every
+//! operation). That is precisely the cost profile the paper's GMP baseline
+//! exhibits, and the gap the fixed-width double-word kernels close.
+
+use crate::BigUint;
+
+impl BigUint {
+    /// Computes `(self + rhs) mod m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    ///
+    /// ```
+    /// use mqx_bignum::BigUint;
+    /// let m = BigUint::from(97_u64);
+    /// let c = BigUint::from(90_u64).add_mod(&BigUint::from(10_u64), &m);
+    /// assert_eq!(c, BigUint::from(3_u64));
+    /// ```
+    pub fn add_mod(&self, rhs: &BigUint, m: &BigUint) -> BigUint {
+        &(self + rhs) % m
+    }
+
+    /// Computes `(self - rhs) mod m`, wrapping negative results into the
+    /// ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn sub_mod(&self, rhs: &BigUint, m: &BigUint) -> BigUint {
+        let a = self % m;
+        let b = rhs % m;
+        if a >= b {
+            &a - &b
+        } else {
+            &(&a + m) - &b
+        }
+    }
+
+    /// Computes `(self * rhs) mod m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn mul_mod(&self, rhs: &BigUint, m: &BigUint) -> BigUint {
+        &(self * rhs) % m
+    }
+
+    /// Computes `self^exp mod m` by square-and-multiply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero. `x^0 mod 1` is `0` (everything is zero mod 1).
+    ///
+    /// ```
+    /// use mqx_bignum::BigUint;
+    /// let base = BigUint::from(3_u64);
+    /// let exp = BigUint::from(200_u64);
+    /// let m = BigUint::from(1_000_000_007_u64);
+    /// // 3^200 mod 1e9+7, checked against an independent computation.
+    /// assert_eq!(base.mod_pow(&exp, &m), BigUint::from(136_318_165_u64));
+    /// ```
+    pub fn mod_pow(&self, exp: &BigUint, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "attempt to exponentiate modulo zero");
+        if m.is_one() {
+            return BigUint::zero();
+        }
+        let mut result = BigUint::one();
+        let mut base = self % m;
+        let nbits = exp.bits();
+        for i in 0..nbits {
+            if exp.bit(i) {
+                result = &(&result * &base) % m;
+            }
+            if i + 1 < nbits {
+                base = &(&base * &base) % m;
+            }
+        }
+        result
+    }
+
+    /// Computes the multiplicative inverse of `self` modulo `m`, if it
+    /// exists (i.e. if `gcd(self, m) == 1`), via the extended Euclidean
+    /// algorithm.
+    ///
+    /// ```
+    /// use mqx_bignum::BigUint;
+    /// let m = BigUint::from(97_u64);
+    /// let x = BigUint::from(35_u64);
+    /// let inv = x.mod_inverse(&m).unwrap();
+    /// assert_eq!(x.mul_mod(&inv, &m), BigUint::one());
+    /// ```
+    pub fn mod_inverse(&self, m: &BigUint) -> Option<BigUint> {
+        if m.is_zero() || m.is_one() {
+            return None;
+        }
+        // Extended Euclid tracking only the coefficient of `self`, with
+        // signs managed explicitly since BigUint is unsigned.
+        let mut r0 = m.clone();
+        let mut r1 = self % m;
+        let mut t0 = (BigUint::zero(), false); // (magnitude, negative?)
+        let mut t1 = (BigUint::one(), false);
+        while !r1.is_zero() {
+            let (q, r2) = r0.div_rem(&r1);
+            // t2 = t0 - q * t1
+            let qt1 = &q * &t1.0;
+            let t2 = signed_sub(&t0, &(qt1, t1.1));
+            r0 = r1;
+            r1 = r2;
+            t0 = t1;
+            t1 = t2;
+        }
+        if !r0.is_one() {
+            return None;
+        }
+        let (mag, neg) = t0;
+        let mag = &mag % m;
+        Some(if neg && !mag.is_zero() { m - &mag } else { mag })
+    }
+
+    /// Computes the greatest common divisor by the Euclidean algorithm.
+    ///
+    /// ```
+    /// use mqx_bignum::BigUint;
+    /// let a = BigUint::from(48_u64);
+    /// let b = BigUint::from(36_u64);
+    /// assert_eq!(a.gcd(&b), BigUint::from(12_u64));
+    /// ```
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = &a % &b;
+            a = b;
+            b = r;
+        }
+        a
+    }
+}
+
+/// Signed subtraction on (magnitude, negative?) pairs.
+fn signed_sub(a: &(BigUint, bool), b: &(BigUint, bool)) -> (BigUint, bool) {
+    match (a.1, b.1) {
+        // a - (-b) = a + b ; (-a) - b = -(a + b)
+        (false, true) => (&a.0 + &b.0, false),
+        (true, false) => (&a.0 + &b.0, true),
+        // same sign: compare magnitudes
+        (sa, _) => {
+            if a.0 >= b.0 {
+                (&a.0 - &b.0, sa)
+            } else {
+                (&b.0 - &a.0, !sa)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BigUint;
+
+    #[test]
+    fn add_mod_wraps() {
+        let m = BigUint::from(100_u64);
+        assert_eq!(
+            BigUint::from(99_u64).add_mod(&BigUint::from(99_u64), &m),
+            BigUint::from(98_u64)
+        );
+    }
+
+    #[test]
+    fn sub_mod_wraps_negative() {
+        let m = BigUint::from(100_u64);
+        assert_eq!(
+            BigUint::from(1_u64).sub_mod(&BigUint::from(2_u64), &m),
+            BigUint::from(99_u64)
+        );
+    }
+
+    #[test]
+    fn mod_pow_fermat_little_theorem() {
+        // a^(p-1) = 1 mod p for prime p and gcd(a, p) = 1.
+        let p = BigUint::from(1_000_000_007_u64);
+        let a = BigUint::from(123_456_u64);
+        let e = &p - &BigUint::one();
+        assert_eq!(a.mod_pow(&e, &p), BigUint::one());
+    }
+
+    #[test]
+    fn mod_pow_edge_cases() {
+        let m = BigUint::from(7_u64);
+        assert_eq!(BigUint::from(5_u64).mod_pow(&BigUint::zero(), &m), BigUint::one());
+        assert_eq!(
+            BigUint::from(5_u64).mod_pow(&BigUint::one(), &m),
+            BigUint::from(5_u64)
+        );
+        assert!(BigUint::from(5_u64)
+            .mod_pow(&BigUint::from(10_u64), &BigUint::one())
+            .is_zero());
+    }
+
+    #[test]
+    fn mod_pow_large_modulus() {
+        // 2^128 mod (2^89 - 1): 2^128 = 2^39 * 2^89 ≡ 2^39 (mod 2^89 - 1).
+        let m = &BigUint::power_of_two(89) - &BigUint::one();
+        let r = BigUint::from(2_u64).mod_pow(&BigUint::from(128_u64), &m);
+        assert_eq!(r, BigUint::power_of_two(39));
+    }
+
+    #[test]
+    fn mod_inverse_roundtrip() {
+        let m = BigUint::from(1_000_000_007_u64);
+        for a in [2_u64, 3, 1234, 999_999_999] {
+            let a = BigUint::from(a);
+            let inv = a.mod_inverse(&m).expect("prime modulus");
+            assert_eq!(a.mul_mod(&inv, &m), BigUint::one());
+        }
+    }
+
+    #[test]
+    fn mod_inverse_nonexistent() {
+        let m = BigUint::from(100_u64);
+        assert!(BigUint::from(10_u64).mod_inverse(&m).is_none());
+        assert!(BigUint::from(7_u64).mod_inverse(&m).is_some());
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(
+            BigUint::from(0_u64).gcd(&BigUint::from(5_u64)),
+            BigUint::from(5_u64)
+        );
+        let a = BigUint::from_limbs(vec![0, 4]); // 4 * 2^64
+        let b = BigUint::from_limbs(vec![0, 6]); // 6 * 2^64
+        assert_eq!(a.gcd(&b), BigUint::from_limbs(vec![0, 2]));
+    }
+}

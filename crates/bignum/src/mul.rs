@@ -1,0 +1,234 @@
+//! Multiplication: schoolbook for short operands, Karatsuba above a
+//! threshold. These are the same two algorithms the paper studies for
+//! double-word multiplication (§2.2, §5.5), here in their general
+//! multi-limb form.
+
+use crate::types::cmp_limbs;
+use crate::BigUint;
+use std::ops::{Mul, MulAssign};
+
+/// Limb count above which multiplication switches to Karatsuba.
+///
+/// The crossover is coarse — at the 2-limb (128-bit) operand sizes the
+/// paper cares about, schoolbook always wins on CPUs (§5.5), which this
+/// threshold reflects.
+const KARATSUBA_THRESHOLD: usize = 32;
+
+/// Schoolbook product: `out = a * b`, with `out.len() == a.len() + b.len()`
+/// and `out` zeroed by the caller.
+pub(crate) fn mul_schoolbook(out: &mut [u64], a: &[u64], b: &[u64]) {
+    debug_assert_eq!(out.len(), a.len() + b.len());
+    for (i, &al) in a.iter().enumerate() {
+        if al == 0 {
+            continue;
+        }
+        let mut carry: u64 = 0;
+        for (j, &bl) in b.iter().enumerate() {
+            let t = u128::from(al) * u128::from(bl) + u128::from(out[i + j]) + u128::from(carry);
+            out[i + j] = t as u64;
+            carry = (t >> 64) as u64;
+        }
+        out[i + b.len()] = carry;
+    }
+}
+
+/// Karatsuba product on limb slices, writing into `out` (zeroed, length
+/// `a.len() + b.len()`).
+fn mul_karatsuba(out: &mut [u64], a: &[u64], b: &[u64]) {
+    if a.len().min(b.len()) < KARATSUBA_THRESHOLD {
+        mul_schoolbook(out, a, b);
+        return;
+    }
+    // Split at half the shorter operand so both halves recurse usefully.
+    let split = a.len().min(b.len()) / 2;
+    let (a0, a1) = a.split_at(split);
+    let (b0, b1) = b.split_at(split);
+
+    // z0 = a0*b0, z2 = a1*b1, z1 = (a0+a1)*(b0+b1) - z0 - z2.
+    let mut z0 = vec![0_u64; a0.len() + b0.len()];
+    mul_karatsuba(&mut z0, a0, b0);
+    let mut z2 = vec![0_u64; a1.len() + b1.len()];
+    mul_karatsuba(&mut z2, a1, b1);
+
+    let sa = add_limbs(a0, a1);
+    let sb = add_limbs(b0, b1);
+    let mut z1 = vec![0_u64; sa.len() + sb.len()];
+    mul_karatsuba(&mut z1, &sa, &sb);
+    sub_in_place(&mut z1, &z0);
+    sub_in_place(&mut z1, &z2);
+
+    // out = z0 + z1 << (64*split) + z2 << (64*2*split)
+    add_shifted(out, &z0, 0);
+    add_shifted(out, &z1, split);
+    add_shifted(out, &z2, 2 * split);
+}
+
+/// Returns `a + b` as a fresh limb vector (un-normalized tail allowed).
+fn add_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = a.to_vec();
+    crate::add::add_assign_limbs(&mut out, b);
+    out
+}
+
+/// `a -= b` on raw limb slices; requires `a >= b` as values.
+fn sub_in_place(a: &mut Vec<u64>, b: &[u64]) {
+    // Trim b's trailing zeros to satisfy the length precondition cheaply.
+    let blen = b.iter().rposition(|&l| l != 0).map_or(0, |p| p + 1);
+    debug_assert!(cmp_limbs_trim(a, &b[..blen]) != std::cmp::Ordering::Less);
+    if a.len() < blen {
+        a.resize(blen, 0);
+    }
+    let borrow = crate::add::sub_assign_limbs(a, &b[..blen]);
+    debug_assert!(!borrow, "karatsuba middle term went negative");
+}
+
+fn cmp_limbs_trim(a: &[u64], b: &[u64]) -> std::cmp::Ordering {
+    let alen = a.iter().rposition(|&l| l != 0).map_or(0, |p| p + 1);
+    let blen = b.iter().rposition(|&l| l != 0).map_or(0, |p| p + 1);
+    cmp_limbs(&a[..alen], &b[..blen])
+}
+
+/// `out += v << (64*shift)`; `out` must be long enough to absorb it.
+fn add_shifted(out: &mut [u64], v: &[u64], shift: usize) {
+    let mut carry = false;
+    let mut i = 0;
+    while i < v.len() {
+        let (s1, c1) = out[shift + i].overflowing_add(v[i]);
+        let (s2, c2) = s1.overflowing_add(u64::from(carry));
+        out[shift + i] = s2;
+        carry = c1 || c2;
+        i += 1;
+    }
+    let mut k = shift + v.len();
+    while carry {
+        debug_assert!(k < out.len(), "karatsuba carry overflowed output");
+        let (s, c) = out[k].overflowing_add(1);
+        out[k] = s;
+        carry = c;
+        k += 1;
+    }
+}
+
+impl BigUint {
+    /// Multiplies by a single 64-bit limb.
+    ///
+    /// ```
+    /// use mqx_bignum::BigUint;
+    /// let x = BigUint::from(u64::MAX);
+    /// assert_eq!(x.mul_limb(2), &BigUint::from(u64::MAX) + &BigUint::from(u64::MAX));
+    /// ```
+    pub fn mul_limb(&self, rhs: u64) -> BigUint {
+        if rhs == 0 || self.is_zero() {
+            return BigUint::zero();
+        }
+        let mut limbs = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry: u64 = 0;
+        for &l in &self.limbs {
+            let t = u128::from(l) * u128::from(rhs) + u128::from(carry);
+            limbs.push(t as u64);
+            carry = (t >> 64) as u64;
+        }
+        limbs.push(carry);
+        BigUint::from_limbs(limbs)
+    }
+
+    /// Squares the value. Provided separately because modular
+    /// exponentiation spends most of its time here.
+    pub fn square(&self) -> BigUint {
+        self * self
+    }
+}
+
+impl Mul<&BigUint> for &BigUint {
+    type Output = BigUint;
+
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        if self.is_zero() || rhs.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0_u64; self.limbs.len() + rhs.limbs.len()];
+        mul_karatsuba(&mut out, &self.limbs, &rhs.limbs);
+        BigUint::from_limbs(out)
+    }
+}
+
+impl Mul for BigUint {
+    type Output = BigUint;
+
+    fn mul(self, rhs: BigUint) -> BigUint {
+        &self * &rhs
+    }
+}
+
+impl MulAssign<&BigUint> for BigUint {
+    fn mul_assign(&mut self, rhs: &BigUint) {
+        *self = &*self * rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BigUint;
+
+    #[test]
+    fn mul_small() {
+        assert_eq!(
+            &BigUint::from(6_u64) * &BigUint::from(7_u64),
+            BigUint::from(42_u64)
+        );
+    }
+
+    #[test]
+    fn mul_by_zero_and_one() {
+        let x = BigUint::from_limbs(vec![3, 4, 5]);
+        assert!((&x * &BigUint::zero()).is_zero());
+        assert_eq!(&x * &BigUint::one(), x);
+    }
+
+    #[test]
+    fn mul_full_width() {
+        // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+        let x = BigUint::from(u64::MAX);
+        let expected = &(&BigUint::power_of_two(128) - &BigUint::power_of_two(65)) + &BigUint::one();
+        assert_eq!(&x * &x, expected);
+    }
+
+    #[test]
+    fn mul_limb_matches_mul() {
+        let x = BigUint::from_limbs(vec![u64::MAX, 123, u64::MAX]);
+        assert_eq!(x.mul_limb(12345), &x * &BigUint::from(12345_u64));
+    }
+
+    #[test]
+    fn mul_is_commutative_on_mixed_lengths() {
+        let a = BigUint::from_limbs(vec![u64::MAX; 3]);
+        let b = BigUint::from(u64::MAX);
+        assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn karatsuba_agrees_with_schoolbook() {
+        // Operands long enough to force the Karatsuba path.
+        let mut rng: u64 = 0x243F_6A88_85A3_08D3; // deterministic xorshift
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        let a_limbs: Vec<u64> = (0..80).map(|_| next()).collect();
+        let b_limbs: Vec<u64> = (0..70).map(|_| next()).collect();
+        let a = BigUint::from_limbs(a_limbs.clone());
+        let b = BigUint::from_limbs(b_limbs.clone());
+
+        let mut school = vec![0_u64; a_limbs.len() + b_limbs.len()];
+        super::mul_schoolbook(&mut school, &a_limbs, &b_limbs);
+        assert_eq!(&a * &b, BigUint::from_limbs(school));
+    }
+
+    #[test]
+    fn square_matches_mul() {
+        let x = BigUint::from_limbs(vec![u64::MAX, u64::MAX, 17]);
+        assert_eq!(x.square(), &x * &x);
+    }
+}

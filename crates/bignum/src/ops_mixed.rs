@@ -1,0 +1,51 @@
+//! Mixed-ownership operator impls (`BigUint op &BigUint` and
+//! `&BigUint op BigUint`), forwarding to the borrowed-borrowed forms so all
+//! call-site shapes work without explicit reborrowing.
+
+use crate::BigUint;
+use std::ops::{Add, Div, Mul, Rem, Sub};
+
+macro_rules! forward_mixed {
+    ($trait:ident, $method:ident) => {
+        impl $trait<&BigUint> for BigUint {
+            type Output = BigUint;
+
+            fn $method(self, rhs: &BigUint) -> BigUint {
+                (&self).$method(rhs)
+            }
+        }
+
+        impl $trait<BigUint> for &BigUint {
+            type Output = BigUint;
+
+            fn $method(self, rhs: BigUint) -> BigUint {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+forward_mixed!(Add, add);
+forward_mixed!(Sub, sub);
+forward_mixed!(Mul, mul);
+forward_mixed!(Div, div);
+forward_mixed!(Rem, rem);
+
+#[cfg(test)]
+mod tests {
+    use crate::BigUint;
+
+    #[test]
+    fn all_ownership_shapes_agree() {
+        let a = BigUint::from(100_u64);
+        let b = BigUint::from(7_u64);
+        let expected = &a % &b;
+        assert_eq!(a.clone() % &b, expected);
+        assert_eq!(&a % b.clone(), expected);
+        assert_eq!(a.clone() % b.clone(), expected);
+
+        let sum = &a + &b;
+        assert_eq!(a.clone() + &b, sum);
+        assert_eq!(&a + b.clone(), sum);
+    }
+}

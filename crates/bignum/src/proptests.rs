@@ -1,0 +1,118 @@
+//! Property-based tests for the big integer: ring axioms, division
+//! invariants, shift algebra, and radix round-trips, cross-checked against
+//! `u128` where widths permit.
+
+use crate::BigUint;
+use proptest::prelude::*;
+
+fn arb_biguint(max_limbs: usize) -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u64>(), 0..=max_limbs).prop_map(BigUint::from_limbs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn add_commutative(a in arb_biguint(5), b in arb_biguint(5)) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn add_associative(a in arb_biguint(4), b in arb_biguint(4), c in arb_biguint(4)) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn mul_commutative(a in arb_biguint(4), b in arb_biguint(4)) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in arb_biguint(3), b in arb_biguint(3), c in arb_biguint(3)) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn add_sub_roundtrip(a in arb_biguint(5), b in arb_biguint(5)) {
+        prop_assert_eq!(&(&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn div_rem_invariant(a in arb_biguint(6), b in arb_biguint(3)) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn matches_u128_add_mul(a in any::<u64>(), b in any::<u64>()) {
+        let (ba, bb) = (BigUint::from(a), BigUint::from(b));
+        prop_assert_eq!(&ba + &bb, BigUint::from(u128::from(a) + u128::from(b)));
+        prop_assert_eq!(&ba * &bb, BigUint::from(u128::from(a) * u128::from(b)));
+    }
+
+    #[test]
+    fn matches_u128_div(a in any::<u128>(), b in 1_u128..) {
+        let (q, r) = BigUint::from(a).div_rem(&BigUint::from(b));
+        prop_assert_eq!(q, BigUint::from(a / b));
+        prop_assert_eq!(r, BigUint::from(a % b));
+    }
+
+    #[test]
+    fn shift_is_mul_by_power_of_two(a in arb_biguint(3), s in 0_u64..200) {
+        prop_assert_eq!(&a << s, &a * &BigUint::power_of_two(s));
+    }
+
+    #[test]
+    fn shr_is_div_by_power_of_two(a in arb_biguint(4), s in 0_u64..200) {
+        prop_assert_eq!(&a >> s, &a / &BigUint::power_of_two(s));
+    }
+
+    #[test]
+    fn decimal_roundtrip(a in arb_biguint(4)) {
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<BigUint>().unwrap(), a);
+    }
+
+    #[test]
+    fn hex_roundtrip(a in arb_biguint(4)) {
+        let s = format!("{a:x}");
+        prop_assert_eq!(BigUint::from_hex(&s).unwrap(), a);
+    }
+
+    #[test]
+    fn mod_pow_matches_naive(a in any::<u64>(), e in 0_u32..40, m in 2_u64..) {
+        let bm = BigUint::from(m);
+        let got = BigUint::from(a).mod_pow(&BigUint::from(e), &bm);
+        let mut expected = BigUint::one();
+        for _ in 0..e {
+            expected = &(&expected * &BigUint::from(a)) % &bm;
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn mod_inverse_is_inverse(a in 1_u64.., p in prop::sample::select(vec![
+        1_000_000_007_u64, 998_244_353, 4_611_686_018_427_387_847,
+    ])) {
+        let bp = BigUint::from(p);
+        let ba = &BigUint::from(a) % &bp;
+        prop_assume!(!ba.is_zero());
+        let inv = ba.mod_inverse(&bp).unwrap();
+        prop_assert_eq!(ba.mul_mod(&inv, &bp), BigUint::one());
+    }
+
+    #[test]
+    fn gcd_divides_both(a in arb_biguint(3), b in arb_biguint(3)) {
+        prop_assume!(!a.is_zero() && !b.is_zero());
+        let g = a.gcd(&b);
+        prop_assert!((&a % &g).is_zero());
+        prop_assert!((&b % &g).is_zero());
+    }
+
+    #[test]
+    fn bits_matches_u128(a in any::<u128>()) {
+        prop_assert_eq!(BigUint::from(a).bits(), u64::from(128 - a.leading_zeros()));
+    }
+}

@@ -1,0 +1,85 @@
+//! Random value generation, used by workload generators and tests.
+
+use crate::BigUint;
+use rand::Rng;
+
+impl BigUint {
+    /// Generates a uniformly random value with at most `bits` bits.
+    ///
+    /// ```
+    /// use mqx_bignum::BigUint;
+    /// let mut rng = rand::thread_rng();
+    /// let x = BigUint::random_bits(&mut rng, 124);
+    /// assert!(x.bits() <= 124);
+    /// ```
+    pub fn random_bits<R: Rng + ?Sized>(rng: &mut R, bits: u64) -> BigUint {
+        if bits == 0 {
+            return BigUint::zero();
+        }
+        let full_limbs = (bits / 64) as usize;
+        let rem = (bits % 64) as u32;
+        let mut limbs: Vec<u64> = (0..full_limbs).map(|_| rng.gen()).collect();
+        if rem > 0 {
+            limbs.push(rng.gen::<u64>() >> (64 - rem));
+        }
+        BigUint::from_limbs(limbs)
+    }
+
+    /// Generates a uniformly random value below `bound` by rejection
+    /// sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn random_below<R: Rng + ?Sized>(rng: &mut R, bound: &BigUint) -> BigUint {
+        assert!(!bound.is_zero(), "random_below requires a non-zero bound");
+        let bits = bound.bits();
+        loop {
+            let candidate = Self::random_bits(rng, bits);
+            if &candidate < bound {
+                return candidate;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BigUint;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_bits_respects_width() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for bits in [0_u64, 1, 63, 64, 65, 128, 200] {
+            for _ in 0..20 {
+                let x = BigUint::random_bits(&mut rng, bits);
+                assert!(x.bits() <= bits, "{} > {bits}", x.bits());
+            }
+        }
+    }
+
+    #[test]
+    fn random_below_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let bound = BigUint::from(1000_u64);
+        for _ in 0..100 {
+            assert!(BigUint::random_below(&mut rng, &bound) < bound);
+        }
+    }
+
+    #[test]
+    fn random_below_tight_bound() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let bound = BigUint::one();
+        assert!(BigUint::random_below(&mut rng, &bound).is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero bound")]
+    fn random_below_zero_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = BigUint::random_below(&mut rng, &BigUint::zero());
+    }
+}

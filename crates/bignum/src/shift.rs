@@ -1,0 +1,127 @@
+//! Bit shifts.
+
+use crate::BigUint;
+use std::ops::{Shl, ShlAssign, Shr, ShrAssign};
+
+impl Shl<u64> for &BigUint {
+    type Output = BigUint;
+
+    fn shl(self, shift: u64) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let limb_shift = (shift / 64) as usize;
+        let bit_shift = (shift % 64) as u32;
+        let mut limbs = vec![0_u64; limb_shift];
+        if bit_shift == 0 {
+            limbs.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0_u64;
+            for &l in &self.limbs {
+                limbs.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            limbs.push(carry);
+        }
+        BigUint::from_limbs(limbs)
+    }
+}
+
+impl Shl<u64> for BigUint {
+    type Output = BigUint;
+
+    fn shl(self, shift: u64) -> BigUint {
+        &self << shift
+    }
+}
+
+impl ShlAssign<u64> for BigUint {
+    fn shl_assign(&mut self, shift: u64) {
+        *self = &*self << shift;
+    }
+}
+
+impl Shr<u64> for &BigUint {
+    type Output = BigUint;
+
+    fn shr(self, shift: u64) -> BigUint {
+        let limb_shift = (shift / 64) as usize;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = (shift % 64) as u32;
+        let src = &self.limbs[limb_shift..];
+        let mut limbs = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            limbs.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let lo = src[i] >> bit_shift;
+                let hi = src.get(i + 1).copied().unwrap_or(0) << (64 - bit_shift);
+                limbs.push(lo | hi);
+            }
+        }
+        BigUint::from_limbs(limbs)
+    }
+}
+
+impl Shr<u64> for BigUint {
+    type Output = BigUint;
+
+    fn shr(self, shift: u64) -> BigUint {
+        &self >> shift
+    }
+}
+
+impl ShrAssign<u64> for BigUint {
+    fn shr_assign(&mut self, shift: u64) {
+        *self = &*self >> shift;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BigUint;
+
+    #[test]
+    fn shl_small() {
+        assert_eq!(&BigUint::from(1_u64) << 3, BigUint::from(8_u64));
+    }
+
+    #[test]
+    fn shl_across_limbs() {
+        assert_eq!(&BigUint::from(1_u64) << 64, BigUint::from_limbs(vec![0, 1]));
+        assert_eq!(
+            &BigUint::from(0b11_u64) << 63,
+            BigUint::from_limbs(vec![1 << 63, 1])
+        );
+    }
+
+    #[test]
+    fn shr_across_limbs() {
+        let x = BigUint::from_limbs(vec![0, 1]);
+        assert_eq!(&x >> 1, BigUint::from(1_u64 << 63));
+        assert_eq!(&x >> 64, BigUint::one());
+        assert_eq!(&x >> 65, BigUint::zero());
+    }
+
+    #[test]
+    fn shift_roundtrip() {
+        let x = BigUint::from_limbs(vec![0xDEAD_BEEF, 0xFEED_FACE, 7]);
+        for s in [0_u64, 1, 13, 63, 64, 65, 127, 130] {
+            assert_eq!(&(&x << s) >> s, x, "shift {s}");
+        }
+    }
+
+    #[test]
+    fn shr_of_zero() {
+        assert_eq!(&BigUint::zero() >> 100, BigUint::zero());
+    }
+
+    #[test]
+    fn power_of_two_equals_one_shifted() {
+        for s in [0_u64, 1, 63, 64, 100, 255] {
+            assert_eq!(BigUint::power_of_two(s), &BigUint::one() << s);
+        }
+    }
+}

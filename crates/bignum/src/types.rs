@@ -1,0 +1,255 @@
+//! The [`BigUint`] type: representation, construction, and ordering.
+
+use std::cmp::Ordering;
+use std::error::Error;
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// The value is stored as little-endian 64-bit limbs with the invariant
+/// that the most significant limb is non-zero (zero is represented by an
+/// empty limb vector). All public operations preserve this normalization.
+///
+/// # Example
+///
+/// ```
+/// use mqx_bignum::BigUint;
+///
+/// let x = BigUint::from(7_u64);
+/// let y = &x * &x;
+/// assert_eq!(y, BigUint::from(49_u64));
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct BigUint {
+    pub(crate) limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The number of bits in one limb.
+    pub const LIMB_BITS: u32 = 64;
+
+    /// Creates the value zero.
+    ///
+    /// ```
+    /// use mqx_bignum::BigUint;
+    /// assert!(BigUint::new().is_zero());
+    /// ```
+    pub fn new() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// Creates the value zero (alias of [`BigUint::new`]).
+    pub fn zero() -> Self {
+        Self::new()
+    }
+
+    /// Creates the value one.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Creates a value from little-endian 64-bit limbs.
+    ///
+    /// Trailing zero limbs are stripped, so the input does not need to be
+    /// normalized.
+    ///
+    /// ```
+    /// use mqx_bignum::BigUint;
+    /// let x = BigUint::from_limbs(vec![0, 1]); // 2^64
+    /// assert_eq!(x.bits(), 65);
+    /// ```
+    pub fn from_limbs(limbs: Vec<u64>) -> Self {
+        let mut out = BigUint { limbs };
+        out.normalize();
+        out
+    }
+
+    /// Returns the little-endian limbs of the value.
+    ///
+    /// The returned slice is normalized: its last element (if any) is
+    /// non-zero.
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns `true` if the value is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// Returns `true` if the value is even. Zero is even.
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// Returns the position of the most significant set bit plus one, i.e.
+    /// the minimal width in bits. Zero has zero bits.
+    ///
+    /// ```
+    /// use mqx_bignum::BigUint;
+    /// assert_eq!(BigUint::from(0b1011_u64).bits(), 4);
+    /// assert_eq!(BigUint::zero().bits(), 0);
+    /// ```
+    pub fn bits(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => {
+                (self.limbs.len() as u64 - 1) * u64::from(Self::LIMB_BITS)
+                    + u64::from(64 - top.leading_zeros())
+            }
+        }
+    }
+
+    /// Returns bit `i` (little-endian bit order) of the value.
+    pub fn bit(&self, i: u64) -> bool {
+        let limb = (i / 64) as usize;
+        match self.limbs.get(limb) {
+            None => false,
+            Some(&l) => (l >> (i % 64)) & 1 == 1,
+        }
+    }
+
+    /// Constructs `2^exp`.
+    ///
+    /// ```
+    /// use mqx_bignum::BigUint;
+    /// assert_eq!(BigUint::power_of_two(10), BigUint::from(1024_u64));
+    /// ```
+    pub fn power_of_two(exp: u64) -> Self {
+        let limb = (exp / 64) as usize;
+        let mut limbs = vec![0_u64; limb + 1];
+        limbs[limb] = 1_u64 << (exp % 64);
+        BigUint { limbs }
+    }
+
+    /// Strips trailing zero limbs, restoring the representation invariant.
+    pub(crate) fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        cmp_limbs(&self.limbs, &other.limbs)
+    }
+}
+
+/// Compares two normalized little-endian limb slices.
+pub(crate) fn cmp_limbs(a: &[u64], b: &[u64]) -> Ordering {
+    if a.len() != b.len() {
+        return a.len().cmp(&b.len());
+    }
+    for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+        match x.cmp(y) {
+            Ordering::Equal => continue,
+            non_eq => return non_eq,
+        }
+    }
+    Ordering::Equal
+}
+
+/// The error returned when parsing a [`BigUint`] from a string fails.
+///
+/// ```
+/// use mqx_bignum::BigUint;
+/// assert!("12x34".parse::<BigUint>().is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigUintError {
+    pub(crate) kind: ParseErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ParseErrorKind {
+    Empty,
+    InvalidDigit(char),
+}
+
+impl fmt::Display for ParseBigUintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ParseErrorKind::Empty => write!(f, "cannot parse integer from empty string"),
+            ParseErrorKind::InvalidDigit(c) => {
+                write!(f, "invalid digit {c:?} found in string")
+            }
+        }
+    }
+}
+
+impl Error for ParseBigUintError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_empty_and_even() {
+        let z = BigUint::zero();
+        assert!(z.is_zero());
+        assert!(z.is_even());
+        assert!(!z.is_one());
+        assert_eq!(z.bits(), 0);
+        assert_eq!(z.limbs(), &[] as &[u64]);
+    }
+
+    #[test]
+    fn new_equals_default() {
+        assert_eq!(BigUint::new(), BigUint::default());
+    }
+
+    #[test]
+    fn from_limbs_normalizes() {
+        let x = BigUint::from_limbs(vec![5, 0, 0]);
+        assert_eq!(x.limbs(), &[5]);
+        let z = BigUint::from_limbs(vec![0, 0]);
+        assert!(z.is_zero());
+    }
+
+    #[test]
+    fn bits_counts_msb() {
+        assert_eq!(BigUint::from(1_u64).bits(), 1);
+        assert_eq!(BigUint::from(u64::MAX).bits(), 64);
+        assert_eq!(BigUint::from_limbs(vec![0, 1]).bits(), 65);
+        assert_eq!(BigUint::power_of_two(200).bits(), 201);
+    }
+
+    #[test]
+    fn bit_indexing() {
+        let x = BigUint::power_of_two(100);
+        assert!(x.bit(100));
+        assert!(!x.bit(99));
+        assert!(!x.bit(101));
+        assert!(!x.bit(100_000));
+    }
+
+    #[test]
+    fn ordering_by_length_then_lexicographic() {
+        let small = BigUint::from(u64::MAX);
+        let big = BigUint::from_limbs(vec![0, 1]);
+        assert!(small < big);
+        assert!(big > small);
+        assert_eq!(big.cmp(&big.clone()), Ordering::Equal);
+        let a = BigUint::from_limbs(vec![1, 2]);
+        let b = BigUint::from_limbs(vec![2, 1]);
+        assert!(a > b);
+    }
+
+    #[test]
+    fn parity() {
+        assert!(BigUint::from(4_u64).is_even());
+        assert!(!BigUint::from(3_u64).is_even());
+    }
+}

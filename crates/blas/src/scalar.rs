@@ -1,0 +1,144 @@
+//! Scalar-tier BLAS kernels: native `u128` arithmetic over [`Modulus`]
+//! (the paper's optimized scalar implementation, §3.1, applied
+//! element-wise).
+
+use mqx_core::Modulus;
+
+/// Vector addition: `out[i] = (x[i] + y[i]) mod q`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn vadd(x: &[u128], y: &[u128], m: &Modulus) -> Vec<u128> {
+    assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(&a, &b)| m.add_mod(a, b)).collect()
+}
+
+/// Vector subtraction: `out[i] = (x[i] − y[i]) mod q`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn vsub(x: &[u128], y: &[u128], m: &Modulus) -> Vec<u128> {
+    assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(&a, &b)| m.sub_mod(a, b)).collect()
+}
+
+/// Point-wise vector multiplication: `out[i] = x[i]·y[i] mod q`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn vmul(x: &[u128], y: &[u128], m: &Modulus) -> Vec<u128> {
+    assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(&a, &b)| m.mul_mod(a, b)).collect()
+}
+
+/// `axpy`: `y[i] ← a·x[i] + y[i] mod q` (the BLAS level-1 form the paper
+/// maps point-wise polynomial add/sub onto).
+///
+/// # Panics
+///
+/// Panics if lengths differ; debug-asserts `a < q`.
+pub fn axpy(a: u128, x: &[u128], y: &mut [u128], m: &Modulus) {
+    assert_eq!(x.len(), y.len());
+    debug_assert!(a < m.value());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi = m.add_mod(m.mul_mod(a, xi), *yi);
+    }
+}
+
+/// Dot product: `Σ x[i]·y[i] mod q`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn dot(x: &[u128], y: &[u128], m: &Modulus) -> u128 {
+    assert_eq!(x.len(), y.len());
+    x.iter()
+        .zip(y)
+        .fold(0_u128, |acc, (&a, &b)| m.add_mod(acc, m.mul_mod(a, b)))
+}
+
+/// Matrix–vector product `out = A·x mod q` with `A` stored row-major —
+/// the `gemv` the paper cites as the BLAS-2 home of point-wise
+/// multiplication (§2.3).
+///
+/// # Panics
+///
+/// Panics if `a.len() != rows * x.len()`.
+pub fn gemv(a: &[u128], rows: usize, x: &[u128], m: &Modulus) -> Vec<u128> {
+    assert_eq!(a.len(), rows * x.len());
+    a.chunks_exact(x.len()).map(|row| dot(row, x, m)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqx_core::primes;
+
+    fn modulus() -> Modulus {
+        Modulus::new(primes::Q124).unwrap()
+    }
+
+    #[test]
+    fn vadd_wraps() {
+        let m = modulus();
+        let q = m.value();
+        assert_eq!(vadd(&[q - 1, 5], &[2, 6], &m), vec![1, 11]);
+    }
+
+    #[test]
+    fn vsub_wraps() {
+        let m = modulus();
+        let q = m.value();
+        assert_eq!(vsub(&[1, 9], &[2, 4], &m), vec![q - 1, 5]);
+    }
+
+    #[test]
+    fn vmul_pointwise() {
+        let m = modulus();
+        let q = m.value();
+        assert_eq!(vmul(&[q - 1, 3], &[q - 1, 4], &m), vec![1, 12]);
+    }
+
+    #[test]
+    fn axpy_is_a_times_x_plus_y() {
+        let m = modulus();
+        let x = vec![1_u128, 2, 3];
+        let mut y = vec![10_u128, 20, 30];
+        axpy(5, &x, &mut y, &m);
+        assert_eq!(y, vec![15, 30, 45]);
+    }
+
+    #[test]
+    fn axpy_zero_scalar_is_identity() {
+        let m = modulus();
+        let x = vec![7_u128; 4];
+        let mut y = vec![1_u128, 2, 3, 4];
+        axpy(0, &x, &mut y, &m);
+        assert_eq!(y, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn dot_small() {
+        let m = modulus();
+        assert_eq!(dot(&[1, 2, 3], &[4, 5, 6], &m), 32);
+        assert_eq!(dot(&[], &[], &m), 0);
+    }
+
+    #[test]
+    fn gemv_identity_matrix() {
+        let m = modulus();
+        let x = vec![7_u128, 8, 9];
+        let eye = vec![1_u128, 0, 0, 0, 1, 0, 0, 0, 1];
+        assert_eq!(gemv(&eye, 3, &x, &m), x);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let m = modulus();
+        let _ = vadd(&[1], &[1, 2], &m);
+    }
+}

@@ -1,0 +1,184 @@
+//! Barrett reduction (Eq. 4): parameter selection and the reduction step.
+//!
+//! For a modulus `q` of `b` bits we pick `k = 2b + 1` and precompute
+//! `µ = ⌊2^k / q⌋`. Then for any `x < q²`:
+//!
+//! * `µ ≤ 2^k/q < µ + 1` gives `t = ⌊x·µ / 2^k⌋ ≤ ⌊x/q⌋`, and
+//! * `x/2^k < 1/2` (because `x < 2^{2b}` and `2^k = 2^{2b+1}`) gives
+//!   `t ≥ ⌊x/q⌋ − 1`.
+//!
+//! So the estimate is off by at most one and a **single** conditional
+//! subtraction finishes the reduction — the "eliminated branching logic"
+//! of §3.1. The paper's constraint that `q` have at most `l − 4 = 124`
+//! bits keeps `µ` (at most `b + 2 ≤ 126` bits) inside one double-word.
+
+use crate::wide::U256;
+use crate::DWord;
+
+/// Precomputed Barrett parameters for one modulus.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Barrett {
+    /// The modulus `q`.
+    pub q: DWord,
+    /// The shift amount `k = 2·bits(q) + 1`.
+    pub k: u32,
+    /// `µ = ⌊2^k / q⌋`.
+    pub mu: DWord,
+}
+
+impl Barrett {
+    /// Computes the parameters. Requires `2 ≤ q` and `bits(q) ≤ 126`
+    /// (the [`Modulus`](crate::Modulus) constructor enforces the stricter
+    /// paper limit of 124 bits; the math here only needs µ to fit).
+    pub(crate) fn new(q: DWord) -> Self {
+        let b = q.bits();
+        debug_assert!(b >= 2 && b <= 126);
+        let k = 2 * b + 1;
+        Barrett {
+            q,
+            k,
+            mu: div_pow2_by(k, q),
+        }
+    }
+
+    /// Reduces a full 256-bit product `x < q²` to `x mod q`.
+    #[inline]
+    pub(crate) fn reduce(self, x: U256) -> DWord {
+        // t = ⌊x·µ / 2^k⌋ — a 384-bit product then a long shift.
+        let t = x.mul_dword(self.mu).shr_to_dword(self.k);
+        // c = x − t·q, computed on the low 256 bits; c < 2q < 2^125.
+        let tq = U256::from_product(t, self.q);
+        let (c, borrow) = x.borrowing_sub(tq);
+        debug_assert!(!borrow, "barrett estimate exceeded true quotient");
+        debug_assert_eq!(c.limbs[2], 0);
+        debug_assert_eq!(c.limbs[3], 0);
+        let c = c.low_dword();
+        // At most one correction (see module docs).
+        if !c.lt_words(self.q) {
+            let (r, _) = c.borrowing_sub(self.q);
+            debug_assert!(r.lt_words(self.q), "barrett needed a second correction");
+            r
+        } else {
+            c
+        }
+    }
+}
+
+/// Computes `⌊2^k / q⌋` for `k ≤ 253` by restoring shift-subtract long
+/// division over a 5-limb remainder. Runs once per modulus, so clarity
+/// beats speed here.
+pub(crate) fn div_pow2_by(k: u32, q: DWord) -> DWord {
+    debug_assert!(k < 256);
+    debug_assert!(!q.is_zero());
+    // Remainder and quotient develop bit by bit, most significant first.
+    let mut rem: u128 = 0; // always < 2q ≤ 2^127, fits u128
+    let mut quot: u128 = 0;
+    let qv = u128::from(q);
+    // 2^k has bit k set and nothing else; long-divide its k+1 bits.
+    for i in (0..=k).rev() {
+        rem <<= 1;
+        if i == k {
+            rem |= 1;
+        }
+        quot <<= 1;
+        if rem >= qv {
+            rem -= qv;
+            quot |= 1;
+        }
+    }
+    DWord::from(quot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqx_bignum::BigUint;
+
+    fn mu_reference(k: u32, q: u128) -> u128 {
+        let n = BigUint::power_of_two(u64::from(k));
+        (&n / &BigUint::from(q)).to_u128().expect("µ fits 128 bits")
+    }
+
+    #[test]
+    fn mu_matches_bignum_reference() {
+        for q in [
+            3_u128,
+            97,
+            (1 << 61) - 1,
+            0x3FFF_FFFF_FFFF_FFFF_FFFF_FFFF_FFFF_FFFB, // < 2^126
+            crate::primes::Q124,
+            crate::primes::Q120,
+        ] {
+            let d = DWord::from(q);
+            let b = Barrett::new(d);
+            assert_eq!(
+                u128::from(b.mu),
+                mu_reference(b.k, q),
+                "µ mismatch for q={q:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn reduce_matches_u128_for_small_moduli() {
+        // With q < 2^64 we can verify x mod q directly in u128.
+        let q = DWord::from(0xFFFF_FFFF_0000_001B_u128); // arbitrary 64-bit odd
+        let barrett = Barrett::new(q);
+        let samples = [
+            0_u128,
+            1,
+            u128::from(u64::MAX),
+            0xDEAD_BEEF_CAFE_BABE_0123_4567_89AB_CDEF,
+        ];
+        for &a in &samples {
+            for &b in &samples {
+                let a = a % u128::from(q);
+                let b = b % u128::from(q);
+                let x = U256::from_product(DWord::from(a), DWord::from(b));
+                let got = barrett.reduce(x);
+                assert_eq!(u128::from(got), (a * b) % u128::from(q));
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_matches_bignum_for_124_bit_modulus() {
+        let q = crate::primes::Q124;
+        let barrett = Barrett::new(DWord::from(q));
+        let bq = BigUint::from(q);
+        let mut state: u128 = 0x1234_5678_9ABC_DEF0_1357_9BDF_0246_8ACE;
+        for _ in 0..200 {
+            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let a = state % q;
+            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let b = state % q;
+            let x = U256::from_product(DWord::from(a), DWord::from(b));
+            let got = barrett.reduce(x);
+            let expected = BigUint::from(a).mul_mod(&BigUint::from(b), &bq);
+            assert_eq!(BigUint::from(u128::from(got)), expected);
+        }
+    }
+
+    #[test]
+    fn reduce_worst_case_operands() {
+        // a = b = q − 1 maximizes x = (q−1)², stressing the estimate bound.
+        for q in [crate::primes::Q124, crate::primes::Q120, (1_u128 << 100) - 3] {
+            let barrett = Barrett::new(DWord::from(q));
+            let a = q - 1;
+            let x = U256::from_product(DWord::from(a), DWord::from(a));
+            let got = barrett.reduce(x);
+            let expected = BigUint::from(a)
+                .mul_mod(&BigUint::from(a), &BigUint::from(q))
+                .to_u128()
+                .unwrap();
+            assert_eq!(u128::from(got), expected);
+        }
+    }
+
+    #[test]
+    fn div_pow2_small_cases() {
+        assert_eq!(u128::from(div_pow2_by(5, DWord::from(3_u128))), 10); // ⌊32/3⌋
+        assert_eq!(u128::from(div_pow2_by(10, DWord::from(1024_u128))), 1);
+        assert_eq!(u128::from(div_pow2_by(0, DWord::from(1_u128))), 1);
+    }
+}

@@ -1,0 +1,398 @@
+//! The double-word representation of Eq. (5): `x = x_hi · 2^64 + x_lo`.
+
+use crate::word;
+use std::fmt;
+
+/// A 128-bit value stored as two 64-bit machine words (Eq. 5 with
+/// ω₀ = 64).
+///
+/// `DWord` exists alongside native `u128` deliberately: the paper keeps
+/// *both* formulations (§3.1) — the native one benchmarks best scalar code
+/// (the compiler emits `ADC`/`MUL`), while the split one is the direct
+/// template for SIMD translation where 64 bits is the widest lane type.
+/// Conversions between the two are free.
+///
+/// ```
+/// use mqx_core::DWord;
+/// let x = DWord::from(0x0123_4567_89AB_CDEF_0011_2233_4455_6677_u128);
+/// assert_eq!(x.hi(), 0x0123_4567_89AB_CDEF);
+/// assert_eq!(x.lo(), 0x0011_2233_4455_6677);
+/// assert_eq!(u128::from(x), 0x0123_4567_89AB_CDEF_0011_2233_4455_6677);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DWord {
+    hi: u64,
+    lo: u64,
+}
+
+impl DWord {
+    /// The value zero.
+    pub const ZERO: DWord = DWord { hi: 0, lo: 0 };
+    /// The value one.
+    pub const ONE: DWord = DWord { hi: 0, lo: 1 };
+    /// The largest representable value, `2^128 − 1`.
+    pub const MAX: DWord = DWord {
+        hi: u64::MAX,
+        lo: u64::MAX,
+    };
+
+    /// Assembles a double-word from its high and low words (the paper's
+    /// `INT128(hi, lo)` macro).
+    #[inline]
+    pub const fn new(hi: u64, lo: u64) -> Self {
+        DWord { hi, lo }
+    }
+
+    /// Returns the high word (the paper's `HI64` macro).
+    #[inline]
+    pub const fn hi(self) -> u64 {
+        self.hi
+    }
+
+    /// Returns the low word (the paper's `LO64` macro).
+    #[inline]
+    pub const fn lo(self) -> u64 {
+        self.lo
+    }
+
+    /// Returns the minimal bit width of the value (0 for zero).
+    #[inline]
+    pub const fn bits(self) -> u32 {
+        if self.hi != 0 {
+            128 - self.hi.leading_zeros()
+        } else {
+            64 - self.lo.leading_zeros()
+        }
+    }
+
+    /// Returns `true` if the value is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.hi == 0 && self.lo == 0
+    }
+
+    /// Wrapping addition; returns the 128-bit sum and the carry-out.
+    ///
+    /// Built from two word-level [`word::adc`] steps — Eq. (6) with the
+    /// carry δ threaded between the words.
+    #[inline]
+    pub const fn carrying_add(self, rhs: DWord) -> (DWord, bool) {
+        let (lo, c) = word::adc(self.lo, rhs.lo, false);
+        let (hi, c) = word::adc(self.hi, rhs.hi, c);
+        (DWord { hi, lo }, c)
+    }
+
+    /// Wrapping subtraction; returns the 128-bit difference and the
+    /// borrow-out — Eq. (7) with the borrow δ threaded between the words.
+    #[inline]
+    pub const fn borrowing_sub(self, rhs: DWord) -> (DWord, bool) {
+        let (lo, b) = word::sbb(self.lo, rhs.lo, false);
+        let (hi, b) = word::sbb(self.hi, rhs.hi, b);
+        (DWord { hi, lo }, b)
+    }
+
+    /// Wrapping addition modulo `2^128`.
+    #[inline]
+    pub const fn wrapping_add(self, rhs: DWord) -> DWord {
+        self.carrying_add(rhs).0
+    }
+
+    /// Wrapping subtraction modulo `2^128`.
+    #[inline]
+    pub const fn wrapping_sub(self, rhs: DWord) -> DWord {
+        self.borrowing_sub(rhs).0
+    }
+
+    /// Compares without going through `u128`, in the word-only style the
+    /// SIMD backends must use: `a < b ⇔ a_hi < b_hi ∨ (a_hi = b_hi ∧
+    /// a_lo < b_lo)`.
+    #[inline]
+    pub const fn lt_words(self, rhs: DWord) -> bool {
+        self.hi < rhs.hi || (self.hi == rhs.hi && self.lo < rhs.lo)
+    }
+
+    /// Full 128×128→256-bit product by the **schoolbook** method: four
+    /// word multiplications (Eq. 8). Returns `(high, low)` double-words.
+    ///
+    /// ```
+    /// use mqx_core::DWord;
+    /// let a = DWord::from(u128::MAX);
+    /// let (hi, lo) = a.mul_wide_schoolbook(a);
+    /// // (2^128 - 1)^2 = 2^256 - 2^129 + 1
+    /// assert_eq!(u128::from(lo), 1);
+    /// assert_eq!(u128::from(hi), u128::MAX - 1);
+    /// ```
+    #[inline]
+    pub const fn mul_wide_schoolbook(self, rhs: DWord) -> (DWord, DWord) {
+        let (a1, a0) = (self.hi, self.lo); // a = a1·2^64 + a0  (hi, lo)
+        let (b1, b0) = (rhs.hi, rhs.lo);
+
+        let (p00_h, p00_l) = word::mul_wide(a0, b0);
+        let (p01_h, p01_l) = word::mul_wide(a0, b1);
+        let (p10_h, p10_l) = word::mul_wide(a1, b0);
+        let (p11_h, p11_l) = word::mul_wide(a1, b1);
+
+        // Column 1: p00_h + p01_l + p10_l
+        let (c1, k1) = word::adc(p00_h, p01_l, false);
+        let (c1, k2) = word::adc(c1, p10_l, false);
+        let carry1 = k1 as u64 + k2 as u64;
+
+        // Column 2: p01_h + p10_h + p11_l + carry1
+        let (c2, k3) = word::adc(p01_h, p10_h, false);
+        let (c2, k4) = word::adc(c2, p11_l, false);
+        let (c2, k5) = word::adc(c2, carry1, false);
+        let carry2 = k3 as u64 + k4 as u64 + k5 as u64;
+
+        // Column 3: p11_h + carry2 (cannot overflow).
+        let c3 = p11_h + carry2;
+
+        (DWord::new(c3, c2), DWord::new(c1, p00_l))
+    }
+
+    /// Full 128×128→256-bit product by the **Karatsuba** method: three
+    /// word multiplications plus carry fix-ups (Eq. 9).
+    ///
+    /// On CPUs the paper finds schoolbook faster in nearly every kernel
+    /// variant (§5.5); both are provided so the sensitivity analysis can be
+    /// reproduced.
+    #[inline]
+    pub const fn mul_wide_karatsuba(self, rhs: DWord) -> (DWord, DWord) {
+        let (a1, a0) = (self.hi, self.lo);
+        let (b1, b0) = (rhs.hi, rhs.lo);
+
+        // z0 = a0·b0, z2 = a1·b1 — two of the three multiplications.
+        let (z0_h, z0_l) = word::mul_wide(a0, b0);
+        let (z2_h, z2_l) = word::mul_wide(a1, b1);
+
+        // Middle term: (a0 + a1)(b0 + b1) − z0 − z2, where the sums may
+        // carry into bit 64. With sa = a0 + a1 = ca·2^64 + sa_lo:
+        //   (a0+a1)(b0+b1) = ca·cb·2^128 + (ca·sb_lo + cb·sa_lo)·2^64 + sa_lo·sb_lo
+        let (sa_lo, ca) = word::adc(a0, a1, false);
+        let (sb_lo, cb) = word::adc(b0, b1, false);
+        let (m_h, m_l) = word::mul_wide(sa_lo, sb_lo); // the third multiplication
+
+        // Accumulate the middle term into limbs m0..m2 (≤ 130 bits).
+        let mut m0 = m_l;
+        let mut m1 = m_h;
+        let mut m2 = (ca & cb) as u64;
+        if ca {
+            let (t, k) = word::adc(m1, sb_lo, false);
+            m1 = t;
+            m2 += k as u64;
+        }
+        if cb {
+            let (t, k) = word::adc(m1, sa_lo, false);
+            m1 = t;
+            m2 += k as u64;
+        }
+        // Subtract z0 and z2 from (m2, m1, m0).
+        let (t, b) = word::sbb(m0, z0_l, false);
+        m0 = t;
+        let (t, b) = word::sbb(m1, z0_h, b);
+        m1 = t;
+        m2 = m2.wrapping_sub(b as u64);
+        let (t, b) = word::sbb(m0, z2_l, false);
+        m0 = t;
+        let (t, b) = word::sbb(m1, z2_h, b);
+        m1 = t;
+        m2 = m2.wrapping_sub(b as u64);
+
+        // Result = z2·2^128 + m·2^64 + z0.
+        let r0 = z0_l;
+        let (r1, k) = word::adc(z0_h, m0, false);
+        let (r2, k) = word::adc(z2_l, m1, k);
+        let (r3, _) = word::adc(z2_h, m2, k);
+        (DWord::new(r3, r2), DWord::new(r1, r0))
+    }
+}
+
+impl From<u128> for DWord {
+    #[inline]
+    fn from(v: u128) -> Self {
+        DWord {
+            hi: (v >> 64) as u64,
+            lo: v as u64,
+        }
+    }
+}
+
+impl From<u64> for DWord {
+    #[inline]
+    fn from(v: u64) -> Self {
+        DWord { hi: 0, lo: v }
+    }
+}
+
+impl From<DWord> for u128 {
+    #[inline]
+    fn from(v: DWord) -> Self {
+        (u128::from(v.hi) << 64) | u128::from(v.lo)
+    }
+}
+
+impl fmt::Debug for DWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DWord({:#034x})", u128::from(*self))
+    }
+}
+
+impl fmt::Display for DWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&u128::from(*self), f)
+    }
+}
+
+impl fmt::LowerHex for DWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&u128::from(*self), f)
+    }
+}
+
+impl fmt::UpperHex for DWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&u128::from(*self), f)
+    }
+}
+
+impl fmt::Binary for DWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&u128::from(*self), f)
+    }
+}
+
+impl fmt::Octal for DWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Octal::fmt(&u128::from(*self), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLES: [u128; 9] = [
+        0,
+        1,
+        0xFFFF_FFFF_FFFF_FFFF,
+        0x1_0000_0000_0000_0000,
+        0xDEAD_BEEF_CAFE_BABE_0123_4567_89AB_CDEF,
+        u128::MAX,
+        u128::MAX - 1,
+        1 << 127,
+        (1 << 124) - 1,
+    ];
+
+    #[test]
+    fn u128_roundtrip() {
+        for &v in &SAMPLES {
+            assert_eq!(u128::from(DWord::from(v)), v);
+        }
+    }
+
+    #[test]
+    fn hi_lo_split() {
+        let v = DWord::from(u128::MAX - 5);
+        assert_eq!(v.hi(), u64::MAX);
+        assert_eq!(v.lo(), u64::MAX - 5);
+        assert_eq!(DWord::new(v.hi(), v.lo()), v);
+    }
+
+    #[test]
+    fn carrying_add_matches_u128() {
+        for &a in &SAMPLES {
+            for &b in &SAMPLES {
+                let (sum, carry) = DWord::from(a).carrying_add(DWord::from(b));
+                let (expect, expect_carry) = a.overflowing_add(b);
+                assert_eq!(u128::from(sum), expect);
+                assert_eq!(carry, expect_carry);
+            }
+        }
+    }
+
+    #[test]
+    fn borrowing_sub_matches_u128() {
+        for &a in &SAMPLES {
+            for &b in &SAMPLES {
+                let (diff, borrow) = DWord::from(a).borrowing_sub(DWord::from(b));
+                let (expect, expect_borrow) = a.overflowing_sub(b);
+                assert_eq!(u128::from(diff), expect);
+                assert_eq!(borrow, expect_borrow);
+            }
+        }
+    }
+
+    #[test]
+    fn lt_words_matches_u128() {
+        for &a in &SAMPLES {
+            for &b in &SAMPLES {
+                assert_eq!(DWord::from(a).lt_words(DWord::from(b)), a < b);
+            }
+        }
+    }
+
+    #[test]
+    fn schoolbook_and_karatsuba_agree_on_corners() {
+        for &a in &SAMPLES {
+            for &b in &SAMPLES {
+                let da = DWord::from(a);
+                let db = DWord::from(b);
+                let s = da.mul_wide_schoolbook(db);
+                let k = da.mul_wide_karatsuba(db);
+                assert_eq!(s, k, "a={a:#x} b={b:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_wide_matches_split_u128_reference() {
+        // Verify against u128 arithmetic on the half-products.
+        for &a in &SAMPLES {
+            for &b in &SAMPLES {
+                let (hi, lo) = DWord::from(a).mul_wide_schoolbook(DWord::from(b));
+                // Reference: compute a*b mod 2^128 and the high half via
+                // decomposition a = a1·2^64 + a0.
+                let (a1, a0) = (a >> 64, a & u128::from(u64::MAX));
+                let (b1, b0) = (b >> 64, b & u128::from(u64::MAX));
+                let low = a.wrapping_mul(b);
+                let mid1 = a0 * b1;
+                let mid2 = a1 * b0;
+                let carry_into_high = {
+                    let s0 = a0 * b0;
+                    let m = (s0 >> 64) + (mid1 & u128::from(u64::MAX)) + (mid2 & u128::from(u64::MAX));
+                    m >> 64
+                };
+                let high = a1 * b1 + (mid1 >> 64) + (mid2 >> 64) + carry_into_high;
+                assert_eq!(u128::from(lo), low, "lo a={a:#x} b={b:#x}");
+                assert_eq!(u128::from(hi), high, "hi a={a:#x} b={b:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn bits_and_is_zero() {
+        assert_eq!(DWord::ZERO.bits(), 0);
+        assert!(DWord::ZERO.is_zero());
+        assert_eq!(DWord::ONE.bits(), 1);
+        assert_eq!(DWord::MAX.bits(), 128);
+        assert_eq!(DWord::from(1_u128 << 64).bits(), 65);
+    }
+
+    #[test]
+    fn formatting_matches_u128() {
+        let v = DWord::from(0xAB_CDEF_u128);
+        assert_eq!(format!("{v}"), format!("{}", 0xAB_CDEF_u128));
+        assert_eq!(format!("{v:x}"), format!("{:x}", 0xAB_CDEF_u128));
+        assert_eq!(format!("{v:X}"), format!("{:X}", 0xAB_CDEF_u128));
+        assert_eq!(format!("{v:b}"), format!("{:b}", 0xAB_CDEF_u128));
+        assert_eq!(format!("{v:o}"), format!("{:o}", 0xAB_CDEF_u128));
+        assert!(format!("{v:?}").starts_with("DWord(0x"));
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(u128::from(DWord::ZERO), 0);
+        assert_eq!(u128::from(DWord::ONE), 1);
+        assert_eq!(u128::from(DWord::MAX), u128::MAX);
+        assert_eq!(DWord::default(), DWord::ZERO);
+    }
+}

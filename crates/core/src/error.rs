@@ -1,0 +1,99 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// The error returned when constructing a [`Modulus`](crate::Modulus) from
+/// an unusable value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModulusError {
+    /// The modulus was zero or one; the ring ℤ_q needs `q ≥ 2`.
+    TooSmall,
+    /// The modulus exceeds [`MAX_MODULUS_BITS`](crate::MAX_MODULUS_BITS)
+    /// bits. Barrett reduction with an `l`-bit data path requires
+    /// `q ≤ l − 4` bits so that the precomputed `µ = ⌊2^k / q⌋` still fits
+    /// in `l` bits (paper §2.1).
+    TooWide {
+        /// The bit width of the rejected modulus.
+        bits: u32,
+    },
+    /// A prime modulus was required (e.g. for NTT use) but the value is
+    /// composite.
+    NotPrime,
+}
+
+impl fmt::Display for ModulusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModulusError::TooSmall => write!(f, "modulus must be at least 2"),
+            ModulusError::TooWide { bits } => write!(
+                f,
+                "modulus has {bits} bits but Barrett reduction on a 128-bit data path requires at most {} bits",
+                crate::MAX_MODULUS_BITS
+            ),
+            ModulusError::NotPrime => write!(f, "modulus is not prime"),
+        }
+    }
+}
+
+impl Error for ModulusError {}
+
+/// The error returned when a requested root of unity does not exist in the
+/// field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RootError {
+    /// The requested order is zero or not a power of two.
+    OrderNotPowerOfTwo {
+        /// The rejected order.
+        order: u64,
+    },
+    /// The multiplicative group order `q − 1` is not divisible by the
+    /// requested root order, so no primitive root of that order exists.
+    NoSuchRoot {
+        /// The requested order.
+        order: u64,
+    },
+}
+
+impl fmt::Display for RootError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RootError::OrderNotPowerOfTwo { order } => {
+                write!(f, "root order {order} is not a positive power of two")
+            }
+            RootError::NoSuchRoot { order } => write!(
+                f,
+                "field has no primitive {order}-th root of unity (order does not divide q - 1)"
+            ),
+        }
+    }
+}
+
+impl Error for RootError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let e = ModulusError::TooWide { bits: 128 };
+        let s = e.to_string();
+        assert!(s.starts_with("modulus has 128 bits"));
+        assert!(!s.ends_with('.'));
+        assert_eq!(ModulusError::TooSmall.to_string(), "modulus must be at least 2");
+        assert!(RootError::NoSuchRoot { order: 8 }.to_string().contains("8-th"));
+        assert!(RootError::OrderNotPowerOfTwo { order: 3 }
+            .to_string()
+            .contains('3'));
+    }
+
+    #[test]
+    fn errors_are_send_sync_error() {
+        fn check<T: std::error::Error + Send + Sync + 'static>() {}
+        check::<ModulusError>();
+        check::<RootError>();
+    }
+}

@@ -1,0 +1,56 @@
+//! Double-word (128-bit) modular arithmetic built from 64-bit machine
+//! words, plus the number theory needed to run number theoretic transforms
+//! over 128-bit prime fields.
+//!
+//! This crate implements §2.1–§2.2 and §3.1 of *"Towards Closing the
+//! Performance Gap for Cryptographic Kernels Between CPUs and Specialized
+//! Hardware"* (MICRO '25):
+//!
+//! * [`word`] — single-word carry/borrow/widening primitives, including the
+//!   comparison-based carry recovery of the paper's Table 1 that translates
+//!   directly to SIMD.
+//! * [`DWord`] — the `[hi, lo]` double-word representation of Eq. (5).
+//! * [`Modulus`] — Barrett-reduced modular arithmetic (Eq. 2–4) for general
+//!   moduli of at most [`MAX_MODULUS_BITS`] bits, with both schoolbook
+//!   (Eq. 8) and Karatsuba (Eq. 9) double-word multiplication.
+//! * [`listing1`] — the *word-only* formulation of double-word modular
+//!   arithmetic (the paper's Listing 1), which never touches a native
+//!   128-bit type and is the direct template for SIMD vectorization.
+//! * [`nt`] — primality testing, Pollard-rho factoring, primitive roots and
+//!   roots of unity, and NTT-friendly prime search.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mqx_core::{Modulus, primes};
+//!
+//! // The workspace default: the largest 124-bit prime with 2^20 | q - 1.
+//! let q = Modulus::new(primes::Q124)?;
+//! let a = 123_456_789_u128;
+//! let b = 987_654_321_u128;
+//! let c = q.mul_mod(a, b);
+//! assert_eq!(c, (a * b) % primes::Q124); // small enough to check natively
+//! # Ok::<(), mqx_core::ModulusError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod barrett;
+mod dword;
+mod error;
+pub mod listing1;
+mod modulus;
+pub mod nt;
+pub mod primes;
+pub mod shoup;
+pub mod wide;
+pub mod word;
+
+pub use dword::DWord;
+pub use error::{ModulusError, RootError};
+pub use modulus::{Modulus, MulAlgorithm, MAX_MODULUS_BITS};
+pub use shoup::ShoupMul;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,230 @@
+//! Word-only double-word modular arithmetic — the paper's Listing 1.
+//!
+//! These routines compute in `u64` words exclusively (no native `u128`
+//! arithmetic apart from the single widening multiply, which is one scalar
+//! `MUL` instruction on x86-64). They exist because this formulation
+//! "allows for a more natural translation to AVX2 and AVX-512
+//! instructions, where the maximum data type supported for each vector
+//! element is 64 bits" (§3.1). The SIMD crate vectorizes exactly these
+//! dataflows; its tests assert lane-wise equality against this module.
+//!
+//! Variable names in [`addmod128`] intentionally mirror Listing 1
+//! (`t30`, `q1`, `a31`, `i28`, …) so the code can be read side by side
+//! with the paper.
+
+use crate::{DWord, Modulus};
+
+/// Double-word modular addition without 128-bit data types — a direct
+/// transcription of the paper's Listing 1.
+///
+/// Computes `(a + b) mod m` for `a, b < m`, using only 64-bit word
+/// operations: wrap-around addition, unsigned comparisons for carry
+/// recovery, and conditional selection instead of branches.
+///
+/// # Panics (debug)
+///
+/// Debug-asserts `a < m` and `b < m`.
+///
+/// ```
+/// use mqx_core::{DWord, listing1::addmod128};
+/// let m = DWord::from((1_u128 << 124) - 159);
+/// let a = DWord::from((1_u128 << 124) - 160);
+/// let c = addmod128(a, DWord::from(5_u128), m);
+/// assert_eq!(u128::from(c), 4); // wrapped past m
+/// ```
+#[inline]
+pub fn addmod128(a: DWord, b: DWord, m: DWord) -> DWord {
+    debug_assert!(a.lt_words(m) && b.lt_words(m));
+    let (al, ah) = (a.lo(), a.hi());
+    let (bl, bh) = (b.lo(), b.hi());
+    let (ml, mh) = (m.lo(), m.hi());
+
+    // Low-word add with compare-based carry recovery.
+    let t30 = al.wrapping_add(bl);
+    let q1 = t30 < al;
+    let q2 = t30 < bl;
+    let c1 = q1 | q2;
+
+    // High-word add plus carry-in; c2 recovers the (never-taken, because
+    // m ≤ 2^124) overflow of the high add, kept for structural fidelity.
+    let t28 = ah.wrapping_add(bh);
+    let t29 = t28.wrapping_add(u64::from(c1));
+    let q3 = t29 < ah;
+    let q4 = t29 < bh;
+    let c2 = q3 | q4;
+
+    // Does the raw sum reach m? (sum > m) ∨ (sum = m on the high word and
+    // low word ≥ m's low word) ∨ overflow.
+    let a31 = mh < t29;
+    let a35 = mh == t29;
+    let a38 = ml <= t30;
+    let a34 = a35 & a38;
+    let i27 = a31 | a34;
+    let i28 = c2 | i27;
+
+    // Pre-compute sum − m; select it when the sum reached m.
+    let d1 = t30.wrapping_sub(ml);
+    let b1 = !a38; // borrow from the low-word subtraction
+    let d2 = t29.wrapping_sub(mh);
+    let d3 = d2.wrapping_sub(u64::from(b1));
+
+    let ch = if i28 { d3 } else { t29 };
+    let cl = if i28 { d1 } else { t30 };
+    DWord::new(ch, cl)
+}
+
+/// Double-word modular subtraction without 128-bit data types (Eq. 3 in
+/// the word-only style): conditional addition of `m` when `a < b`.
+///
+/// # Panics (debug)
+///
+/// Debug-asserts `a < m` and `b < m`.
+///
+/// ```
+/// use mqx_core::{DWord, listing1::submod128};
+/// let m = DWord::from(97_u128);
+/// assert_eq!(u128::from(submod128(DWord::from(1_u128), DWord::from(2_u128), m)), 96);
+/// ```
+#[inline]
+pub fn submod128(a: DWord, b: DWord, m: DWord) -> DWord {
+    debug_assert!(a.lt_words(m) && b.lt_words(m));
+    let (al, ah) = (a.lo(), a.hi());
+    let (bl, bh) = (b.lo(), b.hi());
+    let (ml, mh) = (m.lo(), m.hi());
+
+    // Raw difference with compare-based borrow (Eq. 7).
+    let t_lo = al.wrapping_sub(bl);
+    let borrow = al < bl;
+    let t_hi = ah.wrapping_sub(bh).wrapping_sub(u64::from(borrow));
+
+    // a < b exactly when the double-word subtraction borrows out.
+    let underflow = ah < bh || (ah == bh && al < bl);
+
+    // Pre-compute difference + m; select on underflow.
+    let s_lo = t_lo.wrapping_add(ml);
+    let carry = s_lo < t_lo;
+    let s_hi = t_hi.wrapping_add(mh).wrapping_add(u64::from(carry));
+
+    let cl = if underflow { s_lo } else { t_lo };
+    let ch = if underflow { s_hi } else { t_hi };
+    DWord::new(ch, cl)
+}
+
+/// Double-word modular multiplication in the word-only style: schoolbook
+/// 128×128→256 product (Eq. 8) followed by Barrett reduction (Eq. 4),
+/// every step expressed in word operations.
+///
+/// The Barrett constants are taken from the [`Modulus`], which the caller
+/// builds once per modulus, exactly as the paper's kernels precompute µ.
+///
+/// # Panics (debug)
+///
+/// Debug-asserts `a < q` and `b < q`.
+///
+/// ```
+/// use mqx_core::{DWord, Modulus, listing1::mulmod128, primes};
+/// let m = Modulus::new(primes::Q124)?;
+/// let a = primes::Q124 - 1;
+/// let c = mulmod128(DWord::from(a), DWord::from(a), &m);
+/// assert_eq!(u128::from(c), 1); // (q-1)² ≡ 1 (mod q)
+/// # Ok::<(), mqx_core::ModulusError>(())
+/// ```
+#[inline]
+pub fn mulmod128(a: DWord, b: DWord, m: &Modulus) -> DWord {
+    debug_assert!(a.lt_words(m.value_dword()) && b.lt_words(m.value_dword()));
+    // The entire pipeline below (mul_wide_schoolbook, mul_dword,
+    // shr_to_dword, borrowing_sub) is built from word::adc / word::sbb /
+    // word::mul_wide only — see crate::wide.
+    let x = crate::wide::U256::from_product(a, b);
+    DWord::from(m.reduce_wide(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primes;
+
+    fn dw(v: u128) -> DWord {
+        DWord::from(v)
+    }
+
+    #[test]
+    fn addmod_matches_u128_small() {
+        let m = 97_u128;
+        let dm = dw(m);
+        for a in 0..m {
+            for b in 0..m {
+                assert_eq!(
+                    u128::from(addmod128(dw(a), dw(b), dm)),
+                    (a + b) % m,
+                    "a={a} b={b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn submod_matches_u128_small() {
+        let m = 97_u128;
+        let dm = dw(m);
+        for a in 0..m {
+            for b in 0..m {
+                let expected = (a + m - b) % m;
+                assert_eq!(u128::from(submod128(dw(a), dw(b), dm)), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn addmod_exercises_low_word_carry() {
+        // a_lo + b_lo wraps: forces the c1 carry path.
+        let m = dw(primes::Q124);
+        let a = dw((1_u128 << 64) - 1);
+        let b = dw(1_u128);
+        assert_eq!(u128::from(addmod128(a, b, m)), 1_u128 << 64);
+    }
+
+    #[test]
+    fn addmod_boundary_exactly_m() {
+        // a + b == m must wrap to exactly zero (the a34/a35/a38 path).
+        let q = primes::Q124;
+        let m = dw(q);
+        let a = q / 2;
+        let b = q - a;
+        assert_eq!(u128::from(addmod128(dw(a), dw(b), m)), 0);
+    }
+
+    #[test]
+    fn addmod_one_below_m_does_not_wrap() {
+        let q = primes::Q124;
+        let m = dw(q);
+        let a = q / 2;
+        let b = q - a - 1;
+        assert_eq!(u128::from(addmod128(dw(a), dw(b), m)), q - 1);
+    }
+
+    #[test]
+    fn agrees_with_modulus_over_random_wide_inputs() {
+        let q = primes::Q124;
+        let m = Modulus::new(q).unwrap();
+        let dm = dw(q);
+        let mut state: u128 = 0x0123_4567_89AB_CDEF_1122_3344_5566_7788;
+        for _ in 0..500 {
+            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(99);
+            let a = state % q;
+            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(99);
+            let b = state % q;
+            assert_eq!(u128::from(addmod128(dw(a), dw(b), dm)), m.add_mod(a, b));
+            assert_eq!(u128::from(submod128(dw(a), dw(b), dm)), m.sub_mod(a, b));
+            assert_eq!(u128::from(mulmod128(dw(a), dw(b), &m)), m.mul_mod(a, b));
+        }
+    }
+
+    #[test]
+    fn mulmod_identity() {
+        let m = Modulus::new(primes::Q120).unwrap();
+        let a = primes::Q120 - 7;
+        assert_eq!(u128::from(mulmod128(dw(a), DWord::ONE, &m)), a);
+        assert_eq!(u128::from(mulmod128(dw(a), DWord::ZERO, &m)), 0);
+    }
+}

@@ -1,0 +1,420 @@
+//! The [`Modulus`] type: a validated ring ℤ_q with precomputed Barrett
+//! parameters and the full set of double-word modular operations.
+
+use crate::barrett::Barrett;
+use crate::error::ModulusError;
+use crate::nt;
+use crate::wide::U256;
+use crate::DWord;
+
+/// The maximum modulus width in bits.
+///
+/// Barrett reduction with an `l`-bit data path requires the modulus to
+/// have at most `l − 4` bits so that `µ = ⌊2^k/q⌋` still fits in `l` bits
+/// (paper §2.1). With `l = 128`, that is 124 bits.
+pub const MAX_MODULUS_BITS: u32 = 124;
+
+/// Which double-word multiplication algorithm a [`Modulus`] uses for
+/// `mul_mod` (§2.2, compared in §5.5).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum MulAlgorithm {
+    /// Four word multiplications (Eq. 8). The paper's default: it wins on
+    /// CPUs in almost every kernel variant (§5.5).
+    #[default]
+    Schoolbook,
+    /// Three word multiplications plus carry fix-ups (Eq. 9).
+    Karatsuba,
+}
+
+/// A modular ring ℤ_q for a modulus of at most [`MAX_MODULUS_BITS`] bits,
+/// with Barrett constants precomputed once (the `µ` of Eq. 4).
+///
+/// All element arguments must already be reduced (`< q`); this is the
+/// standard contract in the paper's kernels (§2.1 relies on
+/// `0 ≤ a, b < q`) and is checked by debug assertions.
+///
+/// ```
+/// use mqx_core::{Modulus, primes};
+///
+/// let m = Modulus::new(primes::Q124)?;
+/// let a = primes::Q124 - 1;
+/// assert_eq!(m.add_mod(a, 1), 0);                  // wraps to zero
+/// assert_eq!(m.sub_mod(0, 1), primes::Q124 - 1);   // wraps backwards
+/// assert_eq!(m.mul_mod(a, a), 1);                  // (q-1)² ≡ 1 (mod q)
+/// # Ok::<(), mqx_core::ModulusError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Modulus {
+    barrett: Barrett,
+    algorithm: MulAlgorithm,
+}
+
+impl Modulus {
+    /// Creates a ring for modulus `q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModulusError::TooSmall`] if `q < 2` and
+    /// [`ModulusError::TooWide`] if `q` exceeds [`MAX_MODULUS_BITS`] bits.
+    pub fn new(q: u128) -> Result<Self, ModulusError> {
+        if q < 2 {
+            return Err(ModulusError::TooSmall);
+        }
+        let bits = 128 - q.leading_zeros();
+        if bits > MAX_MODULUS_BITS {
+            return Err(ModulusError::TooWide { bits });
+        }
+        Ok(Modulus {
+            barrett: Barrett::new(DWord::from(q)),
+            algorithm: MulAlgorithm::Schoolbook,
+        })
+    }
+
+    /// Creates a ring whose modulus is verified to be prime, as the NTT
+    /// requires.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Modulus::new`] returns, plus
+    /// [`ModulusError::NotPrime`] for composite `q`.
+    pub fn new_prime(q: u128) -> Result<Self, ModulusError> {
+        let m = Self::new(q)?;
+        if !nt::is_prime(q) {
+            return Err(ModulusError::NotPrime);
+        }
+        Ok(m)
+    }
+
+    /// Returns a copy using the given multiplication algorithm for
+    /// [`mul_mod`](Self::mul_mod).
+    #[must_use]
+    pub fn with_algorithm(mut self, algorithm: MulAlgorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Returns the modulus value.
+    #[inline]
+    pub fn value(&self) -> u128 {
+        u128::from(self.barrett.q)
+    }
+
+    /// Returns the modulus as a [`DWord`].
+    #[inline]
+    pub fn value_dword(&self) -> DWord {
+        self.barrett.q
+    }
+
+    /// Returns the modulus bit width.
+    #[inline]
+    pub fn bits(&self) -> u32 {
+        self.barrett.q.bits()
+    }
+
+    /// Returns the Barrett constant `µ = ⌊2^k/q⌋`.
+    #[inline]
+    pub fn mu(&self) -> u128 {
+        u128::from(self.barrett.mu)
+    }
+
+    /// Returns the Barrett shift `k = 2·bits(q) + 1`.
+    #[inline]
+    pub fn barrett_shift(&self) -> u32 {
+        self.barrett.k
+    }
+
+    /// Returns the multiplication algorithm in use.
+    #[inline]
+    pub fn algorithm(&self) -> MulAlgorithm {
+        self.algorithm
+    }
+
+    /// Reduces an arbitrary `u128` into the ring (used at API boundaries;
+    /// the hot kernels assume already-reduced inputs).
+    #[inline]
+    pub fn reduce(&self, x: u128) -> u128 {
+        x % self.value()
+    }
+
+    /// Modular addition by conditional subtraction (Eq. 2).
+    ///
+    /// # Panics (debug)
+    ///
+    /// Debug-asserts `a < q` and `b < q`.
+    #[inline]
+    pub fn add_mod(&self, a: u128, b: u128) -> u128 {
+        debug_assert!(a < self.value() && b < self.value());
+        // a + b < 2^125, far from u128 overflow.
+        let s = a + b;
+        if s >= self.value() {
+            s - self.value()
+        } else {
+            s
+        }
+    }
+
+    /// Modular subtraction by conditional addition (Eq. 3).
+    ///
+    /// # Panics (debug)
+    ///
+    /// Debug-asserts `a < q` and `b < q`.
+    #[inline]
+    pub fn sub_mod(&self, a: u128, b: u128) -> u128 {
+        debug_assert!(a < self.value() && b < self.value());
+        if a >= b {
+            a - b
+        } else {
+            a + self.value() - b
+        }
+    }
+
+    /// Modular negation.
+    #[inline]
+    pub fn neg_mod(&self, a: u128) -> u128 {
+        debug_assert!(a < self.value());
+        if a == 0 {
+            0
+        } else {
+            self.value() - a
+        }
+    }
+
+    /// Modular multiplication via Barrett reduction (Eq. 4), using the
+    /// configured algorithm for the 128×128→256-bit product.
+    ///
+    /// # Panics (debug)
+    ///
+    /// Debug-asserts `a < q` and `b < q`.
+    #[inline]
+    pub fn mul_mod(&self, a: u128, b: u128) -> u128 {
+        debug_assert!(a < self.value() && b < self.value());
+        let (da, db) = (DWord::from(a), DWord::from(b));
+        let (hi, lo) = match self.algorithm {
+            MulAlgorithm::Schoolbook => da.mul_wide_schoolbook(db),
+            MulAlgorithm::Karatsuba => da.mul_wide_karatsuba(db),
+        };
+        u128::from(self.barrett.reduce(U256::from_dwords(hi, lo)))
+    }
+
+    /// Reduces a full 256-bit value `x < q²` to `x mod q` via Barrett
+    /// reduction. This is the step the SIMD backends vectorize; exposing
+    /// it lets callers that already hold a wide product (e.g. lazy
+    /// reduction experiments) reuse the precomputed constants.
+    ///
+    /// # Panics (debug)
+    ///
+    /// Debug-asserts `x < q²` (via the internal estimate-error assertion).
+    #[inline]
+    pub fn reduce_wide(&self, x: U256) -> u128 {
+        u128::from(self.barrett.reduce(x))
+    }
+
+    /// Modular exponentiation by square-and-multiply.
+    pub fn pow_mod(&self, base: u128, mut exp: u128) -> u128 {
+        let mut base = self.reduce(base);
+        let mut acc: u128 = self.reduce(1);
+        while exp != 0 {
+            if exp & 1 == 1 {
+                acc = self.mul_mod(acc, base);
+            }
+            exp >>= 1;
+            if exp != 0 {
+                base = self.mul_mod(base, base);
+            }
+        }
+        acc
+    }
+
+    /// Multiplicative inverse via the extended Euclidean algorithm, or
+    /// `None` if `gcd(a, q) ≠ 1`.
+    ///
+    /// ```
+    /// use mqx_core::Modulus;
+    /// let m = Modulus::new(97)?;
+    /// let inv = m.inv_mod(35).unwrap();
+    /// assert_eq!(m.mul_mod(35, inv), 1);
+    /// assert_eq!(Modulus::new(100)?.inv_mod(10), None);
+    /// # Ok::<(), mqx_core::ModulusError>(())
+    /// ```
+    pub fn inv_mod(&self, a: u128) -> Option<u128> {
+        let a = self.reduce(a);
+        if a == 0 {
+            return None;
+        }
+        // Signed-magnitude extended Euclid; coefficients stay < q.
+        let q = self.value();
+        let (mut r0, mut r1) = (q, a);
+        let (mut t0, mut t0_neg) = (0_u128, false);
+        let (mut t1, mut t1_neg) = (1_u128, false);
+        while r1 != 0 {
+            let quot = r0 / r1;
+            let r2 = r0 % r1;
+            // t2 = t0 − quot·t1, with magnitudes kept < q by reducing the
+            // product through the ring's own Barrett multiplier (quot·t1
+            // would overflow u128 otherwise).
+            let qt1 = self.mul_mod(quot % q, t1);
+            let (t2, t2_neg) = signed_sub_mod((t0, t0_neg), (qt1, t1_neg), q);
+            r0 = r1;
+            r1 = r2;
+            t0 = t1;
+            t0_neg = t1_neg;
+            t1 = t2;
+            t1_neg = t2_neg;
+        }
+        if r0 != 1 {
+            return None;
+        }
+        let t = t0 % q;
+        Some(if t0_neg && t != 0 { q - t } else { t })
+    }
+}
+
+/// `(a − b) mod q` on signed-magnitude pairs with magnitudes `< q`.
+fn signed_sub_mod(a: (u128, bool), b: (u128, bool), q: u128) -> (u128, bool) {
+    match (a.1, b.1) {
+        (false, true) => (add_wrap(a.0, b.0, q), false),
+        (true, false) => (add_wrap(a.0, b.0, q), true),
+        (sa, _) => {
+            if a.0 >= b.0 {
+                (a.0 - b.0, sa)
+            } else {
+                (b.0 - a.0, !sa)
+            }
+        }
+    }
+}
+
+fn add_wrap(a: u128, b: u128, q: u128) -> u128 {
+    let s = a + b; // both < q ≤ 2^124: no overflow
+    if s >= q {
+        s - q
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primes;
+    use mqx_bignum::BigUint;
+
+    #[test]
+    fn constructor_validation() {
+        assert_eq!(Modulus::new(0), Err(ModulusError::TooSmall));
+        assert_eq!(Modulus::new(1), Err(ModulusError::TooSmall));
+        assert!(Modulus::new(2).is_ok());
+        assert!(Modulus::new((1 << 124) - 1).is_ok());
+        assert_eq!(
+            Modulus::new(1 << 124),
+            Err(ModulusError::TooWide { bits: 125 })
+        );
+        assert_eq!(
+            Modulus::new(u128::MAX),
+            Err(ModulusError::TooWide { bits: 128 })
+        );
+    }
+
+    #[test]
+    fn prime_constructor() {
+        assert!(Modulus::new_prime(primes::Q124).is_ok());
+        assert_eq!(Modulus::new_prime(15), Err(ModulusError::NotPrime));
+    }
+
+    #[test]
+    fn add_sub_small_ring() {
+        let m = Modulus::new(97).unwrap();
+        assert_eq!(m.add_mod(90, 10), 3);
+        assert_eq!(m.add_mod(0, 0), 0);
+        assert_eq!(m.sub_mod(1, 2), 96);
+        assert_eq!(m.sub_mod(50, 50), 0);
+        assert_eq!(m.neg_mod(0), 0);
+        assert_eq!(m.neg_mod(1), 96);
+    }
+
+    #[test]
+    fn mul_mod_matches_bignum_oracle() {
+        let q = primes::Q124;
+        let m = Modulus::new(q).unwrap();
+        let mk = m.with_algorithm(MulAlgorithm::Karatsuba);
+        let bq = BigUint::from(q);
+        let mut state: u128 = 0xFEED_FACE_DEAD_BEEF_0123_4567_89AB_CDEF;
+        for _ in 0..300 {
+            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1442695040888963407);
+            let a = state % q;
+            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1442695040888963407);
+            let b = state % q;
+            let expected = BigUint::from(a).mul_mod(&BigUint::from(b), &bq).to_u128().unwrap();
+            assert_eq!(m.mul_mod(a, b), expected, "schoolbook a={a:#x} b={b:#x}");
+            assert_eq!(mk.mul_mod(a, b), expected, "karatsuba a={a:#x} b={b:#x}");
+        }
+    }
+
+    #[test]
+    fn mul_mod_identity_and_absorbing() {
+        let m = Modulus::new(primes::Q120).unwrap();
+        let a = primes::Q120 - 12345;
+        assert_eq!(m.mul_mod(a, 1), a);
+        assert_eq!(m.mul_mod(a, 0), 0);
+        assert_eq!(m.mul_mod(m.value() - 1, m.value() - 1), 1);
+    }
+
+    #[test]
+    fn pow_mod_fermat() {
+        let m = Modulus::new_prime(primes::Q124).unwrap();
+        assert_eq!(m.pow_mod(3, primes::Q124 - 1), 1);
+        assert_eq!(m.pow_mod(3, 0), 1);
+        assert_eq!(m.pow_mod(0, 0), 1); // convention: 0^0 = 1
+        assert_eq!(m.pow_mod(0, 5), 0);
+        assert_eq!(m.pow_mod(7, 1), 7);
+    }
+
+    #[test]
+    fn pow_mod_matches_bignum() {
+        let q = primes::Q124;
+        let m = Modulus::new(q).unwrap();
+        let bq = BigUint::from(q);
+        for (base, exp) in [(3_u128, 65_537_u128), (q - 2, 12345), (2, 1 << 20)] {
+            let expected = BigUint::from(base)
+                .mod_pow(&BigUint::from(exp), &bq)
+                .to_u128()
+                .unwrap();
+            assert_eq!(m.pow_mod(base, exp), expected);
+        }
+    }
+
+    #[test]
+    fn inv_mod_roundtrip_large_prime() {
+        let m = Modulus::new_prime(primes::Q124).unwrap();
+        for a in [2_u128, 3, 0xDEAD_BEEF, primes::Q124 - 1, 1 << 100] {
+            let inv = m.inv_mod(a).expect("prime field inverse");
+            assert_eq!(m.mul_mod(m.reduce(a), inv), 1, "a={a:#x}");
+            // And agrees with Fermat.
+            assert_eq!(inv, m.pow_mod(a, primes::Q124 - 2));
+        }
+        assert_eq!(m.inv_mod(0), None);
+    }
+
+    #[test]
+    fn mu_accessor_consistency() {
+        let m = Modulus::new(primes::Q124).unwrap();
+        assert_eq!(m.bits(), 124);
+        assert_eq!(m.barrett_shift(), 249);
+        // µ·q ≤ 2^k < (µ+1)·q
+        let mu = BigUint::from(m.mu());
+        let q = BigUint::from(m.value());
+        let pk = BigUint::power_of_two(u64::from(m.barrett_shift()));
+        assert!(&mu * &q <= pk);
+        assert!(&(&mu + &BigUint::one()) * &q > pk);
+    }
+
+    #[test]
+    fn default_algorithm_is_schoolbook() {
+        let m = Modulus::new(97).unwrap();
+        assert_eq!(m.algorithm(), MulAlgorithm::Schoolbook);
+        assert_eq!(
+            m.with_algorithm(MulAlgorithm::Karatsuba).algorithm(),
+            MulAlgorithm::Karatsuba
+        );
+    }
+}

@@ -1,0 +1,524 @@
+//! Number theory utilities: primality testing, integer factorization,
+//! primitive roots, and roots of unity.
+//!
+//! The NTT (Eq. 11) needs a prime field ℤ_q with an `n`-th primitive root
+//! of unity ω_n, which exists exactly when `n | q − 1`. Everything in this
+//! module exists to find and validate those parameters.
+
+use crate::barrett::Barrett;
+use crate::error::RootError;
+use crate::wide::U256;
+use crate::{DWord, Modulus};
+
+/// A reusable modular-multiplication context for arbitrary 128-bit
+/// moduli: Barrett when the modulus is narrow enough for µ to fit a
+/// double-word, double-and-add otherwise. Building it once per modulus
+/// keeps the µ division out of hot loops (Miller–Rabin squarings, rho
+/// iterations).
+#[derive(Clone, Copy)]
+enum MulCtx {
+    Barrett(Barrett),
+    Peasant(u128),
+}
+
+impl MulCtx {
+    fn new(n: u128) -> Self {
+        debug_assert!(n > 1);
+        if 128 - n.leading_zeros() <= 126 {
+            MulCtx::Barrett(Barrett::new(DWord::from(n)))
+        } else {
+            MulCtx::Peasant(n)
+        }
+    }
+
+    fn mulmod(self, a: u128, b: u128) -> u128 {
+        match self {
+            MulCtx::Barrett(barrett) => {
+                let x = U256::from_product(DWord::from(a), DWord::from(b));
+                u128::from(barrett.reduce(x))
+            }
+            MulCtx::Peasant(n) => {
+                // O(128) additions; only for moduli wider than µ's budget.
+                let mut acc: u128 = 0;
+                let mut a = a;
+                let mut b = b;
+                while b != 0 {
+                    if b & 1 == 1 {
+                        acc = addmod_generic(acc, a, n);
+                    }
+                    a = addmod_generic(a, a, n);
+                    b >>= 1;
+                }
+                acc
+            }
+        }
+    }
+}
+
+/// Computes `a·b mod n` for arbitrary 128-bit operands.
+///
+/// One-shot convenience over [`MulCtx`]; hot paths build the context once.
+pub fn mulmod_generic(a: u128, b: u128, n: u128) -> u128 {
+    assert!(n > 1, "mulmod_generic requires n > 1");
+    MulCtx::new(n).mulmod(a % n, b % n)
+}
+
+fn addmod_generic(a: u128, b: u128, n: u128) -> u128 {
+    // a, b < n ≤ 2^128−1: compute with explicit overflow handling.
+    let (s, overflow) = a.overflowing_add(b);
+    if overflow || s >= n {
+        s.wrapping_sub(n)
+    } else {
+        s
+    }
+}
+
+fn powmod_ctx(ctx: MulCtx, mut base: u128, mut exp: u128, n: u128) -> u128 {
+    let mut acc: u128 = 1 % n;
+    base %= n;
+    while exp != 0 {
+        if exp & 1 == 1 {
+            acc = ctx.mulmod(acc, base);
+        }
+        exp >>= 1;
+        if exp != 0 {
+            base = ctx.mulmod(base, base);
+        }
+    }
+    acc
+}
+
+/// Deterministic witness set for `n < 2^64` (Sinclair / Feitsma-verified).
+const MR_BASES_64: [u64; 12] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37];
+
+/// Tests `n` for primality.
+///
+/// * `n < 2^64`: deterministic Miller–Rabin with a verified witness set.
+/// * larger `n`: Miller–Rabin with the fixed small bases plus 32
+///   deterministically-derived pseudo-random bases; the error probability
+///   is below 4⁻³², far beyond anything the test suites can hit, and the
+///   function stays reproducible run to run.
+///
+/// ```
+/// use mqx_core::nt::is_prime;
+/// assert!(is_prime(2));
+/// assert!(is_prime(1_000_000_007));
+/// assert!(!is_prime(1));
+/// assert!(!is_prime(561)); // Carmichael number
+/// assert!(is_prime(mqx_core::primes::Q124));
+/// ```
+pub fn is_prime(n: u128) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for &p in &MR_BASES_64 {
+        let p = u128::from(p);
+        if n % p == 0 {
+            return n == p;
+        }
+    }
+    // Write n − 1 = d · 2^r.
+    let d0 = n - 1;
+    let r = d0.trailing_zeros();
+    let d = d0 >> r;
+    let ctx = MulCtx::new(n);
+
+    let witness = |a: u128| -> bool {
+        // Returns true if `a` proves n composite.
+        let a = a % n;
+        if a == 0 {
+            return false;
+        }
+        let mut x = powmod_ctx(ctx, a, d, n);
+        if x == 1 || x == n - 1 {
+            return false;
+        }
+        for _ in 1..r {
+            x = ctx.mulmod(x, x);
+            if x == n - 1 {
+                return false;
+            }
+        }
+        true
+    };
+
+    for &a in &MR_BASES_64 {
+        if witness(u128::from(a)) {
+            return false;
+        }
+    }
+    if n < 1 << 64 {
+        return true; // the fixed base set is deterministic below 2^64
+    }
+    // Extra pseudo-random bases derived from n via splitmix64.
+    let mut state = (n as u64) ^ ((n >> 64) as u64) ^ 0x9E37_79B9_7F4A_7C15;
+    for _ in 0..32 {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        if witness(u128::from(z).max(2)) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Factors `n` into `(prime, exponent)` pairs, sorted by prime, using
+/// trial division for small factors and Brent's variant of Pollard's rho
+/// for the rest.
+///
+/// ```
+/// use mqx_core::nt::factor;
+/// assert_eq!(factor(360), vec![(2, 3), (3, 2), (5, 1)]);
+/// assert_eq!(factor(1), vec![]);
+/// assert_eq!(factor(97), vec![(97, 1)]);
+/// ```
+pub fn factor(mut n: u128) -> Vec<(u128, u32)> {
+    if n < 2 {
+        return Vec::new();
+    }
+    let mut out: Vec<(u128, u32)> = Vec::new();
+    let push = |p: u128, out: &mut Vec<(u128, u32)>| match out.iter_mut().find(|(q, _)| *q == p) {
+        Some((_, e)) => *e += 1,
+        None => out.push((p, 1)),
+    };
+
+    for p in [2_u128, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47] {
+        while n % p == 0 {
+            push(p, &mut out);
+            n /= p;
+        }
+    }
+    // Wheel over the remaining small candidates up to 10^4.
+    let mut p = 49;
+    while p < 10_000 && p * p <= n {
+        if n % p == 0 {
+            while n % p == 0 {
+                push(p, &mut out);
+                n /= p;
+            }
+        }
+        p += 2;
+    }
+
+    let mut stack = vec![n];
+    while let Some(m) = stack.pop() {
+        if m == 1 {
+            continue;
+        }
+        if is_prime(m) {
+            push(m, &mut out);
+            continue;
+        }
+        let d = pollard_rho_brent(m);
+        stack.push(d);
+        stack.push(m / d);
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Finds a non-trivial factor of composite odd `n` via Brent's cycle
+/// detection. Deterministic: parameters are derived from `n`.
+fn pollard_rho_brent(n: u128) -> u128 {
+    debug_assert!(n > 3 && !is_prime(n));
+    if n % 2 == 0 {
+        return 2;
+    }
+    let ctx = MulCtx::new(n);
+    let mut seed: u128 = 1;
+    loop {
+        let c = (seed * 2 + 1) % n;
+        let f = |x: u128| addmod_generic(ctx.mulmod(x, x), c, n);
+        let mut x: u128 = seed % n;
+        let mut g: u128 = 1;
+        let mut q: u128 = 1;
+        let mut xs: u128 = 0;
+        let mut y: u128 = 0;
+        let m = 128_u128;
+        let mut r: u128 = 1;
+        while g == 1 {
+            y = x;
+            for _ in 0..r {
+                x = f(x);
+            }
+            let mut k: u128 = 0;
+            while k < r && g == 1 {
+                xs = x;
+                let lim = m.min(r - k);
+                for _ in 0..lim {
+                    x = f(x);
+                    q = ctx.mulmod(q, x.abs_diff(y));
+                }
+                g = gcd(q, n);
+                k += m;
+            }
+            r *= 2;
+        }
+        if g == n {
+            // Backtrack step by step.
+            g = 1;
+            let mut z = xs;
+            while g == 1 {
+                z = f(z);
+                g = gcd(z.abs_diff(y), n);
+            }
+        }
+        if g != n && g != 1 {
+            return g;
+        }
+        seed += 1;
+    }
+}
+
+/// Greatest common divisor.
+///
+/// ```
+/// use mqx_core::nt::gcd;
+/// assert_eq!(gcd(48, 36), 12);
+/// assert_eq!(gcd(0, 7), 7);
+/// ```
+pub fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Finds the smallest primitive root (generator of ℤ_q*) of a prime
+/// modulus.
+///
+/// ```
+/// use mqx_core::{Modulus, nt::primitive_root};
+/// let m = Modulus::new_prime(97).unwrap();
+/// let g = primitive_root(&m);
+/// assert_eq!(g, 5);
+/// ```
+pub fn primitive_root(m: &Modulus) -> u128 {
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+
+    let q = m.value();
+    debug_assert!(is_prime(q), "primitive_root requires a prime modulus");
+    if q == 2 {
+        return 1;
+    }
+
+    // Factoring q − 1 dominates; NTT plans ask for roots of the same
+    // modulus over and over, so memoize per process.
+    static CACHE: Mutex<Option<HashMap<u128, u128>>> = Mutex::new(None);
+    if let Some(&g) = CACHE
+        .lock()
+        .expect("primitive root cache poisoned")
+        .get_or_insert_with(HashMap::new)
+        .get(&q)
+    {
+        return g;
+    }
+
+    let phi = q - 1;
+    let factors = factor(phi);
+    let mut found = None;
+    'outer: for g in 2.. {
+        for &(p, _) in &factors {
+            if m.pow_mod(g, phi / p) == 1 {
+                continue 'outer;
+            }
+        }
+        found = Some(g);
+        break;
+    }
+    let g = found.expect("every prime field has a generator");
+    CACHE
+        .lock()
+        .expect("primitive root cache poisoned")
+        .get_or_insert_with(HashMap::new)
+        .insert(q, g);
+    g
+}
+
+/// Computes a primitive `order`-th root of unity in the prime field, for
+/// power-of-two orders (the only orders radix-2 NTTs use).
+///
+/// # Errors
+///
+/// * [`RootError::OrderNotPowerOfTwo`] if `order` is zero or not a power
+///   of two.
+/// * [`RootError::NoSuchRoot`] if `order ∤ q − 1`.
+///
+/// ```
+/// use mqx_core::{Modulus, nt::root_of_unity};
+/// let m = Modulus::new_prime(mqx_core::primes::Q124).unwrap();
+/// let w = root_of_unity(&m, 1024).unwrap();
+/// assert_eq!(m.pow_mod(w, 1024), 1);
+/// assert_ne!(m.pow_mod(w, 512), 1); // primitive
+/// ```
+pub fn root_of_unity(m: &Modulus, order: u64) -> Result<u128, RootError> {
+    if order == 0 || !order.is_power_of_two() {
+        return Err(RootError::OrderNotPowerOfTwo { order });
+    }
+    let q = m.value();
+    if (q - 1) % u128::from(order) != 0 {
+        return Err(RootError::NoSuchRoot { order });
+    }
+    let g = primitive_root(m);
+    let w = m.pow_mod(g, (q - 1) / u128::from(order));
+    debug_assert_eq!(m.pow_mod(w, u128::from(order)), 1);
+    debug_assert_ne!(m.pow_mod(w, u128::from(order / 2).max(1)), 1);
+    Ok(w)
+}
+
+/// Returns the 2-adic valuation of `q − 1`, i.e. the largest `k` with
+/// `2^k | q − 1`. The maximum radix-2 NTT size the field supports is
+/// `2^k` (or `2^(k−1)` points for negacyclic use).
+pub fn two_adicity(q: u128) -> u32 {
+    debug_assert!(q >= 3);
+    (q - 1).trailing_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primes;
+
+    #[test]
+    fn small_prime_table() {
+        let primes_below_100: Vec<u128> = (2..100).filter(|&n| is_prime(n)).collect();
+        assert_eq!(
+            primes_below_100,
+            vec![
+                2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73,
+                79, 83, 89, 97
+            ]
+        );
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        for n in [561_u128, 1105, 1729, 2465, 2821, 6601, 8911, 10585] {
+            assert!(!is_prime(n), "{n} is Carmichael, not prime");
+        }
+    }
+
+    #[test]
+    fn strong_pseudoprimes_rejected() {
+        // 3215031751 is a strong pseudoprime to bases 2, 3, 5, 7.
+        assert!(!is_prime(3_215_031_751));
+        // 3825123056546413051 is a strong pseudoprime to bases 2..23.
+        assert!(!is_prime(3_825_123_056_546_413_051));
+    }
+
+    #[test]
+    fn known_large_primes() {
+        assert!(is_prime((1 << 61) - 1)); // Mersenne
+        assert!(is_prime(primes::Q124));
+        assert!(is_prime(primes::Q120));
+        assert!(is_prime(primes::Q62));
+        assert!(!is_prime(primes::Q124 - 1));
+        assert!(!is_prime(u128::from(u64::MAX))); // 2^64-1 composite
+    }
+
+    #[test]
+    fn factor_small_and_squares() {
+        assert_eq!(factor(0), vec![]); // conventionally empty
+        assert_eq!(factor(1), vec![]);
+        assert_eq!(factor(2), vec![(2, 1)]);
+        assert_eq!(factor(1024), vec![(2, 10)]);
+        assert_eq!(factor(1_000_000), vec![(2, 6), (5, 6)]);
+        assert_eq!(factor(101 * 103), vec![(101, 1), (103, 1)]);
+    }
+
+    #[test]
+    fn factor_reconstructs_value() {
+        for n in [
+            primes::Q124 - 1,
+            primes::Q120 - 1,
+            u128::from(u64::MAX),
+            600_851_475_143, // classic semiprime-ish composite
+        ] {
+            let fs = factor(n);
+            let mut prod: u128 = 1;
+            for &(p, e) in &fs {
+                assert!(is_prime(p), "{p} not prime in factorization of {n}");
+                for _ in 0..e {
+                    prod *= p;
+                }
+            }
+            assert_eq!(prod, n);
+        }
+    }
+
+    #[test]
+    fn q124_minus_one_has_expected_structure() {
+        // Precomputed independently: 2^20 · 3 · 5² · 7789 · 14697445559 · 2362298214138029
+        let fs = factor(primes::Q124 - 1);
+        assert!(fs.contains(&(2, 20)), "2-adicity 20, got {fs:?}");
+        assert!(fs.iter().any(|&(p, _)| p == 2_362_298_214_138_029));
+    }
+
+    #[test]
+    fn primitive_root_small_fields() {
+        // Known: 3 is the least primitive root of 7; 5 of 97; 2 of 11.
+        assert_eq!(primitive_root(&Modulus::new_prime(7).unwrap()), 3);
+        assert_eq!(primitive_root(&Modulus::new_prime(11).unwrap()), 2);
+        assert_eq!(primitive_root(&Modulus::new_prime(97).unwrap()), 5);
+    }
+
+    #[test]
+    fn primitive_root_q124_matches_precomputed() {
+        // Computed independently during design: g = 14.
+        let m = Modulus::new_prime(primes::Q124).unwrap();
+        assert_eq!(primitive_root(&m), 14);
+    }
+
+    #[test]
+    fn root_of_unity_orders() {
+        let m = Modulus::new_prime(primes::Q124).unwrap();
+        for log_n in [1_u32, 4, 10, 16, 20] {
+            let n = 1_u64 << log_n;
+            let w = root_of_unity(&m, n).unwrap();
+            assert_eq!(m.pow_mod(w, u128::from(n)), 1);
+            if n > 1 {
+                assert_ne!(m.pow_mod(w, u128::from(n / 2)), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn root_of_unity_errors() {
+        let m = Modulus::new_prime(primes::Q124).unwrap();
+        assert_eq!(
+            root_of_unity(&m, 0),
+            Err(RootError::OrderNotPowerOfTwo { order: 0 })
+        );
+        assert_eq!(
+            root_of_unity(&m, 3),
+            Err(RootError::OrderNotPowerOfTwo { order: 3 })
+        );
+        // 2-adicity of Q124 is 20, so 2^21 must fail.
+        assert_eq!(
+            root_of_unity(&m, 1 << 21),
+            Err(RootError::NoSuchRoot { order: 1 << 21 })
+        );
+    }
+
+    #[test]
+    fn two_adicity_of_workspace_primes() {
+        assert_eq!(two_adicity(primes::Q124), 20);
+        assert_eq!(two_adicity(primes::Q120), 20);
+        assert_eq!(two_adicity(primes::Q62), 20);
+        assert_eq!(two_adicity(primes::Q30), 18);
+        assert_eq!(two_adicity(primes::Q14), 10);
+    }
+
+    #[test]
+    fn gcd_properties() {
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(primes::Q124, primes::Q120), 1);
+    }
+}

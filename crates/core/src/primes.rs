@@ -1,0 +1,107 @@
+//! NTT-friendly prime moduli: verified constants and a search routine.
+//!
+//! A radix-2 NTT of size `n` over ℤ_q needs `n | q − 1`; negacyclic use
+//! (polynomial multiplication in ℤ_q\[x\]/(xⁿ+1)) needs `2n | q − 1`. The
+//! constants below are the *largest* primes of their bit width with
+//! 2-adicity at least the stated amount, so a single modulus serves every
+//! NTT size the paper benchmarks (2¹⁰ … 2¹⁷ and beyond).
+//!
+//! All constants are re-verified by the test suite (primality, width and
+//! 2-adicity), so a corrupted constant cannot survive `cargo test`.
+
+use crate::nt;
+
+/// The workspace default modulus: the largest 124-bit prime `q` with
+/// `2^20 | q − 1`.
+///
+/// `q = 2^124 − 95420033 = 0x0FFF_FFFF_FFFF_FFFF_FFFF_FFFF_FA50_0001`.
+/// 124 bits is the widest modulus Barrett reduction admits on a 128-bit
+/// data path (§2.1), making this the paper's headline configuration.
+pub const Q124: u128 = 21_267_647_932_558_653_966_460_912_964_390_092_801;
+
+/// The largest 120-bit prime with `2^20 | q − 1` — a second wide modulus
+/// for tests that need two distinct fields (e.g. RNS-style checks).
+pub const Q120: u128 = 1_329_227_995_784_915_872_903_807_060_247_838_721;
+
+/// The largest 62-bit prime with `2^20 | q − 1`. Fits a single machine
+/// word; used by tests that cross-check double-word kernels against
+/// native 64-bit arithmetic.
+pub const Q62: u128 = 4_611_686_018_405_367_809;
+
+/// A 30-bit NTT prime with 2-adicity 18 (`0x3FFC0001`), convenient for
+/// exhaustive small-field tests.
+pub const Q30: u128 = 1_073_479_681;
+
+/// A 14-bit NTT prime with 2-adicity 10 (`15361`), small enough for
+/// brute-force oracles over the whole field.
+pub const Q14: u128 = 15_361;
+
+/// Finds the largest prime `q < 2^bits` with `2^two_adicity | q − 1`, or
+/// `None` if the search space is empty or inconsistent.
+///
+/// The scan steps downward through candidates `≡ 1 (mod 2^two_adicity)`,
+/// so the first prime hit is the maximum.
+///
+/// ```
+/// use mqx_core::primes::{find_ntt_prime, Q124};
+/// assert_eq!(find_ntt_prime(124, 20), Some(Q124));
+/// assert_eq!(find_ntt_prime(14, 10), Some(15361));
+/// assert_eq!(find_ntt_prime(4, 10), None); // 2^10 + 1 > 2^4
+/// ```
+pub fn find_ntt_prime(bits: u32, two_adicity: u32) -> Option<u128> {
+    if bits == 0 || bits > 127 || two_adicity >= bits {
+        return None;
+    }
+    let step = 1_u128 << two_adicity;
+    let top = (1_u128 << bits) - 1;
+    let mut candidate = top - ((top - 1) % step);
+    while candidate > step {
+        if nt::is_prime(candidate) {
+            return Some(candidate);
+        }
+        candidate -= step;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nt::{is_prime, two_adicity};
+
+    #[test]
+    fn constants_are_prime_with_declared_structure() {
+        for (q, bits, adicity) in [
+            (Q124, 124, 20),
+            (Q120, 120, 20),
+            (Q62, 62, 20),
+            (Q30, 30, 18),
+            (Q14, 14, 10),
+        ] {
+            assert!(is_prime(q), "{q} must be prime");
+            assert_eq!(128 - q.leading_zeros(), bits, "{q} width");
+            assert!(two_adicity(q) >= adicity, "{q} 2-adicity");
+        }
+    }
+
+    #[test]
+    fn constants_are_maximal_for_their_class() {
+        assert_eq!(find_ntt_prime(62, 20), Some(Q62));
+        assert_eq!(find_ntt_prime(30, 18), Some(Q30));
+        assert_eq!(find_ntt_prime(14, 10), Some(Q14));
+    }
+
+    #[test]
+    fn find_rejects_degenerate_requests() {
+        assert_eq!(find_ntt_prime(0, 0), None);
+        assert_eq!(find_ntt_prime(128, 10), None);
+        assert_eq!(find_ntt_prime(10, 10), None);
+    }
+
+    #[test]
+    fn found_primes_support_requested_ntt_sizes() {
+        let q = find_ntt_prime(40, 12).expect("40-bit NTT prime exists");
+        assert!(is_prime(q));
+        assert_eq!((q - 1) % (1 << 12), 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Shoup modular multiplication by a fixed operand — an extension
+//! beyond the paper (DESIGN.md §7).
+//!
+//! NTT butterflies always multiply by *precomputed* twiddles, so the
+//! per-multiplier constant `w' = ⌊w·2^128 / q⌋` can be stored next to
+//! each twiddle. The reduction then needs only multiplies-high/low and
+//! one conditional subtraction:
+//!
+//! ```text
+//! q̂ = hi128(x · w')          — quotient estimate
+//! r  = (x·w − q̂·q) mod 2^128 — low halves only
+//! r  ∈ [0, 2q): subtract q once if needed
+//! ```
+//!
+//! This is the standard trick in 64-bit NTT libraries (HEXL, SEAL),
+//! lifted to the double-word setting; it gives the ablation "how much of
+//! Barrett's cost is the µ multiply" a concrete answer.
+
+use crate::{DWord, Modulus};
+
+/// A fixed multiplier `w < q` with its Shoup constant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShoupMul {
+    w: u128,
+    /// `⌊w·2^128 / q⌋` — fits `u128` because `w < q`.
+    w_shoup: u128,
+    q: u128,
+}
+
+impl ShoupMul {
+    /// Precomputes the constant for multiplier `w` in ring `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w ≥ q`.
+    pub fn new(w: u128, m: &Modulus) -> Self {
+        let q = m.value();
+        assert!(w < q, "multiplier must be reduced");
+        ShoupMul {
+            w,
+            w_shoup: div_shifted_128(w, q),
+            q,
+        }
+    }
+
+    /// The multiplier.
+    pub fn multiplier(&self) -> u128 {
+        self.w
+    }
+
+    /// The precomputed `⌊w·2^128/q⌋`.
+    pub fn constant(&self) -> u128 {
+        self.w_shoup
+    }
+
+    /// Computes `x·w mod q`.
+    ///
+    /// # Panics (debug)
+    ///
+    /// Debug-asserts `x < q`.
+    #[inline]
+    pub fn mul(&self, x: u128) -> u128 {
+        debug_assert!(x < self.q);
+        let (qhat, _) = DWord::from(x).mul_wide_schoolbook(DWord::from(self.w_shoup));
+        // Low halves of x·w and q̂·q; their difference is exact mod 2^128
+        // and lands in [0, 2q).
+        let xw_lo = x.wrapping_mul(self.w);
+        let qq_lo = u128::from(qhat).wrapping_mul(self.q);
+        let r = xw_lo.wrapping_sub(qq_lo);
+        if r >= self.q {
+            r - self.q
+        } else {
+            r
+        }
+    }
+}
+
+/// `⌊w·2^128 / q⌋` by restoring long division over 256 bits (runs once
+/// per precomputed multiplier).
+fn div_shifted_128(w: u128, q: u128) -> u128 {
+    let mut rem: u128 = 0;
+    let mut quot: u128 = 0;
+    // Numerator bits, most significant first: the 128 bits of w, then
+    // 128 zero bits.
+    for i in (0..256).rev() {
+        let bit = if i >= 128 { (w >> (i - 128)) & 1 } else { 0 };
+        let carry = rem >> 127;
+        rem = (rem << 1) | bit;
+        quot <<= 1;
+        if carry == 1 || rem >= q {
+            rem = rem.wrapping_sub(q);
+            quot |= 1;
+        }
+    }
+    quot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primes;
+    use mqx_bignum::BigUint;
+
+    #[test]
+    fn constant_matches_bignum() {
+        let m = Modulus::new(primes::Q124).unwrap();
+        for w in [1_u128, 2, primes::Q124 - 1, primes::Q124 / 2, 0xDEAD_BEEF] {
+            let s = ShoupMul::new(w, &m);
+            let expected = (&(&BigUint::from(w) << 128) / &BigUint::from(primes::Q124))
+                .to_u128()
+                .unwrap();
+            assert_eq!(s.constant(), expected, "w={w:#x}");
+        }
+    }
+
+    #[test]
+    fn mul_matches_barrett_on_random_inputs() {
+        let m = Modulus::new(primes::Q124).unwrap();
+        let q = m.value();
+        let mut state: u128 = 0x0F1E_2D3C_4B5A_6978_8796_A5B4_C3D2_E1F0;
+        for _ in 0..50 {
+            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let w = state % q;
+            let s = ShoupMul::new(w, &m);
+            for _ in 0..20 {
+                state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                let x = state % q;
+                assert_eq!(s.mul(x), m.mul_mod(x, w), "x={x:#x} w={w:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_multipliers() {
+        let m = Modulus::new(primes::Q120).unwrap();
+        let q = m.value();
+        for w in [0_u128, 1, q - 1] {
+            let s = ShoupMul::new(w, &m);
+            for x in [0_u128, 1, q - 1, q / 2] {
+                assert_eq!(s.mul(x), m.mul_mod(x, w));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reduced")]
+    fn unreduced_multiplier_rejected() {
+        let m = Modulus::new(primes::Q124).unwrap();
+        let _ = ShoupMul::new(primes::Q124, &m);
+    }
+}

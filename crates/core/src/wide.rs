@@ -1,0 +1,234 @@
+//! Fixed-width 256- and 384-bit helpers used by Barrett reduction.
+//!
+//! Barrett's quotient estimate `t = ⌊x·µ / 2^k⌋` (Eq. 4) needs a 256-bit
+//! product `x = a·b`, a 256×128→384-bit product `x·µ`, and a long right
+//! shift. These helpers keep everything in stack-allocated limb arrays —
+//! no heap, no loops over dynamic lengths — matching what the fixed-width
+//! kernels (and their SIMD translations) actually execute.
+
+use crate::word;
+use crate::DWord;
+
+/// A 256-bit unsigned integer as four little-endian 64-bit limbs.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct U256 {
+    /// Little-endian limbs: `limbs[0]` is least significant.
+    pub limbs: [u64; 4],
+}
+
+/// A 384-bit unsigned integer as six little-endian 64-bit limbs.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct U384 {
+    /// Little-endian limbs: `limbs[0]` is least significant.
+    pub limbs: [u64; 6],
+}
+
+impl U256 {
+    /// The value zero.
+    pub const ZERO: U256 = U256 { limbs: [0; 4] };
+
+    /// Assembles a 256-bit value from `(high, low)` double-words.
+    #[inline]
+    pub const fn from_dwords(hi: DWord, lo: DWord) -> Self {
+        U256 {
+            limbs: [lo.lo(), lo.hi(), hi.lo(), hi.hi()],
+        }
+    }
+
+    /// The full product of two double-words (schoolbook).
+    #[inline]
+    pub const fn from_product(a: DWord, b: DWord) -> Self {
+        let (hi, lo) = a.mul_wide_schoolbook(b);
+        Self::from_dwords(hi, lo)
+    }
+
+    /// Returns the low 128 bits.
+    #[inline]
+    pub const fn low_dword(self) -> DWord {
+        DWord::new(self.limbs[1], self.limbs[0])
+    }
+
+    /// Returns the high 128 bits.
+    #[inline]
+    pub const fn high_dword(self) -> DWord {
+        DWord::new(self.limbs[3], self.limbs[2])
+    }
+
+    /// Wrapping subtraction; returns the difference and the borrow-out.
+    #[inline]
+    pub const fn borrowing_sub(self, rhs: U256) -> (U256, bool) {
+        let (l0, b) = word::sbb(self.limbs[0], rhs.limbs[0], false);
+        let (l1, b) = word::sbb(self.limbs[1], rhs.limbs[1], b);
+        let (l2, b) = word::sbb(self.limbs[2], rhs.limbs[2], b);
+        let (l3, b) = word::sbb(self.limbs[3], rhs.limbs[3], b);
+        (U256 { limbs: [l0, l1, l2, l3] }, b)
+    }
+
+    /// Wrapping addition; returns the sum and the carry-out.
+    #[inline]
+    pub const fn carrying_add(self, rhs: U256) -> (U256, bool) {
+        let (l0, c) = word::adc(self.limbs[0], rhs.limbs[0], false);
+        let (l1, c) = word::adc(self.limbs[1], rhs.limbs[1], c);
+        let (l2, c) = word::adc(self.limbs[2], rhs.limbs[2], c);
+        let (l3, c) = word::adc(self.limbs[3], rhs.limbs[3], c);
+        (U256 { limbs: [l0, l1, l2, l3] }, c)
+    }
+
+    /// `self < rhs` as 256-bit values.
+    #[inline]
+    pub const fn lt(self, rhs: U256) -> bool {
+        let mut i = 3_i32;
+        while i >= 0 {
+            let (a, b) = (self.limbs[i as usize], rhs.limbs[i as usize]);
+            if a != b {
+                return a < b;
+            }
+            i -= 1;
+        }
+        false
+    }
+
+    /// The 256×128→384-bit product `self · m`.
+    #[inline]
+    pub const fn mul_dword(self, m: DWord) -> U384 {
+        let mut out = [0_u64; 6];
+        let mlimbs = [m.lo(), m.hi()];
+        let mut j = 0;
+        while j < 2 {
+            let mut carry: u64 = 0;
+            let mut i = 0;
+            while i < 4 {
+                let (p_hi, p_lo) = word::mul_wide(self.limbs[i], mlimbs[j]);
+                // out[i+j] += p_lo + carry, tracking into p_hi.
+                let (s, c1) = word::adc(out[i + j], p_lo, false);
+                let (s, c2) = word::adc(s, carry, false);
+                out[i + j] = s;
+                carry = p_hi + c1 as u64 + c2 as u64; // cannot overflow: p_hi ≤ 2^64-2
+                i += 1;
+            }
+            out[4 + j] = out[4 + j].wrapping_add(carry);
+            j += 1;
+        }
+        U384 { limbs: out }
+    }
+}
+
+impl U384 {
+    /// Logical right shift by `s` bits (`0 ≤ s < 384`), returning the low
+    /// 128 bits of the result; higher bits are truncated.
+    ///
+    /// Barrett only ever consumes the shifted value as a quotient estimate
+    /// `t < 2^126`, so the truncation is lossless in that context (the
+    /// reduction step asserts its own invariant via the borrow check).
+    #[inline]
+    pub fn shr_to_dword(self, s: u32) -> DWord {
+        debug_assert!(s < 384);
+        let limb = (s / 64) as usize;
+        let bit = s % 64;
+        let get = |i: usize| -> u64 {
+            if i < 6 {
+                self.limbs[i]
+            } else {
+                0
+            }
+        };
+        let lo = if bit == 0 {
+            get(limb)
+        } else {
+            (get(limb) >> bit) | (get(limb + 1) << (64 - bit))
+        };
+        let hi = if bit == 0 {
+            get(limb + 1)
+        } else {
+            (get(limb + 1) >> bit) | (get(limb + 2) << (64 - bit))
+        };
+        DWord::new(hi, lo)
+    }
+}
+
+impl From<DWord> for U256 {
+    #[inline]
+    fn from(v: DWord) -> Self {
+        U256::from_dwords(DWord::ZERO, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u256_from_u128s(hi: u128, lo: u128) -> U256 {
+        U256::from_dwords(DWord::from(hi), DWord::from(lo))
+    }
+
+    #[test]
+    fn from_product_matches_dword_mul() {
+        let a = DWord::from(u128::MAX - 12345);
+        let b = DWord::from(0xDEAD_BEEF_CAFE_BABE_u128 << 32);
+        let p = U256::from_product(a, b);
+        let (hi, lo) = a.mul_wide_schoolbook(b);
+        assert_eq!(p.high_dword(), hi);
+        assert_eq!(p.low_dword(), lo);
+    }
+
+    #[test]
+    fn borrowing_sub_and_lt() {
+        let a = u256_from_u128s(5, 0);
+        let b = u256_from_u128s(4, u128::MAX);
+        let (d, borrow) = a.borrowing_sub(b);
+        assert!(!borrow);
+        assert_eq!(u128::from(d.low_dword()), 1);
+        assert_eq!(u128::from(d.high_dword()), 0);
+        assert!(b.lt(a));
+        assert!(!a.lt(b));
+        assert!(!a.lt(a));
+
+        let (_, borrow) = b.borrowing_sub(a);
+        assert!(borrow);
+    }
+
+    #[test]
+    fn carrying_add_roundtrip() {
+        let a = u256_from_u128s(u128::MAX, u128::MAX); // 2^256 - 1
+        let one = U256::from(DWord::ONE);
+        let (s, c) = a.carrying_add(one);
+        assert!(c);
+        assert_eq!(s, U256::ZERO);
+    }
+
+    #[test]
+    fn mul_dword_vs_schoolbook_through_shift() {
+        // (x · m) >> 128 should equal the high part computable via two
+        // dword multiplications when x < 2^128.
+        let x = DWord::from(0x0123_4567_89AB_CDEF_0011_2233_4455_6677_u128);
+        let m = DWord::from((1_u128 << 124) - 987);
+        let prod = U256::from(x).mul_dword(m);
+        let (hi, _lo) = x.mul_wide_schoolbook(m);
+        assert_eq!(prod.shr_to_dword(128), hi);
+    }
+
+    #[test]
+    fn shr_to_dword_alignment_cases() {
+        // Value with a recognizable pattern: limbs [1, 2, 3, 4, 5, 6].
+        let v = U384 {
+            limbs: [1, 2, 3, 4, 0, 0],
+        };
+        assert_eq!(v.shr_to_dword(0), DWord::new(2, 1));
+        assert_eq!(v.shr_to_dword(64), DWord::new(3, 2));
+        assert_eq!(v.shr_to_dword(128), DWord::new(4, 3));
+        // Unaligned: shift by 1 of limbs [0, 1, ...] → hi bit moves down.
+        let w = U384 {
+            limbs: [0, 1, 0, 0, 0, 0],
+        };
+        assert_eq!(u128::from(w.shr_to_dword(1)), 1_u128 << 63);
+        assert_eq!(u128::from(w.shr_to_dword(63)), 2);
+        assert_eq!(u128::from(w.shr_to_dword(65)), 0);
+    }
+
+    #[test]
+    fn mul_dword_small_identity() {
+        let x = u256_from_u128s(0, 42);
+        let p = x.mul_dword(DWord::ONE);
+        assert_eq!(p.shr_to_dword(0), DWord::from(42_u128));
+    }
+}

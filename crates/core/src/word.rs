@@ -1,0 +1,226 @@
+//! Single-word (64-bit) primitives: addition with carry, subtraction with
+//! borrow, and widening multiplication.
+//!
+//! Two formulations are provided for carry recovery:
+//!
+//! * the *exact* forms ([`adc`], [`sbb`]) built from `overflowing_add` /
+//!   `overflowing_sub`, which compile to the x86 `ADC`/`SBB` instructions —
+//!   the paper's scalar benchmarking variant (§3.1); and
+//! * the *comparison-based* forms ([`adc_cmp`]) used by the paper's Table 1,
+//!   which recover the carry with unsigned compares only. Those map 1:1
+//!   onto SIMD compare instructions and are the template for the AVX-512
+//!   code of Listing 2, but they are only exact in the "cryptographic
+//!   setting" where at least one operand is below `2^63` (always true for
+//!   the high words of values bounded by a ≤ 124-bit modulus).
+
+/// Adds two words and a carry bit; returns the sum and the carry-out.
+///
+/// This is the exact scalar semantics of the x86 `ADC` instruction and of
+/// the proposed MQX `_mm512_adc_epi64` (Table 2).
+///
+/// ```
+/// use mqx_core::word::adc;
+/// assert_eq!(adc(u64::MAX, 0, true), (0, true));
+/// assert_eq!(adc(1, 2, false), (3, false));
+/// assert_eq!(adc(u64::MAX, u64::MAX, true), (u64::MAX, true));
+/// ```
+#[inline]
+pub const fn adc(a: u64, b: u64, carry_in: bool) -> (u64, bool) {
+    let (t, c1) = a.overflowing_add(b);
+    let (s, c2) = t.overflowing_add(carry_in as u64);
+    (s, c1 | c2)
+}
+
+/// Subtracts a word and a borrow bit; returns the difference and the
+/// borrow-out.
+///
+/// This is the exact scalar semantics of the x86 `SBB` instruction and of
+/// the proposed MQX `_mm512_sbb_epi64` (Table 2).
+///
+/// ```
+/// use mqx_core::word::sbb;
+/// assert_eq!(sbb(0, 1, false), (u64::MAX, true));
+/// assert_eq!(sbb(5, 2, true), (2, false));
+/// assert_eq!(sbb(0, 0, true), (u64::MAX, true));
+/// ```
+#[inline]
+pub const fn sbb(a: u64, b: u64, borrow_in: bool) -> (u64, bool) {
+    let (t, b1) = a.overflowing_sub(b);
+    let (d, b2) = t.overflowing_sub(borrow_in as u64);
+    (d, b1 | b2)
+}
+
+/// Adds two words and a carry bit, recovering the carry-out with unsigned
+/// comparisons only — the Table 1 scalar form (`co = (t1 < a) || (t1 < b)`).
+///
+/// This formulation exists because SIMD instruction sets before MQX have no
+/// carry flag: the compare-based recovery is what Listing 2 vectorizes.
+///
+/// # Correctness domain
+///
+/// Exact whenever `a` and `b` are not *both* `u64::MAX` while
+/// `carry_in` is set — in particular whenever either operand is `< 2^63`,
+/// which always holds in the paper's cryptographic setting (the high words
+/// of operands bounded by a ≤ 124-bit modulus are `< 2^60`).
+///
+/// ```
+/// use mqx_core::word::{adc, adc_cmp};
+/// // Agrees with the exact form on the cryptographic domain:
+/// let (a, b) = (0x0FFF_FFFF_FFFF_FFFF_u64, 0x0ABC_0000_0000_0001);
+/// assert_eq!(adc_cmp(a, b, true), adc(a, b, true));
+/// ```
+#[inline]
+pub const fn adc_cmp(a: u64, b: u64, carry_in: bool) -> (u64, bool) {
+    let t0 = a.wrapping_add(b);
+    let t1 = t0.wrapping_add(carry_in as u64);
+    let q0 = t1 < a;
+    let q1 = t1 < b;
+    (t1, q0 | q1)
+}
+
+/// Multiplies two words, returning `(high, low)` halves of the 128-bit
+/// product.
+///
+/// This is the exact semantics of the x86 widening `MUL` and of the
+/// proposed MQX `_mm512_mul_epi64` (Table 2).
+///
+/// ```
+/// use mqx_core::word::mul_wide;
+/// assert_eq!(mul_wide(u64::MAX, u64::MAX), (u64::MAX - 1, 1));
+/// assert_eq!(mul_wide(2, 3), (0, 6));
+/// ```
+#[inline]
+pub const fn mul_wide(a: u64, b: u64) -> (u64, u64) {
+    let p = (a as u128) * (b as u128);
+    ((p >> 64) as u64, p as u64)
+}
+
+/// Returns the high 64 bits of the 64×64-bit product — the `+Mh`
+/// (multiply-high) alternative evaluated in the paper's §5.5 sensitivity
+/// analysis.
+///
+/// ```
+/// use mqx_core::word::{mul_hi, mul_wide};
+/// assert_eq!(mul_hi(u64::MAX, 12345), mul_wide(u64::MAX, 12345).0);
+/// ```
+#[inline]
+pub const fn mul_hi(a: u64, b: u64) -> u64 {
+    (((a as u128) * (b as u128)) >> 64) as u64
+}
+
+/// Returns the low 64 bits of the 64×64-bit product (the AVX-512
+/// `vpmullq` semantics).
+#[inline]
+pub const fn mul_lo(a: u64, b: u64) -> u64 {
+    a.wrapping_mul(b)
+}
+
+/// Emulates the widening multiply the way baseline AVX-512 must: from
+/// 32×32→64-bit partial products (`vpmuludq`) combined with shifts and
+/// adds. Bit-exact with [`mul_wide`]; exists so the scalar crate documents
+/// and tests the exact decomposition the SIMD backend uses.
+///
+/// ```
+/// use mqx_core::word::{mul_wide, mul_wide_via_u32};
+/// assert_eq!(mul_wide_via_u32(0xDEAD_BEEF_1234_5678, 0x0FED_CBA9_8765_4321),
+///            mul_wide(0xDEAD_BEEF_1234_5678, 0x0FED_CBA9_8765_4321));
+/// ```
+#[inline]
+pub const fn mul_wide_via_u32(a: u64, b: u64) -> (u64, u64) {
+    let (a_lo, a_hi) = (a & 0xFFFF_FFFF, a >> 32);
+    let (b_lo, b_hi) = (b & 0xFFFF_FFFF, b >> 32);
+
+    let ll = a_lo * b_lo; // each partial is a full 64-bit value
+    let lh = a_lo * b_hi;
+    let hl = a_hi * b_lo;
+    let hh = a_hi * b_hi;
+
+    // Sum the middle column with carry tracking.
+    let mid = (ll >> 32) + (lh & 0xFFFF_FFFF) + (hl & 0xFFFF_FFFF);
+    let lo = (ll & 0xFFFF_FFFF) | (mid << 32);
+    let hi = hh + (lh >> 32) + (hl >> 32) + (mid >> 32);
+    (hi, lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adc_exhaustive_carry_patterns() {
+        assert_eq!(adc(0, 0, false), (0, false));
+        assert_eq!(adc(0, 0, true), (1, false));
+        assert_eq!(adc(u64::MAX, 1, false), (0, true));
+        assert_eq!(adc(u64::MAX, 0, true), (0, true));
+        assert_eq!(adc(u64::MAX, u64::MAX, false), (u64::MAX - 1, true));
+        assert_eq!(adc(u64::MAX, u64::MAX, true), (u64::MAX, true));
+    }
+
+    #[test]
+    fn sbb_exhaustive_borrow_patterns() {
+        assert_eq!(sbb(0, 0, false), (0, false));
+        assert_eq!(sbb(0, 0, true), (u64::MAX, true));
+        assert_eq!(sbb(0, u64::MAX, false), (1, true));
+        assert_eq!(sbb(0, u64::MAX, true), (0, true));
+        assert_eq!(sbb(u64::MAX, u64::MAX, true), (u64::MAX, true));
+    }
+
+    #[test]
+    fn adc_matches_u128_reference() {
+        let samples = [0_u64, 1, 2, 0xFFFF_FFFF, 1 << 62, (1 << 63) - 1, 1 << 63, u64::MAX - 1, u64::MAX];
+        for &a in &samples {
+            for &b in &samples {
+                for ci in [false, true] {
+                    let wide = a as u128 + b as u128 + ci as u128;
+                    assert_eq!(adc(a, b, ci), (wide as u64, wide >> 64 == 1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adc_cmp_agrees_on_cryptographic_domain() {
+        // High words of 124-bit-bounded values are < 2^60.
+        let samples = [0_u64, 1, 0xABC, (1 << 60) - 1, 1 << 59];
+        for &a in &samples {
+            for &b in &samples {
+                for ci in [false, true] {
+                    assert_eq!(adc_cmp(a, b, ci), adc(a, b, ci), "a={a:#x} b={b:#x} ci={ci}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adc_cmp_documented_boundary_failure() {
+        // The one pattern where compare-based carry recovery is wrong:
+        // both operands MAX with carry-in. This is *why* the domain
+        // restriction exists; the paper's kernels never hit it.
+        let exact = adc(u64::MAX, u64::MAX, true);
+        let cmp = adc_cmp(u64::MAX, u64::MAX, true);
+        assert_eq!(exact.0, cmp.0); // sums agree
+        assert_ne!(exact.1, cmp.1); // carries differ: the known failure
+    }
+
+    #[test]
+    fn mul_wide_corners() {
+        assert_eq!(mul_wide(0, u64::MAX), (0, 0));
+        assert_eq!(mul_wide(1, u64::MAX), (0, u64::MAX));
+        assert_eq!(mul_wide(1 << 32, 1 << 32), (1, 0));
+        assert_eq!(mul_hi(1 << 32, 1 << 32), 1);
+        assert_eq!(mul_lo(1 << 32, 1 << 32), 0);
+    }
+
+    #[test]
+    fn mul_wide_via_u32_matches_exact() {
+        let samples = [
+            0_u64, 1, 0xFFFF_FFFF, 0x1_0000_0000, 0xDEAD_BEEF_CAFE_BABE,
+            u64::MAX, u64::MAX - 1, (1 << 63) | 1,
+        ];
+        for &a in &samples {
+            for &b in &samples {
+                assert_eq!(mul_wide_via_u32(a, b), mul_wide(a, b), "a={a:#x} b={b:#x}");
+            }
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Instructions and instruction classes.
+
+/// A virtual register id. Vector registers and mask registers share one
+/// namespace (the analysis only needs read-after-write edges).
+pub type Reg = u16;
+
+/// Instruction classes the machine models describe. Each class maps to a
+/// (µops, ports, latency) descriptor per [`Machine`](crate::Machine).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Class {
+    /// `vpaddq` / `vpsubq` (including masked/zero-masked forms).
+    VecAddSub,
+    /// `vpcmpuq`/`vpcmpeqq`/`vpcmpgtq` producing a mask register.
+    VecCmpMask,
+    /// `vpmullq` — 64-bit low multiply (AVX-512DQ).
+    VecMullq,
+    /// `vpmuludq` — 32×32→64 widening multiply.
+    VecMuludq,
+    /// `vpsllq`/`vpsrlq` by immediate or xmm count.
+    VecShift,
+    /// `vpandq`/`vporq`/`vpxorq`.
+    VecLogic,
+    /// `vpblendmq` and masked moves.
+    VecBlend,
+    /// `vpermt2q` (two-source full permute).
+    VecPermute,
+    /// `vpunpcklqdq`/`vpunpckhqdq`.
+    VecUnpack,
+    /// `korb`/`kandb`/`knotb` mask-register logic.
+    MaskLogic,
+    /// `vmovdqa64`/`vmovq` register moves.
+    VecMove,
+    /// `vmovdqu64` from memory.
+    VecLoad,
+    /// Proposed `vpadcq`/`vpsbbq` — add/sub with carry (Table 2). PISA
+    /// maps them onto the masked add/sub descriptor (Table 3).
+    MqxAdcSbb,
+    /// Proposed `vpmulq` — full widening multiply. PISA maps it onto the
+    /// `vpmullq` descriptor.
+    MqxMulWide,
+}
+
+/// One instruction in a kernel: class, display text, and operands for
+/// dependency edges.
+#[derive(Clone, Debug)]
+pub struct Inst {
+    /// The machine-model class.
+    pub class: Class,
+    /// Assembly-like display text for reports.
+    pub asm: String,
+    /// Destination registers (an MQX widening multiply writes two).
+    pub dsts: Vec<Reg>,
+    /// Source registers.
+    pub srcs: Vec<Reg>,
+}
+
+impl Inst {
+    /// Builds an instruction.
+    pub fn new(class: Class, asm: impl Into<String>, dsts: &[Reg], srcs: &[Reg]) -> Self {
+        Inst {
+            class,
+            asm: asm.into(),
+            dsts: dsts.to_vec(),
+            srcs: srcs.to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inst_builder_keeps_operands() {
+        let i = Inst::new(Class::VecAddSub, "vpaddq a, b, c", &[1], &[2, 3]);
+        assert_eq!(i.dsts, vec![1]);
+        assert_eq!(i.srcs, vec![2, 3]);
+        assert!(i.asm.starts_with("vpaddq"));
+    }
+}

@@ -1,0 +1,446 @@
+//! Instruction streams for the paper's kernels, in baseline AVX-512 and
+//! MQX form (the inputs to Listing 4's analysis).
+//!
+//! The streams are *emitted* by a small builder whose methods mirror the
+//! structure of the real kernels in `mqx-simd::dmod` — the baseline
+//! emitter expands `adc`/`sbb`/`mul_wide` into their Table 1 / §3.2
+//! emulation sequences, the MQX emitter emits the proposed single
+//! instructions — so instruction counts track the code that actually
+//! runs.
+
+use crate::inst::{Class, Inst, Reg};
+
+/// Emits instruction streams while allocating virtual registers.
+struct Emitter {
+    insts: Vec<Inst>,
+    next: Reg,
+    mqx: bool,
+}
+
+impl Emitter {
+    fn new(mqx: bool) -> Self {
+        Emitter {
+            insts: Vec::new(),
+            next: 0,
+            mqx,
+        }
+    }
+
+    fn reg(&mut self) -> Reg {
+        let r = self.next;
+        self.next += 1;
+        r
+    }
+
+    fn push(&mut self, class: Class, asm: String, dsts: &[Reg], srcs: &[Reg]) {
+        self.insts.push(Inst::new(class, asm, dsts, srcs));
+    }
+
+    fn add(&mut self, a: Reg, b: Reg) -> Reg {
+        let d = self.reg();
+        self.push(Class::VecAddSub, format!("vpaddq v{d}, v{a}, v{b}"), &[d], &[a, b]);
+        d
+    }
+
+    fn sub(&mut self, a: Reg, b: Reg) -> Reg {
+        let d = self.reg();
+        self.push(Class::VecAddSub, format!("vpsubq v{d}, v{a}, v{b}"), &[d], &[a, b]);
+        d
+    }
+
+    fn mask_add_one(&mut self, src: Reg, k: Reg) -> Reg {
+        let d = self.reg();
+        self.push(
+            Class::VecAddSub,
+            format!("vpaddq v{d}{{k{k}}}, v{src}, one"),
+            &[d],
+            &[src, k],
+        );
+        d
+    }
+
+    fn mask_sub_one(&mut self, src: Reg, k: Reg) -> Reg {
+        let d = self.reg();
+        self.push(
+            Class::VecAddSub,
+            format!("vpsubq v{d}{{k{k}}}, v{src}, one"),
+            &[d],
+            &[src, k],
+        );
+        d
+    }
+
+    fn cmp(&mut self, op: &str, a: Reg, b: Reg) -> Reg {
+        let d = self.reg();
+        self.push(
+            Class::VecCmpMask,
+            format!("vpcmp{op}uq k{d}, v{a}, v{b}"),
+            &[d],
+            &[a, b],
+        );
+        d
+    }
+
+    fn kor(&mut self, a: Reg, b: Reg) -> Reg {
+        let d = self.reg();
+        self.push(Class::MaskLogic, format!("korb k{d}, k{a}, k{b}"), &[d], &[a, b]);
+        d
+    }
+
+    fn kand(&mut self, a: Reg, b: Reg) -> Reg {
+        let d = self.reg();
+        self.push(Class::MaskLogic, format!("kandb k{d}, k{a}, k{b}"), &[d], &[a, b]);
+        d
+    }
+
+    fn knot(&mut self, a: Reg) -> Reg {
+        let d = self.reg();
+        self.push(Class::MaskLogic, format!("knotb k{d}, k{a}"), &[d], &[a]);
+        d
+    }
+
+    fn blend(&mut self, k: Reg, a: Reg, b: Reg) -> Reg {
+        let d = self.reg();
+        self.push(
+            Class::VecBlend,
+            format!("vpblendmq v{d}{{k{k}}}, v{a}, v{b}"),
+            &[d],
+            &[k, a, b],
+        );
+        d
+    }
+
+    fn shift(&mut self, op: &str, a: Reg, n: u32) -> Reg {
+        let d = self.reg();
+        self.push(Class::VecShift, format!("vp{op}q v{d}, v{a}, {n}"), &[d], &[a]);
+        d
+    }
+
+    fn logic(&mut self, op: &str, a: Reg, b: Reg) -> Reg {
+        let d = self.reg();
+        self.push(Class::VecLogic, format!("vp{op}q v{d}, v{a}, v{b}"), &[d], &[a, b]);
+        d
+    }
+
+    fn muludq(&mut self, a: Reg, b: Reg) -> Reg {
+        let d = self.reg();
+        self.push(Class::VecMuludq, format!("vpmuludq v{d}, v{a}, v{b}"), &[d], &[a, b]);
+        d
+    }
+
+    fn mullq(&mut self, a: Reg, b: Reg) -> Reg {
+        let d = self.reg();
+        self.push(Class::VecMullq, format!("vpmullq v{d}, v{a}, v{b}"), &[d], &[a, b]);
+        d
+    }
+
+    /// adc with carry-in: MQX `vpadcq` or the Table 1 emulation.
+    fn adc(&mut self, a: Reg, b: Reg, ci: Option<Reg>) -> (Reg, Reg) {
+        if self.mqx {
+            let d = self.reg();
+            let co = self.reg();
+            let ci_txt = ci.map_or("z".to_string(), |c| format!("k{c}"));
+            let mut srcs = vec![a, b];
+            srcs.extend(ci);
+            self.push(
+                Class::MqxAdcSbb,
+                format!("vpadcq v{d}, k{co}, v{a}, v{b} {{{ci_txt}}}"),
+                &[d, co],
+                &srcs,
+            );
+            return (d, co);
+        }
+        match ci {
+            None => {
+                let t0 = self.add(a, b);
+                let c = self.cmp("lt", t0, a);
+                (t0, c)
+            }
+            Some(ci) => {
+                let t0 = self.add(a, b);
+                let t1 = self.mask_add_one(t0, ci);
+                let q0 = self.cmp("lt", t0, a);
+                let q1 = self.cmp("lt", t1, t0);
+                let co = self.kor(q0, q1);
+                (t1, co)
+            }
+        }
+    }
+
+    /// sbb with borrow-in: MQX `vpsbbq` or the compare emulation.
+    fn sbb(&mut self, a: Reg, b: Reg, bi: Option<Reg>) -> (Reg, Reg) {
+        if self.mqx {
+            let d = self.reg();
+            let bo = self.reg();
+            let bi_txt = bi.map_or("z".to_string(), |c| format!("k{c}"));
+            let mut srcs = vec![a, b];
+            srcs.extend(bi);
+            self.push(
+                Class::MqxAdcSbb,
+                format!("vpsbbq v{d}, k{bo}, v{a}, v{b} {{{bi_txt}}}"),
+                &[d, bo],
+                &srcs,
+            );
+            return (d, bo);
+        }
+        match bi {
+            None => {
+                let t0 = self.sub(a, b);
+                let bo = self.cmp("lt", a, b);
+                (t0, bo)
+            }
+            Some(bi) => {
+                let t0 = self.sub(a, b);
+                let t1 = self.mask_sub_one(t0, bi);
+                let q0 = self.cmp("lt", a, b);
+                let qe = self.cmp("eq", a, b);
+                let q1 = self.kand(bi, qe);
+                let bo = self.kor(q0, q1);
+                (t1, bo)
+            }
+        }
+    }
+
+    /// Widening 64×64 multiply: MQX `vpmulq` (one instruction, two
+    /// destinations) or the four-`vpmuludq` decomposition of §3.2.
+    fn mul_wide(&mut self, a: Reg, b: Reg) -> (Reg, Reg) {
+        if self.mqx {
+            let hi = self.reg();
+            let lo = self.reg();
+            self.push(
+                Class::MqxMulWide,
+                format!("vpmulq v{hi}:v{lo}, v{a}, v{b}"),
+                &[hi, lo],
+                &[a, b],
+            );
+            return (hi, lo);
+        }
+        let a_hi = self.shift("srl", a, 32);
+        let b_hi = self.shift("srl", b, 32);
+        let ll = self.muludq(a, b);
+        let lh = self.muludq(a, b_hi);
+        let hl = self.muludq(a_hi, b);
+        let hh = self.muludq(a_hi, b_hi);
+        let ll_hi = self.shift("srl", ll, 32);
+        let lh_lo = self.logic("and", lh, ll); // mask32 folded: representative and
+        let hl_lo = self.logic("and", hl, ll);
+        let mid0 = self.add(ll_hi, lh_lo);
+        let mid = self.add(mid0, hl_lo);
+        let mid_sh = self.shift("sll", mid, 32);
+        let ll_lo = self.logic("and", ll, ll);
+        let lo = self.logic("or", ll_lo, mid_sh);
+        let lh_hi = self.shift("srl", lh, 32);
+        let hl_hi = self.shift("srl", hl, 32);
+        let mid_hi = self.shift("srl", mid, 32);
+        let h0 = self.add(hh, lh_hi);
+        let h1 = self.add(hl_hi, mid_hi);
+        let hi = self.add(h0, h1);
+        (hi, lo)
+    }
+}
+
+/// Input registers shared by the modular kernels: `(al, ah, bl, bh, ml,
+/// mh)` pre-loaded in v0..v5.
+fn inputs(e: &mut Emitter) -> (Reg, Reg, Reg, Reg, Reg, Reg) {
+    let regs: Vec<Reg> = (0..6).map(|_| e.reg()).collect();
+    (regs[0], regs[1], regs[2], regs[3], regs[4], regs[5])
+}
+
+/// Shared body of `addmod128` (the dataflow of `mqx_simd::addmod`).
+fn addmod_body(mut e: Emitter) -> Vec<Inst> {
+    let (al, ah, bl, bh, ml, mh) = inputs(&mut e);
+    let (el, elc) = e.adc(al, bl, None);
+    let (eh, _ehc) = e.adc(ah, bh, Some(elc));
+    let (sl, slb) = e.sbb(el, ml, None);
+    let (sh, shb) = e.sbb(eh, mh, Some(slb));
+    let ge = e.knot(shb);
+    e.blend(ge, eh, sh);
+    e.blend(ge, el, sl);
+    e.insts
+}
+
+/// Shared body of `submod128`.
+fn submod_body(mut e: Emitter) -> Vec<Inst> {
+    let (al, ah, bl, bh, ml, mh) = inputs(&mut e);
+    let (dl, dlb) = e.sbb(al, bl, None);
+    let (dh, dhb) = e.sbb(ah, bh, Some(dlb));
+    let (sl, slc) = e.adc(dl, ml, None);
+    let (sh, _) = e.adc(dh, mh, Some(slc));
+    e.blend(dhb, dh, sh);
+    e.blend(dhb, dl, sl);
+    e.insts
+}
+
+/// Shared body of `mulmod128` (schoolbook product + Barrett reduction,
+/// the dataflow of `mqx_simd::mulmod` with µ and q pre-broadcast).
+fn mulmod_body(mut e: Emitter) -> Vec<Inst> {
+    let (al, ah, bl, bh, ml, mh) = inputs(&mut e);
+    let mul = e.reg(); // µ low broadcast
+    let muh = e.reg(); // µ high broadcast
+
+    // x = a·b.
+    let (p00h, p00l) = e.mul_wide(al, bl);
+    let (p01h, p01l) = e.mul_wide(al, bh);
+    let (p10h, p10l) = e.mul_wide(ah, bl);
+    let (p11h, p11l) = e.mul_wide(ah, bh);
+    let x0 = p00l;
+    let (t, ca) = e.adc(p00h, p01l, None);
+    let (x1, cb) = e.adc(t, p10l, None);
+    let (t, da) = e.adc(p01h, p10h, Some(ca));
+    let (x2, db) = e.adc(t, p11l, Some(cb));
+    let x3a = e.mask_add_one(p11h, da);
+    let x3 = e.mask_add_one(x3a, db);
+
+    // y = x·µ (columns 0–5 with carries).
+    let (h0l, _l0l) = e.mul_wide(x0, mul);
+    let (h1l, l1l) = e.mul_wide(x1, mul);
+    let (h2l, l2l) = e.mul_wide(x2, mul);
+    let (h3l, l3l) = e.mul_wide(x3, mul);
+    let (h0h, l0h) = e.mul_wide(x0, muh);
+    let (h1h, l1h) = e.mul_wide(x1, muh);
+    let (h2h, l2h) = e.mul_wide(x2, muh);
+    let (h3h, l3h) = e.mul_wide(x3, muh);
+    let (t, c1a) = e.adc(h0l, l1l, None);
+    let (_y1, c1b) = e.adc(t, l0h, None);
+    let (t, c2a) = e.adc(h1l, l2l, Some(c1a));
+    let (t, c2b) = e.adc(t, h0h, Some(c1b));
+    let (_y2, c2c) = e.adc(t, l1h, None);
+    let (t, c3a) = e.adc(h2l, l3l, Some(c2a));
+    let (t, c3b) = e.adc(t, h1h, Some(c2b));
+    let (y3, c3c) = e.adc(t, l2h, Some(c2c));
+    let (t, c4a) = e.adc(h3l, l3h, Some(c3a));
+    let (t, c4b) = e.adc(t, h2h, Some(c3b));
+    let (y4, _c4c) = e.adc(t, t, Some(c3c)); // add-zero link of the chain
+    let y5a = e.mask_add_one(h3h, c4a);
+    let y5 = e.mask_add_one(y5a, c4b);
+
+    // t = y >> k (two limbs; k = 249 for the 124-bit modulus → limbs 3–5).
+    let s0 = e.shift("srl", y3, 57);
+    let s1 = e.shift("sll", y4, 7);
+    let tl = e.logic("or", s0, s1);
+    let s2 = e.shift("srl", y4, 57);
+    let s3 = e.shift("sll", y5, 7);
+    let th = e.logic("or", s2, s3);
+
+    // c = x − t·q on the low 128 bits.
+    let (tq0h, tq0l) = e.mul_wide(tl, ml);
+    let m1 = e.mullq(tl, mh);
+    let m2 = e.mullq(th, ml);
+    let t1 = e.add(tq0h, m1);
+    let tq1 = e.add(t1, m2);
+    let (c0, bor) = e.sbb(x0, tq0l, None);
+    let (c1, _) = e.sbb(x1, tq1, Some(bor));
+
+    // Conditional subtraction.
+    let (s0, b0) = e.sbb(c0, ml, None);
+    let (s1v, b1) = e.sbb(c1, mh, Some(b0));
+    let ge = e.knot(b1);
+    e.blend(ge, c1, s1v);
+    e.blend(ge, c0, s0);
+    e.insts
+}
+
+/// `addmod128` in baseline AVX-512 form (Listing 2's instruction mix).
+pub fn addmod128_avx512() -> Vec<Inst> {
+    addmod_body(Emitter::new(false))
+}
+
+/// `addmod128` in MQX form (Listing 3 / Listing 4's seven instructions).
+pub fn addmod128_mqx() -> Vec<Inst> {
+    addmod_body(Emitter::new(true))
+}
+
+/// `submod128` in baseline AVX-512 form.
+pub fn submod128_avx512() -> Vec<Inst> {
+    submod_body(Emitter::new(false))
+}
+
+/// `submod128` in MQX form.
+pub fn submod128_mqx() -> Vec<Inst> {
+    submod_body(Emitter::new(true))
+}
+
+/// `mulmod128` (schoolbook + Barrett) in baseline AVX-512 form.
+pub fn mulmod128_avx512() -> Vec<Inst> {
+    mulmod_body(Emitter::new(false))
+}
+
+/// `mulmod128` in MQX form.
+pub fn mulmod128_mqx() -> Vec<Inst> {
+    mulmod_body(Emitter::new(true))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, Machine};
+
+    #[test]
+    fn addmod_instruction_counts_match_listings() {
+        // Listing 2 has 17 instructions (plus the `one` broadcast hoisted
+        // out); our emulated stream lands in the same range. Listing 4's
+        // MQX stream has 7.
+        let avx = addmod128_avx512();
+        let mqx = addmod128_mqx();
+        assert_eq!(mqx.len(), 7);
+        assert!(
+            (15..=20).contains(&avx.len()),
+            "baseline addmod emits {} instructions",
+            avx.len()
+        );
+    }
+
+    #[test]
+    fn mqx_reduces_pressure_on_both_machines() {
+        for m in [Machine::sunny_cove(), Machine::zen4()] {
+            for (avx, mqx) in [
+                (addmod128_avx512(), addmod128_mqx()),
+                (submod128_avx512(), submod128_mqx()),
+                (mulmod128_avx512(), mulmod128_mqx()),
+            ] {
+                let ra = analyze(&m, &avx);
+                let rm = analyze(&m, &mqx);
+                assert!(rm.instruction_count < ra.instruction_count, "{}", m.name());
+                assert!(rm.rthroughput < ra.rthroughput, "{}", m.name());
+            }
+        }
+    }
+
+    #[test]
+    fn mulmod_is_much_larger_than_addmod() {
+        // The multiply dominates the butterfly: the baseline stream is an
+        // order of magnitude past addmod.
+        let mul = mulmod128_avx512();
+        let add = addmod128_avx512();
+        assert!(mul.len() > 8 * add.len(), "{} vs {}", mul.len(), add.len());
+        // And MQX collapses it dramatically (12 widening muls become 12
+        // instructions instead of ~12×17 µop expansions).
+        let mul_mqx = mulmod128_mqx();
+        assert!(mul_mqx.len() * 2 < mul.len());
+    }
+
+    #[test]
+    fn sunny_cove_mulmod_mqx_bound_by_mullq_uops() {
+        // On Sunny Cove the MQX widening multiply inherits vpmullq's
+        // 3-µop cost, so the multiply pressure stays visible — matching
+        // the paper's observation that Intel gains less from MQX than
+        // AMD (§5.4).
+        let m_icl = Machine::sunny_cove();
+        let m_zen = Machine::zen4();
+        let stream = mulmod128_mqx();
+        let icl = analyze(&m_icl, &stream);
+        let zen = analyze(&m_zen, &stream);
+        assert!(icl.rthroughput > zen.rthroughput);
+    }
+
+    #[test]
+    fn renders_listing4_style_report() {
+        let m = Machine::sunny_cove();
+        let stream = addmod128_mqx();
+        let r = analyze(&m, &stream);
+        let text = r.render(&m, &stream);
+        assert!(text.contains("vpadcq"));
+        assert!(text.contains("vpsbbq"));
+        assert!(text.contains("vpblendmq"));
+    }
+}

@@ -1,0 +1,44 @@
+//! A static port-pressure and throughput model in the style of LLVM-MCA
+//! (§4.2, Figure 3, Listing 4).
+//!
+//! The paper uses LLVM-MCA to show how the AVX-512 and (hypothetical)
+//! MQX instruction streams for double-word modular arithmetic would
+//! schedule onto a simplified Sunny Cove back-end — MQX instructions
+//! inherit the ports of their Table 3 proxies. This crate rebuilds that
+//! analysis from scratch:
+//!
+//! * [`Machine`] — a simplified execution back-end: named issue ports
+//!   and per-instruction-class descriptors (µops, port set, latency) for
+//!   [`Machine::sunny_cove`] (Figure 3) and [`Machine::zen4`].
+//! * [`Inst`] / [`kernels`] — the instruction streams of the paper's
+//!   kernels (`addmod128`/`submod128`/`mulmod128` in baseline AVX-512
+//!   and MQX form), with register operands for dependency analysis.
+//! * [`analyze`] — a deterministic least-loaded-port allocator that
+//!   produces the per-instruction resource-pressure view of Listing 4,
+//!   the block reciprocal throughput, and the dependency critical path.
+//!
+//! # Example
+//!
+//! ```
+//! use mqx_mca::{analyze, kernels, Machine};
+//!
+//! let m = Machine::sunny_cove();
+//! let avx = analyze(&m, &kernels::addmod128_avx512());
+//! let mqx = analyze(&m, &kernels::addmod128_mqx());
+//! // MQX collapses the carry emulation: fewer instructions, lower
+//! // pressure (the Listing 4 comparison).
+//! assert!(mqx.instruction_count < avx.instruction_count);
+//! assert!(mqx.rthroughput < avx.rthroughput);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod analysis;
+mod inst;
+pub mod kernels;
+mod machine;
+
+pub use analysis::{analyze, Report};
+pub use inst::{Class, Inst, Reg};
+pub use machine::{Descriptor, Machine};

@@ -1,0 +1,140 @@
+//! Batched multi-core NTTs (extension beyond the paper's single-core
+//! scope).
+//!
+//! §6 argues that "real FHE workloads often batch NTTs and BLAS
+//! operations without data dependencies, enabling substantial
+//! parallelism" — that is the assumption behind the speed-of-light
+//! scaling. This module makes the assumption testable: a batch of
+//! independent transforms is sharded across scoped threads, so the
+//! empirical per-transform throughput at `k` cores can be compared
+//! against the Eq. 13 prediction (`k×`).
+
+use crate::NttPlan;
+use mqx_simd::{ResidueSoa, SimdEngine};
+
+/// Runs a forward NTT over every buffer in `batch`, sharded across
+/// `threads` OS threads with scoped spawns. Each buffer is transformed
+/// in place; `batch.len()` need not divide `threads`.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or any buffer's length differs from the
+/// plan size.
+pub fn forward_batch_simd<E: SimdEngine>(
+    plan: &NttPlan,
+    batch: &mut [ResidueSoa],
+    threads: usize,
+) {
+    assert!(threads > 0, "at least one thread required");
+    for soa in batch.iter() {
+        assert_eq!(soa.len(), plan.size(), "batch buffer length mismatch");
+    }
+    let threads = threads.min(batch.len().max(1));
+    let chunk = batch.len().div_ceil(threads);
+    crossbeam::scope(|scope| {
+        for shard in batch.chunks_mut(chunk) {
+            scope.spawn(move |_| {
+                let mut scratch = ResidueSoa::zeros(plan.size());
+                for soa in shard {
+                    plan.forward_simd::<E>(soa, &mut scratch);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Scalar-tier equivalent of [`forward_batch_simd`].
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or any buffer's length differs from the
+/// plan size.
+pub fn forward_batch_scalar(plan: &NttPlan, batch: &mut [Vec<u128>], threads: usize) {
+    assert!(threads > 0, "at least one thread required");
+    for buf in batch.iter() {
+        assert_eq!(buf.len(), plan.size(), "batch buffer length mismatch");
+    }
+    let threads = threads.min(batch.len().max(1));
+    let chunk = batch.len().div_ceil(threads);
+    crossbeam::scope(|scope| {
+        for shard in batch.chunks_mut(chunk) {
+            scope.spawn(move |_| {
+                for buf in shard {
+                    plan.forward_scalar(buf);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqx_core::{primes, Modulus};
+    use mqx_simd::Portable;
+
+    fn plan(n: usize) -> NttPlan {
+        NttPlan::new(&Modulus::new_prime(primes::Q124).unwrap(), n).unwrap()
+    }
+
+    fn inputs(n: usize, count: usize) -> Vec<Vec<u128>> {
+        (0..count)
+            .map(|c| {
+                (0..n as u64)
+                    .map(|i| u128::from(i * 7 + c as u64 + 1) % primes::Q124)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batched_simd_matches_sequential() {
+        let n = 64;
+        let p = plan(n);
+        let ins = inputs(n, 9); // 9 buffers over 2 threads: uneven shards
+        let mut batch: Vec<ResidueSoa> = ins.iter().map(|v| ResidueSoa::from_u128s(v)).collect();
+        forward_batch_simd::<Portable>(&p, &mut batch, 2);
+        for (i, input) in ins.iter().enumerate() {
+            let mut expected = input.clone();
+            p.forward_scalar(&mut expected);
+            assert_eq!(batch[i].to_u128s(), expected, "buffer {i}");
+        }
+    }
+
+    #[test]
+    fn batched_scalar_matches_sequential() {
+        let n = 32;
+        let p = plan(n);
+        let mut batch = inputs(n, 5);
+        let expected: Vec<Vec<u128>> = batch
+            .iter()
+            .map(|v| {
+                let mut e = v.clone();
+                p.forward_scalar(&mut e);
+                e
+            })
+            .collect();
+        forward_batch_scalar(&p, &mut batch, 3);
+        assert_eq!(batch, expected);
+    }
+
+    #[test]
+    fn more_threads_than_buffers_is_fine() {
+        let n = 16;
+        let p = plan(n);
+        let mut batch = inputs(n, 2);
+        forward_batch_scalar(&p, &mut batch, 8);
+        // Just completing without panic is the contract here.
+        assert_eq!(batch.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_buffer_length_rejected() {
+        let p = plan(16);
+        let mut batch = vec![vec![0_u128; 8]];
+        forward_batch_scalar(&p, &mut batch, 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type for NTT plan construction.
+
+use mqx_core::RootError;
+use std::error::Error;
+use std::fmt;
+
+/// The error returned when an [`NttPlan`](crate::NttPlan) cannot be
+/// built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NttError {
+    /// The transform size is not a power of two (radix-2 dataflows only).
+    SizeNotPowerOfTwo {
+        /// The rejected size.
+        n: usize,
+    },
+    /// The transform size is below the minimum of 2.
+    SizeTooSmall,
+    /// The field has no root of unity of the required order, i.e. the
+    /// size (or `2n` for negacyclic use) does not divide `q − 1`.
+    NoRoot(RootError),
+}
+
+impl fmt::Display for NttError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NttError::SizeNotPowerOfTwo { n } => {
+                write!(f, "transform size {n} is not a power of two")
+            }
+            NttError::SizeTooSmall => write!(f, "transform size must be at least 2"),
+            NttError::NoRoot(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for NttError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NttError::NoRoot(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RootError> for NttError {
+    fn from(e: RootError) -> Self {
+        NttError::NoRoot(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = NttError::SizeNotPowerOfTwo { n: 12 };
+        assert!(e.to_string().contains("12"));
+        assert!(e.source().is_none());
+        let e = NttError::NoRoot(RootError::NoSuchRoot { order: 1 << 30 });
+        assert!(e.source().is_some());
+        assert!(NttError::SizeTooSmall.to_string().contains("at least 2"));
+    }
+}

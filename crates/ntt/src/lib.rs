@@ -1,0 +1,64 @@
+//! Number theoretic transforms over 128-bit prime fields (§2.3, §3.2).
+//!
+//! An `n`-point NTT (Eq. 11) evaluates a polynomial at the powers of a
+//! primitive `n`-th root of unity ω_n in ℤ_q, turning O(n²) polynomial
+//! multiplication into O(n log n). This crate provides:
+//!
+//! * [`NttPlan`] — per-(modulus, size) precomputation: Barrett constants,
+//!   per-stage twiddle tables (scalar and structure-of-arrays forms),
+//!   bit-reversal permutation, `n⁻¹`, and the ψ tables for negacyclic use.
+//! * Three dataflows, all verified against each other and the naive DFT:
+//!   - [`naive::dft`] — the O(n²) oracle, a direct transcription of
+//!     Eq. 11;
+//!   - [`NttPlan::forward_scalar`] / [`NttPlan::inverse_scalar`] — the
+//!     iterative in-place Cooley–Tukey radix-2 transform (the paper's
+//!     optimized *scalar* tier);
+//!   - [`NttPlan::forward_simd`] / [`NttPlan::inverse_simd`] — the
+//!     **Pease constant-geometry** dataflow (the paper's SIMD tier,
+//!     after Fu et al. [17]), whose interleaved stores are the
+//!     `_mm512_unpack*`/`_mm512_permutex2var_epi64` pattern of §3.2.
+//! * [`polymul`] — cyclic and negacyclic polynomial multiplication via
+//!   the convolution theorem, plus schoolbook references.
+//!
+//! # Example
+//!
+//! ```
+//! use mqx_core::{Modulus, primes};
+//! use mqx_ntt::NttPlan;
+//!
+//! let m = Modulus::new_prime(primes::Q124)?;
+//! let plan = NttPlan::new(&m, 1024)?;
+//! let mut data: Vec<u128> = (0..1024_u64).map(u128::from).collect();
+//! let original = data.clone();
+//! plan.forward_scalar(&mut data);
+//! plan.inverse_scalar(&mut data);
+//! assert_eq!(data, original);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod batch;
+mod error;
+pub mod naive;
+mod pease;
+mod plan;
+pub mod polymul;
+
+pub use error::NttError;
+pub use plan::NttPlan;
+
+#[cfg(test)]
+mod proptests;
+
+/// Number of butterflies an `n`-point radix-2 NTT executes:
+/// `(n/2)·log₂n`. The paper reports NTT runtime *per butterfly* (§A.6).
+///
+/// ```
+/// assert_eq!(mqx_ntt::butterfly_count(1024), 5120);
+/// ```
+pub fn butterfly_count(n: usize) -> u64 {
+    let logn = n.trailing_zeros() as u64;
+    (n as u64 / 2) * logn
+}

@@ -1,0 +1,91 @@
+//! The O(n²) reference transform — Eq. 11 verbatim. Used as the oracle
+//! every fast dataflow is tested against.
+
+use mqx_core::Modulus;
+
+/// Computes `y_k = Σ_j x_j · ω^{jk} mod q` directly.
+///
+/// # Panics
+///
+/// Panics if `omega` is not reduced or `x` is empty.
+pub fn dft(x: &[u128], omega: u128, m: &Modulus) -> Vec<u128> {
+    assert!(!x.is_empty());
+    assert!(omega < m.value());
+    let n = x.len();
+    let mut y = vec![0_u128; n];
+    for (k, yk) in y.iter_mut().enumerate() {
+        let wk = m.pow_mod(omega, k as u128);
+        let mut acc = 0_u128;
+        let mut w = 1_u128; // ω^{jk} built incrementally: multiply by ω^k each step
+        for &xj in x {
+            acc = m.add_mod(acc, m.mul_mod(xj, w));
+            w = m.mul_mod(w, wk);
+        }
+        *yk = acc;
+    }
+    y
+}
+
+/// The inverse transform: `x_j = n⁻¹ · Σ_k y_k ω^{−jk}`.
+///
+/// # Panics
+///
+/// As [`dft`]; additionally panics if `n` has no inverse mod `q` (never
+/// for prime `q` with `n < q`).
+pub fn idft(y: &[u128], omega: u128, m: &Modulus) -> Vec<u128> {
+    let n = y.len() as u128;
+    let w_inv = m.inv_mod(omega).expect("omega invertible in prime field");
+    let n_inv = m.inv_mod(n).expect("n invertible in prime field");
+    dft(y, w_inv, m)
+        .into_iter()
+        .map(|v| m.mul_mod(v, n_inv))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqx_core::{nt, primes};
+
+    #[test]
+    fn dft_of_delta_is_all_ones() {
+        let m = Modulus::new_prime(primes::Q30).unwrap();
+        let w = nt::root_of_unity(&m, 8).unwrap();
+        let mut x = vec![0_u128; 8];
+        x[0] = 1;
+        assert_eq!(dft(&x, w, &m), vec![1; 8]);
+    }
+
+    #[test]
+    fn dft_of_constant_is_scaled_delta() {
+        let m = Modulus::new_prime(primes::Q30).unwrap();
+        let w = nt::root_of_unity(&m, 8).unwrap();
+        let x = vec![3_u128; 8];
+        let y = dft(&x, w, &m);
+        assert_eq!(y[0], 24);
+        assert!(y[1..].iter().all(|&v| v == 0), "Σ ω^{{jk}} = 0 for k ≠ 0");
+    }
+
+    #[test]
+    fn idft_inverts_dft() {
+        let m = Modulus::new_prime(primes::Q30).unwrap();
+        let w = nt::root_of_unity(&m, 16).unwrap();
+        let x: Vec<u128> = (0..16_u64).map(|i| u128::from(i * i + 1) % m.value()).collect();
+        assert_eq!(idft(&dft(&x, w, &m), w, &m), x);
+    }
+
+    #[test]
+    fn dft_is_linear() {
+        let m = Modulus::new_prime(primes::Q14).unwrap();
+        let w = nt::root_of_unity(&m, 4).unwrap();
+        let a = vec![1_u128, 2, 3, 4];
+        let b = vec![5_u128, 6, 7, 8];
+        let sum: Vec<u128> = a.iter().zip(&b).map(|(&x, &y)| m.add_mod(x, y)).collect();
+        let fa = dft(&a, w, &m);
+        let fb = dft(&b, w, &m);
+        let fsum = dft(&sum, w, &m);
+        for i in 0..4 {
+            assert_eq!(fsum[i], m.add_mod(fa[i], fb[i]));
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! The Pease constant-geometry dataflow (§3.2).
+//!
+//! Every stage reads partner elements at a fixed stride `n/2` and writes
+//! adjacent pairs:
+//!
+//! ```text
+//! y[2i]   = x[i] + x[i + n/2]
+//! y[2i+1] = (x[i] − x[i + n/2]) · ω^{(i >> s) << s}
+//! ```
+//!
+//! after `log₂ n` stages the output is in bit-reversed order. The
+//! constant geometry is what makes the SIMD version regular: loads are
+//! unit-stride from two halves, and the paired store is the element-wise
+//! interleave that AVX-512 expresses with `vpunpcklqdq`/`vpunpckhqdq`/
+//! `vpermt2q` (`SimdEngine::interleave_lo`/`interleave_hi`).
+
+use crate::plan::{NttPlan, StageTwiddles};
+use mqx_simd::{addmod, mulmod, submod, ResidueSoa, SimdEngine, VDword, VModulus};
+
+/// Runs all Pease stages with scalar arithmetic. On return `x` holds the
+/// transform in **bit-reversed** order (the caller applies the final
+/// permutation).
+pub(crate) fn pease_scalar(
+    plan: &NttPlan,
+    x: &mut Vec<u128>,
+    y: &mut Vec<u128>,
+    stages: &[StageTwiddles],
+) {
+    let n = x.len();
+    let half = n / 2;
+    let m = plan.modulus();
+    for stage in stages {
+        for i in 0..half {
+            let u = x[i];
+            let v = x[i + half];
+            let w = stage.at(i);
+            y[2 * i] = m.add_mod(u, v);
+            y[2 * i + 1] = m.mul_mod(m.sub_mod(u, v), w);
+        }
+        std::mem::swap(x, y);
+    }
+}
+
+/// Runs all Pease stages with the engine's vector arithmetic. Falls back
+/// to scalar butterflies when `n/2 < E::LANES` (only the trailing sizes
+/// of tiny transforms). Output is bit-reversed, as in the scalar form.
+pub(crate) fn pease_simd<E: SimdEngine>(
+    plan: &NttPlan,
+    x: &mut ResidueSoa,
+    y: &mut ResidueSoa,
+    stages: &[StageTwiddles],
+    vm: &VModulus<E>,
+) {
+    let n = x.len();
+    let half = n / 2;
+    let m = plan.modulus();
+    for stage in stages {
+        if half < E::LANES {
+            // Tiny transform: scalar butterflies keep the dataflow
+            // identical without partial vectors.
+            for i in 0..half {
+                let u = x.get(i);
+                let v = x.get(i + half);
+                let w = stage.at(i);
+                y.set(2 * i, m.add_mod(u, v));
+                y.set(2 * i + 1, m.mul_mod(m.sub_mod(u, v), w));
+            }
+            std::mem::swap(x, y);
+            continue;
+        }
+
+        let lanes = E::LANES;
+        let repeat = 1_usize << stage.shift;
+        for i in (0..half).step_by(lanes) {
+            let u = x.load_vector::<E>(i);
+            let v = x.load_vector::<E>(i + half);
+            // Twiddles repeat in runs of 2^s: early stages load the
+            // per-index expanded table (pattern varies inside the
+            // vector); later stages broadcast the single value the whole
+            // vector shares.
+            let w = if repeat < lanes {
+                stage
+                    .expanded
+                    .as_ref()
+                    .expect("expanded table exists when repeat < 8")
+                    .load_vector::<E>(i)
+            } else {
+                VDword::<E>::broadcast(stage.at(i))
+            };
+            let sum = addmod::<E>(u, v, vm);
+            let diff = mulmod::<E>(submod::<E>(u, v, vm), w, vm);
+
+            // Interleaved store: y[2i..2i+2L] = [sum0, diff0, sum1, …].
+            let (yh, yl) = y.parts_mut();
+            let base = 2 * i;
+            E::store(E::interleave_lo(sum.hi, diff.hi), &mut yh[base..]);
+            E::store(E::interleave_hi(sum.hi, diff.hi), &mut yh[base + lanes..]);
+            E::store(E::interleave_lo(sum.lo, diff.lo), &mut yl[base..]);
+            E::store(E::interleave_hi(sum.lo, diff.lo), &mut yl[base + lanes..]);
+        }
+        std::mem::swap(x, y);
+    }
+}
+
+/// Scales every residue by a constant (the inverse transform's `n⁻¹`).
+pub(crate) fn scale_simd<E: SimdEngine>(x: &mut ResidueSoa, c: u128, vm: &VModulus<E>) {
+    let n = x.len();
+    let cv = VDword::<E>::broadcast(c);
+    let lanes = E::LANES;
+    let mut i = 0;
+    while i + lanes <= n {
+        let v = x.load_vector::<E>(i);
+        x.store_vector::<E>(i, mulmod::<E>(v, cv, vm));
+        i += lanes;
+    }
+    let m = vm.scalar;
+    while i < n {
+        x.set(i, m.mul_mod(x.get(i), c));
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqx_core::{primes, Modulus};
+    use mqx_simd::Portable;
+
+    #[test]
+    fn scale_simd_handles_tails() {
+        let m = Modulus::new(primes::Q124).unwrap();
+        let vm = VModulus::<Portable>::new(&m);
+        // Length 11: one full vector + 3 scalar tail elements.
+        let xs: Vec<u128> = (1..=11_u64).map(u128::from).collect();
+        let mut soa = ResidueSoa::from_u128s(&xs);
+        scale_simd::<Portable>(&mut soa, 3, &vm);
+        for (i, &x) in xs.iter().enumerate() {
+            assert_eq!(soa.get(i), x * 3, "index {i}");
+        }
+    }
+
+    #[test]
+    fn interleave_pattern_matches_scalar_writes() {
+        // One Pease stage by hand on n = 16 (half = 8 = one vector).
+        let m = Modulus::new_prime(primes::Q30).unwrap();
+        let plan = crate::NttPlan::new(&m, 16).unwrap();
+        let xs: Vec<u128> = (0..16_u64).map(|i| u128::from(i * 3 + 1)).collect();
+
+        let mut scalar_x = xs.clone();
+        let mut scalar_y = vec![0_u128; 16];
+        pease_scalar(&plan, &mut scalar_x, &mut scalar_y, &plan.pease_fwd[..1]);
+
+        let mut soa = ResidueSoa::from_u128s(&xs);
+        let mut scratch = ResidueSoa::zeros(16);
+        pease_simd::<Portable>(
+            &plan,
+            &mut soa,
+            &mut scratch,
+            &plan.pease_fwd[..1],
+            &VModulus::new(&m),
+        );
+
+        assert_eq!(soa.to_u128s(), scalar_x);
+    }
+}

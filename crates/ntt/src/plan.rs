@@ -1,0 +1,514 @@
+//! The [`NttPlan`]: per-(modulus, size) precomputation and the scalar
+//! dataflows.
+
+use crate::error::NttError;
+use crate::pease;
+use mqx_core::{nt, Modulus};
+use mqx_simd::{ResidueSoa, SimdEngine, VModulus};
+
+/// Per-stage twiddle table for the Pease dataflow.
+///
+/// Stage `s` of the constant-geometry DIF transform multiplies index `i`
+/// (`0 ≤ i < n/2`) by `ω^{(i >> s) << s}`: the `2^{log₂n−1−s}` distinct
+/// values each repeat for `2^s` consecutive indices. The distinct values
+/// are stored once; for the first stages (repeat shorter than a vector)
+/// an expanded per-index SoA table lets vector loads pick up the
+/// intra-register pattern directly, while later stages broadcast a single
+/// value per vector.
+#[derive(Clone, Debug)]
+pub(crate) struct StageTwiddles {
+    /// Distinct twiddles: `values[j] = ω^{j·2^s}`, `len = 2^{log₂n−1−s}`.
+    pub values: Vec<u128>,
+    /// The stage index `s` (twiddle for index `i` is `values[i >> shift]`).
+    pub shift: u32,
+    /// Full per-index table in SoA form, present when the repeat length
+    /// `2^s` is below the widest vector (8 lanes).
+    pub expanded: Option<ResidueSoa>,
+}
+
+impl StageTwiddles {
+    /// The twiddle applied at butterfly index `i`.
+    #[inline]
+    pub fn at(&self, i: usize) -> u128 {
+        self.values[i >> self.shift]
+    }
+}
+
+/// A reusable NTT plan: Barrett constants, twiddle tables for every
+/// dataflow, the bit-reversal permutation, and `n⁻¹`.
+///
+/// Building a plan costs O(n log n) modular multiplications and is done
+/// once per (modulus, size); the paper's kernels precompute the same
+/// state (§5.1 warms it before timing).
+#[derive(Clone, Debug)]
+pub struct NttPlan {
+    m: Modulus,
+    n: usize,
+    log_n: u32,
+    /// ω_n and ω_n⁻¹.
+    omega: u128,
+    omega_inv: u128,
+    /// n⁻¹ mod q, for the inverse transform.
+    n_inv: u128,
+    /// Cooley–Tukey per-stage tables: stage with butterfly span `len`
+    /// holds `len/2` twiddles `ω^{(n/len)·j}`.
+    ct_fwd: Vec<Vec<u128>>,
+    ct_inv: Vec<Vec<u128>>,
+    /// Pease per-stage tables (forward and inverse).
+    pub(crate) pease_fwd: Vec<StageTwiddles>,
+    pub(crate) pease_inv: Vec<StageTwiddles>,
+    /// Bit-reversal permutation of 0..n.
+    bitrev: Vec<u32>,
+    /// ψ tables for negacyclic use, when the field supports a 2n-th root:
+    /// `psi[i] = ψ^i` and `psi_inv[i] = ψ^{−i}`.
+    psi: Option<Vec<u128>>,
+    psi_inv: Option<Vec<u128>>,
+}
+
+impl NttPlan {
+    /// Builds a plan for an `n`-point transform over the prime field of
+    /// `m`.
+    ///
+    /// # Errors
+    ///
+    /// * [`NttError::SizeTooSmall`] / [`NttError::SizeNotPowerOfTwo`] for
+    ///   unusable sizes;
+    /// * [`NttError::NoRoot`] if `n ∤ q − 1` (the field's 2-adicity is
+    ///   too small for the requested size).
+    ///
+    /// Negacyclic (ψ) tables are attached when the field also has a
+    /// `2n`-th root; otherwise the plan still serves cyclic transforms
+    /// and [`NttPlan::supports_negacyclic`] returns `false`.
+    pub fn new(m: &Modulus, n: usize) -> Result<Self, NttError> {
+        if n < 2 {
+            return Err(NttError::SizeTooSmall);
+        }
+        if !n.is_power_of_two() {
+            return Err(NttError::SizeNotPowerOfTwo { n });
+        }
+        let log_n = n.trailing_zeros();
+        let omega = nt::root_of_unity(m, n as u64)?;
+        let omega_inv = m.inv_mod(omega).expect("root invertible");
+        let n_inv = m.inv_mod(n as u128).expect("n < q invertible");
+
+        let ct_fwd = build_ct_tables(m, n, omega);
+        let ct_inv = build_ct_tables(m, n, omega_inv);
+        let pease_fwd = build_pease_tables(m, n, omega);
+        let pease_inv = build_pease_tables(m, n, omega_inv);
+
+        let mut bitrev = vec![0_u32; n];
+        for (i, slot) in bitrev.iter_mut().enumerate() {
+            *slot = (i as u32).reverse_bits() >> (32 - log_n);
+        }
+
+        // Negacyclic tables if ψ (a 2n-th root with ψ² = ω) exists.
+        let (psi, psi_inv) = match nt::root_of_unity(m, 2 * n as u64) {
+            Err(_) => (None, None),
+            Ok(mut psi0) => {
+                // Pick the square root of ω among ψ, so the twist matches
+                // the forward tables exactly.
+                if m.mul_mod(psi0, psi0) != omega {
+                    // Any primitive 2n-th root squares to *a* primitive
+                    // n-th root; adjust by an odd power to hit ours.
+                    let mut k = 1_u128;
+                    loop {
+                        let cand = m.pow_mod(psi0, 2 * k + 1);
+                        if m.mul_mod(cand, cand) == omega {
+                            psi0 = cand;
+                            break;
+                        }
+                        k += 1;
+                        assert!(k < 2 * n as u128, "no compatible ψ found");
+                    }
+                }
+                let psi_inv0 = m.inv_mod(psi0).expect("psi invertible");
+                let mut fwd = Vec::with_capacity(n);
+                let mut inv = Vec::with_capacity(n);
+                let mut p = 1_u128;
+                let mut pi = 1_u128;
+                for _ in 0..n {
+                    fwd.push(p);
+                    inv.push(pi);
+                    p = m.mul_mod(p, psi0);
+                    pi = m.mul_mod(pi, psi_inv0);
+                }
+                (Some(fwd), Some(inv))
+            }
+        };
+
+        Ok(NttPlan {
+            m: *m,
+            n,
+            log_n,
+            omega,
+            omega_inv,
+            n_inv,
+            ct_fwd,
+            ct_inv,
+            pease_fwd,
+            pease_inv,
+            bitrev,
+            psi,
+            psi_inv,
+        })
+    }
+
+    /// The transform size.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// The modulus the plan was built for.
+    pub fn modulus(&self) -> &Modulus {
+        &self.m
+    }
+
+    /// The primitive `n`-th root of unity the plan evaluates at.
+    pub fn omega(&self) -> u128 {
+        self.omega
+    }
+
+    /// ω⁻¹, the root the inverse transform evaluates at.
+    pub fn omega_inv(&self) -> u128 {
+        self.omega_inv
+    }
+
+    /// log₂ of the transform size.
+    pub fn log_size(&self) -> u32 {
+        self.log_n
+    }
+
+    /// `n⁻¹ mod q`.
+    pub fn n_inv(&self) -> u128 {
+        self.n_inv
+    }
+
+    /// Whether negacyclic (x^n + 1) operations are available — requires a
+    /// `2n`-th root of unity in the field.
+    pub fn supports_negacyclic(&self) -> bool {
+        self.psi.is_some()
+    }
+
+    /// ψ powers (`ψ^i`), if negacyclic support is available.
+    pub(crate) fn psi(&self) -> Option<&[u128]> {
+        self.psi.as_deref()
+    }
+
+    /// ψ^{−i} powers, if negacyclic support is available.
+    pub(crate) fn psi_inv(&self) -> Option<&[u128]> {
+        self.psi_inv.as_deref()
+    }
+
+    // ---- scalar dataflow: iterative Cooley–Tukey ------------------------
+
+    /// In-place forward NTT, natural order in and out — the paper's
+    /// optimized scalar tier (§3.1 arithmetic inside a radix-2 loop nest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.size()`; debug-asserts inputs reduced.
+    pub fn forward_scalar(&self, x: &mut [u128]) {
+        assert_eq!(x.len(), self.n, "input length must match plan size");
+        self.bit_reverse_permute(x);
+        self.ct_butterflies(x, &self.ct_fwd);
+    }
+
+    /// In-place inverse NTT, natural order in and out (includes the
+    /// `n⁻¹` scale).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.size()`.
+    pub fn inverse_scalar(&self, x: &mut [u128]) {
+        assert_eq!(x.len(), self.n, "input length must match plan size");
+        self.bit_reverse_permute(x);
+        self.ct_butterflies(x, &self.ct_inv);
+        for v in x.iter_mut() {
+            *v = self.m.mul_mod(*v, self.n_inv);
+        }
+    }
+
+    fn bit_reverse_permute(&self, x: &mut [u128]) {
+        for i in 0..self.n {
+            let j = self.bitrev[i] as usize;
+            if i < j {
+                x.swap(i, j);
+            }
+        }
+    }
+
+    fn ct_butterflies(&self, x: &mut [u128], tables: &[Vec<u128>]) {
+        let m = &self.m;
+        for (s, tw) in tables.iter().enumerate() {
+            let half = 1_usize << s; // butterflies per block
+            let len = half * 2; // block span
+            for block in (0..self.n).step_by(len) {
+                for j in 0..half {
+                    let u = x[block + j];
+                    let v = m.mul_mod(x[block + j + half], tw[j]);
+                    x[block + j] = m.add_mod(u, v);
+                    x[block + j + half] = m.sub_mod(u, v);
+                }
+            }
+        }
+    }
+
+    // ---- Pease constant-geometry dataflow (scalar and SIMD) -------------
+
+    /// Out-of-place forward NTT in the Pease constant-geometry dataflow,
+    /// scalar arithmetic. `x` is consumed as input and holds the natural-
+    /// order output; `scratch` must be the same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ from the plan size.
+    pub fn forward_pease_scalar(&self, x: &mut Vec<u128>, scratch: &mut Vec<u128>) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(scratch.len(), self.n);
+        pease::pease_scalar(self, x, scratch, &self.pease_fwd);
+        self.bit_reverse_out(x, scratch);
+    }
+
+    /// Out-of-place inverse NTT (Pease dataflow, scalar arithmetic),
+    /// including the `n⁻¹` scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ from the plan size.
+    pub fn inverse_pease_scalar(&self, x: &mut Vec<u128>, scratch: &mut Vec<u128>) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(scratch.len(), self.n);
+        pease::pease_scalar(self, x, scratch, &self.pease_inv);
+        self.bit_reverse_out(x, scratch);
+        for v in x.iter_mut() {
+            *v = self.m.mul_mod(*v, self.n_inv);
+        }
+    }
+
+    fn bit_reverse_out(&self, x: &mut [u128], scratch: &mut [u128]) {
+        for i in 0..self.n {
+            scratch[self.bitrev[i] as usize] = x[i];
+        }
+        x.copy_from_slice(scratch);
+    }
+
+    /// Forward NTT over SoA data with the engine's vector width — the
+    /// §3.2 SIMD kernel. Natural order in and out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ from the plan size.
+    pub fn forward_simd<E: SimdEngine>(&self, x: &mut ResidueSoa, scratch: &mut ResidueSoa) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(scratch.len(), self.n);
+        let vm = VModulus::<E>::new(&self.m);
+        pease::pease_simd::<E>(self, x, scratch, &self.pease_fwd, &vm);
+        self.bit_reverse_soa(x, scratch);
+    }
+
+    /// Inverse NTT over SoA data (includes the `n⁻¹` scale).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ from the plan size.
+    pub fn inverse_simd<E: SimdEngine>(&self, x: &mut ResidueSoa, scratch: &mut ResidueSoa) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(scratch.len(), self.n);
+        let vm = VModulus::<E>::new(&self.m);
+        pease::pease_simd::<E>(self, x, scratch, &self.pease_inv, &vm);
+        self.bit_reverse_soa(x, scratch);
+        pease::scale_simd::<E>(x, self.n_inv, &vm);
+    }
+
+    fn bit_reverse_soa(&self, x: &mut ResidueSoa, scratch: &mut ResidueSoa) {
+        for i in 0..self.n {
+            scratch.set(self.bitrev[i] as usize, x.get(i));
+        }
+        std::mem::swap(x, scratch);
+    }
+}
+
+fn build_ct_tables(m: &Modulus, n: usize, omega: u128) -> Vec<Vec<u128>> {
+    let log_n = n.trailing_zeros();
+    let mut tables = Vec::with_capacity(log_n as usize);
+    for s in 0..log_n {
+        let half = 1_usize << s;
+        let step = m.pow_mod(omega, (n >> (s + 1)) as u128); // ω^{n/len}
+        let mut tw = Vec::with_capacity(half);
+        let mut w = 1_u128;
+        for _ in 0..half {
+            tw.push(w);
+            w = m.mul_mod(w, step);
+        }
+        tables.push(tw);
+    }
+    tables
+}
+
+fn build_pease_tables(m: &Modulus, n: usize, omega: u128) -> Vec<StageTwiddles> {
+    let log_n = n.trailing_zeros();
+    let half = n / 2;
+    let mut stages = Vec::with_capacity(log_n as usize);
+    for s in 0..log_n {
+        let distinct = 1_usize << (log_n - 1 - s);
+        let step = m.pow_mod(omega, 1_u128 << s); // ω^{2^s}
+        let mut values = Vec::with_capacity(distinct);
+        let mut w = 1_u128;
+        for _ in 0..distinct {
+            values.push(w);
+            w = m.mul_mod(w, step);
+        }
+        // Expand per-index for stages whose repeat run (2^s) is shorter
+        // than the widest vector, so SIMD loads see the right pattern.
+        let expanded = if (1_usize << s) < 8 {
+            let full: Vec<u128> = (0..half).map(|i| values[i >> s]).collect();
+            Some(ResidueSoa::from_u128s(&full))
+        } else {
+            None
+        };
+        stages.push(StageTwiddles {
+            values,
+            shift: s,
+            expanded,
+        });
+    }
+    stages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use mqx_core::primes;
+
+    fn plan(q: u128, n: usize) -> NttPlan {
+        NttPlan::new(&Modulus::new_prime(q).unwrap(), n).unwrap()
+    }
+
+    fn ramp(n: usize, q: u128) -> Vec<u128> {
+        (0..n as u64).map(|i| (u128::from(i) * 0x9E37 + 17) % q).collect()
+    }
+
+    #[test]
+    fn plan_validation_errors() {
+        let m = Modulus::new_prime(primes::Q124).unwrap();
+        assert_eq!(NttPlan::new(&m, 0).unwrap_err(), NttError::SizeTooSmall);
+        assert_eq!(NttPlan::new(&m, 1).unwrap_err(), NttError::SizeTooSmall);
+        assert_eq!(
+            NttPlan::new(&m, 12).unwrap_err(),
+            NttError::SizeNotPowerOfTwo { n: 12 }
+        );
+        // Q124's 2-adicity is 20 → 2^21 has no root.
+        assert!(matches!(
+            NttPlan::new(&m, 1 << 21).unwrap_err(),
+            NttError::NoRoot(_)
+        ));
+    }
+
+    #[test]
+    fn forward_scalar_matches_naive_small() {
+        for (q, n) in [(primes::Q14, 8), (primes::Q30, 16), (primes::Q124, 32)] {
+            let p = plan(q, n);
+            let x = ramp(n, q);
+            let expected = naive::dft(&x, p.omega(), p.modulus());
+            let mut got = x.clone();
+            p.forward_scalar(&mut got);
+            assert_eq!(got, expected, "q={q} n={n}");
+        }
+    }
+
+    #[test]
+    fn pease_scalar_matches_naive_small() {
+        for (q, n) in [(primes::Q14, 8), (primes::Q30, 64), (primes::Q124, 16)] {
+            let p = plan(q, n);
+            let x = ramp(n, q);
+            let expected = naive::dft(&x, p.omega(), p.modulus());
+            let mut got = x.clone();
+            let mut scratch = vec![0_u128; n];
+            p.forward_pease_scalar(&mut got, &mut scratch);
+            assert_eq!(got, expected, "q={q} n={n}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_scalar_and_pease() {
+        for n in [2_usize, 4, 64, 256, 1024] {
+            let p = plan(primes::Q124, n);
+            let x = ramp(n, primes::Q124);
+            let mut a = x.clone();
+            p.forward_scalar(&mut a);
+            p.inverse_scalar(&mut a);
+            assert_eq!(a, x, "ct roundtrip n={n}");
+
+            let mut b = x.clone();
+            let mut scratch = vec![0_u128; n];
+            p.forward_pease_scalar(&mut b, &mut scratch);
+            p.inverse_pease_scalar(&mut b, &mut scratch);
+            assert_eq!(b, x, "pease roundtrip n={n}");
+        }
+    }
+
+    #[test]
+    fn pease_equals_ct_all_sizes() {
+        for n in [2_usize, 4, 8, 16, 128, 512] {
+            let p = plan(primes::Q120, n);
+            let x = ramp(n, primes::Q120);
+            let mut a = x.clone();
+            p.forward_scalar(&mut a);
+            let mut b = x.clone();
+            let mut scratch = vec![0_u128; n];
+            p.forward_pease_scalar(&mut b, &mut scratch);
+            assert_eq!(a, b, "n={n}");
+        }
+    }
+
+    #[test]
+    fn simd_portable_matches_scalar() {
+        use mqx_simd::Portable;
+        for n in [16_usize, 64, 1024] {
+            let p = plan(primes::Q124, n);
+            let x = ramp(n, primes::Q124);
+            let mut expected = x.clone();
+            p.forward_scalar(&mut expected);
+
+            let mut soa = ResidueSoa::from_u128s(&x);
+            let mut scratch = ResidueSoa::zeros(n);
+            p.forward_simd::<Portable>(&mut soa, &mut scratch);
+            assert_eq!(soa.to_u128s(), expected, "forward n={n}");
+
+            p.inverse_simd::<Portable>(&mut soa, &mut scratch);
+            assert_eq!(soa.to_u128s(), x, "roundtrip n={n}");
+        }
+    }
+
+    #[test]
+    fn inverse_scales_correctly() {
+        // INTT(NTT(x)) = x requires the 1/n factor; check against naive.
+        let p = plan(primes::Q30, 32);
+        let x = ramp(32, primes::Q30);
+        let y = naive::dft(&x, p.omega(), p.modulus());
+        let mut got = y.clone();
+        p.inverse_scalar(&mut got);
+        assert_eq!(got, x);
+    }
+
+    #[test]
+    fn negacyclic_support_follows_two_adicity() {
+        // Q14 has 2-adicity 10: n = 512 is the largest cyclic size, and
+        // ψ (1024-th root) exists for n = 512 only via 2n = 1024 ≤ 2^10.
+        let p512 = plan(primes::Q14, 512);
+        assert!(p512.supports_negacyclic());
+        let p1024 = plan(primes::Q14, 1024);
+        assert!(!p1024.supports_negacyclic());
+    }
+
+    #[test]
+    fn plan_accessors() {
+        let p = plan(primes::Q124, 64);
+        assert_eq!(p.size(), 64);
+        assert_eq!(p.modulus().value(), primes::Q124);
+        let m = p.modulus();
+        assert_eq!(m.mul_mod(p.n_inv(), 64), 1);
+        assert_eq!(m.pow_mod(p.omega(), 64), 1);
+    }
+}

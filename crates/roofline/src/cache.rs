@@ -1,0 +1,63 @@
+//! The §5.4 cache-capacity model: where does the MQX-accelerated NTT
+//! turn memory-bound?
+//!
+//! The paper's hypothesis: once computation is fast (MQX), the kernel's
+//! per-stage working set — the input and output buffers of 128-bit
+//! integers the constant-geometry dataflow streams — must fit the
+//! per-core L2 or performance degrades; "for an NTT size of 2^15, each
+//! stage of NTT must hold about 1 MB of 128-bit integers; for a
+//! 2^16-point NTT, this requirement doubles to 2 MB, exceeding the
+//! 1.28 MB per-core L2 cache on Intel Xeon."
+
+use crate::cpu::CpuSpec;
+
+/// Bytes of 128-bit integers one NTT stage streams: `n` inputs plus `n`
+/// outputs of the out-of-place constant-geometry stage — the quantity
+/// the paper's 1 MB / 2 MB arithmetic counts (it counts the `n`
+/// elements live per buffer: 2^15·16 B ≈ 0.5 MB in, 0.5 MB out).
+pub fn working_set_bytes(n: usize) -> u64 {
+    2 * 16 * n as u64
+}
+
+/// The smallest `log₂ n` whose stage working set no longer fits the
+/// target's per-core L2 — the predicted knee where the MQX kernel turns
+/// memory-bound (§5.4 observes it at 2^16 on the Xeon 8352Y).
+pub fn predicted_l2_knee(spec: &CpuSpec) -> u32 {
+    let mut log_n = 1;
+    while working_set_bytes(1 << log_n) <= spec.l2_per_core_bytes {
+        log_n += 1;
+    }
+    log_n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu;
+
+    #[test]
+    fn paper_arithmetic_reproduced() {
+        // 2^15 → ~1 MB total stage traffic; 2^16 → ~2 MB.
+        assert_eq!(working_set_bytes(1 << 15), 1 << 20);
+        assert_eq!(working_set_bytes(1 << 16), 1 << 21);
+    }
+
+    #[test]
+    fn xeon_knee_at_2_pow_16() {
+        // 1.28 MB per-core L2 → 2^15 fits (1 MB), 2^16 spills (2 MB).
+        assert_eq!(predicted_l2_knee(&cpu::XEON_8352Y), 16);
+    }
+
+    #[test]
+    fn epyc_knee_at_2_pow_15() {
+        // 1 MiB per-core L2 → 2^15 exactly fills it; 2^15 stays, 2^16
+        // spills. The knee (first spill) is 2^16 with ≤ comparison.
+        let knee = predicted_l2_knee(&cpu::EPYC_9654);
+        assert_eq!(knee, 16);
+    }
+
+    #[test]
+    fn bigger_l2_moves_knee_up() {
+        assert!(predicted_l2_knee(&cpu::XEON_6980P) > predicted_l2_knee(&cpu::EPYC_9654));
+    }
+}

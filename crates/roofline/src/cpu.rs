@@ -1,0 +1,140 @@
+//! CPU specifications: Table 4's benchmarking machines, the §6 SOL
+//! targets, and the RPU paper's baseline host.
+
+use serde::Serialize;
+
+/// A CPU specification, at the granularity the SOL model consumes.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct CpuSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Physical cores.
+    pub cores: u32,
+    /// Base clock in GHz.
+    pub base_ghz: f64,
+    /// All-core boost clock in GHz (the `f_max` of Eq. 13).
+    pub allcore_boost_ghz: f64,
+    /// Single-core max boost in GHz.
+    pub max_boost_ghz: f64,
+    /// Per-core L2 capacity in bytes (drives the §5.4 knee model).
+    pub l2_per_core_bytes: u64,
+    /// Shared L3 capacity in bytes.
+    pub l3_bytes: u64,
+    /// Whether the part supports AVX-512.
+    pub avx512: bool,
+}
+
+const MIB: u64 = 1024 * 1024;
+
+/// Intel Xeon Platinum 8352Y (Table 4): 32 cores, Ice Lake / Sunny Cove,
+/// 2.2 GHz base, 3.4 GHz max, 48 MB L3, 1.25 MiB per-core L2 (the
+/// "1.28 MB" of §5.4).
+pub static XEON_8352Y: CpuSpec = CpuSpec {
+    name: "Intel Xeon 8352Y",
+    cores: 32,
+    base_ghz: 2.2,
+    allcore_boost_ghz: 2.8,
+    max_boost_ghz: 3.4,
+    l2_per_core_bytes: 1280 * 1024,
+    l3_bytes: 48 * MIB,
+    avx512: true,
+};
+
+/// AMD EPYC 9654 (Table 4): 96 cores, Zen 4, 2.4 GHz base, 3.7 GHz max,
+/// 384 MB L3, 1 MiB per-core L2.
+pub static EPYC_9654: CpuSpec = CpuSpec {
+    name: "AMD EPYC 9654",
+    cores: 96,
+    base_ghz: 2.4,
+    allcore_boost_ghz: 3.55,
+    max_boost_ghz: 3.7,
+    l2_per_core_bytes: MIB,
+    l3_bytes: 384 * MIB,
+    avx512: true,
+};
+
+/// Intel Xeon 6980P (§6): the highest-end AVX-512 Xeon in the SOL
+/// analysis — 128 cores, 3.2 GHz all-core boost, 504 MB L3.
+pub static XEON_6980P: CpuSpec = CpuSpec {
+    name: "Intel Xeon 6980P",
+    cores: 128,
+    base_ghz: 2.0,
+    allcore_boost_ghz: 3.2,
+    max_boost_ghz: 3.9,
+    l2_per_core_bytes: 2 * MIB,
+    l3_bytes: 504 * MIB,
+    avx512: true,
+};
+
+/// AMD EPYC 9965S (§6): the highest-end EPYC in the SOL analysis —
+/// 192 cores, 3.35 GHz all-core boost, 384 MB L3.
+pub static EPYC_9965S: CpuSpec = CpuSpec {
+    name: "AMD EPYC 9965S",
+    cores: 192,
+    base_ghz: 2.25,
+    allcore_boost_ghz: 3.35,
+    max_boost_ghz: 3.7,
+    l2_per_core_bytes: MIB,
+    l3_bytes: 384 * MIB,
+    avx512: true,
+};
+
+/// AMD EPYC 7502 — the 32-core machine the RPU paper benchmarks OpenFHE
+/// on (the "OpenFHE (32 cores)" series of Figures 1 and 7).
+pub static EPYC_7502: CpuSpec = CpuSpec {
+    name: "AMD EPYC 7502",
+    cores: 32,
+    base_ghz: 2.5,
+    allcore_boost_ghz: 3.0,
+    max_boost_ghz: 3.35,
+    l2_per_core_bytes: 512 * 1024,
+    l3_bytes: 128 * MIB,
+    avx512: false,
+};
+
+/// All specs, for iteration in reports.
+pub fn all() -> [&'static CpuSpec; 5] {
+    [&XEON_8352Y, &EPYC_9654, &XEON_6980P, &EPYC_9965S, &EPYC_7502]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_facts() {
+        assert_eq!(XEON_8352Y.cores, 32);
+        assert_eq!(XEON_8352Y.base_ghz, 2.2);
+        assert_eq!(XEON_8352Y.max_boost_ghz, 3.4);
+        assert_eq!(EPYC_9654.cores, 96);
+        assert_eq!(EPYC_9654.base_ghz, 2.4);
+        assert_eq!(EPYC_9654.max_boost_ghz, 3.7);
+    }
+
+    #[test]
+    fn section6_targets() {
+        assert_eq!(XEON_6980P.cores, 128);
+        assert_eq!(XEON_6980P.allcore_boost_ghz, 3.2);
+        assert_eq!(XEON_6980P.l3_bytes, 504 * 1024 * 1024);
+        assert_eq!(EPYC_9965S.cores, 192);
+        assert_eq!(EPYC_9965S.allcore_boost_ghz, 3.35);
+    }
+
+    #[test]
+    fn all_specs_sane() {
+        for spec in all() {
+            assert!(spec.cores >= 1);
+            assert!(spec.base_ghz > 0.5 && spec.base_ghz < 6.0, "{}", spec.name);
+            assert!(spec.allcore_boost_ghz >= spec.base_ghz, "{}", spec.name);
+            assert!(spec.max_boost_ghz >= spec.allcore_boost_ghz, "{}", spec.name);
+            assert!(spec.l2_per_core_bytes >= 256 * 1024);
+        }
+    }
+
+    #[test]
+    fn serializes_for_reports() {
+        let json = serde_json::to_string(&XEON_6980P).unwrap();
+        assert!(json.contains("6980P"));
+        assert!(json.contains("128"));
+    }
+}

@@ -1,0 +1,75 @@
+//! The speed-of-light (SOL) roofline model of §6, the CPU spec database
+//! of Table 4, the accelerator reference series of Figures 1 and 7, and
+//! the §5.4 L2 cache-knee model.
+//!
+//! The SOL model answers: *if the single-core kernel scaled perfectly
+//! across every core of a target CPU at its all-core boost clock, where
+//! would it land against the ASIC/GPU accelerators?* Eq. (13):
+//!
+//! ```text
+//! t_sol = t_measured · (c₁/c₂) · (f_measured / f_max)
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use mqx_roofline::{cpu, sol_runtime};
+//!
+//! // A 10 µs single-core NTT measured at 3.7 GHz, scaled onto all 192
+//! // cores of the EPYC 9965S at its 3.35 GHz all-core boost:
+//! let t = sol_runtime(10_000.0, 3.7, 1, &cpu::EPYC_9965S);
+//! assert!((t - 10_000.0 * (1.0 / 192.0) * (3.7 / 3.35)).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod accel;
+mod cache;
+pub mod cpu;
+mod series;
+
+pub use cache::{predicted_l2_knee, working_set_bytes};
+pub use cpu::CpuSpec;
+pub use series::{figure7_rows, Figure1Row, Figure7Row, SolSeries};
+
+/// Eq. (13): scales a measured runtime (any time unit) from
+/// `measured_cores` cores at `measured_ghz` onto all cores of `target`
+/// at its all-core boost clock.
+///
+/// # Panics
+///
+/// Panics if `measured_ghz` or `measured_cores` is zero.
+pub fn sol_runtime(t_measured: f64, measured_ghz: f64, measured_cores: u32, target: &CpuSpec) -> f64 {
+    assert!(measured_ghz > 0.0, "measured frequency must be positive");
+    assert!(measured_cores > 0, "measured core count must be positive");
+    t_measured * (f64::from(measured_cores) / f64::from(target.cores))
+        * (measured_ghz / target.allcore_boost_ghz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq13_simplifies_for_single_core() {
+        // t_sol = t_m · f_m / (c₂ · f_max), per §6.
+        let t = sol_runtime(1000.0, 2.4, 1, &cpu::EPYC_9654);
+        let expected = 1000.0 * 2.4 / (96.0 * cpu::EPYC_9654.allcore_boost_ghz);
+        assert!((t - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_target_clock_reduces_time() {
+        let slow = sol_runtime(1000.0, 3.0, 1, &cpu::XEON_8352Y);
+        // Same measurement, bigger machine.
+        let fast = sol_runtime(1000.0, 3.0, 1, &cpu::XEON_6980P);
+        assert!(fast < slow);
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency")]
+    fn zero_frequency_rejected() {
+        let _ = sol_runtime(1.0, 0.0, 1, &cpu::EPYC_9654);
+    }
+}

@@ -1,0 +1,170 @@
+//! Figure 1 and Figure 7 data assembly: measured single-core runtimes →
+//! SOL projections → comparisons against the accelerator series.
+
+use crate::accel::AccelSeries;
+use crate::cpu::CpuSpec;
+use crate::sol_runtime;
+use serde::{Deserialize, Serialize};
+
+/// A measured-then-projected runtime series for one kernel tier.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SolSeries {
+    /// Tier label (e.g. `"mqx-sol @ EPYC 9965S"`).
+    pub name: String,
+    /// `(log₂ n, projected runtime ns)` pairs.
+    pub points: Vec<(u32, f64)>,
+}
+
+impl SolSeries {
+    /// Projects measured single-core runtimes onto a target CPU via
+    /// Eq. (13).
+    ///
+    /// `measured` holds `(log₂ n, runtime ns)` pairs taken on one core
+    /// at `measured_ghz`.
+    pub fn project(
+        label: &str,
+        measured: &[(u32, f64)],
+        measured_ghz: f64,
+        target: &CpuSpec,
+    ) -> Self {
+        SolSeries {
+            name: format!("{label} @ {}", target.name),
+            points: measured
+                .iter()
+                .map(|&(l, t)| (l, sol_runtime(t, measured_ghz, 1, target)))
+                .collect(),
+        }
+    }
+
+    /// Runtime at `log₂ n`, if present.
+    pub fn at(&self, log_n: u32) -> Option<f64> {
+        self.points.iter().find(|(l, _)| *l == log_n).map(|(_, t)| *t)
+    }
+
+    /// Geometric-mean speedup of `self` over an accelerator series,
+    /// across their common sizes (>1 means this series is faster).
+    pub fn geomean_speedup_vs(&self, other: &AccelSeries) -> Option<f64> {
+        let mut log_sum = 0.0;
+        let mut count = 0_u32;
+        for &(l, t) in &self.points {
+            if let Some(ot) = other.at(l) {
+                log_sum += (ot / t).ln();
+                count += 1;
+            }
+        }
+        if count == 0 {
+            None
+        } else {
+            Some((log_sum / f64::from(count)).exp())
+        }
+    }
+}
+
+/// One row of the Figure 1 summary table.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Figure1Row {
+    /// Implementation label.
+    pub name: String,
+    /// Hardware the number belongs to.
+    pub hardware: String,
+    /// NTT runtime at the representative size, nanoseconds.
+    pub runtime_ns: f64,
+    /// Slowdown relative to the fastest row (1.0 = fastest).
+    pub relative: f64,
+}
+
+/// One row of a Figure 7 table: a size and every series' runtime.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Figure7Row {
+    /// log₂ of the NTT size.
+    pub log_n: u32,
+    /// `(series name, runtime ns)`; `None` when a series lacks the size.
+    pub runtimes: Vec<(String, Option<f64>)>,
+}
+
+/// Assembles Figure 7 rows from any mix of SOL projections and
+/// accelerator series.
+pub fn figure7_rows(
+    sizes: &[u32],
+    sol: &[&SolSeries],
+    accel: &[&AccelSeries],
+) -> Vec<Figure7Row> {
+    sizes
+        .iter()
+        .map(|&l| Figure7Row {
+            log_n: l,
+            runtimes: sol
+                .iter()
+                .map(|s| (s.name.clone(), s.at(l)))
+                .chain(accel.iter().map(|a| (a.name.to_string(), a.at(l))))
+                .collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{accel, cpu};
+
+    fn measured() -> Vec<(u32, f64)> {
+        // A fake single-core MQX series: ~0.9 ns/butterfly.
+        (10..=16)
+            .map(|l| {
+                let butterflies = ((1_u64 << l) / 2) as f64 * f64::from(l);
+                (l, butterflies * 0.9)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn projection_scales_by_cores_and_clock() {
+        let m = measured();
+        let s = SolSeries::project("mqx-sol", &m, 3.7, &cpu::EPYC_9965S);
+        let raw = m[0].1;
+        let projected = s.at(10).unwrap();
+        let expected = raw * (1.0 / 192.0) * (3.7 / 3.35);
+        assert!((projected - expected).abs() < 1e-9);
+        assert!(s.name.contains("EPYC 9965S"));
+    }
+
+    #[test]
+    fn geomean_speedup_is_symmetric_inverse() {
+        let m = measured();
+        let s = SolSeries::project("mqx-sol", &m, 3.7, &cpu::EPYC_9965S);
+        let r = accel::rpu();
+        let v = s.geomean_speedup_vs(&r).unwrap();
+        assert!(v.is_finite() && v > 0.0);
+        // Against a series with no common sizes → None.
+        let empty = AccelSeries {
+            name: "none",
+            points: vec![(30, 1.0)],
+        };
+        assert!(s.geomean_speedup_vs(&empty).is_none());
+    }
+
+    #[test]
+    fn figure7_rows_cover_all_series() {
+        let m = measured();
+        let s = SolSeries::project("mqx-sol", &m, 3.7, &cpu::EPYC_9965S);
+        let rpu = accel::rpu();
+        let moma = accel::moma();
+        let rows = figure7_rows(&[10, 14, 16], &[&s], &[&rpu, &moma]);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].runtimes.len(), 3);
+        // RPU lacks 2^16.
+        let r16 = &rows[2];
+        let rpu_entry = r16.runtimes.iter().find(|(n, _)| n.contains("RPU")).unwrap();
+        assert!(rpu_entry.1.is_none());
+    }
+
+    #[test]
+    fn sol_beats_openfhe_32core_by_orders_of_magnitude() {
+        // The qualitative Figure 1 claim: a projected full-socket MQX CPU
+        // is far ahead of the 32-core OpenFHE baseline.
+        let m = measured();
+        let s = SolSeries::project("mqx-sol", &m, 3.7, &cpu::EPYC_9965S);
+        let speedup = s.geomean_speedup_vs(&accel::openfhe_32core()).unwrap();
+        assert!(speedup > 100.0, "got {speedup}");
+    }
+}

@@ -1,0 +1,308 @@
+//! The AVX-512 engine: eight 64-bit lanes in `__m512i` vectors with real
+//! `__mmask8` mask registers — the paper's best natively-available tier
+//! (§3.2). Compiled only when the build target enables `avx512f` and
+//! `avx512dq` (the workspace builds with `-C target-cpu=native`).
+
+#![allow(unsafe_code)]
+
+use crate::engine::{sealed, SimdEngine};
+use std::arch::x86_64::*;
+
+/// The AVX-512 engine. See the [module docs](self).
+#[derive(Clone, Copy, Debug)]
+pub struct Avx512;
+
+impl sealed::Sealed for Avx512 {}
+
+impl SimdEngine for Avx512 {
+    const LANES: usize = 8;
+    const NAME: &'static str = "avx512";
+
+    type V = __m512i;
+    type M = __mmask8;
+
+    #[inline]
+    fn splat(x: u64) -> Self::V {
+        unsafe { _mm512_set1_epi64(x as i64) }
+    }
+
+    #[inline]
+    fn load(src: &[u64]) -> Self::V {
+        assert!(src.len() >= 8, "avx512 load needs 8 lanes");
+        unsafe { _mm512_loadu_si512(src.as_ptr().cast()) }
+    }
+
+    #[inline]
+    fn store(v: Self::V, dst: &mut [u64]) {
+        assert!(dst.len() >= 8, "avx512 store needs 8 lanes");
+        unsafe { _mm512_storeu_si512(dst.as_mut_ptr().cast(), v) }
+    }
+
+    #[inline]
+    fn extract(v: Self::V, lane: usize) -> u64 {
+        assert!(lane < 8);
+        let mut buf = [0_u64; 8];
+        Self::store(v, &mut buf);
+        buf[lane]
+    }
+
+    #[inline]
+    fn add(a: Self::V, b: Self::V) -> Self::V {
+        unsafe { _mm512_add_epi64(a, b) }
+    }
+
+    #[inline]
+    fn sub(a: Self::V, b: Self::V) -> Self::V {
+        unsafe { _mm512_sub_epi64(a, b) }
+    }
+
+    #[inline]
+    fn mullo(a: Self::V, b: Self::V) -> Self::V {
+        unsafe { _mm512_mullo_epi64(a, b) }
+    }
+
+    #[inline]
+    fn mul32_wide(a: Self::V, b: Self::V) -> Self::V {
+        unsafe { _mm512_mul_epu32(a, b) }
+    }
+
+    #[inline]
+    fn mullo32(a: Self::V, b: Self::V) -> Self::V {
+        unsafe { _mm512_mullo_epi32(a, b) }
+    }
+
+    #[inline]
+    fn shl(a: Self::V, n: u32) -> Self::V {
+        unsafe { _mm512_sll_epi64(a, _mm_cvtsi32_si128(n as i32)) }
+    }
+
+    #[inline]
+    fn shr(a: Self::V, n: u32) -> Self::V {
+        unsafe { _mm512_srl_epi64(a, _mm_cvtsi32_si128(n as i32)) }
+    }
+
+    #[inline]
+    fn and(a: Self::V, b: Self::V) -> Self::V {
+        unsafe { _mm512_and_si512(a, b) }
+    }
+
+    #[inline]
+    fn or(a: Self::V, b: Self::V) -> Self::V {
+        unsafe { _mm512_or_si512(a, b) }
+    }
+
+    #[inline]
+    fn xor(a: Self::V, b: Self::V) -> Self::V {
+        unsafe { _mm512_xor_si512(a, b) }
+    }
+
+    #[inline]
+    fn cmp_lt(a: Self::V, b: Self::V) -> Self::M {
+        unsafe { _mm512_cmplt_epu64_mask(a, b) }
+    }
+
+    #[inline]
+    fn cmp_le(a: Self::V, b: Self::V) -> Self::M {
+        unsafe { _mm512_cmple_epu64_mask(a, b) }
+    }
+
+    #[inline]
+    fn cmp_eq(a: Self::V, b: Self::V) -> Self::M {
+        unsafe { _mm512_cmpeq_epi64_mask(a, b) }
+    }
+
+    #[inline]
+    fn mask_zero() -> Self::M {
+        0
+    }
+
+    #[inline]
+    fn mask_and(a: Self::M, b: Self::M) -> Self::M {
+        a & b
+    }
+
+    #[inline]
+    fn mask_or(a: Self::M, b: Self::M) -> Self::M {
+        a | b
+    }
+
+    #[inline]
+    fn mask_not(a: Self::M) -> Self::M {
+        !a
+    }
+
+    #[inline]
+    fn mask_to_bits(m: Self::M) -> u64 {
+        u64::from(m)
+    }
+
+    #[inline]
+    fn mask_from_bits(bits: u64) -> Self::M {
+        bits as u8
+    }
+
+    #[inline]
+    fn blend(m: Self::M, a: Self::V, b: Self::V) -> Self::V {
+        unsafe { _mm512_mask_blend_epi64(m, a, b) }
+    }
+
+    #[inline]
+    fn mask_add(src: Self::V, m: Self::M, a: Self::V, b: Self::V) -> Self::V {
+        unsafe { _mm512_mask_add_epi64(src, m, a, b) }
+    }
+
+    #[inline]
+    fn mask_sub(src: Self::V, m: Self::M, a: Self::V, b: Self::V) -> Self::V {
+        unsafe { _mm512_mask_sub_epi64(src, m, a, b) }
+    }
+
+    #[inline]
+    fn interleave_lo(a: Self::V, b: Self::V) -> Self::V {
+        // One vpermt2q: indices 0..3 of a interleaved with 8..11 of b.
+        unsafe {
+            let idx = _mm512_setr_epi64(0, 8, 1, 9, 2, 10, 3, 11);
+            _mm512_permutex2var_epi64(a, idx, b)
+        }
+    }
+
+    #[inline]
+    fn interleave_hi(a: Self::V, b: Self::V) -> Self::V {
+        unsafe {
+            let idx = _mm512_setr_epi64(4, 12, 5, 13, 6, 14, 7, 15);
+            _mm512_permutex2var_epi64(a, idx, b)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Portable;
+
+    /// Every engine op must agree lane-wise with the portable engine.
+    /// This is the ground-truth test that lets the rest of the workspace
+    /// trust `Avx512` blindly.
+    #[test]
+    fn avx512_matches_portable_on_stress_lanes() {
+        let xs = [
+            0_u64,
+            1,
+            u64::MAX,
+            u64::MAX - 1,
+            0xDEAD_BEEF_CAFE_BABE,
+            1 << 63,
+            0xFFFF_FFFF,
+            0x1_0000_0000,
+        ];
+        let ys = [
+            u64::MAX,
+            0,
+            u64::MAX,
+            1,
+            0x0123_4567_89AB_CDEF,
+            1 << 63,
+            0x8000_0001,
+            0xFFFF_FFFF,
+        ];
+        let (av, bv) = (Avx512::load(&xs), Avx512::load(&ys));
+        let (ap, bp) = (Portable::load(&xs), Portable::load(&ys));
+
+        let check = |got: __m512i, want: [u64; 8], what: &str| {
+            let mut buf = [0_u64; 8];
+            Avx512::store(got, &mut buf);
+            assert_eq!(buf, want, "{what}");
+        };
+
+        check(Avx512::add(av, bv), Portable::add(ap, bp), "add");
+        check(Avx512::sub(av, bv), Portable::sub(ap, bp), "sub");
+        check(Avx512::mullo(av, bv), Portable::mullo(ap, bp), "mullo");
+        check(
+            Avx512::mul32_wide(av, bv),
+            Portable::mul32_wide(ap, bp),
+            "mul32_wide",
+        );
+        check(Avx512::mullo32(av, bv), Portable::mullo32(ap, bp), "mullo32");
+        check(Avx512::and(av, bv), Portable::and(ap, bp), "and");
+        check(Avx512::or(av, bv), Portable::or(ap, bp), "or");
+        check(Avx512::xor(av, bv), Portable::xor(ap, bp), "xor");
+        for n in [0_u32, 1, 31, 32, 63] {
+            check(Avx512::shl(av, n), Portable::shl(ap, n), "shl");
+            check(Avx512::shr(av, n), Portable::shr(ap, n), "shr");
+        }
+        assert_eq!(
+            Avx512::mask_to_bits(Avx512::cmp_lt(av, bv)),
+            Portable::mask_to_bits(Portable::cmp_lt(ap, bp)),
+            "cmp_lt"
+        );
+        assert_eq!(
+            Avx512::mask_to_bits(Avx512::cmp_le(av, bv)),
+            Portable::mask_to_bits(Portable::cmp_le(ap, bp)),
+            "cmp_le"
+        );
+        assert_eq!(
+            Avx512::mask_to_bits(Avx512::cmp_eq(av, bv)),
+            Portable::mask_to_bits(Portable::cmp_eq(ap, bp)),
+            "cmp_eq"
+        );
+        check(
+            Avx512::interleave_lo(av, bv),
+            Portable::interleave_lo(ap, bp),
+            "interleave_lo",
+        );
+        check(
+            Avx512::interleave_hi(av, bv),
+            Portable::interleave_hi(ap, bp),
+            "interleave_hi",
+        );
+
+        for bits in [0_u64, 0b0101_1010, 0xFF] {
+            let m5 = Avx512::mask_from_bits(bits);
+            let mp = Portable::mask_from_bits(bits);
+            check(
+                Avx512::blend(m5, av, bv),
+                Portable::blend(mp, ap, bp),
+                "blend",
+            );
+            check(
+                Avx512::mask_add(av, m5, av, bv),
+                Portable::mask_add(ap, mp, ap, bp),
+                "mask_add",
+            );
+            check(
+                Avx512::mask_sub(av, m5, av, bv),
+                Portable::mask_sub(ap, mp, ap, bp),
+                "mask_sub",
+            );
+        }
+    }
+
+    #[test]
+    fn derived_ops_match_portable() {
+        let xs = [0_u64, 1, u64::MAX, 7, 1 << 40, u64::MAX - 1, 3, 99];
+        let ys = [5_u64, u64::MAX, u64::MAX, 7, 1 << 41, 1, 4, 98];
+        let (av, bv) = (Avx512::load(&xs), Avx512::load(&ys));
+        let (ap, bp) = (Portable::load(&xs), Portable::load(&ys));
+
+        let (hi5, lo5) = Avx512::mul_wide(av, bv);
+        let (hip, lop) = Portable::mul_wide(ap, bp);
+        let mut buf = [0_u64; 8];
+        Avx512::store(hi5, &mut buf);
+        assert_eq!(buf, hip, "mul_wide hi");
+        Avx512::store(lo5, &mut buf);
+        assert_eq!(buf, lop, "mul_wide lo");
+
+        for bits in [0_u64, 0b1100_0011] {
+            let (s5, c5) = Avx512::adc(av, bv, Avx512::mask_from_bits(bits));
+            let (sp, cp) = Portable::adc(ap, bp, Portable::mask_from_bits(bits));
+            Avx512::store(s5, &mut buf);
+            assert_eq!(buf, sp, "adc sum");
+            assert_eq!(Avx512::mask_to_bits(c5), Portable::mask_to_bits(cp), "adc carry");
+
+            let (d5, b5) = Avx512::sbb(av, bv, Avx512::mask_from_bits(bits));
+            let (dp, bbp) = Portable::sbb(ap, bp, Portable::mask_from_bits(bits));
+            Avx512::store(d5, &mut buf);
+            assert_eq!(buf, dp, "sbb diff");
+            assert_eq!(Avx512::mask_to_bits(b5), Portable::mask_to_bits(bbp), "sbb borrow");
+        }
+    }
+}

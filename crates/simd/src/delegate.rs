@@ -1,0 +1,148 @@
+//! Delegation macros for wrapper engines ([`Mqx`](crate::Mqx) and the
+//! PISA-validation proxies). Each macro expands to a group of required
+//! [`SimdEngine`](crate::SimdEngine) methods forwarding to a base engine,
+//! so wrappers only spell out the operations they change.
+
+macro_rules! delegate_data {
+    ($base:ty) => {
+        #[inline]
+        fn splat(x: u64) -> Self::V {
+            <$base as crate::engine::SimdEngine>::splat(x)
+        }
+        #[inline]
+        fn load(src: &[u64]) -> Self::V {
+            <$base as crate::engine::SimdEngine>::load(src)
+        }
+        #[inline]
+        fn store(v: Self::V, dst: &mut [u64]) {
+            <$base as crate::engine::SimdEngine>::store(v, dst)
+        }
+        #[inline]
+        fn extract(v: Self::V, lane: usize) -> u64 {
+            <$base as crate::engine::SimdEngine>::extract(v, lane)
+        }
+    };
+}
+
+macro_rules! delegate_arith {
+    ($base:ty) => {
+        #[inline]
+        fn add(a: Self::V, b: Self::V) -> Self::V {
+            <$base as crate::engine::SimdEngine>::add(a, b)
+        }
+        #[inline]
+        fn sub(a: Self::V, b: Self::V) -> Self::V {
+            <$base as crate::engine::SimdEngine>::sub(a, b)
+        }
+        #[inline]
+        fn mullo(a: Self::V, b: Self::V) -> Self::V {
+            <$base as crate::engine::SimdEngine>::mullo(a, b)
+        }
+        #[inline]
+        fn mul32_wide(a: Self::V, b: Self::V) -> Self::V {
+            <$base as crate::engine::SimdEngine>::mul32_wide(a, b)
+        }
+        #[inline]
+        fn mullo32(a: Self::V, b: Self::V) -> Self::V {
+            <$base as crate::engine::SimdEngine>::mullo32(a, b)
+        }
+        #[inline]
+        fn shl(a: Self::V, n: u32) -> Self::V {
+            <$base as crate::engine::SimdEngine>::shl(a, n)
+        }
+        #[inline]
+        fn shr(a: Self::V, n: u32) -> Self::V {
+            <$base as crate::engine::SimdEngine>::shr(a, n)
+        }
+        #[inline]
+        fn and(a: Self::V, b: Self::V) -> Self::V {
+            <$base as crate::engine::SimdEngine>::and(a, b)
+        }
+        #[inline]
+        fn or(a: Self::V, b: Self::V) -> Self::V {
+            <$base as crate::engine::SimdEngine>::or(a, b)
+        }
+        #[inline]
+        fn xor(a: Self::V, b: Self::V) -> Self::V {
+            <$base as crate::engine::SimdEngine>::xor(a, b)
+        }
+    };
+}
+
+macro_rules! delegate_cmp {
+    ($base:ty) => {
+        #[inline]
+        fn cmp_lt(a: Self::V, b: Self::V) -> Self::M {
+            <$base as crate::engine::SimdEngine>::cmp_lt(a, b)
+        }
+        #[inline]
+        fn cmp_le(a: Self::V, b: Self::V) -> Self::M {
+            <$base as crate::engine::SimdEngine>::cmp_le(a, b)
+        }
+        #[inline]
+        fn cmp_eq(a: Self::V, b: Self::V) -> Self::M {
+            <$base as crate::engine::SimdEngine>::cmp_eq(a, b)
+        }
+    };
+}
+
+macro_rules! delegate_masks {
+    ($base:ty) => {
+        #[inline]
+        fn mask_zero() -> Self::M {
+            <$base as crate::engine::SimdEngine>::mask_zero()
+        }
+        #[inline]
+        fn mask_and(a: Self::M, b: Self::M) -> Self::M {
+            <$base as crate::engine::SimdEngine>::mask_and(a, b)
+        }
+        #[inline]
+        fn mask_or(a: Self::M, b: Self::M) -> Self::M {
+            <$base as crate::engine::SimdEngine>::mask_or(a, b)
+        }
+        #[inline]
+        fn mask_not(a: Self::M) -> Self::M {
+            <$base as crate::engine::SimdEngine>::mask_not(a)
+        }
+        #[inline]
+        fn mask_to_bits(m: Self::M) -> u64 {
+            <$base as crate::engine::SimdEngine>::mask_to_bits(m)
+        }
+        #[inline]
+        fn mask_from_bits(bits: u64) -> Self::M {
+            <$base as crate::engine::SimdEngine>::mask_from_bits(bits)
+        }
+    };
+}
+
+macro_rules! delegate_select {
+    ($base:ty) => {
+        #[inline]
+        fn blend(m: Self::M, a: Self::V, b: Self::V) -> Self::V {
+            <$base as crate::engine::SimdEngine>::blend(m, a, b)
+        }
+        #[inline]
+        fn mask_add(src: Self::V, m: Self::M, a: Self::V, b: Self::V) -> Self::V {
+            <$base as crate::engine::SimdEngine>::mask_add(src, m, a, b)
+        }
+        #[inline]
+        fn mask_sub(src: Self::V, m: Self::M, a: Self::V, b: Self::V) -> Self::V {
+            <$base as crate::engine::SimdEngine>::mask_sub(src, m, a, b)
+        }
+    };
+}
+
+macro_rules! delegate_perm {
+    ($base:ty) => {
+        #[inline]
+        fn interleave_lo(a: Self::V, b: Self::V) -> Self::V {
+            <$base as crate::engine::SimdEngine>::interleave_lo(a, b)
+        }
+        #[inline]
+        fn interleave_hi(a: Self::V, b: Self::V) -> Self::V {
+            <$base as crate::engine::SimdEngine>::interleave_hi(a, b)
+        }
+    };
+}
+
+pub(crate) use {delegate_arith, delegate_cmp, delegate_data, delegate_masks, delegate_perm, delegate_select};

@@ -1,0 +1,139 @@
+//! SIMD engines and the MQX ISA extension for vectorized 128-bit modular
+//! arithmetic.
+//!
+//! This crate implements §3.2 and §4 of the paper. The central abstraction
+//! is [`SimdEngine`]: a set of vector primitives that map one-to-one onto
+//! AVX-512 (and AVX2) instructions, plus three *derived* operations —
+//! [`SimdEngine::mul_wide`], [`SimdEngine::adc`] and [`SimdEngine::sbb`] —
+//! whose default implementations are exactly the multi-instruction AVX-512
+//! emulation sequences the paper starts from (Table 1, Listing 2), and
+//! which the [`Mqx`] engine overrides with the proposed single-instruction
+//! forms (Table 2).
+//!
+//! # Engines
+//!
+//! | Engine | Lanes | Availability | Paper tier |
+//! |---|---|---|---|
+//! | [`Portable`] | 8 | always | correctness anchor / scalar emulation |
+//! | [`Avx2`] | 4 | `target_feature = "avx2"` | AVX2 |
+//! | [`Avx512`] | 8 | `target_feature = "avx512f", "avx512dq"` | AVX-512 |
+//! | [`Mqx<E, P>`] | as `E` | as `E` | MQX (Figure 6 profiles) |
+//!
+//! # MQX modes
+//!
+//! Each [`MqxProfile`](profiles::MqxProfile) carries a `FUNCTIONAL` flag —
+//! the same flag the paper describes in §4.2:
+//!
+//! * **functional** (`FUNCTIONAL = true`): every MQX instruction is
+//!   emulated lane-by-lane per Table 2; results are bit-exact and checked
+//!   against the scalar kernels.
+//! * **PISA** (`FUNCTIONAL = false`): every MQX instruction executes as
+//!   its Table 3 *proxy* (`vpmullq`, masked `vpaddq`/`vpsubq`). Timing is
+//!   representative of the proposed hardware; **numerical results are
+//!   deliberately wrong** and must never be consumed as values.
+//!
+//! # Example
+//!
+//! ```
+//! use mqx_core::{Modulus, primes};
+//! use mqx_simd::{Portable, SimdEngine, VDword, VModulus};
+//!
+//! let q = Modulus::new(primes::Q124)?;
+//! let vq = VModulus::<Portable>::new(&q);
+//! // Eight residues in structure-of-arrays (hi[], lo[]) form.
+//! let a = VDword::<Portable>::broadcast(primes::Q124 - 1);
+//! let b = VDword::<Portable>::broadcast(2);
+//! let c = mqx_simd::addmod(a, b, &vq);
+//! assert_eq!(c.extract(0), 1); // (q-1) + 2 ≡ 1 (mod q)
+//! # Ok::<(), mqx_core::ModulusError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod delegate;
+mod dmod;
+mod engine;
+mod mqx;
+mod portable;
+pub mod profiles;
+pub mod proxy;
+mod soa;
+
+#[cfg(test)]
+mod proptests;
+
+#[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+mod avx2;
+#[cfg(all(
+    target_arch = "x86_64",
+    target_feature = "avx512f",
+    target_feature = "avx512dq"
+))]
+mod avx512;
+
+pub use dmod::{
+    addmod, addmod_listing3_faithful, mulmod, mulmod_karatsuba, mulmod_schoolbook, submod,
+    VDword, VModulus,
+};
+pub use engine::SimdEngine;
+pub use mqx::Mqx;
+pub use portable::Portable;
+pub use soa::ResidueSoa;
+
+#[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+pub use avx2::Avx2;
+#[cfg(all(
+    target_arch = "x86_64",
+    target_feature = "avx512f",
+    target_feature = "avx512dq"
+))]
+pub use avx512::Avx512;
+
+/// Convenient aliases for the headline MQX configurations.
+pub mod tiers {
+    use super::*;
+
+    /// The full MQX extension (+M,C) in functional (bit-exact) mode.
+    #[cfg(all(
+        target_arch = "x86_64",
+        target_feature = "avx512f",
+        target_feature = "avx512dq"
+    ))]
+    pub type MqxFunctional = Mqx<Avx512, profiles::McFunctional>;
+    /// The full MQX extension (+M,C) in PISA (performance-projection) mode.
+    #[cfg(all(
+        target_arch = "x86_64",
+        target_feature = "avx512f",
+        target_feature = "avx512dq"
+    ))]
+    pub type MqxPisa = Mqx<Avx512, profiles::McPisa>;
+
+    /// Functional MQX on the portable engine (for hosts without AVX-512).
+    pub type MqxPortableFunctional = Mqx<Portable, profiles::McFunctional>;
+}
+
+/// Returns `true` when this build includes the AVX-512 engine (the
+/// workspace compiles with `-C target-cpu=native`, so this reflects the
+/// build host).
+pub const fn avx512_compiled() -> bool {
+    cfg!(all(
+        target_arch = "x86_64",
+        target_feature = "avx512f",
+        target_feature = "avx512dq"
+    ))
+}
+
+/// Returns `true` when this build includes the AVX2 engine.
+pub const fn avx2_compiled() -> bool {
+    cfg!(all(target_arch = "x86_64", target_feature = "avx2"))
+}
+
+/// One-line description of the vector tiers available in this build, for
+/// benchmark reports.
+pub fn tier_summary() -> String {
+    format!(
+        "portable=yes avx2={} avx512={}",
+        if avx2_compiled() { "yes" } else { "no" },
+        if avx512_compiled() { "yes" } else { "no" },
+    )
+}

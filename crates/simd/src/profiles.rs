@@ -1,0 +1,132 @@
+//! MQX configuration profiles — the rows of the paper's Figure 6
+//! sensitivity analysis, each in functional and PISA modes.
+//!
+//! | Profile | `+M` widening mul | `+Mh` mul-high pair | `+C` carry | `+P` predication |
+//! |---|---|---|---|---|
+//! | [`MFunctional`] / [`MPisa`] | ✓ | | | |
+//! | [`CFunctional`] / [`CPisa`] | | | ✓ | |
+//! | [`McFunctional`] / [`McPisa`] | ✓ | | ✓ | |
+//! | [`MhCFunctional`] / [`MhCPisa`] | | ✓ | ✓ | |
+//! | [`McpFunctional`] / [`McpPisa`] | ✓ | | ✓ | ✓ |
+
+/// Compile-time description of which MQX instructions an engine variant
+/// provides, and whether they run bit-exactly (functional) or as Table 3
+/// proxies (PISA).
+///
+/// This trait is the paper's §4.2 correctness flag lifted to the type
+/// level: `FUNCTIONAL = false` selects the proxy-ISA instruction stream,
+/// which has representative cost but *wrong numerical results*.
+pub trait MqxProfile: Copy + Send + Sync + 'static {
+    /// Provide `_mm512_mul_epi64` (full widening multiply, Table 2).
+    const WIDENING_MUL: bool;
+    /// Provide the §5.5 lower-cost alternative: a multiply-high
+    /// instruction paired with the existing multiply-low.
+    const MULHI_ONLY: bool;
+    /// Provide `_mm512_adc_epi64` / `_mm512_sbb_epi64` (carry support).
+    const CARRY: bool;
+    /// Provide the predicated carry/borrow ops explored (and rejected) in
+    /// §5.5.
+    const PREDICATED: bool;
+    /// Bit-exact emulation (`true`) vs PISA proxy stream (`false`).
+    const FUNCTIONAL: bool;
+    /// Label used in benchmark reports ("+M,C" etc., matching Figure 6).
+    const NAME: &'static str;
+}
+
+macro_rules! profile {
+    ($(#[$doc:meta])* $name:ident, $m:expr, $mh:expr, $c:expr, $p:expr, $func:expr, $label:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, Debug)]
+        pub struct $name;
+
+        impl MqxProfile for $name {
+            const WIDENING_MUL: bool = $m;
+            const MULHI_ONLY: bool = $mh;
+            const CARRY: bool = $c;
+            const PREDICATED: bool = $p;
+            const FUNCTIONAL: bool = $func;
+            const NAME: &'static str = $label;
+        }
+    };
+}
+
+profile!(
+    /// `+M` — widening multiplication only — functional mode.
+    MFunctional, true, false, false, false, true, "mqx+M(func)"
+);
+profile!(
+    /// `+M` — widening multiplication only — PISA mode.
+    MPisa, true, false, false, false, false, "mqx+M(pisa)"
+);
+profile!(
+    /// `+C` — carry-flag support only — functional mode.
+    CFunctional, false, false, true, false, true, "mqx+C(func)"
+);
+profile!(
+    /// `+C` — carry-flag support only — PISA mode.
+    CPisa, false, false, true, false, false, "mqx+C(pisa)"
+);
+profile!(
+    /// `+M,C` — the full MQX extension — functional mode.
+    McFunctional, true, false, true, false, true, "mqx+M,C(func)"
+);
+profile!(
+    /// `+M,C` — the full MQX extension — PISA mode.
+    McPisa, true, false, true, false, false, "mqx+M,C(pisa)"
+);
+profile!(
+    /// `+Mh,C` — multiply-high instead of full widening — functional mode.
+    MhCFunctional, false, true, true, false, true, "mqx+Mh,C(func)"
+);
+profile!(
+    /// `+Mh,C` — multiply-high instead of full widening — PISA mode.
+    MhCPisa, false, true, true, false, false, "mqx+Mh,C(pisa)"
+);
+profile!(
+    /// `+M,C,P` — full MQX plus predicated execution — functional mode.
+    McpFunctional, true, false, true, true, true, "mqx+M,C,P(func)"
+);
+profile!(
+    /// `+M,C,P` — full MQX plus predicated execution — PISA mode.
+    McpPisa, true, false, true, true, false, "mqx+M,C,P(pisa)"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_flags_match_figure6_labels() {
+        fn check<P: MqxProfile>(m: bool, mh: bool, c: bool, p: bool, func: bool) {
+            assert_eq!(P::WIDENING_MUL, m, "{} M", P::NAME);
+            assert_eq!(P::MULHI_ONLY, mh, "{} Mh", P::NAME);
+            assert_eq!(P::CARRY, c, "{} C", P::NAME);
+            assert_eq!(P::PREDICATED, p, "{} P", P::NAME);
+            assert_eq!(P::FUNCTIONAL, func, "{} func", P::NAME);
+        }
+        check::<MFunctional>(true, false, false, false, true);
+        check::<MPisa>(true, false, false, false, false);
+        check::<CFunctional>(false, false, true, false, true);
+        check::<CPisa>(false, false, true, false, false);
+        check::<McFunctional>(true, false, true, false, true);
+        check::<McPisa>(true, false, true, false, false);
+        check::<MhCFunctional>(false, true, true, false, true);
+        check::<MhCPisa>(false, true, true, false, false);
+        check::<McpFunctional>(true, false, true, true, true);
+        check::<McpPisa>(true, false, true, true, false);
+    }
+
+    #[test]
+    fn widening_and_mulhi_are_mutually_exclusive() {
+        // A profile never claims both the one-instruction widening mul and
+        // the two-instruction mul-high decomposition.
+        fn exclusive<P: MqxProfile>() {
+            assert!(!(P::WIDENING_MUL && P::MULHI_ONLY), "{}", P::NAME);
+        }
+        exclusive::<MFunctional>();
+        exclusive::<McPisa>();
+        exclusive::<MhCFunctional>();
+        exclusive::<MhCPisa>();
+        exclusive::<McpPisa>();
+    }
+}

@@ -1,0 +1,89 @@
+//! An FHE-flavoured workload: the polynomial arithmetic inside one
+//! RLWE-style "ciphertext multiplication", end to end, across tiers.
+//!
+//! FHE schemes represent ciphertexts as pairs of polynomials in
+//! ℤ_q[x]/(xⁿ+1). Multiplying ciphertexts costs four negacyclic
+//! polynomial products plus point-wise combinations — exactly the NTT
+//! and BLAS kernels the paper optimizes (§2.3: "NTT accounts for more
+//! than 90% of FHE-based application execution time").
+//!
+//! ```sh
+//! cargo run --release --example fhe_polymul
+//! ```
+
+use mqx::blas::scalar as blas;
+use mqx::core::{primes, Modulus};
+use mqx::ntt::{polymul, NttPlan};
+use std::time::Instant;
+
+/// A toy RLWE "ciphertext": two polynomials (c0, c1).
+struct Ciphertext {
+    c0: Vec<u128>,
+    c1: Vec<u128>,
+}
+
+fn random_poly(n: usize, q: u128, seed: &mut u64) -> Vec<u128> {
+    (0..n)
+        .map(|_| {
+            *seed ^= *seed << 13;
+            *seed ^= *seed >> 7;
+            *seed ^= *seed << 17;
+            u128::from(*seed) % q
+        })
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 4096;
+    let m = Modulus::new_prime(primes::Q124)?;
+    let plan = NttPlan::new(&m, n)?;
+    assert!(plan.supports_negacyclic());
+    let mut seed = 0x5EED_CAFE_u64;
+
+    let ct_a = Ciphertext {
+        c0: random_poly(n, m.value(), &mut seed),
+        c1: random_poly(n, m.value(), &mut seed),
+    };
+    let ct_b = Ciphertext {
+        c0: random_poly(n, m.value(), &mut seed),
+        c1: random_poly(n, m.value(), &mut seed),
+    };
+
+    // Tensor product of two degree-1 ciphertexts: (d0, d1, d2) =
+    // (a0·b0, a0·b1 + a1·b0, a1·b1) — four negacyclic products and one
+    // vector addition, all in the ring.
+    let t0 = Instant::now();
+    let d0 = polymul::polymul_negacyclic(&plan, &ct_a.c0, &ct_b.c0)?;
+    let a0b1 = polymul::polymul_negacyclic(&plan, &ct_a.c0, &ct_b.c1)?;
+    let a1b0 = polymul::polymul_negacyclic(&plan, &ct_a.c1, &ct_b.c0)?;
+    let d1 = blas::vadd(&a0b1, &a1b0, &m);
+    let d2 = polymul::polymul_negacyclic(&plan, &ct_a.c1, &ct_b.c1)?;
+    let elapsed = t0.elapsed();
+
+    println!("ciphertext tensor at n = {n} over the 124-bit field: {elapsed:?}");
+    println!("  d0[0..4] = {:?}", &d0[..4.min(d0.len())]);
+    println!("  d1[0..4] = {:?}", &d1[..4]);
+    println!("  d2[0..4] = {:?}", &d2[..4]);
+
+    // Cross-check one product against the O(n²) schoolbook on a smaller
+    // instance (the full size would take a while quadratically).
+    let small = 256;
+    let small_plan = NttPlan::new(&m, small)?;
+    let f = &ct_a.c0[..small].to_vec();
+    let g = &ct_b.c0[..small].to_vec();
+    let fast = polymul::polymul_negacyclic(&small_plan, f, g)?;
+    let slow = polymul::schoolbook_negacyclic(f, g, &m);
+    assert_eq!(fast, slow);
+    println!("\nNTT product ≡ schoolbook product at n = {small}: ok");
+
+    // The point-wise (evaluation-domain) view: an FHE runtime keeps
+    // operands in NTT form and uses BLAS kernels between transforms.
+    let mut eval_a = ct_a.c0.clone();
+    let mut eval_b = ct_b.c0.clone();
+    plan.forward_scalar(&mut eval_a);
+    plan.forward_scalar(&mut eval_b);
+    let eval_prod = blas::vmul(&eval_a, &eval_b, &m);
+    println!("evaluation-domain point-wise product: {} coefficients", eval_prod.len());
+
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Quickstart: the workspace in five minutes — modular arithmetic, an
+//! NTT round trip in every tier, and a polynomial product.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mqx::core::{nt, primes, Modulus};
+use mqx::ntt::{polymul, NttPlan};
+use mqx::simd::{Portable, ResidueSoa};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A 124-bit prime field with Barrett constants precomputed.
+    let m = Modulus::new_prime(primes::Q124)?;
+    println!("modulus  q = {} ({} bits)", m.value(), m.bits());
+    println!("barrett  µ = {:#x}, k = {}", m.mu(), m.barrett_shift());
+
+    // 2. Double-word modular arithmetic (§2.1–§2.2).
+    let a = m.reduce(0xDEAD_BEEF_CAFE_BABE_0123_4567_89AB_CDEF);
+    let b = m.reduce(0x0FED_CBA9_8765_4321_F0E1_D2C3_B4A5_9687);
+    println!("\n(a + b) mod q = {:#x}", m.add_mod(a, b));
+    println!("(a · b) mod q = {:#x}", m.mul_mod(a, b));
+    assert_eq!(m.mul_mod(a, m.inv_mod(a).expect("prime field")), 1);
+
+    // 3. The field has 2-adicity 20: every radix-2 NTT size up to 2^20.
+    println!("\n2-adicity of q - 1: {}", nt::two_adicity(m.value()));
+
+    // 4. An NTT round trip, scalar tier.
+    let n = 1024;
+    let plan = NttPlan::new(&m, n)?;
+    let mut data: Vec<u128> = (0..n as u64).map(|i| u128::from(i * i + 1)).collect();
+    let original = data.clone();
+    plan.forward_scalar(&mut data);
+    plan.inverse_scalar(&mut data);
+    assert_eq!(data, original);
+    println!("scalar NTT round trip at n = {n}: ok");
+
+    // 5. The same transform in the SIMD tier (portable engine here; the
+    //    AVX-512 engine is selected the same way via the type parameter).
+    let mut soa = ResidueSoa::from_u128s(&original);
+    let mut scratch = ResidueSoa::zeros(n);
+    plan.forward_simd::<Portable>(&mut soa, &mut scratch);
+    plan.inverse_simd::<Portable>(&mut soa, &mut scratch);
+    assert_eq!(soa.to_u128s(), original);
+    println!("SIMD   NTT round trip at n = {n}: ok ({})", mqx::simd::tier_summary());
+
+    // 6. Negacyclic polynomial multiplication — the RLWE workhorse.
+    let f: Vec<u128> = (0..n as u64).map(|i| u128::from(i % 17)).collect();
+    let g: Vec<u128> = (0..n as u64).map(|i| u128::from(i % 23)).collect();
+    let product = polymul::polymul_negacyclic(&plan, &f, &g)?;
+    let reference = polymul::schoolbook_negacyclic(&f, &g, &m);
+    assert_eq!(product, reference);
+    println!("negacyclic polymul (n = {n}) matches the O(n²) schoolbook: ok");
+
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Facade crate for the MQX reproduction workspace.
+//!
+//! This crate re-exports the workspace libraries under one roof so the
+//! examples and integration tests (and downstream users who want
+//! everything) need a single dependency:
+//!
+//! * [`core`] — double-word (128-bit) Barrett modular arithmetic and
+//!   number theory ([`mqx_core`]).
+//! * [`simd`] — vector engines (portable/AVX2/AVX-512) and the MQX ISA
+//!   extension with PISA performance projection ([`mqx_simd`]).
+//! * [`ntt`] — number theoretic transforms, Pease constant-geometry
+//!   dataflow, polynomial multiplication ([`mqx_ntt`]).
+//! * [`blas`] — vector kernels over 128-bit residues ([`mqx_blas`]).
+//! * [`bignum`] — the arbitrary-precision GMP-substitute ([`mqx_bignum`]).
+//! * [`baseline`] — the OpenFHE-style and GMP-style baselines
+//!   ([`mqx_baseline`]).
+//! * [`mca`] — the LLVM-MCA-style port-pressure model ([`mqx_mca`]).
+//! * [`roofline`] — the speed-of-light multi-core model ([`mqx_roofline`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mqx::core::{primes, Modulus};
+//! use mqx::ntt::NttPlan;
+//!
+//! let m = Modulus::new_prime(primes::Q124)?;
+//! let plan = NttPlan::new(&m, 256)?;
+//! let mut data: Vec<u128> = (0..256_u64).map(u128::from).collect();
+//! let original = data.clone();
+//! plan.forward_scalar(&mut data);
+//! plan.inverse_scalar(&mut data);
+//! assert_eq!(data, original);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use mqx_baseline as baseline;
+pub use mqx_bignum as bignum;
+pub use mqx_blas as blas;
+pub use mqx_core as core;
+pub use mqx_mca as mca;
+pub use mqx_ntt as ntt;
+pub use mqx_roofline as roofline;
+pub use mqx_simd as simd;

@@ -1,0 +1,171 @@
+//! Integration: the same polynomial product computed by every tier and
+//! baseline in the workspace must agree bit for bit (the paper's §5.3
+//! "bitwise-identical results" requirement).
+
+use mqx::baseline::fhe::{FheBackend, FheNtt};
+use mqx::baseline::gmp::{GmpNtt, GmpRing};
+use mqx::core::{nt, primes, Modulus};
+use mqx::ntt::{naive, polymul, NttPlan};
+use mqx::simd::{profiles, Mqx, Portable, ResidueSoa, SimdEngine};
+
+const N: usize = 256;
+
+fn workload(q: u128) -> (Vec<u128>, Vec<u128>) {
+    let mut state = 0x1234_5678_9ABC_DEF0_u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        u128::from(state)
+    };
+    let a: Vec<u128> = (0..N).map(|_| next() % q).collect();
+    let b: Vec<u128> = (0..N).map(|_| next() % q).collect();
+    (a, b)
+}
+
+fn forward_simd_u128s<E: SimdEngine>(plan: &NttPlan, xs: &[u128]) -> Vec<u128> {
+    let mut soa = ResidueSoa::from_u128s(xs);
+    let mut scratch = ResidueSoa::zeros(xs.len());
+    plan.forward_simd::<E>(&mut soa, &mut scratch);
+    soa.to_u128s()
+}
+
+#[test]
+fn every_forward_ntt_agrees() {
+    let m = Modulus::new_prime(primes::Q124).unwrap();
+    let plan = NttPlan::new(&m, N).unwrap();
+    let (a, _) = workload(m.value());
+
+    // Oracle: Eq. 11 verbatim.
+    let expected = naive::dft(&a, plan.omega(), &m);
+
+    // Optimized scalar (iterative CT).
+    let mut ct = a.clone();
+    plan.forward_scalar(&mut ct);
+    assert_eq!(ct, expected, "scalar CT");
+
+    // Pease constant-geometry, scalar arithmetic.
+    let mut pease = a.clone();
+    let mut scratch = vec![0_u128; N];
+    plan.forward_pease_scalar(&mut pease, &mut scratch);
+    assert_eq!(pease, expected, "pease scalar");
+
+    // SIMD portable engine.
+    assert_eq!(forward_simd_u128s::<Portable>(&plan, &a), expected, "portable");
+
+    // MQX functional (Table 2 exact emulation) on the portable engine.
+    assert_eq!(
+        forward_simd_u128s::<Mqx<Portable, profiles::McFunctional>>(&plan, &a),
+        expected,
+        "mqx functional"
+    );
+    assert_eq!(
+        forward_simd_u128s::<Mqx<Portable, profiles::MhCFunctional>>(&plan, &a),
+        expected,
+        "mqx +Mh,C functional"
+    );
+    assert_eq!(
+        forward_simd_u128s::<Mqx<Portable, profiles::McpFunctional>>(&plan, &a),
+        expected,
+        "mqx +M,C,P functional"
+    );
+
+    // Hardware engines, when compiled in.
+    #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+    assert_eq!(
+        forward_simd_u128s::<mqx::simd::Avx2>(&plan, &a),
+        expected,
+        "avx2"
+    );
+    #[cfg(all(
+        target_arch = "x86_64",
+        target_feature = "avx512f",
+        target_feature = "avx512dq"
+    ))]
+    {
+        use mqx::simd::Avx512;
+        assert_eq!(forward_simd_u128s::<Avx512>(&plan, &a), expected, "avx512");
+        assert_eq!(
+            forward_simd_u128s::<Mqx<Avx512, profiles::McFunctional>>(&plan, &a),
+            expected,
+            "mqx(avx512) functional"
+        );
+    }
+
+    // OpenFHE-style baseline.
+    let omega = nt::root_of_unity(&m, N as u64).unwrap();
+    let fhe = FheNtt::new(FheBackend::new(m.value()), N, omega);
+    let mut fhe_buf = a.clone();
+    fhe.forward(&mut fhe_buf);
+    assert_eq!(fhe_buf, expected, "openfhe-like");
+
+    // GMP-style baseline.
+    let ring = GmpRing::new(m.value());
+    let gmp = GmpNtt::new(GmpRing::new(m.value()), N, omega);
+    let mut big = ring.lift(&a);
+    gmp.forward(&mut big);
+    assert_eq!(ring.lower(&big), expected, "gmp");
+}
+
+#[test]
+fn polynomial_products_agree_across_paths() {
+    let m = Modulus::new_prime(primes::Q124).unwrap();
+    let plan = NttPlan::new(&m, N).unwrap();
+    let (a, b) = workload(m.value());
+
+    let schoolbook = polymul::schoolbook_cyclic(&a, &b, &m);
+    assert_eq!(polymul::polymul_cyclic(&plan, &a, &b), schoolbook);
+
+    let schoolbook_neg = polymul::schoolbook_negacyclic(&a, &b, &m);
+    assert_eq!(
+        polymul::polymul_negacyclic(&plan, &a, &b).unwrap(),
+        schoolbook_neg
+    );
+}
+
+#[test]
+fn blas_tiers_agree_with_baselines() {
+    let m = Modulus::new(primes::Q124).unwrap();
+    let (a, b) = workload(m.value());
+
+    let scalar_sum = mqx::blas::scalar::vadd(&a, &b, &m);
+    let scalar_prod = mqx::blas::scalar::vmul(&a, &b, &m);
+
+    // SIMD tier.
+    let sa = ResidueSoa::from_u128s(&a);
+    let sb = ResidueSoa::from_u128s(&b);
+    let mut out = ResidueSoa::zeros(N);
+    mqx::blas::simd::vadd::<Portable>(&sa, &sb, &mut out, &m);
+    assert_eq!(out.to_u128s(), scalar_sum);
+    mqx::blas::simd::vmul::<Portable>(&sa, &sb, &mut out, &m);
+    assert_eq!(out.to_u128s(), scalar_prod);
+
+    // Division-based baseline.
+    let fhe = FheBackend::new(m.value());
+    assert_eq!(mqx::baseline::fhe::blas::vadd(&fhe, &a, &b), scalar_sum);
+    assert_eq!(mqx::baseline::fhe::blas::vmul(&fhe, &a, &b), scalar_prod);
+
+    // Arbitrary-precision baseline.
+    let ring = GmpRing::new(m.value());
+    let (ba, bb) = (ring.lift(&a), ring.lift(&b));
+    assert_eq!(ring.lower(&ring.vadd(&ba, &bb)), scalar_sum);
+    assert_eq!(ring.lower(&ring.vmul(&ba, &bb)), scalar_prod);
+}
+
+#[test]
+fn two_field_crt_consistency() {
+    // RNS-style sanity: computing in two prime fields and recombining by
+    // CRT must match the direct wide product (checks that independent
+    // moduli behave as independent rings end to end).
+    let q1 = primes::Q62;
+    let q2 = primes::Q30;
+    let m1 = Modulus::new_prime(q1).unwrap();
+    let m2 = Modulus::new_prime(q2).unwrap();
+    let a = 123_456_789_012_345_u128;
+    let b = 987_654_321_098_765_u128;
+    let r1 = m1.mul_mod(a % q1, b % q1);
+    let r2 = m2.mul_mod(a % q2, b % q2);
+    let exact = a * b; // fits u128
+    assert_eq!(r1, exact % q1);
+    assert_eq!(r2, exact % q2);
+}

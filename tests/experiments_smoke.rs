@@ -1,0 +1,135 @@
+//! Integration: every reproduction experiment runs end to end in quick
+//! mode and produces structurally sane results.
+
+use std::sync::OnceLock;
+
+/// All experiments share the process environment; force quick mode once.
+fn quick() -> bool {
+    static INIT: OnceLock<()> = OnceLock::new();
+    INIT.get_or_init(|| std::env::set_var("MQX_QUICK", "1"));
+    true
+}
+
+#[test]
+fn fig4_produces_all_ops_and_tiers() {
+    let fig = mqx_bench::experiments::fig4::run(quick());
+    assert_eq!(fig.rows.len(), 4, "vadd, vsub, vmul, axpy");
+    for row in &fig.rows {
+        assert!(row.tiers.len() >= 3, "{} tiers for {}", row.tiers.len(), row.op);
+        assert!(row.tiers.iter().all(|(_, ns)| *ns > 0.0));
+        // The arbitrary-precision baseline must be the slowest tier by a
+        // wide margin — the paper's headline 17–18× BLAS gap.
+        let gmp = row.tiers.iter().find(|(n, _)| n == "gmp").unwrap().1;
+        let best = row
+            .tiers
+            .iter()
+            .filter(|(n, _)| n != "gmp")
+            .map(|(_, ns)| *ns)
+            .fold(f64::INFINITY, f64::min);
+        assert!(gmp > 2.0 * best, "gmp {gmp} vs best {best} for {}", row.op);
+    }
+}
+
+#[test]
+fn fig5_sweeps_sizes_with_ordered_tiers() {
+    let fig = mqx_bench::experiments::fig5::run(quick());
+    assert!(!fig.rows.is_empty());
+    for row in &fig.rows {
+        let find = |name: &str| {
+            row.tiers
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+        };
+        // Baselines must trail the optimized scalar tier.
+        let scalar = find("scalar").expect("scalar tier");
+        let gmp = find("gmp").expect("gmp tier");
+        assert!(gmp > scalar, "gmp {gmp} vs scalar {scalar} at 2^{}", row.log_n);
+    }
+}
+
+#[test]
+fn fig6_has_six_variants_normalized_to_base() {
+    let rows = mqx_bench::experiments::fig6::run(quick());
+    assert_eq!(rows.len(), 6);
+    assert_eq!(rows[0].variant, "Base");
+    assert!((rows[0].normalized - 1.0).abs() < 1e-9);
+    let labels: Vec<_> = rows.iter().map(|r| r.variant).collect();
+    assert_eq!(labels, vec!["Base", "+M", "+C", "+M,C", "+Mh,C", "+M,C,P"]);
+    // The full extension must improve on the baseline.
+    let mc = rows.iter().find(|r| r.variant == "+M,C").unwrap();
+    assert!(mc.normalized < 1.0, "+M,C normalized = {}", mc.normalized);
+}
+
+#[test]
+fn table6_reports_epsilon_for_each_pair() {
+    let rows = mqx_bench::experiments::table6::run(quick());
+    assert!(!rows.is_empty());
+    for r in &rows {
+        assert!(r.t_target_ns > 0.0 && r.t_proxy_ns > 0.0);
+        // Structural only: quick-mode timings under a parallel test
+        // runner are too noisy for a magnitude bound; the release-mode
+        // `table6` binary is the quantitative check.
+        assert!(r.epsilon_percent.is_finite(), "{:?}", r);
+    }
+}
+
+#[test]
+fn listing4_shows_mqx_advantage() {
+    let rows = mqx_bench::experiments::listing4::run(false);
+    assert_eq!(rows.len(), 12, "3 kernels × 2 ISAs × 2 machines");
+    for kernel in ["addmod128", "submod128", "mulmod128"] {
+        for machine in ["sunny-cove", "zen4"] {
+            let avx = rows
+                .iter()
+                .find(|r| r.kernel == kernel && r.machine == machine && r.isa == "avx512")
+                .unwrap();
+            let mqx = rows
+                .iter()
+                .find(|r| r.kernel == kernel && r.machine == machine && r.isa == "mqx")
+                .unwrap();
+            assert!(mqx.instructions < avx.instructions, "{kernel} on {machine}");
+            assert!(mqx.rthroughput < avx.rthroughput, "{kernel} on {machine}");
+        }
+    }
+}
+
+#[test]
+fn sensitivity_compares_both_algorithms() {
+    let rows = mqx_bench::experiments::sensitivity::run(quick());
+    assert!(!rows.is_empty());
+    for r in &rows {
+        assert!(r.schoolbook_ns > 0.0 && r.karatsuba_ns > 0.0);
+        assert!(r.ratio.is_finite() && r.ratio > 0.1 && r.ratio < 10.0, "{:?}", r);
+    }
+}
+
+#[test]
+fn fig7_projects_onto_both_targets() {
+    let fig = mqx_bench::experiments::fig7::run(quick());
+    assert_eq!(fig.sol.len(), 2, "Xeon 6980P and EPYC 9965S");
+    assert!(!fig.measured_single_core.is_empty());
+    // The projected numbers must beat the 32-core OpenFHE reference by a
+    // lot (the qualitative Figure 1/7 claim).
+    for (_, accel_name, speedup) in &fig.speedups {
+        if accel_name.contains("OpenFHE") {
+            assert!(*speedup > 10.0, "SOL vs OpenFHE-32c only {speedup}");
+        }
+    }
+}
+
+#[test]
+fn fig1_headline_orders_baseline_vs_optimized() {
+    let rows = mqx_bench::experiments::fig1::run(quick());
+    assert!(rows.len() >= 5);
+    let find = |needle: &str| {
+        rows.iter()
+            .find(|r| r.name.contains(needle))
+            .map(|r| r.runtime_ns)
+    };
+    let gmp = find("gmp").expect("gmp row");
+    let scalar = find("scalar").expect("scalar row");
+    assert!(gmp > scalar, "baseline ordering");
+    let rpu = find("RPU").expect("rpu row");
+    assert!(rpu < scalar, "ASIC reference is fastest class");
+}

@@ -1,0 +1,91 @@
+//! Integration: the §4.2 functional-correctness flag. Functional MQX is
+//! bit-exact against scalar; PISA MQX is deliberately not ("we execute
+//! the code using PISA with the expectation of not getting correct
+//! results").
+
+use mqx::core::{primes, Modulus};
+use mqx::ntt::NttPlan;
+use mqx::simd::{addmod, mulmod, profiles, Mqx, Portable, ResidueSoa, VDword, VModulus};
+
+type Functional = Mqx<Portable, profiles::McFunctional>;
+type Pisa = Mqx<Portable, profiles::McPisa>;
+
+fn lanes(q: u128) -> (Vec<u128>, Vec<u128>) {
+    let a: Vec<u128> = (1..=8_u128).map(|i| (q / 5) * i % q).collect();
+    let b: Vec<u128> = (1..=8_u128).map(|i| (q / 11) * i % q).collect();
+    (a, b)
+}
+
+#[test]
+fn functional_arithmetic_is_exact() {
+    let m = Modulus::new_prime(primes::Q124).unwrap();
+    let (a, b) = lanes(m.value());
+    let vm = VModulus::<Functional>::new(&m);
+    let av = VDword::<Functional>::from_u128s(&a);
+    let bv = VDword::<Functional>::from_u128s(&b);
+    let sum = addmod(av, bv, &vm);
+    let prod = mulmod(av, bv, &vm);
+    for i in 0..8 {
+        assert_eq!(sum.extract(i), m.add_mod(a[i], b[i]), "add lane {i}");
+        assert_eq!(prod.extract(i), m.mul_mod(a[i], b[i]), "mul lane {i}");
+    }
+}
+
+#[test]
+fn pisa_arithmetic_is_wrong_by_design() {
+    let m = Modulus::new_prime(primes::Q124).unwrap();
+    let (a, b) = lanes(m.value());
+    let vm = VModulus::<Pisa>::new(&m);
+    let av = VDword::<Pisa>::from_u128s(&a);
+    let bv = VDword::<Pisa>::from_u128s(&b);
+    let prod = mulmod(av, bv, &vm);
+    let wrong = (0..8).filter(|&i| prod.extract(i) != m.mul_mod(a[i], b[i])).count();
+    assert!(
+        wrong >= 7,
+        "PISA should corrupt essentially every lane; only {wrong} differ"
+    );
+}
+
+#[test]
+fn pisa_ntt_differs_functional_ntt_matches() {
+    let n = 64;
+    let m = Modulus::new_prime(primes::Q124).unwrap();
+    let plan = NttPlan::new(&m, n).unwrap();
+    let xs: Vec<u128> = (0..n as u64).map(|i| u128::from(i * 31 + 7)).collect();
+
+    let mut reference = xs.clone();
+    plan.forward_scalar(&mut reference);
+
+    let mut functional = ResidueSoa::from_u128s(&xs);
+    let mut scratch = ResidueSoa::zeros(n);
+    plan.forward_simd::<Functional>(&mut functional, &mut scratch);
+    assert_eq!(functional.to_u128s(), reference, "functional flag on");
+
+    let mut pisa = ResidueSoa::from_u128s(&xs);
+    plan.forward_simd::<Pisa>(&mut pisa, &mut scratch);
+    assert_ne!(pisa.to_u128s(), reference, "PISA flag off must not match");
+}
+
+#[test]
+fn all_functional_profiles_agree_on_ntt() {
+    let n = 128;
+    let m = Modulus::new_prime(primes::Q120).unwrap();
+    let plan = NttPlan::new(&m, n).unwrap();
+    let xs: Vec<u128> = (0..n as u64).map(|i| u128::from(i * 13 + 1)).collect();
+    let mut reference = xs.clone();
+    plan.forward_scalar(&mut reference);
+
+    macro_rules! check {
+        ($profile:ty, $label:expr) => {{
+            let mut soa = ResidueSoa::from_u128s(&xs);
+            let mut scratch = ResidueSoa::zeros(n);
+            plan.forward_simd::<Mqx<Portable, $profile>>(&mut soa, &mut scratch);
+            assert_eq!(soa.to_u128s(), reference, $label);
+        }};
+    }
+    check!(profiles::MFunctional, "+M");
+    check!(profiles::CFunctional, "+C");
+    check!(profiles::McFunctional, "+M,C");
+    check!(profiles::MhCFunctional, "+Mh,C");
+    check!(profiles::McpFunctional, "+M,C,P");
+}
