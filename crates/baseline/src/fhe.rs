@@ -147,7 +147,12 @@ impl FheBackend {
 /// representation).
 #[inline]
 fn to_limbs(x: u128) -> [u32; 4] {
-    [x as u32, (x >> 32) as u32, (x >> 64) as u32, (x >> 96) as u32]
+    [
+        x as u32,
+        (x >> 32) as u32,
+        (x >> 64) as u32,
+        (x >> 96) as u32,
+    ]
 }
 
 /// Reassembles a 128-bit value from four little-endian 32-bit limbs.
@@ -192,13 +197,21 @@ fn rem_limbs(num: &[u32; 8], d: &[u32; 4]) -> u128 {
     let mut vn = [0_u32; 4];
     for i in (0..n).rev() {
         let hi = d[i] << s;
-        let lo = if i > 0 && s > 0 { d[i - 1] >> (32 - s) } else { 0 };
+        let lo = if i > 0 && s > 0 {
+            d[i - 1] >> (32 - s)
+        } else {
+            0
+        };
         vn[i] = hi | lo;
     }
     let mut un = [0_u32; 9];
     for i in (0..8).rev() {
         let hi = num[i] << s;
-        let lo = if i > 0 && s > 0 { num[i - 1] >> (32 - s) } else { 0 };
+        let lo = if i > 0 && s > 0 {
+            num[i - 1] >> (32 - s)
+        } else {
+            0
+        };
         un[i] = hi | lo;
     }
     if s > 0 {
@@ -248,7 +261,11 @@ fn rem_limbs(num: &[u32; 8], d: &[u32; 4]) -> u128 {
     let mut r = [0_u32; 4];
     for i in 0..n {
         let lo = un[i] >> s;
-        let hi = if i + 1 < n && s > 0 { un[i + 1] << (32 - s) } else { 0 };
+        let hi = if i + 1 < n && s > 0 {
+            un[i + 1] << (32 - s)
+        } else {
+            0
+        };
         r[i] = lo | hi;
     }
     from_limbs(&r)
@@ -454,9 +471,13 @@ mod tests {
         let r = FheBackend::new(q);
         let mut state: u128 = 0xABCD_EF01_2345_6789;
         for _ in 0..200 {
-            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
             let a = state % q;
-            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
             let b = state % q;
             assert_eq!(r.add_mod(a, b), m.add_mod(a, b));
             assert_eq!(r.sub_mod(a, b), m.sub_mod(a, b));

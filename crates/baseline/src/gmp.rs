@@ -239,9 +239,13 @@ mod tests {
         let m = Modulus::new(q).unwrap();
         let mut state: u128 = 0x1111_2222_3333_4444;
         for _ in 0..100 {
-            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
             let a = state % q;
-            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
             let b = state % q;
             let (ba, bb) = (BigUint::from(a), BigUint::from(b));
             assert_eq!(ring.add_mod(&ba, &bb).to_u128().unwrap(), m.add_mod(a, b));
@@ -291,9 +295,18 @@ mod tests {
         let x: Vec<u128> = (0..32_u64).map(|i| u128::from(i) * 991 % q).collect();
         let y: Vec<u128> = (0..32_u64).map(|i| u128::from(i) * 1009 % q).collect();
         let (bx, by) = (ring.lift(&x), ring.lift(&y));
-        assert_eq!(ring.lower(&ring.vadd(&bx, &by)), mqx_blas::scalar::vadd(&x, &y, &m));
-        assert_eq!(ring.lower(&ring.vsub(&bx, &by)), mqx_blas::scalar::vsub(&x, &y, &m));
-        assert_eq!(ring.lower(&ring.vmul(&bx, &by)), mqx_blas::scalar::vmul(&x, &y, &m));
+        assert_eq!(
+            ring.lower(&ring.vadd(&bx, &by)),
+            mqx_blas::scalar::vadd(&x, &y, &m)
+        );
+        assert_eq!(
+            ring.lower(&ring.vsub(&bx, &by)),
+            mqx_blas::scalar::vsub(&x, &y, &m)
+        );
+        assert_eq!(
+            ring.lower(&ring.vmul(&bx, &by)),
+            mqx_blas::scalar::vmul(&x, &y, &m)
+        );
         let a = 777_u128;
         let mut by2 = by.clone();
         ring.axpy(&BigUint::from(a), &bx, &mut by2);

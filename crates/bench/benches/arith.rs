@@ -1,10 +1,14 @@
-//! Criterion: double-word modular arithmetic primitives across tiers
-//! (the building blocks behind Figures 4–6).
+//! Micro-bench: double-word modular arithmetic primitives across tiers
+//! (the building blocks behind Figures 4–6). `harness = false`: driven
+//! by the crate's own §5.1 timing module, with the vector tiers reached
+//! through the runtime-dispatch registry.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mqx_bench::timing::micro;
 use mqx_core::{listing1, primes, DWord, Modulus, MulAlgorithm};
-use mqx_simd::{addmod, mulmod, profiles, Mqx, Portable, SimdEngine, VDword, VModulus};
+use mqx_simd::ResidueSoa;
 use std::hint::black_box;
+
+const LEN: usize = 64;
 
 fn workload(q: u128) -> (Vec<u128>, Vec<u128>) {
     let mut state = 0xC0FF_EE00_DDBA_11AD_u64;
@@ -14,109 +18,66 @@ fn workload(q: u128) -> (Vec<u128>, Vec<u128>) {
         state ^= state << 17;
         u128::from(state)
     };
-    ((0..64).map(|_| next() % q).collect(), (0..64).map(|_| next() % q).collect())
+    (
+        (0..LEN).map(|_| next() % q).collect(),
+        (0..LEN).map(|_| next() % q).collect(),
+    )
 }
 
-fn bench_scalar(c: &mut Criterion) {
+fn main() {
     let m = Modulus::new(primes::Q124).unwrap();
     let mk = m.with_algorithm(MulAlgorithm::Karatsuba);
     let (a, b) = workload(m.value());
 
-    let mut g = c.benchmark_group("scalar-mulmod128");
-    g.bench_function("schoolbook", |bench| {
-        bench.iter(|| {
-            let mut acc = 0_u128;
-            for (&x, &y) in a.iter().zip(&b) {
-                acc ^= m.mul_mod(x, y);
-            }
-            black_box(acc)
-        })
+    println!("== scalar mulmod128 / addmod128 (×{LEN}) ==");
+    micro("scalar mulmod (schoolbook)", || {
+        let mut acc = 0_u128;
+        for (&x, &y) in a.iter().zip(&b) {
+            acc ^= m.mul_mod(x, y);
+        }
+        black_box(acc);
     });
-    g.bench_function("karatsuba", |bench| {
-        bench.iter(|| {
-            let mut acc = 0_u128;
-            for (&x, &y) in a.iter().zip(&b) {
-                acc ^= mk.mul_mod(x, y);
-            }
-            black_box(acc)
-        })
+    micro("scalar mulmod (karatsuba)", || {
+        let mut acc = 0_u128;
+        for (&x, &y) in a.iter().zip(&b) {
+            acc ^= mk.mul_mod(x, y);
+        }
+        black_box(acc);
     });
-    g.bench_function("word-only (listing 1 style)", |bench| {
-        bench.iter(|| {
-            let mut acc = DWord::ZERO;
-            for (&x, &y) in a.iter().zip(&b) {
-                let v = listing1::mulmod128(DWord::from(x), DWord::from(y), &m);
-                acc = acc.wrapping_add(v);
-            }
-            black_box(acc)
-        })
+    micro("scalar mulmod (word-only, listing 1)", || {
+        let mut acc = DWord::ZERO;
+        for (&x, &y) in a.iter().zip(&b) {
+            let v = listing1::mulmod128(DWord::from(x), DWord::from(y), &m);
+            acc = acc.wrapping_add(v);
+        }
+        black_box(acc);
     });
-    g.finish();
+    micro("scalar addmod (u128-native)", || {
+        let mut acc = 0_u128;
+        for (&x, &y) in a.iter().zip(&b) {
+            acc ^= m.add_mod(x, y);
+        }
+        black_box(acc);
+    });
+    micro("scalar addmod (word-only, listing 1)", || {
+        let mut acc = DWord::ZERO;
+        let dm = m.value_dword();
+        for (&x, &y) in a.iter().zip(&b) {
+            acc = acc.wrapping_add(listing1::addmod128(DWord::from(x), DWord::from(y), dm));
+        }
+        black_box(acc);
+    });
 
-    let mut g = c.benchmark_group("scalar-addmod128");
-    g.bench_function("u128-native", |bench| {
-        bench.iter(|| {
-            let mut acc = 0_u128;
-            for (&x, &y) in a.iter().zip(&b) {
-                acc ^= m.add_mod(x, y);
-            }
-            black_box(acc)
-        })
-    });
-    g.bench_function("word-only (listing 1)", |bench| {
-        bench.iter(|| {
-            let mut acc = DWord::ZERO;
-            let dm = m.value_dword();
-            for (&x, &y) in a.iter().zip(&b) {
-                acc = acc.wrapping_add(listing1::addmod128(DWord::from(x), DWord::from(y), dm));
-            }
-            black_box(acc)
-        })
-    });
-    g.finish();
-}
-
-fn bench_vector_engine<E: SimdEngine>(c: &mut Criterion, label: &str) {
-    let m = Modulus::new(primes::Q124).unwrap();
-    let (a, b) = workload(m.value());
-    let vm = VModulus::<E>::new(&m);
-    let av = VDword::<E>::from_u128s(&a);
-    let bv = VDword::<E>::from_u128s(&b);
-
-    c.bench_with_input(BenchmarkId::new("vector-addmod128", label), &(), |bench, ()| {
-        bench.iter(|| black_box(addmod::<E>(black_box(av), black_box(bv), &vm)))
-    });
-    c.bench_with_input(BenchmarkId::new("vector-mulmod128", label), &(), |bench, ()| {
-        bench.iter(|| black_box(mulmod::<E>(black_box(av), black_box(bv), &vm)))
-    });
-}
-
-fn bench_vector(c: &mut Criterion) {
-    bench_vector_engine::<Portable>(c, "portable");
-    bench_vector_engine::<Mqx<Portable, profiles::McPisa>>(c, "mqx-portable-pisa");
-    #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
-    bench_vector_engine::<mqx_simd::Avx2>(c, "avx2");
-    #[cfg(all(
-        target_arch = "x86_64",
-        target_feature = "avx512f",
-        target_feature = "avx512dq"
-    ))]
-    {
-        bench_vector_engine::<mqx_simd::Avx512>(c, "avx512");
-        bench_vector_engine::<Mqx<mqx_simd::Avx512, profiles::McPisa>>(c, "mqx-pisa");
+    println!("\n== vector addmod128 / mulmod128 (×{LEN}, runtime-dispatched) ==");
+    let xs = ResidueSoa::from_u128s(&a);
+    let ys = ResidueSoa::from_u128s(&b);
+    for backend in mqx::backend::available() {
+        let mut out = ResidueSoa::zeros(LEN);
+        micro(&format!("{} vector addmod", backend.name()), || {
+            backend.vadd(&xs, &ys, &mut out, &m)
+        });
+        micro(&format!("{} vector mulmod", backend.name()), || {
+            backend.vmul(&xs, &ys, &mut out, &m)
+        });
     }
 }
-
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_millis(700))
-        .warm_up_time(std::time::Duration::from_millis(300))
-}
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_scalar, bench_vector
-}
-criterion_main!(benches);

@@ -1,50 +1,38 @@
-//! Criterion: the arbitrary-precision baseline's primitive costs (the
+//! Micro-bench: the arbitrary-precision baseline's primitive costs (the
 //! per-operation overhead behind the GMP tier of Figures 4–5).
+//! `harness = false`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mqx_bench::timing::micro;
 use mqx_bignum::BigUint;
 use mqx_core::primes;
 use std::hint::black_box;
 
-fn bench_bignum(c: &mut Criterion) {
+fn main() {
     let q = BigUint::from(primes::Q124);
     let a = BigUint::from(primes::Q124 - 12_345);
     let b = BigUint::from(primes::Q124 / 3);
 
-    let mut g = c.benchmark_group("bignum-128bit");
-    g.bench_function("add_mod", |bench| {
-        bench.iter(|| black_box(a.add_mod(black_box(&b), &q)))
+    println!("== bignum 128-bit primitives ==");
+    micro("add_mod", || {
+        black_box(a.add_mod(black_box(&b), &q));
     });
-    g.bench_function("mul_mod", |bench| {
-        bench.iter(|| black_box(a.mul_mod(black_box(&b), &q)))
+    micro("mul_mod", || {
+        black_box(a.mul_mod(black_box(&b), &q));
     });
-    g.bench_function("mul (no reduction)", |bench| {
-        bench.iter(|| black_box(black_box(&a) * black_box(&b)))
+    micro("mul (no reduction)", || {
+        black_box(black_box(&a) * black_box(&b));
     });
-    g.bench_function("div_rem", |bench| {
+    {
         let wide = &a * &b;
-        bench.iter(|| black_box(black_box(&wide).div_rem(&q)))
-    });
-    g.finish();
+        micro("div_rem", || {
+            black_box(black_box(&wide).div_rem(&q));
+        });
+    }
 
     // Contrast: the fixed-width path the optimized tiers use.
     let m = mqx_core::Modulus::new(primes::Q124).unwrap();
     let (x, y) = (primes::Q124 - 12_345, primes::Q124 / 3);
-    c.bench_function("fixed-width mul_mod (contrast)", |bench| {
-        bench.iter(|| black_box(m.mul_mod(black_box(x), black_box(y))))
+    micro("fixed-width mul_mod (contrast)", || {
+        black_box(m.mul_mod(black_box(x), black_box(y)));
     });
 }
-
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(30)
-        .measurement_time(std::time::Duration::from_millis(700))
-        .warm_up_time(std::time::Duration::from_millis(300))
-}
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_bignum
-}
-criterion_main!(benches);

@@ -1,73 +1,43 @@
-//! Criterion: the Figure 4 BLAS kernels at the paper's vector length.
+//! Micro-bench: the Figure 4 BLAS kernels at the paper's vector length.
+//! `harness = false`; vector tiers come from the runtime-dispatch
+//! registry.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mqx_bench::timing::micro;
 use mqx_bench::workload::Workload;
 use mqx_core::{primes, Modulus};
-use mqx_simd::{Portable, ResidueSoa, SimdEngine};
+use mqx_simd::ResidueSoa;
 use std::hint::black_box;
 
-fn bench_tier<E: SimdEngine>(c: &mut Criterion, label: &str) {
+fn main() {
     let len = mqx_blas::PAPER_VECTOR_LEN;
     let m = Modulus::new(primes::Q124).unwrap();
     let mut w = Workload::new(m, 0xB1A5);
-    let x = w.residues_soa(len);
-    let y = w.residues_soa(len);
+    let x_scalar = w.residues(len);
+    let y_scalar = w.residues(len);
     let a = w.scalar();
+    let x = ResidueSoa::from_u128s(&x_scalar);
+    let y = ResidueSoa::from_u128s(&y_scalar);
 
-    let mut g = c.benchmark_group(format!("blas-{label}"));
-    let mut out = ResidueSoa::zeros(len);
-    g.bench_function("vadd", |b| {
-        b.iter(|| mqx_blas::simd::vadd::<E>(black_box(&x), black_box(&y), &mut out, &m))
+    println!("== BLAS, scalar tier (len {len}) ==");
+    micro("scalar vadd", || {
+        black_box(mqx_blas::scalar::vadd(black_box(&x_scalar), &y_scalar, &m));
     });
-    g.bench_function("vmul", |b| {
-        b.iter(|| mqx_blas::simd::vmul::<E>(black_box(&x), black_box(&y), &mut out, &m))
+    micro("scalar vmul", || {
+        black_box(mqx_blas::scalar::vmul(black_box(&x_scalar), &y_scalar, &m));
     });
-    let mut yy = y.clone();
-    g.bench_function("axpy", |b| {
-        b.iter(|| mqx_blas::simd::axpy::<E>(a, black_box(&x), &mut yy, &m))
-    });
-    g.finish();
-}
 
-fn bench_blas(c: &mut Criterion) {
-    // Scalar tier.
-    {
-        let len = mqx_blas::PAPER_VECTOR_LEN;
-        let m = Modulus::new(primes::Q124).unwrap();
-        let mut w = Workload::new(m, 0xB1A5);
-        let x = w.residues(len);
-        let y = w.residues(len);
-        let mut g = c.benchmark_group("blas-scalar");
-        g.bench_function("vadd", |b| {
-            b.iter(|| black_box(mqx_blas::scalar::vadd(black_box(&x), black_box(&y), &m)))
+    println!("\n== BLAS, vector tiers (len {len}, runtime-dispatched) ==");
+    for backend in mqx::backend::available() {
+        let mut out = ResidueSoa::zeros(len);
+        micro(&format!("{} vadd", backend.name()), || {
+            backend.vadd(&x, &y, &mut out, &m)
         });
-        g.bench_function("vmul", |b| {
-            b.iter(|| black_box(mqx_blas::scalar::vmul(black_box(&x), black_box(&y), &m)))
+        micro(&format!("{} vmul", backend.name()), || {
+            backend.vmul(&x, &y, &mut out, &m)
         });
-        g.finish();
-    }
-    bench_tier::<Portable>(c, "portable");
-    #[cfg(all(
-        target_arch = "x86_64",
-        target_feature = "avx512f",
-        target_feature = "avx512dq"
-    ))]
-    {
-        bench_tier::<mqx_simd::Avx512>(c, "avx512");
-        bench_tier::<mqx_simd::Mqx<mqx_simd::Avx512, mqx_simd::profiles::McPisa>>(c, "mqx-pisa");
+        let mut yy = y.clone();
+        micro(&format!("{} axpy", backend.name()), || {
+            backend.axpy(a, &x, &mut yy, &m)
+        });
     }
 }
-
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_millis(700))
-        .warm_up_time(std::time::Duration::from_millis(300))
-}
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_blas
-}
-criterion_main!(benches);

@@ -1,65 +1,26 @@
-//! Criterion: the Figure 6 MQX-component ablation on the vector
-//! mulmod128 kernel (the butterfly's dominant cost).
+//! Micro-bench: the Figure 6 MQX-component ablation on the vector
+//! modular-multiply kernel (the butterfly's dominant cost).
+//! `harness = false`; the variant set comes from the facade registry,
+//! built over whatever base engine this host detects.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mqx_bench::timing::micro;
 use mqx_core::{primes, Modulus};
-use mqx_simd::{mulmod, profiles, Mqx, Portable, SimdEngine, VDword, VModulus};
-use std::hint::black_box;
+use mqx_simd::ResidueSoa;
 
-fn bench_variant<E: SimdEngine>(c: &mut Criterion, label: &str) {
+fn main() {
     let m = Modulus::new(primes::Q124).unwrap();
     let q = m.value();
-    let a: Vec<u128> = (1..=8_u128).map(|i| (q / 3) * i % q).collect();
-    let b: Vec<u128> = (1..=8_u128).map(|i| (q / 7) * i % q).collect();
-    let vm = VModulus::<E>::new(&m);
-    let av = VDword::<E>::from_u128s(&a);
-    let bv = VDword::<E>::from_u128s(&b);
-    c.bench_with_input(
-        BenchmarkId::new("mulmod128-ablation", label),
-        &(),
-        |bench, ()| bench.iter(|| black_box(mulmod::<E>(black_box(av), black_box(bv), &vm))),
-    );
-}
+    let len = 64;
+    let a: Vec<u128> = (1..=len as u128).map(|i| (q / 3) * i % q).collect();
+    let b: Vec<u128> = (1..=len as u128).map(|i| (q / 7) * i % q).collect();
+    let xs = ResidueSoa::from_u128s(&a);
+    let ys = ResidueSoa::from_u128s(&b);
 
-#[cfg(all(
-    target_arch = "x86_64",
-    target_feature = "avx512f",
-    target_feature = "avx512dq"
-))]
-fn bench_ablation(c: &mut Criterion) {
-    use mqx_simd::Avx512;
-    bench_variant::<Avx512>(c, "Base");
-    bench_variant::<Mqx<Avx512, profiles::MPisa>>(c, "+M");
-    bench_variant::<Mqx<Avx512, profiles::CPisa>>(c, "+C");
-    bench_variant::<Mqx<Avx512, profiles::McPisa>>(c, "+M,C");
-    bench_variant::<Mqx<Avx512, profiles::MhCPisa>>(c, "+Mh,C");
-    bench_variant::<Mqx<Avx512, profiles::McpPisa>>(c, "+M,C,P");
+    println!("== mulmod128 ablation (×{len}) ==");
+    for variant in mqx::backend::ablation_variants() {
+        let mut out = ResidueSoa::zeros(len);
+        micro(variant.label, || {
+            variant.backend.vmul(&xs, &ys, &mut out, &m)
+        });
+    }
 }
-
-#[cfg(not(all(
-    target_arch = "x86_64",
-    target_feature = "avx512f",
-    target_feature = "avx512dq"
-)))]
-fn bench_ablation(c: &mut Criterion) {
-    bench_variant::<Portable>(c, "Base");
-    bench_variant::<Mqx<Portable, profiles::MPisa>>(c, "+M");
-    bench_variant::<Mqx<Portable, profiles::CPisa>>(c, "+C");
-    bench_variant::<Mqx<Portable, profiles::McPisa>>(c, "+M,C");
-    bench_variant::<Mqx<Portable, profiles::MhCPisa>>(c, "+Mh,C");
-    bench_variant::<Mqx<Portable, profiles::McpPisa>>(c, "+M,C,P");
-}
-
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_millis(700))
-        .warm_up_time(std::time::Duration::from_millis(300))
-}
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_ablation
-}
-criterion_main!(benches);

@@ -1,42 +1,29 @@
-//! Criterion: the Figure 5 NTT kernels (one moderate size per tier; the
-//! full sweep lives in the `fig5` reproduction binary).
+//! Micro-bench: the Figure 5 NTT kernels (one moderate size per tier;
+//! the full sweep lives in the `fig5` reproduction binary).
+//! `harness = false`; vector tiers come from the runtime-dispatch
+//! registry.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mqx_bench::timing::micro;
 use mqx_bench::workload::Workload;
 use mqx_core::{nt, primes, Modulus};
-use mqx_ntt::{butterfly_count, NttPlan};
-use mqx_simd::{Portable, ResidueSoa, SimdEngine};
+use mqx_ntt::NttPlan;
+use mqx_simd::ResidueSoa;
 use std::hint::black_box;
 
 const LOG_N: u32 = 12;
 
-fn bench_simd_tier<E: SimdEngine>(c: &mut Criterion, plan: &NttPlan, label: &str) {
-    let n = plan.size();
-    let m = *plan.modulus();
-    let mut w = Workload::new(m, 0x17E5);
-    let mut x = w.residues_soa(n);
-    let mut scratch = ResidueSoa::zeros(n);
-    let mut g = c.benchmark_group("ntt-forward");
-    g.throughput(Throughput::Elements(butterfly_count(n)));
-    g.bench_function(label, |b| {
-        b.iter(|| plan.forward_simd::<E>(black_box(&mut x), &mut scratch))
-    });
-    g.finish();
-}
-
-fn bench_ntt(c: &mut Criterion) {
+fn main() {
     let n = 1_usize << LOG_N;
     let m = Modulus::new_prime(primes::Q124).unwrap();
     let plan = NttPlan::new(&m, n).unwrap();
     let mut w = Workload::new(m, 0x17E5);
 
-    // Scalar tier.
+    println!("== forward NTT at 2^{LOG_N} ==");
     {
         let mut x = w.residues(n);
-        let mut g = c.benchmark_group("ntt-forward");
-        g.throughput(Throughput::Elements(butterfly_count(n)));
-        g.bench_function("scalar", |b| b.iter(|| plan.forward_scalar(black_box(&mut x))));
-        g.finish();
+        micro("scalar (iterative CT)", || {
+            plan.forward_scalar(black_box(&mut x))
+        });
     }
 
     // Division-based baseline at a smaller size (it is slow).
@@ -49,38 +36,14 @@ fn bench_ntt(c: &mut Criterion) {
             omega,
         );
         let mut x = w.residues(bn);
-        let mut g = c.benchmark_group("ntt-forward-baseline-2^10");
-        g.throughput(Throughput::Elements(butterfly_count(bn)));
-        g.bench_function("openfhe-like", |b| b.iter(|| fhe.forward(black_box(&mut x))));
-        g.finish();
+        micro("openfhe-like (2^10)", || fhe.forward(black_box(&mut x)));
     }
 
-    bench_simd_tier::<Portable>(c, &plan, "portable");
-    #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
-    bench_simd_tier::<mqx_simd::Avx2>(c, &plan, "avx2");
-    #[cfg(all(
-        target_arch = "x86_64",
-        target_feature = "avx512f",
-        target_feature = "avx512dq"
-    ))]
-    {
-        bench_simd_tier::<mqx_simd::Avx512>(c, &plan, "avx512");
-        bench_simd_tier::<mqx_simd::Mqx<mqx_simd::Avx512, mqx_simd::profiles::McPisa>>(
-            c, &plan, "mqx-pisa",
-        );
+    for backend in mqx::backend::available() {
+        let mut x = w.residues_soa(n);
+        let mut scratch = ResidueSoa::zeros(n);
+        micro(backend.name(), || {
+            backend.forward_ntt(&plan, &mut x, &mut scratch)
+        });
     }
 }
-
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(15)
-        .measurement_time(std::time::Duration::from_millis(900))
-        .warm_up_time(std::time::Duration::from_millis(300))
-}
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_ntt
-}
-criterion_main!(benches);

@@ -24,7 +24,10 @@ fn main() {
     println!(
         "SOL scaling probe: batch of {batch_size} × 2^{log_n} NTTs, host reports {cores} core(s)\n"
     );
-    println!("{:<8} {:>12} {:>10} {:>10}", "threads", "batch time", "speedup", "ideal");
+    println!(
+        "{:<8} {:>12} {:>10} {:>10}",
+        "threads", "batch time", "speedup", "ideal"
+    );
 
     let mut t1 = 0.0_f64;
     for threads in 1..=cores {

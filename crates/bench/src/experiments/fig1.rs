@@ -3,11 +3,11 @@
 
 use super::{host_ghz, ntt_tiers};
 use crate::report::{fmt_ns, write_json, Table};
+use mqx_json::impl_to_json;
 use mqx_roofline::{accel, cpu, SolSeries};
-use serde::Serialize;
 
 /// One bar of Figure 1.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig1Row {
     /// Implementation label.
     pub name: String,
@@ -16,6 +16,12 @@ pub struct Fig1Row {
     /// NTT runtime at the representative size, ns.
     pub runtime_ns: f64,
 }
+
+impl_to_json!(Fig1Row {
+    name,
+    hardware,
+    runtime_ns,
+});
 
 /// Runs the comparison at `2^14` (or `2^12` in quick mode).
 pub fn run(quick: bool) -> Vec<Fig1Row> {
@@ -65,7 +71,10 @@ pub fn run(quick: bool) -> Vec<Fig1Row> {
         .map(|r| r.runtime_ns)
         .fold(f64::INFINITY, f64::min);
     let mut table = Table::new(
-        &format!("Figure 1 — {}-point NTT, CPUs vs ASIC (lower is better)", 1 << log_n),
+        &format!(
+            "Figure 1 — {}-point NTT, CPUs vs ASIC (lower is better)",
+            1 << log_n
+        ),
         &["implementation", "hardware", "runtime", "vs fastest"],
     );
     for r in &rows {

@@ -3,23 +3,26 @@
 
 use super::{blas_tiers, BlasOp};
 use crate::report::{write_json, Table};
-use serde::Serialize;
+use mqx_json::impl_to_json;
 
 /// The full Figure 4 dataset.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig4 {
     /// Per-op, per-tier nanoseconds **per element**.
     pub rows: Vec<Fig4Row>,
 }
 
 /// One operation's tier timings.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig4Row {
     /// Operation label.
     pub op: &'static str,
     /// `(tier, ns per element)`.
     pub tiers: Vec<(String, f64)>,
 }
+
+impl_to_json!(Fig4 { rows });
+impl_to_json!(Fig4Row { op, tiers });
 
 /// Runs the experiment and prints the table.
 pub fn run(quick: bool) -> Fig4 {
@@ -59,7 +62,10 @@ pub fn run(quick: bool) -> Fig4 {
         );
     }
     if let (Some(a512), Some(mqx)) = (tier_avg(&rows, "avx512"), tier_avg_prefix(&rows, "mqx")) {
-        println!("MQX speedup over AVX-512 (geomean over ops): {:.2}x", a512 / mqx);
+        println!(
+            "MQX speedup over AVX-512 (geomean over ops): {:.2}x",
+            a512 / mqx
+        );
     }
 
     let fig = Fig4 { rows };
@@ -68,12 +74,10 @@ pub fn run(quick: bool) -> Fig4 {
 }
 
 fn tier_avg(rows: &[Fig4Row], tier: &str) -> Option<f64> {
-    geomean(rows.iter().filter_map(|r| {
-        r.tiers
-            .iter()
-            .find(|(n, _)| n == tier)
-            .map(|(_, ns)| *ns)
-    }))
+    geomean(
+        rows.iter()
+            .filter_map(|r| r.tiers.iter().find(|(n, _)| n == tier).map(|(_, ns)| *ns)),
+    )
 }
 
 fn tier_avg_prefix(rows: &[Fig4Row], prefix: &str) -> Option<f64> {

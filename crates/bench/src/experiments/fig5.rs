@@ -3,18 +3,18 @@
 use super::ntt_tiers;
 use crate::report::{write_json, Table};
 use crate::sweep_log_sizes;
+use mqx_json::impl_to_json;
 use mqx_ntt::butterfly_count;
-use serde::Serialize;
 
 /// The full Figure 5 dataset.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig5 {
     /// One row per size.
     pub rows: Vec<Fig5Row>,
 }
 
 /// One size's tier timings.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig5Row {
     /// log₂ of the NTT size.
     pub log_n: u32,
@@ -23,6 +23,13 @@ pub struct Fig5Row {
     /// `(tier, ns for the full transform)`.
     pub total_ns: Vec<(String, f64)>,
 }
+
+impl_to_json!(Fig5 { rows });
+impl_to_json!(Fig5Row {
+    log_n,
+    tiers,
+    total_ns
+});
 
 /// Runs the sweep and prints the per-butterfly table.
 pub fn run(quick: bool) -> Fig5 {
@@ -59,8 +66,8 @@ pub fn run(quick: bool) -> Fig5 {
         ("scalar", "openfhe-like", "scalar vs OpenFHE-like"),
         ("avx512", "openfhe-like", "AVX-512 vs OpenFHE-like"),
         ("avx512", "gmp", "AVX-512 vs GMP"),
-        ("mqx(pisa)", "avx512", "MQX vs AVX-512"),
-        ("mqx(pisa)", "openfhe-like", "MQX vs OpenFHE-like"),
+        ("mqx-pisa", "avx512", "MQX vs AVX-512"),
+        ("mqx-pisa", "openfhe-like", "MQX vs OpenFHE-like"),
     ] {
         if let Some(s) = geomean_speedup(&rows, a, b) {
             println!("{label}: {s:.1}x");

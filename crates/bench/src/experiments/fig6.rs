@@ -1,20 +1,25 @@
 //! Figure 6: sensitivity of NTT runtime to the MQX components — average
 //! runtime per butterfly across the swept sizes, normalized to the
-//! AVX-512 baseline (`Base`), for `+M`, `+C`, `+M,C`, `+Mh,C`, `+M,C,P`.
+//! best detected base engine (`Base`), for `+M`, `+C`, `+M,C`, `+Mh,C`,
+//! `+M,C,P`.
 //!
-//! All variants run in PISA mode, exactly as the paper measures them.
+//! All MQX variants run in PISA mode, exactly as the paper measures
+//! them. The variant set comes from the facade registry
+//! (`mqx::backend::ablation_variants`), which builds the ablation over
+//! whatever base engine this host detects at runtime.
 
 use crate::report::{write_json, Table};
 use crate::sweep_log_sizes;
 use crate::timing::time_ntt;
 use crate::workload::Workload;
+use mqx::backend::Backend;
 use mqx_core::{primes, Modulus};
+use mqx_json::impl_to_json;
 use mqx_ntt::{butterfly_count, NttPlan};
-use mqx_simd::{ResidueSoa, SimdEngine};
-use serde::Serialize;
+use mqx_simd::ResidueSoa;
 
 /// One ablation variant's normalized runtime.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig6Row {
     /// Variant label, matching the paper's x-axis.
     pub variant: &'static str,
@@ -24,7 +29,13 @@ pub struct Fig6Row {
     pub normalized: f64,
 }
 
-fn mean_ns_per_butterfly<E: SimdEngine>(quick: bool) -> f64 {
+impl_to_json!(Fig6Row {
+    variant,
+    ns_per_butterfly,
+    normalized,
+});
+
+fn mean_ns_per_butterfly(backend: &dyn Backend, quick: bool) -> f64 {
     let m = Modulus::new_prime(primes::Q124).expect("Q124 valid");
     let sizes = sweep_log_sizes();
     let mut total = 0.0;
@@ -34,7 +45,7 @@ fn mean_ns_per_butterfly<E: SimdEngine>(quick: bool) -> f64 {
         let mut w = Workload::new(m, 0xAB1E + u64::from(log_n));
         let mut x = w.residues_soa(n);
         let mut scratch = ResidueSoa::zeros(n);
-        let ns = time_ntt(quick, || plan.forward_simd::<E>(&mut x, &mut scratch));
+        let ns = time_ntt(quick, || backend.forward_ntt(&plan, &mut x, &mut scratch));
         total += ns / butterfly_count(n) as f64;
     }
     total / sizes.len() as f64
@@ -42,37 +53,10 @@ fn mean_ns_per_butterfly<E: SimdEngine>(quick: bool) -> f64 {
 
 /// Runs the ablation and prints the normalized table.
 pub fn run(quick: bool) -> Vec<Fig6Row> {
-    let mut raws: Vec<(&'static str, f64)> = Vec::new();
-
-    #[cfg(all(
-        target_arch = "x86_64",
-        target_feature = "avx512f",
-        target_feature = "avx512dq"
-    ))]
-    {
-        use mqx_simd::{profiles, Avx512, Mqx};
-        raws.push(("Base", mean_ns_per_butterfly::<Avx512>(quick)));
-        raws.push(("+M", mean_ns_per_butterfly::<Mqx<Avx512, profiles::MPisa>>(quick)));
-        raws.push(("+C", mean_ns_per_butterfly::<Mqx<Avx512, profiles::CPisa>>(quick)));
-        raws.push(("+M,C", mean_ns_per_butterfly::<Mqx<Avx512, profiles::McPisa>>(quick)));
-        raws.push(("+Mh,C", mean_ns_per_butterfly::<Mqx<Avx512, profiles::MhCPisa>>(quick)));
-        raws.push(("+M,C,P", mean_ns_per_butterfly::<Mqx<Avx512, profiles::McpPisa>>(quick)));
-    }
-
-    #[cfg(not(all(
-        target_arch = "x86_64",
-        target_feature = "avx512f",
-        target_feature = "avx512dq"
-    )))]
-    {
-        use mqx_simd::{profiles, Mqx, Portable};
-        raws.push(("Base", mean_ns_per_butterfly::<Portable>(quick)));
-        raws.push(("+M", mean_ns_per_butterfly::<Mqx<Portable, profiles::MPisa>>(quick)));
-        raws.push(("+C", mean_ns_per_butterfly::<Mqx<Portable, profiles::CPisa>>(quick)));
-        raws.push(("+M,C", mean_ns_per_butterfly::<Mqx<Portable, profiles::McPisa>>(quick)));
-        raws.push(("+Mh,C", mean_ns_per_butterfly::<Mqx<Portable, profiles::MhCPisa>>(quick)));
-        raws.push(("+M,C,P", mean_ns_per_butterfly::<Mqx<Portable, profiles::McpPisa>>(quick)));
-    }
+    let raws: Vec<(&'static str, f64)> = mqx::backend::ablation_variants()
+        .iter()
+        .map(|v| (v.label, mean_ns_per_butterfly(v.backend.as_ref(), quick)))
+        .collect();
 
     let base = raws[0].1;
     let rows: Vec<Fig6Row> = raws

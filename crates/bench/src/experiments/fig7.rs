@@ -5,13 +5,13 @@
 use super::{host_ghz, ntt_tiers};
 use crate::report::{fmt_ns, write_json, Table};
 use crate::sweep_log_sizes;
+use mqx_json::impl_to_json;
 use mqx_roofline::accel;
 use mqx_roofline::{cpu, SolSeries};
-use serde::Serialize;
 
 /// The Figure 7 dataset: measured single-core MQX series plus its SOL
 /// projections and the accelerator references.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig7 {
     /// `(log₂ n, measured single-core MQX ns)`.
     pub measured_single_core: Vec<(u32, f64)>,
@@ -20,6 +20,12 @@ pub struct Fig7 {
     /// Geomean speedups vs each accelerator, per target.
     pub speedups: Vec<(String, String, f64)>,
 }
+
+impl_to_json!(Fig7 {
+    measured_single_core,
+    sol,
+    speedups,
+});
 
 /// Runs the projection and prints the comparison tables.
 pub fn run(quick: bool) -> Fig7 {
@@ -43,7 +49,12 @@ pub fn run(quick: bool) -> Fig7 {
         .map(|t| SolSeries::project("mqx-sol", &measured, ghz, t))
         .collect();
 
-    let accels = [accel::rpu(), accel::fpmm(), accel::moma(), accel::openfhe_32core()];
+    let accels = [
+        accel::rpu(),
+        accel::fpmm(),
+        accel::moma(),
+        accel::openfhe_32core(),
+    ];
 
     // Per-size table.
     let mut header: Vec<String> = vec!["size".into()];

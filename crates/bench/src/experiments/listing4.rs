@@ -1,11 +1,11 @@
 //! Listing 4 / Figure 3: the static port-pressure comparison of the
 //! AVX-512 and MQX instruction streams on the simplified machine models.
 
+use mqx_json::impl_to_json;
 use mqx_mca::{analyze, kernels, Machine};
-use serde::Serialize;
 
 /// Summary of one (kernel, ISA, machine) analysis.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Listing4Row {
     /// Kernel name.
     pub kernel: &'static str,
@@ -23,10 +23,21 @@ pub struct Listing4Row {
     pub critical_path: u32,
 }
 
+impl_to_json!(Listing4Row {
+    kernel,
+    isa,
+    machine,
+    instructions,
+    uops,
+    rthroughput,
+    critical_path,
+});
+
 /// Prints the Listing 4 views and a cross-kernel summary.
 pub fn run(verbose: bool) -> Vec<Listing4Row> {
     let machines = [Machine::sunny_cove(), Machine::zen4()];
-    let streams: [(&'static str, &'static str, fn() -> Vec<mqx_mca::Inst>); 6] = [
+    type StreamMaker = fn() -> Vec<mqx_mca::Inst>;
+    let streams: [(&'static str, &'static str, StreamMaker); 6] = [
         ("addmod128", "avx512", kernels::addmod128_avx512),
         ("addmod128", "mqx", kernels::addmod128_mqx),
         ("submod128", "avx512", kernels::submod128_avx512),
@@ -58,7 +69,15 @@ pub fn run(verbose: bool) -> Vec<Listing4Row> {
 
     let mut table = crate::report::Table::new(
         "Listing 4 / Figure 3 — static port-pressure summary",
-        &["kernel", "isa", "machine", "insts", "uops", "rthroughput", "crit.path"],
+        &[
+            "kernel",
+            "isa",
+            "machine",
+            "insts",
+            "uops",
+            "rthroughput",
+            "crit.path",
+        ],
     );
     for r in &rows {
         table.row(&[

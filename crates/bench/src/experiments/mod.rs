@@ -11,4 +11,6 @@ pub mod sensitivity;
 pub mod table6;
 mod tiers;
 
-pub use tiers::{blas_tiers, host_ghz, ntt_tiers, BlasOp, TierResult};
+pub use tiers::{
+    blas_tiers, host_ghz, measurement_backends, ntt_tiers, time_forward_backend, BlasOp, TierResult,
+};

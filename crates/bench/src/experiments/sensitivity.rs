@@ -1,20 +1,26 @@
 //! §5.5 (multiplication algorithms): schoolbook vs Karatsuba across the
 //! kernel tiers, at the raw-kernel level and inside full NTTs.
+//!
+//! The algorithm is threaded through the ring's modulus
+//! (`RingBuilder::mul_algorithm`), and each vector tier is reached
+//! through the facade's runtime-dispatched `Ring`, so the same code
+//! measures whatever backends this host offers.
 
+use crate::experiments::measurement_backends;
 use crate::report::{write_json, Table};
 use crate::timing::time_ntt;
 use crate::workload::Workload;
+use mqx::Ring;
 use mqx_core::{primes, Modulus, MulAlgorithm};
-use mqx_ntt::{butterfly_count, NttPlan};
-use mqx_simd::{ResidueSoa, SimdEngine};
-use serde::Serialize;
+use mqx_json::impl_to_json;
+use mqx_ntt::butterfly_count;
 
 /// One tier's schoolbook-vs-Karatsuba comparison.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct SensitivityRow {
     /// Tier label.
     pub tier: String,
-    /// Workload label ("mulmod ×4096" or "NTT 2^12 per butterfly").
+    /// Workload label ("mulmod ×4096" or "NTT per butterfly").
     pub workload: &'static str,
     /// Schoolbook ns.
     pub schoolbook_ns: f64,
@@ -24,6 +30,14 @@ pub struct SensitivityRow {
     /// CPU finding).
     pub ratio: f64,
 }
+
+impl_to_json!(SensitivityRow {
+    tier,
+    workload,
+    schoolbook_ns,
+    karatsuba_ns,
+    ratio,
+});
 
 fn time_scalar_mulmod(m: &Modulus, xs: &[u128], ys: &[u128], quick: bool) -> f64 {
     let mut acc = 0_u128;
@@ -36,12 +50,11 @@ fn time_scalar_mulmod(m: &Modulus, xs: &[u128], ys: &[u128], quick: bool) -> f64
     ns
 }
 
-fn time_simd_ntt<E: SimdEngine>(m: &Modulus, n: usize, quick: bool) -> f64 {
-    let plan = NttPlan::new(m, n).expect("plan");
-    let mut w = Workload::new(*m, 0x5E51);
+fn time_ring_ntt(ring: &mut Ring, quick: bool) -> f64 {
+    let n = ring.size();
+    let mut w = Workload::new(*ring.modulus(), 0x5E51);
     let mut x = w.residues_soa(n);
-    let mut scratch = ResidueSoa::zeros(n);
-    time_ntt(quick, || plan.forward_simd::<E>(&mut x, &mut scratch))
+    time_ntt(quick, || ring.forward(&mut x).expect("sized buffer"))
 }
 
 /// Runs the comparison and prints the table.
@@ -68,57 +81,24 @@ pub fn run(quick: bool) -> Vec<SensitivityRow> {
         });
     }
 
-    // Full NTTs, algorithm threaded through the modulus.
+    // Full NTTs, algorithm threaded through the ring's modulus, one row
+    // per vector tier this host detects.
     let n = if quick { 1 << 10 } else { 1 << 12 };
     let bf = butterfly_count(n) as f64;
-
-    #[cfg(all(
-        target_arch = "x86_64",
-        target_feature = "avx512f",
-        target_feature = "avx512dq"
-    ))]
-    {
-        use mqx_simd::{profiles, Avx512, Mqx};
-        let ts = time_simd_ntt::<Avx512>(&school, n, quick);
-        let tk = time_simd_ntt::<Avx512>(&kara, n, quick);
+    for backend in measurement_backends() {
+        let mut ring_s = Ring::builder(q, n)
+            .backend(backend.clone())
+            .build()
+            .expect("ring");
+        let mut ring_k = Ring::builder(q, n)
+            .backend(backend.clone())
+            .mul_algorithm(MulAlgorithm::Karatsuba)
+            .build()
+            .expect("ring");
+        let ts = time_ring_ntt(&mut ring_s, quick);
+        let tk = time_ring_ntt(&mut ring_k, quick);
         rows.push(SensitivityRow {
-            tier: "avx512".into(),
-            workload: "NTT per butterfly",
-            schoolbook_ns: ts / bf,
-            karatsuba_ns: tk / bf,
-            ratio: tk / ts,
-        });
-        let ts = time_simd_ntt::<Mqx<Avx512, profiles::McPisa>>(&school, n, quick);
-        let tk = time_simd_ntt::<Mqx<Avx512, profiles::McPisa>>(&kara, n, quick);
-        rows.push(SensitivityRow {
-            tier: "mqx(pisa)".into(),
-            workload: "NTT per butterfly",
-            schoolbook_ns: ts / bf,
-            karatsuba_ns: tk / bf,
-            ratio: tk / ts,
-        });
-    }
-
-    #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
-    {
-        use mqx_simd::Avx2;
-        let ts = time_simd_ntt::<Avx2>(&school, n, quick);
-        let tk = time_simd_ntt::<Avx2>(&kara, n, quick);
-        rows.push(SensitivityRow {
-            tier: "avx2".into(),
-            workload: "NTT per butterfly",
-            schoolbook_ns: ts / bf,
-            karatsuba_ns: tk / bf,
-            ratio: tk / ts,
-        });
-    }
-
-    {
-        use mqx_simd::Portable;
-        let ts = time_simd_ntt::<Portable>(&school, n, quick);
-        let tk = time_simd_ntt::<Portable>(&kara, n, quick);
-        rows.push(SensitivityRow {
-            tier: "portable-simd".into(),
+            tier: backend.name().into(),
             workload: "NTT per butterfly",
             schoolbook_ns: ts / bf,
             karatsuba_ns: tk / bf,
@@ -128,7 +108,13 @@ pub fn run(quick: bool) -> Vec<SensitivityRow> {
 
     let mut table = Table::new(
         "§5.5 — schoolbook vs Karatsuba (ratio >1 ⇒ schoolbook faster)",
-        &["tier", "workload", "schoolbook (ns)", "karatsuba (ns)", "kara/school"],
+        &[
+            "tier",
+            "workload",
+            "schoolbook (ns)",
+            "karatsuba (ns)",
+            "kara/school",
+        ],
     );
     for r in &rows {
         table.row(&[

@@ -1,17 +1,22 @@
 //! Tables 5–6: validating PISA. Re-run the NTT with an existing
 //! instruction swapped for its PISA proxy (Table 5), then report the
 //! relative error ε between target and proxy runtimes (Eq. 12).
+//!
+//! The (target, proxy) backend pairs come from the facade registry
+//! (`mqx::backend::pisa_proxy_pairs`), which assembles the set for
+//! whatever vector hardware this host detects at runtime.
 
 use crate::report::{write_json, Table};
 use crate::timing::time_ntt;
 use crate::workload::Workload;
+use mqx::backend::Backend;
 use mqx_core::{primes, Modulus};
+use mqx_json::impl_to_json;
 use mqx_ntt::NttPlan;
-use mqx_simd::{ResidueSoa, SimdEngine};
-use serde::Serialize;
+use mqx_simd::ResidueSoa;
 
 /// One PISA validation row.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table6Row {
     /// The real (target) instruction being modeled.
     pub target: &'static str,
@@ -25,28 +30,18 @@ pub struct Table6Row {
     pub epsilon_percent: f64,
 }
 
-fn time_engine<E: SimdEngine>(plan: &NttPlan, xs: &ResidueSoa, quick: bool) -> f64 {
+impl_to_json!(Table6Row {
+    target,
+    proxy,
+    t_target_ns,
+    t_proxy_ns,
+    epsilon_percent,
+});
+
+fn time_backend(backend: &dyn Backend, plan: &NttPlan, xs: &ResidueSoa, quick: bool) -> f64 {
     let mut x = xs.clone();
     let mut scratch = ResidueSoa::zeros(xs.len());
-    time_ntt(quick, || plan.forward_simd::<E>(&mut x, &mut scratch))
-}
-
-fn row<Target: SimdEngine, Proxy: SimdEngine>(
-    target: &'static str,
-    proxy: &'static str,
-    plan: &NttPlan,
-    xs: &ResidueSoa,
-    quick: bool,
-) -> Table6Row {
-    let t_target = time_engine::<Target>(plan, xs, quick);
-    let t_proxy = time_engine::<Proxy>(plan, xs, quick);
-    Table6Row {
-        target,
-        proxy,
-        t_target_ns: t_target,
-        t_proxy_ns: t_proxy,
-        epsilon_percent: (t_target - t_proxy) / t_target * 100.0,
-    }
+    time_ntt(quick, || backend.forward_ntt(plan, &mut x, &mut scratch))
 }
 
 /// Runs the validation at the paper's size (2^14; 2^12 in quick mode).
@@ -58,76 +53,30 @@ pub fn run(quick: bool) -> Vec<Table6Row> {
     let mut w = Workload::new(m, 0x7AB6);
     let xs = w.residues_soa(n);
 
-    let mut rows: Vec<Table6Row> = Vec::new();
-
-    #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
-    {
-        use mqx_simd::proxy::ProxyMul32;
-        use mqx_simd::Avx2;
-        rows.push(row::<Avx2, ProxyMul32<Avx2>>(
-            "_mm256_mul_epu32",
-            "_mm256_mullo_epi32",
-            &plan,
-            &xs,
-            quick,
-        ));
-    }
-
-    #[cfg(all(
-        target_arch = "x86_64",
-        target_feature = "avx512f",
-        target_feature = "avx512dq"
-    ))]
-    {
-        use mqx_simd::proxy::{ProxyMaskAdd, ProxyMaskSub};
-        use mqx_simd::Avx512;
-        rows.push(row::<Avx512, ProxyMaskAdd<Avx512>>(
-            "_mm512_mask_add_epi64",
-            "_mm512_add_epi64",
-            &plan,
-            &xs,
-            quick,
-        ));
-        rows.push(row::<Avx512, ProxyMaskSub<Avx512>>(
-            "_mm512_mask_sub_epi64",
-            "_mm512_sub_epi64",
-            &plan,
-            &xs,
-            quick,
-        ));
-    }
-
-    if rows.is_empty() {
-        // Hosts without AVX: validate the methodology on the portable
-        // engine (the proxies still swap real work for different work).
-        use mqx_simd::proxy::{ProxyMaskAdd, ProxyMaskSub, ProxyMul32};
-        use mqx_simd::Portable;
-        rows.push(row::<Portable, ProxyMul32<Portable>>(
-            "mul32_wide (portable)",
-            "mullo32 (portable)",
-            &plan,
-            &xs,
-            quick,
-        ));
-        rows.push(row::<Portable, ProxyMaskAdd<Portable>>(
-            "mask_add (portable)",
-            "add (portable)",
-            &plan,
-            &xs,
-            quick,
-        ));
-        rows.push(row::<Portable, ProxyMaskSub<Portable>>(
-            "mask_sub (portable)",
-            "sub (portable)",
-            &plan,
-            &xs,
-            quick,
-        ));
-    }
+    let rows: Vec<Table6Row> = mqx::backend::pisa_proxy_pairs()
+        .iter()
+        .map(|pair| {
+            let t_target = time_backend(pair.target_backend.as_ref(), &plan, &xs, quick);
+            let t_proxy = time_backend(pair.proxy_backend.as_ref(), &plan, &xs, quick);
+            Table6Row {
+                target: pair.target,
+                proxy: pair.proxy,
+                t_target_ns: t_target,
+                t_proxy_ns: t_proxy,
+                epsilon_percent: (t_target - t_proxy) / t_target * 100.0,
+            }
+        })
+        .collect();
 
     let mut table = Table::new(
         &format!("Table 6 — PISA validation: relative error ε at n = 2^{log_n}"),
-        &["target instruction", "proxy instruction", "t_target", "t_proxy", "ε"],
+        &[
+            "target instruction",
+            "proxy instruction",
+            "t_target",
+            "t_proxy",
+            "ε",
+        ],
     );
     for r in &rows {
         table.row(&[

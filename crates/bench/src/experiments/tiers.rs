@@ -1,27 +1,46 @@
-//! Tier runners: each paper tier (GMP, OpenFHE-style, scalar, AVX2,
-//! AVX-512, MQX) as a timed closure over the same workload.
+//! Tier runners: each paper tier (GMP, OpenFHE-style, scalar, and every
+//! vector backend the running machine offers) as a timed closure over
+//! the same workload.
 //!
-//! The MQX tier runs in **PISA mode** exactly as the paper measures it —
+//! Vector tiers are enumerated through the facade's runtime-dispatch
+//! registry (`mqx::backend`) instead of `cfg(target_feature)` blocks, so
+//! one binary measures whatever the host CPU actually supports. The MQX
+//! tier runs in **PISA mode** exactly as the paper measures it —
 //! representative cost, meaningless values (§4.2) — so its buffers are
 //! never validated; the functional-mode equivalence is covered by the
-//! test suites instead.
+//! test suites instead. The slow bit-exact `mqx-functional` backend is a
+//! correctness tool, not a paper tier, and is skipped here.
 
 use crate::timing::{time_blas, time_ntt};
 use crate::workload::Workload;
+use mqx::backend::{self, Backend, Tier};
 use mqx_baseline::fhe::{FheBackend, FheNtt};
 use mqx_baseline::gmp::{GmpNtt, GmpRing};
 use mqx_core::{nt, primes, Modulus};
+use mqx_json::impl_to_json;
 use mqx_ntt::NttPlan;
-use mqx_simd::{ResidueSoa, SimdEngine};
-use serde::Serialize;
+use mqx_simd::ResidueSoa;
+use std::sync::Arc;
 
 /// One tier's timing for one workload point.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct TierResult {
-    /// Tier label ("scalar", "avx512", "mqx(pisa)", …).
+    /// Tier label ("scalar", "avx512", "mqx-pisa", …).
     pub tier: String,
     /// Nanoseconds for the whole kernel invocation.
     pub ns: f64,
+}
+
+impl_to_json!(TierResult { tier, ns });
+
+/// The vector backends a benchmark sweep measures: every consumable
+/// hardware tier this host detects, plus the MQX PISA projection —
+/// fastest first, matching the paper's tier list.
+pub fn measurement_backends() -> Vec<Arc<dyn Backend>> {
+    backend::available()
+        .into_iter()
+        .filter(|b| b.tier() != Tier::Mqx || !b.consumable())
+        .collect()
 }
 
 /// Best-effort current core clock in GHz (from `/proc/cpuinfo`), for
@@ -43,14 +62,20 @@ pub fn host_ghz() -> f64 {
     3.0
 }
 
-fn time_forward_simd<E: SimdEngine>(plan: &NttPlan, xs: &[u128], quick: bool) -> f64 {
+/// Times one backend's forward NTT over `xs` (workload consumed as SoA).
+pub fn time_forward_backend(
+    backend: &dyn Backend,
+    plan: &NttPlan,
+    xs: &[u128],
+    quick: bool,
+) -> f64 {
     let mut x = ResidueSoa::from_u128s(xs);
     let mut scratch = ResidueSoa::zeros(xs.len());
-    time_ntt(quick, || plan.forward_simd::<E>(&mut x, &mut scratch))
+    time_ntt(quick, || backend.forward_ntt(plan, &mut x, &mut scratch))
 }
 
-/// Times a forward NTT of size `2^log_n` in every tier available in
-/// this build, over the workspace's 124-bit prime.
+/// Times a forward NTT of size `2^log_n` in every tier available on
+/// this host, over the workspace's 124-bit prime.
 pub fn ntt_tiers(log_n: u32, quick: bool, include_baselines: bool) -> Vec<TierResult> {
     let n = 1_usize << log_n;
     let m = Modulus::new_prime(primes::Q124).expect("Q124 valid");
@@ -88,43 +113,11 @@ pub fn ntt_tiers(log_n: u32, quick: bool, include_baselines: bool) -> Vec<TierRe
         });
     }
 
-    #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
-    out.push(TierResult {
-        tier: "avx2".into(),
-        ns: time_forward_simd::<mqx_simd::Avx2>(&plan, &xs, quick),
-    });
-
-    #[cfg(all(
-        target_arch = "x86_64",
-        target_feature = "avx512f",
-        target_feature = "avx512dq"
-    ))]
-    {
-        use mqx_simd::{profiles, Avx512, Mqx};
+    // Every vector tier the machine offers, via runtime dispatch.
+    for backend in measurement_backends() {
         out.push(TierResult {
-            tier: "avx512".into(),
-            ns: time_forward_simd::<Avx512>(&plan, &xs, quick),
-        });
-        out.push(TierResult {
-            tier: "mqx(pisa)".into(),
-            ns: time_forward_simd::<Mqx<Avx512, profiles::McPisa>>(&plan, &xs, quick),
-        });
-    }
-
-    #[cfg(not(all(
-        target_arch = "x86_64",
-        target_feature = "avx512f",
-        target_feature = "avx512dq"
-    )))]
-    {
-        use mqx_simd::{profiles, Mqx, Portable};
-        out.push(TierResult {
-            tier: "portable-simd".into(),
-            ns: time_forward_simd::<Portable>(&plan, &xs, quick),
-        });
-        out.push(TierResult {
-            tier: "mqx(portable,pisa)".into(),
-            ns: time_forward_simd::<Mqx<Portable, profiles::McPisa>>(&plan, &xs, quick),
+            tier: backend.name().into(),
+            ns: time_forward_backend(backend.as_ref(), &plan, &xs, quick),
         });
     }
 
@@ -132,7 +125,7 @@ pub fn ntt_tiers(log_n: u32, quick: bool, include_baselines: bool) -> Vec<TierRe
 }
 
 /// The four §5.3 BLAS operations.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BlasOp {
     /// Vector addition.
     Vadd,
@@ -142,6 +135,12 @@ pub enum BlasOp {
     Vmul,
     /// `y ← a·x + y`.
     Axpy,
+}
+
+impl mqx_json::ToJson for BlasOp {
+    fn to_json(&self) -> mqx_json::Json {
+        mqx_json::Json::Str(self.label().to_string())
+    }
 }
 
 impl BlasOp {
@@ -161,7 +160,8 @@ impl BlasOp {
     }
 }
 
-fn time_blas_simd<E: SimdEngine>(
+fn time_blas_backend(
+    backend: &dyn Backend,
     op: BlasOp,
     xs: &[u128],
     ys: &[u128],
@@ -173,12 +173,12 @@ fn time_blas_simd<E: SimdEngine>(
     let y0 = ResidueSoa::from_u128s(ys);
     let mut out = ResidueSoa::zeros(xs.len());
     match op {
-        BlasOp::Vadd => time_blas(quick, || mqx_blas::simd::vadd::<E>(&x, &y0, &mut out, m)),
-        BlasOp::Vsub => time_blas(quick, || mqx_blas::simd::vsub::<E>(&x, &y0, &mut out, m)),
-        BlasOp::Vmul => time_blas(quick, || mqx_blas::simd::vmul::<E>(&x, &y0, &mut out, m)),
+        BlasOp::Vadd => time_blas(quick, || backend.vadd(&x, &y0, &mut out, m)),
+        BlasOp::Vsub => time_blas(quick, || backend.vsub(&x, &y0, &mut out, m)),
+        BlasOp::Vmul => time_blas(quick, || backend.vmul(&x, &y0, &mut out, m)),
         BlasOp::Axpy => {
             let mut y = y0.clone();
-            time_blas(quick, || mqx_blas::simd::axpy::<E>(a, &x, &mut y, m))
+            time_blas(quick, || backend.axpy(a, &x, &mut y, m))
         }
     }
 }
@@ -243,43 +243,11 @@ pub fn blas_tiers(op: BlasOp, quick: bool) -> Vec<TierResult> {
         });
     }
 
-    #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
-    out.push(TierResult {
-        tier: "avx2".into(),
-        ns: time_blas_simd::<mqx_simd::Avx2>(op, &xs, &ys, a, &m, quick),
-    });
-
-    #[cfg(all(
-        target_arch = "x86_64",
-        target_feature = "avx512f",
-        target_feature = "avx512dq"
-    ))]
-    {
-        use mqx_simd::{profiles, Avx512, Mqx};
+    // Every vector tier the machine offers.
+    for backend in measurement_backends() {
         out.push(TierResult {
-            tier: "avx512".into(),
-            ns: time_blas_simd::<Avx512>(op, &xs, &ys, a, &m, quick),
-        });
-        out.push(TierResult {
-            tier: "mqx(pisa)".into(),
-            ns: time_blas_simd::<Mqx<Avx512, profiles::McPisa>>(op, &xs, &ys, a, &m, quick),
-        });
-    }
-
-    #[cfg(not(all(
-        target_arch = "x86_64",
-        target_feature = "avx512f",
-        target_feature = "avx512dq"
-    )))]
-    {
-        use mqx_simd::{profiles, Mqx, Portable};
-        out.push(TierResult {
-            tier: "portable-simd".into(),
-            ns: time_blas_simd::<Portable>(op, &xs, &ys, a, &m, quick),
-        });
-        out.push(TierResult {
-            tier: "mqx(portable,pisa)".into(),
-            ns: time_blas_simd::<Mqx<Portable, profiles::McPisa>>(op, &xs, &ys, a, &m, quick),
+            tier: backend.name().into(),
+            ns: time_blas_backend(backend.as_ref(), op, &xs, &ys, a, &m, quick),
         });
     }
 

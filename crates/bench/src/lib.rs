@@ -20,7 +20,9 @@ pub mod workload;
 
 /// Returns `true` when quick mode is requested via `MQX_QUICK=1`.
 pub fn quick_mode() -> bool {
-    std::env::var("MQX_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("MQX_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// The NTT sizes (log₂ n) an experiment sweeps: the paper's 2¹⁰–2¹⁶

@@ -1,6 +1,6 @@
 //! Text tables and JSON artifacts for the reproduction binaries.
 
-use serde::Serialize;
+use mqx_json::ToJson;
 use std::fs;
 use std::path::PathBuf;
 
@@ -79,7 +79,7 @@ pub fn fmt_ns(ns: f64) -> String {
 /// Failures are reported but non-fatal (the text table is the primary
 /// output). Quick-mode runs (`MQX_QUICK=1`, e.g. the smoke tests) skip
 /// the write so they never clobber publication-grade artifacts.
-pub fn write_json<T: Serialize>(name: &str, value: &T) {
+pub fn write_json<T: ToJson + ?Sized>(name: &str, value: &T) {
     if crate::quick_mode() {
         return;
     }
@@ -89,15 +89,10 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(json) => {
-            if let Err(e) = fs::write(&path, json) {
-                eprintln!("note: cannot write {}: {e}", path.display());
-            } else {
-                println!("[wrote {}]", path.display());
-            }
-        }
-        Err(e) => eprintln!("note: cannot serialize {name}: {e}"),
+    if let Err(e) = fs::write(&path, value.to_json().pretty()) {
+        eprintln!("note: cannot write {}: {e}", path.display());
+    } else {
+        println!("[wrote {}]", path.display());
     }
 }
 

@@ -60,6 +60,15 @@ pub fn time_blas(quick: bool, mut f: impl FnMut()) -> f64 {
     time_paper_style(total, total / 2, f)
 }
 
+/// Lightweight driver for the workspace's `harness = false` bench
+/// targets (the build environment cannot fetch criterion): times `f`
+/// with the BLAS protocol — honoring `MQX_QUICK=1` — and prints one
+/// aligned line.
+pub fn micro(label: &str, f: impl FnMut()) {
+    let ns = time_blas(crate::quick_mode(), f);
+    println!("{label:<48} {}", crate::report::fmt_ns(ns));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -104,7 +104,13 @@ mod tests {
 
     #[test]
     fn u128_roundtrip() {
-        for v in [0_u128, 1, u128::from(u64::MAX), u64::MAX as u128 + 1, u128::MAX] {
+        for v in [
+            0_u128,
+            1,
+            u128::from(u64::MAX),
+            u64::MAX as u128 + 1,
+            u128::MAX,
+        ] {
             assert_eq!(BigUint::from(v).to_u128(), Some(v));
         }
     }

@@ -200,7 +200,10 @@ mod tests {
     fn parse_hex() {
         let v: BigUint = "0xDEADbeef".parse().unwrap();
         assert_eq!(v, BigUint::from(0xDEAD_BEEF_u64));
-        assert_eq!(BigUint::from_hex("10000000000000000").unwrap(), BigUint::power_of_two(64));
+        assert_eq!(
+            BigUint::from_hex("10000000000000000").unwrap(),
+            BigUint::power_of_two(64)
+        );
     }
 
     #[test]
@@ -232,7 +235,9 @@ mod tests {
     fn display_matches_u128_for_random_values() {
         let mut state: u128 = 0xDEAD_BEEF_CAFE_BABE;
         for _ in 0..50 {
-            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
             assert_eq!(BigUint::from(state).to_string(), state.to_string());
             assert_eq!(format!("{:x}", BigUint::from(state)), format!("{state:x}"));
             assert_eq!(format!("{:o}", BigUint::from(state)), format!("{state:o}"));

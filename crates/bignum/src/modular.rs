@@ -192,7 +192,10 @@ mod tests {
     #[test]
     fn mod_pow_edge_cases() {
         let m = BigUint::from(7_u64);
-        assert_eq!(BigUint::from(5_u64).mod_pow(&BigUint::zero(), &m), BigUint::one());
+        assert_eq!(
+            BigUint::from(5_u64).mod_pow(&BigUint::zero(), &m),
+            BigUint::one()
+        );
         assert_eq!(
             BigUint::from(5_u64).mod_pow(&BigUint::one(), &m),
             BigUint::from(5_u64)

@@ -189,7 +189,8 @@ mod tests {
     fn mul_full_width() {
         // (2^64 - 1)^2 = 2^128 - 2^65 + 1
         let x = BigUint::from(u64::MAX);
-        let expected = &(&BigUint::power_of_two(128) - &BigUint::power_of_two(65)) + &BigUint::one();
+        let expected =
+            &(&BigUint::power_of_two(128) - &BigUint::power_of_two(65)) + &BigUint::one();
         assert_eq!(&x * &x, expected);
     }
 

@@ -1,118 +1,141 @@
-//! Property-based tests for the big integer: ring axioms, division
-//! invariants, shift algebra, and radix round-trips, cross-checked against
-//! `u128` where widths permit.
+//! Randomized property tests for the big integer: ring axioms, division
+//! invariants, shift algebra, and radix round-trips, cross-checked
+//! against `u128` where widths permit. Seeded loops over the offline
+//! `rand` shim stand in for the crates.io `proptest` harness.
 
 use crate::BigUint;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_biguint(max_limbs: usize) -> impl Strategy<Value = BigUint> {
-    proptest::collection::vec(any::<u64>(), 0..=max_limbs).prop_map(BigUint::from_limbs)
+const CASES: usize = 256;
+
+fn big(rng: &mut StdRng, max_limbs: usize) -> BigUint {
+    let limbs = (rng.gen::<u64>() % (max_limbs as u64 + 1)) as usize;
+    BigUint::from_limbs((0..limbs).map(|_| rng.gen::<u64>()).collect())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn add_commutative(a in arb_biguint(5), b in arb_biguint(5)) {
-        prop_assert_eq!(&a + &b, &b + &a);
+fn nonzero(rng: &mut StdRng, max_limbs: usize) -> BigUint {
+    loop {
+        let x = big(rng, max_limbs);
+        if !x.is_zero() {
+            return x;
+        }
     }
+}
 
-    #[test]
-    fn add_associative(a in arb_biguint(4), b in arb_biguint(4), c in arb_biguint(4)) {
-        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+#[test]
+fn ring_axioms() {
+    let mut rng = StdRng::seed_from_u64(0xB0);
+    for _ in 0..CASES {
+        let a = big(&mut rng, 5);
+        let b = big(&mut rng, 5);
+        let c = big(&mut rng, 4);
+        assert_eq!(&a + &b, &b + &a, "add commutative");
+        assert_eq!(&a * &b, &b * &a, "mul commutative");
+        assert_eq!(&(&a + &b) + &c, &a + &(&b + &c), "add associative");
+        assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c), "distributive");
+        assert_eq!(&(&a + &b) - &b, a, "add/sub roundtrip");
     }
+}
 
-    #[test]
-    fn mul_commutative(a in arb_biguint(4), b in arb_biguint(4)) {
-        prop_assert_eq!(&a * &b, &b * &a);
-    }
-
-    #[test]
-    fn mul_distributes_over_add(a in arb_biguint(3), b in arb_biguint(3), c in arb_biguint(3)) {
-        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
-    }
-
-    #[test]
-    fn add_sub_roundtrip(a in arb_biguint(5), b in arb_biguint(5)) {
-        prop_assert_eq!(&(&a + &b) - &b, a);
-    }
-
-    #[test]
-    fn div_rem_invariant(a in arb_biguint(6), b in arb_biguint(3)) {
-        prop_assume!(!b.is_zero());
+#[test]
+fn div_rem_invariant() {
+    let mut rng = StdRng::seed_from_u64(0xB1);
+    for _ in 0..CASES {
+        let a = big(&mut rng, 6);
+        let b = nonzero(&mut rng, 3);
         let (q, r) = a.div_rem(&b);
-        prop_assert!(r < b);
-        prop_assert_eq!(&(&q * &b) + &r, a);
+        assert!(r < b);
+        assert_eq!(&(&q * &b) + &r, a);
     }
+}
 
-    #[test]
-    fn matches_u128_add_mul(a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn matches_u128_arithmetic() {
+    let mut rng = StdRng::seed_from_u64(0xB2);
+    for _ in 0..CASES {
+        let (a, b) = (rng.gen::<u64>(), rng.gen::<u64>());
         let (ba, bb) = (BigUint::from(a), BigUint::from(b));
-        prop_assert_eq!(&ba + &bb, BigUint::from(u128::from(a) + u128::from(b)));
-        prop_assert_eq!(&ba * &bb, BigUint::from(u128::from(a) * u128::from(b)));
-    }
+        assert_eq!(&ba + &bb, BigUint::from(u128::from(a) + u128::from(b)));
+        assert_eq!(&ba * &bb, BigUint::from(u128::from(a) * u128::from(b)));
 
-    #[test]
-    fn matches_u128_div(a in any::<u128>(), b in 1_u128..) {
-        let (q, r) = BigUint::from(a).div_rem(&BigUint::from(b));
-        prop_assert_eq!(q, BigUint::from(a / b));
-        prop_assert_eq!(r, BigUint::from(a % b));
-    }
+        let wa = rng.gen::<u128>();
+        let wb = (rng.gen::<u128>()).max(1);
+        let (q, r) = BigUint::from(wa).div_rem(&BigUint::from(wb));
+        assert_eq!(q, BigUint::from(wa / wb));
+        assert_eq!(r, BigUint::from(wa % wb));
 
-    #[test]
-    fn shift_is_mul_by_power_of_two(a in arb_biguint(3), s in 0_u64..200) {
-        prop_assert_eq!(&a << s, &a * &BigUint::power_of_two(s));
+        assert_eq!(
+            BigUint::from(wa).bits(),
+            u64::from(128 - wa.leading_zeros()),
+            "bits"
+        );
     }
+}
 
-    #[test]
-    fn shr_is_div_by_power_of_two(a in arb_biguint(4), s in 0_u64..200) {
-        prop_assert_eq!(&a >> s, &a / &BigUint::power_of_two(s));
+#[test]
+fn shifts_are_powers_of_two() {
+    let mut rng = StdRng::seed_from_u64(0xB3);
+    for _ in 0..CASES {
+        let a = big(&mut rng, 4);
+        let s = rng.gen::<u64>() % 200;
+        assert_eq!(&a << s, &a * &BigUint::power_of_two(s), "shl");
+        assert_eq!(&a >> s, &a / &BigUint::power_of_two(s), "shr");
     }
+}
 
-    #[test]
-    fn decimal_roundtrip(a in arb_biguint(4)) {
-        let s = a.to_string();
-        prop_assert_eq!(s.parse::<BigUint>().unwrap(), a);
+#[test]
+fn radix_roundtrips() {
+    let mut rng = StdRng::seed_from_u64(0xB4);
+    for _ in 0..CASES {
+        let a = big(&mut rng, 4);
+        assert_eq!(a.to_string().parse::<BigUint>().unwrap(), a, "decimal");
+        let hex = format!("{a:x}");
+        assert_eq!(BigUint::from_hex(&hex).unwrap(), a, "hex");
     }
+}
 
-    #[test]
-    fn hex_roundtrip(a in arb_biguint(4)) {
-        let s = format!("{a:x}");
-        prop_assert_eq!(BigUint::from_hex(&s).unwrap(), a);
-    }
-
-    #[test]
-    fn mod_pow_matches_naive(a in any::<u64>(), e in 0_u32..40, m in 2_u64..) {
+#[test]
+fn mod_pow_matches_naive() {
+    let mut rng = StdRng::seed_from_u64(0xB5);
+    for _ in 0..64 {
+        let a = rng.gen::<u64>();
+        let e = rng.gen::<u64>() % 40;
+        let m = (rng.gen::<u64>()).max(2);
         let bm = BigUint::from(m);
         let got = BigUint::from(a).mod_pow(&BigUint::from(e), &bm);
         let mut expected = BigUint::one();
         for _ in 0..e {
             expected = &(&expected * &BigUint::from(a)) % &bm;
         }
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected);
     }
+}
 
-    #[test]
-    fn mod_inverse_is_inverse(a in 1_u64.., p in prop::sample::select(vec![
-        1_000_000_007_u64, 998_244_353, 4_611_686_018_427_387_847,
-    ])) {
+#[test]
+fn mod_inverse_is_inverse() {
+    const PRIMES: [u64; 3] = [1_000_000_007, 998_244_353, 4_611_686_018_427_387_847];
+    let mut rng = StdRng::seed_from_u64(0xB6);
+    for _ in 0..CASES {
+        let p = PRIMES[(rng.gen::<u64>() % 3) as usize];
         let bp = BigUint::from(p);
-        let ba = &BigUint::from(a) % &bp;
-        prop_assume!(!ba.is_zero());
+        let ba = &BigUint::from(rng.gen::<u64>().max(1)) % &bp;
+        if ba.is_zero() {
+            continue;
+        }
         let inv = ba.mod_inverse(&bp).unwrap();
-        prop_assert_eq!(ba.mul_mod(&inv, &bp), BigUint::one());
+        assert_eq!(ba.mul_mod(&inv, &bp), BigUint::one());
     }
+}
 
-    #[test]
-    fn gcd_divides_both(a in arb_biguint(3), b in arb_biguint(3)) {
-        prop_assume!(!a.is_zero() && !b.is_zero());
+#[test]
+fn gcd_divides_both() {
+    let mut rng = StdRng::seed_from_u64(0xB7);
+    for _ in 0..CASES {
+        let a = nonzero(&mut rng, 3);
+        let b = nonzero(&mut rng, 3);
         let g = a.gcd(&b);
-        prop_assert!((&a % &g).is_zero());
-        prop_assert!((&b % &g).is_zero());
-    }
-
-    #[test]
-    fn bits_matches_u128(a in any::<u128>()) {
-        prop_assert_eq!(BigUint::from(a).bits(), u64::from(128 - a.leading_zeros()));
+        assert!((&a % &g).is_zero());
+        assert!((&b % &g).is_zero());
     }
 }

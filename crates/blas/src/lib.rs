@@ -63,13 +63,25 @@ mod tests {
 
                 let mut out = ResidueSoa::zeros(n);
                 crate::simd::vadd::<Portable>(&xs, &ys, &mut out, &m);
-                assert_eq!(out.to_u128s(), crate::scalar::vadd(&x, &y, &m), "vadd q={q} n={n}");
+                assert_eq!(
+                    out.to_u128s(),
+                    crate::scalar::vadd(&x, &y, &m),
+                    "vadd q={q} n={n}"
+                );
 
                 crate::simd::vsub::<Portable>(&xs, &ys, &mut out, &m);
-                assert_eq!(out.to_u128s(), crate::scalar::vsub(&x, &y, &m), "vsub q={q} n={n}");
+                assert_eq!(
+                    out.to_u128s(),
+                    crate::scalar::vsub(&x, &y, &m),
+                    "vsub q={q} n={n}"
+                );
 
                 crate::simd::vmul::<Portable>(&xs, &ys, &mut out, &m);
-                assert_eq!(out.to_u128s(), crate::scalar::vmul(&x, &y, &m), "vmul q={q} n={n}");
+                assert_eq!(
+                    out.to_u128s(),
+                    crate::scalar::vmul(&x, &y, &m),
+                    "vmul q={q} n={n}"
+                );
 
                 let mut y_simd = ys.clone();
                 crate::simd::axpy::<Portable>(a, &xs, &mut y_simd, &m);

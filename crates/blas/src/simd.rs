@@ -150,7 +150,9 @@ mod tests {
         let q = m.value();
         let rows = 4;
         let cols = 8;
-        let a_vals: Vec<u128> = (0..rows * cols).map(|i| (i as u128 * 37 + 11) % q).collect();
+        let a_vals: Vec<u128> = (0..rows * cols)
+            .map(|i| (i as u128 * 37 + 11) % q)
+            .collect();
         let x_vals: Vec<u128> = (0..cols).map(|i| (i as u128 * 101 + 3) % q).collect();
         let a = ResidueSoa::from_u128s(&a_vals);
         let x = ResidueSoa::from_u128s(&x_vals);

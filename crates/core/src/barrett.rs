@@ -32,7 +32,7 @@ impl Barrett {
     /// paper limit of 124 bits; the math here only needs µ to fit).
     pub(crate) fn new(q: DWord) -> Self {
         let b = q.bits();
-        debug_assert!(b >= 2 && b <= 126);
+        debug_assert!((2..=126).contains(&b));
         let k = 2 * b + 1;
         Barrett {
             q,
@@ -148,9 +148,13 @@ mod tests {
         let bq = BigUint::from(q);
         let mut state: u128 = 0x1234_5678_9ABC_DEF0_1357_9BDF_0246_8ACE;
         for _ in 0..200 {
-            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
             let a = state % q;
-            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
             let b = state % q;
             let x = U256::from_product(DWord::from(a), DWord::from(b));
             let got = barrett.reduce(x);
@@ -162,7 +166,11 @@ mod tests {
     #[test]
     fn reduce_worst_case_operands() {
         // a = b = q − 1 maximizes x = (q−1)², stressing the estimate bound.
-        for q in [crate::primes::Q124, crate::primes::Q120, (1_u128 << 100) - 3] {
+        for q in [
+            crate::primes::Q124,
+            crate::primes::Q120,
+            (1_u128 << 100) - 3,
+        ] {
             let barrett = Barrett::new(DWord::from(q));
             let a = q - 1;
             let x = U256::from_product(DWord::from(a), DWord::from(a));

@@ -358,7 +358,8 @@ mod tests {
                 let mid2 = a1 * b0;
                 let carry_into_high = {
                     let s0 = a0 * b0;
-                    let m = (s0 >> 64) + (mid1 & u128::from(u64::MAX)) + (mid2 & u128::from(u64::MAX));
+                    let m =
+                        (s0 >> 64) + (mid1 & u128::from(u64::MAX)) + (mid2 & u128::from(u64::MAX));
                     m >> 64
                 };
                 let high = a1 * b1 + (mid1 >> 64) + (mid2 >> 64) + carry_into_high;

@@ -83,8 +83,13 @@ mod tests {
         let s = e.to_string();
         assert!(s.starts_with("modulus has 128 bits"));
         assert!(!s.ends_with('.'));
-        assert_eq!(ModulusError::TooSmall.to_string(), "modulus must be at least 2");
-        assert!(RootError::NoSuchRoot { order: 8 }.to_string().contains("8-th"));
+        assert_eq!(
+            ModulusError::TooSmall.to_string(),
+            "modulus must be at least 2"
+        );
+        assert!(RootError::NoSuchRoot { order: 8 }
+            .to_string()
+            .contains("8-th"));
         assert!(RootError::OrderNotPowerOfTwo { order: 3 }
             .to_string()
             .contains('3'));

@@ -210,9 +210,13 @@ mod tests {
         let dm = dw(q);
         let mut state: u128 = 0x0123_4567_89AB_CDEF_1122_3344_5566_7788;
         for _ in 0..500 {
-            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(99);
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(99);
             let a = state % q;
-            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(99);
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(99);
             let b = state % q;
             assert_eq!(u128::from(addmod128(dw(a), dw(b), dm)), m.add_mod(a, b));
             assert_eq!(u128::from(submod128(dw(a), dw(b), dm)), m.sub_mod(a, b));

@@ -340,11 +340,18 @@ mod tests {
         let bq = BigUint::from(q);
         let mut state: u128 = 0xFEED_FACE_DEAD_BEEF_0123_4567_89AB_CDEF;
         for _ in 0..300 {
-            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1442695040888963407);
             let a = state % q;
-            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1442695040888963407);
             let b = state % q;
-            let expected = BigUint::from(a).mul_mod(&BigUint::from(b), &bq).to_u128().unwrap();
+            let expected = BigUint::from(a)
+                .mul_mod(&BigUint::from(b), &bq)
+                .to_u128()
+                .unwrap();
             assert_eq!(m.mul_mod(a, b), expected, "schoolbook a={a:#x} b={b:#x}");
             assert_eq!(mk.mul_mod(a, b), expected, "karatsuba a={a:#x} b={b:#x}");
         }

@@ -113,7 +113,7 @@ pub fn is_prime(n: u128) -> bool {
     }
     for &p in &MR_BASES_64 {
         let p = u128::from(p);
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return n == p;
         }
     }
@@ -186,7 +186,7 @@ pub fn factor(mut n: u128) -> Vec<(u128, u32)> {
     };
 
     for p in [2_u128, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47] {
-        while n % p == 0 {
+        while n.is_multiple_of(p) {
             push(p, &mut out);
             n /= p;
         }
@@ -194,8 +194,8 @@ pub fn factor(mut n: u128) -> Vec<(u128, u32)> {
     // Wheel over the remaining small candidates up to 10^4.
     let mut p = 49;
     while p < 10_000 && p * p <= n {
-        if n % p == 0 {
-            while n % p == 0 {
+        if n.is_multiple_of(p) {
+            while n.is_multiple_of(p) {
                 push(p, &mut out);
                 n /= p;
             }
@@ -224,7 +224,7 @@ pub fn factor(mut n: u128) -> Vec<(u128, u32)> {
 /// detection. Deterministic: parameters are derived from `n`.
 fn pollard_rho_brent(n: u128) -> u128 {
     debug_assert!(n > 3 && !is_prime(n));
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         return 2;
     }
     let ctx = MulCtx::new(n);
@@ -362,7 +362,7 @@ pub fn root_of_unity(m: &Modulus, order: u64) -> Result<u128, RootError> {
         return Err(RootError::OrderNotPowerOfTwo { order });
     }
     let q = m.value();
-    if (q - 1) % u128::from(order) != 0 {
+    if !(q - 1).is_multiple_of(u128::from(order)) {
         return Err(RootError::NoSuchRoot { order });
     }
     let g = primitive_root(m);
@@ -391,8 +391,8 @@ mod tests {
         assert_eq!(
             primes_below_100,
             vec![
-                2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73,
-                79, 83, 89, 97
+                2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79,
+                83, 89, 97
             ]
         );
     }

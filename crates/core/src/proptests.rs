@@ -1,142 +1,160 @@
-//! Property-based tests: the double-word ring against the bignum oracle,
-//! algorithm equivalences, and the word-level carry algebra.
+//! Randomized property tests: the double-word ring against the bignum
+//! oracle, algorithm equivalences, and the word-level carry algebra.
+//!
+//! The crates.io `proptest` harness is unavailable offline, so these are
+//! seeded exhaustive-loop tests over the offline `rand` shim: the same
+//! properties, deterministic case generation, no shrinking.
 
 use crate::{listing1, nt, primes, DWord, Modulus, MulAlgorithm};
 use mqx_bignum::BigUint;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: one of the workspace moduli paired with two reduced elements.
-fn arb_ring_pair() -> impl Strategy<Value = (u128, u128, u128)> {
-    prop::sample::select(vec![primes::Q124, primes::Q120, primes::Q62, primes::Q30, 97_u128])
-        .prop_flat_map(|q| (Just(q), any::<u128>(), any::<u128>()))
-        .prop_map(|(q, a, b)| (q, a % q, b % q))
+const CASES: usize = 512;
+const MODULI: [u128; 5] = [primes::Q124, primes::Q120, primes::Q62, primes::Q30, 97];
+
+/// One random (modulus, reduced a, reduced b) triple per call.
+fn ring_pair(rng: &mut StdRng) -> (u128, u128, u128) {
+    let q = MODULI[(rng.gen::<u64>() % MODULI.len() as u64) as usize];
+    (q, rng.gen::<u128>() % q, rng.gen::<u128>() % q)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn add_mod_matches_bignum((q, a, b) in arb_ring_pair()) {
+#[test]
+fn add_sub_mul_mod_match_bignum() {
+    let mut rng = StdRng::seed_from_u64(0x01);
+    for _ in 0..CASES {
+        let (q, a, b) = ring_pair(&mut rng);
         let m = Modulus::new(q).unwrap();
-        let expected = BigUint::from(a).add_mod(&BigUint::from(b), &BigUint::from(q));
-        prop_assert_eq!(BigUint::from(m.add_mod(a, b)), expected);
+        let (ba, bb, bq) = (BigUint::from(a), BigUint::from(b), BigUint::from(q));
+        assert_eq!(
+            BigUint::from(m.add_mod(a, b)),
+            ba.add_mod(&bb, &bq),
+            "add {q:#x}"
+        );
+        assert_eq!(
+            BigUint::from(m.sub_mod(a, b)),
+            ba.sub_mod(&bb, &bq),
+            "sub {q:#x}"
+        );
+        assert_eq!(
+            BigUint::from(m.mul_mod(a, b)),
+            ba.mul_mod(&bb, &bq),
+            "mul {q:#x}"
+        );
     }
+}
 
-    #[test]
-    fn sub_mod_matches_bignum((q, a, b) in arb_ring_pair()) {
-        let m = Modulus::new(q).unwrap();
-        let expected = BigUint::from(a).sub_mod(&BigUint::from(b), &BigUint::from(q));
-        prop_assert_eq!(BigUint::from(m.sub_mod(a, b)), expected);
-    }
-
-    #[test]
-    fn mul_mod_matches_bignum((q, a, b) in arb_ring_pair()) {
-        let m = Modulus::new(q).unwrap();
-        let expected = BigUint::from(a).mul_mod(&BigUint::from(b), &BigUint::from(q));
-        prop_assert_eq!(BigUint::from(m.mul_mod(a, b)), expected);
-    }
-
-    #[test]
-    fn karatsuba_equals_schoolbook_mul_mod((q, a, b) in arb_ring_pair()) {
+#[test]
+fn karatsuba_equals_schoolbook() {
+    let mut rng = StdRng::seed_from_u64(0x02);
+    for _ in 0..CASES {
+        let (q, a, b) = ring_pair(&mut rng);
         let s = Modulus::new(q).unwrap();
         let k = s.with_algorithm(MulAlgorithm::Karatsuba);
-        prop_assert_eq!(s.mul_mod(a, b), k.mul_mod(a, b));
+        assert_eq!(s.mul_mod(a, b), k.mul_mod(a, b), "mul_mod q={q:#x}");
+        let (wa, wb) = (rng.gen::<u128>(), rng.gen::<u128>());
+        let (da, db) = (DWord::from(wa), DWord::from(wb));
+        assert_eq!(da.mul_wide_schoolbook(db), da.mul_wide_karatsuba(db));
     }
+}
 
-    #[test]
-    fn karatsuba_equals_schoolbook_wide(a in any::<u128>(), b in any::<u128>()) {
-        let (da, db) = (DWord::from(a), DWord::from(b));
-        prop_assert_eq!(da.mul_wide_schoolbook(db), da.mul_wide_karatsuba(db));
-    }
-
-    #[test]
-    fn listing1_addmod_matches_modulus((q, a, b) in arb_ring_pair()) {
+#[test]
+fn listing1_matches_modulus() {
+    let mut rng = StdRng::seed_from_u64(0x03);
+    for _ in 0..CASES {
+        let (q, a, b) = ring_pair(&mut rng);
         let m = Modulus::new(q).unwrap();
-        let got = listing1::addmod128(DWord::from(a), DWord::from(b), DWord::from(q));
-        prop_assert_eq!(u128::from(got), m.add_mod(a, b));
+        let add = listing1::addmod128(DWord::from(a), DWord::from(b), DWord::from(q));
+        assert_eq!(u128::from(add), m.add_mod(a, b), "addmod q={q:#x}");
+        let sub = listing1::submod128(DWord::from(a), DWord::from(b), DWord::from(q));
+        assert_eq!(u128::from(sub), m.sub_mod(a, b), "submod q={q:#x}");
+        let mul = listing1::mulmod128(DWord::from(a), DWord::from(b), &m);
+        assert_eq!(u128::from(mul), m.mul_mod(a, b), "mulmod q={q:#x}");
     }
+}
 
-    #[test]
-    fn listing1_submod_matches_modulus((q, a, b) in arb_ring_pair()) {
+#[test]
+fn ring_axioms_hold() {
+    let mut rng = StdRng::seed_from_u64(0x04);
+    for _ in 0..CASES {
+        let (q, a, b) = ring_pair(&mut rng);
         let m = Modulus::new(q).unwrap();
-        let got = listing1::submod128(DWord::from(a), DWord::from(b), DWord::from(q));
-        prop_assert_eq!(u128::from(got), m.sub_mod(a, b));
-    }
-
-    #[test]
-    fn listing1_mulmod_matches_modulus((q, a, b) in arb_ring_pair()) {
-        let m = Modulus::new(q).unwrap();
-        let got = listing1::mulmod128(DWord::from(a), DWord::from(b), &m);
-        prop_assert_eq!(u128::from(got), m.mul_mod(a, b));
-    }
-
-    #[test]
-    fn ring_axioms_hold((q, a, b) in arb_ring_pair(), c in any::<u128>()) {
-        let m = Modulus::new(q).unwrap();
-        let c = c % q;
+        let c = rng.gen::<u128>() % q;
         // Commutativity.
-        prop_assert_eq!(m.add_mod(a, b), m.add_mod(b, a));
-        prop_assert_eq!(m.mul_mod(a, b), m.mul_mod(b, a));
+        assert_eq!(m.add_mod(a, b), m.add_mod(b, a));
+        assert_eq!(m.mul_mod(a, b), m.mul_mod(b, a));
         // Associativity.
-        prop_assert_eq!(m.add_mod(m.add_mod(a, b), c), m.add_mod(a, m.add_mod(b, c)));
-        prop_assert_eq!(m.mul_mod(m.mul_mod(a, b), c), m.mul_mod(a, m.mul_mod(b, c)));
+        assert_eq!(m.add_mod(m.add_mod(a, b), c), m.add_mod(a, m.add_mod(b, c)));
+        assert_eq!(m.mul_mod(m.mul_mod(a, b), c), m.mul_mod(a, m.mul_mod(b, c)));
         // Distributivity.
-        prop_assert_eq!(
+        assert_eq!(
             m.mul_mod(a, m.add_mod(b, c)),
             m.add_mod(m.mul_mod(a, b), m.mul_mod(a, c))
         );
         // Additive inverse.
-        prop_assert_eq!(m.add_mod(a, m.neg_mod(a)), 0);
-        prop_assert_eq!(m.sub_mod(a, b), m.add_mod(a, m.neg_mod(b)));
+        assert_eq!(m.add_mod(a, m.neg_mod(a)), 0);
+        assert_eq!(m.sub_mod(a, b), m.add_mod(a, m.neg_mod(b)));
     }
+}
 
-    #[test]
-    fn pow_and_inverse_consistent(a in 1_u128..) {
-        let q = primes::Q124;
-        let m = Modulus::new_prime(q).unwrap();
-        let a = (a % (q - 1)) + 1; // non-zero element
+#[test]
+fn pow_and_inverse_consistent() {
+    let mut rng = StdRng::seed_from_u64(0x05);
+    let q = primes::Q124;
+    let m = Modulus::new_prime(q).unwrap();
+    for _ in 0..64 {
+        let a = (rng.gen::<u128>() % (q - 1)) + 1; // non-zero element
         let inv = m.inv_mod(a).unwrap();
-        prop_assert_eq!(m.mul_mod(a, inv), 1);
-        prop_assert_eq!(inv, m.pow_mod(a, q - 2));
+        assert_eq!(m.mul_mod(a, inv), 1);
+        assert_eq!(inv, m.pow_mod(a, q - 2));
     }
+}
 
-    #[test]
-    fn dword_mul_matches_bignum(a in any::<u128>(), b in any::<u128>()) {
+#[test]
+fn dword_mul_matches_bignum() {
+    let mut rng = StdRng::seed_from_u64(0x06);
+    for _ in 0..CASES {
+        let (a, b) = (rng.gen::<u128>(), rng.gen::<u128>());
         let (hi, lo) = DWord::from(a).mul_wide_schoolbook(DWord::from(b));
         let expected = &BigUint::from(a) * &BigUint::from(b);
         let got = &(&BigUint::from(u128::from(hi)) << 128) + &BigUint::from(u128::from(lo));
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected);
     }
+}
 
-    #[test]
-    fn word_carry_chain_matches_bignum(a in any::<u64>(), b in any::<u64>(),
-                                       c in any::<u64>(), d in any::<u64>()) {
-        // (a·2^64 + b) + (c·2^64 + d) through the word adc chain.
-        let x = DWord::new(a, b);
-        let y = DWord::new(c, d);
+#[test]
+fn word_carry_chain_matches_bignum() {
+    let mut rng = StdRng::seed_from_u64(0x07);
+    for _ in 0..CASES {
+        let x = DWord::new(rng.gen(), rng.gen());
+        let y = DWord::new(rng.gen(), rng.gen());
         let (sum, carry) = x.carrying_add(y);
         let expected = &BigUint::from(u128::from(x)) + &BigUint::from(u128::from(y));
-        let got = &BigUint::from(u128::from(sum))
-            + &(&BigUint::from(carry as u64) << 128);
-        prop_assert_eq!(got, expected);
+        let got = &BigUint::from(u128::from(sum)) + &(&BigUint::from(carry as u64) << 128);
+        assert_eq!(got, expected);
     }
+}
 
-    #[test]
-    fn reduce_wide_is_mod(a in any::<u128>(), b in any::<u128>()) {
-        let q = primes::Q124;
-        let m = Modulus::new(q).unwrap();
-        let (a, b) = (a % q, b % q);
+#[test]
+fn reduce_wide_is_mod() {
+    let mut rng = StdRng::seed_from_u64(0x08);
+    let q = primes::Q124;
+    let m = Modulus::new(q).unwrap();
+    for _ in 0..CASES {
+        let (a, b) = (rng.gen::<u128>() % q, rng.gen::<u128>() % q);
         let x = crate::wide::U256::from_product(DWord::from(a), DWord::from(b));
         let expected = BigUint::from(a).mul_mod(&BigUint::from(b), &BigUint::from(q));
-        prop_assert_eq!(BigUint::from(m.reduce_wide(x)), expected);
+        assert_eq!(BigUint::from(m.reduce_wide(x)), expected);
     }
+}
 
-    #[test]
-    fn root_of_unity_has_exact_order(log_n in 1_u32..=16) {
-        let m = Modulus::new_prime(primes::Q124).unwrap();
+#[test]
+fn root_of_unity_has_exact_order() {
+    let m = Modulus::new_prime(primes::Q124).unwrap();
+    for log_n in 1_u32..=16 {
         let n = 1_u64 << log_n;
         let w = nt::root_of_unity(&m, n).unwrap();
-        prop_assert_eq!(m.pow_mod(w, u128::from(n)), 1);
-        prop_assert_ne!(m.pow_mod(w, u128::from(n) / 2), 1);
+        assert_eq!(m.pow_mod(w, u128::from(n)), 1);
+        assert_ne!(m.pow_mod(w, u128::from(n) / 2), 1);
     }
 }

@@ -119,11 +119,15 @@ mod tests {
         let q = m.value();
         let mut state: u128 = 0x0F1E_2D3C_4B5A_6978_8796_A5B4_C3D2_E1F0;
         for _ in 0..50 {
-            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
             let w = state % q;
             let s = ShoupMul::new(w, &m);
             for _ in 0..20 {
-                state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1);
                 let x = state % q;
                 assert_eq!(s.mul(x), m.mul_mod(x, w), "x={x:#x} w={w:#x}");
             }

@@ -61,7 +61,12 @@ impl U256 {
         let (l1, b) = word::sbb(self.limbs[1], rhs.limbs[1], b);
         let (l2, b) = word::sbb(self.limbs[2], rhs.limbs[2], b);
         let (l3, b) = word::sbb(self.limbs[3], rhs.limbs[3], b);
-        (U256 { limbs: [l0, l1, l2, l3] }, b)
+        (
+            U256 {
+                limbs: [l0, l1, l2, l3],
+            },
+            b,
+        )
     }
 
     /// Wrapping addition; returns the sum and the carry-out.
@@ -71,7 +76,12 @@ impl U256 {
         let (l1, c) = word::adc(self.limbs[1], rhs.limbs[1], c);
         let (l2, c) = word::adc(self.limbs[2], rhs.limbs[2], c);
         let (l3, c) = word::adc(self.limbs[3], rhs.limbs[3], c);
-        (U256 { limbs: [l0, l1, l2, l3] }, c)
+        (
+            U256 {
+                limbs: [l0, l1, l2, l3],
+            },
+            c,
+        )
     }
 
     /// `self < rhs` as 256-bit values.

@@ -167,7 +167,17 @@ mod tests {
 
     #[test]
     fn adc_matches_u128_reference() {
-        let samples = [0_u64, 1, 2, 0xFFFF_FFFF, 1 << 62, (1 << 63) - 1, 1 << 63, u64::MAX - 1, u64::MAX];
+        let samples = [
+            0_u64,
+            1,
+            2,
+            0xFFFF_FFFF,
+            1 << 62,
+            (1 << 63) - 1,
+            1 << 63,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
         for &a in &samples {
             for &b in &samples {
                 for ci in [false, true] {
@@ -185,7 +195,11 @@ mod tests {
         for &a in &samples {
             for &b in &samples {
                 for ci in [false, true] {
-                    assert_eq!(adc_cmp(a, b, ci), adc(a, b, ci), "a={a:#x} b={b:#x} ci={ci}");
+                    assert_eq!(
+                        adc_cmp(a, b, ci),
+                        adc(a, b, ci),
+                        "a={a:#x} b={b:#x} ci={ci}"
+                    );
                 }
             }
         }
@@ -214,8 +228,14 @@ mod tests {
     #[test]
     fn mul_wide_via_u32_matches_exact() {
         let samples = [
-            0_u64, 1, 0xFFFF_FFFF, 0x1_0000_0000, 0xDEAD_BEEF_CAFE_BABE,
-            u64::MAX, u64::MAX - 1, (1 << 63) | 1,
+            0_u64,
+            1,
+            0xFFFF_FFFF,
+            0x1_0000_0000,
+            0xDEAD_BEEF_CAFE_BABE,
+            u64::MAX,
+            u64::MAX - 1,
+            (1 << 63) | 1,
         ];
         for &a in &samples {
             for &b in &samples {

@@ -1,0 +1,358 @@
+//! A minimal, dependency-free JSON value and writer.
+//!
+//! The reproduction binaries archive their results as JSON under
+//! `repro_results/`; the build environment has no registry access, so
+//! `serde`/`serde_json` cannot be dependencies. This crate provides the
+//! small surface the workspace needs instead:
+//!
+//! * [`Json`] — an owned JSON value with [`Json::pretty`] /
+//!   [`Json::compact`] writers (exact integers, shortest-round-trip
+//!   floats, correct string escaping);
+//! * [`ToJson`] — the serialization trait, implemented for the
+//!   primitives, strings, options, vectors, slices and small tuples the
+//!   result types use;
+//! * [`impl_to_json!`] — a declarative derive for named-field structs.
+//!
+//! # Example
+//!
+//! ```
+//! use mqx_json::{impl_to_json, Json, ToJson};
+//!
+//! struct Row {
+//!     tier: String,
+//!     ns: f64,
+//! }
+//! impl_to_json!(Row { tier, ns });
+//!
+//! let row = Row { tier: "avx512".into(), ns: 1.5 };
+//! assert_eq!(row.to_json().compact(), r#"{"tier":"avx512","ns":1.5}"#);
+//! assert_eq!(Json::from(vec![1_u32, 2]).compact(), "[1,2]");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+
+/// An owned JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An exactly-representable integer.
+    Int(i128),
+    /// A finite double (non-finite values serialize as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Renders with two-space indentation and a trailing newline-free
+    /// result, in the style of `serde_json::to_string_pretty`.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(0));
+        out
+    }
+
+    /// Renders without any whitespace.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Num(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x}");
+                    // `{}` prints integral floats without a decimal
+                    // point; keep them unambiguously floating-point.
+                    if x.fract() == 0.0 && x.abs() < 1e15 && !out.ends_with('.') {
+                        let tail = out.rfind(|c: char| !c.is_ascii_digit() && c != '-');
+                        let num = &out[tail.map_or(0, |i| i + 1)..];
+                        if !num.contains('.') && !num.contains('e') {
+                            out.push_str(".0");
+                        }
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => write_seq(out, indent, '[', ']', items.iter(), |out, item, ind| {
+                item.write(out, ind);
+            }),
+            Json::Obj(fields) => {
+                write_seq(out, indent, '{', '}', fields.iter(), |out, (k, v), ind| {
+                    write_escaped(out, k);
+                    out.push(':');
+                    if ind.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, ind);
+                })
+            }
+        }
+    }
+}
+
+fn write_seq<T>(
+    out: &mut String,
+    indent: Option<usize>,
+    open: char,
+    close: char,
+    items: impl ExactSizeIterator<Item = T>,
+    mut write_item: impl FnMut(&mut String, T, Option<usize>),
+) {
+    out.push(open);
+    let len = items.len();
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    let inner = indent.map(|i| i + 1);
+    for (i, item) in items.enumerate() {
+        if let Some(level) = inner {
+            out.push('\n');
+            out.push_str(&"  ".repeat(level));
+        }
+        write_item(out, item, inner);
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    if let Some(level) = indent {
+        out.push('\n');
+        out.push_str(&"  ".repeat(level));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into a [`Json`] value.
+pub trait ToJson {
+    /// Serializes `self`.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+macro_rules! impl_to_json_int {
+    ($($t:ty),+) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Int(*self as i128)
+            }
+        }
+    )+};
+}
+
+impl_to_json_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ToJson for u128 {
+    fn to_json(&self) -> Json {
+        // Exact while it fits; JSON readers generally cap at i64/f64
+        // anyway, so the rare >i128 residue goes out as a string.
+        i128::try_from(*self).map_or_else(|_| Json::Str(self.to_string()), Json::Int)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Json {
+        Json::Num(f64::from(*self))
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        self.as_ref().map_or(Json::Null, ToJson::to_json)
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+macro_rules! impl_to_json_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: ToJson),+> ToJson for ($($name,)+) {
+            fn to_json(&self) -> Json {
+                Json::Arr(vec![$(self.$idx.to_json()),+])
+            }
+        }
+    };
+}
+
+impl_to_json_tuple!(A: 0);
+impl_to_json_tuple!(A: 0, B: 1);
+impl_to_json_tuple!(A: 0, B: 1, C: 2);
+impl_to_json_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+impl<T: ToJson> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Json {
+        v.to_json()
+    }
+}
+
+/// Implements [`ToJson`] for a named-field struct, serializing the
+/// listed fields in order — the declarative stand-in for
+/// `#[derive(Serialize)]`.
+///
+/// ```
+/// use mqx_json::{impl_to_json, ToJson};
+/// struct P { x: u32, y: u32 }
+/// impl_to_json!(P { x, y });
+/// assert_eq!(P { x: 1, y: 2 }.to_json().compact(), r#"{"x":1,"y":2}"#);
+/// ```
+#[macro_export]
+macro_rules! impl_to_json {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::Obj(vec![
+                    $((stringify!($field).to_string(), $crate::ToJson::to_json(&self.$field))),+
+                ])
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.compact(), "null");
+        assert_eq!(true.to_json().compact(), "true");
+        assert_eq!(42_u64.to_json().compact(), "42");
+        assert_eq!((-7_i32).to_json().compact(), "-7");
+        assert_eq!(1.5_f64.to_json().compact(), "1.5");
+        assert_eq!(2.0_f64.to_json().compact(), "2.0");
+        assert_eq!(f64::NAN.to_json().compact(), "null");
+        assert_eq!("hi".to_json().compact(), r#""hi""#);
+    }
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(
+            "a\"b\\c\nd\te\u{1}".to_json().compact(),
+            r#""a\"b\\c\nd\te\u0001""#
+        );
+    }
+
+    #[test]
+    fn u128_exact_or_string() {
+        assert_eq!(
+            u128::from(u64::MAX).to_json().compact(),
+            "18446744073709551615"
+        );
+        assert_eq!(u128::MAX.to_json().compact(), format!("\"{}\"", u128::MAX));
+    }
+
+    #[test]
+    fn containers_render() {
+        let v = vec![(10_u32, 1.25_f64), (12, 0.5)];
+        assert_eq!(v.to_json().compact(), "[[10,1.25],[12,0.5]]");
+        assert_eq!(Option::<u32>::None.to_json().compact(), "null");
+        assert_eq!(Some("x").to_json().compact(), r#""x""#);
+        assert_eq!(Json::Arr(vec![]).pretty(), "[]");
+    }
+
+    #[test]
+    fn pretty_format_matches_expected_shape() {
+        struct Row {
+            name: String,
+            ns: f64,
+        }
+        impl_to_json!(Row { name, ns });
+        let rows = vec![Row {
+            name: "a".into(),
+            ns: 1.0,
+        }];
+        let pretty = rows.to_json().pretty();
+        assert_eq!(
+            pretty,
+            "[\n  {\n    \"name\": \"a\",\n    \"ns\": 1.0\n  }\n]"
+        );
+    }
+
+    #[test]
+    fn large_integral_floats_not_suffixed_wrongly() {
+        let s = 1e20_f64.to_json().compact();
+        assert!(s.parse::<f64>().is_ok(), "{s}");
+    }
+}

@@ -121,7 +121,12 @@ mod tests {
     use crate::inst::{Class, Inst};
 
     fn add(d: u16, a: u16, b: u16) -> Inst {
-        Inst::new(Class::VecAddSub, format!("vpaddq r{d}, r{a}, r{b}"), &[d], &[a, b])
+        Inst::new(
+            Class::VecAddSub,
+            format!("vpaddq r{d}, r{a}, r{b}"),
+            &[d],
+            &[a, b],
+        )
     }
 
     #[test]

@@ -38,13 +38,23 @@ impl Emitter {
 
     fn add(&mut self, a: Reg, b: Reg) -> Reg {
         let d = self.reg();
-        self.push(Class::VecAddSub, format!("vpaddq v{d}, v{a}, v{b}"), &[d], &[a, b]);
+        self.push(
+            Class::VecAddSub,
+            format!("vpaddq v{d}, v{a}, v{b}"),
+            &[d],
+            &[a, b],
+        );
         d
     }
 
     fn sub(&mut self, a: Reg, b: Reg) -> Reg {
         let d = self.reg();
-        self.push(Class::VecAddSub, format!("vpsubq v{d}, v{a}, v{b}"), &[d], &[a, b]);
+        self.push(
+            Class::VecAddSub,
+            format!("vpsubq v{d}, v{a}, v{b}"),
+            &[d],
+            &[a, b],
+        );
         d
     }
 
@@ -83,13 +93,23 @@ impl Emitter {
 
     fn kor(&mut self, a: Reg, b: Reg) -> Reg {
         let d = self.reg();
-        self.push(Class::MaskLogic, format!("korb k{d}, k{a}, k{b}"), &[d], &[a, b]);
+        self.push(
+            Class::MaskLogic,
+            format!("korb k{d}, k{a}, k{b}"),
+            &[d],
+            &[a, b],
+        );
         d
     }
 
     fn kand(&mut self, a: Reg, b: Reg) -> Reg {
         let d = self.reg();
-        self.push(Class::MaskLogic, format!("kandb k{d}, k{a}, k{b}"), &[d], &[a, b]);
+        self.push(
+            Class::MaskLogic,
+            format!("kandb k{d}, k{a}, k{b}"),
+            &[d],
+            &[a, b],
+        );
         d
     }
 
@@ -112,25 +132,45 @@ impl Emitter {
 
     fn shift(&mut self, op: &str, a: Reg, n: u32) -> Reg {
         let d = self.reg();
-        self.push(Class::VecShift, format!("vp{op}q v{d}, v{a}, {n}"), &[d], &[a]);
+        self.push(
+            Class::VecShift,
+            format!("vp{op}q v{d}, v{a}, {n}"),
+            &[d],
+            &[a],
+        );
         d
     }
 
     fn logic(&mut self, op: &str, a: Reg, b: Reg) -> Reg {
         let d = self.reg();
-        self.push(Class::VecLogic, format!("vp{op}q v{d}, v{a}, v{b}"), &[d], &[a, b]);
+        self.push(
+            Class::VecLogic,
+            format!("vp{op}q v{d}, v{a}, v{b}"),
+            &[d],
+            &[a, b],
+        );
         d
     }
 
     fn muludq(&mut self, a: Reg, b: Reg) -> Reg {
         let d = self.reg();
-        self.push(Class::VecMuludq, format!("vpmuludq v{d}, v{a}, v{b}"), &[d], &[a, b]);
+        self.push(
+            Class::VecMuludq,
+            format!("vpmuludq v{d}, v{a}, v{b}"),
+            &[d],
+            &[a, b],
+        );
         d
     }
 
     fn mullq(&mut self, a: Reg, b: Reg) -> Reg {
         let d = self.reg();
-        self.push(Class::VecMullq, format!("vpmullq v{d}, v{a}, v{b}"), &[d], &[a, b]);
+        self.push(
+            Class::VecMullq,
+            format!("vpmullq v{d}, v{a}, v{b}"),
+            &[d],
+            &[a, b],
+        );
         d
     }
 

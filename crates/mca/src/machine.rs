@@ -40,24 +40,80 @@ impl Machine {
         fn lookup(class: Class) -> Descriptor {
             // Port indices: 0:p0 1:p1 2:p2(load) 3:p3(load) 4:p4(store) 5:p5
             match class {
-                Class::VecAddSub => Descriptor { uops: 1, ports: &[0, 5], latency: 1 },
-                Class::VecCmpMask => Descriptor { uops: 1, ports: &[5], latency: 3 },
+                Class::VecAddSub => Descriptor {
+                    uops: 1,
+                    ports: &[0, 5],
+                    latency: 1,
+                },
+                Class::VecCmpMask => Descriptor {
+                    uops: 1,
+                    ports: &[5],
+                    latency: 3,
+                },
                 // ICL vpmullq zmm: 3 µops on p0/p5, ~15 cycles.
-                Class::VecMullq => Descriptor { uops: 3, ports: &[0, 5], latency: 15 },
-                Class::VecMuludq => Descriptor { uops: 1, ports: &[0, 5], latency: 5 },
-                Class::VecShift => Descriptor { uops: 1, ports: &[0, 5], latency: 1 },
-                Class::VecLogic => Descriptor { uops: 1, ports: &[0, 5], latency: 1 },
-                Class::VecBlend => Descriptor { uops: 1, ports: &[0, 5], latency: 1 },
-                Class::VecPermute => Descriptor { uops: 1, ports: &[5], latency: 3 },
-                Class::VecUnpack => Descriptor { uops: 1, ports: &[5], latency: 1 },
-                Class::MaskLogic => Descriptor { uops: 1, ports: &[0], latency: 1 },
-                Class::VecMove => Descriptor { uops: 1, ports: &[0, 1, 5], latency: 1 },
-                Class::VecLoad => Descriptor { uops: 1, ports: &[2, 3], latency: 7 },
+                Class::VecMullq => Descriptor {
+                    uops: 3,
+                    ports: &[0, 5],
+                    latency: 15,
+                },
+                Class::VecMuludq => Descriptor {
+                    uops: 1,
+                    ports: &[0, 5],
+                    latency: 5,
+                },
+                Class::VecShift => Descriptor {
+                    uops: 1,
+                    ports: &[0, 5],
+                    latency: 1,
+                },
+                Class::VecLogic => Descriptor {
+                    uops: 1,
+                    ports: &[0, 5],
+                    latency: 1,
+                },
+                Class::VecBlend => Descriptor {
+                    uops: 1,
+                    ports: &[0, 5],
+                    latency: 1,
+                },
+                Class::VecPermute => Descriptor {
+                    uops: 1,
+                    ports: &[5],
+                    latency: 3,
+                },
+                Class::VecUnpack => Descriptor {
+                    uops: 1,
+                    ports: &[5],
+                    latency: 1,
+                },
+                Class::MaskLogic => Descriptor {
+                    uops: 1,
+                    ports: &[0],
+                    latency: 1,
+                },
+                Class::VecMove => Descriptor {
+                    uops: 1,
+                    ports: &[0, 1, 5],
+                    latency: 1,
+                },
+                Class::VecLoad => Descriptor {
+                    uops: 1,
+                    ports: &[2, 3],
+                    latency: 7,
+                },
                 // MQX via PISA: the proposed adc/sbb inherit the masked
                 // add/sub descriptor; the widening multiply inherits
                 // vpmullq (Table 3).
-                Class::MqxAdcSbb => Descriptor { uops: 1, ports: &[0, 5], latency: 1 },
-                Class::MqxMulWide => Descriptor { uops: 3, ports: &[0, 5], latency: 15 },
+                Class::MqxAdcSbb => Descriptor {
+                    uops: 1,
+                    ports: &[0, 5],
+                    latency: 1,
+                },
+                Class::MqxMulWide => Descriptor {
+                    uops: 3,
+                    ports: &[0, 5],
+                    latency: 15,
+                },
             }
         }
         Machine {
@@ -77,20 +133,76 @@ impl Machine {
         fn lookup(class: Class) -> Descriptor {
             // Port indices: 0:fp0 1:fp1 2:fp2 3:fp3
             match class {
-                Class::VecAddSub => Descriptor { uops: 1, ports: &[0, 1, 2, 3], latency: 1 },
-                Class::VecCmpMask => Descriptor { uops: 1, ports: &[0, 1], latency: 3 },
-                Class::VecMullq => Descriptor { uops: 1, ports: &[0, 3], latency: 3 },
-                Class::VecMuludq => Descriptor { uops: 1, ports: &[0, 3], latency: 3 },
-                Class::VecShift => Descriptor { uops: 1, ports: &[1, 2], latency: 1 },
-                Class::VecLogic => Descriptor { uops: 1, ports: &[0, 1, 2, 3], latency: 1 },
-                Class::VecBlend => Descriptor { uops: 1, ports: &[0, 1, 2, 3], latency: 1 },
-                Class::VecPermute => Descriptor { uops: 1, ports: &[1, 2], latency: 4 },
-                Class::VecUnpack => Descriptor { uops: 1, ports: &[1, 2], latency: 1 },
-                Class::MaskLogic => Descriptor { uops: 1, ports: &[0, 1], latency: 1 },
-                Class::VecMove => Descriptor { uops: 1, ports: &[0, 1, 2, 3], latency: 1 },
-                Class::VecLoad => Descriptor { uops: 1, ports: &[0, 1], latency: 7 },
-                Class::MqxAdcSbb => Descriptor { uops: 1, ports: &[0, 1, 2, 3], latency: 1 },
-                Class::MqxMulWide => Descriptor { uops: 1, ports: &[0, 3], latency: 3 },
+                Class::VecAddSub => Descriptor {
+                    uops: 1,
+                    ports: &[0, 1, 2, 3],
+                    latency: 1,
+                },
+                Class::VecCmpMask => Descriptor {
+                    uops: 1,
+                    ports: &[0, 1],
+                    latency: 3,
+                },
+                Class::VecMullq => Descriptor {
+                    uops: 1,
+                    ports: &[0, 3],
+                    latency: 3,
+                },
+                Class::VecMuludq => Descriptor {
+                    uops: 1,
+                    ports: &[0, 3],
+                    latency: 3,
+                },
+                Class::VecShift => Descriptor {
+                    uops: 1,
+                    ports: &[1, 2],
+                    latency: 1,
+                },
+                Class::VecLogic => Descriptor {
+                    uops: 1,
+                    ports: &[0, 1, 2, 3],
+                    latency: 1,
+                },
+                Class::VecBlend => Descriptor {
+                    uops: 1,
+                    ports: &[0, 1, 2, 3],
+                    latency: 1,
+                },
+                Class::VecPermute => Descriptor {
+                    uops: 1,
+                    ports: &[1, 2],
+                    latency: 4,
+                },
+                Class::VecUnpack => Descriptor {
+                    uops: 1,
+                    ports: &[1, 2],
+                    latency: 1,
+                },
+                Class::MaskLogic => Descriptor {
+                    uops: 1,
+                    ports: &[0, 1],
+                    latency: 1,
+                },
+                Class::VecMove => Descriptor {
+                    uops: 1,
+                    ports: &[0, 1, 2, 3],
+                    latency: 1,
+                },
+                Class::VecLoad => Descriptor {
+                    uops: 1,
+                    ports: &[0, 1],
+                    latency: 7,
+                },
+                Class::MqxAdcSbb => Descriptor {
+                    uops: 1,
+                    ports: &[0, 1, 2, 3],
+                    latency: 1,
+                },
+                Class::MqxMulWide => Descriptor {
+                    uops: 1,
+                    ports: &[0, 3],
+                    latency: 3,
+                },
             }
         }
         Machine {
@@ -146,7 +258,10 @@ mod tests {
             m.descriptor(Class::MqxAdcSbb),
             m.descriptor(Class::VecAddSub)
         );
-        assert_eq!(m.descriptor(Class::MqxMulWide), m.descriptor(Class::VecMullq));
+        assert_eq!(
+            m.descriptor(Class::MqxMulWide),
+            m.descriptor(Class::VecMullq)
+        );
     }
 
     #[test]
@@ -160,10 +275,20 @@ mod tests {
     #[test]
     fn all_classes_have_valid_descriptors() {
         let classes = [
-            Class::VecAddSub, Class::VecCmpMask, Class::VecMullq, Class::VecMuludq,
-            Class::VecShift, Class::VecLogic, Class::VecBlend, Class::VecPermute,
-            Class::VecUnpack, Class::MaskLogic, Class::VecMove, Class::VecLoad,
-            Class::MqxAdcSbb, Class::MqxMulWide,
+            Class::VecAddSub,
+            Class::VecCmpMask,
+            Class::VecMullq,
+            Class::VecMuludq,
+            Class::VecShift,
+            Class::VecLogic,
+            Class::VecBlend,
+            Class::VecPermute,
+            Class::VecUnpack,
+            Class::MaskLogic,
+            Class::VecMove,
+            Class::VecLoad,
+            Class::MqxAdcSbb,
+            Class::MqxMulWide,
         ];
         for m in [Machine::sunny_cove(), Machine::zen4()] {
             for &c in &classes {

@@ -5,7 +5,7 @@
 //! operations without data dependencies, enabling substantial
 //! parallelism" — that is the assumption behind the speed-of-light
 //! scaling. This module makes the assumption testable: a batch of
-//! independent transforms is sharded across scoped threads, so the
+//! independent transforms is sharded across std scoped threads, so the
 //! empirical per-transform throughput at `k` cores can be compared
 //! against the Eq. 13 prediction (`k×`).
 
@@ -20,28 +20,23 @@ use mqx_simd::{ResidueSoa, SimdEngine};
 ///
 /// Panics if `threads == 0` or any buffer's length differs from the
 /// plan size.
-pub fn forward_batch_simd<E: SimdEngine>(
-    plan: &NttPlan,
-    batch: &mut [ResidueSoa],
-    threads: usize,
-) {
+pub fn forward_batch_simd<E: SimdEngine>(plan: &NttPlan, batch: &mut [ResidueSoa], threads: usize) {
     assert!(threads > 0, "at least one thread required");
     for soa in batch.iter() {
         assert_eq!(soa.len(), plan.size(), "batch buffer length mismatch");
     }
     let threads = threads.min(batch.len().max(1));
     let chunk = batch.len().div_ceil(threads);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for shard in batch.chunks_mut(chunk) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut scratch = ResidueSoa::zeros(plan.size());
                 for soa in shard {
                     plan.forward_simd::<E>(soa, &mut scratch);
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 }
 
 /// Scalar-tier equivalent of [`forward_batch_simd`].
@@ -57,16 +52,15 @@ pub fn forward_batch_scalar(plan: &NttPlan, batch: &mut [Vec<u128>], threads: us
     }
     let threads = threads.min(batch.len().max(1));
     let chunk = batch.len().div_ceil(threads);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for shard in batch.chunks_mut(chunk) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for buf in shard {
                     plan.forward_scalar(buf);
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 }
 
 #[cfg(test)]

@@ -70,7 +70,9 @@ mod tests {
     fn idft_inverts_dft() {
         let m = Modulus::new_prime(primes::Q30).unwrap();
         let w = nt::root_of_unity(&m, 16).unwrap();
-        let x: Vec<u128> = (0..16_u64).map(|i| u128::from(i * i + 1) % m.value()).collect();
+        let x: Vec<u128> = (0..16_u64)
+            .map(|i| u128::from(i * i + 1) % m.value())
+            .collect();
         assert_eq!(idft(&dft(&x, w, &m), w, &m), x);
     }
 

@@ -189,13 +189,16 @@ impl NttPlan {
         self.psi.is_some()
     }
 
-    /// ψ powers (`ψ^i`), if negacyclic support is available.
-    pub(crate) fn psi(&self) -> Option<&[u128]> {
+    /// ψ powers (`ψ^i`, `0 ≤ i < n`), if negacyclic support is
+    /// available. Public so that higher layers (the facade `Ring`) can
+    /// run the ψ-twist through vectorized element-wise kernels instead
+    /// of scalar loops.
+    pub fn psi(&self) -> Option<&[u128]> {
         self.psi.as_deref()
     }
 
     /// ψ^{−i} powers, if negacyclic support is available.
-    pub(crate) fn psi_inv(&self) -> Option<&[u128]> {
+    pub fn psi_inv(&self) -> Option<&[u128]> {
         self.psi_inv.as_deref()
     }
 
@@ -386,7 +389,9 @@ mod tests {
     }
 
     fn ramp(n: usize, q: u128) -> Vec<u128> {
-        (0..n as u64).map(|i| (u128::from(i) * 0x9E37 + 17) % q).collect()
+        (0..n as u64)
+            .map(|i| (u128::from(i) * 0x9E37 + 17) % q)
+            .collect()
     }
 
     #[test]

@@ -81,11 +81,7 @@ pub fn polymul_cyclic(plan: &NttPlan, a: &[u128], b: &[u128]) -> Vec<u128> {
 /// # Panics
 ///
 /// Panics if input lengths differ from the plan size.
-pub fn polymul_negacyclic(
-    plan: &NttPlan,
-    a: &[u128],
-    b: &[u128],
-) -> Result<Vec<u128>, NttError> {
+pub fn polymul_negacyclic(plan: &NttPlan, a: &[u128], b: &[u128]) -> Result<Vec<u128>, NttError> {
     assert_eq!(a.len(), plan.size());
     assert_eq!(b.len(), plan.size());
     let (psi, psi_inv) = match (plan.psi(), plan.psi_inv()) {
@@ -97,12 +93,8 @@ pub fn polymul_negacyclic(
         }
     };
     let m = plan.modulus();
-    let twist = |xs: &[u128]| -> Vec<u128> {
-        xs.iter()
-            .zip(psi)
-            .map(|(&x, &p)| m.mul_mod(x, p))
-            .collect()
-    };
+    let twist =
+        |xs: &[u128]| -> Vec<u128> { xs.iter().zip(psi).map(|(&x, &p)| m.mul_mod(x, p)).collect() };
     let mut fa = twist(a);
     let mut fb = twist(b);
     plan.forward_scalar(&mut fa);

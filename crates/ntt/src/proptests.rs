@@ -1,50 +1,64 @@
-//! Property-based tests: transform algebra over random polynomials —
-//! round trips, linearity, the convolution theorem, and cross-dataflow
-//! equality.
+//! Randomized property tests: transform algebra over random polynomials
+//! — round trips, linearity, the convolution theorem, and
+//! cross-dataflow equality. Seeded loops over the offline `rand` shim
+//! stand in for the crates.io `proptest` harness.
 
 use crate::{naive, polymul, NttPlan};
 use mqx_core::{primes, Modulus};
 use mqx_simd::{Portable, ResidueSoa};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CASES: usize = 48;
 
 fn plan_for(q: u128, n: usize) -> NttPlan {
     NttPlan::new(&Modulus::new_prime(q).unwrap(), n).unwrap()
 }
 
-fn arb_poly(q: u128, n: usize) -> impl Strategy<Value = Vec<u128>> {
-    proptest::collection::vec(any::<u128>().prop_map(move |x| x % q), n)
+fn poly(rng: &mut StdRng, q: u128, n: usize) -> Vec<u128> {
+    (0..n).map(|_| rng.gen::<u128>() % q).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn roundtrip_random_polys(xs in arb_poly(primes::Q124, 64)) {
-        let p = plan_for(primes::Q124, 64);
+#[test]
+fn roundtrip_random_polys() {
+    let p = plan_for(primes::Q124, 64);
+    let mut rng = StdRng::seed_from_u64(0xE0);
+    for _ in 0..CASES {
+        let xs = poly(&mut rng, primes::Q124, 64);
         let mut data = xs.clone();
         p.forward_scalar(&mut data);
         p.inverse_scalar(&mut data);
-        prop_assert_eq!(data, xs);
+        assert_eq!(data, xs);
     }
+}
 
-    #[test]
-    fn simd_roundtrip_random_polys(xs in arb_poly(primes::Q120, 128)) {
-        let p = plan_for(primes::Q120, 128);
+#[test]
+fn simd_roundtrip_random_polys() {
+    let p = plan_for(primes::Q120, 128);
+    let mut rng = StdRng::seed_from_u64(0xE1);
+    for _ in 0..CASES {
+        let xs = poly(&mut rng, primes::Q120, 128);
         let mut soa = ResidueSoa::from_u128s(&xs);
         let mut scratch = ResidueSoa::zeros(128);
         p.forward_simd::<Portable>(&mut soa, &mut scratch);
         p.inverse_simd::<Portable>(&mut soa, &mut scratch);
-        prop_assert_eq!(soa.to_u128s(), xs);
+        assert_eq!(soa.to_u128s(), xs);
     }
+}
 
-    #[test]
-    fn transform_is_linear(a in arb_poly(primes::Q30, 32), b in arb_poly(primes::Q30, 32),
-                           c in any::<u128>()) {
-        let p = plan_for(primes::Q30, 32);
-        let m = *p.modulus();
-        let c = c % m.value();
+#[test]
+fn transform_is_linear() {
+    let p = plan_for(primes::Q30, 32);
+    let m = *p.modulus();
+    let mut rng = StdRng::seed_from_u64(0xE2);
+    for _ in 0..CASES {
+        let a = poly(&mut rng, m.value(), 32);
+        let b = poly(&mut rng, m.value(), 32);
+        let c = rng.gen::<u128>() % m.value();
         // NTT(c·a + b) = c·NTT(a) + NTT(b)
-        let combo: Vec<u128> = a.iter().zip(&b)
+        let combo: Vec<u128> = a
+            .iter()
+            .zip(&b)
             .map(|(&x, &y)| m.add_mod(m.mul_mod(c, x), y))
             .collect();
         let mut fa = a.clone();
@@ -54,63 +68,77 @@ proptest! {
         p.forward_scalar(&mut fb);
         p.forward_scalar(&mut fc);
         for i in 0..32 {
-            prop_assert_eq!(fc[i], m.add_mod(m.mul_mod(c, fa[i]), fb[i]), "index {}", i);
+            assert_eq!(fc[i], m.add_mod(m.mul_mod(c, fa[i]), fb[i]), "index {i}");
         }
     }
+}
 
-    #[test]
-    fn convolution_theorem(a in arb_poly(primes::Q124, 32), b in arb_poly(primes::Q124, 32)) {
-        let p = plan_for(primes::Q124, 32);
-        prop_assert_eq!(
+#[test]
+fn convolution_theorem() {
+    let p = plan_for(primes::Q124, 32);
+    let mut rng = StdRng::seed_from_u64(0xE3);
+    for _ in 0..CASES {
+        let a = poly(&mut rng, primes::Q124, 32);
+        let b = poly(&mut rng, primes::Q124, 32);
+        assert_eq!(
             polymul::polymul_cyclic(&p, &a, &b),
             polymul::schoolbook_cyclic(&a, &b, p.modulus())
         );
-    }
-
-    #[test]
-    fn negacyclic_convolution_theorem(a in arb_poly(primes::Q124, 32), b in arb_poly(primes::Q124, 32)) {
-        let p = plan_for(primes::Q124, 32);
-        prop_assert_eq!(
+        assert_eq!(
             polymul::polymul_negacyclic(&p, &a, &b).unwrap(),
             polymul::schoolbook_negacyclic(&a, &b, p.modulus())
         );
     }
+}
 
-    #[test]
-    fn pease_equals_ct_on_random_input(xs in arb_poly(primes::Q62, 64)) {
-        let p = plan_for(primes::Q62, 64);
+#[test]
+fn pease_equals_ct_on_random_input() {
+    let p = plan_for(primes::Q62, 64);
+    let mut rng = StdRng::seed_from_u64(0xE4);
+    for _ in 0..CASES {
+        let xs = poly(&mut rng, primes::Q62, 64);
         let mut ct = xs.clone();
         p.forward_scalar(&mut ct);
-        let mut pease = xs.clone();
+        let mut pease = xs;
         let mut scratch = vec![0_u128; 64];
         p.forward_pease_scalar(&mut pease, &mut scratch);
-        prop_assert_eq!(ct, pease);
+        assert_eq!(ct, pease);
     }
+}
 
-    #[test]
-    fn dft_matches_fast_on_small_random(xs in arb_poly(primes::Q14, 16)) {
-        let p = plan_for(primes::Q14, 16);
+#[test]
+fn dft_matches_fast_on_small_random() {
+    let p = plan_for(primes::Q14, 16);
+    let mut rng = StdRng::seed_from_u64(0xE5);
+    for _ in 0..CASES {
+        let xs = poly(&mut rng, primes::Q14, 16);
         let expected = naive::dft(&xs, p.omega(), p.modulus());
-        let mut got = xs.clone();
+        let mut got = xs;
         p.forward_scalar(&mut got);
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected);
     }
+}
 
-    #[test]
-    fn parseval_like_energy_preserved(xs in arb_poly(primes::Q30, 16)) {
-        // Σ x_i·x_{-i} (circular autocorrelation at 0) equals
-        // n⁻¹·Σ X_k² — a discrete Plancherel identity over ℤ_q.
-        let p = plan_for(primes::Q30, 16);
-        let m = *p.modulus();
+#[test]
+fn parseval_like_energy_preserved() {
+    // Σ x_i·x_{-i} (circular autocorrelation at 0) equals n⁻¹·Σ X_k² — a
+    // discrete Plancherel identity over ℤ_q.
+    let p = plan_for(primes::Q30, 16);
+    let m = *p.modulus();
+    let mut rng = StdRng::seed_from_u64(0xE6);
+    for _ in 0..CASES {
+        let xs = poly(&mut rng, m.value(), 16);
         let mut fx = xs.clone();
         p.forward_scalar(&mut fx);
-        let lhs = xs.iter().fold(0_u128, |acc, &x| m.add_mod(acc, m.mul_mod(x, x)));
+        let lhs = xs
+            .iter()
+            .fold(0_u128, |acc, &x| m.add_mod(acc, m.mul_mod(x, x)));
         let rhs_sum = fx.iter().enumerate().fold(0_u128, |acc, (k, &xk)| {
             // pair X_k with X_{n-k}: Σ x_i² = n⁻¹ Σ X_k X_{(n−k) mod n}
             let mirror = fx[(16 - k) % 16];
             m.add_mod(acc, m.mul_mod(xk, mirror))
         });
         let rhs = m.mul_mod(rhs_sum, p.n_inv());
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs);
     }
 }

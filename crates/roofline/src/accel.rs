@@ -17,16 +17,18 @@
 //! these series is a ratio, so the anchor cancels in the shapes the
 //! reproduction checks.
 
-use serde::Serialize;
+use mqx_json::impl_to_json;
 
 /// One accelerator's (or baseline's) NTT runtime series.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct AccelSeries {
     /// Display name.
     pub name: &'static str,
     /// `(log₂ n, runtime in nanoseconds)` pairs, ascending.
     pub points: Vec<(u32, f64)>,
 }
+
+impl_to_json!(AccelSeries { name, points });
 
 impl AccelSeries {
     /// Runtime at `log₂ n`, if the accelerator supports that size.
@@ -52,7 +54,9 @@ pub const RPU_ANCHOR_NS: f64 = 2_000.0;
 pub fn rpu() -> AccelSeries {
     AccelSeries {
         name: "RPU (ASIC)",
-        points: (10..=14).map(|l| (l, nlogn_scaled(l, 14, RPU_ANCHOR_NS))).collect(),
+        points: (10..=14)
+            .map(|l| (l, nlogn_scaled(l, 14, RPU_ANCHOR_NS)))
+            .collect(),
     }
 }
 
@@ -139,7 +143,10 @@ mod tests {
         let m = moma();
         let o = openfhe_32core();
         for l in 10..=14 {
-            assert!(m.at(l).unwrap() < r.at(l).unwrap(), "GPU ahead of this ASIC series");
+            assert!(
+                m.at(l).unwrap() < r.at(l).unwrap(),
+                "GPU ahead of this ASIC series"
+            );
             assert!(m.at(l).unwrap() < o.at(l).unwrap() / 100.0);
         }
     }
@@ -151,7 +158,8 @@ mod tests {
 
     #[test]
     fn series_serialize() {
-        let json = serde_json::to_string(&rpu()).unwrap();
+        use mqx_json::ToJson;
+        let json = rpu().to_json().compact();
         assert!(json.contains("RPU"));
     }
 }

@@ -1,10 +1,10 @@
 //! CPU specifications: Table 4's benchmarking machines, the §6 SOL
 //! targets, and the RPU paper's baseline host.
 
-use serde::Serialize;
+use mqx_json::impl_to_json;
 
 /// A CPU specification, at the granularity the SOL model consumes.
-#[derive(Clone, Debug, PartialEq, Serialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CpuSpec {
     /// Marketing name.
     pub name: &'static str,
@@ -23,6 +23,17 @@ pub struct CpuSpec {
     /// Whether the part supports AVX-512.
     pub avx512: bool,
 }
+
+impl_to_json!(CpuSpec {
+    name,
+    cores,
+    base_ghz,
+    allcore_boost_ghz,
+    max_boost_ghz,
+    l2_per_core_bytes,
+    l3_bytes,
+    avx512,
+});
 
 const MIB: u64 = 1024 * 1024;
 
@@ -94,7 +105,13 @@ pub static EPYC_7502: CpuSpec = CpuSpec {
 
 /// All specs, for iteration in reports.
 pub fn all() -> [&'static CpuSpec; 5] {
-    [&XEON_8352Y, &EPYC_9654, &XEON_6980P, &EPYC_9965S, &EPYC_7502]
+    [
+        &XEON_8352Y,
+        &EPYC_9654,
+        &XEON_6980P,
+        &EPYC_9965S,
+        &EPYC_7502,
+    ]
 }
 
 #[cfg(test)]
@@ -126,14 +143,19 @@ mod tests {
             assert!(spec.cores >= 1);
             assert!(spec.base_ghz > 0.5 && spec.base_ghz < 6.0, "{}", spec.name);
             assert!(spec.allcore_boost_ghz >= spec.base_ghz, "{}", spec.name);
-            assert!(spec.max_boost_ghz >= spec.allcore_boost_ghz, "{}", spec.name);
+            assert!(
+                spec.max_boost_ghz >= spec.allcore_boost_ghz,
+                "{}",
+                spec.name
+            );
             assert!(spec.l2_per_core_bytes >= 256 * 1024);
         }
     }
 
     #[test]
     fn serializes_for_reports() {
-        let json = serde_json::to_string(&XEON_6980P).unwrap();
+        use mqx_json::ToJson;
+        let json = XEON_6980P.to_json().compact();
         assert!(json.contains("6980P"));
         assert!(json.contains("128"));
     }

@@ -40,10 +40,16 @@ pub use series::{figure7_rows, Figure1Row, Figure7Row, SolSeries};
 /// # Panics
 ///
 /// Panics if `measured_ghz` or `measured_cores` is zero.
-pub fn sol_runtime(t_measured: f64, measured_ghz: f64, measured_cores: u32, target: &CpuSpec) -> f64 {
+pub fn sol_runtime(
+    t_measured: f64,
+    measured_ghz: f64,
+    measured_cores: u32,
+    target: &CpuSpec,
+) -> f64 {
     assert!(measured_ghz > 0.0, "measured frequency must be positive");
     assert!(measured_cores > 0, "measured core count must be positive");
-    t_measured * (f64::from(measured_cores) / f64::from(target.cores))
+    t_measured
+        * (f64::from(measured_cores) / f64::from(target.cores))
         * (measured_ghz / target.allcore_boost_ghz)
 }
 

@@ -4,16 +4,18 @@
 use crate::accel::AccelSeries;
 use crate::cpu::CpuSpec;
 use crate::sol_runtime;
-use serde::{Deserialize, Serialize};
+use mqx_json::impl_to_json;
 
 /// A measured-then-projected runtime series for one kernel tier.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SolSeries {
     /// Tier label (e.g. `"mqx-sol @ EPYC 9965S"`).
     pub name: String,
     /// `(log₂ n, projected runtime ns)` pairs.
     pub points: Vec<(u32, f64)>,
 }
+
+impl_to_json!(SolSeries { name, points });
 
 impl SolSeries {
     /// Projects measured single-core runtimes onto a target CPU via
@@ -38,7 +40,10 @@ impl SolSeries {
 
     /// Runtime at `log₂ n`, if present.
     pub fn at(&self, log_n: u32) -> Option<f64> {
-        self.points.iter().find(|(l, _)| *l == log_n).map(|(_, t)| *t)
+        self.points
+            .iter()
+            .find(|(l, _)| *l == log_n)
+            .map(|(_, t)| *t)
     }
 
     /// Geometric-mean speedup of `self` over an accelerator series,
@@ -61,7 +66,7 @@ impl SolSeries {
 }
 
 /// One row of the Figure 1 summary table.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Figure1Row {
     /// Implementation label.
     pub name: String,
@@ -73,8 +78,15 @@ pub struct Figure1Row {
     pub relative: f64,
 }
 
+impl_to_json!(Figure1Row {
+    name,
+    hardware,
+    runtime_ns,
+    relative,
+});
+
 /// One row of a Figure 7 table: a size and every series' runtime.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Figure7Row {
     /// log₂ of the NTT size.
     pub log_n: u32,
@@ -82,13 +94,11 @@ pub struct Figure7Row {
     pub runtimes: Vec<(String, Option<f64>)>,
 }
 
+impl_to_json!(Figure7Row { log_n, runtimes });
+
 /// Assembles Figure 7 rows from any mix of SOL projections and
 /// accelerator series.
-pub fn figure7_rows(
-    sizes: &[u32],
-    sol: &[&SolSeries],
-    accel: &[&AccelSeries],
-) -> Vec<Figure7Row> {
+pub fn figure7_rows(sizes: &[u32], sol: &[&SolSeries], accel: &[&AccelSeries]) -> Vec<Figure7Row> {
     sizes
         .iter()
         .map(|&l| Figure7Row {
@@ -154,7 +164,11 @@ mod tests {
         assert_eq!(rows[0].runtimes.len(), 3);
         // RPU lacks 2^16.
         let r16 = &rows[2];
-        let rpu_entry = r16.runtimes.iter().find(|(n, _)| n.contains("RPU")).unwrap();
+        let rpu_entry = r16
+            .runtimes
+            .iter()
+            .find(|(n, _)| n.contains("RPU"))
+            .unwrap();
         assert!(rpu_entry.1.is_none());
     }
 

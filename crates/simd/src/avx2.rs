@@ -17,6 +17,19 @@ pub struct Avx2;
 
 impl sealed::Sealed for Avx2 {}
 
+/// Panic-guards the engine's data-entry points (see the identical
+/// guard in the AVX-512 engine): execution on a host without AVX2
+/// fails fast in safe code instead of faulting. Free when the build
+/// enables the feature statically.
+#[inline(always)]
+fn require_avx2() {
+    assert!(
+        crate::avx2_detected(),
+        "mqx_simd::Avx2 executed on a CPU without avx2; \
+         select engines through the runtime backend registry"
+    );
+}
+
 #[inline]
 fn sign_flip(a: __m256i) -> __m256i {
     unsafe { _mm256_xor_si256(a, _mm256_set1_epi64x(i64::MIN)) }
@@ -32,11 +45,13 @@ impl SimdEngine for Avx2 {
 
     #[inline]
     fn splat(x: u64) -> Self::V {
+        require_avx2();
         unsafe { _mm256_set1_epi64x(x as i64) }
     }
 
     #[inline]
     fn load(src: &[u64]) -> Self::V {
+        require_avx2();
         assert!(src.len() >= 4, "avx2 load needs 4 lanes");
         unsafe { _mm256_loadu_si256(src.as_ptr().cast()) }
     }
@@ -211,16 +226,10 @@ mod tests {
     /// engine on the same inputs.
     #[test]
     fn avx2_matches_portable_on_stress_lanes() {
-        let xs8 = [
-            0_u64,
-            1,
-            u64::MAX,
-            0xDEAD_BEEF_CAFE_BABE,
-            0,
-            0,
-            0,
-            0,
-        ];
+        if !crate::avx2_detected() {
+            return; // host cannot execute this engine
+        }
+        let xs8 = [0_u64, 1, u64::MAX, 0xDEAD_BEEF_CAFE_BABE, 0, 0, 0, 0];
         let ys8 = [u64::MAX, 0, u64::MAX, 0x0123_4567_89AB_CDEF, 0, 0, 0, 0];
         let (a2, b2) = (Avx2::load(&xs8), Avx2::load(&ys8));
         let (ap, bp) = (Portable::load(&xs8), Portable::load(&ys8));
@@ -234,7 +243,11 @@ mod tests {
         check(Avx2::add(a2, b2), Portable::add(ap, bp), "add");
         check(Avx2::sub(a2, b2), Portable::sub(ap, bp), "sub");
         check(Avx2::mullo(a2, b2), Portable::mullo(ap, bp), "mullo");
-        check(Avx2::mul32_wide(a2, b2), Portable::mul32_wide(ap, bp), "mul32");
+        check(
+            Avx2::mul32_wide(a2, b2),
+            Portable::mul32_wide(ap, bp),
+            "mul32",
+        );
         check(Avx2::mullo32(a2, b2), Portable::mullo32(ap, bp), "mullo32");
         for n in [0_u32, 5, 32, 63] {
             check(Avx2::shl(a2, n), Portable::shl(ap, n), "shl");
@@ -259,6 +272,9 @@ mod tests {
 
     #[test]
     fn masks_roundtrip_and_blend() {
+        if !crate::avx2_detected() {
+            return; // host cannot execute this engine
+        }
         for bits in [0_u64, 0b0101, 0b1111, 0b1010] {
             assert_eq!(Avx2::mask_to_bits(Avx2::mask_from_bits(bits)), bits);
         }
@@ -274,6 +290,9 @@ mod tests {
 
     #[test]
     fn interleave_is_elementwise() {
+        if !crate::avx2_detected() {
+            return; // host cannot execute this engine
+        }
         let a = Avx2::load(&[0, 1, 2, 3]);
         let b = Avx2::load(&[10, 11, 12, 13]);
         let mut buf = [0_u64; 4];
@@ -285,6 +304,9 @@ mod tests {
 
     #[test]
     fn derived_mul_wide_matches_portable() {
+        if !crate::avx2_detected() {
+            return; // host cannot execute this engine
+        }
         let xs = [u64::MAX, 0xDEAD_BEEF_CAFE_BABE, 1, 0x8000_0000_0000_0001];
         let ys = [u64::MAX, 0x0123_4567_89AB_CDEF, u64::MAX, 2];
         let (hi, lo) = Avx2::mul_wide(Avx2::load(&xs), Avx2::load(&ys));

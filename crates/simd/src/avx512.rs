@@ -1,7 +1,12 @@
 //! The AVX-512 engine: eight 64-bit lanes in `__m512i` vectors with real
 //! `__mmask8` mask registers — the paper's best natively-available tier
-//! (§3.2). Compiled only when the build target enables `avx512f` and
-//! `avx512dq` (the workspace builds with `-C target-cpu=native`).
+//! (§3.2).
+//!
+//! Compiled into every x86-64 build so that the `mqx` facade can select
+//! it at **runtime**; callers must check [`crate::avx512_detected`]
+//! before executing any of its operations (the backend registry does).
+//! Building with `-C target-cpu=native` on an AVX-512 host additionally
+//! lets the intrinsics inline into the kernels.
 
 #![allow(unsafe_code)]
 
@@ -14,6 +19,23 @@ pub struct Avx512;
 
 impl sealed::Sealed for Avx512 {}
 
+/// Panic-guards the engine's data-entry points: every kernel
+/// materializes its vectors through `splat`/`load`, so checking here
+/// turns execution on an unsupported host into a deterministic panic
+/// instead of an illegal-instruction fault from safe code. The check
+/// constant-folds to nothing when the build already enables the
+/// features (`is_x86_feature_detected!` short-circuits at compile
+/// time), and costs one cached atomic load otherwise — noise next to
+/// the out-of-line intrinsic calls such builds already make.
+#[inline(always)]
+fn require_avx512() {
+    assert!(
+        crate::avx512_detected(),
+        "mqx_simd::Avx512 executed on a CPU without avx512f+avx512dq; \
+         select engines through the runtime backend registry"
+    );
+}
+
 impl SimdEngine for Avx512 {
     const LANES: usize = 8;
     const NAME: &'static str = "avx512";
@@ -23,11 +45,13 @@ impl SimdEngine for Avx512 {
 
     #[inline]
     fn splat(x: u64) -> Self::V {
+        require_avx512();
         unsafe { _mm512_set1_epi64(x as i64) }
     }
 
     #[inline]
     fn load(src: &[u64]) -> Self::V {
+        require_avx512();
         assert!(src.len() >= 8, "avx512 load needs 8 lanes");
         unsafe { _mm512_loadu_si512(src.as_ptr().cast()) }
     }
@@ -184,6 +208,9 @@ mod tests {
     /// trust `Avx512` blindly.
     #[test]
     fn avx512_matches_portable_on_stress_lanes() {
+        if !crate::avx512_detected() {
+            return; // host cannot execute this engine
+        }
         let xs = [
             0_u64,
             1,
@@ -221,7 +248,11 @@ mod tests {
             Portable::mul32_wide(ap, bp),
             "mul32_wide",
         );
-        check(Avx512::mullo32(av, bv), Portable::mullo32(ap, bp), "mullo32");
+        check(
+            Avx512::mullo32(av, bv),
+            Portable::mullo32(ap, bp),
+            "mullo32",
+        );
         check(Avx512::and(av, bv), Portable::and(ap, bp), "and");
         check(Avx512::or(av, bv), Portable::or(ap, bp), "or");
         check(Avx512::xor(av, bv), Portable::xor(ap, bp), "xor");
@@ -278,6 +309,9 @@ mod tests {
 
     #[test]
     fn derived_ops_match_portable() {
+        if !crate::avx512_detected() {
+            return; // host cannot execute this engine
+        }
         let xs = [0_u64, 1, u64::MAX, 7, 1 << 40, u64::MAX - 1, 3, 99];
         let ys = [5_u64, u64::MAX, u64::MAX, 7, 1 << 41, 1, 4, 98];
         let (av, bv) = (Avx512::load(&xs), Avx512::load(&ys));
@@ -296,13 +330,21 @@ mod tests {
             let (sp, cp) = Portable::adc(ap, bp, Portable::mask_from_bits(bits));
             Avx512::store(s5, &mut buf);
             assert_eq!(buf, sp, "adc sum");
-            assert_eq!(Avx512::mask_to_bits(c5), Portable::mask_to_bits(cp), "adc carry");
+            assert_eq!(
+                Avx512::mask_to_bits(c5),
+                Portable::mask_to_bits(cp),
+                "adc carry"
+            );
 
             let (d5, b5) = Avx512::sbb(av, bv, Avx512::mask_from_bits(bits));
             let (dp, bbp) = Portable::sbb(ap, bp, Portable::mask_from_bits(bits));
             Avx512::store(d5, &mut buf);
             assert_eq!(buf, dp, "sbb diff");
-            assert_eq!(Avx512::mask_to_bits(b5), Portable::mask_to_bits(bbp), "sbb borrow");
+            assert_eq!(
+                Avx512::mask_to_bits(b5),
+                Portable::mask_to_bits(bbp),
+                "sbb borrow"
+            );
         }
     }
 }

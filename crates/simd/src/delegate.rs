@@ -145,4 +145,6 @@ macro_rules! delegate_perm {
     };
 }
 
-pub(crate) use {delegate_arith, delegate_cmp, delegate_data, delegate_masks, delegate_perm, delegate_select};
+pub(crate) use {
+    delegate_arith, delegate_cmp, delegate_data, delegate_masks, delegate_perm, delegate_select,
+};

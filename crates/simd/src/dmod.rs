@@ -371,10 +371,7 @@ fn barrett_reduce<E: SimdEngine>(x: [E::V; 4], m: &VModulus<E>) -> VDword<E> {
 
     // ---- c = x − t·q on the low 128 bits (c < 2q < 2^125).
     let (tq0h, tq0l) = E::mul_wide(tl, m.q.lo);
-    let tq1 = E::add(
-        E::add(tq0h, E::mullo(tl, m.q.hi)),
-        E::mullo(th, m.q.lo),
-    );
+    let tq1 = E::add(E::add(tq0h, E::mullo(tl, m.q.hi)), E::mullo(th, m.q.lo));
     let (c0, bor) = E::sbb0(x[0], tq0l);
     let (c1, _) = E::sbb(x[1], tq1, bor);
 
@@ -413,11 +410,7 @@ pub fn mulmod<E: SimdEngine>(a: VDword<E>, b: VDword<E>, m: &VModulus<E>) -> VDw
 /// Vectorized modular multiplication with the schoolbook product
 /// (Eq. 8): four widening multiplies.
 #[inline]
-pub fn mulmod_schoolbook<E: SimdEngine>(
-    a: VDword<E>,
-    b: VDword<E>,
-    m: &VModulus<E>,
-) -> VDword<E> {
+pub fn mulmod_schoolbook<E: SimdEngine>(a: VDword<E>, b: VDword<E>, m: &VModulus<E>) -> VDword<E> {
     barrett_reduce::<E>(mul_256_schoolbook::<E>(a, b), m)
 }
 
@@ -441,8 +434,8 @@ mod tests {
     }
 
     fn check_all_lanes(got: VDword<P>, expected: &[u128]) {
-        for i in 0..8 {
-            assert_eq!(got.extract(i), expected[i], "lane {i}");
+        for (i, &want) in expected.iter().enumerate() {
+            assert_eq!(got.extract(i), want, "lane {i}");
         }
     }
 
@@ -451,14 +444,18 @@ mod tests {
         let mut b = Vec::new();
         let mut state: u128 = 0x9E37_79B9_7F4A_7C15_F39C_0C9E_4CF5_0A11;
         for i in 0..8 {
-            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
             a.push(match i {
                 0 => 0,
                 1 => q - 1,
                 2 => q / 2,
                 _ => state % q,
             });
-            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
             b.push(match i {
                 0 => 0,
                 1 => q - 1,
@@ -475,8 +472,7 @@ mod tests {
             let m = vmod(q);
             let (a, b) = test_vectors(q);
             let got = addmod(VDword::<P>::from_u128s(&a), VDword::<P>::from_u128s(&b), &m);
-            let expected: Vec<u128> =
-                (0..8).map(|i| m.scalar.add_mod(a[i], b[i])).collect();
+            let expected: Vec<u128> = (0..8).map(|i| m.scalar.add_mod(a[i], b[i])).collect();
             check_all_lanes(got, &expected);
         }
     }
@@ -487,8 +483,7 @@ mod tests {
             let m = vmod(q);
             let (a, b) = test_vectors(q);
             let got = submod(VDword::<P>::from_u128s(&a), VDword::<P>::from_u128s(&b), &m);
-            let expected: Vec<u128> =
-                (0..8).map(|i| m.scalar.sub_mod(a[i], b[i])).collect();
+            let expected: Vec<u128> = (0..8).map(|i| m.scalar.sub_mod(a[i], b[i])).collect();
             check_all_lanes(got, &expected);
         }
     }
@@ -500,8 +495,7 @@ mod tests {
             let (a, b) = test_vectors(q);
             let av = VDword::<P>::from_u128s(&a);
             let bv = VDword::<P>::from_u128s(&b);
-            let expected: Vec<u128> =
-                (0..8).map(|i| m.scalar.mul_mod(a[i], b[i])).collect();
+            let expected: Vec<u128> = (0..8).map(|i| m.scalar.mul_mod(a[i], b[i])).collect();
             check_all_lanes(mulmod(av, bv, &m), &expected);
             check_all_lanes(mulmod_karatsuba(av, bv, &m), &expected);
         }

@@ -273,8 +273,26 @@ mod tests {
 
     #[test]
     fn default_mul_wide_matches_scalar_reference() {
-        let a = v([0, 1, u64::MAX, 0xDEAD_BEEF_CAFE_BABE, 1 << 63, 3, 0xFFFF_FFFF, 42]);
-        let b = v([7, u64::MAX, u64::MAX, 0x0123_4567_89AB_CDEF, 2, 3, 0x1_0000_0001 as u64, 0]);
+        let a = v([
+            0,
+            1,
+            u64::MAX,
+            0xDEAD_BEEF_CAFE_BABE,
+            1 << 63,
+            3,
+            0xFFFF_FFFF,
+            42,
+        ]);
+        let b = v([
+            7,
+            u64::MAX,
+            u64::MAX,
+            0x0123_4567_89AB_CDEF,
+            2,
+            3,
+            0x1_0000_0001_u64,
+            0,
+        ]);
         let (hi, lo) = P::mul_wide(a, b);
         for i in 0..8 {
             let (eh, el) = word::mul_wide(P::extract(a, i), P::extract(b, i));
@@ -345,6 +363,9 @@ mod tests {
     fn cmp_gt_is_flipped_lt() {
         let a = v([3, 5, 5, u64::MAX, 0, 9, 2, 8]);
         let b = v([5, 3, 5, 0, u64::MAX, 9, 2, 7]);
-        assert_eq!(P::mask_to_bits(P::cmp_gt(a, b)), P::mask_to_bits(P::cmp_lt(b, a)));
+        assert_eq!(
+            P::mask_to_bits(P::cmp_gt(a, b)),
+            P::mask_to_bits(P::cmp_lt(b, a))
+        );
     }
 }

@@ -15,9 +15,25 @@
 //! | Engine | Lanes | Availability | Paper tier |
 //! |---|---|---|---|
 //! | [`Portable`] | 8 | always | correctness anchor / scalar emulation |
-//! | [`Avx2`] | 4 | `target_feature = "avx2"` | AVX2 |
-//! | [`Avx512`] | 8 | `target_feature = "avx512f", "avx512dq"` | AVX-512 |
+//! | [`Avx2`] | 4 | x86-64 build + [`avx2_detected`] at runtime | AVX2 |
+//! | [`Avx512`] | 8 | x86-64 build + [`avx512_detected`] at runtime | AVX-512 |
 //! | [`Mqx<E, P>`] | as `E` | as `E` | MQX (Figure 6 profiles) |
+//!
+//! # Compile-time vs runtime availability
+//!
+//! The hardware engines are **compiled** into every x86-64 build — their
+//! bodies are `#[target_feature]`-style intrinsics that the CPU validates
+//! at execution time, not at load time — and must only be **executed**
+//! after the matching [`avx2_detected`] / [`avx512_detected`] runtime
+//! check passes. The `mqx` facade's backend registry performs that check
+//! and is the supported way to reach these engines. As a safety net the
+//! engines also guard their own data-entry operations (`splat`/`load`)
+//! with the same detection check — free in natively-compiled builds —
+//! so running one on an unsupported host panics deterministically
+//! instead of faulting.
+//! Building with `RUSTFLAGS="-C target-cpu=native"` additionally lets the
+//! compiler inline the intrinsics into the kernels for peak throughput;
+//! [`tier_summary`] reports both axes.
 //!
 //! # MQX modes
 //!
@@ -62,31 +78,23 @@ mod soa;
 #[cfg(test)]
 mod proptests;
 
-#[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+#[cfg(target_arch = "x86_64")]
 mod avx2;
-#[cfg(all(
-    target_arch = "x86_64",
-    target_feature = "avx512f",
-    target_feature = "avx512dq"
-))]
+#[cfg(target_arch = "x86_64")]
 mod avx512;
 
 pub use dmod::{
-    addmod, addmod_listing3_faithful, mulmod, mulmod_karatsuba, mulmod_schoolbook, submod,
-    VDword, VModulus,
+    addmod, addmod_listing3_faithful, mulmod, mulmod_karatsuba, mulmod_schoolbook, submod, VDword,
+    VModulus,
 };
 pub use engine::SimdEngine;
 pub use mqx::Mqx;
 pub use portable::Portable;
 pub use soa::ResidueSoa;
 
-#[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+#[cfg(target_arch = "x86_64")]
 pub use avx2::Avx2;
-#[cfg(all(
-    target_arch = "x86_64",
-    target_feature = "avx512f",
-    target_feature = "avx512dq"
-))]
+#[cfg(target_arch = "x86_64")]
 pub use avx512::Avx512;
 
 /// Convenient aliases for the headline MQX configurations.
@@ -94,27 +102,21 @@ pub mod tiers {
     use super::*;
 
     /// The full MQX extension (+M,C) in functional (bit-exact) mode.
-    #[cfg(all(
-        target_arch = "x86_64",
-        target_feature = "avx512f",
-        target_feature = "avx512dq"
-    ))]
+    #[cfg(target_arch = "x86_64")]
     pub type MqxFunctional = Mqx<Avx512, profiles::McFunctional>;
     /// The full MQX extension (+M,C) in PISA (performance-projection) mode.
-    #[cfg(all(
-        target_arch = "x86_64",
-        target_feature = "avx512f",
-        target_feature = "avx512dq"
-    ))]
+    #[cfg(target_arch = "x86_64")]
     pub type MqxPisa = Mqx<Avx512, profiles::McPisa>;
 
     /// Functional MQX on the portable engine (for hosts without AVX-512).
     pub type MqxPortableFunctional = Mqx<Portable, profiles::McFunctional>;
 }
 
-/// Returns `true` when this build includes the AVX-512 engine (the
-/// workspace compiles with `-C target-cpu=native`, so this reflects the
-/// build host).
+/// Returns `true` when this build was *compiled with* the AVX-512 target
+/// features enabled (e.g. via `-C target-cpu=native` on an AVX-512
+/// host), which lets the compiler inline the AVX-512 intrinsics into the
+/// kernels. The engine itself is compiled into every x86-64 build; see
+/// [`avx512_detected`] for whether this machine can execute it.
 pub const fn avx512_compiled() -> bool {
     cfg!(all(
         target_arch = "x86_64",
@@ -123,17 +125,88 @@ pub const fn avx512_compiled() -> bool {
     ))
 }
 
-/// Returns `true` when this build includes the AVX2 engine.
+/// Returns `true` when this build was compiled with the AVX2 target
+/// feature enabled. See [`avx2_detected`] for the runtime axis.
 pub const fn avx2_compiled() -> bool {
     cfg!(all(target_arch = "x86_64", target_feature = "avx2"))
 }
 
-/// One-line description of the vector tiers available in this build, for
-/// benchmark reports.
+/// Returns `true` when the running CPU supports the AVX-512 subset the
+/// [`Avx512`] engine needs (`avx512f` + `avx512dq`), regardless of the
+/// flags this binary was compiled with.
+#[inline]
+pub fn avx512_detected() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512dq")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Returns `true` when the running CPU supports AVX2.
+#[inline]
+pub fn avx2_detected() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// One-line description of the vector tiers, for benchmark reports.
+///
+/// Distinguishes the two failure modes a missing tier can have:
+/// *not compiled* (the binary was built without `-C target-cpu=native`,
+/// so the intrinsics cannot be inlined — the tier still runs, just
+/// slower) versus *not detected* (this CPU cannot execute the tier at
+/// all, and the backend registry will not offer it).
 pub fn tier_summary() -> String {
+    let axis = |compiled: bool, detected: bool| {
+        format!(
+            "compiled:{}/detected:{}",
+            if compiled { "yes" } else { "no" },
+            if detected { "yes" } else { "no" },
+        )
+    };
     format!(
         "portable=yes avx2={} avx512={}",
-        if avx2_compiled() { "yes" } else { "no" },
-        if avx512_compiled() { "yes" } else { "no" },
+        axis(avx2_compiled(), avx2_detected()),
+        axis(avx512_compiled(), avx512_detected()),
     )
+}
+
+#[cfg(test)]
+mod feature_tests {
+    use super::*;
+
+    #[test]
+    fn summary_reports_both_axes_for_both_tiers() {
+        let s = tier_summary();
+        assert!(s.starts_with("portable=yes"), "{s}");
+        for tier in ["avx2=", "avx512="] {
+            let rest = s.split(tier).nth(1).expect(tier);
+            assert!(rest.starts_with("compiled:"), "{s}");
+            assert!(rest.contains("/detected:"), "{s}");
+        }
+    }
+
+    #[test]
+    fn compiled_implies_detected_on_this_host() {
+        // A binary compiled with the features enabled is necessarily
+        // running on a host that has them (it would have trapped long
+        // before reaching this test otherwise).
+        if avx512_compiled() {
+            assert!(avx512_detected());
+        }
+        if avx2_compiled() {
+            assert!(avx2_detected());
+        }
+    }
 }

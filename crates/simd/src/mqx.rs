@@ -44,11 +44,7 @@ impl<E: SimdEngine, P: MqxProfile> sealed::Sealed for Mqx<E, P> {}
 /// Applies an exact two-output word function lane-by-lane (the Table 2
 /// emulation loop).
 #[inline]
-fn lanewise2<E: SimdEngine>(
-    a: E::V,
-    b: E::V,
-    f: impl Fn(u64, u64) -> (u64, u64),
-) -> (E::V, E::V) {
+fn lanewise2<E: SimdEngine>(a: E::V, b: E::V, f: impl Fn(u64, u64) -> (u64, u64)) -> (E::V, E::V) {
     let mut ab = [0_u64; 8];
     let mut bb = [0_u64; 8];
     E::store(a, &mut ab);
@@ -307,6 +303,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // the consts ARE the contract
     fn predicated_profile_advertises_capability() {
         assert!(McpF::HAS_PREDICATION);
         assert!(!McF::HAS_PREDICATION);

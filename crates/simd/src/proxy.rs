@@ -176,7 +176,11 @@ mod tests {
         );
         // The low 32 bits of each partial agree (mullo32 keeps them), so
         // the very low bits can match, but the full product must not.
-        assert_ne!((hi_t, lo_t), (hi_p, lo_p), "proxy must be a different computation");
+        assert_ne!(
+            (hi_t, lo_t),
+            (hi_p, lo_p),
+            "proxy must be a different computation"
+        );
     }
 
     #[test]
@@ -185,13 +189,27 @@ mod tests {
         let a = [10_u64; 8];
         let b = [20_u64; 8];
         let m = Portable::mask_from_bits(0b0000_1111);
-        let got = ProxyMaskAdd::<Portable>::mask_add(src, m, Portable::load(&a), Portable::load(&b));
+        let got =
+            ProxyMaskAdd::<Portable>::mask_add(src, m, Portable::load(&a), Portable::load(&b));
         // Real mask_add would keep src in the unset lanes; the proxy adds
         // everywhere (wrong by design).
         assert_eq!(got, [30; 8]);
         // And the untouched op still behaves normally.
-        let real = ProxyMaskAdd::<Portable>::mask_sub(src, m, Portable::load(&a), Portable::load(&b));
-        assert_eq!(real, [u64::MAX - 9, u64::MAX - 9, u64::MAX - 9, u64::MAX - 9, 1, 1, 1, 1]);
+        let real =
+            ProxyMaskAdd::<Portable>::mask_sub(src, m, Portable::load(&a), Portable::load(&b));
+        assert_eq!(
+            real,
+            [
+                u64::MAX - 9,
+                u64::MAX - 9,
+                u64::MAX - 9,
+                u64::MAX - 9,
+                1,
+                1,
+                1,
+                1
+            ]
+        );
     }
 
     #[test]
@@ -200,7 +218,8 @@ mod tests {
         let a = [10_u64; 8];
         let b = [4_u64; 8];
         let m = Portable::mask_zero();
-        let got = ProxyMaskSub::<Portable>::mask_sub(src, m, Portable::load(&a), Portable::load(&b));
+        let got =
+            ProxyMaskSub::<Portable>::mask_sub(src, m, Portable::load(&a), Portable::load(&b));
         assert_eq!(got, [6; 8]); // subtracts everywhere despite empty mask
     }
 }

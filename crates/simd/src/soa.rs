@@ -45,6 +45,29 @@ impl ResidueSoa {
         }
     }
 
+    /// Overwrites the container from scalar residues, reusing the
+    /// existing allocation when `xs.len() <= self.capacity()` — the
+    /// zero-allocation ingest path for reusable ring buffers.
+    pub fn copy_from_u128s(&mut self, xs: &[u128]) {
+        self.hi.clear();
+        self.lo.clear();
+        self.hi.extend(xs.iter().map(|&x| (x >> 64) as u64));
+        self.lo.extend(xs.iter().map(|&x| x as u64));
+    }
+
+    /// Writes the residues into `out`, which must have the same length —
+    /// the allocation-free counterpart of [`ResidueSoa::to_u128s`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.len()`.
+    pub fn write_u128s(&self, out: &mut [u128]) {
+        assert_eq!(out.len(), self.len(), "output length must match");
+        for (slot, (&h, &l)) in out.iter_mut().zip(self.hi.iter().zip(&self.lo)) {
+            *slot = (u128::from(h) << 64) | u128::from(l);
+        }
+    }
+
     /// Converts back to scalar residues.
     pub fn to_u128s(&self) -> Vec<u128> {
         self.hi
@@ -120,7 +143,11 @@ impl ResidueSoa {
     pub fn assert_reduced<E: SimdEngine>(&self, m: &VModulus<E>) {
         let q = m.scalar.value();
         for i in 0..self.len() {
-            assert!(self.get(i) < q, "residue {i} = {:#x} not reduced", self.get(i));
+            assert!(
+                self.get(i) < q,
+                "residue {i} = {:#x} not reduced",
+                self.get(i)
+            );
         }
     }
 }
@@ -152,7 +179,9 @@ mod tests {
 
     #[test]
     fn roundtrip_and_indexing() {
-        let xs: Vec<u128> = (0..20_u64).map(|i| (u128::from(i) << 64) | u128::from(i * 7)).collect();
+        let xs: Vec<u128> = (0..20_u64)
+            .map(|i| (u128::from(i) << 64) | u128::from(i * 7))
+            .collect();
         let mut soa = ResidueSoa::from_u128s(&xs);
         assert_eq!(soa.len(), 20);
         assert!(!soa.is_empty());

@@ -1,0 +1,212 @@
+//! Offline stand-in for the slice of the crates.io `rand` API used by
+//! this workspace.
+//!
+//! The build environment has no access to a crate registry, so the real
+//! `rand` crate cannot be fetched. Workspace code only needs seeded,
+//! reproducible test/workload generation: the [`Rng`] trait with
+//! [`Rng::gen`], [`SeedableRng::seed_from_u64`], [`rngs::StdRng`], and
+//! [`thread_rng`]. This crate provides exactly that surface over a
+//! xoshiro256++ generator, so call sites compile unchanged against
+//! either this shim or the real crate.
+//!
+//! Not cryptographically secure; not statistically audited. Do not use
+//! outside tests and benchmark workload generation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Types that can be sampled uniformly from raw generator output.
+///
+/// The equivalent of `rand::distributions::Standard` sampling, collapsed
+/// to one trait so that `rng.gen::<T>()` works for the primitive types
+/// the workspace draws.
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value from `rng`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_uint {
+    ($($t:ty),+) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+
+impl_standard_uint!(u8, u16, u32, u64, usize);
+
+impl Standard for u128 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// A source of random 64-bit words plus the `gen` convenience method.
+pub trait Rng {
+    /// Returns the next raw 64-bit output of the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws one uniformly distributed value of type `T`.
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from `0..bound` (`bound > 0`) by the
+    /// widening-multiply method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    #[inline]
+    fn gen_range_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range_u64 bound must be positive");
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Generators that can be constructed from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ seeded through
+    /// SplitMix64 (the reference seeding procedure).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Returns a generator seeded from the wall clock — the shim equivalent
+/// of `rand::thread_rng()` for doc examples and ad-hoc use. Unlike the
+/// real crate it is freshly seeded per call, not thread-cached.
+pub fn thread_rng() -> rngs::StdRng {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x5EED);
+    rngs::StdRng::seed_from_u64(nanos ^ 0xA076_1D64_78BD_642F)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "{same} collisions in 64 draws");
+    }
+
+    #[test]
+    fn gen_covers_used_types() {
+        let mut r = StdRng::seed_from_u64(7);
+        let _: u64 = r.gen();
+        let _: u128 = r.gen();
+        let _: u32 = r.gen();
+        let _: bool = r.gen();
+        // u128 draws use both halves.
+        let x: u128 = r.gen();
+        let y: u128 = r.gen();
+        assert_ne!(x >> 64, x & u128::from(u64::MAX));
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn gen_range_respects_bound() {
+        let mut r = StdRng::seed_from_u64(9);
+        for bound in [1_u64, 2, 7, 1000] {
+            for _ in 0..50 {
+                assert!(r.gen_range_u64(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_works_through_generic_unsized_bounds() {
+        // The same shape `BigUint::random_bits` uses: R: Rng + ?Sized.
+        fn draw<R: super::Rng + ?Sized>(rng: &mut R) -> u64 {
+            rng.gen()
+        }
+        let mut r = StdRng::seed_from_u64(3);
+        assert_ne!(draw(&mut r), draw(&mut r));
+    }
+}

@@ -1,5 +1,6 @@
 //! An FHE-flavoured workload: the polynomial arithmetic inside one
-//! RLWE-style "ciphertext multiplication", end to end, across tiers.
+//! RLWE-style "ciphertext multiplication", end to end, on the ring's
+//! runtime-selected vector tier.
 //!
 //! FHE schemes represent ciphertexts as pairs of polynomials in
 //! ℤ_q[x]/(xⁿ+1). Multiplying ciphertexts costs four negacyclic
@@ -11,9 +12,9 @@
 //! cargo run --release --example fhe_polymul
 //! ```
 
-use mqx::blas::scalar as blas;
-use mqx::core::{primes, Modulus};
-use mqx::ntt::{polymul, NttPlan};
+use mqx::core::primes;
+use mqx::simd::ResidueSoa;
+use mqx::Ring;
 use std::time::Instant;
 
 /// A toy RLWE "ciphertext": two polynomials (c0, c1).
@@ -35,55 +36,69 @@ fn random_poly(n: usize, q: u128, seed: &mut u64) -> Vec<u128> {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 4096;
-    let m = Modulus::new_prime(primes::Q124)?;
-    let plan = NttPlan::new(&m, n)?;
-    assert!(plan.supports_negacyclic());
+    let mut ring = Ring::auto(primes::Q124, n)?;
+    assert!(ring.supports_negacyclic());
+    println!(
+        "ring: n = {n}, q = {} bits, backend = {}",
+        ring.modulus().bits(),
+        ring.backend().name()
+    );
+    let q = ring.modulus().value();
     let mut seed = 0x5EED_CAFE_u64;
 
     let ct_a = Ciphertext {
-        c0: random_poly(n, m.value(), &mut seed),
-        c1: random_poly(n, m.value(), &mut seed),
+        c0: random_poly(n, q, &mut seed),
+        c1: random_poly(n, q, &mut seed),
     };
     let ct_b = Ciphertext {
-        c0: random_poly(n, m.value(), &mut seed),
-        c1: random_poly(n, m.value(), &mut seed),
+        c0: random_poly(n, q, &mut seed),
+        c1: random_poly(n, q, &mut seed),
     };
 
     // Tensor product of two degree-1 ciphertexts: (d0, d1, d2) =
     // (a0·b0, a0·b1 + a1·b0, a1·b1) — four negacyclic products and one
-    // vector addition, all in the ring.
+    // vector addition, all in the ring's vector tier.
     let t0 = Instant::now();
-    let d0 = polymul::polymul_negacyclic(&plan, &ct_a.c0, &ct_b.c0)?;
-    let a0b1 = polymul::polymul_negacyclic(&plan, &ct_a.c0, &ct_b.c1)?;
-    let a1b0 = polymul::polymul_negacyclic(&plan, &ct_a.c1, &ct_b.c0)?;
-    let d1 = blas::vadd(&a0b1, &a1b0, &m);
-    let d2 = polymul::polymul_negacyclic(&plan, &ct_a.c1, &ct_b.c1)?;
+    let d0 = ring.polymul_negacyclic(&ct_a.c0, &ct_b.c0)?;
+    let a0b1 = ring.polymul_negacyclic(&ct_a.c0, &ct_b.c1)?;
+    let a1b0 = ring.polymul_negacyclic(&ct_a.c1, &ct_b.c0)?;
+    let mut d1 = ResidueSoa::zeros(n);
+    ring.vadd(
+        &ResidueSoa::from_u128s(&a0b1),
+        &ResidueSoa::from_u128s(&a1b0),
+        &mut d1,
+    );
+    let d2 = ring.polymul_negacyclic(&ct_a.c1, &ct_b.c1)?;
     let elapsed = t0.elapsed();
 
     println!("ciphertext tensor at n = {n} over the 124-bit field: {elapsed:?}");
     println!("  d0[0..4] = {:?}", &d0[..4.min(d0.len())]);
-    println!("  d1[0..4] = {:?}", &d1[..4]);
+    println!("  d1[0..4] = {:?}", &d1.to_u128s()[..4]);
     println!("  d2[0..4] = {:?}", &d2[..4]);
 
     // Cross-check one product against the O(n²) schoolbook on a smaller
     // instance (the full size would take a while quadratically).
     let small = 256;
-    let small_plan = NttPlan::new(&m, small)?;
+    let mut small_ring = Ring::auto(primes::Q124, small)?;
     let f = &ct_a.c0[..small].to_vec();
     let g = &ct_b.c0[..small].to_vec();
-    let fast = polymul::polymul_negacyclic(&small_plan, f, g)?;
-    let slow = polymul::schoolbook_negacyclic(f, g, &m);
+    let fast = small_ring.polymul_negacyclic(f, g)?;
+    let slow = mqx::ntt::polymul::schoolbook_negacyclic(f, g, ring.modulus());
     assert_eq!(fast, slow);
     println!("\nNTT product ≡ schoolbook product at n = {small}: ok");
 
     // The point-wise (evaluation-domain) view: an FHE runtime keeps
     // operands in NTT form and uses BLAS kernels between transforms.
-    let mut eval_a = ct_a.c0.clone();
-    let mut eval_b = ct_b.c0.clone();
-    plan.forward_scalar(&mut eval_a);
-    plan.forward_scalar(&mut eval_b);
-    let eval_prod = blas::vmul(&eval_a, &eval_b, &m);
-    println!("evaluation-domain point-wise product: {} coefficients", eval_prod.len());
+    let mut eval_a = ResidueSoa::from_u128s(&ct_a.c0);
+    let mut eval_b = ResidueSoa::from_u128s(&ct_b.c0);
+    ring.forward(&mut eval_a)?;
+    ring.forward(&mut eval_b)?;
+    let mut eval_prod = ResidueSoa::zeros(n);
+    ring.vmul(&eval_a, &eval_b, &mut eval_prod);
+    println!(
+        "evaluation-domain point-wise product: {} coefficients",
+        eval_prod.len()
+    );
 
     Ok(())
 }

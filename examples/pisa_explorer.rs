@@ -1,54 +1,68 @@
 //! PISA explorer: see the MQX functional-correctness flag (§4.2) in
-//! action, then inspect how the instruction streams schedule on the
-//! simplified machine models.
+//! action through the backend registry, then inspect how the
+//! instruction streams schedule on the simplified machine models.
 //!
 //! ```sh
 //! cargo run --release --example pisa_explorer
 //! ```
 
+use mqx::backend;
 use mqx::core::{primes, Modulus};
 use mqx::mca::{analyze, kernels, Machine};
-use mqx::simd::{addmod, mulmod, profiles, Mqx, Portable, VDword, VModulus};
+use mqx::simd::ResidueSoa;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let m = Modulus::new_prime(primes::Q124)?;
     let q = m.value();
 
     // The same eight lanes of work for every engine.
-    let a: Vec<u128> = (1..=8_u64).map(|i| (q / 3).wrapping_mul(u128::from(i)) % q).collect();
-    let b: Vec<u128> = (1..=8_u64).map(|i| (q / 7).wrapping_mul(u128::from(i)) % q).collect();
+    let a: Vec<u128> = (1..=8_u64)
+        .map(|i| (q / 3).wrapping_mul(u128::from(i)) % q)
+        .collect();
+    let b: Vec<u128> = (1..=8_u64)
+        .map(|i| (q / 7).wrapping_mul(u128::from(i)) % q)
+        .collect();
+    let sa = ResidueSoa::from_u128s(&a);
+    let sb = ResidueSoa::from_u128s(&b);
 
-    type Functional = Mqx<Portable, profiles::McFunctional>;
-    type Pisa = Mqx<Portable, profiles::McPisa>;
+    // The registry hands out both MQX modes; the flag travels with them.
+    let functional = backend::by_name("mqx-functional").expect("always registered");
+    let pisa = backend::by_name("mqx-pisa").expect("always registered");
+    assert!(functional.consumable());
+    assert!(!pisa.consumable());
 
     // Functional mode: Table 2 semantics, bit-exact.
-    let vm_f = VModulus::<Functional>::new(&m);
-    let af = VDword::<Functional>::from_u128s(&a);
-    let bf = VDword::<Functional>::from_u128s(&b);
-    let sum_f = addmod(af, bf, &vm_f);
-    let prod_f = mulmod(af, bf, &vm_f);
+    let mut sum_f = ResidueSoa::zeros(8);
+    let mut prod_f = ResidueSoa::zeros(8);
+    functional.vadd(&sa, &sb, &mut sum_f, &m);
+    functional.vmul(&sa, &sb, &mut prod_f, &m);
 
     // PISA mode: Table 3 proxies, representative cost, WRONG numbers.
-    let vm_p = VModulus::<Pisa>::new(&m);
-    let ap = VDword::<Pisa>::from_u128s(&a);
-    let bp = VDword::<Pisa>::from_u128s(&b);
-    let sum_p = addmod(ap, bp, &vm_p);
-    let prod_p = mulmod(ap, bp, &vm_p);
+    let mut sum_p = ResidueSoa::zeros(8);
+    let mut prod_p = ResidueSoa::zeros(8);
+    pisa.vadd(&sa, &sb, &mut sum_p, &m);
+    pisa.vmul(&sa, &sb, &mut prod_p, &m);
 
     println!("MQX functional vs PISA (lane 0):");
-    println!("  addmod functional = {:#x}", sum_f.extract(0));
-    println!("  addmod PISA       = {:#x}   <- not meaningful", sum_p.extract(0));
-    println!("  mulmod functional = {:#x}", prod_f.extract(0));
-    println!("  mulmod PISA       = {:#x}   <- not meaningful", prod_p.extract(0));
+    println!("  addmod functional = {:#x}", sum_f.get(0));
+    println!(
+        "  addmod PISA       = {:#x}   <- not meaningful",
+        sum_p.get(0)
+    );
+    println!("  mulmod functional = {:#x}", prod_f.get(0));
+    println!(
+        "  mulmod PISA       = {:#x}   <- not meaningful",
+        prod_p.get(0)
+    );
 
     // The flag's contract: functional matches the scalar kernels...
     for i in 0..8 {
-        assert_eq!(sum_f.extract(i), m.add_mod(a[i], b[i]));
-        assert_eq!(prod_f.extract(i), m.mul_mod(a[i], b[i]));
+        assert_eq!(sum_f.get(i), m.add_mod(a[i], b[i]));
+        assert_eq!(prod_f.get(i), m.mul_mod(a[i], b[i]));
     }
     // ...and PISA does not (if it did, the proxy would be doing the full
     // work and the projection would be meaningless).
-    assert_ne!(prod_p.extract(0), m.mul_mod(a[0], b[0]));
+    assert_ne!(prod_p.get(0), m.mul_mod(a[0], b[0]));
     println!("\nfunctional ≡ scalar: verified; PISA ≠ scalar: verified (the §4.2 flag)");
 
     // Now the static view: how the two instruction streams schedule.

@@ -1,13 +1,13 @@
-//! Quickstart: the workspace in five minutes — modular arithmetic, an
-//! NTT round trip in every tier, and a polynomial product.
+//! Quickstart: the workspace in five minutes — modular arithmetic, a
+//! runtime-dispatched ring, an NTT round trip, and a polynomial product.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
 use mqx::core::{nt, primes, Modulus};
-use mqx::ntt::{polymul, NttPlan};
-use mqx::simd::{Portable, ResidueSoa};
+use mqx::simd::ResidueSoa;
+use mqx::{backend, Ring};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A 124-bit prime field with Barrett constants precomputed.
@@ -25,30 +25,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. The field has 2-adicity 20: every radix-2 NTT size up to 2^20.
     println!("\n2-adicity of q - 1: {}", nt::two_adicity(m.value()));
 
-    // 4. An NTT round trip, scalar tier.
+    // 4. What can this machine run? The registry detects tiers at
+    //    runtime — no rebuild, no cfg(target_feature).
+    println!("\nvector tiers: {}", mqx::simd::tier_summary());
+    for be in backend::available() {
+        println!(
+            "  backend {:<16} tier {:<8} lanes {} consumable {}",
+            be.name(),
+            be.tier().to_string(),
+            be.lanes(),
+            be.consumable()
+        );
+    }
+
+    // 5. One entry point over all of them: Ring::auto picks the fastest.
     let n = 1024;
-    let plan = NttPlan::new(&m, n)?;
-    let mut data: Vec<u128> = (0..n as u64).map(|i| u128::from(i * i + 1)).collect();
-    let original = data.clone();
-    plan.forward_scalar(&mut data);
-    plan.inverse_scalar(&mut data);
-    assert_eq!(data, original);
-    println!("scalar NTT round trip at n = {n}: ok");
+    let mut ring = Ring::auto(primes::Q124, n)?;
+    println!(
+        "\nRing::auto selected the {:?} backend",
+        ring.backend().name()
+    );
 
-    // 5. The same transform in the SIMD tier (portable engine here; the
-    //    AVX-512 engine is selected the same way via the type parameter).
-    let mut soa = ResidueSoa::from_u128s(&original);
-    let mut scratch = ResidueSoa::zeros(n);
-    plan.forward_simd::<Portable>(&mut soa, &mut scratch);
-    plan.inverse_simd::<Portable>(&mut soa, &mut scratch);
-    assert_eq!(soa.to_u128s(), original);
-    println!("SIMD   NTT round trip at n = {n}: ok ({})", mqx::simd::tier_summary());
+    let data: Vec<u128> = (0..n as u64).map(|i| u128::from(i * i + 1)).collect();
+    let mut soa = ResidueSoa::from_u128s(&data);
+    ring.forward(&mut soa)?;
+    ring.inverse(&mut soa)?;
+    assert_eq!(soa.to_u128s(), data);
+    println!("NTT round trip at n = {n}: ok");
 
-    // 6. Negacyclic polynomial multiplication — the RLWE workhorse.
+    // 6. The same on an explicitly pinned tier (portable runs anywhere).
+    let mut portable = Ring::with_backend_name(primes::Q124, n, "portable")?;
+    let mut soa = ResidueSoa::from_u128s(&data);
+    portable.forward(&mut soa)?;
+    portable.inverse(&mut soa)?;
+    assert_eq!(soa.to_u128s(), data);
+    println!("NTT round trip on pinned 'portable' backend: ok");
+
+    // 7. Negacyclic polynomial multiplication — the RLWE workhorse.
     let f: Vec<u128> = (0..n as u64).map(|i| u128::from(i % 17)).collect();
     let g: Vec<u128> = (0..n as u64).map(|i| u128::from(i % 23)).collect();
-    let product = polymul::polymul_negacyclic(&plan, &f, &g)?;
-    let reference = polymul::schoolbook_negacyclic(&f, &g, &m);
+    let product = ring.polymul_negacyclic(&f, &g)?;
+    let reference = mqx::ntt::polymul::schoolbook_negacyclic(&f, &g, &m);
     assert_eq!(product, reference);
     println!("negacyclic polymul (n = {n}) matches the O(n²) schoolbook: ok");
 

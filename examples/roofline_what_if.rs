@@ -1,41 +1,45 @@
 //! Roofline what-if: project a measured single-core NTT onto any CPU
-//! (§6, Eq. 13) and inspect the §5.4 L2 cache knee.
+//! (§6, Eq. 13) and inspect the §5.4 L2 cache knee. The measurement
+//! runs on whatever backend `Ring::auto` selects for this machine.
 //!
 //! ```sh
 //! cargo run --release --example roofline_what_if            # built-in CPUs
 //! cargo run --release --example roofline_what_if 64 3.1     # custom cores/GHz
 //! ```
 
-use mqx::core::{primes, Modulus};
-use mqx::ntt::{butterfly_count, NttPlan};
+use mqx::core::primes;
+use mqx::ntt::butterfly_count;
 use mqx::roofline::{accel, cpu, predicted_l2_knee, sol_runtime, CpuSpec, SolSeries};
-use mqx::simd::{Portable, ResidueSoa};
+use mqx::simd::ResidueSoa;
+use mqx::Ring;
 use std::time::Instant;
 
-fn measure_single_core(log_n: u32) -> f64 {
+fn measure_single_core(log_n: u32) -> (String, f64) {
     let n = 1_usize << log_n;
-    let m = Modulus::new_prime(primes::Q124).expect("Q124");
-    let plan = NttPlan::new(&m, n).expect("plan");
+    let mut ring = Ring::auto(primes::Q124, n).expect("ring");
+    let backend_name = ring.backend().name().to_string();
     let mut x = ResidueSoa::from_u128s(&(0..n as u64).map(u128::from).collect::<Vec<_>>());
-    let mut scratch = ResidueSoa::zeros(n);
     // Warm up, then average a few runs.
-    plan.forward_simd::<Portable>(&mut x, &mut scratch);
+    ring.forward(&mut x).expect("sized buffer");
     let reps = 10;
     let t0 = Instant::now();
     for _ in 0..reps {
-        plan.forward_simd::<Portable>(&mut x, &mut scratch);
+        ring.forward(&mut x).expect("sized buffer");
     }
-    t0.elapsed().as_nanos() as f64 / f64::from(reps)
+    (
+        backend_name,
+        t0.elapsed().as_nanos() as f64 / f64::from(reps),
+    )
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
 
     let log_n = 12;
-    println!("measuring a single-core 2^{log_n} NTT (portable engine)…");
-    let t = measure_single_core(log_n);
+    println!("measuring a single-core 2^{log_n} NTT (auto-selected backend)…");
+    let (backend_name, t) = measure_single_core(log_n);
     println!(
-        "measured: {:.1} µs  ({:.2} ns/butterfly)\n",
+        "measured on '{backend_name}': {:.1} µs  ({:.2} ns/butterfly)\n",
         t / 1e3,
         t / butterfly_count(1 << log_n) as f64
     );

@@ -1,0 +1,590 @@
+//! Runtime-dispatched engine backends: one object-safe interface over
+//! every vector tier the *running machine* actually has.
+//!
+//! The engine crates (`mqx_simd`, `mqx_ntt`, `mqx_blas`) are generic
+//! over [`SimdEngine`] at compile time; before this layer existed every
+//! caller had to name concrete engine types behind `cfg(target_feature)`
+//! gates, so a binary built without `-C target-cpu=native` silently lost
+//! all vector tiers. [`Backend`] erases the engine type parameter behind
+//! a trait object, and the registry ([`available`], [`by_name`],
+//! [`default_backend`]) discovers tiers with
+//! `std::arch::is_x86_feature_detected!` at **runtime** — the same binary
+//! picks AVX-512 on a server and falls back to the portable engine in a
+//! container, with no rebuild.
+//!
+//! Most code should go through [`Ring`](crate::Ring), which pairs a
+//! backend with an [`NttPlan`] and reusable scratch buffers; the raw
+//! registry is for tooling that needs to enumerate or pin tiers (the
+//! cross-tier agreement tests, the benchmark tier runner).
+//!
+//! ```
+//! use mqx::backend;
+//!
+//! // Every host has at least the portable tier.
+//! let tiers = backend::available();
+//! assert!(tiers.iter().any(|b| b.name() == "portable"));
+//! // The PISA projection backend is never consumable (§4.2).
+//! let pisa = backend::by_name("mqx-pisa").unwrap();
+//! assert!(!pisa.consumable());
+//! ```
+
+use mqx_core::Modulus;
+use mqx_ntt::NttPlan;
+use mqx_simd::{profiles, proxy, Mqx, Portable, ResidueSoa, SimdEngine};
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+#[cfg(target_arch = "x86_64")]
+use mqx_simd::{Avx2, Avx512};
+
+/// The vector tier a backend belongs to (the paper's x-axis).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Tier {
+    /// The always-available portable (scalar-emulation) engine.
+    Portable,
+    /// AVX2: four 64-bit lanes, emulated masks.
+    Avx2,
+    /// AVX-512: eight 64-bit lanes, real mask registers.
+    Avx512,
+    /// The proposed MQX ISA extension (functional or PISA mode).
+    Mqx,
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Tier::Portable => "portable",
+            Tier::Avx2 => "avx2",
+            Tier::Avx512 => "avx512",
+            Tier::Mqx => "mqx",
+        })
+    }
+}
+
+/// An object-safe engine: the full kernel surface of one vector tier,
+/// with the engine type parameter erased.
+///
+/// All operations follow the conventions of the generic kernels they
+/// wrap: data travels in structure-of-arrays form ([`ResidueSoa`]),
+/// inputs must be reduced below the modulus, and NTT buffers must match
+/// the plan size (the wrapped kernels panic otherwise — [`Ring`]
+/// validates lengths before calling in).
+///
+/// [`Ring`]: crate::Ring
+pub trait Backend: Send + Sync {
+    /// Stable registry name (`"portable"`, `"avx2"`, `"avx512"`,
+    /// `"mqx-functional"`, `"mqx-pisa"`, …).
+    fn name(&self) -> &'static str;
+
+    /// The tier this backend measures.
+    fn tier(&self) -> Tier;
+
+    /// Number of 64-bit lanes per vector operation.
+    fn lanes(&self) -> usize;
+
+    /// Whether numerical results may be consumed as values. `false` for
+    /// PISA-mode backends, whose instruction streams have representative
+    /// *cost* but deliberately wrong *numbers* (§4.2); their outputs must
+    /// only ever feed timers.
+    fn consumable(&self) -> bool {
+        true
+    }
+
+    /// Forward NTT over `x` (natural order in and out); `scratch` must
+    /// have the plan's length.
+    fn forward_ntt(&self, plan: &NttPlan, x: &mut ResidueSoa, scratch: &mut ResidueSoa);
+
+    /// Inverse NTT over `x`, including the `n⁻¹` scale.
+    fn inverse_ntt(&self, plan: &NttPlan, x: &mut ResidueSoa, scratch: &mut ResidueSoa);
+
+    /// Element-wise modular addition: `out[i] = x[i] + y[i] mod q`.
+    fn vadd(&self, x: &ResidueSoa, y: &ResidueSoa, out: &mut ResidueSoa, m: &Modulus);
+
+    /// Element-wise modular subtraction.
+    fn vsub(&self, x: &ResidueSoa, y: &ResidueSoa, out: &mut ResidueSoa, m: &Modulus);
+
+    /// Element-wise modular multiplication.
+    fn vmul(&self, x: &ResidueSoa, y: &ResidueSoa, out: &mut ResidueSoa, m: &Modulus);
+
+    /// `y[i] ← a·x[i] + y[i] mod q` with broadcast scalar `a`.
+    fn axpy(&self, a: u128, x: &ResidueSoa, y: &mut ResidueSoa, m: &Modulus);
+
+    /// Cyclic polynomial product via the convolution theorem, entirely in
+    /// this backend's tier: forward-transform both operands in place,
+    /// multiply point-wise, inverse-transform. The product is left in
+    /// `a`; `b` is consumed as a transform buffer and `scratch` must have
+    /// the plan's length.
+    fn polymul_cyclic(
+        &self,
+        plan: &NttPlan,
+        a: &mut ResidueSoa,
+        b: &mut ResidueSoa,
+        scratch: &mut ResidueSoa,
+    ) {
+        self.forward_ntt(plan, a, scratch);
+        self.forward_ntt(plan, b, scratch);
+        self.vmul(a, b, scratch, plan.modulus());
+        std::mem::swap(a, scratch);
+        self.inverse_ntt(plan, a, scratch);
+    }
+}
+
+impl fmt::Debug for dyn Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Backend")
+            .field("name", &self.name())
+            .field("tier", &self.tier())
+            .field("lanes", &self.lanes())
+            .field("consumable", &self.consumable())
+            .finish()
+    }
+}
+
+impl dyn Backend {
+    /// Convenience alias for the free function [`available`], so call
+    /// sites can write `<dyn Backend>::available()`.
+    pub fn available() -> Vec<Arc<dyn Backend>> {
+        available()
+    }
+}
+
+/// The adapter that erases a concrete [`SimdEngine`] behind [`Backend`].
+struct EngineBackend<E: SimdEngine> {
+    name: &'static str,
+    tier: Tier,
+    consumable: bool,
+    _engine: PhantomData<fn() -> E>,
+}
+
+impl<E: SimdEngine> Backend for EngineBackend<E> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn tier(&self) -> Tier {
+        self.tier
+    }
+
+    fn lanes(&self) -> usize {
+        E::LANES
+    }
+
+    fn consumable(&self) -> bool {
+        self.consumable
+    }
+
+    fn forward_ntt(&self, plan: &NttPlan, x: &mut ResidueSoa, scratch: &mut ResidueSoa) {
+        plan.forward_simd::<E>(x, scratch);
+    }
+
+    fn inverse_ntt(&self, plan: &NttPlan, x: &mut ResidueSoa, scratch: &mut ResidueSoa) {
+        plan.inverse_simd::<E>(x, scratch);
+    }
+
+    fn vadd(&self, x: &ResidueSoa, y: &ResidueSoa, out: &mut ResidueSoa, m: &Modulus) {
+        mqx_blas::simd::vadd::<E>(x, y, out, m);
+    }
+
+    fn vsub(&self, x: &ResidueSoa, y: &ResidueSoa, out: &mut ResidueSoa, m: &Modulus) {
+        mqx_blas::simd::vsub::<E>(x, y, out, m);
+    }
+
+    fn vmul(&self, x: &ResidueSoa, y: &ResidueSoa, out: &mut ResidueSoa, m: &Modulus) {
+        mqx_blas::simd::vmul::<E>(x, y, out, m);
+    }
+
+    fn axpy(&self, a: u128, x: &ResidueSoa, y: &mut ResidueSoa, m: &Modulus) {
+        mqx_blas::simd::axpy::<E>(a, x, y, m);
+    }
+}
+
+fn make<E: SimdEngine>(name: &'static str, tier: Tier, consumable: bool) -> Arc<dyn Backend> {
+    Arc::new(EngineBackend::<E> {
+        name,
+        tier,
+        consumable,
+        _engine: PhantomData,
+    })
+}
+
+/// Every backend the running machine can execute, fastest hardware tier
+/// first: AVX-512 and AVX2 (when `is_x86_feature_detected!` confirms
+/// them), the always-available portable engine, then the MQX engines
+/// over the best detected base — `"mqx-functional"` (bit-exact Table 2
+/// emulation, slow) and `"mqx-pisa"` (representative cost, non-consumable
+/// numbers).
+pub fn available() -> Vec<Arc<dyn Backend>> {
+    let mut out: Vec<Arc<dyn Backend>> = Vec::new();
+
+    #[cfg(target_arch = "x86_64")]
+    {
+        if mqx_simd::avx512_detected() {
+            out.push(make::<Avx512>("avx512", Tier::Avx512, true));
+        }
+        if mqx_simd::avx2_detected() {
+            out.push(make::<Avx2>("avx2", Tier::Avx2, true));
+        }
+    }
+    out.push(make::<Portable>("portable", Tier::Portable, true));
+
+    #[cfg(target_arch = "x86_64")]
+    if mqx_simd::avx512_detected() {
+        out.push(make::<Mqx<Avx512, profiles::McFunctional>>(
+            "mqx-functional",
+            Tier::Mqx,
+            true,
+        ));
+        out.push(make::<Mqx<Avx512, profiles::McPisa>>(
+            "mqx-pisa",
+            Tier::Mqx,
+            false,
+        ));
+        return out;
+    }
+
+    out.push(make::<Mqx<Portable, profiles::McFunctional>>(
+        "mqx-functional",
+        Tier::Mqx,
+        true,
+    ));
+    out.push(make::<Mqx<Portable, profiles::McPisa>>(
+        "mqx-pisa",
+        Tier::Mqx,
+        false,
+    ));
+    out
+}
+
+/// The names [`available`] currently offers, in the same order.
+pub fn names() -> Vec<&'static str> {
+    available().iter().map(|b| b.name()).collect()
+}
+
+/// Looks a backend up by its registry name.
+pub fn by_name(name: &str) -> Option<Arc<dyn Backend>> {
+    available().into_iter().find(|b| b.name() == name)
+}
+
+/// The backend [`Ring::auto`](crate::Ring::auto) picks: the fastest
+/// hardware tier that is both *detected* on this CPU and *compiled
+/// with its target features enabled* (AVX-512 → AVX2 → portable). MQX
+/// backends are never auto-selected: functional mode is a slow
+/// bit-exact emulation and PISA mode is non-consumable.
+///
+/// The compiled-axis condition matters: in a build without
+/// `-C target-cpu=native` the AVX engines still *run* (their
+/// `#[target_feature]` intrinsics execute correctly), but none of the
+/// calls inline, and the measured cost is several times *worse* than
+/// the fully-optimized portable engine — so auto falls back to
+/// portable there. Pinning an AVX backend explicitly (by name or
+/// instance) remains available for measurement and agreement testing.
+pub fn default_backend() -> Arc<dyn Backend> {
+    available()
+        .into_iter()
+        .find(|b| {
+            b.consumable()
+                && match b.tier() {
+                    Tier::Avx512 => mqx_simd::avx512_compiled(),
+                    Tier::Avx2 => mqx_simd::avx2_compiled(),
+                    Tier::Portable => true,
+                    Tier::Mqx => false,
+                }
+        })
+        .expect("the portable backend is always available")
+}
+
+/// One Figure 6 ablation variant: a label matching the paper's x-axis
+/// and the backend that measures it.
+pub struct AblationVariant {
+    /// The paper's variant label (`"Base"`, `"+M"`, `"+C"`, …).
+    pub label: &'static str,
+    /// The measuring backend (PISA mode for every MQX variant).
+    pub backend: Arc<dyn Backend>,
+}
+
+/// The Figure 6 sensitivity set over the best detected base engine:
+/// `Base` (the unmodified engine) plus the five MQX component
+/// combinations, all in PISA mode exactly as the paper measures them.
+pub fn ablation_variants() -> Vec<AblationVariant> {
+    fn over<E: SimdEngine>(base: Arc<dyn Backend>) -> Vec<AblationVariant> {
+        vec![
+            AblationVariant {
+                label: "Base",
+                backend: base,
+            },
+            AblationVariant {
+                label: "+M",
+                backend: make::<Mqx<E, profiles::MPisa>>("mqx+M-pisa", Tier::Mqx, false),
+            },
+            AblationVariant {
+                label: "+C",
+                backend: make::<Mqx<E, profiles::CPisa>>("mqx+C-pisa", Tier::Mqx, false),
+            },
+            AblationVariant {
+                label: "+M,C",
+                backend: make::<Mqx<E, profiles::McPisa>>("mqx-pisa", Tier::Mqx, false),
+            },
+            AblationVariant {
+                label: "+Mh,C",
+                backend: make::<Mqx<E, profiles::MhCPisa>>("mqx+MhC-pisa", Tier::Mqx, false),
+            },
+            AblationVariant {
+                label: "+M,C,P",
+                backend: make::<Mqx<E, profiles::McpPisa>>("mqx+MCP-pisa", Tier::Mqx, false),
+            },
+        ]
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    if mqx_simd::avx512_detected() {
+        return over::<Avx512>(make::<Avx512>("avx512", Tier::Avx512, true));
+    }
+    over::<Portable>(make::<Portable>("portable", Tier::Portable, true))
+}
+
+/// One functional-mode MQX profile: the Figure 6 component label and a
+/// bit-exact (consumable) backend running that profile's Table 2
+/// emulation.
+pub struct FunctionalProfile {
+    /// The component-combination label (`"+M"`, `"+C"`, …).
+    pub label: &'static str,
+    /// The bit-exact backend for that profile.
+    pub backend: Arc<dyn Backend>,
+}
+
+/// Every MQX component combination in **functional** (bit-exact) mode,
+/// over the portable engine — the §4.2 correctness side of the Figure 6
+/// ablation. These all carry `consumable() == true` and must agree with
+/// the scalar reference bit for bit on every kernel; the test suites
+/// enforce that at the NTT level.
+pub fn functional_profile_backends() -> Vec<FunctionalProfile> {
+    vec![
+        FunctionalProfile {
+            label: "+M",
+            backend: make::<Mqx<Portable, profiles::MFunctional>>("mqx+M-func", Tier::Mqx, true),
+        },
+        FunctionalProfile {
+            label: "+C",
+            backend: make::<Mqx<Portable, profiles::CFunctional>>("mqx+C-func", Tier::Mqx, true),
+        },
+        FunctionalProfile {
+            label: "+M,C",
+            backend: make::<Mqx<Portable, profiles::McFunctional>>("mqx+MC-func", Tier::Mqx, true),
+        },
+        FunctionalProfile {
+            label: "+Mh,C",
+            backend: make::<Mqx<Portable, profiles::MhCFunctional>>(
+                "mqx+MhC-func",
+                Tier::Mqx,
+                true,
+            ),
+        },
+        FunctionalProfile {
+            label: "+M,C,P",
+            backend: make::<Mqx<Portable, profiles::McpFunctional>>(
+                "mqx+MCP-func",
+                Tier::Mqx,
+                true,
+            ),
+        },
+    ]
+}
+
+/// One Table 5/6 PISA-validation pair: the unmodified backend and the
+/// same engine with one real instruction swapped for its PISA proxy.
+pub struct ProxyPair {
+    /// The real (target) instruction being modeled.
+    pub target: &'static str,
+    /// The proxy instruction PISA substitutes for it.
+    pub proxy: &'static str,
+    /// The ground-truth backend.
+    pub target_backend: Arc<dyn Backend>,
+    /// The proxied backend (non-consumable: wrong numbers by design).
+    pub proxy_backend: Arc<dyn Backend>,
+}
+
+/// The Table 5/6 validation set for this host: each detected hardware
+/// tier paired with its proxy-substituted twin, or the portable
+/// methodology check when no vector hardware is present.
+pub fn pisa_proxy_pairs() -> Vec<ProxyPair> {
+    let mut pairs = Vec::new();
+
+    #[cfg(target_arch = "x86_64")]
+    {
+        if mqx_simd::avx2_detected() {
+            pairs.push(ProxyPair {
+                target: "_mm256_mul_epu32",
+                proxy: "_mm256_mullo_epi32",
+                target_backend: make::<Avx2>("avx2", Tier::Avx2, true),
+                proxy_backend: make::<proxy::ProxyMul32<Avx2>>(
+                    "avx2-proxy-mul32",
+                    Tier::Avx2,
+                    false,
+                ),
+            });
+        }
+        if mqx_simd::avx512_detected() {
+            pairs.push(ProxyPair {
+                target: "_mm512_mask_add_epi64",
+                proxy: "_mm512_add_epi64",
+                target_backend: make::<Avx512>("avx512", Tier::Avx512, true),
+                proxy_backend: make::<proxy::ProxyMaskAdd<Avx512>>(
+                    "avx512-proxy-mask-add",
+                    Tier::Avx512,
+                    false,
+                ),
+            });
+            pairs.push(ProxyPair {
+                target: "_mm512_mask_sub_epi64",
+                proxy: "_mm512_sub_epi64",
+                target_backend: make::<Avx512>("avx512", Tier::Avx512, true),
+                proxy_backend: make::<proxy::ProxyMaskSub<Avx512>>(
+                    "avx512-proxy-mask-sub",
+                    Tier::Avx512,
+                    false,
+                ),
+            });
+        }
+    }
+
+    if pairs.is_empty() {
+        // No vector hardware: validate the methodology on the portable
+        // engine (the proxies still swap real work for different work).
+        pairs.push(ProxyPair {
+            target: "mul32_wide (portable)",
+            proxy: "mullo32 (portable)",
+            target_backend: make::<Portable>("portable", Tier::Portable, true),
+            proxy_backend: make::<proxy::ProxyMul32<Portable>>(
+                "portable-proxy-mul32",
+                Tier::Portable,
+                false,
+            ),
+        });
+        pairs.push(ProxyPair {
+            target: "mask_add (portable)",
+            proxy: "add (portable)",
+            target_backend: make::<Portable>("portable", Tier::Portable, true),
+            proxy_backend: make::<proxy::ProxyMaskAdd<Portable>>(
+                "portable-proxy-mask-add",
+                Tier::Portable,
+                false,
+            ),
+        });
+        pairs.push(ProxyPair {
+            target: "mask_sub (portable)",
+            proxy: "sub (portable)",
+            target_backend: make::<Portable>("portable", Tier::Portable, true),
+            proxy_backend: make::<proxy::ProxyMaskSub<Portable>>(
+                "portable-proxy-mask-sub",
+                Tier::Portable,
+                false,
+            ),
+        });
+    }
+
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqx_core::primes;
+
+    #[test]
+    fn registry_always_offers_portable_and_mqx() {
+        let names = names();
+        assert!(names.contains(&"portable"), "{names:?}");
+        assert!(names.contains(&"mqx-functional"), "{names:?}");
+        assert!(names.contains(&"mqx-pisa"), "{names:?}");
+        // Registry names are unique.
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len(), "{names:?}");
+    }
+
+    #[test]
+    fn hardware_tiers_follow_runtime_detection() {
+        let names = names();
+        assert_eq!(
+            names.contains(&"avx512"),
+            mqx_simd::avx512_detected(),
+            "avx512 presence must track runtime detection"
+        );
+        assert_eq!(names.contains(&"avx2"), mqx_simd::avx2_detected());
+    }
+
+    #[test]
+    fn default_backend_is_fastest_compiled_and_detected_tier() {
+        let d = default_backend();
+        assert!(d.consumable());
+        assert_ne!(d.tier(), Tier::Mqx);
+        // Hardware tiers are auto-selected only when the build can
+        // inline them (compiled) AND the host can execute them
+        // (detected); otherwise portable wins on measured speed.
+        let expected = if mqx_simd::avx512_detected() && mqx_simd::avx512_compiled() {
+            "avx512"
+        } else if mqx_simd::avx2_detected() && mqx_simd::avx2_compiled() {
+            "avx2"
+        } else {
+            "portable"
+        };
+        assert_eq!(d.name(), expected);
+    }
+
+    #[test]
+    fn pisa_is_flagged_non_consumable() {
+        let pisa = by_name("mqx-pisa").unwrap();
+        assert!(!pisa.consumable());
+        assert_eq!(pisa.tier(), Tier::Mqx);
+        let functional = by_name("mqx-functional").unwrap();
+        assert!(functional.consumable());
+    }
+
+    #[test]
+    fn every_backend_does_elementwise_arithmetic() {
+        let m = Modulus::new(primes::Q124).unwrap();
+        let q = m.value();
+        let x = ResidueSoa::from_u128s(&[q - 1, 1, 2, 3, 4, 5, 6, 7]);
+        let y = ResidueSoa::from_u128s(&[2, q - 1, 2, 3, 4, 5, 6, 7]);
+        for b in available() {
+            let mut out = ResidueSoa::zeros(8);
+            b.vadd(&x, &y, &mut out, &m);
+            if b.consumable() {
+                assert_eq!(out.get(0), 1, "{} vadd wrap", b.name());
+                assert_eq!(out.get(2), 4, "{} vadd", b.name());
+            }
+            assert!(b.lanes() >= 1, "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn ablation_set_matches_figure6() {
+        let set = ablation_variants();
+        let labels: Vec<_> = set.iter().map(|v| v.label).collect();
+        assert_eq!(labels, ["Base", "+M", "+C", "+M,C", "+Mh,C", "+M,C,P"]);
+        assert!(set[0].backend.consumable(), "Base is a real engine");
+        assert!(set[1..].iter().all(|v| !v.backend.consumable()));
+    }
+
+    #[test]
+    fn proxy_pairs_are_nonempty_and_non_consumable() {
+        let pairs = pisa_proxy_pairs();
+        assert!(!pairs.is_empty());
+        for p in &pairs {
+            assert!(p.target_backend.consumable(), "{}", p.target);
+            assert!(!p.proxy_backend.consumable(), "{}", p.proxy);
+        }
+    }
+
+    #[test]
+    fn dyn_backend_inherent_available_matches_free_fn() {
+        let a: Vec<_> = <dyn Backend>::available()
+            .iter()
+            .map(|b| b.name())
+            .collect();
+        assert_eq!(a, names());
+    }
+}

@@ -1,0 +1,121 @@
+//! The unified facade error type.
+//!
+//! Every fallible operation behind the [`Ring`](crate::Ring) /
+//! [`Backend`](crate::Backend) front door returns [`Error`], which wraps
+//! the layer-specific errors (`ModulusError` from `mqx_core`, `NttError`
+//! from `mqx_ntt`) and adds the dispatch-layer failures (unknown backend
+//! name, negacyclic operation on a ring without a 2n-th root).
+
+use mqx_core::ModulusError;
+use mqx_ntt::NttError;
+use std::fmt;
+
+/// Any error the facade API can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The modulus was rejected (too small, too wide, or not prime).
+    Modulus(ModulusError),
+    /// The NTT plan could not be built for the requested size.
+    Ntt(NttError),
+    /// No registered backend has the requested name. Carries the names
+    /// that *are* available on this host, for actionable messages.
+    UnknownBackend {
+        /// The rejected name.
+        name: String,
+        /// Names the registry currently offers.
+        available: Vec<&'static str>,
+    },
+    /// A negacyclic operation was requested on a ring whose field has no
+    /// `2n`-th root of unity.
+    NoNegacyclicSupport {
+        /// The ring size.
+        n: usize,
+    },
+    /// Input length does not match the ring size.
+    LengthMismatch {
+        /// The ring (and therefore expected input) size.
+        expected: usize,
+        /// The offending input length.
+        got: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Modulus(e) => write!(f, "{e}"),
+            Error::Ntt(e) => write!(f, "{e}"),
+            Error::UnknownBackend { name, available } => {
+                write!(
+                    f,
+                    "no backend named {name:?} on this host (available: {})",
+                    available.join(", ")
+                )
+            }
+            Error::NoNegacyclicSupport { n } => write!(
+                f,
+                "ring of size {n} has no 2n-th root of unity; negacyclic operations unavailable"
+            ),
+            Error::LengthMismatch { expected, got } => {
+                write!(f, "input length {got} does not match ring size {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Modulus(e) => Some(e),
+            Error::Ntt(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModulusError> for Error {
+    fn from(e: ModulusError) -> Self {
+        Error::Modulus(e)
+    }
+}
+
+impl From<NttError> for Error {
+    fn from(e: NttError) -> Self {
+        Error::Ntt(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn wraps_layer_errors_with_sources() {
+        let e = Error::from(ModulusError::TooSmall);
+        assert!(e.source().is_some());
+        assert_eq!(e.to_string(), ModulusError::TooSmall.to_string());
+
+        let e = Error::from(NttError::SizeTooSmall);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("at least 2"));
+    }
+
+    #[test]
+    fn dispatch_errors_are_actionable() {
+        let e = Error::UnknownBackend {
+            name: "gpu".into(),
+            available: vec!["portable", "avx512"],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("gpu") && msg.contains("portable"), "{msg}");
+        assert!(e.source().is_none());
+
+        let e = Error::LengthMismatch {
+            expected: 1024,
+            got: 7,
+        };
+        assert!(e.to_string().contains("1024"));
+    }
+}

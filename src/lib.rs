@@ -1,8 +1,34 @@
-//! Facade crate for the MQX reproduction workspace.
+//! Facade crate for the MQX reproduction workspace: the runtime-dispatched
+//! [`Ring`]/[`Backend`] API over every engine tier, plus re-exports of the
+//! workspace libraries.
 //!
-//! This crate re-exports the workspace libraries under one roof so the
-//! examples and integration tests (and downstream users who want
-//! everything) need a single dependency:
+//! # The front door
+//!
+//! The engine crates are generic over [`simd::SimdEngine`] at compile
+//! time. This crate erases that type parameter behind the object-safe
+//! [`Backend`] trait and discovers the tiers the *running machine*
+//! supports via runtime CPU feature detection — the same binary uses
+//! AVX-512 on a server and the portable engine in a container, with no
+//! rebuild and no `cfg(target_feature)` in caller code:
+//!
+//! * [`Ring::auto`] — picks the fastest available tier;
+//! * [`Ring::with_backend_name`] / [`RingBuilder`] — pins a tier;
+//! * [`backend::available`] — enumerates what this host offers.
+//!
+//! ```
+//! use mqx::{core::primes, Ring};
+//!
+//! let mut ring = Ring::auto(primes::Q124, 1024)?;
+//! println!("running on the {} backend", ring.backend().name());
+//!
+//! let f: Vec<u128> = (0..1024_u64).map(|i| u128::from(i % 17)).collect();
+//! let g: Vec<u128> = (0..1024_u64).map(|i| u128::from(i % 23)).collect();
+//! let product = ring.polymul_negacyclic(&f, &g)?;
+//! assert_eq!(product.len(), 1024);
+//! # Ok::<(), mqx::Error>(())
+//! ```
+//!
+//! # The workspace libraries
 //!
 //! * [`core`] — double-word (128-bit) Barrett modular arithmetic and
 //!   number theory ([`mqx_core`]).
@@ -17,7 +43,10 @@
 //! * [`mca`] — the LLVM-MCA-style port-pressure model ([`mqx_mca`]).
 //! * [`roofline`] — the speed-of-light multi-core model ([`mqx_roofline`]).
 //!
-//! # Quickstart
+//! # Lower-level quickstart
+//!
+//! The generic layers remain public for code that wants to monomorphize
+//! over one engine:
 //!
 //! ```
 //! use mqx::core::{primes, Modulus};
@@ -34,6 +63,14 @@
 //! ```
 
 #![warn(missing_docs)]
+
+pub mod backend;
+mod error;
+mod ring;
+
+pub use backend::{Backend, Tier};
+pub use error::Error;
+pub use ring::{Ring, RingBuilder};
 
 pub use mqx_baseline as baseline;
 pub use mqx_bignum as bignum;

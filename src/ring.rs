@@ -1,0 +1,481 @@
+//! The [`Ring`] front door: a prime field, an NTT plan, a
+//! runtime-selected [`Backend`], and reusable scratch buffers — the one
+//! entry point the tests, examples and benchmarks go through.
+//!
+//! ```
+//! use mqx::{core::primes, Ring};
+//!
+//! // Pick the fastest tier this machine can actually execute.
+//! let mut ring = Ring::auto(primes::Q124, 256)?;
+//!
+//! // Negacyclic polynomial product (the RLWE workhorse), entirely in
+//! // the selected vector tier.
+//! let f: Vec<u128> = (0..256_u64).map(|i| u128::from(i % 17)).collect();
+//! let g: Vec<u128> = (0..256_u64).map(|i| u128::from(i % 23)).collect();
+//! let product = ring.polymul_negacyclic(&f, &g)?;
+//! assert_eq!(product.len(), 256);
+//! # Ok::<(), mqx::Error>(())
+//! ```
+
+use crate::backend::{self, Backend};
+use crate::error::Error;
+use mqx_core::{Modulus, MulAlgorithm};
+use mqx_ntt::NttPlan;
+use mqx_simd::ResidueSoa;
+use std::fmt;
+use std::sync::Arc;
+
+/// How a [`RingBuilder`] picks its backend.
+enum BackendChoice {
+    /// Fastest detected consumable hardware tier.
+    Auto,
+    /// Look the name up in the registry at build time.
+    Named(String),
+    /// Use this exact instance.
+    Instance(Arc<dyn Backend>),
+}
+
+/// Configures and builds a [`Ring`].
+///
+/// ```
+/// use mqx::{core::primes, RingBuilder};
+///
+/// let ring = RingBuilder::new(primes::Q124, 64)
+///     .backend_name("portable")
+///     .build()?;
+/// assert_eq!(ring.backend().name(), "portable");
+/// # Ok::<(), mqx::Error>(())
+/// ```
+pub struct RingBuilder {
+    modulus: u128,
+    n: usize,
+    algorithm: MulAlgorithm,
+    choice: BackendChoice,
+}
+
+impl RingBuilder {
+    /// Starts a builder for an `n`-point ring over the prime `modulus`.
+    pub fn new(modulus: u128, n: usize) -> Self {
+        RingBuilder {
+            modulus,
+            n,
+            algorithm: MulAlgorithm::Schoolbook,
+            choice: BackendChoice::Auto,
+        }
+    }
+
+    /// Pins an exact backend instance (e.g. one from
+    /// [`backend::available`]).
+    pub fn backend(mut self, backend: Arc<dyn Backend>) -> Self {
+        self.choice = BackendChoice::Instance(backend);
+        self
+    }
+
+    /// Pins a backend by registry name; [`RingBuilder::build`] fails
+    /// with [`Error::UnknownBackend`] if this host does not offer it.
+    pub fn backend_name(mut self, name: &str) -> Self {
+        self.choice = BackendChoice::Named(name.to_string());
+        self
+    }
+
+    /// Selects the double-word multiplication algorithm threaded through
+    /// the modulus (the §5.5 schoolbook-vs-Karatsuba sensitivity axis).
+    pub fn mul_algorithm(mut self, algorithm: MulAlgorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Builds the ring: validates the modulus, constructs the NTT plan,
+    /// resolves the backend, and allocates the reusable scratch buffers.
+    pub fn build(self) -> Result<Ring, Error> {
+        let backend = match self.choice {
+            BackendChoice::Auto => backend::default_backend(),
+            BackendChoice::Instance(b) => b,
+            BackendChoice::Named(name) => {
+                backend::by_name(&name).ok_or_else(|| Error::UnknownBackend {
+                    name,
+                    available: backend::names(),
+                })?
+            }
+        };
+        let modulus = Modulus::new_prime(self.modulus)?.with_algorithm(self.algorithm);
+        let plan = NttPlan::new(&modulus, self.n)?;
+        let n = plan.size();
+        let psi = plan.psi().map(ResidueSoa::from_u128s);
+        let psi_inv = plan.psi_inv().map(ResidueSoa::from_u128s);
+        Ok(Ring {
+            modulus,
+            plan,
+            backend,
+            psi,
+            psi_inv,
+            buf_a: ResidueSoa::zeros(n),
+            buf_b: ResidueSoa::zeros(n),
+            scratch: ResidueSoa::zeros(n),
+        })
+    }
+}
+
+/// A polynomial ring `ℤ_q[x]/(xⁿ ± 1)` bound to one runtime-dispatched
+/// engine tier.
+///
+/// The ring owns its [`NttPlan`] plus three `n`-residue scratch buffers,
+/// so repeated transforms and polynomial products allocate nothing
+/// (beyond the caller's own output, for the slice-based conveniences).
+/// Methods that use the scratch space take `&mut self`.
+pub struct Ring {
+    modulus: Modulus,
+    plan: NttPlan,
+    backend: Arc<dyn Backend>,
+    /// ψ^i / ψ^{−i} tables in SoA form, when the field has a 2n-th root:
+    /// lets the negacyclic twist run through the backend's `vmul`.
+    psi: Option<ResidueSoa>,
+    psi_inv: Option<ResidueSoa>,
+    buf_a: ResidueSoa,
+    buf_b: ResidueSoa,
+    scratch: ResidueSoa,
+}
+
+impl fmt::Debug for Ring {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ring")
+            .field("modulus", &self.modulus.value())
+            .field("n", &self.plan.size())
+            .field("backend", &self.backend.name())
+            .finish()
+    }
+}
+
+impl Ring {
+    /// Builds an `n`-point ring over the prime `modulus` on the fastest
+    /// vector tier for this (binary, machine) pair: the best tier that
+    /// is both runtime-detected on the CPU and compiled with its target
+    /// features enabled (AVX-512 → AVX2 → portable). See
+    /// [`backend::default_backend`] for the rationale.
+    pub fn auto(modulus: u128, n: usize) -> Result<Ring, Error> {
+        RingBuilder::new(modulus, n).build()
+    }
+
+    /// Builds a ring pinned to an exact backend instance.
+    pub fn with_backend(modulus: u128, n: usize, backend: Arc<dyn Backend>) -> Result<Ring, Error> {
+        RingBuilder::new(modulus, n).backend(backend).build()
+    }
+
+    /// Builds a ring pinned to a backend by registry name.
+    pub fn with_backend_name(modulus: u128, n: usize, name: &str) -> Result<Ring, Error> {
+        RingBuilder::new(modulus, n).backend_name(name).build()
+    }
+
+    /// Starts a [`RingBuilder`] for finer control.
+    pub fn builder(modulus: u128, n: usize) -> RingBuilder {
+        RingBuilder::new(modulus, n)
+    }
+
+    /// The backend executing this ring's kernels.
+    pub fn backend(&self) -> &dyn Backend {
+        self.backend.as_ref()
+    }
+
+    /// A shareable handle to the backend.
+    pub fn backend_arc(&self) -> Arc<dyn Backend> {
+        Arc::clone(&self.backend)
+    }
+
+    /// The ring's modulus (with Barrett constants).
+    pub fn modulus(&self) -> &Modulus {
+        &self.modulus
+    }
+
+    /// The underlying NTT plan.
+    pub fn plan(&self) -> &NttPlan {
+        &self.plan
+    }
+
+    /// The transform size `n`.
+    pub fn size(&self) -> usize {
+        self.plan.size()
+    }
+
+    /// Whether negacyclic (`xⁿ + 1`) operations are available.
+    pub fn supports_negacyclic(&self) -> bool {
+        self.psi.is_some()
+    }
+
+    fn check_len(&self, got: usize) -> Result<(), Error> {
+        if got == self.plan.size() {
+            Ok(())
+        } else {
+            Err(Error::LengthMismatch {
+                expected: self.plan.size(),
+                got,
+            })
+        }
+    }
+
+    // ---- transforms ----------------------------------------------------
+
+    /// Forward NTT in place (natural order in and out). Uses the ring's
+    /// internal scratch buffer; no allocation.
+    pub fn forward(&mut self, x: &mut ResidueSoa) -> Result<(), Error> {
+        self.check_len(x.len())?;
+        self.backend.forward_ntt(&self.plan, x, &mut self.scratch);
+        Ok(())
+    }
+
+    /// Inverse NTT in place, including the `n⁻¹` scale.
+    pub fn inverse(&mut self, x: &mut ResidueSoa) -> Result<(), Error> {
+        self.check_len(x.len())?;
+        self.backend.inverse_ntt(&self.plan, x, &mut self.scratch);
+        Ok(())
+    }
+
+    // ---- element-wise kernels ------------------------------------------
+
+    /// `out[i] = x[i] + y[i] mod q`. Inputs may be any (equal) length.
+    pub fn vadd(&self, x: &ResidueSoa, y: &ResidueSoa, out: &mut ResidueSoa) {
+        self.backend.vadd(x, y, out, &self.modulus);
+    }
+
+    /// `out[i] = x[i] − y[i] mod q`.
+    pub fn vsub(&self, x: &ResidueSoa, y: &ResidueSoa, out: &mut ResidueSoa) {
+        self.backend.vsub(x, y, out, &self.modulus);
+    }
+
+    /// `out[i] = x[i] · y[i] mod q`.
+    pub fn vmul(&self, x: &ResidueSoa, y: &ResidueSoa, out: &mut ResidueSoa) {
+        self.backend.vmul(x, y, out, &self.modulus);
+    }
+
+    /// `y[i] ← a·x[i] + y[i] mod q`.
+    pub fn axpy(&self, a: u128, x: &ResidueSoa, y: &mut ResidueSoa) {
+        self.backend.axpy(a, x, y, &self.modulus);
+    }
+
+    // ---- polynomial products -------------------------------------------
+
+    /// Cyclic product in `ℤ_q[x]/(xⁿ − 1)`, entirely in the selected
+    /// tier. Operates on the ring's internal buffers: the only
+    /// allocation is the returned vector.
+    pub fn polymul_cyclic(&mut self, a: &[u128], b: &[u128]) -> Result<Vec<u128>, Error> {
+        self.check_len(a.len())?;
+        self.check_len(b.len())?;
+        self.buf_a.copy_from_u128s(a);
+        self.buf_b.copy_from_u128s(b);
+        self.backend.polymul_cyclic(
+            &self.plan,
+            &mut self.buf_a,
+            &mut self.buf_b,
+            &mut self.scratch,
+        );
+        Ok(self.buf_a.to_u128s())
+    }
+
+    /// Cyclic product over SoA buffers with the result left in `a` — the
+    /// allocation-free form.
+    pub fn polymul_cyclic_soa(
+        &mut self,
+        a: &mut ResidueSoa,
+        b: &mut ResidueSoa,
+    ) -> Result<(), Error> {
+        self.check_len(a.len())?;
+        self.check_len(b.len())?;
+        self.backend
+            .polymul_cyclic(&self.plan, a, b, &mut self.scratch);
+        Ok(())
+    }
+
+    /// Negacyclic product in `ℤ_q[x]/(xⁿ + 1)` — the RLWE workhorse —
+    /// via the ψ-twisted cyclic transform, with the twist itself running
+    /// through the backend's vector multiply.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NoNegacyclicSupport`] if the field has no `2n`-th root
+    /// of unity (check [`Ring::supports_negacyclic`]).
+    pub fn polymul_negacyclic(&mut self, a: &[u128], b: &[u128]) -> Result<Vec<u128>, Error> {
+        self.check_len(a.len())?;
+        self.check_len(b.len())?;
+        let (psi, psi_inv) = match (&self.psi, &self.psi_inv) {
+            (Some(p), Some(pi)) => (p, pi),
+            _ => {
+                return Err(Error::NoNegacyclicSupport {
+                    n: self.plan.size(),
+                })
+            }
+        };
+
+        // Twist: buf ← input ⊙ ψ.
+        self.buf_a.copy_from_u128s(a);
+        self.backend
+            .vmul(&self.buf_a, psi, &mut self.scratch, &self.modulus);
+        std::mem::swap(&mut self.buf_a, &mut self.scratch);
+        self.buf_b.copy_from_u128s(b);
+        self.backend
+            .vmul(&self.buf_b, psi, &mut self.scratch, &self.modulus);
+        std::mem::swap(&mut self.buf_b, &mut self.scratch);
+
+        // Cyclic product of the twisted operands (includes the n⁻¹).
+        self.backend.polymul_cyclic(
+            &self.plan,
+            &mut self.buf_a,
+            &mut self.buf_b,
+            &mut self.scratch,
+        );
+
+        // Untwist: result ⊙ ψ^{−i}.
+        self.backend
+            .vmul(&self.buf_a, psi_inv, &mut self.scratch, &self.modulus);
+        Ok(self.scratch.to_u128s())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqx_core::primes;
+    use mqx_ntt::polymul;
+
+    const N: usize = 64;
+
+    fn poly(n: usize, q: u128, seed: u64) -> Vec<u128> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                u128::from(state) % q
+            })
+            .collect()
+    }
+
+    #[test]
+    fn auto_ring_builds_and_transforms() {
+        let mut ring = Ring::auto(primes::Q124, N).unwrap();
+        assert!(ring.backend().consumable());
+        let xs = poly(N, primes::Q124, 0xA11CE);
+        let mut soa = ResidueSoa::from_u128s(&xs);
+        ring.forward(&mut soa).unwrap();
+        ring.inverse(&mut soa).unwrap();
+        assert_eq!(soa.to_u128s(), xs, "roundtrip on {}", ring.backend().name());
+    }
+
+    #[test]
+    fn forced_portable_ring_matches_scalar_plan() {
+        let mut ring = Ring::with_backend_name(primes::Q124, N, "portable").unwrap();
+        assert_eq!(ring.backend().name(), "portable");
+        let xs = poly(N, primes::Q124, 0xBEE);
+        let mut expected = xs.clone();
+        ring.plan().forward_scalar(&mut expected);
+        let mut soa = ResidueSoa::from_u128s(&xs);
+        ring.forward(&mut soa).unwrap();
+        assert_eq!(soa.to_u128s(), expected);
+    }
+
+    #[test]
+    fn unknown_backend_is_a_clean_error() {
+        let err = Ring::with_backend_name(primes::Q124, N, "tpu").unwrap_err();
+        match err {
+            Error::UnknownBackend { name, available } => {
+                assert_eq!(name, "tpu");
+                assert!(available.contains(&"portable"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_modulus_and_size_propagate() {
+        assert!(matches!(Ring::auto(4, N).unwrap_err(), Error::Modulus(_)));
+        assert!(matches!(
+            Ring::auto(primes::Q124, 12).unwrap_err(),
+            Error::Ntt(_)
+        ));
+    }
+
+    #[test]
+    fn length_mismatch_rejected_before_kernels_panic() {
+        let mut ring = Ring::auto(primes::Q124, N).unwrap();
+        let mut short = ResidueSoa::zeros(N - 1);
+        assert!(matches!(
+            ring.forward(&mut short).unwrap_err(),
+            Error::LengthMismatch { expected, got } if expected == N && got == N - 1
+        ));
+        let a = vec![0_u128; N];
+        let b = vec![0_u128; N + 1];
+        assert!(ring.polymul_cyclic(&a, &b).is_err());
+    }
+
+    #[test]
+    fn polymul_matches_schoolbook_on_every_consumable_backend() {
+        let a = poly(N, primes::Q124, 1);
+        let b = poly(N, primes::Q124, 2);
+        let m = Modulus::new_prime(primes::Q124).unwrap();
+        let cyclic = polymul::schoolbook_cyclic(&a, &b, &m);
+        let negacyclic = polymul::schoolbook_negacyclic(&a, &b, &m);
+        for backend in crate::backend::available() {
+            if !backend.consumable() {
+                continue;
+            }
+            let name = backend.name();
+            let mut ring = Ring::with_backend(primes::Q124, N, backend).unwrap();
+            assert_eq!(ring.polymul_cyclic(&a, &b).unwrap(), cyclic, "{name}");
+            assert_eq!(
+                ring.polymul_negacyclic(&a, &b).unwrap(),
+                negacyclic,
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn negacyclic_unsupported_is_reported() {
+        // Q14 has 2-adicity 10: n = 1024 cyclic works, negacyclic cannot.
+        let mut ring = Ring::auto(primes::Q14, 1024).unwrap();
+        assert!(!ring.supports_negacyclic());
+        let a = vec![1_u128; 1024];
+        assert!(matches!(
+            ring.polymul_negacyclic(&a, &a).unwrap_err(),
+            Error::NoNegacyclicSupport { n: 1024 }
+        ));
+    }
+
+    #[test]
+    fn karatsuba_ring_agrees_with_schoolbook_ring() {
+        let a = poly(N, primes::Q124, 3);
+        let b = poly(N, primes::Q124, 4);
+        let mut school = Ring::builder(primes::Q124, N).build().unwrap();
+        let mut kara = Ring::builder(primes::Q124, N)
+            .mul_algorithm(MulAlgorithm::Karatsuba)
+            .build()
+            .unwrap();
+        assert_eq!(
+            school.polymul_cyclic(&a, &b).unwrap(),
+            kara.polymul_cyclic(&a, &b).unwrap()
+        );
+    }
+
+    #[test]
+    fn elementwise_ops_match_modulus_arithmetic() {
+        let ring = Ring::auto(primes::Q124, N).unwrap();
+        let m = *ring.modulus();
+        let a = poly(17, m.value(), 7); // deliberately not lane-aligned
+        let b = poly(17, m.value(), 8);
+        let sa = ResidueSoa::from_u128s(&a);
+        let sb = ResidueSoa::from_u128s(&b);
+        let mut out = ResidueSoa::zeros(17);
+        ring.vadd(&sa, &sb, &mut out);
+        for i in 0..17 {
+            assert_eq!(out.get(i), m.add_mod(a[i], b[i]), "vadd {i}");
+        }
+        ring.vmul(&sa, &sb, &mut out);
+        for i in 0..17 {
+            assert_eq!(out.get(i), m.mul_mod(a[i], b[i]), "vmul {i}");
+        }
+        let mut y = sb.clone();
+        ring.axpy(a[0], &sa, &mut y);
+        for i in 0..17 {
+            assert_eq!(y.get(i), m.add_mod(m.mul_mod(a[0], a[i]), b[i]), "axpy {i}");
+        }
+    }
+}

@@ -1,12 +1,20 @@
 //! Integration: the same polynomial product computed by every tier and
 //! baseline in the workspace must agree bit for bit (the paper's §5.3
 //! "bitwise-identical results" requirement).
+//!
+//! Vector tiers are reached exclusively through the facade's
+//! runtime-dispatch registry (`mqx::backend`): the test iterates
+//! whatever backends this host actually offers, so the same test binary
+//! covers AVX-512 on capable machines and degrades to AVX2/portable
+//! elsewhere — no `cfg(target_feature)`, no concrete engine types.
 
+use mqx::backend;
 use mqx::baseline::fhe::{FheBackend, FheNtt};
 use mqx::baseline::gmp::{GmpNtt, GmpRing};
 use mqx::core::{nt, primes, Modulus};
 use mqx::ntt::{naive, polymul, NttPlan};
-use mqx::simd::{profiles, Mqx, Portable, ResidueSoa, SimdEngine};
+use mqx::simd::ResidueSoa;
+use mqx::Ring;
 
 const N: usize = 256;
 
@@ -21,13 +29,6 @@ fn workload(q: u128) -> (Vec<u128>, Vec<u128>) {
     let a: Vec<u128> = (0..N).map(|_| next() % q).collect();
     let b: Vec<u128> = (0..N).map(|_| next() % q).collect();
     (a, b)
-}
-
-fn forward_simd_u128s<E: SimdEngine>(plan: &NttPlan, xs: &[u128]) -> Vec<u128> {
-    let mut soa = ResidueSoa::from_u128s(xs);
-    let mut scratch = ResidueSoa::zeros(xs.len());
-    plan.forward_simd::<E>(&mut soa, &mut scratch);
-    soa.to_u128s()
 }
 
 #[test]
@@ -50,46 +51,16 @@ fn every_forward_ntt_agrees() {
     plan.forward_pease_scalar(&mut pease, &mut scratch);
     assert_eq!(pease, expected, "pease scalar");
 
-    // SIMD portable engine.
-    assert_eq!(forward_simd_u128s::<Portable>(&plan, &a), expected, "portable");
-
-    // MQX functional (Table 2 exact emulation) on the portable engine.
-    assert_eq!(
-        forward_simd_u128s::<Mqx<Portable, profiles::McFunctional>>(&plan, &a),
-        expected,
-        "mqx functional"
-    );
-    assert_eq!(
-        forward_simd_u128s::<Mqx<Portable, profiles::MhCFunctional>>(&plan, &a),
-        expected,
-        "mqx +Mh,C functional"
-    );
-    assert_eq!(
-        forward_simd_u128s::<Mqx<Portable, profiles::McpFunctional>>(&plan, &a),
-        expected,
-        "mqx +M,C,P functional"
-    );
-
-    // Hardware engines, when compiled in.
-    #[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
-    assert_eq!(
-        forward_simd_u128s::<mqx::simd::Avx2>(&plan, &a),
-        expected,
-        "avx2"
-    );
-    #[cfg(all(
-        target_arch = "x86_64",
-        target_feature = "avx512f",
-        target_feature = "avx512dq"
-    ))]
-    {
-        use mqx::simd::Avx512;
-        assert_eq!(forward_simd_u128s::<Avx512>(&plan, &a), expected, "avx512");
-        assert_eq!(
-            forward_simd_u128s::<Mqx<Avx512, profiles::McFunctional>>(&plan, &a),
-            expected,
-            "mqx(avx512) functional"
-        );
+    // Every runtime-discovered vector backend whose numbers may be
+    // consumed (portable, AVX2/AVX-512 where detected, functional MQX).
+    for b in backend::available() {
+        if !b.consumable() {
+            continue; // PISA: representative cost, wrong numbers (§4.2)
+        }
+        let mut soa = ResidueSoa::from_u128s(&a);
+        let mut soa_scratch = ResidueSoa::zeros(N);
+        b.forward_ntt(&plan, &mut soa, &mut soa_scratch);
+        assert_eq!(soa.to_u128s(), expected, "{} forward", b.name());
     }
 
     // OpenFHE-style baseline.
@@ -123,6 +94,50 @@ fn polynomial_products_agree_across_paths() {
     );
 }
 
+/// The dispatch-layer agreement check: every discovered backend's
+/// polynomial product must be bit-identical to the portable backend's,
+/// and the PISA backend must carry the §4.2 non-consumable flag.
+#[test]
+fn every_backend_polymul_is_bit_identical_to_portable() {
+    let (a, b) = workload(primes::Q124);
+
+    let portable = backend::by_name("portable").expect("portable always registered");
+    assert!(portable.consumable());
+    let reference_cyclic = Ring::with_backend(primes::Q124, N, portable.clone())
+        .unwrap()
+        .polymul_cyclic(&a, &b)
+        .unwrap();
+    let reference_nega = Ring::with_backend(primes::Q124, N, portable)
+        .unwrap()
+        .polymul_negacyclic(&a, &b)
+        .unwrap();
+
+    let mut consumable_count = 0;
+    for backend in backend::available() {
+        let name = backend.name();
+        if !backend.consumable() {
+            // The PISA invariant (reused from the pisa_flag suite): the
+            // projection backend must be flagged, and it is the only
+            // non-consumable entry in the registry.
+            assert_eq!(name, "mqx-pisa", "only PISA may be non-consumable");
+            continue;
+        }
+        consumable_count += 1;
+        let mut ring = Ring::with_backend(primes::Q124, N, backend).unwrap();
+        assert_eq!(
+            ring.polymul_cyclic(&a, &b).unwrap(),
+            reference_cyclic,
+            "{name} cyclic"
+        );
+        assert_eq!(
+            ring.polymul_negacyclic(&a, &b).unwrap(),
+            reference_nega,
+            "{name} negacyclic"
+        );
+    }
+    assert!(consumable_count >= 2, "portable + mqx-functional minimum");
+}
+
 #[test]
 fn blas_tiers_agree_with_baselines() {
     let m = Modulus::new(primes::Q124).unwrap();
@@ -131,14 +146,19 @@ fn blas_tiers_agree_with_baselines() {
     let scalar_sum = mqx::blas::scalar::vadd(&a, &b, &m);
     let scalar_prod = mqx::blas::scalar::vmul(&a, &b, &m);
 
-    // SIMD tier.
+    // Every consumable vector backend.
     let sa = ResidueSoa::from_u128s(&a);
     let sb = ResidueSoa::from_u128s(&b);
-    let mut out = ResidueSoa::zeros(N);
-    mqx::blas::simd::vadd::<Portable>(&sa, &sb, &mut out, &m);
-    assert_eq!(out.to_u128s(), scalar_sum);
-    mqx::blas::simd::vmul::<Portable>(&sa, &sb, &mut out, &m);
-    assert_eq!(out.to_u128s(), scalar_prod);
+    for backend in backend::available() {
+        if !backend.consumable() {
+            continue;
+        }
+        let mut out = ResidueSoa::zeros(N);
+        backend.vadd(&sa, &sb, &mut out, &m);
+        assert_eq!(out.to_u128s(), scalar_sum, "{} vadd", backend.name());
+        backend.vmul(&sa, &sb, &mut out, &m);
+        assert_eq!(out.to_u128s(), scalar_prod, "{} vmul", backend.name());
+    }
 
     // Division-based baseline.
     let fhe = FheBackend::new(m.value());

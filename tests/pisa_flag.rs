@@ -1,14 +1,13 @@
-//! Integration: the §4.2 functional-correctness flag. Functional MQX is
-//! bit-exact against scalar; PISA MQX is deliberately not ("we execute
-//! the code using PISA with the expectation of not getting correct
-//! results").
+//! Integration: the §4.2 functional-correctness flag, through the
+//! runtime-dispatch layer. Functional MQX is bit-exact against scalar;
+//! PISA MQX is deliberately not ("we execute the code using PISA with
+//! the expectation of not getting correct results") — and the registry
+//! must carry that contract as the `consumable` flag.
 
+use mqx::backend;
 use mqx::core::{primes, Modulus};
-use mqx::ntt::NttPlan;
-use mqx::simd::{addmod, mulmod, profiles, Mqx, Portable, ResidueSoa, VDword, VModulus};
-
-type Functional = Mqx<Portable, profiles::McFunctional>;
-type Pisa = Mqx<Portable, profiles::McPisa>;
+use mqx::simd::ResidueSoa;
+use mqx::Ring;
 
 fn lanes(q: u128) -> (Vec<u128>, Vec<u128>) {
     let a: Vec<u128> = (1..=8_u128).map(|i| (q / 5) * i % q).collect();
@@ -17,17 +16,36 @@ fn lanes(q: u128) -> (Vec<u128>, Vec<u128>) {
 }
 
 #[test]
+fn registry_carries_the_correctness_flag() {
+    let functional = backend::by_name("mqx-functional").expect("registered");
+    assert!(
+        functional.consumable(),
+        "functional mode is bit-exact and consumable"
+    );
+    let pisa = backend::by_name("mqx-pisa").expect("registered");
+    assert!(
+        !pisa.consumable(),
+        "PISA results must never be consumed as values"
+    );
+    // Both measure the MQX tier with the same lane width.
+    assert_eq!(functional.tier(), pisa.tier());
+    assert_eq!(functional.lanes(), pisa.lanes());
+}
+
+#[test]
 fn functional_arithmetic_is_exact() {
     let m = Modulus::new_prime(primes::Q124).unwrap();
     let (a, b) = lanes(m.value());
-    let vm = VModulus::<Functional>::new(&m);
-    let av = VDword::<Functional>::from_u128s(&a);
-    let bv = VDword::<Functional>::from_u128s(&b);
-    let sum = addmod(av, bv, &vm);
-    let prod = mulmod(av, bv, &vm);
+    let functional = backend::by_name("mqx-functional").unwrap();
+    let sa = ResidueSoa::from_u128s(&a);
+    let sb = ResidueSoa::from_u128s(&b);
+    let mut sum = ResidueSoa::zeros(8);
+    let mut prod = ResidueSoa::zeros(8);
+    functional.vadd(&sa, &sb, &mut sum, &m);
+    functional.vmul(&sa, &sb, &mut prod, &m);
     for i in 0..8 {
-        assert_eq!(sum.extract(i), m.add_mod(a[i], b[i]), "add lane {i}");
-        assert_eq!(prod.extract(i), m.mul_mod(a[i], b[i]), "mul lane {i}");
+        assert_eq!(sum.get(i), m.add_mod(a[i], b[i]), "add lane {i}");
+        assert_eq!(prod.get(i), m.mul_mod(a[i], b[i]), "mul lane {i}");
     }
 }
 
@@ -35,11 +53,14 @@ fn functional_arithmetic_is_exact() {
 fn pisa_arithmetic_is_wrong_by_design() {
     let m = Modulus::new_prime(primes::Q124).unwrap();
     let (a, b) = lanes(m.value());
-    let vm = VModulus::<Pisa>::new(&m);
-    let av = VDword::<Pisa>::from_u128s(&a);
-    let bv = VDword::<Pisa>::from_u128s(&b);
-    let prod = mulmod(av, bv, &vm);
-    let wrong = (0..8).filter(|&i| prod.extract(i) != m.mul_mod(a[i], b[i])).count();
+    let pisa = backend::by_name("mqx-pisa").unwrap();
+    let sa = ResidueSoa::from_u128s(&a);
+    let sb = ResidueSoa::from_u128s(&b);
+    let mut prod = ResidueSoa::zeros(8);
+    pisa.vmul(&sa, &sb, &mut prod, &m);
+    let wrong = (0..8)
+        .filter(|&i| prod.get(i) != m.mul_mod(a[i], b[i]))
+        .count();
     assert!(
         wrong >= 7,
         "PISA should corrupt essentially every lane; only {wrong} differ"
@@ -49,43 +70,58 @@ fn pisa_arithmetic_is_wrong_by_design() {
 #[test]
 fn pisa_ntt_differs_functional_ntt_matches() {
     let n = 64;
-    let m = Modulus::new_prime(primes::Q124).unwrap();
-    let plan = NttPlan::new(&m, n).unwrap();
+    let q = primes::Q124;
     let xs: Vec<u128> = (0..n as u64).map(|i| u128::from(i * 31 + 7)).collect();
 
     let mut reference = xs.clone();
+    let m = Modulus::new_prime(q).unwrap();
+    let plan = mqx::ntt::NttPlan::new(&m, n).unwrap();
     plan.forward_scalar(&mut reference);
 
-    let mut functional = ResidueSoa::from_u128s(&xs);
-    let mut scratch = ResidueSoa::zeros(n);
-    plan.forward_simd::<Functional>(&mut functional, &mut scratch);
-    assert_eq!(functional.to_u128s(), reference, "functional flag on");
+    let mut functional_ring = Ring::with_backend_name(q, n, "mqx-functional").unwrap();
+    let mut soa = ResidueSoa::from_u128s(&xs);
+    functional_ring.forward(&mut soa).unwrap();
+    assert_eq!(soa.to_u128s(), reference, "functional flag on");
 
-    let mut pisa = ResidueSoa::from_u128s(&xs);
-    plan.forward_simd::<Pisa>(&mut pisa, &mut scratch);
-    assert_ne!(pisa.to_u128s(), reference, "PISA flag off must not match");
+    let mut pisa_ring = Ring::with_backend_name(q, n, "mqx-pisa").unwrap();
+    assert!(!pisa_ring.backend().consumable());
+    let mut soa = ResidueSoa::from_u128s(&xs);
+    pisa_ring.forward(&mut soa).unwrap();
+    assert_ne!(soa.to_u128s(), reference, "PISA flag off must not match");
 }
 
+/// Every functional-mode MQX component combination (+M, +C, +M,C,
+/// +Mh,C, +M,C,P) must produce the bit-exact scalar NTT — the
+/// correctness side of the Figure 6 ablation, at the transform level
+/// (the dmod-level agreement alone would not catch a profile-specific
+/// regression in the butterfly dataflow).
 #[test]
 fn all_functional_profiles_agree_on_ntt() {
     let n = 128;
-    let m = Modulus::new_prime(primes::Q120).unwrap();
-    let plan = NttPlan::new(&m, n).unwrap();
+    let q = primes::Q120;
+    let m = Modulus::new_prime(q).unwrap();
+    let plan = mqx::ntt::NttPlan::new(&m, n).unwrap();
     let xs: Vec<u128> = (0..n as u64).map(|i| u128::from(i * 13 + 1)).collect();
     let mut reference = xs.clone();
     plan.forward_scalar(&mut reference);
 
-    macro_rules! check {
-        ($profile:ty, $label:expr) => {{
-            let mut soa = ResidueSoa::from_u128s(&xs);
-            let mut scratch = ResidueSoa::zeros(n);
-            plan.forward_simd::<Mqx<Portable, $profile>>(&mut soa, &mut scratch);
-            assert_eq!(soa.to_u128s(), reference, $label);
-        }};
+    for profile in backend::functional_profile_backends() {
+        assert!(profile.backend.consumable(), "{}", profile.label);
+        let mut soa = ResidueSoa::from_u128s(&xs);
+        let mut scratch = ResidueSoa::zeros(n);
+        profile.backend.forward_ntt(&plan, &mut soa, &mut scratch);
+        assert_eq!(soa.to_u128s(), reference, "{}", profile.label);
     }
-    check!(profiles::MFunctional, "+M");
-    check!(profiles::CFunctional, "+C");
-    check!(profiles::McFunctional, "+M,C");
-    check!(profiles::MhCFunctional, "+Mh,C");
-    check!(profiles::McpFunctional, "+M,C,P");
+}
+
+#[test]
+fn ablation_variants_preserve_the_flag() {
+    // Figure 6's variant set: the base engine is real, every MQX
+    // component combination runs in PISA mode and must stay flagged.
+    let variants = backend::ablation_variants();
+    assert_eq!(variants.len(), 6);
+    assert!(variants[0].backend.consumable(), "Base is a real engine");
+    for v in &variants[1..] {
+        assert!(!v.backend.consumable(), "{} must be PISA-flagged", v.label);
+    }
 }
