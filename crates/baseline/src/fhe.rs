@@ -11,6 +11,8 @@
 //! by Knuth division on 32-bit limbs, and `add_mod`/`sub_mod` walk the
 //! limbs with explicit carries.
 
+use mqx_bignum::BigUint;
+
 /// A ring ℤ_q with division-based reduction (no precomputed constants in
 /// the multiply path).
 ///
@@ -381,6 +383,11 @@ impl FheNtt {
         self.n
     }
 
+    /// The division-based backend this transform runs on.
+    pub fn backend(&self) -> &FheBackend {
+        &self.r
+    }
+
     /// In-place forward transform, natural order in and out.
     ///
     /// # Panics
@@ -429,6 +436,119 @@ impl FheNtt {
                 }
             }
         }
+    }
+}
+
+/// The double-CRT ("RNS") layer of the OpenFHE-style baseline: `k`
+/// textbook NTT channels over division-based word arithmetic, with
+/// big-integer CRT recombination at the boundary.
+///
+/// OpenFHE's production configurations never run one wide-modulus NTT;
+/// they decompose the ciphertext modulus into word-sized coprime
+/// channels (the "double-CRT" representation) and run its textbook
+/// kernels per channel. This stand-in reproduces that structure over
+/// [`FheNtt`] so the optimized sharded `RnsRing` in the facade has a
+/// faithful baseline to be compared against, channel for channel.
+///
+/// Roots of unity are caller-supplied, matching [`FheNtt::new`] (the
+/// baseline deliberately has no number-theory machinery of its own).
+#[derive(Clone, Debug)]
+pub struct FheRnsNtt {
+    channels: Vec<FheNtt>,
+    crt: mqx_bignum::crt::CrtContext,
+    n: usize,
+}
+
+impl FheRnsNtt {
+    /// Builds the `k`-channel transform: `moduli[i]` with primitive
+    /// `n`-th root `omegas[i]` becomes channel `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `moduli` and `omegas` differ in length, the moduli are
+    /// not a valid coprime basis, or any `(modulus, omega)` pair fails
+    /// [`FheNtt::new`]'s checks.
+    pub fn new(moduli: &[u128], n: usize, omegas: &[u128]) -> Self {
+        assert_eq!(
+            moduli.len(),
+            omegas.len(),
+            "one root of unity per modulus required"
+        );
+        let crt = mqx_bignum::crt::CrtContext::new(moduli).expect("valid coprime RNS basis");
+        let channels = moduli
+            .iter()
+            .zip(omegas)
+            .map(|(&q, &omega)| FheNtt::new(FheBackend::new(q), n, omega))
+            .collect();
+        FheRnsNtt { channels, crt, n }
+    }
+
+    /// The number of residue channels `k`.
+    pub fn channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// The transform size.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// The channel moduli, in channel order.
+    pub fn moduli(&self) -> &[u128] {
+        self.crt.moduli()
+    }
+
+    /// The product modulus the double-CRT representation emulates.
+    pub fn product(&self) -> &BigUint {
+        self.crt.product()
+    }
+
+    /// Cyclic product in `ℤ_Q[x]/(xⁿ − 1)` with `Q = ∏ q_i`: decompose,
+    /// run the convolution theorem per channel (forward, point-wise
+    /// multiply, inverse — all in division-based arithmetic), then
+    /// recombine by Garner. Channels run sequentially: the baseline
+    /// models OpenFHE's per-channel kernel cost, not a parallel runtime.
+    ///
+    /// Coefficients at or above the product modulus alias their
+    /// reduction mod `Q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice's length differs from the transform size.
+    pub fn polymul_cyclic(&self, a: &[BigUint], b: &[BigUint]) -> Vec<BigUint> {
+        assert_eq!(a.len(), self.n, "length must match the transform size");
+        assert_eq!(b.len(), self.n, "length must match the transform size");
+        let per_channel: Vec<Vec<u128>> = self
+            .channels
+            .iter()
+            .map(|ntt| {
+                let q = BigUint::from(ntt.backend().modulus());
+                let reduce = |xs: &[BigUint]| -> Vec<u128> {
+                    xs.iter()
+                        .map(|x| (x % &q).to_u128().expect("word-sized residue"))
+                        .collect()
+                };
+                let mut fa = reduce(a);
+                let mut fb = reduce(b);
+                ntt.forward(&mut fa);
+                ntt.forward(&mut fb);
+                for (x, y) in fa.iter_mut().zip(&fb) {
+                    *x = ntt.backend().mul_mod(*x, *y);
+                }
+                ntt.inverse(&mut fa);
+                fa
+            })
+            .collect();
+
+        let mut digits = vec![0_u128; self.channels()];
+        (0..self.n)
+            .map(|j| {
+                for (digit, channel) in digits.iter_mut().zip(&per_channel) {
+                    *digit = channel[j];
+                }
+                self.crt.recombine(&digits)
+            })
+            .collect()
     }
 }
 
@@ -531,5 +651,47 @@ mod tests {
     fn wrong_root_rejected() {
         let r = FheBackend::new(primes::Q30);
         let _ = FheNtt::new(r, 8, 2);
+    }
+
+    #[test]
+    fn rns_cyclic_product_matches_big_schoolbook() {
+        let n = 32;
+        let moduli = [primes::Q62, primes::Q30];
+        let omegas: Vec<u128> = moduli
+            .iter()
+            .map(|&q| {
+                nt::root_of_unity(&Modulus::new_prime(q).unwrap(), n as u64).expect("root exists")
+            })
+            .collect();
+        let rns = FheRnsNtt::new(&moduli, n, &omegas);
+        assert_eq!(rns.channels(), 2);
+        assert_eq!(rns.size(), n);
+        assert!(rns.product().bits() > 64);
+
+        // Deterministic coefficients below the product modulus.
+        let coeff = |seed: u64| -> Vec<BigUint> {
+            let mut state = seed;
+            (0..n)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6_364_136_223_846_793_005)
+                        .wrapping_add(1);
+                    // mul_mod already reduces below the product modulus.
+                    BigUint::from(state).mul_mod(&BigUint::from(state), rns.product())
+                })
+                .collect()
+        };
+        let a = coeff(0xAA);
+        let b = coeff(0xBB);
+
+        // O(n²) cyclic reference over the product modulus.
+        let expected = mqx_ntt::polymul::schoolbook_cyclic_big(&a, &b, rns.product());
+        assert_eq!(rns.polymul_cyclic(&a, &b), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "one root of unity per modulus")]
+    fn rns_channel_mismatch_rejected() {
+        let _ = FheRnsNtt::new(&[primes::Q30], 8, &[]);
     }
 }

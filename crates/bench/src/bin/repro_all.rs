@@ -18,4 +18,6 @@ fn main() {
     mqx_bench::experiments::fig7::run(quick);
     println!("\n## Figure 1 (headline)\n");
     mqx_bench::experiments::fig1::run(quick);
+    println!("\n## RNS channel scaling (extension)\n");
+    mqx_bench::experiments::rns::run(quick);
 }

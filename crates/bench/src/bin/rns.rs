@@ -1,0 +1,5 @@
+//! RNS channel-count scaling: sharded multi-modulus polynomial products
+//! at 1–8 word-sized residue channels (62 → 496 emulated modulus bits).
+fn main() {
+    mqx_bench::experiments::rns::run(mqx_bench::quick_mode());
+}

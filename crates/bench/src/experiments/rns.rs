@@ -1,0 +1,103 @@
+//! RNS channel-count scaling (extension beyond the paper's single-prime
+//! scope): the sharded `RnsRing` emulates a modulus of `k × 62` bits as
+//! `k` word-sized residue channels, so this sweep measures how the
+//! negacyclic polynomial product scales as the emulated modulus widens
+//! from 1 to 8 channels (62 → 496 bits).
+//!
+//! Channels execute on scoped worker threads, so the headline question
+//! is how far the per-channel cost stays flat — the CRT boundary work
+//! (decompose/recombine over big integers) is the serial part that
+//! Amdahl charges against perfect channel scaling.
+
+use crate::report::{fmt_ns, write_json, Table};
+use crate::timing::time_ntt;
+use mqx::bignum::BigUint;
+use mqx::{plan_cache, RnsRing};
+use mqx_json::impl_to_json;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One channel-count point of the sweep.
+#[derive(Clone, Debug)]
+pub struct RnsRow {
+    /// Residue channel count `k`.
+    pub channels: usize,
+    /// Width of the emulated product modulus `Q = ∏ q_i`, in bits.
+    pub modulus_bits: u64,
+    /// Negacyclic polymul time over the full basis, ns.
+    pub ns: f64,
+    /// `ns / k` — flat means the channels scale.
+    pub ns_per_channel: f64,
+    /// The backend each channel dispatched to (registry name).
+    pub backend: String,
+}
+
+impl_to_json!(RnsRow {
+    channels,
+    modulus_bits,
+    ns,
+    ns_per_channel,
+    backend,
+});
+
+/// Sweeps 1–8 channels (1, 2, 4 in quick mode) at `2^12` points
+/// (`2^10` in quick mode).
+pub fn run(quick: bool) -> Vec<RnsRow> {
+    let log_n = if quick { 10 } else { 12 };
+    let n = 1_usize << log_n;
+    let ks: Vec<usize> = if quick {
+        vec![1, 2, 4]
+    } else {
+        (1..=8).collect()
+    };
+
+    let cache_before = plan_cache::global().stats();
+    let mut rows = Vec::new();
+    for &k in &ks {
+        let mut ring = RnsRing::auto(k, n).expect("62-bit prime chain exists");
+        let mut rng = StdRng::seed_from_u64(0x8A515 + k as u64);
+        let coeffs = |rng: &mut StdRng| -> Vec<BigUint> {
+            (0..n)
+                .map(|_| BigUint::random_below(rng, ring.product_modulus()))
+                .collect()
+        };
+        let a = coeffs(&mut rng);
+        let b = coeffs(&mut rng);
+        let backend = ring.backend_names()[0].to_string();
+        let modulus_bits = ring.product_modulus().bits();
+        let ns = time_ntt(quick, || {
+            std::hint::black_box(ring.polymul_negacyclic(&a, &b).expect("reduced inputs"));
+        });
+        rows.push(RnsRow {
+            channels: k,
+            modulus_bits,
+            ns,
+            ns_per_channel: ns / k as f64,
+            backend,
+        });
+    }
+    let cache_after = plan_cache::global().stats();
+
+    let mut table = Table::new(
+        &format!("RNS scaling — {n}-point negacyclic polymul, k word-sized channels"),
+        &["channels", "modulus", "total", "per channel", "backend"],
+    );
+    for r in &rows {
+        table.row(&[
+            r.channels.to_string(),
+            format!("{} bits", r.modulus_bits),
+            fmt_ns(r.ns),
+            fmt_ns(r.ns_per_channel),
+            r.backend.clone(),
+        ]);
+    }
+    table.print();
+    println!(
+        "plan cache over the sweep: +{} built, +{} served from cache",
+        cache_after.misses - cache_before.misses,
+        cache_after.hits - cache_before.hits,
+    );
+
+    write_json("rns_scaling", &rows);
+    rows
+}

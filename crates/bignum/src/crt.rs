@@ -1,0 +1,324 @@
+//! Residue Number System (RNS) decomposition and Chinese Remainder
+//! Theorem recombination.
+//!
+//! An RNS basis is a set of pairwise-coprime word-sized moduli
+//! `m_0, …, m_{k−1}`; the CRT isomorphism `ℤ_M ≅ ℤ_{m_0} × ⋯ ×
+//! ℤ_{m_{k−1}}` (with `M = ∏ m_i`) lets arithmetic on integers wider
+//! than the machine word run as `k` independent word-sized channels —
+//! the standard production alternative to multi-word arithmetic, and
+//! the way scalable accelerator designs parallelize large-modulus
+//! kernels.
+//!
+//! [`CrtContext`] precomputes the Garner (mixed-radix) constants once
+//! per basis, so decomposing ([`CrtContext::to_residues`]) and
+//! recombining ([`CrtContext::recombine`]) a long vector of
+//! coefficients pays the `mod_inverse` cost only at construction.
+//!
+//! # Example
+//!
+//! ```
+//! use mqx_bignum::{crt::CrtContext, BigUint};
+//!
+//! let ctx = CrtContext::new(&[97, 101, 103]).unwrap();
+//! let x = BigUint::from(123_456_u64);
+//! let residues = ctx.to_residues(&x);
+//! assert_eq!(residues, x.to_residues(&[97, 101, 103]));
+//! assert_eq!(ctx.recombine(&residues), x);
+//! ```
+
+use crate::BigUint;
+use std::fmt;
+
+/// The reasons an RNS basis is rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CrtError {
+    /// The basis has no moduli.
+    EmptyBasis,
+    /// A modulus is below 2 (no residue arithmetic possible).
+    ModulusTooSmall {
+        /// Index of the offending modulus.
+        index: usize,
+    },
+    /// Two moduli share a factor, so the CRT map is not a bijection.
+    NotCoprime {
+        /// Index of the first offending modulus.
+        i: usize,
+        /// Index of the second offending modulus.
+        j: usize,
+    },
+}
+
+impl fmt::Display for CrtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrtError::EmptyBasis => write!(f, "RNS basis must contain at least one modulus"),
+            CrtError::ModulusTooSmall { index } => {
+                write!(f, "RNS modulus at index {index} must be at least 2")
+            }
+            CrtError::NotCoprime { i, j } => {
+                write!(f, "RNS moduli at indices {i} and {j} are not coprime")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CrtError {}
+
+/// A validated RNS basis with the Garner recombination constants
+/// precomputed.
+///
+/// Construction is `O(k²)` big-integer work (pairwise coprimality plus
+/// `k` modular inverses); decomposition and recombination are then
+/// `O(k)` big-integer operations per value, with no inversions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CrtContext {
+    moduli: Vec<u128>,
+    big_moduli: Vec<BigUint>,
+    /// `prefix[i] = m_0 · m_1 ⋯ m_{i−1}` (so `prefix[0] = 1`).
+    prefixes: Vec<BigUint>,
+    /// Garner constants: `inverses[i] = prefix[i]⁻¹ mod m_i`
+    /// (`inverses[0]` is trivially 1).
+    inverses: Vec<BigUint>,
+    product: BigUint,
+}
+
+impl CrtContext {
+    /// Validates the basis and precomputes the Garner constants.
+    ///
+    /// # Errors
+    ///
+    /// [`CrtError::EmptyBasis`] for an empty slice,
+    /// [`CrtError::ModulusTooSmall`] for any modulus below 2, and
+    /// [`CrtError::NotCoprime`] when two moduli share a factor.
+    pub fn new(moduli: &[u128]) -> Result<Self, CrtError> {
+        if moduli.is_empty() {
+            return Err(CrtError::EmptyBasis);
+        }
+        let big_moduli: Vec<BigUint> = moduli.iter().map(|&m| BigUint::from(m)).collect();
+        for (index, (&m, big)) in moduli.iter().zip(&big_moduli).enumerate() {
+            if m < 2 {
+                return Err(CrtError::ModulusTooSmall { index });
+            }
+            for (j, other) in big_moduli.iter().enumerate().take(index) {
+                if !big.gcd(other).is_one() {
+                    return Err(CrtError::NotCoprime { i: j, j: index });
+                }
+            }
+        }
+
+        let mut prefixes = Vec::with_capacity(moduli.len());
+        let mut inverses = Vec::with_capacity(moduli.len());
+        let mut product = BigUint::one();
+        for big in &big_moduli {
+            let inv = (&product % big)
+                .mod_inverse(big)
+                .expect("pairwise-coprime basis makes every prefix invertible");
+            prefixes.push(product.clone());
+            inverses.push(inv);
+            product = &product * big;
+        }
+
+        Ok(CrtContext {
+            moduli: moduli.to_vec(),
+            big_moduli,
+            prefixes,
+            inverses,
+            product,
+        })
+    }
+
+    /// The number of residue channels `k`.
+    pub fn channels(&self) -> usize {
+        self.moduli.len()
+    }
+
+    /// The basis moduli, in channel order.
+    pub fn moduli(&self) -> &[u128] {
+        &self.moduli
+    }
+
+    /// The product modulus `M = ∏ m_i` — the dynamic range of the basis.
+    pub fn product(&self) -> &BigUint {
+        &self.product
+    }
+
+    /// Decomposes `x` into its residues `x mod m_i`, one per channel.
+    ///
+    /// `x` may be any size; values at or above [`CrtContext::product`]
+    /// alias their reduction mod `M` (recombination returns the
+    /// canonical representative in `[0, M)`).
+    pub fn to_residues(&self, x: &BigUint) -> Vec<u128> {
+        self.big_moduli
+            .iter()
+            .map(|m| (x % m).to_u128().expect("residue of a u128 modulus fits"))
+            .collect()
+    }
+
+    /// Recombines one residue per channel into the unique `x ∈ [0, M)`
+    /// with `x ≡ residues[i] (mod m_i)`, by Garner's mixed-radix
+    /// algorithm (no reduction modulo the wide `M` is ever needed:
+    /// every intermediate digit stays word-sized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `residues.len() != self.channels()`.
+    pub fn recombine(&self, residues: &[u128]) -> BigUint {
+        assert_eq!(
+            residues.len(),
+            self.channels(),
+            "one residue per basis modulus required"
+        );
+        // x accumulates the mixed-radix expansion
+        // v_0 + v_1·m_0 + v_2·m_0·m_1 + …, each digit v_i < m_i.
+        let mut x = &BigUint::from(residues[0]) % &self.big_moduli[0];
+        let channels = residues
+            .iter()
+            .zip(&self.big_moduli)
+            .zip(&self.inverses)
+            .zip(&self.prefixes)
+            .skip(1);
+        for (((&r, m), inv), prefix) in channels {
+            let r = &BigUint::from(r) % m;
+            // v_i = (r_i − x) · prefix[i]⁻¹ mod m_i.
+            let digit = r.sub_mod(&(&x % m), m).mul_mod(inv, m);
+            x = &x + &(&digit * prefix);
+        }
+        x
+    }
+}
+
+impl BigUint {
+    /// Decomposes the value into residues modulo each entry of `moduli`
+    /// — the RNS forward map. The moduli need not form a coprime basis
+    /// for this direction; see [`CrtContext`] for the validated
+    /// round-trip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any modulus is zero.
+    ///
+    /// ```
+    /// use mqx_bignum::BigUint;
+    /// let x = BigUint::from(1_000_000_u64);
+    /// assert_eq!(x.to_residues(&[97, 101]), vec![1_000_000 % 97, 1_000_000 % 101]);
+    /// ```
+    pub fn to_residues(&self, moduli: &[u128]) -> Vec<u128> {
+        moduli
+            .iter()
+            .map(|&m| {
+                assert!(m != 0, "RNS modulus must be non-zero");
+                (self % &BigUint::from(m))
+                    .to_u128()
+                    .expect("residue of a u128 modulus fits")
+            })
+            .collect()
+    }
+}
+
+/// One-shot Garner recombination: builds a [`CrtContext`] for `moduli`
+/// and recombines `residues` through it.
+///
+/// Callers recombining many values against one basis should build the
+/// context once instead.
+///
+/// # Errors
+///
+/// Any [`CrtError`] the basis validation produces.
+///
+/// # Panics
+///
+/// Panics if `residues.len() != moduli.len()`.
+pub fn garner(residues: &[u128], moduli: &[u128]) -> Result<BigUint, CrtError> {
+    Ok(CrtContext::new(moduli)?.recombine(residues))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_hand_checked_recombination() {
+        // x = 23: 23 mod 3 = 2, 23 mod 5 = 3, 23 mod 7 = 2.
+        let ctx = CrtContext::new(&[3, 5, 7]).unwrap();
+        assert_eq!(ctx.channels(), 3);
+        assert_eq!(ctx.product(), &BigUint::from(105_u64));
+        assert_eq!(ctx.recombine(&[2, 3, 2]), BigUint::from(23_u64));
+        assert_eq!(
+            garner(&[2, 3, 2], &[3, 5, 7]).unwrap(),
+            BigUint::from(23_u64)
+        );
+    }
+
+    #[test]
+    fn roundtrip_covers_the_full_range_of_a_tiny_basis() {
+        let moduli = [4_u128, 9, 25]; // coprime but not prime: 900 values
+        let ctx = CrtContext::new(&moduli).unwrap();
+        for v in 0..900_u64 {
+            let x = BigUint::from(v);
+            assert_eq!(ctx.recombine(&ctx.to_residues(&x)), x, "{v}");
+        }
+    }
+
+    #[test]
+    fn wide_value_roundtrips_through_wide_basis() {
+        // Three word-sized primes: M has ~189 bits, above u128.
+        let moduli = [
+            18_446_744_073_709_551_557_u128, // largest 64-bit prime
+            9_223_372_036_854_775_783,       // largest 63-bit prime
+            4_611_686_018_427_387_847,       // largest 62-bit prime
+        ];
+        let ctx = CrtContext::new(&moduli).unwrap();
+        assert!(ctx.product().bits() > 128);
+        let x = &(&BigUint::from(u128::MAX) * &BigUint::from(12_345_678_u64)) % ctx.product();
+        let rs = ctx.to_residues(&x);
+        assert_eq!(ctx.recombine(&rs), x);
+        // The free-method decomposition agrees with the context's.
+        assert_eq!(x.to_residues(&moduli), rs);
+    }
+
+    #[test]
+    fn values_at_or_above_the_product_alias_their_reduction() {
+        let ctx = CrtContext::new(&[7, 11]).unwrap();
+        let big = BigUint::from(77_u64 + 5);
+        assert_eq!(ctx.recombine(&ctx.to_residues(&big)), BigUint::from(5_u64));
+    }
+
+    #[test]
+    fn single_channel_basis_is_plain_reduction() {
+        let ctx = CrtContext::new(&[97]).unwrap();
+        assert_eq!(ctx.recombine(&[205]), BigUint::from(205_u64 % 97));
+    }
+
+    #[test]
+    fn invalid_bases_are_rejected() {
+        assert_eq!(CrtContext::new(&[]).unwrap_err(), CrtError::EmptyBasis);
+        assert_eq!(
+            CrtContext::new(&[7, 1]).unwrap_err(),
+            CrtError::ModulusTooSmall { index: 1 }
+        );
+        assert_eq!(
+            CrtContext::new(&[6, 35, 10]).unwrap_err(),
+            CrtError::NotCoprime { i: 0, j: 2 }
+        );
+        assert_eq!(
+            CrtContext::new(&[5, 5]).unwrap_err(),
+            CrtError::NotCoprime { i: 0, j: 1 }
+        );
+        let msg = CrtError::NotCoprime { i: 0, j: 1 }.to_string();
+        assert!(msg.contains("not coprime"), "{msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one residue per basis modulus")]
+    fn recombine_length_mismatch_panics() {
+        let ctx = CrtContext::new(&[3, 5]).unwrap();
+        let _ = ctx.recombine(&[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn to_residues_rejects_zero_modulus() {
+        let _ = BigUint::from(5_u64).to_residues(&[3, 0]);
+    }
+}

@@ -32,6 +32,7 @@
 
 mod add;
 mod convert;
+pub mod crt;
 mod div;
 mod fmt;
 mod modular;

@@ -129,6 +129,44 @@ fn mod_inverse_is_inverse() {
 }
 
 #[test]
+fn crt_roundtrips_random_bases() {
+    // Pairwise-distinct primes spanning 14 to 64 bits; any subset is a
+    // valid (pairwise-coprime) RNS basis.
+    const PRIME_POOL: [u128; 8] = [
+        15_361,
+        12_289,
+        1_073_479_681,
+        1_000_000_007,
+        998_244_353,
+        4_611_686_018_427_387_847,
+        9_223_372_036_854_775_783,
+        18_446_744_073_709_551_557,
+    ];
+    let mut rng = StdRng::seed_from_u64(0xB8);
+    for _ in 0..CASES {
+        // A random 2–6 prime basis: partial Fisher–Yates over the pool.
+        let k = 2 + (rng.gen::<u64>() % 5) as usize;
+        let mut pool = PRIME_POOL;
+        for i in 0..k {
+            let j = i + (rng.gen::<u64>() as usize) % (pool.len() - i);
+            pool.swap(i, j);
+        }
+        let basis = &pool[..k];
+
+        let ctx = crate::crt::CrtContext::new(basis).expect("distinct primes are coprime");
+        let x = BigUint::random_below(&mut rng, ctx.product());
+        let residues = x.to_residues(basis);
+        assert_eq!(residues, ctx.to_residues(&x), "decompositions agree");
+        assert_eq!(ctx.recombine(&residues), x, "Garner roundtrip {basis:?}");
+        assert_eq!(
+            crate::crt::garner(&residues, basis).unwrap(),
+            x,
+            "one-shot garner {basis:?}"
+        );
+    }
+}
+
+#[test]
 fn gcd_divides_both() {
     let mut rng = StdRng::seed_from_u64(0xB7);
     for _ in 0..CASES {

@@ -5,8 +5,9 @@
 //! vector subtraction, point-wise (Hadamard) multiplication, and `axpy`
 //! (`y ← a·x + y` with a scalar `a`). The paper benchmarks those four at
 //! vector length 1,024 (§5.1). This crate provides each kernel in a
-//! scalar tier (native `u128` arithmetic over [`Modulus`]) and a SIMD
-//! tier generic over [`SimdEngine`], plus `dot` and `gemv` as the
+//! scalar tier (native `u128` arithmetic over [`mqx_core::Modulus`])
+//! and a SIMD tier generic over [`mqx_simd::SimdEngine`], plus `dot`
+//! and `gemv` as the
 //! natural level-1/level-2 extensions the paper's BLAS framing implies.
 //!
 //! # Example

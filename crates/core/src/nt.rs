@@ -57,7 +57,8 @@ impl MulCtx {
 
 /// Computes `a·b mod n` for arbitrary 128-bit operands.
 ///
-/// One-shot convenience over [`MulCtx`]; hot paths build the context once.
+/// One-shot convenience over the internal multiplication context; hot
+/// paths build the context once.
 pub fn mulmod_generic(a: u128, b: u128, n: u128) -> u128 {
     assert!(n > 1, "mulmod_generic requires n > 1");
     MulCtx::new(n).mulmod(a % n, b % n)

@@ -36,11 +36,44 @@ pub const Q30: u128 = 1_073_479_681;
 /// brute-force oracles over the whole field.
 pub const Q14: u128 = 15_361;
 
-/// Finds the largest prime `q < 2^bits` with `2^two_adicity | q − 1`, or
-/// `None` if the search space is empty or inconsistent.
+/// The shared search loop behind [`find_ntt_prime`] and
+/// [`ntt_prime_chain`]: primes `q < 2^bits` with `2^two_adicity | q − 1`,
+/// yielded in strictly descending order.
+///
+/// Yields nothing when the request is degenerate (`bits == 0`,
+/// `bits > 127`, or `two_adicity >= bits`).
+fn ntt_primes_descending(bits: u32, two_adicity: u32) -> impl Iterator<Item = u128> {
+    let degenerate = bits == 0 || bits > 127 || two_adicity >= bits;
+    let step = 1_u128 << two_adicity.min(126);
+    let top = if degenerate { 0 } else { (1_u128 << bits) - 1 };
+    // First candidate ≡ 1 (mod 2^two_adicity) at or below the top.
+    let mut candidate = if degenerate {
+        0
+    } else {
+        top - ((top - 1) % step)
+    };
+    std::iter::from_fn(move || {
+        while candidate > step {
+            let c = candidate;
+            candidate -= step;
+            if nt::is_prime(c) {
+                return Some(c);
+            }
+        }
+        None
+    })
+}
+
+/// Finds the largest prime `q < 2^bits` with `2^two_adicity | q − 1`.
 ///
 /// The scan steps downward through candidates `≡ 1 (mod 2^two_adicity)`,
 /// so the first prime hit is the maximum.
+///
+/// # Returns
+///
+/// `None` when the search space is empty or the request is inconsistent
+/// (`bits == 0`, `bits > 127`, or `two_adicity >= bits` — a `q − 1`
+/// divisible by `2^two_adicity` cannot fit below `2^bits` otherwise).
 ///
 /// ```
 /// use mqx_core::primes::{find_ntt_prime, Q124};
@@ -49,19 +82,38 @@ pub const Q14: u128 = 15_361;
 /// assert_eq!(find_ntt_prime(4, 10), None); // 2^10 + 1 > 2^4
 /// ```
 pub fn find_ntt_prime(bits: u32, two_adicity: u32) -> Option<u128> {
-    if bits == 0 || bits > 127 || two_adicity >= bits {
+    ntt_primes_descending(bits, two_adicity).next()
+}
+
+/// Generates an RNS basis: the `count` largest distinct primes below
+/// `2^bits` with `2^two_adicity | q − 1`, in descending order.
+///
+/// Distinct primes are automatically pairwise coprime, so the returned
+/// chain is a valid residue-number-system basis whose channels all
+/// support radix-2 NTTs up to size `2^two_adicity` (negacyclic up to
+/// `2^(two_adicity−1)`).
+///
+/// # Returns
+///
+/// `None` when the request is degenerate (see [`find_ntt_prime`]),
+/// `count == 0`, or the search space holds fewer than `count` primes.
+///
+/// ```
+/// use mqx_core::primes::{find_ntt_prime, ntt_prime_chain, Q62};
+/// let basis = ntt_prime_chain(62, 20, 3).unwrap();
+/// assert_eq!(basis[0], Q62); // shares find_ntt_prime's search order
+/// assert_eq!(basis[0], find_ntt_prime(62, 20).unwrap());
+/// assert_eq!(ntt_prime_chain(14, 10, 3), Some(vec![15361, 13313, 12289]));
+/// assert_eq!(ntt_prime_chain(14, 10, 100), None); // space exhausted
+/// ```
+pub fn ntt_prime_chain(bits: u32, two_adicity: u32, count: usize) -> Option<Vec<u128>> {
+    if count == 0 {
         return None;
     }
-    let step = 1_u128 << two_adicity;
-    let top = (1_u128 << bits) - 1;
-    let mut candidate = top - ((top - 1) % step);
-    while candidate > step {
-        if nt::is_prime(candidate) {
-            return Some(candidate);
-        }
-        candidate -= step;
-    }
-    None
+    let chain: Vec<u128> = ntt_primes_descending(bits, two_adicity)
+        .take(count)
+        .collect();
+    (chain.len() == count).then_some(chain)
 }
 
 #[cfg(test)]
@@ -103,5 +155,56 @@ mod tests {
         let q = find_ntt_prime(40, 12).expect("40-bit NTT prime exists");
         assert!(is_prime(q));
         assert_eq!((q - 1) % (1 << 12), 0);
+    }
+
+    #[test]
+    fn chain_head_matches_single_prime_search() {
+        for (bits, adicity) in [(62, 20), (30, 18), (40, 12), (14, 10)] {
+            assert_eq!(
+                ntt_prime_chain(bits, adicity, 1).map(|c| c[0]),
+                find_ntt_prime(bits, adicity),
+                "{bits}/{adicity}"
+            );
+        }
+    }
+
+    #[test]
+    fn chain_members_are_prime_with_requested_two_adicity() {
+        let adicity = 20;
+        let chain = ntt_prime_chain(62, adicity, 5).expect("five 62-bit NTT primes");
+        assert_eq!(chain.len(), 5);
+        for &q in &chain {
+            assert!(is_prime(q), "{q}");
+            assert!(q < 1 << 62, "{q} width");
+            assert!(two_adicity(q) >= adicity, "{q} 2-adicity");
+        }
+        // Descending and strictly distinct.
+        assert!(chain.windows(2).all(|w| w[0] > w[1]), "{chain:?}");
+    }
+
+    #[test]
+    fn chain_members_are_pairwise_coprime() {
+        let chain = ntt_prime_chain(40, 16, 6).expect("six 40-bit NTT primes");
+        for i in 0..chain.len() {
+            for j in (i + 1)..chain.len() {
+                assert_eq!(
+                    crate::nt::gcd(chain[i], chain[j]),
+                    1,
+                    "gcd({}, {})",
+                    chain[i],
+                    chain[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chain_rejects_degenerate_and_oversized_requests() {
+        assert_eq!(ntt_prime_chain(62, 20, 0), None);
+        assert_eq!(ntt_prime_chain(0, 0, 1), None);
+        assert_eq!(ntt_prime_chain(128, 10, 1), None);
+        assert_eq!(ntt_prime_chain(10, 10, 1), None);
+        // Only a handful of 14-bit primes ≡ 1 (mod 2^10) exist.
+        assert_eq!(ntt_prime_chain(14, 10, 100), None);
     }
 }

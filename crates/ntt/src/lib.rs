@@ -15,7 +15,7 @@
 //!     optimized *scalar* tier);
 //!   - [`NttPlan::forward_simd`] / [`NttPlan::inverse_simd`] — the
 //!     **Pease constant-geometry** dataflow (the paper's SIMD tier,
-//!     after Fu et al. [17]), whose interleaved stores are the
+//!     after Fu et al. \[17\]), whose interleaved stores are the
 //!     `_mm512_unpack*`/`_mm512_permutex2var_epi64` pattern of §3.2.
 //! * [`polymul`] — cyclic and negacyclic polynomial multiplication via
 //!   the convolution theorem, plus schoolbook references.

@@ -3,6 +3,7 @@
 //! used by RLWE-based FHE schemes, plus O(n²) schoolbook references.
 
 use crate::{NttError, NttPlan};
+use mqx_bignum::BigUint;
 use mqx_core::Modulus;
 
 /// Schoolbook product reduced mod `xⁿ − 1` (cyclic convolution) — the
@@ -43,6 +44,45 @@ pub fn schoolbook_negacyclic(a: &[u128], b: &[u128], m: &Modulus) -> Vec<u128> {
                 let k = i + j - n;
                 out[k] = m.sub_mod(out[k], p);
             }
+        }
+    }
+    out
+}
+
+/// Big-integer schoolbook product reduced mod `xⁿ − 1`: the
+/// product-modulus reference for RNS-sharded rings, whose modulus `q`
+/// is wider than a machine word.
+///
+/// # Panics
+///
+/// Panics if `a.len() != b.len()` or `q` is zero.
+pub fn schoolbook_cyclic_big(a: &[BigUint], b: &[BigUint], q: &BigUint) -> Vec<BigUint> {
+    schoolbook_big(a, b, q, false)
+}
+
+/// Big-integer schoolbook product reduced mod `xⁿ + 1` (wrapped terms
+/// flip sign) — see [`schoolbook_cyclic_big`].
+///
+/// # Panics
+///
+/// Panics if `a.len() != b.len()` or `q` is zero.
+pub fn schoolbook_negacyclic_big(a: &[BigUint], b: &[BigUint], q: &BigUint) -> Vec<BigUint> {
+    schoolbook_big(a, b, q, true)
+}
+
+fn schoolbook_big(a: &[BigUint], b: &[BigUint], q: &BigUint, negacyclic: bool) -> Vec<BigUint> {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let mut out = vec![BigUint::zero(); n];
+    for (i, ai) in a.iter().enumerate() {
+        for (j, bj) in b.iter().enumerate() {
+            let prod = ai.mul_mod(bj, q);
+            let k = (i + j) % n;
+            out[k] = if i + j < n || !negacyclic {
+                out[k].add_mod(&prod, q)
+            } else {
+                out[k].sub_mod(&prod, q)
+            };
         }
     }
     out
@@ -129,6 +169,29 @@ mod tests {
                 u128::from(state) % q
             })
             .collect()
+    }
+
+    #[test]
+    fn big_schoolbook_matches_word_schoolbook_on_word_sized_fields() {
+        // Same field, same inputs: the BigUint reference must agree
+        // with the u128 reference bit for bit, both wrap conventions.
+        let q = primes::Q62;
+        let m = Modulus::new_prime(q).unwrap();
+        let n = 16;
+        let a = poly(n, q, 0xB16);
+        let b = poly(n, q, 0xB17);
+        let big = |xs: &[u128]| -> Vec<BigUint> { xs.iter().map(|&x| BigUint::from(x)).collect() };
+        let lower =
+            |xs: Vec<BigUint>| -> Vec<u128> { xs.iter().map(|x| x.to_u128().unwrap()).collect() };
+        let qb = BigUint::from(q);
+        assert_eq!(
+            lower(schoolbook_cyclic_big(&big(&a), &big(&b), &qb)),
+            schoolbook_cyclic(&a, &b, &m)
+        );
+        assert_eq!(
+            lower(schoolbook_negacyclic_big(&big(&a), &big(&b), &qb)),
+            schoolbook_negacyclic(&a, &b, &m)
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use crate::engine::{sealed, SimdEngine};
 use std::arch::x86_64::*;
 
-/// The AVX2 engine. See the [module docs](self).
+/// The AVX2 engine. See the module docs.
 #[derive(Clone, Copy, Debug)]
 pub struct Avx2;
 

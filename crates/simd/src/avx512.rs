@@ -13,7 +13,7 @@
 use crate::engine::{sealed, SimdEngine};
 use std::arch::x86_64::*;
 
-/// The AVX-512 engine. See the [module docs](self).
+/// The AVX-512 engine. See the module docs.
 #[derive(Clone, Copy, Debug)]
 pub struct Avx512;
 

@@ -6,7 +6,7 @@
 
 use crate::engine::{sealed, SimdEngine};
 
-/// The portable 8-lane engine. See the [module docs](self).
+/// The portable 8-lane engine. See the module docs.
 #[derive(Clone, Copy, Debug)]
 pub struct Portable;
 

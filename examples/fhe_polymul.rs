@@ -1,103 +1,133 @@
 //! An FHE-flavoured workload: the polynomial arithmetic inside one
-//! RLWE-style "ciphertext multiplication", end to end, on the ring's
-//! runtime-selected vector tier.
+//! RLWE-style "ciphertext multiplication", end to end, over a sharded
+//! multi-modulus [`RnsRing`].
 //!
 //! FHE schemes represent ciphertexts as pairs of polynomials in
-//! ℤ_q[x]/(xⁿ+1). Multiplying ciphertexts costs four negacyclic
-//! polynomial products plus point-wise combinations — exactly the NTT
-//! and BLAS kernels the paper optimizes (§2.3: "NTT accounts for more
-//! than 90% of FHE-based application execution time").
+//! ℤ_Q[x]/(xⁿ+1) where the ciphertext modulus Q is far wider than a
+//! machine word. Production libraries never compute modulo the wide Q
+//! directly: they shard it into word-sized coprime RNS channels (the
+//! "double-CRT" representation) and run one NTT per channel — exactly
+//! what [`RnsRing`] does, with every channel dispatched through the
+//! runtime backend registry and executed on its own thread.
 //!
 //! ```sh
 //! cargo run --release --example fhe_polymul
 //! ```
 
-use mqx::core::primes;
-use mqx::simd::ResidueSoa;
-use mqx::Ring;
+use mqx::bignum::BigUint;
+use mqx::{plan_cache, RnsRing};
 use std::time::Instant;
 
-/// A toy RLWE "ciphertext": two polynomials (c0, c1).
+/// A toy RLWE "ciphertext": two polynomials (c0, c1) with big-integer
+/// coefficients reduced below the product modulus Q.
 struct Ciphertext {
-    c0: Vec<u128>,
-    c1: Vec<u128>,
+    c0: Vec<BigUint>,
+    c1: Vec<BigUint>,
 }
 
-fn random_poly(n: usize, q: u128, seed: &mut u64) -> Vec<u128> {
+fn random_poly(n: usize, q: &BigUint, seed: &mut u64) -> Vec<BigUint> {
     (0..n)
         .map(|_| {
             *seed ^= *seed << 13;
             *seed ^= *seed >> 7;
             *seed ^= *seed << 17;
-            u128::from(*seed) % q
+            // Two xorshift words give ~128 random bits; reduce mod Q.
+            let hi = *seed;
+            *seed ^= *seed << 13;
+            *seed ^= *seed >> 7;
+            *seed ^= *seed << 17;
+            let wide = (u128::from(hi) << 64) | u128::from(*seed);
+            // mul_mod spreads the ~128 random bits across q's full
+            // width and returns a value already reduced below q.
+            BigUint::from(wide).mul_mod(&BigUint::from(wide), q)
         })
         .collect()
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 4096;
-    let mut ring = Ring::auto(primes::Q124, n)?;
+    let channels = 3;
+
+    // Three auto-generated 62-bit NTT primes: Q spans ~186 bits — far
+    // beyond both the machine word and the 124-bit single-prime ceiling.
+    let t_build = Instant::now();
+    let mut ring = RnsRing::auto(channels, n)?;
+    let built_in = t_build.elapsed();
     assert!(ring.supports_negacyclic());
     println!(
-        "ring: n = {n}, q = {} bits, backend = {}",
-        ring.modulus().bits(),
-        ring.backend().name()
+        "RnsRing: n = {n}, Q = {} bits over {} channels, backends = {:?} (built in {built_in:?})",
+        ring.product_modulus().bits(),
+        ring.channels(),
+        ring.backend_names(),
     );
-    let q = ring.modulus().value();
-    let mut seed = 0x5EED_CAFE_u64;
+    for (i, &q) in ring.moduli().iter().enumerate() {
+        println!("  channel {i}: q = {q} ({} bits)", 128 - q.leading_zeros());
+    }
 
+    let q = ring.product_modulus().clone();
+    let mut seed = 0x5EED_CAFE_u64;
     let ct_a = Ciphertext {
-        c0: random_poly(n, q, &mut seed),
-        c1: random_poly(n, q, &mut seed),
+        c0: random_poly(n, &q, &mut seed),
+        c1: random_poly(n, &q, &mut seed),
     };
     let ct_b = Ciphertext {
-        c0: random_poly(n, q, &mut seed),
-        c1: random_poly(n, q, &mut seed),
+        c0: random_poly(n, &q, &mut seed),
+        c1: random_poly(n, &q, &mut seed),
     };
 
     // Tensor product of two degree-1 ciphertexts: (d0, d1, d2) =
-    // (a0·b0, a0·b1 + a1·b0, a1·b1) — four negacyclic products and one
-    // vector addition, all in the ring's vector tier.
+    // (a0·b0, a0·b1 + a1·b0, a1·b1) — four negacyclic products, each
+    // sharded across the residue channels, plus one coefficient-wise
+    // addition modulo Q.
     let t0 = Instant::now();
     let d0 = ring.polymul_negacyclic(&ct_a.c0, &ct_b.c0)?;
     let a0b1 = ring.polymul_negacyclic(&ct_a.c0, &ct_b.c1)?;
     let a1b0 = ring.polymul_negacyclic(&ct_a.c1, &ct_b.c0)?;
-    let mut d1 = ResidueSoa::zeros(n);
-    ring.vadd(
-        &ResidueSoa::from_u128s(&a0b1),
-        &ResidueSoa::from_u128s(&a1b0),
-        &mut d1,
-    );
+    let d1: Vec<BigUint> = a0b1
+        .iter()
+        .zip(&a1b0)
+        .map(|(x, y)| x.add_mod(y, &q))
+        .collect();
     let d2 = ring.polymul_negacyclic(&ct_a.c1, &ct_b.c1)?;
     let elapsed = t0.elapsed();
 
-    println!("ciphertext tensor at n = {n} over the 124-bit field: {elapsed:?}");
-    println!("  d0[0..4] = {:?}", &d0[..4.min(d0.len())]);
-    println!("  d1[0..4] = {:?}", &d1.to_u128s()[..4]);
-    println!("  d2[0..4] = {:?}", &d2[..4]);
-
-    // Cross-check one product against the O(n²) schoolbook on a smaller
-    // instance (the full size would take a while quadratically).
-    let small = 256;
-    let mut small_ring = Ring::auto(primes::Q124, small)?;
-    let f = &ct_a.c0[..small].to_vec();
-    let g = &ct_b.c0[..small].to_vec();
-    let fast = small_ring.polymul_negacyclic(f, g)?;
-    let slow = mqx::ntt::polymul::schoolbook_negacyclic(f, g, ring.modulus());
-    assert_eq!(fast, slow);
-    println!("\nNTT product ≡ schoolbook product at n = {small}: ok");
-
-    // The point-wise (evaluation-domain) view: an FHE runtime keeps
-    // operands in NTT form and uses BLAS kernels between transforms.
-    let mut eval_a = ResidueSoa::from_u128s(&ct_a.c0);
-    let mut eval_b = ResidueSoa::from_u128s(&ct_b.c0);
-    ring.forward(&mut eval_a)?;
-    ring.forward(&mut eval_b)?;
-    let mut eval_prod = ResidueSoa::zeros(n);
-    ring.vmul(&eval_a, &eval_b, &mut eval_prod);
     println!(
-        "evaluation-domain point-wise product: {} coefficients",
-        eval_prod.len()
+        "\nciphertext tensor at n = {n} over the {}-bit modulus: {elapsed:?}",
+        q.bits()
+    );
+    println!("  d0[0] = {}", d0[0]);
+    println!("  d1[0] = {}", d1[0]);
+    println!("  d2[0] = {}", d2[0]);
+
+    // Cross-check one product against the O(n²) schoolbook over the
+    // product modulus on a smaller instance (no NTT code shared).
+    let small = 256;
+    let mut small_ring = RnsRing::with_moduli(ring.moduli(), small)?;
+    let f = &ct_a.c0[..small];
+    let g = &ct_b.c0[..small];
+    let fast = small_ring.polymul_negacyclic(f, g)?;
+    let slow = mqx::ntt::polymul::schoolbook_negacyclic_big(f, g, &q);
+    assert_eq!(fast, slow);
+    println!("\nsharded product ≡ big-integer schoolbook at n = {small}: ok");
+
+    // The residue-domain view: an FHE runtime keeps operands
+    // decomposed and only recombines at the boundary.
+    let residues = ring.to_residues(&ct_a.c0)?;
+    println!(
+        "residue decomposition: {} channels × {} word-sized residues",
+        residues.len(),
+        residues[0].len()
+    );
+    assert_eq!(ring.recombine(&residues)?, ct_a.c0);
+
+    // The plan cache paid the O(n log n) table build once per distinct
+    // (channel modulus, n); opening another ring over the same geometry
+    // — a server doing it per request — rebuilds nothing.
+    let _per_request = RnsRing::with_moduli(ring.moduli(), n)?;
+    let stats = plan_cache::global().stats();
+    println!(
+        "plan cache: {} plans built, {} served from cache (per-request reopen was free)",
+        stats.misses, stats.hits
     );
 
     Ok(())

@@ -6,6 +6,7 @@
 //! from `mqx_ntt`) and adds the dispatch-layer failures (unknown backend
 //! name, negacyclic operation on a ring without a 2n-th root).
 
+use mqx_bignum::crt::CrtError;
 use mqx_core::ModulusError;
 use mqx_ntt::NttError;
 use std::fmt;
@@ -39,6 +40,32 @@ pub enum Error {
         /// The offending input length.
         got: usize,
     },
+    /// An RNS basis was rejected (empty, a modulus below 2, or moduli
+    /// sharing a factor).
+    Crt(CrtError),
+    /// The requested NTT prime chain could not be generated.
+    BasisGeneration {
+        /// Requested prime width in bits.
+        bits: u32,
+        /// Requested minimum 2-adicity of `q − 1`.
+        two_adicity: u32,
+        /// Requested number of channels.
+        count: usize,
+    },
+    /// A per-channel argument list does not match the number of residue
+    /// channels.
+    ChannelCountMismatch {
+        /// The basis channel count.
+        expected: usize,
+        /// The offending list length.
+        got: usize,
+    },
+    /// A big-integer coefficient is at or above the RNS product modulus,
+    /// so its residue vector would alias a different canonical value.
+    CoefficientOutOfRange {
+        /// Index of the offending coefficient.
+        index: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -60,6 +87,23 @@ impl fmt::Display for Error {
             Error::LengthMismatch { expected, got } => {
                 write!(f, "input length {got} does not match ring size {expected}")
             }
+            Error::Crt(e) => write!(f, "{e}"),
+            Error::BasisGeneration {
+                bits,
+                two_adicity,
+                count,
+            } => write!(
+                f,
+                "cannot generate {count} distinct {bits}-bit NTT primes with 2-adicity {two_adicity}"
+            ),
+            Error::ChannelCountMismatch { expected, got } => write!(
+                f,
+                "per-channel list has {got} entries but the basis has {expected} channels"
+            ),
+            Error::CoefficientOutOfRange { index } => write!(
+                f,
+                "coefficient {index} is not reduced below the RNS product modulus"
+            ),
         }
     }
 }
@@ -69,8 +113,15 @@ impl std::error::Error for Error {
         match self {
             Error::Modulus(e) => Some(e),
             Error::Ntt(e) => Some(e),
+            Error::Crt(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<CrtError> for Error {
+    fn from(e: CrtError) -> Self {
+        Error::Crt(e)
     }
 }
 
@@ -117,5 +168,29 @@ mod tests {
             got: 7,
         };
         assert!(e.to_string().contains("1024"));
+    }
+
+    #[test]
+    fn rns_errors_are_actionable() {
+        let e = Error::from(CrtError::NotCoprime { i: 0, j: 2 });
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("not coprime"), "{e}");
+
+        let e = Error::BasisGeneration {
+            bits: 62,
+            two_adicity: 20,
+            count: 99,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("99") && msg.contains("62"), "{msg}");
+
+        let e = Error::ChannelCountMismatch {
+            expected: 3,
+            got: 2,
+        };
+        assert!(e.to_string().contains("3 channels"), "{e}");
+
+        let e = Error::CoefficientOutOfRange { index: 17 };
+        assert!(e.to_string().contains("17"), "{e}");
     }
 }

@@ -13,7 +13,11 @@
 //!
 //! * [`Ring::auto`] — picks the fastest available tier;
 //! * [`Ring::with_backend_name`] / [`RingBuilder`] — pins a tier;
-//! * [`backend::available`] — enumerates what this host offers.
+//! * [`backend::available`] — enumerates what this host offers;
+//! * [`RnsRing`] — shards a wider-than-word modulus across word-sized
+//!   residue channels (one backend-dispatched ring each) with CRT
+//!   recombination;
+//! * [`plan_cache`] — the keyed NTT-plan cache behind every ring open.
 //!
 //! ```
 //! use mqx::{core::primes, Ring};
@@ -66,11 +70,15 @@
 
 pub mod backend;
 mod error;
+pub mod plan_cache;
 mod ring;
+mod rns;
 
 pub use backend::{Backend, Tier};
 pub use error::Error;
+pub use plan_cache::PlanCache;
 pub use ring::{Ring, RingBuilder};
+pub use rns::{RnsRing, RnsRingBuilder};
 
 pub use mqx_baseline as baseline;
 pub use mqx_bignum as bignum;

@@ -1,0 +1,174 @@
+//! A keyed cache of [`NttPlan`]s, so rings can be opened per-request
+//! without re-paying the `O(n log n)` twiddle-table build.
+//!
+//! Plans are immutable once built and independent of the executing
+//! backend, so one plan can back any number of [`Ring`](crate::Ring)s
+//! across threads — the cache hands out [`Arc`] clones keyed by
+//! `(modulus, multiplication algorithm, n)`. A server opening a ring
+//! per request, or an [`RnsRing`](crate::RnsRing) opening one ring per
+//! residue channel, pays the table build exactly once per distinct key.
+//!
+//! The process-wide [`global`] cache is what [`Ring`](crate::Ring) and
+//! [`RnsRing`](crate::RnsRing) use by default; independent
+//! [`PlanCache`] instances exist for isolation (tests asserting hit
+//! counts, tenants with separate capacity).
+//!
+//! ```
+//! use mqx::{core::primes, plan_cache, Ring};
+//!
+//! let before = plan_cache::global().stats();
+//! let _a = Ring::auto(primes::Q124, 256)?;
+//! let _b = Ring::auto(primes::Q124, 256)?; // same key: served from cache
+//! let after = plan_cache::global().stats();
+//! assert!(after.hits > before.hits);
+//! # Ok::<(), mqx::Error>(())
+//! ```
+
+use crate::error::Error;
+use mqx_core::{Modulus, MulAlgorithm};
+use mqx_ntt::NttPlan;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The cache key: everything [`NttPlan::new`] depends on.
+type PlanKey = (u128, MulAlgorithm, usize);
+
+/// Counters describing a cache's traffic, from [`PlanCache::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from an already-built plan.
+    pub hits: u64,
+    /// Lookups that had to build (and insert) a plan.
+    pub misses: u64,
+    /// Distinct plans currently held.
+    pub entries: usize,
+}
+
+/// A keyed `(modulus, algorithm, n) → Arc<NttPlan>` cache with hit/miss
+/// counters.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: Mutex<HashMap<PlanKey, Arc<NttPlan>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// Returns the plan for `(modulus, n)`, building and caching it on
+    /// first use. The lock is held across a miss's table build, so
+    /// concurrent requests for one key build it exactly once.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Ntt`] when no plan exists for the requested size (not
+    /// cached: the same request fails identically every time).
+    pub fn plan_for(&self, modulus: &Modulus, n: usize) -> Result<Arc<NttPlan>, Error> {
+        let key: PlanKey = (modulus.value(), modulus.algorithm(), n);
+        let mut plans = self.plans.lock().expect("plan cache poisoned");
+        if let Some(plan) = plans.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(plan));
+        }
+        let plan = Arc::new(NttPlan::new(modulus, n)?);
+        plans.insert(key, Arc::clone(&plan));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Ok(plan)
+    }
+
+    /// Current hit/miss/entry counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.plans.lock().expect("plan cache poisoned").len(),
+        }
+    }
+
+    /// Drops every cached plan (outstanding `Arc`s stay valid). The
+    /// counters are not reset.
+    pub fn clear(&self) {
+        self.plans.lock().expect("plan cache poisoned").clear();
+    }
+}
+
+/// The process-wide cache every [`Ring`](crate::Ring) and
+/// [`RnsRing`](crate::RnsRing) uses unless a builder pins another one.
+pub fn global() -> &'static Arc<PlanCache> {
+    static GLOBAL: OnceLock<Arc<PlanCache>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Arc::new(PlanCache::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqx_core::primes;
+    use mqx_ntt::NttError;
+
+    #[test]
+    fn second_lookup_hits_and_shares_the_plan() {
+        let cache = PlanCache::new();
+        let m = Modulus::new_prime(primes::Q124).unwrap();
+        let a = cache.plan_for(&m, 64).unwrap();
+        let b = cache.plan_for(&m, 64).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "one build, shared plan");
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                entries: 1
+            }
+        );
+    }
+
+    #[test]
+    fn distinct_keys_build_distinct_plans() {
+        let cache = PlanCache::new();
+        let m = Modulus::new_prime(primes::Q124).unwrap();
+        let k = m.with_algorithm(MulAlgorithm::Karatsuba);
+        cache.plan_for(&m, 64).unwrap();
+        cache.plan_for(&m, 128).unwrap(); // different n
+        cache.plan_for(&k, 64).unwrap(); // different algorithm
+        cache
+            .plan_for(&Modulus::new_prime(primes::Q62).unwrap(), 64)
+            .unwrap(); // different modulus
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 4, 4));
+    }
+
+    #[test]
+    fn failures_are_reported_and_not_cached() {
+        let cache = PlanCache::new();
+        let m = Modulus::new_prime(primes::Q124).unwrap();
+        assert!(matches!(
+            cache.plan_for(&m, 12).unwrap_err(),
+            Error::Ntt(NttError::SizeNotPowerOfTwo { .. })
+        ));
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn clear_keeps_counters_and_outstanding_plans() {
+        let cache = PlanCache::new();
+        let m = Modulus::new_prime(primes::Q124).unwrap();
+        let plan = cache.plan_for(&m, 64).unwrap();
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(plan.size(), 64, "outstanding Arc still valid");
+        // Re-requesting after clear rebuilds.
+        cache.plan_for(&m, 64).unwrap();
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn global_cache_is_shared() {
+        assert!(Arc::ptr_eq(global(), global()));
+    }
+}

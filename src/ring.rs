@@ -19,6 +19,7 @@
 
 use crate::backend::{self, Backend};
 use crate::error::Error;
+use crate::plan_cache::{self, PlanCache};
 use mqx_core::{Modulus, MulAlgorithm};
 use mqx_ntt::NttPlan;
 use mqx_simd::ResidueSoa;
@@ -51,6 +52,7 @@ pub struct RingBuilder {
     n: usize,
     algorithm: MulAlgorithm,
     choice: BackendChoice,
+    cache: Arc<PlanCache>,
 }
 
 impl RingBuilder {
@@ -61,6 +63,7 @@ impl RingBuilder {
             n,
             algorithm: MulAlgorithm::Schoolbook,
             choice: BackendChoice::Auto,
+            cache: Arc::clone(plan_cache::global()),
         }
     }
 
@@ -85,6 +88,14 @@ impl RingBuilder {
         self
     }
 
+    /// Serves the NTT plan from `cache` instead of the process-wide
+    /// [`plan_cache::global`] — for tenants with isolated capacity or
+    /// tests asserting hit counts.
+    pub fn plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
     /// Builds the ring: validates the modulus, constructs the NTT plan,
     /// resolves the backend, and allocates the reusable scratch buffers.
     pub fn build(self) -> Result<Ring, Error> {
@@ -99,7 +110,7 @@ impl RingBuilder {
             }
         };
         let modulus = Modulus::new_prime(self.modulus)?.with_algorithm(self.algorithm);
-        let plan = NttPlan::new(&modulus, self.n)?;
+        let plan = self.cache.plan_for(&modulus, self.n)?;
         let n = plan.size();
         let psi = plan.psi().map(ResidueSoa::from_u128s);
         let psi_inv = plan.psi_inv().map(ResidueSoa::from_u128s);
@@ -119,13 +130,15 @@ impl RingBuilder {
 /// A polynomial ring `ℤ_q[x]/(xⁿ ± 1)` bound to one runtime-dispatched
 /// engine tier.
 ///
-/// The ring owns its [`NttPlan`] plus three `n`-residue scratch buffers,
-/// so repeated transforms and polynomial products allocate nothing
-/// (beyond the caller's own output, for the slice-based conveniences).
-/// Methods that use the scratch space take `&mut self`.
+/// The ring holds a shared handle to its [`NttPlan`] (served by the
+/// [`plan_cache`](crate::plan_cache), so per-request ring opens skip
+/// the `O(n log n)` table build) plus three `n`-residue scratch
+/// buffers, so repeated transforms and polynomial products allocate
+/// nothing (beyond the caller's own output, for the slice-based
+/// conveniences). Methods that use the scratch space take `&mut self`.
 pub struct Ring {
     modulus: Modulus,
-    plan: NttPlan,
+    plan: Arc<NttPlan>,
     backend: Arc<dyn Backend>,
     /// ψ^i / ψ^{−i} tables in SoA form, when the field has a 2n-th root:
     /// lets the negacyclic twist run through the backend's `vmul`.
@@ -189,6 +202,11 @@ impl Ring {
     /// The underlying NTT plan.
     pub fn plan(&self) -> &NttPlan {
         &self.plan
+    }
+
+    /// A shareable handle to the (cached) NTT plan.
+    pub fn plan_arc(&self) -> Arc<NttPlan> {
+        Arc::clone(&self.plan)
     }
 
     /// The transform size `n`.

@@ -1,0 +1,564 @@
+//! Sharded multi-modulus rings: [`RnsRing`] runs polynomial arithmetic
+//! over a modulus wider than the machine word as `k` independent
+//! word-sized residue channels.
+//!
+//! A Residue Number System (RNS) basis is a set of pairwise-coprime
+//! NTT-friendly primes `q_0, …, q_{k−1}`; by the CRT isomorphism
+//! `ℤ_Q[x]/(xⁿ ± 1) ≅ ∏ᵢ ℤ_{q_i}[x]/(xⁿ ± 1)` (with `Q = ∏ q_i`), a
+//! polynomial product modulo the wide `Q` is exactly `k` independent
+//! single-prime products — the standard production alternative to
+//! multi-word arithmetic, and how scalable accelerator designs
+//! parallelize large-modulus kernels. [`RnsRing`] owns one [`Ring`] per
+//! channel, each independently dispatched through the backend registry
+//! (so channels can land on different vector tiers), fans channel
+//! execution out across scoped threads, and recombines results by
+//! Garner's algorithm ([`mqx_bignum::crt`]).
+//!
+//! Plans for every channel come from the shared
+//! [`plan_cache`](crate::plan_cache), so opening a second ring over the
+//! same basis rebuilds nothing.
+//!
+//! ```
+//! use mqx::bignum::BigUint;
+//! use mqx::{core::primes, RnsRing};
+//!
+//! // Two word-sized channels stand in for a ~92-bit modulus.
+//! let mut ring = RnsRing::with_moduli(&[primes::Q62, primes::Q30], 64)?;
+//! assert_eq!(ring.channels(), 2);
+//! assert!(ring.product_modulus().bits() > 64);
+//!
+//! let f: Vec<BigUint> = (0..64_u64).map(BigUint::from).collect();
+//! let g: Vec<BigUint> = (0..64_u64).map(|i| BigUint::from(i * i)).collect();
+//! let product = ring.polymul_negacyclic(&f, &g)?;
+//! assert_eq!(product.len(), 64);
+//! # Ok::<(), mqx::Error>(())
+//! ```
+
+use crate::backend::Backend;
+use crate::error::Error;
+use crate::plan_cache::{self, PlanCache};
+use crate::ring::{Ring, RingBuilder};
+use mqx_bignum::crt::CrtContext;
+use mqx_bignum::BigUint;
+use mqx_core::{primes, MulAlgorithm};
+use std::fmt;
+use std::sync::Arc;
+
+/// Default channel width for generated bases: the widest prime that
+/// still fits the 62-bit single-word fast path of the engine tiers.
+const DEFAULT_BASIS_BITS: u32 = 62;
+
+/// How an [`RnsRingBuilder`] obtains its basis.
+enum BasisChoice {
+    /// Use these moduli verbatim (validated for pairwise coprimality).
+    Explicit(Vec<u128>),
+    /// Generate `count` primes below `2^bits` via
+    /// [`primes::ntt_prime_chain`].
+    Generated { bits: u32, count: usize },
+}
+
+/// How the builder assigns a backend to each channel.
+enum ChannelBackends {
+    /// Every channel uses [`Ring::auto`]'s default tier.
+    Auto,
+    /// Every channel pins the named registry backend.
+    Uniform(String),
+    /// Channel `i` pins `backends[i]` — one entry per channel.
+    PerChannel(Vec<Arc<dyn Backend>>),
+}
+
+/// Configures and builds an [`RnsRing`].
+///
+/// ```
+/// use mqx::RnsRingBuilder;
+///
+/// // A 3-channel basis of generated 62-bit NTT primes, pinned to the
+/// // portable tier on every channel.
+/// let ring = RnsRingBuilder::new(256)
+///     .generated_basis(62, 3)
+///     .backend_name("portable")
+///     .build()?;
+/// assert_eq!(ring.channels(), 3);
+/// assert!(ring.backend_names().iter().all(|&n| n == "portable"));
+/// # Ok::<(), mqx::Error>(())
+/// ```
+pub struct RnsRingBuilder {
+    n: usize,
+    basis: BasisChoice,
+    backends: ChannelBackends,
+    algorithm: MulAlgorithm,
+    cache: Arc<PlanCache>,
+}
+
+impl RnsRingBuilder {
+    /// Starts a builder for `n`-point rings. Without further
+    /// configuration the basis is empty and [`RnsRingBuilder::build`]
+    /// fails; pick one with [`RnsRingBuilder::moduli`] or
+    /// [`RnsRingBuilder::generated_basis`].
+    pub fn new(n: usize) -> Self {
+        RnsRingBuilder {
+            n,
+            basis: BasisChoice::Explicit(Vec::new()),
+            backends: ChannelBackends::Auto,
+            algorithm: MulAlgorithm::Schoolbook,
+            cache: Arc::clone(plan_cache::global()),
+        }
+    }
+
+    /// Uses these pairwise-coprime primes as the basis, one channel per
+    /// modulus, in order.
+    pub fn moduli(mut self, moduli: &[u128]) -> Self {
+        self.basis = BasisChoice::Explicit(moduli.to_vec());
+        self
+    }
+
+    /// Generates a basis of the `count` largest NTT-friendly primes
+    /// below `2^bits` whose 2-adicity supports negacyclic products at
+    /// the builder's `n` (i.e. `2n | q − 1`).
+    pub fn generated_basis(mut self, bits: u32, count: usize) -> Self {
+        self.basis = BasisChoice::Generated { bits, count };
+        self
+    }
+
+    /// Pins every channel to the named registry backend.
+    pub fn backend_name(mut self, name: &str) -> Self {
+        self.backends = ChannelBackends::Uniform(name.to_string());
+        self
+    }
+
+    /// Pins channel `i` to `backends[i]` — the list length must match
+    /// the channel count at build time. This is how channels land on
+    /// different tiers (e.g. AVX-512 for the hot channel, portable for
+    /// the rest).
+    pub fn channel_backends(mut self, backends: Vec<Arc<dyn Backend>>) -> Self {
+        self.backends = ChannelBackends::PerChannel(backends);
+        self
+    }
+
+    /// Selects the double-word multiplication algorithm for every
+    /// channel's modulus.
+    pub fn mul_algorithm(mut self, algorithm: MulAlgorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Serves every channel's NTT plan from `cache` instead of the
+    /// process-wide [`plan_cache::global`].
+    pub fn plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Builds the ring: resolves the basis, validates coprimality,
+    /// precomputes the Garner constants, and opens one backend-dispatched
+    /// [`Ring`] per channel (plans served by the configured cache).
+    pub fn build(self) -> Result<RnsRing, Error> {
+        let moduli = match self.basis {
+            BasisChoice::Explicit(v) => v,
+            BasisChoice::Generated { bits, count } => {
+                // Negacyclic products at size n need a 2n-th root of
+                // unity, i.e. 2-adicity ≥ log₂(n) + 1.
+                let two_adicity = self.n.trailing_zeros() + 1;
+                primes::ntt_prime_chain(bits, two_adicity, count).ok_or(Error::BasisGeneration {
+                    bits,
+                    two_adicity,
+                    count,
+                })?
+            }
+        };
+        let crt = CrtContext::new(&moduli)?;
+
+        if let ChannelBackends::PerChannel(ref backends) = self.backends {
+            if backends.len() != moduli.len() {
+                return Err(Error::ChannelCountMismatch {
+                    expected: moduli.len(),
+                    got: backends.len(),
+                });
+            }
+        }
+        let rings: Vec<Ring> = moduli
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| {
+                let builder = RingBuilder::new(q, self.n)
+                    .mul_algorithm(self.algorithm)
+                    .plan_cache(Arc::clone(&self.cache));
+                match &self.backends {
+                    ChannelBackends::Auto => builder,
+                    ChannelBackends::Uniform(name) => builder.backend_name(name),
+                    ChannelBackends::PerChannel(backends) => {
+                        builder.backend(Arc::clone(&backends[i]))
+                    }
+                }
+                .build()
+            })
+            .collect::<Result<_, _>>()?;
+
+        Ok(RnsRing {
+            rings,
+            crt,
+            n: self.n,
+        })
+    }
+}
+
+/// A sharded multi-modulus polynomial ring `ℤ_Q[x]/(xⁿ ± 1)` with
+/// `Q = ∏ q_i`: one runtime-dispatched [`Ring`] per word-sized residue
+/// channel, CRT decomposition/recombination at the boundary, and
+/// channel execution fanned out across scoped threads.
+pub struct RnsRing {
+    rings: Vec<Ring>,
+    crt: CrtContext,
+    n: usize,
+}
+
+impl fmt::Debug for RnsRing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RnsRing")
+            .field("moduli", &self.crt.moduli())
+            .field("n", &self.n)
+            .field("backends", &self.backend_names())
+            .finish()
+    }
+}
+
+impl RnsRing {
+    /// Builds an `n`-point ring over an auto-generated basis of
+    /// `channels` word-sized (62-bit) NTT primes, each channel on the
+    /// fastest vector tier this machine can execute.
+    pub fn auto(channels: usize, n: usize) -> Result<RnsRing, Error> {
+        RnsRingBuilder::new(n)
+            .generated_basis(DEFAULT_BASIS_BITS, channels)
+            .build()
+    }
+
+    /// Builds an `n`-point ring over the given pairwise-coprime primes.
+    pub fn with_moduli(moduli: &[u128], n: usize) -> Result<RnsRing, Error> {
+        RnsRingBuilder::new(n).moduli(moduli).build()
+    }
+
+    /// Starts an [`RnsRingBuilder`] for finer control.
+    pub fn builder(n: usize) -> RnsRingBuilder {
+        RnsRingBuilder::new(n)
+    }
+
+    /// The number of residue channels `k`.
+    pub fn channels(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// The transform size `n`.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// The channel moduli, in channel order.
+    pub fn moduli(&self) -> &[u128] {
+        self.crt.moduli()
+    }
+
+    /// The product modulus `Q = ∏ q_i` the ring emulates.
+    pub fn product_modulus(&self) -> &BigUint {
+        self.crt.product()
+    }
+
+    /// The per-channel rings, in channel order.
+    pub fn rings(&self) -> &[Ring] {
+        &self.rings
+    }
+
+    /// The backend name each channel dispatches to.
+    pub fn backend_names(&self) -> Vec<&'static str> {
+        self.rings.iter().map(|r| r.backend().name()).collect()
+    }
+
+    /// Whether every channel field has a `2n`-th root of unity (the
+    /// requirement for [`RnsRing::polymul_negacyclic`]).
+    pub fn supports_negacyclic(&self) -> bool {
+        self.rings.iter().all(Ring::supports_negacyclic)
+    }
+
+    fn check_len(&self, got: usize) -> Result<(), Error> {
+        if got == self.n {
+            Ok(())
+        } else {
+            Err(Error::LengthMismatch {
+                expected: self.n,
+                got,
+            })
+        }
+    }
+
+    /// Decomposes a coefficient slice into per-channel residue vectors
+    /// (channel-major: `k` vectors of `n` residues).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::LengthMismatch`] for a slice of the wrong length;
+    /// [`Error::CoefficientOutOfRange`] for any coefficient at or above
+    /// [`RnsRing::product_modulus`] (callers reduce first, so aliasing
+    /// can never silently change a value).
+    pub fn to_residues(&self, coeffs: &[BigUint]) -> Result<Vec<Vec<u128>>, Error> {
+        self.check_len(coeffs.len())?;
+        if let Some(index) = coeffs.iter().position(|c| c >= self.crt.product()) {
+            return Err(Error::CoefficientOutOfRange { index });
+        }
+        // Channel-major: one output vector per channel, no
+        // per-coefficient allocation on this serial boundary path.
+        Ok(self
+            .moduli()
+            .iter()
+            .map(|&q| {
+                let q = BigUint::from(q);
+                coeffs
+                    .iter()
+                    .map(|c| (c % &q).to_u128().expect("word-sized residue"))
+                    .collect()
+            })
+            .collect())
+    }
+
+    /// Recombines per-channel residue vectors (channel-major, as
+    /// produced by [`RnsRing::to_residues`]) into coefficients in
+    /// `[0, Q)` by Garner's algorithm.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ChannelCountMismatch`] when `channels.len() != k`;
+    /// [`Error::LengthMismatch`] when any channel vector is not
+    /// `n`-long.
+    pub fn recombine(&self, channels: &[Vec<u128>]) -> Result<Vec<BigUint>, Error> {
+        if channels.len() != self.channels() {
+            return Err(Error::ChannelCountMismatch {
+                expected: self.channels(),
+                got: channels.len(),
+            });
+        }
+        for channel in channels {
+            self.check_len(channel.len())?;
+        }
+        let mut digits = vec![0_u128; self.channels()];
+        Ok((0..self.n)
+            .map(|j| {
+                for (digit, channel) in digits.iter_mut().zip(channels) {
+                    *digit = channel[j];
+                }
+                self.crt.recombine(&digits)
+            })
+            .collect())
+    }
+
+    /// Negacyclic product in `ℤ_Q[x]/(xⁿ + 1)` — the RLWE workhorse
+    /// over a modulus wider than the machine word. Coefficients must be
+    /// reduced below [`RnsRing::product_modulus`]; the result is
+    /// reduced likewise.
+    ///
+    /// Each channel's product runs on its own scoped thread through its
+    /// own backend (mirroring `ntt::batch`), so wall-clock cost is one
+    /// channel's product plus the CRT boundary work.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NoNegacyclicSupport`] if any channel field lacks a
+    /// `2n`-th root of unity (check [`RnsRing::supports_negacyclic`]),
+    /// plus the [`RnsRing::to_residues`] validation errors.
+    pub fn polymul_negacyclic(
+        &mut self,
+        a: &[BigUint],
+        b: &[BigUint],
+    ) -> Result<Vec<BigUint>, Error> {
+        self.polymul(a, b, true)
+    }
+
+    /// Cyclic product in `ℤ_Q[x]/(xⁿ − 1)`, sharded per channel like
+    /// [`RnsRing::polymul_negacyclic`].
+    pub fn polymul_cyclic(&mut self, a: &[BigUint], b: &[BigUint]) -> Result<Vec<BigUint>, Error> {
+        self.polymul(a, b, false)
+    }
+
+    fn polymul(
+        &mut self,
+        a: &[BigUint],
+        b: &[BigUint],
+        negacyclic: bool,
+    ) -> Result<Vec<BigUint>, Error> {
+        let a_channels = self.to_residues(a)?;
+        let b_channels = self.to_residues(b)?;
+
+        // One scoped worker per channel, each owning its channel's ring
+        // (and therefore that ring's scratch buffers) exclusively.
+        let results: Vec<Result<Vec<u128>, Error>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .rings
+                .iter_mut()
+                .zip(a_channels.into_iter().zip(b_channels))
+                .map(|(ring, (ra, rb))| {
+                    scope.spawn(move || {
+                        if negacyclic {
+                            ring.polymul_negacyclic(&ra, &rb)
+                        } else {
+                            ring.polymul_cyclic(&ra, &rb)
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("RNS channel worker panicked"))
+                .collect()
+        });
+
+        let per_channel = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+        self.recombine(&per_channel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend;
+    use crate::plan_cache::PlanCache;
+    use mqx_bignum::crt::CrtError;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const N: usize = 64;
+
+    fn coeffs(ring: &RnsRing, seed: u64) -> Vec<BigUint> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..ring.size())
+            .map(|_| BigUint::random_below(&mut rng, ring.product_modulus()))
+            .collect()
+    }
+
+    #[test]
+    fn residue_roundtrip_is_identity() {
+        let ring = RnsRing::with_moduli(&[primes::Q62, primes::Q30, primes::Q14], N).unwrap();
+        let xs = coeffs(&ring, 0xC0FFEE);
+        let channels = ring.to_residues(&xs).unwrap();
+        assert_eq!(channels.len(), 3);
+        assert_eq!(ring.recombine(&channels).unwrap(), xs);
+    }
+
+    #[test]
+    fn negacyclic_matches_big_schoolbook() {
+        let mut ring = RnsRing::with_moduli(&[primes::Q62, primes::Q30], N).unwrap();
+        assert!(ring.supports_negacyclic());
+        let a = coeffs(&ring, 1);
+        let b = coeffs(&ring, 2);
+        let expected =
+            mqx_ntt::polymul::schoolbook_negacyclic_big(&a, &b, &ring.product_modulus().clone());
+        assert_eq!(ring.polymul_negacyclic(&a, &b).unwrap(), expected);
+    }
+
+    #[test]
+    fn generated_basis_builds_distinct_word_sized_channels() {
+        let ring = RnsRing::auto(3, N).unwrap();
+        assert_eq!(ring.channels(), 3);
+        // The basis is the prime chain for (62 bits, 2-adicity log₂(2n)).
+        let adicity = (N as u32).trailing_zeros() + 1;
+        assert_eq!(
+            ring.moduli(),
+            primes::ntt_prime_chain(62, adicity, 3).unwrap()
+        );
+        assert!(ring.product_modulus().bits() > 128, "wider than u128");
+        assert!(ring.supports_negacyclic());
+        let mut sorted = ring.moduli().to_vec();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3, "distinct moduli");
+    }
+
+    #[test]
+    fn per_channel_backends_can_differ() {
+        let portable = backend::by_name("portable").unwrap();
+        let auto = backend::default_backend();
+        let ring = RnsRing::builder(N)
+            .moduli(&[primes::Q62, primes::Q30])
+            .channel_backends(vec![Arc::clone(&portable), auto])
+            .build()
+            .unwrap();
+        assert_eq!(ring.backend_names()[0], "portable");
+        assert_eq!(
+            ring.rings()[1].backend().name(),
+            backend::default_backend().name()
+        );
+    }
+
+    #[test]
+    fn builder_errors_are_specific() {
+        assert!(matches!(
+            RnsRingBuilder::new(N).build().unwrap_err(),
+            Error::Crt(CrtError::EmptyBasis)
+        ));
+        assert!(matches!(
+            RnsRing::with_moduli(&[primes::Q62, primes::Q62], N).unwrap_err(),
+            Error::Crt(CrtError::NotCoprime { i: 0, j: 1 })
+        ));
+        assert!(matches!(
+            RnsRing::builder(N)
+                .generated_basis(14, 100)
+                .build()
+                .unwrap_err(),
+            Error::BasisGeneration { count: 100, .. }
+        ));
+        assert!(matches!(
+            RnsRing::builder(N)
+                .moduli(&[primes::Q62, primes::Q30])
+                .channel_backends(vec![backend::default_backend()])
+                .build()
+                .unwrap_err(),
+            Error::ChannelCountMismatch {
+                expected: 2,
+                got: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn unreduced_coefficients_are_rejected() {
+        let mut ring = RnsRing::with_moduli(&[primes::Q30, primes::Q14], N).unwrap();
+        let mut a = coeffs(&ring, 3);
+        a[7] = ring.product_modulus().clone();
+        let b = coeffs(&ring, 4);
+        assert!(matches!(
+            ring.polymul_negacyclic(&a, &b).unwrap_err(),
+            Error::CoefficientOutOfRange { index: 7 }
+        ));
+    }
+
+    #[test]
+    fn length_mismatches_are_rejected() {
+        let mut ring = RnsRing::with_moduli(&[primes::Q62, primes::Q30], N).unwrap();
+        let a = coeffs(&ring, 5);
+        let short = a[..N - 1].to_vec();
+        assert!(matches!(
+            ring.polymul_cyclic(&a, &short).unwrap_err(),
+            Error::LengthMismatch { got, .. } if got == N - 1
+        ));
+        assert!(matches!(
+            ring.recombine(&[vec![0; N]]).unwrap_err(),
+            Error::ChannelCountMismatch {
+                expected: 2,
+                got: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn channels_share_plans_through_the_builder_cache() {
+        let cache = Arc::new(PlanCache::new());
+        let build = || {
+            RnsRing::builder(N)
+                .moduli(&[primes::Q62, primes::Q30])
+                .plan_cache(Arc::clone(&cache))
+                .build()
+                .unwrap()
+        };
+        let _first = build();
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 2));
+        let _second = build();
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 2), "second ring: all hits");
+    }
+}

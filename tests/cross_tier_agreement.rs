@@ -174,18 +174,55 @@ fn blas_tiers_agree_with_baselines() {
 
 #[test]
 fn two_field_crt_consistency() {
-    // RNS-style sanity: computing in two prime fields and recombining by
-    // CRT must match the direct wide product (checks that independent
-    // moduli behave as independent rings end to end).
-    let q1 = primes::Q62;
-    let q2 = primes::Q30;
-    let m1 = Modulus::new_prime(q1).unwrap();
-    let m2 = Modulus::new_prime(q2).unwrap();
-    let a = 123_456_789_012_345_u128;
-    let b = 987_654_321_098_765_u128;
-    let r1 = m1.mul_mod(a % q1, b % q1);
-    let r2 = m2.mul_mod(a % q2, b % q2);
-    let exact = a * b; // fits u128
-    assert_eq!(r1, exact % q1);
-    assert_eq!(r2, exact % q2);
+    // RNS invariant, now through the sharded front door: an `RnsRing`
+    // product over coprime channels must recombine to exactly the value
+    // a direct product modulo Q = ∏ qᵢ would give (checks that
+    // independent moduli behave as independent rings end to end). The
+    // scalar seed of this test — residues of a wide product agreeing
+    // channel by channel — is the k = 1 slice of the same assertion.
+    use mqx::bignum::BigUint;
+    use mqx::RnsRing;
+
+    let a_scalar = 123_456_789_012_345_u128;
+    let b_scalar = 987_654_321_098_765_u128;
+    let exact = a_scalar * b_scalar; // fits u128
+
+    // Two channels, then the 3-channel extension: the same inputs must
+    // recombine identically however finely the basis shards.
+    for basis in [
+        &[primes::Q62, primes::Q30][..],
+        &[primes::Q62, primes::Q30, primes::Q14][..],
+    ] {
+        let mut ring = RnsRing::with_moduli(basis, N).unwrap();
+
+        // Per-channel residues of the wide product still agree with
+        // direct per-field arithmetic (the original scalar invariant).
+        for (&q, ring) in basis.iter().zip(ring.rings()) {
+            let m = ring.modulus();
+            assert_eq!(
+                m.mul_mod(a_scalar % q, b_scalar % q),
+                exact % q,
+                "channel {q}"
+            );
+        }
+
+        // Polynomial form: constant polynomials a·b must recombine to
+        // the exact wide product reduced mod Q.
+        let product_q = ring.product_modulus().clone();
+        let mut a = vec![BigUint::zero(); N];
+        let mut b = vec![BigUint::zero(); N];
+        a[0] = &BigUint::from(a_scalar) % &product_q;
+        b[0] = &BigUint::from(b_scalar) % &product_q;
+        let out = ring.polymul_cyclic(&a, &b).unwrap();
+        assert_eq!(out[0], &BigUint::from(exact) % &product_q, "{basis:?}");
+        assert!(out[1..].iter().all(BigUint::is_zero));
+
+        // And the decompose → recombine boundary is the identity.
+        let coeffs: Vec<BigUint> = (0..N as u64)
+            .map(|i| &BigUint::from(exact.wrapping_mul(u128::from(i * 2 + 1))) % &product_q)
+            .collect();
+        let channels = ring.to_residues(&coeffs).unwrap();
+        assert_eq!(channels.len(), basis.len());
+        assert_eq!(ring.recombine(&channels).unwrap(), coeffs, "{basis:?}");
+    }
 }

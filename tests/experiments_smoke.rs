@@ -131,6 +131,28 @@ fn fig7_projects_onto_both_targets() {
 }
 
 #[test]
+fn rns_scaling_covers_widening_moduli() {
+    let rows = mqx_bench::experiments::rns::run(quick());
+    let ks: Vec<usize> = rows.iter().map(|r| r.channels).collect();
+    assert_eq!(ks, vec![1, 2, 4], "quick-mode channel counts");
+    for r in &rows {
+        assert!(r.ns > 0.0 && r.ns_per_channel > 0.0);
+        // Each channel is a ~62-bit prime, so the emulated modulus must
+        // widen by ~62 bits per channel.
+        assert!(
+            r.modulus_bits >= 61 * r.channels as u64,
+            "{} channels only span {} bits",
+            r.channels,
+            r.modulus_bits
+        );
+        assert!(!r.backend.is_empty());
+    }
+    // Structural only: wall-clock scaling is too noisy under the
+    // parallel test runner; the release-mode `rns` binary is the
+    // quantitative check.
+}
+
+#[test]
 fn fig1_headline_orders_baseline_vs_optimized() {
     let rows = mqx_bench::experiments::fig1::run(quick());
     assert!(rows.len() >= 5);
