@@ -20,4 +20,6 @@ fn main() {
     mqx_bench::experiments::fig1::run(quick);
     println!("\n## RNS channel scaling (extension)\n");
     mqx_bench::experiments::rns::run(quick);
+    println!("\n## Batched serving throughput (extension)\n");
+    mqx_bench::experiments::serve::run(quick);
 }

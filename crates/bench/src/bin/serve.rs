@@ -1,0 +1,5 @@
+//! Batched polymul serving throughput: requests/sec through the
+//! work-stealing `RingExecutor` as worker count and batch size vary.
+fn main() {
+    mqx_bench::experiments::serve::run(mqx_bench::quick_mode());
+}

@@ -9,6 +9,7 @@ pub mod fig7;
 pub mod listing4;
 pub mod rns;
 pub mod sensitivity;
+pub mod serve;
 pub mod table6;
 mod tiers;
 

@@ -54,7 +54,7 @@ pub fn run(quick: bool) -> Vec<RnsRow> {
     let cache_before = plan_cache::global().stats();
     let mut rows = Vec::new();
     for &k in &ks {
-        let mut ring = RnsRing::auto(k, n).expect("62-bit prime chain exists");
+        let ring = RnsRing::auto(k, n).expect("62-bit prime chain exists");
         let mut rng = StdRng::seed_from_u64(0x8A515 + k as u64);
         let coeffs = |rng: &mut StdRng| -> Vec<BigUint> {
             (0..n)

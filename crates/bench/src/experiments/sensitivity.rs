@@ -50,7 +50,7 @@ fn time_scalar_mulmod(m: &Modulus, xs: &[u128], ys: &[u128], quick: bool) -> f64
     ns
 }
 
-fn time_ring_ntt(ring: &mut Ring, quick: bool) -> f64 {
+fn time_ring_ntt(ring: &Ring, quick: bool) -> f64 {
     let n = ring.size();
     let mut w = Workload::new(*ring.modulus(), 0x5E51);
     let mut x = w.residues_soa(n);
@@ -86,17 +86,17 @@ pub fn run(quick: bool) -> Vec<SensitivityRow> {
     let n = if quick { 1 << 10 } else { 1 << 12 };
     let bf = butterfly_count(n) as f64;
     for backend in measurement_backends() {
-        let mut ring_s = Ring::builder(q, n)
+        let ring_s = Ring::builder(q, n)
             .backend(backend.clone())
             .build()
             .expect("ring");
-        let mut ring_k = Ring::builder(q, n)
+        let ring_k = Ring::builder(q, n)
             .backend(backend.clone())
             .mul_algorithm(MulAlgorithm::Karatsuba)
             .build()
             .expect("ring");
-        let ts = time_ring_ntt(&mut ring_s, quick);
-        let tk = time_ring_ntt(&mut ring_k, quick);
+        let ts = time_ring_ntt(&ring_s, quick);
+        let tk = time_ring_ntt(&ring_k, quick);
         rows.push(SensitivityRow {
             tier: backend.name().into(),
             workload: "NTT per butterfly",

@@ -1,0 +1,153 @@
+//! Batched polymul serving throughput (extension beyond the paper's
+//! single-kernel scope): requests/sec through the facade's
+//! work-stealing `RingExecutor` as worker count and batch size vary.
+//!
+//! The paper's §6 scaling argument — batched independent NTTs keep
+//! every core's vector units saturated — is exactly the serving regime:
+//! one immutable ring (one plan, pooled scratch) shared by all workers,
+//! a queue of mixed cyclic/negacyclic requests fanned out as work
+//! items. This sweep measures how far that holds on the running host:
+//! ideal scaling is flat ns/request as workers grow; the deltas are the
+//! scheduler plus memory-bandwidth tax.
+
+use crate::report::{fmt_ns, write_json, Table};
+use mqx::core::primes;
+use mqx::{PolyOp, PolyRing, PolymulRequest, Ring, RingExecutor};
+use mqx_json::impl_to_json;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One (workers, batch) point of the serving sweep.
+#[derive(Clone, Debug)]
+pub struct ServeRow {
+    /// Executor worker-thread count.
+    pub workers: usize,
+    /// Requests per served batch (half cyclic, half negacyclic).
+    pub batch: usize,
+    /// Transform size `n`.
+    pub n: usize,
+    /// Wall-clock ns to serve the whole batch.
+    pub ns: f64,
+    /// `ns / batch` — flat across worker counts means the pool scales.
+    pub ns_per_request: f64,
+    /// Served requests per second.
+    pub requests_per_sec: f64,
+    /// The backend the shared ring dispatches to (registry name).
+    pub backend: String,
+}
+
+impl_to_json!(ServeRow {
+    workers,
+    batch,
+    n,
+    ns,
+    ns_per_request,
+    requests_per_sec,
+    backend,
+});
+
+fn requests(n: usize, batch: usize) -> Vec<PolymulRequest> {
+    let mut state = 0x5E47_u64 ^ 0x5EED;
+    let mut poly = move || -> Vec<u128> {
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                u128::from(state) % primes::Q124
+            })
+            .collect()
+    };
+    (0..batch)
+        .map(|i| {
+            let op = if i % 2 == 0 {
+                PolyOp::Negacyclic
+            } else {
+                PolyOp::Cyclic
+            };
+            PolymulRequest::new(op, poly().into(), poly().into())
+        })
+        .collect()
+}
+
+/// Sweeps worker count × batch size at `2^12` points (`2^10`, smaller
+/// batches in quick mode) and prints the throughput table.
+pub fn run(quick: bool) -> Vec<ServeRow> {
+    let log_n = if quick { 9 } else { 12 };
+    let n = 1_usize << log_n;
+    let worker_counts: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+    let batches: &[usize] = if quick { &[16] } else { &[64, 256] };
+
+    let concrete = Ring::auto(primes::Q124, n).expect("Q124 ring");
+    let backend = concrete.backend().name().to_string();
+    let ring: Arc<dyn PolyRing> = Arc::new(concrete);
+
+    let mut rows = Vec::new();
+    for &batch in batches {
+        let reqs = requests(n, batch);
+        // Correctness gate before any timing: the pool must reproduce
+        // the sequential products bit for bit.
+        let sequential: Vec<_> = reqs
+            .iter()
+            .map(|r| ring.polymul(r.op, &r.a, &r.b).expect("valid request"))
+            .collect();
+        for &workers in worker_counts {
+            let pool = RingExecutor::new(workers).expect("non-zero workers");
+            let served = pool.serve(&ring, reqs.clone()).expect("valid batch");
+            assert_eq!(served, sequential, "pool must match sequential");
+            // Manual §5.1-style loop (warm-up + median of the kept
+            // tail) instead of `time_ntt`: the per-call request clone —
+            // a fixed serial memcpy — must stay *outside* the timed
+            // region or it flattens the very scaling this sweep
+            // measures.
+            let iters = if quick { 6 } else { 16 };
+            let mut samples: Vec<f64> = (0..iters)
+                .map(|_| {
+                    let batch_reqs = reqs.clone();
+                    let t0 = Instant::now();
+                    let served = pool.serve(&ring, batch_reqs).expect("valid batch");
+                    let dt = t0.elapsed().as_nanos() as f64;
+                    std::hint::black_box(served);
+                    dt
+                })
+                .collect();
+            samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+            let ns = samples[samples.len() / 2];
+            rows.push(ServeRow {
+                workers,
+                batch,
+                n,
+                ns,
+                ns_per_request: ns / batch as f64,
+                requests_per_sec: batch as f64 / (ns * 1e-9),
+                backend: backend.clone(),
+            });
+        }
+    }
+
+    let mut table = Table::new(
+        &format!("serving throughput — {n}-point mixed polymul batches, shared ring"),
+        &[
+            "workers",
+            "batch",
+            "total",
+            "per request",
+            "req/s",
+            "backend",
+        ],
+    );
+    for r in &rows {
+        table.row(&[
+            r.workers.to_string(),
+            r.batch.to_string(),
+            fmt_ns(r.ns),
+            fmt_ns(r.ns_per_request),
+            format!("{:.0}", r.requests_per_sec),
+            r.backend.clone(),
+        ]);
+    }
+    table.print();
+
+    write_json("serve_throughput", &rows);
+    rows
+}

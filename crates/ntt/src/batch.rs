@@ -5,16 +5,49 @@
 //! operations without data dependencies, enabling substantial
 //! parallelism" — that is the assumption behind the speed-of-light
 //! scaling. This module makes the assumption testable: a batch of
-//! independent transforms is sharded across std scoped threads, so the
-//! empirical per-transform throughput at `k` cores can be compared
-//! against the Eq. 13 prediction (`k×`).
+//! independent transforms is drained from a shared work queue by std
+//! scoped threads, so the empirical per-transform throughput at `k`
+//! cores can be compared against the Eq. 13 prediction (`k×`).
+//!
+//! Buffers are handed out one at a time from the queue rather than
+//! pre-chunked, so stragglers self-balance: a worker that hits a slow
+//! buffer (page fault, frequency dip) simply takes fewer, the way the
+//! facade's work-stealing `RingExecutor` (the full serving loop: plan
+//! reuse, pooled scratch, result handles) balances whole polymul
+//! requests. Use this module when you already hold raw buffers and a
+//! plan; use the executor when you are serving requests against a ring.
 
 use crate::NttPlan;
 use mqx_simd::{ResidueSoa, SimdEngine};
+use std::sync::Mutex;
 
-/// Runs a forward NTT over every buffer in `batch`, sharded across
-/// `threads` OS threads with scoped spawns. Each buffer is transformed
-/// in place; `batch.len()` need not divide `threads`.
+/// Runs every queued closure-free work item to completion: `threads`
+/// scoped workers repeatedly take the next buffer off the shared queue
+/// and run `transform` on it.
+fn drain_queue<T: Send>(batch: &mut [T], threads: usize, transform: impl Fn(&mut T) + Sync) {
+    // Both public entry points assert threads > 0; the extra clamp
+    // keeps this helper safe standalone (0 workers would silently
+    // return the batch untransformed).
+    let threads = threads.clamp(1, batch.len().max(1));
+    let queue = Mutex::new(batch.iter_mut());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                // Hold the queue lock only for the handout, never
+                // across a transform.
+                let Some(item) = queue.lock().expect("batch queue poisoned").next() else {
+                    return;
+                };
+                transform(item);
+            });
+        }
+    });
+}
+
+/// Runs a forward NTT over every buffer in `batch`, drained from a
+/// shared queue by `threads` OS threads with scoped spawns. Each buffer
+/// is transformed in place; `batch.len()` need not divide `threads`,
+/// and per-buffer cost need not be uniform (the queue self-balances).
 ///
 /// # Panics
 ///
@@ -25,17 +58,21 @@ pub fn forward_batch_simd<E: SimdEngine>(plan: &NttPlan, batch: &mut [ResidueSoa
     for soa in batch.iter() {
         assert_eq!(soa.len(), plan.size(), "batch buffer length mismatch");
     }
-    let threads = threads.min(batch.len().max(1));
-    let chunk = batch.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        for shard in batch.chunks_mut(chunk) {
-            scope.spawn(move || {
-                let mut scratch = ResidueSoa::zeros(plan.size());
-                for soa in shard {
-                    plan.forward_simd::<E>(soa, &mut scratch);
-                }
-            });
-        }
+    // One lazily-built scratch per worker would need per-thread state;
+    // a thread-local rebuilt per item would thrash. Compromise: scratch
+    // lives in a pool keyed by nothing (all same geometry).
+    let scratch_pool: Mutex<Vec<ResidueSoa>> = Mutex::new(Vec::new());
+    drain_queue(batch, threads, |soa| {
+        let mut scratch = scratch_pool
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_else(|| ResidueSoa::zeros(plan.size()));
+        plan.forward_simd::<E>(soa, &mut scratch);
+        scratch_pool
+            .lock()
+            .expect("scratch pool poisoned")
+            .push(scratch);
     });
 }
 
@@ -50,17 +87,7 @@ pub fn forward_batch_scalar(plan: &NttPlan, batch: &mut [Vec<u128>], threads: us
     for buf in batch.iter() {
         assert_eq!(buf.len(), plan.size(), "batch buffer length mismatch");
     }
-    let threads = threads.min(batch.len().max(1));
-    let chunk = batch.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        for shard in batch.chunks_mut(chunk) {
-            scope.spawn(move || {
-                for buf in shard {
-                    plan.forward_scalar(buf);
-                }
-            });
-        }
-    });
+    drain_queue(batch, threads, |buf| plan.forward_scalar(buf));
 }
 
 #[cfg(test)]

@@ -46,12 +46,13 @@ fn random_poly(n: usize, q: &BigUint, seed: &mut u64) -> Vec<BigUint> {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 4096;
-    let channels = 3;
 
-    // Three auto-generated 62-bit NTT primes: Q spans ~186 bits — far
-    // beyond both the machine word and the 124-bit single-prime ceiling.
+    // Ask for the modulus width the scheme needs and let the builder
+    // auto-size the basis: 186 bits lands on three 62-bit NTT primes —
+    // far beyond both the machine word and the 124-bit single-prime
+    // ceiling, with nobody counting channels by hand.
     let t_build = Instant::now();
-    let mut ring = RnsRing::auto(channels, n)?;
+    let ring = RnsRing::builder(n).target_modulus_bits(186).build()?;
     let built_in = t_build.elapsed();
     assert!(ring.supports_negacyclic());
     println!(
@@ -102,7 +103,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Cross-check one product against the O(n²) schoolbook over the
     // product modulus on a smaller instance (no NTT code shared).
     let small = 256;
-    let mut small_ring = RnsRing::with_moduli(ring.moduli(), small)?;
+    let small_ring = RnsRing::with_moduli(ring.moduli(), small)?;
     let f = &ct_a.c0[..small];
     let g = &ct_b.c0[..small];
     let fast = small_ring.polymul_negacyclic(f, g)?;

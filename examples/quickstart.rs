@@ -40,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 5. One entry point over all of them: Ring::auto picks the fastest.
     let n = 1024;
-    let mut ring = Ring::auto(primes::Q124, n)?;
+    let ring = Ring::auto(primes::Q124, n)?;
     println!(
         "\nRing::auto selected the {:?} backend",
         ring.backend().name()
@@ -54,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("NTT round trip at n = {n}: ok");
 
     // 6. The same on an explicitly pinned tier (portable runs anywhere).
-    let mut portable = Ring::with_backend_name(primes::Q124, n, "portable")?;
+    let portable = Ring::with_backend_name(primes::Q124, n, "portable")?;
     let mut soa = ResidueSoa::from_u128s(&data);
     portable.forward(&mut soa)?;
     portable.inverse(&mut soa)?;
@@ -68,6 +68,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let reference = mqx::ntt::polymul::schoolbook_negacyclic(&f, &g, &m);
     assert_eq!(product, reference);
     println!("negacyclic polymul (n = {n}) matches the O(n²) schoolbook: ok");
+
+    // 8. Rings are immutable `&self` handles: share one across threads
+    //    and every caller gets bit-identical results (see the
+    //    batch_serve example for the full executor-driven serving loop).
+    let shared = std::sync::Arc::new(ring);
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let ring = std::sync::Arc::clone(&shared);
+            let (f, g, product) = (&f, &g, &product);
+            scope.spawn(move || {
+                assert_eq!(&ring.polymul_negacyclic(f, g).expect("sized"), product);
+            });
+        }
+    });
+    println!("one Arc<Ring> shared by 4 threads: bit-identical products");
 
     Ok(())
 }

@@ -16,7 +16,7 @@ use std::time::Instant;
 
 fn measure_single_core(log_n: u32) -> (String, f64) {
     let n = 1_usize << log_n;
-    let mut ring = Ring::auto(primes::Q124, n).expect("ring");
+    let ring = Ring::auto(primes::Q124, n).expect("ring");
     let backend_name = ring.backend().name().to_string();
     let mut x = ResidueSoa::from_u128s(&(0..n as u64).map(u128::from).collect::<Vec<_>>());
     // Warm up, then average a few runs.

@@ -60,11 +60,45 @@ pub enum Error {
         /// The offending list length.
         got: usize,
     },
-    /// A big-integer coefficient is at or above the RNS product modulus,
-    /// so its residue vector would alias a different canonical value.
+    /// A coefficient is at or above the ring's (product) modulus — a
+    /// word residue `≥ q` or a big integer `≥ Q` — so reducing it would
+    /// silently alias a different canonical value.
     CoefficientOutOfRange {
         /// Index of the offending coefficient.
         index: usize,
+    },
+    /// A [`Coefficients`](crate::Coefficients) value is not in the
+    /// representation this ring consumes (word-sized residues for
+    /// `Ring`, big integers for `RnsRing`).
+    CoefficientKind {
+        /// The representation the ring accepts.
+        expected: &'static str,
+        /// The representation that was passed.
+        got: &'static str,
+    },
+    /// A [`RingExecutor`](crate::RingExecutor) was requested with zero
+    /// worker threads.
+    NoWorkers,
+    /// An executor worker panicked while running one residue channel of
+    /// a request; the request is completed with this error instead of
+    /// deadlocking its handle.
+    ChannelPanicked {
+        /// The residue channel whose kernel panicked.
+        channel: usize,
+    },
+    /// An executor worker panicked while joining a request's channel
+    /// products (the [`PolyRing::join`](crate::PolyRing::join) step);
+    /// the request is completed with this error instead of deadlocking
+    /// its handle.
+    JoinPanicked,
+    /// A channel index passed to
+    /// [`PolyRing::channel_polymul`](crate::PolyRing::channel_polymul)
+    /// is out of range for the ring.
+    ChannelOutOfRange {
+        /// The offending channel index.
+        channel: usize,
+        /// The ring's channel count.
+        channels: usize,
     },
 }
 
@@ -103,6 +137,23 @@ impl fmt::Display for Error {
             Error::CoefficientOutOfRange { index } => write!(
                 f,
                 "coefficient {index} is not reduced below the RNS product modulus"
+            ),
+            Error::CoefficientKind { expected, got } => write!(
+                f,
+                "ring consumes {expected} coefficients but was given {got} coefficients"
+            ),
+            Error::NoWorkers => write!(f, "a ring executor needs at least one worker thread"),
+            Error::ChannelPanicked { channel } => write!(
+                f,
+                "executor worker panicked while running residue channel {channel}"
+            ),
+            Error::JoinPanicked => write!(
+                f,
+                "executor worker panicked while joining a request's channel products"
+            ),
+            Error::ChannelOutOfRange { channel, channels } => write!(
+                f,
+                "channel index {channel} is out of range for a ring with {channels} channels"
             ),
         }
     }
@@ -192,5 +243,30 @@ mod tests {
 
         let e = Error::CoefficientOutOfRange { index: 17 };
         assert!(e.to_string().contains("17"), "{e}");
+    }
+
+    #[test]
+    fn executor_errors_are_actionable() {
+        let e = Error::CoefficientKind {
+            expected: "word",
+            got: "big",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("word") && msg.contains("big"), "{msg}");
+        assert!(e.source().is_none());
+
+        assert!(Error::NoWorkers.to_string().contains("at least one"));
+
+        let e = Error::ChannelPanicked { channel: 2 };
+        assert!(e.to_string().contains("channel 2"), "{e}");
+
+        assert!(Error::JoinPanicked.to_string().contains("joining"));
+
+        let e = Error::ChannelOutOfRange {
+            channel: 3,
+            channels: 2,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('3') && msg.contains('2'), "{msg}");
     }
 }

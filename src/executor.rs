@@ -1,0 +1,733 @@
+//! [`RingExecutor`]: a work-stealing thread-pool that serves queues of
+//! polynomial products against any shared [`PolyRing`].
+//!
+//! The source paper's throughput argument is that CPUs close the gap to
+//! specialized hardware by keeping vector units saturated across *many
+//! independent* NTTs — the regime a server hits when it batches polymul
+//! requests. This executor is that serving loop: a fixed pool of worker
+//! threads (started once, not per call), one immutable ring handle
+//! shared by all of them (one plan, pooled per-worker scratch via the
+//! ring's internal `ScratchPool`), and a
+//! crossbeam-style two-level queue built on `std` — a shared injector
+//! plus one deque per worker, with idle workers stealing from busy
+//! ones.
+//!
+//! Each submitted request is fanned out through the ring's channel
+//! decomposition ([`PolyRing::split`]): a single-modulus [`Ring`] is
+//! one work item, a `k`-channel [`RnsRing`] becomes `k` independent
+//! word-sized items that different workers pick up — `channels × batch`
+//! items in flight for a batch, replacing the scoped threads `RnsRing`
+//! spawns per one-shot call. The worker that finishes a request's last
+//! channel performs the CRT join and wakes the caller's
+//! [`RequestHandle`].
+//!
+//! [`Ring`]: crate::Ring
+//! [`RnsRing`]: crate::RnsRing
+//!
+//! ```
+//! use std::sync::Arc;
+//! use mqx::{core::primes, Coefficients, PolyOp, PolyRing, PolymulRequest, Ring, RingExecutor};
+//!
+//! let ring: Arc<dyn PolyRing> = Arc::new(Ring::auto(primes::Q124, 64)?);
+//! let pool = RingExecutor::new(4)?;
+//!
+//! // Queue a small batch and collect results in submission order.
+//! let requests: Vec<PolymulRequest> = (0..8_u64)
+//!     .map(|i| {
+//!         let a: Vec<u128> = (0..64).map(|j| u128::from(i + j)).collect();
+//!         PolymulRequest::new(PolyOp::Negacyclic, a.clone().into(), a.into())
+//!     })
+//!     .collect();
+//! let products = pool.serve(&ring, requests)?;
+//! assert_eq!(products.len(), 8);
+//! # Ok::<(), mqx::Error>(())
+//! ```
+
+use crate::error::Error;
+use crate::poly::{Coefficients, PolyOp, PolyRing};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// One queued polynomial product: the operation and both operands, in
+/// the ring's native [`Coefficients`] representation.
+#[derive(Clone, Debug)]
+pub struct PolymulRequest {
+    /// Cyclic or negacyclic.
+    pub op: PolyOp,
+    /// Left operand.
+    pub a: Coefficients,
+    /// Right operand.
+    pub b: Coefficients,
+}
+
+impl PolymulRequest {
+    /// Bundles an operation and its operands.
+    pub fn new(op: PolyOp, a: Coefficients, b: Coefficients) -> Self {
+        PolymulRequest { op, a, b }
+    }
+}
+
+/// The shared state of one in-flight request: per-channel operands in,
+/// per-channel products out, joined by whichever worker finishes last.
+struct RequestState {
+    ring: Arc<dyn PolyRing>,
+    op: PolyOp,
+    a: Vec<Vec<u128>>,
+    b: Vec<Vec<u128>>,
+    /// One slot per channel, filled as channel products land.
+    slots: Mutex<Vec<Option<Vec<u128>>>>,
+    /// Channels still running; the worker that decrements this to zero
+    /// joins and notifies.
+    remaining: AtomicUsize,
+    /// Set on the first channel error (errors win over the join).
+    failed: AtomicBool,
+    outcome: Mutex<Option<Result<Coefficients, Error>>>,
+    done: Condvar,
+}
+
+impl RequestState {
+    /// Records one channel's result; the last channel to land performs
+    /// the join and wakes the handle.
+    fn finish_channel(&self, channel: usize, result: Result<Vec<u128>, Error>) {
+        match result {
+            Ok(product) => {
+                self.slots.lock().expect("request slots poisoned")[channel] = Some(product);
+            }
+            Err(e) => {
+                self.failed.store(true, Ordering::Release);
+                let mut outcome = self.outcome.lock().expect("request outcome poisoned");
+                if outcome.is_none() {
+                    *outcome = Some(Err(e));
+                }
+            }
+        }
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut outcome = self.outcome.lock().expect("request outcome poisoned");
+            if !self.failed.load(Ordering::Acquire) {
+                // The join runs under the same panic guard as the
+                // channel kernels: a panicking `PolyRing::join` must
+                // surface as a request error, not a dead worker and a
+                // poisoned handle.
+                let joined = catch_unwind(AssertUnwindSafe(|| {
+                    let parts: Vec<Vec<u128>> = self
+                        .slots
+                        .lock()
+                        .expect("request slots poisoned")
+                        .iter_mut()
+                        .map(|slot| slot.take().expect("every channel landed"))
+                        .collect();
+                    self.ring.join(parts)
+                }))
+                .unwrap_or(Err(Error::JoinPanicked));
+                *outcome = Some(joined);
+            }
+            self.done.notify_all();
+        }
+    }
+}
+
+/// A claim on one submitted request's eventual result.
+///
+/// Dropping the handle without waiting is fine: the request still runs
+/// to completion and its result is discarded.
+pub struct RequestHandle {
+    state: Arc<RequestState>,
+}
+
+impl std::fmt::Debug for RequestHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RequestHandle")
+            .field("channels", &self.state.a.len())
+            .field("finished", &self.is_finished())
+            .finish()
+    }
+}
+
+impl RequestHandle {
+    /// Blocks until every channel of the request has executed and
+    /// returns the joined product (or the first channel error).
+    pub fn wait(self) -> Result<Coefficients, Error> {
+        let mut outcome = self.state.outcome.lock().expect("request outcome poisoned");
+        loop {
+            // The outcome is published before the notify, and spurious
+            // wakeups re-check, so this cannot hang.
+            if self.state.remaining.load(Ordering::Acquire) == 0 {
+                if let Some(result) = outcome.take() {
+                    return result;
+                }
+            }
+            outcome = self
+                .state
+                .done
+                .wait(outcome)
+                .expect("request outcome poisoned");
+        }
+    }
+
+    /// Whether the request has fully executed (its `wait` would not
+    /// block).
+    pub fn is_finished(&self) -> bool {
+        self.state.remaining.load(Ordering::Acquire) == 0
+    }
+}
+
+/// One schedulable unit of work.
+enum Task {
+    /// A freshly injected request: the picking worker fans its channels
+    /// out (keeping channel 0 for itself, queueing the rest locally
+    /// where idle workers steal them).
+    Request(Arc<RequestState>),
+    /// One residue channel of a request.
+    Channel(Arc<RequestState>, usize),
+}
+
+/// Queue state shared between the executor handle and its workers.
+struct Shared {
+    /// New requests land here (FIFO).
+    injector: Mutex<VecDeque<Task>>,
+    /// Per-worker deques: the owner pushes/pops the back (LIFO keeps a
+    /// request's channels hot in one worker's cache), thieves take the
+    /// front (FIFO steals the oldest, largest-granularity work).
+    locals: Vec<Mutex<VecDeque<Task>>>,
+    /// Wakeup channel for idle workers.
+    idle: Mutex<()>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Pops work: own deque first (back), then the injector, then a
+    /// steal sweep over the other workers' deques (front).
+    fn find_task(&self, worker: usize) -> Option<Task> {
+        if let Some(task) = self.locals[worker]
+            .lock()
+            .expect("worker deque poisoned")
+            .pop_back()
+        {
+            return Some(task);
+        }
+        if let Some(task) = self.injector.lock().expect("injector poisoned").pop_front() {
+            return Some(task);
+        }
+        let n = self.locals.len();
+        for offset in 1..n {
+            let victim = (worker + offset) % n;
+            if let Some(task) = self.locals[victim]
+                .lock()
+                .expect("worker deque poisoned")
+                .pop_front()
+            {
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    /// Wakes idle workers after queueing work. Taking the idle lock
+    /// orders the notify after any concurrent pre-sleep queue re-check,
+    /// so wakeups cannot be lost.
+    fn notify(&self) {
+        let _guard = self.idle.lock().expect("idle lock poisoned");
+        self.wake.notify_all();
+    }
+
+    /// Runs one channel of one request, converting panics into a
+    /// request error rather than a hung handle.
+    fn run_channel(&self, state: &Arc<RequestState>, channel: usize) {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            state
+                .ring
+                .channel_polymul(channel, state.op, &state.a[channel], &state.b[channel])
+        }))
+        .unwrap_or(Err(Error::ChannelPanicked { channel }));
+        state.finish_channel(channel, result);
+    }
+
+    fn worker_loop(&self, worker: usize) {
+        loop {
+            match self.find_task(worker) {
+                Some(Task::Request(state)) => {
+                    let k = state.a.len();
+                    if k > 1 {
+                        // Fan out: keep channel 0, expose the rest for
+                        // stealing.
+                        {
+                            let mut local =
+                                self.locals[worker].lock().expect("worker deque poisoned");
+                            for channel in 1..k {
+                                local.push_back(Task::Channel(Arc::clone(&state), channel));
+                            }
+                        }
+                        self.notify();
+                    }
+                    self.run_channel(&state, 0);
+                }
+                Some(Task::Channel(state, channel)) => self.run_channel(&state, channel),
+                None => {
+                    let guard = self.idle.lock().expect("idle lock poisoned");
+                    // Re-check under the idle lock: a submitter that
+                    // queued work before we got here will notify while
+                    // we hold (or wait on) this lock. The work check
+                    // comes before the shutdown check so a task
+                    // injected just before shutdown is drained rather
+                    // than abandoned with its handle left waiting.
+                    if self.has_queued_work() {
+                        continue;
+                    }
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    drop(self.wake.wait(guard).expect("idle lock poisoned"));
+                }
+            }
+        }
+    }
+
+    fn has_queued_work(&self) -> bool {
+        if !self.injector.lock().expect("injector poisoned").is_empty() {
+            return true;
+        }
+        self.locals
+            .iter()
+            .any(|q| !q.lock().expect("worker deque poisoned").is_empty())
+    }
+}
+
+/// A work-stealing pool of worker threads serving polymul requests
+/// against shared rings.
+///
+/// The pool is ring-agnostic: each request names its ring, so one
+/// executor can serve several rings (different moduli, different
+/// geometries) at once. Workers live until the executor is dropped;
+/// dropping waits for in-flight requests to finish executing.
+pub struct RingExecutor {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl RingExecutor {
+    /// Starts a pool of `workers` OS threads.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NoWorkers`] when `workers == 0`.
+    pub fn new(workers: usize) -> Result<RingExecutor, Error> {
+        if workers == 0 {
+            return Err(Error::NoWorkers);
+        }
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(VecDeque::new()),
+            locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            idle: Mutex::new(()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("mqx-ring-worker-{i}"))
+                    .spawn(move || shared.worker_loop(i))
+                    .expect("spawn executor worker")
+            })
+            .collect();
+        Ok(RingExecutor {
+            shared,
+            workers: handles,
+        })
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queues one product against `ring` and returns a handle to its
+    /// eventual result. Operands are validated (length, coefficient
+    /// range, representation) up front, so errors surface here rather
+    /// than inside the pool.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NoNegacyclicSupport`] for a negacyclic request on a ring
+    /// without one, [`Error::ChannelCountMismatch`] for a `split` whose
+    /// decomposition is empty or uneven (a misbehaving [`PolyRing`]
+    /// impl), plus the [`PolyRing::split`] validation errors.
+    pub fn submit(
+        &self,
+        ring: &Arc<dyn PolyRing>,
+        request: PolymulRequest,
+    ) -> Result<RequestHandle, Error> {
+        if request.op == PolyOp::Negacyclic && !ring.supports_negacyclic() {
+            return Err(Error::NoNegacyclicSupport { n: ring.size() });
+        }
+        let a = ring.split(&request.a)?;
+        let b = ring.split(&request.b)?;
+        let channels = a.len();
+        // Defend against degenerate PolyRing impls: a zero-channel or
+        // uneven split would wrap the remaining-channels counter (or
+        // index out of range) and leave the handle waiting forever.
+        if channels == 0 || b.len() != channels {
+            return Err(Error::ChannelCountMismatch {
+                expected: ring.channels().max(1),
+                got: channels.min(b.len()),
+            });
+        }
+        let state = Arc::new(RequestState {
+            ring: Arc::clone(ring),
+            op: request.op,
+            a,
+            b,
+            slots: Mutex::new(vec![None; channels]),
+            remaining: AtomicUsize::new(channels),
+            failed: AtomicBool::new(false),
+            outcome: Mutex::new(None),
+            done: Condvar::new(),
+        });
+        self.shared
+            .injector
+            .lock()
+            .expect("injector poisoned")
+            .push_back(Task::Request(Arc::clone(&state)));
+        self.shared.notify();
+        Ok(RequestHandle { state })
+    }
+
+    /// Queues a whole batch and blocks for all results, returned in
+    /// submission order. All requests are injected before the first
+    /// wait, so the pool sees the full `channels × batch` work list at
+    /// once.
+    pub fn serve(
+        &self,
+        ring: &Arc<dyn PolyRing>,
+        requests: Vec<PolymulRequest>,
+    ) -> Result<Vec<Coefficients>, Error> {
+        let handles = requests
+            .into_iter()
+            .map(|r| self.submit(ring, r))
+            .collect::<Result<Vec<_>, _>>()?;
+        handles.into_iter().map(RequestHandle::wait).collect()
+    }
+}
+
+impl Drop for RingExecutor {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.notify();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for RingExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RingExecutor")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Ring, RnsRing};
+    use mqx_bignum::BigUint;
+    use mqx_core::primes;
+
+    const N: usize = 64;
+
+    fn poly(n: usize, q: u128, seed: u64) -> Vec<u128> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                u128::from(state) % q
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zero_workers_is_an_error() {
+        assert!(matches!(
+            RingExecutor::new(0).unwrap_err(),
+            Error::NoWorkers
+        ));
+    }
+
+    #[test]
+    fn single_request_matches_direct_call() {
+        let ring = Arc::new(Ring::auto(primes::Q124, N).unwrap());
+        let a = poly(N, primes::Q124, 1);
+        let b = poly(N, primes::Q124, 2);
+        let expected = ring.polymul_negacyclic(&a, &b).unwrap();
+
+        let dyn_ring: Arc<dyn PolyRing> = ring;
+        let pool = RingExecutor::new(2).unwrap();
+        let handle = pool
+            .submit(
+                &dyn_ring,
+                PolymulRequest::new(PolyOp::Negacyclic, a.into(), b.into()),
+            )
+            .unwrap();
+        assert_eq!(handle.wait().unwrap().into_words().unwrap(), expected);
+    }
+
+    #[test]
+    fn rns_request_fans_channels_and_joins() {
+        let ring = Arc::new(RnsRing::auto(3, N).unwrap());
+        let q = ring.product_modulus().clone();
+        let a: Vec<BigUint> = (0..N as u64).map(BigUint::from).collect();
+        let b: Vec<BigUint> = (0..N as u64)
+            .map(|i| &BigUint::from(i * i + 7) % &q)
+            .collect();
+        let expected = ring.polymul_negacyclic(&a, &b).unwrap();
+
+        let dyn_ring: Arc<dyn PolyRing> = ring;
+        let pool = RingExecutor::new(3).unwrap();
+        let out = pool
+            .serve(
+                &dyn_ring,
+                vec![PolymulRequest::new(PolyOp::Negacyclic, a.into(), b.into())],
+            )
+            .unwrap();
+        assert_eq!(out[0].as_bigs().unwrap(), expected.as_slice());
+    }
+
+    #[test]
+    fn submit_validates_before_queueing() {
+        let dyn_ring: Arc<dyn PolyRing> = Arc::new(Ring::auto(primes::Q124, N).unwrap());
+        let pool = RingExecutor::new(1).unwrap();
+        // Wrong length.
+        let short = PolymulRequest::new(
+            PolyOp::Cyclic,
+            vec![0_u128; N - 1].into(),
+            vec![0_u128; N].into(),
+        );
+        assert!(matches!(
+            pool.submit(&dyn_ring, short).unwrap_err(),
+            Error::LengthMismatch { .. }
+        ));
+        // Wrong representation.
+        let big = PolymulRequest::new(
+            PolyOp::Cyclic,
+            vec![BigUint::zero(); N].into(),
+            vec![BigUint::zero(); N].into(),
+        );
+        assert!(matches!(
+            pool.submit(&dyn_ring, big).unwrap_err(),
+            Error::CoefficientKind { .. }
+        ));
+        // Negacyclic on a ring without a 2n-th root.
+        let no_nega: Arc<dyn PolyRing> = Arc::new(Ring::auto(primes::Q14, 1024).unwrap());
+        let req = PolymulRequest::new(
+            PolyOp::Negacyclic,
+            vec![0_u128; 1024].into(),
+            vec![0_u128; 1024].into(),
+        );
+        assert!(matches!(
+            pool.submit(&no_nega, req).unwrap_err(),
+            Error::NoNegacyclicSupport { n: 1024 }
+        ));
+    }
+
+    #[test]
+    fn handles_resolve_out_of_submission_order() {
+        let dyn_ring: Arc<dyn PolyRing> = Arc::new(Ring::auto(primes::Q124, N).unwrap());
+        let pool = RingExecutor::new(2).unwrap();
+        let mut handles = Vec::new();
+        let mut expected = Vec::new();
+        for i in 0..16_u64 {
+            let a = poly(N, primes::Q124, i * 2 + 1);
+            let b = poly(N, primes::Q124, i * 2 + 2);
+            expected.push(
+                dyn_ring
+                    .polymul(PolyOp::Cyclic, &a.clone().into(), &b.clone().into())
+                    .unwrap(),
+            );
+            handles.push(
+                pool.submit(
+                    &dyn_ring,
+                    PolymulRequest::new(PolyOp::Cyclic, a.into(), b.into()),
+                )
+                .unwrap(),
+            );
+        }
+        // Wait in reverse order: completion order must not matter.
+        for (handle, want) in handles.into_iter().rev().zip(expected.into_iter().rev()) {
+            assert_eq!(handle.wait().unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn one_executor_serves_multiple_rings() {
+        let word: Arc<dyn PolyRing> = Arc::new(Ring::auto(primes::Q124, N).unwrap());
+        let wide: Arc<dyn PolyRing> = Arc::new(RnsRing::auto(2, N).unwrap());
+        let pool = RingExecutor::new(2).unwrap();
+
+        let wa = poly(N, primes::Q124, 5);
+        let word_handle = pool
+            .submit(
+                &word,
+                PolymulRequest::new(PolyOp::Cyclic, wa.clone().into(), wa.clone().into()),
+            )
+            .unwrap();
+        let ba: Vec<BigUint> = (0..N as u64).map(BigUint::from).collect();
+        let wide_handle = pool
+            .submit(
+                &wide,
+                PolymulRequest::new(PolyOp::Cyclic, ba.clone().into(), ba.clone().into()),
+            )
+            .unwrap();
+        assert_eq!(
+            word_handle.wait().unwrap(),
+            word.polymul(PolyOp::Cyclic, &wa.clone().into(), &wa.into())
+                .unwrap()
+        );
+        assert_eq!(
+            wide_handle.wait().unwrap(),
+            wide.polymul(PolyOp::Cyclic, &ba.clone().into(), &ba.into())
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn panicking_join_surfaces_as_join_error_not_a_dead_worker() {
+        /// A ring whose CRT join always panics — stands in for a
+        /// misbehaving third-party [`PolyRing`] impl.
+        struct BadJoin(Ring);
+        impl PolyRing for BadJoin {
+            fn size(&self) -> usize {
+                self.0.size()
+            }
+            fn modulus_bits(&self) -> u64 {
+                PolyRing::modulus_bits(&self.0)
+            }
+            fn supports_negacyclic(&self) -> bool {
+                self.0.supports_negacyclic()
+            }
+            fn channels(&self) -> usize {
+                1
+            }
+            fn split(&self, coeffs: &Coefficients) -> Result<Vec<Vec<u128>>, Error> {
+                PolyRing::split(&self.0, coeffs)
+            }
+            fn channel_polymul(
+                &self,
+                channel: usize,
+                op: PolyOp,
+                a: &[u128],
+                b: &[u128],
+            ) -> Result<Vec<u128>, Error> {
+                PolyRing::channel_polymul(&self.0, channel, op, a, b)
+            }
+            fn join(&self, _: Vec<Vec<u128>>) -> Result<Coefficients, Error> {
+                panic!("join bomb")
+            }
+        }
+
+        let bad: Arc<dyn PolyRing> = Arc::new(BadJoin(Ring::auto(primes::Q124, N).unwrap()));
+        let pool = RingExecutor::new(1).unwrap();
+        let a = poly(N, primes::Q124, 13);
+        let handle = pool
+            .submit(
+                &bad,
+                PolymulRequest::new(PolyOp::Cyclic, a.clone().into(), a.clone().into()),
+            )
+            .unwrap();
+        assert!(matches!(handle.wait().unwrap_err(), Error::JoinPanicked));
+
+        // The single worker survived the panic: a well-behaved ring is
+        // still served by the same pool.
+        let good: Arc<dyn PolyRing> = Arc::new(Ring::auto(primes::Q124, N).unwrap());
+        let handle = pool
+            .submit(
+                &good,
+                PolymulRequest::new(PolyOp::Cyclic, a.clone().into(), a.into()),
+            )
+            .unwrap();
+        assert!(handle.wait().is_ok());
+    }
+
+    #[test]
+    fn degenerate_empty_split_is_rejected_at_submit() {
+        /// A ring whose split yields no channels at all — without the
+        /// submit guard this would wrap the remaining counter and hang
+        /// the handle.
+        struct NoChannels;
+        impl PolyRing for NoChannels {
+            fn size(&self) -> usize {
+                4
+            }
+            fn modulus_bits(&self) -> u64 {
+                1
+            }
+            fn supports_negacyclic(&self) -> bool {
+                false
+            }
+            fn channels(&self) -> usize {
+                0
+            }
+            fn split(&self, _: &Coefficients) -> Result<Vec<Vec<u128>>, Error> {
+                Ok(Vec::new())
+            }
+            fn channel_polymul(
+                &self,
+                channel: usize,
+                _: PolyOp,
+                _: &[u128],
+                _: &[u128],
+            ) -> Result<Vec<u128>, Error> {
+                Err(Error::ChannelOutOfRange {
+                    channel,
+                    channels: 0,
+                })
+            }
+            fn join(&self, _: Vec<Vec<u128>>) -> Result<Coefficients, Error> {
+                Ok(Coefficients::Word(Vec::new()))
+            }
+        }
+
+        let ring: Arc<dyn PolyRing> = Arc::new(NoChannels);
+        let pool = RingExecutor::new(1).unwrap();
+        let req = PolymulRequest::new(
+            PolyOp::Cyclic,
+            vec![0_u128; 4].into(),
+            vec![0_u128; 4].into(),
+        );
+        assert!(matches!(
+            pool.submit(&ring, req).unwrap_err(),
+            Error::ChannelCountMismatch { got: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn dropping_unwaited_handles_does_not_wedge_the_pool() {
+        let dyn_ring: Arc<dyn PolyRing> = Arc::new(Ring::auto(primes::Q124, N).unwrap());
+        let pool = RingExecutor::new(2).unwrap();
+        let a = poly(N, primes::Q124, 9);
+        for _ in 0..8 {
+            let _ = pool
+                .submit(
+                    &dyn_ring,
+                    PolymulRequest::new(PolyOp::Cyclic, a.clone().into(), a.clone().into()),
+                )
+                .unwrap();
+        }
+        // A subsequent waited request still completes.
+        let handle = pool
+            .submit(
+                &dyn_ring,
+                PolymulRequest::new(PolyOp::Cyclic, a.clone().into(), a.clone().into()),
+            )
+            .unwrap();
+        assert!(handle.wait().is_ok());
+        // Drop tears the pool down without hanging.
+        drop(pool);
+    }
+}

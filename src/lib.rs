@@ -17,12 +17,22 @@
 //! * [`RnsRing`] — shards a wider-than-word modulus across word-sized
 //!   residue channels (one backend-dispatched ring each) with CRT
 //!   recombination;
-//! * [`plan_cache`] — the keyed NTT-plan cache behind every ring open.
+//! * [`PolyRing`] — the object-safe trait unifying both ring kinds, so
+//!   callers are generic over single- and multi-modulus rings;
+//! * [`RingExecutor`] — a work-stealing thread-pool serving queues of
+//!   polymul requests against any shared `Arc<dyn PolyRing>`;
+//! * [`plan_cache`] — the keyed (optionally capacity-bounded) NTT-plan
+//!   cache behind every ring open.
+//!
+//! Rings are immutable, shareable handles: every hot-path method takes
+//! `&self` (per-call scratch comes from an internal lock-free pool), so
+//! an `Arc<Ring>` or `Arc<RnsRing>` can be hammered from any number of
+//! threads with bit-identical results.
 //!
 //! ```
 //! use mqx::{core::primes, Ring};
 //!
-//! let mut ring = Ring::auto(primes::Q124, 1024)?;
+//! let ring = Ring::auto(primes::Q124, 1024)?;
 //! println!("running on the {} backend", ring.backend().name());
 //!
 //! let f: Vec<u128> = (0..1024_u64).map(|i| u128::from(i % 17)).collect();
@@ -70,13 +80,18 @@
 
 pub mod backend;
 mod error;
+mod executor;
 pub mod plan_cache;
+mod poly;
 mod ring;
 mod rns;
+mod scratch;
 
 pub use backend::{Backend, Tier};
 pub use error::Error;
+pub use executor::{PolymulRequest, RequestHandle, RingExecutor};
 pub use plan_cache::PlanCache;
+pub use poly::{Coefficients, PolyOp, PolyRing};
 pub use ring::{Ring, RingBuilder};
 pub use rns::{RnsRing, RnsRingBuilder};
 

@@ -1,0 +1,376 @@
+//! The object-safe [`PolyRing`] abstraction: one polynomial-ring
+//! interface over both the single-modulus [`Ring`](crate::Ring) and the
+//! sharded multi-modulus [`RnsRing`](crate::RnsRing).
+//!
+//! Callers that only need "multiply two polynomials in some ring" —
+//! batch executors, benches, generic tests — program against
+//! `Arc<dyn PolyRing>` and stop caring whether the modulus fits a
+//! machine word. The trait also exposes the *channel* structure
+//! (`channels`, [`PolyRing::split`], [`PolyRing::channel_polymul`],
+//! [`PolyRing::join`]) so a scheduler can fan one request out into
+//! independent word-sized work items: a `Ring` is one channel, an
+//! `RnsRing` is `k` channels joined by CRT recombination. That is
+//! exactly how [`RingExecutor`](crate::RingExecutor) turns a queue of
+//! requests into `channels × batch` work-stealing items.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use mqx::{core::primes, Coefficients, PolyOp, PolyRing, Ring, RnsRing};
+//!
+//! let word: Arc<dyn PolyRing> = Arc::new(Ring::auto(primes::Q124, 64)?);
+//! let wide: Arc<dyn PolyRing> = Arc::new(RnsRing::auto(3, 64)?);
+//! for ring in [&word, &wide] {
+//!     assert_eq!(ring.size(), 64);
+//!     assert!(ring.supports_negacyclic());
+//! }
+//! assert_eq!(word.channels(), 1);
+//! assert_eq!(wide.channels(), 3);
+//! assert!(wide.modulus_bits() > word.modulus_bits());
+//!
+//! let a = Coefficients::Word(vec![1; 64]);
+//! let b = Coefficients::Word(vec![2; 64]);
+//! let product = word.polymul(PolyOp::Cyclic, &a, &b)?;
+//! assert_eq!(product.len(), 64);
+//! # Ok::<(), mqx::Error>(())
+//! ```
+
+use crate::error::Error;
+use mqx_bignum::BigUint;
+
+/// Which quotient ring a polynomial product runs in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PolyOp {
+    /// `ℤ_q[x]/(xⁿ − 1)` — plain convolution.
+    Cyclic,
+    /// `ℤ_q[x]/(xⁿ + 1)` — the RLWE workhorse (needs a `2n`-th root of
+    /// unity in every channel field).
+    Negacyclic,
+}
+
+/// Polynomial coefficients in the representation a ring natively
+/// accepts: word-sized residues for a single-modulus [`Ring`], wide
+/// integers for a multi-modulus [`RnsRing`].
+///
+/// [`Ring`]: crate::Ring
+/// [`RnsRing`]: crate::RnsRing
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Coefficients {
+    /// Residues below a word-sized modulus (`u128` with the top bits
+    /// clear), as [`Ring`](crate::Ring) consumes.
+    Word(Vec<u128>),
+    /// Big-integer coefficients reduced below an RNS product modulus,
+    /// as [`RnsRing`](crate::RnsRing) consumes.
+    Big(Vec<BigUint>),
+}
+
+impl Coefficients {
+    /// Number of coefficients.
+    pub fn len(&self) -> usize {
+        match self {
+            Coefficients::Word(v) => v.len(),
+            Coefficients::Big(v) => v.len(),
+        }
+    }
+
+    /// Whether the polynomial has no coefficients.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The representation's name, for error messages: `"word"` or
+    /// `"big"`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Coefficients::Word(_) => "word",
+            Coefficients::Big(_) => "big",
+        }
+    }
+
+    /// The word-sized residues, if this is the word representation.
+    pub fn as_words(&self) -> Option<&[u128]> {
+        match self {
+            Coefficients::Word(v) => Some(v),
+            Coefficients::Big(_) => None,
+        }
+    }
+
+    /// The big-integer coefficients, if this is the wide representation.
+    pub fn as_bigs(&self) -> Option<&[BigUint]> {
+        match self {
+            Coefficients::Big(v) => Some(v),
+            Coefficients::Word(_) => None,
+        }
+    }
+
+    /// Consumes into word-sized residues, if this is the word
+    /// representation.
+    pub fn into_words(self) -> Option<Vec<u128>> {
+        match self {
+            Coefficients::Word(v) => Some(v),
+            Coefficients::Big(_) => None,
+        }
+    }
+
+    /// Consumes into big-integer coefficients, if this is the wide
+    /// representation.
+    pub fn into_bigs(self) -> Option<Vec<BigUint>> {
+        match self {
+            Coefficients::Big(v) => Some(v),
+            Coefficients::Word(_) => None,
+        }
+    }
+}
+
+impl From<Vec<u128>> for Coefficients {
+    fn from(v: Vec<u128>) -> Self {
+        Coefficients::Word(v)
+    }
+}
+
+impl From<Vec<BigUint>> for Coefficients {
+    fn from(v: Vec<BigUint>) -> Self {
+        Coefficients::Big(v)
+    }
+}
+
+/// An immutable, shareable polynomial ring `ℤ_Q[x]/(xⁿ ± 1)`: the
+/// object-safe interface both [`Ring`](crate::Ring) (one word-sized
+/// modulus, one channel) and [`RnsRing`](crate::RnsRing) (`k` coprime
+/// word-sized channels, CRT at the boundary) implement.
+///
+/// Every method takes `&self` and implementors are `Send + Sync`, so an
+/// `Arc<dyn PolyRing>` can be driven from any number of threads — the
+/// contract [`RingExecutor`](crate::RingExecutor) is built on.
+///
+/// The channel methods decompose one product into independent
+/// word-sized work items:
+///
+/// 1. [`split`](PolyRing::split) each operand into `channels()` residue
+///    vectors (validating length and range once, up front);
+/// 2. run [`channel_polymul`](PolyRing::channel_polymul) for every
+///    channel — independently, on any thread, in any order;
+/// 3. [`join`](PolyRing::join) the per-channel products back into
+///    coefficients.
+///
+/// The provided [`polymul`](PolyRing::polymul) runs the three steps
+/// sequentially; schedulers distribute step 2.
+pub trait PolyRing: Send + Sync {
+    /// The transform size `n` (and required coefficient count).
+    fn size(&self) -> usize;
+
+    /// Width of the (product) modulus `Q` in bits.
+    fn modulus_bits(&self) -> u64;
+
+    /// Whether negacyclic products are available (every channel field
+    /// has a `2n`-th root of unity).
+    fn supports_negacyclic(&self) -> bool;
+
+    /// Number of independent residue channels a product decomposes
+    /// into: 1 for a single-modulus ring, `k` for an RNS ring.
+    fn channels(&self) -> usize;
+
+    /// Decomposes one operand into `channels()` word-sized residue
+    /// vectors (channel-major), validating length and coefficient range.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::CoefficientKind`] when `coeffs` is not the
+    /// representation this ring consumes; [`Error::LengthMismatch`] /
+    /// [`Error::CoefficientOutOfRange`] from the underlying validation.
+    fn split(&self, coeffs: &Coefficients) -> Result<Vec<Vec<u128>>, Error>;
+
+    /// Runs one channel's product over residues produced by
+    /// [`split`](PolyRing::split). Pure with respect to the ring: safe
+    /// to call for different channels concurrently.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ChannelOutOfRange`] when `channel >= channels()`, plus
+    /// the single-ring polymul errors.
+    fn channel_polymul(
+        &self,
+        channel: usize,
+        op: PolyOp,
+        a: &[u128],
+        b: &[u128],
+    ) -> Result<Vec<u128>, Error>;
+
+    /// Recombines per-channel products (channel-major, as produced by
+    /// running [`channel_polymul`](PolyRing::channel_polymul) on every
+    /// channel) into coefficients in the ring's native representation.
+    fn join(&self, channels: Vec<Vec<u128>>) -> Result<Coefficients, Error>;
+
+    /// Whole-request convenience: split both operands, run every
+    /// channel sequentially on the calling thread, join.
+    fn polymul(
+        &self,
+        op: PolyOp,
+        a: &Coefficients,
+        b: &Coefficients,
+    ) -> Result<Coefficients, Error> {
+        let a = self.split(a)?;
+        let b = self.split(b)?;
+        let parts = a
+            .iter()
+            .zip(&b)
+            .enumerate()
+            .map(|(i, (ra, rb))| self.channel_polymul(i, op, ra, rb))
+            .collect::<Result<Vec<_>, _>>()?;
+        self.join(parts)
+    }
+
+    /// Cyclic product in `ℤ_Q[x]/(xⁿ − 1)` over the coefficient enum.
+    ///
+    /// Note: on a concrete [`Ring`](crate::Ring)/[`RnsRing`](crate::RnsRing)
+    /// value the inherent slice-based method of the same name shadows
+    /// this one; call through `dyn PolyRing`, a generic bound, or
+    /// `PolyRing::polymul_cyclic(&ring, ..)`.
+    fn polymul_cyclic(&self, a: &Coefficients, b: &Coefficients) -> Result<Coefficients, Error> {
+        self.polymul(PolyOp::Cyclic, a, b)
+    }
+
+    /// Negacyclic product in `ℤ_Q[x]/(xⁿ + 1)` over the coefficient
+    /// enum (shadowing note on [`PolyRing::polymul_cyclic`] applies).
+    fn polymul_negacyclic(
+        &self,
+        a: &Coefficients,
+        b: &Coefficients,
+    ) -> Result<Coefficients, Error> {
+        self.polymul(PolyOp::Negacyclic, a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Ring, RnsRing};
+    use mqx_core::primes;
+    use std::sync::Arc;
+
+    const N: usize = 64;
+
+    fn poly(n: usize, q: u128, seed: u64) -> Vec<u128> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                u128::from(state) % q
+            })
+            .collect()
+    }
+
+    #[test]
+    fn trait_objects_cover_both_ring_kinds() {
+        let rings: Vec<Arc<dyn PolyRing>> = vec![
+            Arc::new(Ring::auto(primes::Q124, N).unwrap()),
+            Arc::new(RnsRing::auto(2, N).unwrap()),
+        ];
+        assert_eq!(rings[0].channels(), 1);
+        assert_eq!(rings[1].channels(), 2);
+        for ring in &rings {
+            assert_eq!(ring.size(), N);
+            assert!(ring.supports_negacyclic());
+            assert!(ring.modulus_bits() > 60);
+        }
+    }
+
+    #[test]
+    fn generic_polymul_matches_inherent_api() {
+        let ring = Ring::auto(primes::Q124, N).unwrap();
+        let a = poly(N, primes::Q124, 1);
+        let b = poly(N, primes::Q124, 2);
+        let via_trait = ring
+            .polymul(PolyOp::Negacyclic, &a.clone().into(), &b.clone().into())
+            .unwrap();
+        assert_eq!(
+            via_trait,
+            Coefficients::Word(ring.polymul_negacyclic(&a, &b).unwrap())
+        );
+        let cyclic = PolyRing::polymul_cyclic(&ring, &a.clone().into(), &b.clone().into()).unwrap();
+        assert_eq!(
+            cyclic.into_words().unwrap(),
+            ring.polymul_cyclic(&a, &b).unwrap()
+        );
+    }
+
+    #[test]
+    fn split_then_channels_then_join_equals_polymul() {
+        let ring = RnsRing::auto(3, N).unwrap();
+        let q = ring.product_modulus().clone();
+        let a: Vec<BigUint> = (0..N as u64).map(BigUint::from).collect();
+        let b: Vec<BigUint> = (0..N as u64).map(|i| BigUint::from(i * i + 1)).collect();
+        let (ca, cb) = (Coefficients::Big(a), Coefficients::Big(b));
+        let sa = ring.split(&ca).unwrap();
+        let sb = ring.split(&cb).unwrap();
+        assert_eq!(sa.len(), 3);
+        // Channels in arbitrary order: results feed join positionally.
+        let mut parts = vec![Vec::new(); 3];
+        for ch in [2, 0, 1] {
+            parts[ch] = ring
+                .channel_polymul(ch, PolyOp::Negacyclic, &sa[ch], &sb[ch])
+                .unwrap();
+        }
+        let joined = ring.join(parts).unwrap();
+        assert_eq!(joined, ring.polymul(PolyOp::Negacyclic, &ca, &cb).unwrap());
+        assert!(joined.as_bigs().unwrap().iter().all(|c| c < &q));
+    }
+
+    #[test]
+    fn wrong_coefficient_kind_is_reported() {
+        let word = Ring::auto(primes::Q124, N).unwrap();
+        let wide = RnsRing::auto(2, N).unwrap();
+        let bigs = Coefficients::Big(vec![BigUint::zero(); N]);
+        let words = Coefficients::Word(vec![0; N]);
+        assert!(matches!(
+            word.split(&bigs).unwrap_err(),
+            Error::CoefficientKind {
+                expected: "word",
+                got: "big"
+            }
+        ));
+        assert!(matches!(
+            wide.split(&words).unwrap_err(),
+            Error::CoefficientKind {
+                expected: "big",
+                got: "word"
+            }
+        ));
+    }
+
+    #[test]
+    fn out_of_range_channel_is_rejected() {
+        let ring = Ring::auto(primes::Q124, N).unwrap();
+        let a = poly(N, primes::Q124, 3);
+        assert!(matches!(
+            ring.channel_polymul(1, PolyOp::Cyclic, &a, &a).unwrap_err(),
+            Error::ChannelOutOfRange {
+                channel: 1,
+                channels: 1
+            }
+        ));
+        let rns = RnsRing::auto(2, N).unwrap();
+        assert!(matches!(
+            rns.channel_polymul(5, PolyOp::Cyclic, &a, &a).unwrap_err(),
+            Error::ChannelOutOfRange {
+                channel: 5,
+                channels: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn coefficient_accessors_are_consistent() {
+        let w = Coefficients::Word(vec![1, 2, 3]);
+        let b = Coefficients::Big(vec![BigUint::from(9_u64)]);
+        assert_eq!((w.len(), w.kind()), (3, "word"));
+        assert_eq!((b.len(), b.kind()), (1, "big"));
+        assert!(!w.is_empty());
+        assert!(w.as_words().is_some() && w.as_bigs().is_none());
+        assert!(b.as_bigs().is_some() && b.as_words().is_none());
+        assert_eq!(w.clone().into_words().unwrap(), vec![1, 2, 3]);
+        assert!(b.clone().into_words().is_none());
+        assert_eq!(b.into_bigs().unwrap(), vec![BigUint::from(9_u64)]);
+    }
+}

@@ -1,12 +1,19 @@
 //! The [`Ring`] front door: a prime field, an NTT plan, a
-//! runtime-selected [`Backend`], and reusable scratch buffers — the one
-//! entry point the tests, examples and benchmarks go through.
+//! runtime-selected [`Backend`], and a pooled scratch substrate — the
+//! one entry point the tests, examples and benchmarks go through.
+//!
+//! Every hot-path method takes `&self`: per-call scratch comes from an
+//! internal lock-free `ScratchPool`, so one ring is an
+//! immutable, shareable handle — wrap it in an [`Arc`] and hammer it
+//! from as many threads as you like (see `tests/shared_ring.rs`), or
+//! drive it through [`RingExecutor`](crate::RingExecutor) for batched
+//! serving.
 //!
 //! ```
 //! use mqx::{core::primes, Ring};
 //!
 //! // Pick the fastest tier this machine can actually execute.
-//! let mut ring = Ring::auto(primes::Q124, 256)?;
+//! let ring = Ring::auto(primes::Q124, 256)?;
 //!
 //! // Negacyclic polynomial product (the RLWE workhorse), entirely in
 //! // the selected vector tier.
@@ -20,6 +27,7 @@
 use crate::backend::{self, Backend};
 use crate::error::Error;
 use crate::plan_cache::{self, PlanCache};
+use crate::scratch::ScratchPool;
 use mqx_core::{Modulus, MulAlgorithm};
 use mqx_ntt::NttPlan;
 use mqx_simd::ResidueSoa;
@@ -97,7 +105,8 @@ impl RingBuilder {
     }
 
     /// Builds the ring: validates the modulus, constructs the NTT plan,
-    /// resolves the backend, and allocates the reusable scratch buffers.
+    /// resolves the backend, and sets up the lock-free scratch pool
+    /// (buffers themselves are allocated lazily on first use).
     pub fn build(self) -> Result<Ring, Error> {
         let backend = match self.choice {
             BackendChoice::Auto => backend::default_backend(),
@@ -120,9 +129,7 @@ impl RingBuilder {
             backend,
             psi,
             psi_inv,
-            buf_a: ResidueSoa::zeros(n),
-            buf_b: ResidueSoa::zeros(n),
-            scratch: ResidueSoa::zeros(n),
+            scratch: ScratchPool::new(n),
         })
     }
 }
@@ -132,10 +139,16 @@ impl RingBuilder {
 ///
 /// The ring holds a shared handle to its [`NttPlan`] (served by the
 /// [`plan_cache`](crate::plan_cache), so per-request ring opens skip
-/// the `O(n log n)` table build) plus three `n`-residue scratch
-/// buffers, so repeated transforms and polynomial products allocate
-/// nothing (beyond the caller's own output, for the slice-based
-/// conveniences). Methods that use the scratch space take `&mut self`.
+/// the `O(n log n)` table build) plus a lock-free pool of `n`-residue
+/// scratch sets, so repeated transforms and polynomial products
+/// allocate nothing once the pool has warmed up (beyond the caller's
+/// own output, for the slice-based conveniences).
+///
+/// Every method takes `&self` and the type is `Send + Sync`: an
+/// `Arc<Ring>` can be shared across any number of worker threads, each
+/// call checking its scratch out of the pool independently. Results are
+/// bit-identical regardless of concurrency (each call owns its working
+/// set exclusively).
 pub struct Ring {
     modulus: Modulus,
     plan: Arc<NttPlan>,
@@ -144,9 +157,7 @@ pub struct Ring {
     /// lets the negacyclic twist run through the backend's `vmul`.
     psi: Option<ResidueSoa>,
     psi_inv: Option<ResidueSoa>,
-    buf_a: ResidueSoa,
-    buf_b: ResidueSoa,
-    scratch: ResidueSoa,
+    scratch: ScratchPool,
 }
 
 impl fmt::Debug for Ring {
@@ -184,7 +195,8 @@ impl Ring {
         RingBuilder::new(modulus, n)
     }
 
-    /// The backend executing this ring's kernels.
+    /// The backend executing this ring's kernels. Safe to call from any
+    /// thread: the backend is immutable and shared.
     pub fn backend(&self) -> &dyn Backend {
         self.backend.as_ref()
     }
@@ -199,7 +211,8 @@ impl Ring {
         &self.modulus
     }
 
-    /// The underlying NTT plan.
+    /// The underlying NTT plan. Plans are immutable once built, so this
+    /// reference is safe to read concurrently with any ring operation.
     pub fn plan(&self) -> &NttPlan {
         &self.plan
     }
@@ -232,18 +245,23 @@ impl Ring {
 
     // ---- transforms ----------------------------------------------------
 
-    /// Forward NTT in place (natural order in and out). Uses the ring's
-    /// internal scratch buffer; no allocation.
-    pub fn forward(&mut self, x: &mut ResidueSoa) -> Result<(), Error> {
+    /// Forward NTT in place (natural order in and out). Scratch comes
+    /// from the ring's lock-free pool, so concurrent calls on a shared
+    /// ring never contend on a buffer; no allocation once the pool has
+    /// warmed up.
+    pub fn forward(&self, x: &mut ResidueSoa) -> Result<(), Error> {
         self.check_len(x.len())?;
-        self.backend.forward_ntt(&self.plan, x, &mut self.scratch);
+        let mut tmp = self.scratch.checkout();
+        self.backend.forward_ntt(&self.plan, x, &mut tmp);
         Ok(())
     }
 
-    /// Inverse NTT in place, including the `n⁻¹` scale.
-    pub fn inverse(&mut self, x: &mut ResidueSoa) -> Result<(), Error> {
+    /// Inverse NTT in place, including the `n⁻¹` scale. Thread-safe like
+    /// [`Ring::forward`].
+    pub fn inverse(&self, x: &mut ResidueSoa) -> Result<(), Error> {
         self.check_len(x.len())?;
-        self.backend.inverse_ntt(&self.plan, x, &mut self.scratch);
+        let mut tmp = self.scratch.checkout();
+        self.backend.inverse_ntt(&self.plan, x, &mut tmp);
         Ok(())
     }
 
@@ -272,45 +290,43 @@ impl Ring {
     // ---- polynomial products -------------------------------------------
 
     /// Cyclic product in `ℤ_q[x]/(xⁿ − 1)`, entirely in the selected
-    /// tier. Operates on the ring's internal buffers: the only
-    /// allocation is the returned vector.
-    pub fn polymul_cyclic(&mut self, a: &[u128], b: &[u128]) -> Result<Vec<u128>, Error> {
+    /// tier. Operates on pooled scratch buffers checked out for this
+    /// call, so concurrent products on a shared ring never interfere:
+    /// the only allocation is the returned vector (plus a one-time
+    /// buffer build while the pool warms up).
+    pub fn polymul_cyclic(&self, a: &[u128], b: &[u128]) -> Result<Vec<u128>, Error> {
         self.check_len(a.len())?;
         self.check_len(b.len())?;
-        self.buf_a.copy_from_u128s(a);
-        self.buf_b.copy_from_u128s(b);
-        self.backend.polymul_cyclic(
-            &self.plan,
-            &mut self.buf_a,
-            &mut self.buf_b,
-            &mut self.scratch,
-        );
-        Ok(self.buf_a.to_u128s())
+        let mut sa = self.scratch.checkout();
+        let mut sb = self.scratch.checkout();
+        let mut tmp = self.scratch.checkout();
+        sa.copy_from_u128s(a);
+        sb.copy_from_u128s(b);
+        self.backend
+            .polymul_cyclic(&self.plan, &mut sa, &mut sb, &mut tmp);
+        Ok(sa.to_u128s())
     }
 
     /// Cyclic product over SoA buffers with the result left in `a` — the
-    /// allocation-free form.
-    pub fn polymul_cyclic_soa(
-        &mut self,
-        a: &mut ResidueSoa,
-        b: &mut ResidueSoa,
-    ) -> Result<(), Error> {
+    /// allocation-free form (only transform scratch is pooled).
+    pub fn polymul_cyclic_soa(&self, a: &mut ResidueSoa, b: &mut ResidueSoa) -> Result<(), Error> {
         self.check_len(a.len())?;
         self.check_len(b.len())?;
-        self.backend
-            .polymul_cyclic(&self.plan, a, b, &mut self.scratch);
+        let mut tmp = self.scratch.checkout();
+        self.backend.polymul_cyclic(&self.plan, a, b, &mut tmp);
         Ok(())
     }
 
     /// Negacyclic product in `ℤ_q[x]/(xⁿ + 1)` — the RLWE workhorse —
     /// via the ψ-twisted cyclic transform, with the twist itself running
-    /// through the backend's vector multiply.
+    /// through the backend's vector multiply. Thread-safe like every
+    /// ring operation: scratch is per-call, from the pool.
     ///
     /// # Errors
     ///
     /// [`Error::NoNegacyclicSupport`] if the field has no `2n`-th root
     /// of unity (check [`Ring::supports_negacyclic`]).
-    pub fn polymul_negacyclic(&mut self, a: &[u128], b: &[u128]) -> Result<Vec<u128>, Error> {
+    pub fn polymul_negacyclic(&self, a: &[u128], b: &[u128]) -> Result<Vec<u128>, Error> {
         self.check_len(a.len())?;
         self.check_len(b.len())?;
         let (psi, psi_inv) = match (&self.psi, &self.psi_inv) {
@@ -322,28 +338,90 @@ impl Ring {
             }
         };
 
+        let mut sa = self.scratch.checkout();
+        let mut sb = self.scratch.checkout();
+        let mut tmp = self.scratch.checkout();
+
         // Twist: buf ← input ⊙ ψ.
-        self.buf_a.copy_from_u128s(a);
-        self.backend
-            .vmul(&self.buf_a, psi, &mut self.scratch, &self.modulus);
-        std::mem::swap(&mut self.buf_a, &mut self.scratch);
-        self.buf_b.copy_from_u128s(b);
-        self.backend
-            .vmul(&self.buf_b, psi, &mut self.scratch, &self.modulus);
-        std::mem::swap(&mut self.buf_b, &mut self.scratch);
+        sa.copy_from_u128s(a);
+        self.backend.vmul(&sa, psi, &mut tmp, &self.modulus);
+        std::mem::swap(&mut *sa, &mut *tmp);
+        sb.copy_from_u128s(b);
+        self.backend.vmul(&sb, psi, &mut tmp, &self.modulus);
+        std::mem::swap(&mut *sb, &mut *tmp);
 
         // Cyclic product of the twisted operands (includes the n⁻¹).
-        self.backend.polymul_cyclic(
-            &self.plan,
-            &mut self.buf_a,
-            &mut self.buf_b,
-            &mut self.scratch,
-        );
+        self.backend
+            .polymul_cyclic(&self.plan, &mut sa, &mut sb, &mut tmp);
 
         // Untwist: result ⊙ ψ^{−i}.
-        self.backend
-            .vmul(&self.buf_a, psi_inv, &mut self.scratch, &self.modulus);
-        Ok(self.scratch.to_u128s())
+        self.backend.vmul(&sa, psi_inv, &mut tmp, &self.modulus);
+        Ok(tmp.to_u128s())
+    }
+}
+
+/// A [`Ring`] is the one-channel case of the generic polynomial-ring
+/// interface: `split` validates and clones the word-sized residues,
+/// `join` wraps channel 0's product back up.
+impl crate::PolyRing for Ring {
+    fn size(&self) -> usize {
+        self.plan.size()
+    }
+
+    fn modulus_bits(&self) -> u64 {
+        u64::from(self.modulus.bits())
+    }
+
+    fn supports_negacyclic(&self) -> bool {
+        self.psi.is_some()
+    }
+
+    fn channels(&self) -> usize {
+        1
+    }
+
+    fn split(&self, coeffs: &crate::Coefficients) -> Result<Vec<Vec<u128>>, Error> {
+        let words = coeffs.as_words().ok_or(Error::CoefficientKind {
+            expected: "word",
+            got: coeffs.kind(),
+        })?;
+        self.check_len(words.len())?;
+        let q = self.modulus.value();
+        if let Some(index) = words.iter().position(|&w| w >= q) {
+            return Err(Error::CoefficientOutOfRange { index });
+        }
+        Ok(vec![words.to_vec()])
+    }
+
+    fn channel_polymul(
+        &self,
+        channel: usize,
+        op: crate::PolyOp,
+        a: &[u128],
+        b: &[u128],
+    ) -> Result<Vec<u128>, Error> {
+        if channel != 0 {
+            return Err(Error::ChannelOutOfRange {
+                channel,
+                channels: 1,
+            });
+        }
+        match op {
+            crate::PolyOp::Cyclic => self.polymul_cyclic(a, b),
+            crate::PolyOp::Negacyclic => self.polymul_negacyclic(a, b),
+        }
+    }
+
+    fn join(&self, mut channels: Vec<Vec<u128>>) -> Result<crate::Coefficients, Error> {
+        if channels.len() != 1 {
+            return Err(Error::ChannelCountMismatch {
+                expected: 1,
+                got: channels.len(),
+            });
+        }
+        Ok(crate::Coefficients::Word(
+            channels.pop().expect("one channel"),
+        ))
     }
 }
 
@@ -369,7 +447,7 @@ mod tests {
 
     #[test]
     fn auto_ring_builds_and_transforms() {
-        let mut ring = Ring::auto(primes::Q124, N).unwrap();
+        let ring = Ring::auto(primes::Q124, N).unwrap();
         assert!(ring.backend().consumable());
         let xs = poly(N, primes::Q124, 0xA11CE);
         let mut soa = ResidueSoa::from_u128s(&xs);
@@ -380,7 +458,7 @@ mod tests {
 
     #[test]
     fn forced_portable_ring_matches_scalar_plan() {
-        let mut ring = Ring::with_backend_name(primes::Q124, N, "portable").unwrap();
+        let ring = Ring::with_backend_name(primes::Q124, N, "portable").unwrap();
         assert_eq!(ring.backend().name(), "portable");
         let xs = poly(N, primes::Q124, 0xBEE);
         let mut expected = xs.clone();
@@ -413,7 +491,7 @@ mod tests {
 
     #[test]
     fn length_mismatch_rejected_before_kernels_panic() {
-        let mut ring = Ring::auto(primes::Q124, N).unwrap();
+        let ring = Ring::auto(primes::Q124, N).unwrap();
         let mut short = ResidueSoa::zeros(N - 1);
         assert!(matches!(
             ring.forward(&mut short).unwrap_err(),
@@ -436,7 +514,7 @@ mod tests {
                 continue;
             }
             let name = backend.name();
-            let mut ring = Ring::with_backend(primes::Q124, N, backend).unwrap();
+            let ring = Ring::with_backend(primes::Q124, N, backend).unwrap();
             assert_eq!(ring.polymul_cyclic(&a, &b).unwrap(), cyclic, "{name}");
             assert_eq!(
                 ring.polymul_negacyclic(&a, &b).unwrap(),
@@ -449,7 +527,7 @@ mod tests {
     #[test]
     fn negacyclic_unsupported_is_reported() {
         // Q14 has 2-adicity 10: n = 1024 cyclic works, negacyclic cannot.
-        let mut ring = Ring::auto(primes::Q14, 1024).unwrap();
+        let ring = Ring::auto(primes::Q14, 1024).unwrap();
         assert!(!ring.supports_negacyclic());
         let a = vec![1_u128; 1024];
         assert!(matches!(
@@ -462,8 +540,8 @@ mod tests {
     fn karatsuba_ring_agrees_with_schoolbook_ring() {
         let a = poly(N, primes::Q124, 3);
         let b = poly(N, primes::Q124, 4);
-        let mut school = Ring::builder(primes::Q124, N).build().unwrap();
-        let mut kara = Ring::builder(primes::Q124, N)
+        let school = Ring::builder(primes::Q124, N).build().unwrap();
+        let kara = Ring::builder(primes::Q124, N)
             .mul_algorithm(MulAlgorithm::Karatsuba)
             .build()
             .unwrap();

@@ -18,12 +18,18 @@
 //! [`plan_cache`](crate::plan_cache), so opening a second ring over the
 //! same basis rebuilds nothing.
 //!
+//! Like [`Ring`], every hot-path method takes `&self` and the type is
+//! `Send + Sync`: an `Arc<RnsRing>` is a shareable handle, and batched
+//! serving goes through [`RingExecutor`](crate::RingExecutor), which
+//! fans `channels × batch` into work-stealing items instead of spawning
+//! threads per call.
+//!
 //! ```
 //! use mqx::bignum::BigUint;
 //! use mqx::{core::primes, RnsRing};
 //!
 //! // Two word-sized channels stand in for a ~92-bit modulus.
-//! let mut ring = RnsRing::with_moduli(&[primes::Q62, primes::Q30], 64)?;
+//! let ring = RnsRing::with_moduli(&[primes::Q62, primes::Q30], 64)?;
 //! assert_eq!(ring.channels(), 2);
 //! assert!(ring.product_modulus().bits() > 64);
 //!
@@ -55,6 +61,9 @@ enum BasisChoice {
     /// Generate `count` primes below `2^bits` via
     /// [`primes::ntt_prime_chain`].
     Generated { bits: u32, count: usize },
+    /// Auto-size channel count and width so the product modulus spans at
+    /// least this many bits.
+    TargetBits(u32),
 }
 
 /// How the builder assigns a backend to each channel.
@@ -120,6 +129,23 @@ impl RnsRingBuilder {
         self
     }
 
+    /// Auto-sizes the basis from a requested product-modulus width:
+    /// picks the channel count and per-channel prime width so that
+    /// `Q = ∏ qᵢ` spans at least `bits` bits, with every channel
+    /// NTT-friendly at the builder's `n` (negacyclic included). Callers
+    /// stop counting channels by hand — ask for "a 186-bit modulus" and
+    /// get (say) three 62-bit channels.
+    ///
+    /// Widths are balanced: the target is divided evenly over the
+    /// fewest word-sized channels that can carry it, then widened one
+    /// bit at a time (spilling into an extra channel past the 62-bit
+    /// single-word ceiling) until the generated product actually
+    /// reaches the target.
+    pub fn target_modulus_bits(mut self, bits: u32) -> Self {
+        self.basis = BasisChoice::TargetBits(bits);
+        self
+    }
+
     /// Pins every channel to the named registry backend.
     pub fn backend_name(mut self, name: &str) -> Self {
         self.backends = ChannelBackends::Uniform(name.to_string());
@@ -153,18 +179,19 @@ impl RnsRingBuilder {
     /// precomputes the Garner constants, and opens one backend-dispatched
     /// [`Ring`] per channel (plans served by the configured cache).
     pub fn build(self) -> Result<RnsRing, Error> {
+        // Negacyclic products at size n need a 2n-th root of unity,
+        // i.e. 2-adicity ≥ log₂(n) + 1.
+        let two_adicity = self.n.trailing_zeros() + 1;
         let moduli = match self.basis {
             BasisChoice::Explicit(v) => v,
             BasisChoice::Generated { bits, count } => {
-                // Negacyclic products at size n need a 2n-th root of
-                // unity, i.e. 2-adicity ≥ log₂(n) + 1.
-                let two_adicity = self.n.trailing_zeros() + 1;
                 primes::ntt_prime_chain(bits, two_adicity, count).ok_or(Error::BasisGeneration {
                     bits,
                     two_adicity,
                     count,
                 })?
             }
+            BasisChoice::TargetBits(bits) => auto_basis(bits, two_adicity)?,
         };
         let crt = CrtContext::new(&moduli)?;
 
@@ -200,6 +227,47 @@ impl RnsRingBuilder {
             n: self.n,
         })
     }
+}
+
+/// Picks a basis whose product spans at least `target_bits` bits: the
+/// fewest word-sized channels that can carry the target with balanced
+/// widths, widened (and eventually spilled into an extra channel) until
+/// the *generated* product — primes sit slightly below `2^width` —
+/// actually reaches the target.
+fn auto_basis(target_bits: u32, two_adicity: u32) -> Result<Vec<u128>, Error> {
+    let target = target_bits.max(1);
+    // A prime with 2^two_adicity | q − 1 needs at least two_adicity + 1
+    // bits; give the search one bit of headroom.
+    let floor_bits = (two_adicity + 2).min(DEFAULT_BASIS_BITS);
+    let mut count = target.div_ceil(DEFAULT_BASIS_BITS).max(1) as usize;
+    let mut width = target
+        .div_ceil(count as u32)
+        .clamp(floor_bits, DEFAULT_BASIS_BITS);
+    // Each attempt either widens a channel or adds one, so the walk is
+    // finite; the cap is generous slack over the worst case.
+    for _ in 0..256 {
+        if let Some(chain) = primes::ntt_prime_chain(width, two_adicity, count) {
+            let product = chain
+                .iter()
+                .fold(BigUint::one(), |acc, &q| &acc * &BigUint::from(q));
+            if product.bits() >= u64::from(target) {
+                return Ok(chain);
+            }
+        }
+        if width < DEFAULT_BASIS_BITS {
+            width += 1;
+        } else {
+            count += 1;
+            width = target
+                .div_ceil(count as u32)
+                .clamp(floor_bits, DEFAULT_BASIS_BITS);
+        }
+    }
+    Err(Error::BasisGeneration {
+        bits: width,
+        two_adicity,
+        count,
+    })
 }
 
 /// A sharded multi-modulus polynomial ring `ℤ_Q[x]/(xⁿ ± 1)` with
@@ -351,33 +419,32 @@ impl RnsRing {
     /// Negacyclic product in `ℤ_Q[x]/(xⁿ + 1)` — the RLWE workhorse
     /// over a modulus wider than the machine word. Coefficients must be
     /// reduced below [`RnsRing::product_modulus`]; the result is
-    /// reduced likewise.
+    /// reduced likewise. Takes `&self`: safe to call concurrently on a
+    /// shared ring.
     ///
-    /// Each channel's product runs on its own scoped thread through its
-    /// own backend (mirroring `ntt::batch`), so wall-clock cost is one
-    /// channel's product plus the CRT boundary work.
+    /// This one-shot path runs each channel's product on a scoped
+    /// thread; servers with a *queue* of products should use
+    /// [`RingExecutor`](crate::RingExecutor) instead, which fans
+    /// `channels × batch` into pooled work-stealing items and pays the
+    /// thread start-up cost once rather than per call.
     ///
     /// # Errors
     ///
     /// [`Error::NoNegacyclicSupport`] if any channel field lacks a
     /// `2n`-th root of unity (check [`RnsRing::supports_negacyclic`]),
     /// plus the [`RnsRing::to_residues`] validation errors.
-    pub fn polymul_negacyclic(
-        &mut self,
-        a: &[BigUint],
-        b: &[BigUint],
-    ) -> Result<Vec<BigUint>, Error> {
-        self.polymul(a, b, true)
+    pub fn polymul_negacyclic(&self, a: &[BigUint], b: &[BigUint]) -> Result<Vec<BigUint>, Error> {
+        self.polymul_big(a, b, true)
     }
 
     /// Cyclic product in `ℤ_Q[x]/(xⁿ − 1)`, sharded per channel like
-    /// [`RnsRing::polymul_negacyclic`].
-    pub fn polymul_cyclic(&mut self, a: &[BigUint], b: &[BigUint]) -> Result<Vec<BigUint>, Error> {
-        self.polymul(a, b, false)
+    /// [`RnsRing::polymul_negacyclic`] (and equally thread-safe).
+    pub fn polymul_cyclic(&self, a: &[BigUint], b: &[BigUint]) -> Result<Vec<BigUint>, Error> {
+        self.polymul_big(a, b, false)
     }
 
-    fn polymul(
-        &mut self,
+    fn polymul_big(
+        &self,
         a: &[BigUint],
         b: &[BigUint],
         negacyclic: bool,
@@ -385,12 +452,12 @@ impl RnsRing {
         let a_channels = self.to_residues(a)?;
         let b_channels = self.to_residues(b)?;
 
-        // One scoped worker per channel, each owning its channel's ring
-        // (and therefore that ring's scratch buffers) exclusively.
+        // One scoped worker per channel; channels only need `&Ring` now
+        // that ring scratch is pooled, so the shared `&self` is enough.
         let results: Vec<Result<Vec<u128>, Error>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .rings
-                .iter_mut()
+                .iter()
                 .zip(a_channels.into_iter().zip(b_channels))
                 .map(|(ring, (ra, rb))| {
                     scope.spawn(move || {
@@ -410,6 +477,57 @@ impl RnsRing {
 
         let per_channel = results.into_iter().collect::<Result<Vec<_>, _>>()?;
         self.recombine(&per_channel)
+    }
+}
+
+/// An [`RnsRing`] exposes its residue channels directly: `split` is CRT
+/// decomposition, `join` is Garner recombination, and each channel's
+/// product is an independent word-sized work item — the decomposition
+/// [`RingExecutor`](crate::RingExecutor) schedules.
+impl crate::PolyRing for RnsRing {
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn modulus_bits(&self) -> u64 {
+        self.crt.product().bits()
+    }
+
+    fn supports_negacyclic(&self) -> bool {
+        self.rings.iter().all(Ring::supports_negacyclic)
+    }
+
+    fn channels(&self) -> usize {
+        self.rings.len()
+    }
+
+    fn split(&self, coeffs: &crate::Coefficients) -> Result<Vec<Vec<u128>>, Error> {
+        let bigs = coeffs.as_bigs().ok_or(Error::CoefficientKind {
+            expected: "big",
+            got: coeffs.kind(),
+        })?;
+        self.to_residues(bigs)
+    }
+
+    fn channel_polymul(
+        &self,
+        channel: usize,
+        op: crate::PolyOp,
+        a: &[u128],
+        b: &[u128],
+    ) -> Result<Vec<u128>, Error> {
+        let ring = self.rings.get(channel).ok_or(Error::ChannelOutOfRange {
+            channel,
+            channels: self.rings.len(),
+        })?;
+        match op {
+            crate::PolyOp::Cyclic => ring.polymul_cyclic(a, b),
+            crate::PolyOp::Negacyclic => ring.polymul_negacyclic(a, b),
+        }
+    }
+
+    fn join(&self, channels: Vec<Vec<u128>>) -> Result<crate::Coefficients, Error> {
+        self.recombine(&channels).map(crate::Coefficients::Big)
     }
 }
 
@@ -442,7 +560,7 @@ mod tests {
 
     #[test]
     fn negacyclic_matches_big_schoolbook() {
-        let mut ring = RnsRing::with_moduli(&[primes::Q62, primes::Q30], N).unwrap();
+        let ring = RnsRing::with_moduli(&[primes::Q62, primes::Q30], N).unwrap();
         assert!(ring.supports_negacyclic());
         let a = coeffs(&ring, 1);
         let b = coeffs(&ring, 2);
@@ -516,7 +634,7 @@ mod tests {
 
     #[test]
     fn unreduced_coefficients_are_rejected() {
-        let mut ring = RnsRing::with_moduli(&[primes::Q30, primes::Q14], N).unwrap();
+        let ring = RnsRing::with_moduli(&[primes::Q30, primes::Q14], N).unwrap();
         let mut a = coeffs(&ring, 3);
         a[7] = ring.product_modulus().clone();
         let b = coeffs(&ring, 4);
@@ -528,7 +646,7 @@ mod tests {
 
     #[test]
     fn length_mismatches_are_rejected() {
-        let mut ring = RnsRing::with_moduli(&[primes::Q62, primes::Q30], N).unwrap();
+        let ring = RnsRing::with_moduli(&[primes::Q62, primes::Q30], N).unwrap();
         let a = coeffs(&ring, 5);
         let short = a[..N - 1].to_vec();
         assert!(matches!(
@@ -542,6 +660,60 @@ mod tests {
                 got: 1
             }
         ));
+    }
+
+    #[test]
+    fn target_bits_exact_multiple_uses_full_width_channels() {
+        // 186 = 3 × 62: three full-width channels, no overshoot in count.
+        let ring = RnsRing::builder(N)
+            .target_modulus_bits(186)
+            .build()
+            .unwrap();
+        assert_eq!(ring.channels(), 3);
+        assert!(ring.product_modulus().bits() >= 186);
+        assert!(ring.supports_negacyclic());
+        for &q in ring.moduli() {
+            assert_eq!(128 - q.leading_zeros(), 62, "full-width channel {q}");
+        }
+    }
+
+    #[test]
+    fn target_bits_balances_widths_when_over_provisioned() {
+        // 80 bits needs two channels; balanced widths sit near 40 bits,
+        // not one 62-bit plus one tiny channel.
+        let ring = RnsRing::builder(N).target_modulus_bits(80).build().unwrap();
+        assert_eq!(ring.channels(), 2);
+        assert!(ring.product_modulus().bits() >= 80);
+        for &q in ring.moduli() {
+            let w = 128 - q.leading_zeros();
+            assert!((38..=44).contains(&w), "balanced width, got {w} bits");
+        }
+    }
+
+    #[test]
+    fn target_bits_single_channel_and_tiny_targets() {
+        let ring = RnsRing::builder(N).target_modulus_bits(30).build().unwrap();
+        assert_eq!(ring.channels(), 1);
+        assert!(ring.product_modulus().bits() >= 30);
+        // A target below the 2-adicity floor still yields a valid
+        // (over-provisioned) NTT-friendly channel.
+        let tiny = RnsRing::builder(N).target_modulus_bits(1).build().unwrap();
+        assert_eq!(tiny.channels(), 1);
+        assert!(tiny.supports_negacyclic());
+    }
+
+    #[test]
+    fn target_bits_product_actually_multiplies_correctly() {
+        let ring = RnsRing::builder(N)
+            .target_modulus_bits(124)
+            .build()
+            .unwrap();
+        assert!(ring.product_modulus().bits() >= 124);
+        let a = coeffs(&ring, 7);
+        let b = coeffs(&ring, 8);
+        let expected =
+            mqx_ntt::polymul::schoolbook_negacyclic_big(&a, &b, &ring.product_modulus().clone());
+        assert_eq!(ring.polymul_negacyclic(&a, &b).unwrap(), expected);
     }
 
     #[test]

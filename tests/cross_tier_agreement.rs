@@ -123,7 +123,7 @@ fn every_backend_polymul_is_bit_identical_to_portable() {
             continue;
         }
         consumable_count += 1;
-        let mut ring = Ring::with_backend(primes::Q124, N, backend).unwrap();
+        let ring = Ring::with_backend(primes::Q124, N, backend).unwrap();
         assert_eq!(
             ring.polymul_cyclic(&a, &b).unwrap(),
             reference_cyclic,
@@ -193,7 +193,7 @@ fn two_field_crt_consistency() {
         &[primes::Q62, primes::Q30][..],
         &[primes::Q62, primes::Q30, primes::Q14][..],
     ] {
-        let mut ring = RnsRing::with_moduli(basis, N).unwrap();
+        let ring = RnsRing::with_moduli(basis, N).unwrap();
 
         // Per-channel residues of the wide product still agree with
         // direct per-field arithmetic (the original scalar invariant).

@@ -153,6 +153,26 @@ fn rns_scaling_covers_widening_moduli() {
 }
 
 #[test]
+fn serve_throughput_sweeps_worker_counts() {
+    let rows = mqx_bench::experiments::serve::run(quick());
+    let workers: Vec<usize> = rows.iter().map(|r| r.workers).collect();
+    assert_eq!(workers, vec![1, 2, 4], "quick-mode worker sweep");
+    for r in &rows {
+        assert_eq!(r.batch, 16, "quick-mode batch size");
+        assert!(r.ns > 0.0 && r.ns_per_request > 0.0);
+        assert!(
+            r.requests_per_sec.is_finite() && r.requests_per_sec > 0.0,
+            "{r:?}"
+        );
+        assert!(!r.backend.is_empty());
+    }
+    // Structural only: wall-clock scaling with workers is too noisy
+    // under the parallel test runner (and this CI box may have one
+    // core); the release-mode `serve` binary is the quantitative check.
+    // Bit-identity vs sequential execution is asserted inside run().
+}
+
+#[test]
 fn fig1_headline_orders_baseline_vs_optimized() {
     let rows = mqx_bench::experiments::fig1::run(quick());
     assert!(rows.len() >= 5);

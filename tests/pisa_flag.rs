@@ -78,12 +78,12 @@ fn pisa_ntt_differs_functional_ntt_matches() {
     let plan = mqx::ntt::NttPlan::new(&m, n).unwrap();
     plan.forward_scalar(&mut reference);
 
-    let mut functional_ring = Ring::with_backend_name(q, n, "mqx-functional").unwrap();
+    let functional_ring = Ring::with_backend_name(q, n, "mqx-functional").unwrap();
     let mut soa = ResidueSoa::from_u128s(&xs);
     functional_ring.forward(&mut soa).unwrap();
     assert_eq!(soa.to_u128s(), reference, "functional flag on");
 
-    let mut pisa_ring = Ring::with_backend_name(q, n, "mqx-pisa").unwrap();
+    let pisa_ring = Ring::with_backend_name(q, n, "mqx-pisa").unwrap();
     assert!(!pisa_ring.backend().consumable());
     let mut soa = ResidueSoa::from_u128s(&xs);
     pisa_ring.forward(&mut soa).unwrap();

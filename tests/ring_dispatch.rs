@@ -27,7 +27,7 @@ fn poly(n: usize, q: u128, seed: u64) -> Vec<u128> {
 
 #[test]
 fn auto_selects_a_working_consumable_backend() {
-    let mut ring = Ring::auto(primes::Q124, N).unwrap();
+    let ring = Ring::auto(primes::Q124, N).unwrap();
     let b = ring.backend();
     assert!(b.consumable(), "auto must never hand out PISA");
     assert_ne!(b.tier(), Tier::Mqx, "auto picks a hardware tier");
@@ -64,7 +64,7 @@ fn auto_matches_runtime_detection_and_compile_flags() {
 #[test]
 fn forced_portable_ring_works_on_any_host() {
     let q = primes::Q124;
-    let mut ring = Ring::with_backend_name(q, N, "portable").unwrap();
+    let ring = Ring::with_backend_name(q, N, "portable").unwrap();
     assert_eq!(ring.backend().name(), "portable");
     assert_eq!(ring.backend().tier(), Tier::Portable);
 
@@ -134,7 +134,7 @@ fn repeated_transforms_reuse_ring_buffers() {
     // products with stable results (nothing is freed or clobbered
     // between calls).
     let q = primes::Q124;
-    let mut ring = Ring::auto(q, N).unwrap();
+    let ring = Ring::auto(q, N).unwrap();
     let a = poly(N, q, 3);
     let b = poly(N, q, 4);
     let first = ring.polymul_negacyclic(&a, &b).unwrap();
@@ -154,7 +154,7 @@ fn repeated_transforms_reuse_ring_buffers() {
 #[test]
 fn soa_polymul_is_allocation_free_path() {
     let q = primes::Q124;
-    let mut ring = Ring::auto(q, N).unwrap();
+    let ring = Ring::auto(q, N).unwrap();
     let a = poly(N, q, 5);
     let b = poly(N, q, 6);
     let expected = ring.polymul_cyclic(&a, &b).unwrap();

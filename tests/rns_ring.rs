@@ -34,7 +34,7 @@ fn random_coeffs(bound: &BigUint, n: usize, seed: u64) -> Vec<BigUint> {
 fn polymul_is_bit_identical_to_product_modulus_reference() {
     let basis = basis();
     for k in 1..=3 {
-        let mut ring = RnsRing::with_moduli(&basis[..k], N).unwrap();
+        let ring = RnsRing::with_moduli(&basis[..k], N).unwrap();
         assert_eq!(ring.channels(), k);
         let q = ring.product_modulus().clone();
         let a = random_coeffs(&q, N, 0xA0 + k as u64);
@@ -58,8 +58,8 @@ fn single_channel_rns_matches_plain_ring_exactly() {
     // k = 1 degenerates to one prime field: the sharded path must agree
     // with the direct `Ring` word for word.
     let q = primes::Q62;
-    let mut rns = RnsRing::with_moduli(&[q], N).unwrap();
-    let mut ring = mqx::Ring::auto(q, N).unwrap();
+    let rns = RnsRing::with_moduli(&[q], N).unwrap();
+    let ring = mqx::Ring::auto(q, N).unwrap();
 
     let a = random_coeffs(&BigUint::from(q), N, 0xC1);
     let b = random_coeffs(&BigUint::from(q), N, 0xC2);
@@ -88,7 +88,7 @@ fn every_consumable_backend_agrees_through_the_rns_layer() {
             continue;
         }
         let name = b.name();
-        let mut ring = RnsRing::builder(N)
+        let ring = RnsRing::builder(N)
             .moduli(&basis)
             .backend_name(name)
             .build()
@@ -150,7 +150,7 @@ fn mixed_tier_channels_still_recombine_correctly() {
     // match the uniform-tier product bit for bit.
     let basis = basis();
     let portable = backend::by_name("portable").unwrap();
-    let mut mixed = RnsRing::builder(N)
+    let mixed = RnsRing::builder(N)
         .moduli(&basis)
         .channel_backends(vec![
             portable,
@@ -159,7 +159,7 @@ fn mixed_tier_channels_still_recombine_correctly() {
         ])
         .build()
         .unwrap();
-    let mut uniform = RnsRing::builder(N)
+    let uniform = RnsRing::builder(N)
         .moduli(&basis)
         .backend_name("portable")
         .build()
@@ -190,7 +190,7 @@ fn rns_layer_agrees_with_double_crt_baseline() {
         })
         .collect();
     let baseline = FheRnsNtt::new(&basis, N, &omegas);
-    let mut ring = RnsRing::with_moduli(&basis, N).unwrap();
+    let ring = RnsRing::with_moduli(&basis, N).unwrap();
 
     let q = ring.product_modulus().clone();
     let a = random_coeffs(&q, N, 0xF1);
@@ -204,7 +204,7 @@ fn rns_layer_agrees_with_double_crt_baseline() {
 
 #[test]
 fn unreduced_input_is_rejected_not_aliased() {
-    let mut ring = RnsRing::with_moduli(&[primes::Q30, primes::Q14], N).unwrap();
+    let ring = RnsRing::with_moduli(&[primes::Q30, primes::Q14], N).unwrap();
     let q = ring.product_modulus().clone();
     let mut a = random_coeffs(&q, N, 0x11);
     a[3] = q.clone(); // == Q: residues would alias 0
