@@ -1,0 +1,225 @@
+//! A lock-free pool of per-call scratch buffers — the substrate behind
+//! the shared-`&self` ring API.
+//!
+//! [`Ring`](crate::Ring) used to own its scratch buffers directly, which
+//! forced every hot-path method onto `&mut self` and made a ring
+//! impossible to share across worker threads without cloning plans and
+//! twiddle tables. [`ScratchPool`] moves those buffers behind a fixed
+//! array of atomic slots: callers *check out* one `n`-residue buffer at
+//! a time (a transform needs one, a polynomial product three), use it,
+//! and the guard returns it on drop. Checkout and return are single
+//! atomic pointer swaps per slot probed — no mutex, no ABA hazard
+//! (whole boxes are exchanged, never linked), and no allocation once
+//! the pool has warmed up to the caller's concurrency level.
+//!
+//! With `W` concurrent polymul callers the pool converges on
+//! `min(3·W, SLOTS)` live buffers; beyond that, overflow buffers are
+//! simply freed on return, so a burst never permanently grows the pool.
+
+use mqx_simd::ResidueSoa;
+use std::ops::{Deref, DerefMut};
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+/// Number of atomic slots per pool: three buffers for every worker of a
+/// sizeable thread-pool without contention, small enough that a
+/// full-pool probe is a handful of loads.
+const SLOTS: usize = 32;
+
+/// A lock-free checkout/return pool of `n`-residue scratch buffers for
+/// one ring geometry.
+#[derive(Debug)]
+pub(crate) struct ScratchPool {
+    n: usize,
+    slots: [AtomicPtr<ResidueSoa>; SLOTS],
+}
+
+impl ScratchPool {
+    /// An empty pool for `n`-residue buffers; buffers are allocated
+    /// lazily on first checkout.
+    pub fn new(n: usize) -> ScratchPool {
+        ScratchPool {
+            n,
+            slots: std::array::from_fn(|_| AtomicPtr::new(ptr::null_mut())),
+        }
+    }
+
+    /// Checks a buffer out of the pool, allocating a fresh one if every
+    /// slot is empty or contended away. Contents are unspecified
+    /// (pooled buffers carry whatever the previous caller left); every
+    /// user overwrites before reading.
+    pub fn checkout(&self) -> ScratchGuard<'_> {
+        for slot in &self.slots {
+            let p = slot.swap(ptr::null_mut(), Ordering::Acquire);
+            if !p.is_null() {
+                // SAFETY: a non-null slot pointer was produced by
+                // `Box::into_raw` in `give_back` and ownership was
+                // transferred to the slot; the swap above took it back
+                // exclusively.
+                return ScratchGuard {
+                    pool: self,
+                    buf: Some(unsafe { Box::from_raw(p) }),
+                };
+            }
+        }
+        ScratchGuard {
+            pool: self,
+            buf: Some(Box::new(ResidueSoa::zeros(self.n))),
+        }
+    }
+
+    /// Returns a buffer to the first empty slot, or frees it when the
+    /// pool is full.
+    fn give_back(&self, buf: Box<ResidueSoa>) {
+        let p = Box::into_raw(buf);
+        for slot in &self.slots {
+            if slot
+                .compare_exchange(ptr::null_mut(), p, Ordering::Release, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+        }
+        // Pool full: drop the overflow buffer.
+        // SAFETY: `p` came from `Box::into_raw` above and was not
+        // installed in any slot, so ownership is still ours.
+        drop(unsafe { Box::from_raw(p) });
+    }
+
+    /// Number of buffers currently parked in the pool (racy snapshot;
+    /// for tests and diagnostics).
+    #[cfg(test)]
+    pub fn pooled(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| !s.load(Ordering::Relaxed).is_null())
+            .count()
+    }
+}
+
+impl Drop for ScratchPool {
+    fn drop(&mut self) {
+        for slot in &mut self.slots {
+            let p = *slot.get_mut();
+            if !p.is_null() {
+                // SAFETY: `&mut self` guarantees no concurrent checkout;
+                // the pointer owns its box (see `give_back`).
+                drop(unsafe { Box::from_raw(p) });
+            }
+        }
+    }
+}
+
+/// An exclusively-owned scratch buffer, returned to its pool on drop.
+pub(crate) struct ScratchGuard<'p> {
+    pool: &'p ScratchPool,
+    buf: Option<Box<ResidueSoa>>,
+}
+
+impl Deref for ScratchGuard<'_> {
+    type Target = ResidueSoa;
+
+    fn deref(&self) -> &ResidueSoa {
+        self.buf.as_ref().expect("buffer present until drop")
+    }
+}
+
+impl DerefMut for ScratchGuard<'_> {
+    fn deref_mut(&mut self) -> &mut ResidueSoa {
+        self.buf.as_mut().expect("buffer present until drop")
+    }
+}
+
+impl Drop for ScratchGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(buf) = self.buf.take() {
+            self.pool.give_back(buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_return_reuses_the_same_allocation() {
+        let pool = ScratchPool::new(32);
+        assert_eq!(pool.pooled(), 0, "lazy: nothing allocated up front");
+        let first_ptr = {
+            let guard = pool.checkout();
+            &*guard as *const ResidueSoa
+        };
+        assert_eq!(pool.pooled(), 1);
+        let guard = pool.checkout();
+        assert_eq!(&*guard as *const ResidueSoa, first_ptr, "buffer was pooled");
+        assert_eq!(pool.pooled(), 0);
+    }
+
+    #[test]
+    fn concurrent_checkouts_get_distinct_buffers() {
+        let pool = ScratchPool::new(16);
+        let mut g1 = pool.checkout();
+        let mut g2 = pool.checkout();
+        let mut g3 = pool.checkout();
+        g1.set(0, 7);
+        g2.set(0, 9);
+        g3.set(0, 11);
+        assert_eq!(g1.get(0), 7);
+        assert_eq!(g2.get(0), 9);
+        assert_eq!(g3.get(0), 11);
+        drop(g1);
+        drop(g2);
+        drop(g3);
+        assert_eq!(pool.pooled(), 3);
+    }
+
+    #[test]
+    fn overflow_beyond_slots_is_freed_not_leaked() {
+        let pool = ScratchPool::new(8);
+        let guards: Vec<_> = (0..SLOTS + 4).map(|_| pool.checkout()).collect();
+        drop(guards);
+        // Only SLOTS buffers fit; the rest were freed on return.
+        assert_eq!(pool.pooled(), SLOTS);
+    }
+
+    #[test]
+    fn buffers_have_the_pool_geometry() {
+        let pool = ScratchPool::new(64);
+        let guard = pool.checkout();
+        assert_eq!(guard.len(), 64);
+    }
+
+    #[test]
+    fn pool_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ScratchPool>();
+    }
+
+    #[test]
+    fn hammered_from_threads_stays_consistent() {
+        let pool = ScratchPool::new(16);
+        std::thread::scope(|scope| {
+            for t in 0..8_u64 {
+                let pool = &pool;
+                scope.spawn(move || {
+                    for i in 0..200 {
+                        // The polymul shape: three buffers held at once.
+                        let mut a = pool.checkout();
+                        let mut b = pool.checkout();
+                        let mut tmp = pool.checkout();
+                        let v = u128::from(t * 1000 + i);
+                        a.set(0, v);
+                        b.set(0, v + 1);
+                        tmp.set(0, v + 2);
+                        // Exclusive ownership: nobody else wrote ours.
+                        assert_eq!(a.get(0), v);
+                        assert_eq!(b.get(0), v + 1);
+                        assert_eq!(tmp.get(0), v + 2);
+                    }
+                });
+            }
+        });
+        assert!(pool.pooled() <= 24, "at most three buffers per worker");
+    }
+}
