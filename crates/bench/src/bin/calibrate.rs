@@ -1,0 +1,5 @@
+//! Backend auto-tuning calibration: the measured ns/butterfly ranking
+//! behind `Ring::auto`, as a reproducible JSON artifact.
+fn main() {
+    mqx_bench::experiments::calibrate::run(mqx_bench::quick_mode());
+}

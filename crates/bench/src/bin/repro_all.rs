@@ -2,7 +2,9 @@
 fn main() {
     let quick = mqx_bench::quick_mode();
     println!("# MQX reproduction — all experiments (quick = {quick})\n");
-    println!("## Listing 4 / Figure 3\n");
+    println!("## Backend calibration (extension)\n");
+    mqx_bench::experiments::calibrate::run(quick);
+    println!("\n## Listing 4 / Figure 3\n");
     mqx_bench::experiments::listing4::run(true);
     println!("\n## Table 6 (PISA validation)\n");
     mqx_bench::experiments::table6::run(quick);

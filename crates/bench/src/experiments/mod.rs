@@ -1,6 +1,7 @@
 //! One module per reproduced figure/table, plus the shared tier
 //! runners.
 
+pub mod calibrate;
 pub mod fig1;
 pub mod fig4;
 pub mod fig5;

@@ -3,7 +3,7 @@
 //! figure/table of the evaluation.
 //!
 //! Each reproduction binary (`fig1`, `fig4`, `fig5`, `fig6`, `fig7`,
-//! `table6`, `listing4`, `sensitivity_mul`) is a thin `main` over the
+//! `table6`, `listing4`, `sensitivity_mul`, `calibrate`) is a thin `main` over the
 //! corresponding [`experiments`] module, so the logic is testable and
 //! `repro_all` can chain everything. Results print as aligned text
 //! tables and are also written as JSON under `repro_results/`.

@@ -7,33 +7,23 @@
 //! infrastructure where intermittent throttling injects 2–10× spikes, so
 //! the kept tail is summarized by its **median**, which those spikes
 //! cannot move.
+//!
+//! The core loop lives in the facade as
+//! [`mqx::backend::calibrate::median_ns`], shared between these tier
+//! runners and the startup backend calibration — the benchmarks and
+//! `Ring::auto` rank tiers with the *same* measurement methodology.
 
 use std::time::Instant;
 
 /// Times `f` with the §5.1 protocol and returns nanoseconds per call:
-/// the median of the kept tail.
+/// the median of the kept tail. Thin alias over the shared
+/// [`mqx::backend::calibrate::median_ns`] loop.
 ///
 /// # Panics
 ///
 /// Panics if `keep == 0` or `keep > total`.
-pub fn time_paper_style(total: usize, keep: usize, mut f: impl FnMut()) -> f64 {
-    assert!(keep > 0 && keep <= total, "keep must be in 1..=total");
-    let mut kept = Vec::with_capacity(keep);
-    for i in 0..total {
-        let t0 = Instant::now();
-        f();
-        let dt = t0.elapsed().as_nanos() as f64;
-        if i >= total - keep {
-            kept.push(dt);
-        }
-    }
-    kept.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    let mid = kept.len() / 2;
-    if kept.len() % 2 == 1 {
-        kept[mid]
-    } else {
-        (kept[mid - 1] + kept[mid]) / 2.0
-    }
+pub fn time_paper_style(total: usize, keep: usize, f: impl FnMut()) -> f64 {
+    mqx::backend::calibrate::median_ns(total, keep, f)
 }
 
 /// The paper's NTT protocol: mean of the final 50 of 100 runs — scaled

@@ -12,6 +12,21 @@
 //! picks AVX-512 on a server and falls back to the portable engine in a
 //! container, with no rebuild.
 //!
+//! The registry is built **once per process** (an [`OnceLock`]-backed
+//! memo): every [`available`] / [`by_name`] / [`names`] call borrows
+//! the same [`Arc`]s, so backend identity is stable —
+//! `Arc::ptr_eq(&by_name("portable")?, &by_name("portable")?)` holds —
+//! and ring builds never re-run feature detection or re-allocate the
+//! registry.
+//!
+//! **Which backend does auto selection pick?** Not a static guess: the
+//! first auto-built ring triggers a one-shot [`calibrate`] pass that
+//! *measures* a short forward-NTT + `vmul` burst on every consumable
+//! backend and ranks the tiers by observed ns/butterfly (see
+//! [`calibration`]). `MQX_BACKEND=<name>` pins a registry backend for
+//! every auto selection, and `MQX_CALIBRATE=off` falls back to the
+//! static detected+compiled rule ([`default_backend`]).
+//!
 //! Most code should go through [`Ring`](crate::Ring), which pairs a
 //! backend with an [`NttPlan`] and reusable scratch buffers; the raw
 //! registry is for tooling that needs to enumerate or pin tiers (the
@@ -26,14 +41,20 @@
 //! // The PISA projection backend is never consumable (§4.2).
 //! let pisa = backend::by_name("mqx-pisa").unwrap();
 //! assert!(!pisa.consumable());
+//! // Auto selection ranks tiers by measured cost (memoized).
+//! let cal = backend::calibration();
+//! assert!(cal.winner().consumable());
 //! ```
 
+pub mod calibrate;
+
+use crate::error::Error;
 use mqx_core::Modulus;
 use mqx_ntt::NttPlan;
 use mqx_simd::{profiles, proxy, Mqx, Portable, ResidueSoa, SimdEngine};
 use std::fmt;
 use std::marker::PhantomData;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 #[cfg(target_arch = "x86_64")]
 use mqx_simd::{Avx2, Avx512};
@@ -209,13 +230,30 @@ fn make<E: SimdEngine>(name: &'static str, tier: Tier, consumable: bool) -> Arc<
     })
 }
 
+/// The process-wide registry, built exactly once: feature detection
+/// and the `Arc` allocations happen on the first call, and every later
+/// lookup borrows the memoized entries (stable `Arc::ptr_eq` identity).
+pub(crate) fn registry() -> &'static [Arc<dyn Backend>] {
+    static REGISTRY: OnceLock<Vec<Arc<dyn Backend>>> = OnceLock::new();
+    REGISTRY.get_or_init(build_registry)
+}
+
 /// Every backend the running machine can execute, fastest hardware tier
 /// first: AVX-512 and AVX2 (when `is_x86_feature_detected!` confirms
 /// them), the always-available portable engine, then the MQX engines
 /// over the best detected base — `"mqx-functional"` (bit-exact Table 2
 /// emulation, slow) and `"mqx-pisa"` (representative cost, non-consumable
 /// numbers).
+///
+/// The registry itself is memoized: this clones handles to the same
+/// process-wide instances every time (so `Arc::ptr_eq` identity is
+/// stable across calls), it never re-runs detection.
 pub fn available() -> Vec<Arc<dyn Backend>> {
+    registry().to_vec()
+}
+
+/// Builds the registry contents; runs once, behind [`registry`].
+fn build_registry() -> Vec<Arc<dyn Backend>> {
     let mut out: Vec<Arc<dyn Backend>> = Vec::new();
 
     #[cfg(target_arch = "x86_64")]
@@ -258,31 +296,40 @@ pub fn available() -> Vec<Arc<dyn Backend>> {
 }
 
 /// The names [`available`] currently offers, in the same order.
+/// Borrows the memoized registry — no registry rebuild per call.
 pub fn names() -> Vec<&'static str> {
-    available().iter().map(|b| b.name()).collect()
+    registry().iter().map(|b| b.name()).collect()
 }
 
-/// Looks a backend up by its registry name.
+/// Looks a backend up by its registry name. Returns a handle to the
+/// memoized process-wide instance (stable `Arc::ptr_eq` identity).
 pub fn by_name(name: &str) -> Option<Arc<dyn Backend>> {
-    available().into_iter().find(|b| b.name() == name)
+    registry().iter().find(|b| b.name() == name).cloned()
 }
 
-/// The backend [`Ring::auto`](crate::Ring::auto) picks: the fastest
-/// hardware tier that is both *detected* on this CPU and *compiled
-/// with its target features enabled* (AVX-512 → AVX2 → portable). MQX
-/// backends are never auto-selected: functional mode is a slow
-/// bit-exact emulation and PISA mode is non-consumable.
+/// The **static rule**: the fastest hardware tier that is both
+/// *detected* on this CPU and *compiled with its target features
+/// enabled* (AVX-512 → AVX2 → portable). MQX backends are never
+/// auto-selected: functional mode is a slow bit-exact emulation and
+/// PISA mode is non-consumable.
+///
+/// This is no longer what [`Ring::auto`](crate::Ring::auto) uses by
+/// default — auto selection goes through the measured
+/// [`calibration`] ranking (see [`selected_backend`]) and only falls
+/// back to this rule when `MQX_CALIBRATE=off` disables the startup
+/// measurement. The rule remains useful as the measurement-free
+/// prediction the calibration is validated against.
 ///
 /// The compiled-axis condition matters: in a build without
 /// `-C target-cpu=native` the AVX engines still *run* (their
 /// `#[target_feature]` intrinsics execute correctly), but none of the
 /// calls inline, and the measured cost is several times *worse* than
-/// the fully-optimized portable engine — so auto falls back to
+/// the fully-optimized portable engine — so this rule falls back to
 /// portable there. Pinning an AVX backend explicitly (by name or
 /// instance) remains available for measurement and agreement testing.
 pub fn default_backend() -> Arc<dyn Backend> {
-    available()
-        .into_iter()
+    registry()
+        .iter()
         .find(|b| {
             b.consumable()
                 && match b.tier() {
@@ -292,7 +339,35 @@ pub fn default_backend() -> Arc<dyn Backend> {
                     Tier::Mqx => false,
                 }
         })
+        .cloned()
         .expect("the portable backend is always available")
+}
+
+/// The memoized once-per-process calibration: per-backend measured
+/// ns/butterfly, the ranked consumable tiers, and the rule that
+/// produced the ranking ([`calibrate::Rule::Measured`] by default,
+/// [`calibrate::Rule::Static`] when `MQX_CALIBRATE=off`). The first
+/// call pays the measurement burst (a few tens of milliseconds); every
+/// later call returns the same object.
+pub fn calibration() -> &'static calibrate::Calibration {
+    calibrate::process_calibration()
+}
+
+/// The backend auto selection resolves to for this process:
+/// the `MQX_BACKEND` pin when set (unknown names are rejected with
+/// [`Error::UnknownBackend`]), otherwise the [`calibration`] winner —
+/// the consumable non-MQX backend with the best measured ns/butterfly,
+/// or the static-rule winner under `MQX_CALIBRATE=off`.
+pub fn selected_backend() -> Result<Arc<dyn Backend>, Error> {
+    calibrate::select(calibrate::env_pin().as_deref())
+}
+
+/// Per-channel auto selection for `k` residue channels: the pin (when
+/// set) applies to every channel; otherwise channels round-robin over
+/// the calibration's competitive set, so near-tied tiers may share the
+/// channel work (see [`calibrate::Calibration::channel_backends`]).
+pub(crate) fn selected_channel_backends(k: usize) -> Result<Vec<Arc<dyn Backend>>, Error> {
+    calibrate::select_channels(calibrate::env_pin().as_deref(), k)
 }
 
 /// One Figure 6 ablation variant: a label matching the paper's x-axis
@@ -307,8 +382,14 @@ pub struct AblationVariant {
 /// The Figure 6 sensitivity set over the best detected base engine:
 /// `Base` (the unmodified engine) plus the five MQX component
 /// combinations, all in PISA mode exactly as the paper measures them.
+///
+/// `Base` and the `+M,C` (`"mqx-pisa"`) entries are the memoized
+/// registry instances — `Arc::ptr_eq` identity with [`by_name`] holds,
+/// so per-backend caches (e.g. calibration scores) see the same
+/// object. The remaining profile combinations are not registry
+/// members and are minted per call.
 pub fn ablation_variants() -> Vec<AblationVariant> {
-    fn over<E: SimdEngine>(base: Arc<dyn Backend>) -> Vec<AblationVariant> {
+    fn over<E: SimdEngine>(base: Arc<dyn Backend>, pisa: Arc<dyn Backend>) -> Vec<AblationVariant> {
         vec![
             AblationVariant {
                 label: "Base",
@@ -324,7 +405,7 @@ pub fn ablation_variants() -> Vec<AblationVariant> {
             },
             AblationVariant {
                 label: "+M,C",
-                backend: make::<Mqx<E, profiles::McPisa>>("mqx-pisa", Tier::Mqx, false),
+                backend: pisa,
             },
             AblationVariant {
                 label: "+Mh,C",
@@ -337,11 +418,17 @@ pub fn ablation_variants() -> Vec<AblationVariant> {
         ]
     }
 
+    // The registry's "mqx-pisa" sits over the same base engine this
+    // function selects (AVX-512 when detected, portable otherwise).
+    let pisa = by_name("mqx-pisa").expect("mqx-pisa is always registered");
+
     #[cfg(target_arch = "x86_64")]
     if mqx_simd::avx512_detected() {
-        return over::<Avx512>(make::<Avx512>("avx512", Tier::Avx512, true));
+        let base = by_name("avx512").expect("detected ⇒ registered");
+        return over::<Avx512>(base, pisa);
     }
-    over::<Portable>(make::<Portable>("portable", Tier::Portable, true))
+    let base = by_name("portable").expect("portable is always registered");
+    over::<Portable>(base, pisa)
 }
 
 /// One functional-mode MQX profile: the Figure 6 component label and a
@@ -408,16 +495,22 @@ pub struct ProxyPair {
 /// The Table 5/6 validation set for this host: each detected hardware
 /// tier paired with its proxy-substituted twin, or the portable
 /// methodology check when no vector hardware is present.
+///
+/// Target backends are the memoized registry instances (stable
+/// `Arc::ptr_eq` identity with [`by_name`]); only the proxy twins —
+/// deliberately-wrong engines that never belong in the registry — are
+/// minted per call.
 pub fn pisa_proxy_pairs() -> Vec<ProxyPair> {
     let mut pairs = Vec::new();
 
     #[cfg(target_arch = "x86_64")]
     {
         if mqx_simd::avx2_detected() {
+            let avx2 = by_name("avx2").expect("detected ⇒ registered");
             pairs.push(ProxyPair {
                 target: "_mm256_mul_epu32",
                 proxy: "_mm256_mullo_epi32",
-                target_backend: make::<Avx2>("avx2", Tier::Avx2, true),
+                target_backend: avx2,
                 proxy_backend: make::<proxy::ProxyMul32<Avx2>>(
                     "avx2-proxy-mul32",
                     Tier::Avx2,
@@ -426,10 +519,11 @@ pub fn pisa_proxy_pairs() -> Vec<ProxyPair> {
             });
         }
         if mqx_simd::avx512_detected() {
+            let avx512 = by_name("avx512").expect("detected ⇒ registered");
             pairs.push(ProxyPair {
                 target: "_mm512_mask_add_epi64",
                 proxy: "_mm512_add_epi64",
-                target_backend: make::<Avx512>("avx512", Tier::Avx512, true),
+                target_backend: Arc::clone(&avx512),
                 proxy_backend: make::<proxy::ProxyMaskAdd<Avx512>>(
                     "avx512-proxy-mask-add",
                     Tier::Avx512,
@@ -439,7 +533,7 @@ pub fn pisa_proxy_pairs() -> Vec<ProxyPair> {
             pairs.push(ProxyPair {
                 target: "_mm512_mask_sub_epi64",
                 proxy: "_mm512_sub_epi64",
-                target_backend: make::<Avx512>("avx512", Tier::Avx512, true),
+                target_backend: avx512,
                 proxy_backend: make::<proxy::ProxyMaskSub<Avx512>>(
                     "avx512-proxy-mask-sub",
                     Tier::Avx512,
@@ -452,10 +546,11 @@ pub fn pisa_proxy_pairs() -> Vec<ProxyPair> {
     if pairs.is_empty() {
         // No vector hardware: validate the methodology on the portable
         // engine (the proxies still swap real work for different work).
+        let portable = by_name("portable").expect("portable is always registered");
         pairs.push(ProxyPair {
             target: "mul32_wide (portable)",
             proxy: "mullo32 (portable)",
-            target_backend: make::<Portable>("portable", Tier::Portable, true),
+            target_backend: Arc::clone(&portable),
             proxy_backend: make::<proxy::ProxyMul32<Portable>>(
                 "portable-proxy-mul32",
                 Tier::Portable,
@@ -465,7 +560,7 @@ pub fn pisa_proxy_pairs() -> Vec<ProxyPair> {
         pairs.push(ProxyPair {
             target: "mask_add (portable)",
             proxy: "add (portable)",
-            target_backend: make::<Portable>("portable", Tier::Portable, true),
+            target_backend: Arc::clone(&portable),
             proxy_backend: make::<proxy::ProxyMaskAdd<Portable>>(
                 "portable-proxy-mask-add",
                 Tier::Portable,
@@ -475,7 +570,7 @@ pub fn pisa_proxy_pairs() -> Vec<ProxyPair> {
         pairs.push(ProxyPair {
             target: "mask_sub (portable)",
             proxy: "sub (portable)",
-            target_backend: make::<Portable>("portable", Tier::Portable, true),
+            target_backend: portable,
             proxy_backend: make::<proxy::ProxyMaskSub<Portable>>(
                 "portable-proxy-mask-sub",
                 Tier::Portable,
@@ -586,5 +681,63 @@ mod tests {
             .map(|b| b.name())
             .collect();
         assert_eq!(a, names());
+    }
+
+    #[test]
+    fn registry_is_memoized_with_stable_identity() {
+        let first = available();
+        let second = available();
+        assert_eq!(first.len(), second.len());
+        for (a, b) in first.iter().zip(&second) {
+            assert!(Arc::ptr_eq(a, b), "{} re-allocated", a.name());
+        }
+        // by_name and default_backend borrow the same instances.
+        let portable = by_name("portable").unwrap();
+        assert!(Arc::ptr_eq(&portable, &by_name("portable").unwrap()));
+        let d = default_backend();
+        assert!(Arc::ptr_eq(&d, &by_name(d.name()).unwrap()));
+    }
+
+    #[test]
+    fn ablation_and_proxy_sets_reuse_registry_instances() {
+        let set = ablation_variants();
+        let base = &set[0].backend;
+        assert!(
+            Arc::ptr_eq(base, &by_name(base.name()).unwrap()),
+            "Base must be the registry instance"
+        );
+        let mc = set.iter().find(|v| v.label == "+M,C").unwrap();
+        assert!(
+            Arc::ptr_eq(&mc.backend, &by_name("mqx-pisa").unwrap()),
+            "+M,C must be the registry mqx-pisa"
+        );
+        for pair in pisa_proxy_pairs() {
+            let registered = by_name(pair.target_backend.name())
+                .expect("every proxy target is a registry backend");
+            assert!(
+                Arc::ptr_eq(&pair.target_backend, &registered),
+                "{} target must be the registry instance",
+                pair.target
+            );
+        }
+    }
+
+    #[test]
+    fn selected_backend_is_consumable_and_never_mqx_without_a_pin() {
+        let b = selected_backend().unwrap();
+        // The selection is always consumable (non-consumable pins are
+        // rejected with an error before this point).
+        assert!(b.consumable());
+        // The winner invariants only apply when no ambient MQX_BACKEND
+        // pin was inherited from the environment (a documented knob —
+        // e.g. MQX_BACKEND=mqx-functional is a legitimate MQX-tier
+        // selection).
+        match std::env::var("MQX_BACKEND") {
+            Ok(pin) if !pin.is_empty() => assert_eq!(b.name(), pin),
+            _ => {
+                assert_ne!(b.tier(), Tier::Mqx);
+                assert!(Arc::ptr_eq(&b, &calibration().winner()));
+            }
+        }
     }
 }

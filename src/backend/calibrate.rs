@@ -1,0 +1,478 @@
+//! Startup micro-calibration: rank the consumable backends by
+//! *measured* ns/butterfly on the running machine instead of trusting
+//! the static detected+compiled rule.
+//!
+//! The paper's argument rests on measured cost per kernel on the host
+//! at hand, and the fastest engine for a kernel shifts with problem
+//! size and machine — a binary compiled without `-C target-cpu=native`
+//! can see its AVX tiers lose to the fully-inlined portable engine,
+//! and two hardware tiers can land within noise of each other. The
+//! static rule in [`default_backend`](super::default_backend) papers
+//! over that with a compile-time heuristic; this module replaces it
+//! with a one-shot measurement:
+//!
+//! 1. [`run`] times a short burst — one forward NTT plus one `vmul`,
+//!    the polymul inner shape — on **every consumable backend** in the
+//!    registry, using the same §5.1 measurement loop ([`median_ns`])
+//!    the benchmark harness uses for its tier sweeps;
+//! 2. consumable non-MQX backends are ranked by measured
+//!    [`Measurement::ns_per_butterfly`], cheapest first (MQX backends
+//!    are measured for diagnostics but never ranked: functional mode is
+//!    a slow bit-exact emulation, PISA mode is non-consumable);
+//! 3. the result is memoized process-wide behind
+//!    [`calibration`](super::calibration), so the cost is paid once —
+//!    a few tens of milliseconds at first use (a fair share of it the
+//!    deliberately slow functional-MQX emulation, measured for
+//!    diagnostics), nothing afterwards.
+//!
+//! [`Ring::auto`](crate::Ring::auto) and the
+//! [`RnsRingBuilder`](crate::RnsRingBuilder) auto path select from the
+//! memoized ranking. Two environment variables override it:
+//!
+//! * `MQX_BACKEND=<name>` pins the named registry backend for every
+//!   auto selection (unknown names surface as
+//!   [`Error::UnknownBackend`] at ring build; non-consumable names —
+//!   wrong numbers by design — as [`Error::NonConsumableBackend`]);
+//! * `MQX_CALIBRATE=off` (or `0`) skips the measurement and restores
+//!   the static detected+compiled rule bit for bit.
+//!
+//! ```
+//! use mqx::backend;
+//!
+//! let cal = backend::calibration();
+//! // The winner heads the ranking and is always a real engine.
+//! assert!(cal.winner().consumable());
+//! assert_eq!(cal.winner().name(), cal.ranking()[0].name());
+//! ```
+
+use super::{by_name, names, Backend, Tier};
+use crate::error::Error;
+use mqx_core::{primes, Modulus};
+use mqx_ntt::NttPlan;
+use mqx_simd::ResidueSoa;
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Transform size of the calibration burst: large enough that the
+/// per-butterfly cost reflects the steady-state kernel, small enough
+/// that calibrating every backend (including the slow functional MQX
+/// emulation) stays in the low-millisecond range.
+const CALIBRATION_N: usize = 256;
+
+/// Iterations of the calibration burst; the kept tail's median is the
+/// measurement (same §5.1 protocol as the benchmark harness, scaled
+/// down to startup budgets).
+const CALIBRATION_TOTAL: usize = 10;
+
+/// Kept tail length of the calibration loop.
+const CALIBRATION_KEEP: usize = 5;
+
+/// Backends whose measured ns/butterfly is within this factor of the
+/// winner's are "competitive": [`Calibration::channel_backends`]
+/// round-robins residue channels across them, so tiers tied within
+/// measurement noise share the channel work instead of one tier taking
+/// every channel on the strength of a noisy coin flip. The margin is
+/// deliberately tight — all tiers execute on the same cores, so with
+/// parallel channel fan-out the slowest assigned tier is the critical
+/// path of every product; a genuinely slower tier must never be mixed
+/// in, only true ties.
+const COMPETITIVE_MARGIN: f64 = 1.05;
+
+/// How a [`Calibration`] ranked its backends.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Rule {
+    /// Ranked by the measured ns/butterfly of the startup burst.
+    Measured,
+    /// The static detected+compiled rule
+    /// ([`default_backend`](super::default_backend)) — the
+    /// `MQX_CALIBRATE=off` fallback; nothing was measured.
+    Static,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Rule::Measured => "measured",
+            Rule::Static => "static",
+        })
+    }
+}
+
+/// One backend's calibration burst, measured on this machine.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// The backend's registry name.
+    pub name: &'static str,
+    /// The backend's vector tier.
+    pub tier: Tier,
+    /// Median ns of one forward NTT at the calibration size.
+    pub ntt_ns: f64,
+    /// Median ns of one element-wise `vmul` at the calibration size.
+    pub vmul_ns: f64,
+    /// `(ntt_ns + vmul_ns)` normalized by the transform's butterfly
+    /// count `(n/2)·log₂ n` — the ranking score, comparable across
+    /// machines and sizes.
+    pub ns_per_butterfly: f64,
+    /// Whether this backend may be ranked (consumable and not an MQX
+    /// tier). Ineligible backends are measured for diagnostics only.
+    pub eligible: bool,
+}
+
+/// The outcome of one calibration pass: per-backend measurements and
+/// the ranking auto selection draws from.
+#[derive(Debug)]
+pub struct Calibration {
+    rule: Rule,
+    measurements: Vec<Measurement>,
+    /// Consumable non-MQX backends, cheapest measured score first
+    /// (registry order under [`Rule::Static`]).
+    ranking: Vec<Arc<dyn Backend>>,
+}
+
+impl Calibration {
+    /// How this calibration ranked its backends.
+    pub fn rule(&self) -> Rule {
+        self.rule
+    }
+
+    /// Every backend measurement, in registry order. Empty under
+    /// [`Rule::Static`] (nothing was measured).
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    /// The ranked consumable non-MQX backends, best first. Never empty:
+    /// the portable backend is always present and always eligible.
+    pub fn ranking(&self) -> &[Arc<dyn Backend>] {
+        &self.ranking
+    }
+
+    /// The backend auto selection picks: the head of the ranking.
+    pub fn winner(&self) -> Arc<dyn Backend> {
+        Arc::clone(&self.ranking[0])
+    }
+
+    /// The measured ranking score for a backend, when one exists.
+    pub fn score_of(&self, name: &str) -> Option<f64> {
+        self.measurements
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| m.ns_per_butterfly)
+    }
+
+    /// Assigns a backend to each of `k` residue channels: channels
+    /// round-robin over the *competitive set* — ranked backends whose
+    /// measured score ties the winner's within measurement noise (a
+    /// tight 1.05× margin) — so channels may land on different
+    /// (tied) tiers, but a measurably slower tier is never put on the
+    /// critical path. With no measurements (the static rule) every
+    /// channel gets the winner.
+    pub fn channel_backends(&self, k: usize) -> Vec<Arc<dyn Backend>> {
+        let competitive = self.competitive_set();
+        (0..k)
+            .map(|i| Arc::clone(competitive[i % competitive.len()]))
+            .collect()
+    }
+
+    fn competitive_set(&self) -> Vec<&Arc<dyn Backend>> {
+        let winner = &self.ranking[0];
+        let threshold = match self.score_of(winner.name()) {
+            Some(score) => score * COMPETITIVE_MARGIN,
+            None => return vec![winner],
+        };
+        self.ranking
+            .iter()
+            .filter(|b| {
+                self.score_of(b.name())
+                    .is_some_and(|score| score <= threshold)
+            })
+            .collect()
+    }
+}
+
+/// The §5.1 measurement loop shared by this module and the benchmark
+/// harness's tier runners: run `f` `total` times, keep the final `keep`
+/// iterations (letting caches warm up and stabilize), and return the
+/// **median** of the kept tail in nanoseconds — the median because on
+/// shared infrastructure intermittent throttling injects multi-×
+/// spikes that a mean cannot shrug off.
+///
+/// # Panics
+///
+/// Panics if `keep == 0` or `keep > total`.
+pub fn median_ns(total: usize, keep: usize, mut f: impl FnMut()) -> f64 {
+    assert!(keep > 0 && keep <= total, "keep must be in 1..=total");
+    let mut kept = Vec::with_capacity(keep);
+    for i in 0..total {
+        let t0 = Instant::now();
+        f();
+        let dt = t0.elapsed().as_nanos() as f64;
+        if i >= total - keep {
+            kept.push(dt);
+        }
+    }
+    kept.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let mid = kept.len() / 2;
+    if kept.len() % 2 == 1 {
+        kept[mid]
+    } else {
+        (kept[mid - 1] + kept[mid]) / 2.0
+    }
+}
+
+/// Runs one calibration pass under the given rule. [`Rule::Measured`]
+/// times the burst on every consumable backend and ranks by score;
+/// [`Rule::Static`] skips measurement and reproduces the static
+/// detected+compiled ordering. Callers normally want the memoized
+/// [`calibration`](super::calibration) instead; this entry point is for
+/// tooling (the `calibrate` bench experiment re-measures explicitly)
+/// and tests.
+pub fn run(rule: Rule) -> Calibration {
+    match rule {
+        Rule::Static => static_calibration(),
+        Rule::Measured => measured_calibration(),
+    }
+}
+
+/// The process-wide memoized calibration behind
+/// [`calibration`](super::calibration): measured by default, static
+/// when `MQX_CALIBRATE` is `off`/`0`.
+pub(super) fn process_calibration() -> &'static Calibration {
+    static CALIBRATION: OnceLock<Calibration> = OnceLock::new();
+    CALIBRATION.get_or_init(|| {
+        let rule = if calibration_enabled() {
+            Rule::Measured
+        } else {
+            Rule::Static
+        };
+        run(rule)
+    })
+}
+
+/// Resolves one auto selection: an explicit `pin` (the `MQX_BACKEND`
+/// value) looks the name up in the registry — unknown names are
+/// rejected with [`Error::UnknownBackend`], and non-consumable
+/// backends (the PISA projection, whose numbers are deliberately
+/// wrong) with [`Error::NonConsumableBackend`], since an ambient env
+/// var must never silently poison every auto-built ring's outputs.
+/// No pin yields the memoized calibration's winner.
+pub fn select(pin: Option<&str>) -> Result<Arc<dyn Backend>, Error> {
+    match pin {
+        Some(name) => {
+            let backend = by_name(name).ok_or_else(|| Error::UnknownBackend {
+                name: name.to_string(),
+                available: names(),
+            })?;
+            if !backend.consumable() {
+                return Err(Error::NonConsumableBackend {
+                    name: name.to_string(),
+                });
+            }
+            Ok(backend)
+        }
+        None => Ok(process_calibration().winner()),
+    }
+}
+
+/// Per-channel variant of [`select`] for `k` residue channels: a pin
+/// applies to every channel; otherwise channels come from
+/// [`Calibration::channel_backends`].
+pub(crate) fn select_channels(pin: Option<&str>, k: usize) -> Result<Vec<Arc<dyn Backend>>, Error> {
+    match pin {
+        Some(name) => {
+            let backend = select(Some(name))?;
+            Ok(vec![backend; k])
+        }
+        None => Ok(process_calibration().channel_backends(k)),
+    }
+}
+
+/// Reads the `MQX_BACKEND` pin from the environment (empty counts as
+/// unset).
+pub(crate) fn env_pin() -> Option<String> {
+    match std::env::var("MQX_BACKEND") {
+        Ok(name) if !name.is_empty() => Some(name),
+        _ => None,
+    }
+}
+
+/// `MQX_CALIBRATE=off` (or `0`) disables the startup measurement.
+fn calibration_enabled() -> bool {
+    !matches!(
+        std::env::var("MQX_CALIBRATE").as_deref(),
+        Ok("off") | Ok("0")
+    )
+}
+
+/// The static fallback: the detected+compiled winner first, then the
+/// remaining consumable non-MQX registry entries in registry order.
+fn static_calibration() -> Calibration {
+    let winner = super::default_backend();
+    let mut ranking = vec![Arc::clone(&winner)];
+    for backend in super::registry() {
+        if backend.consumable() && backend.tier() != Tier::Mqx && !Arc::ptr_eq(backend, &winner) {
+            ranking.push(Arc::clone(backend));
+        }
+    }
+    Calibration {
+        rule: Rule::Static,
+        measurements: Vec::new(),
+        ranking,
+    }
+}
+
+fn measured_calibration() -> Calibration {
+    let m = Modulus::new_prime(primes::Q124).expect("Q124 is prime");
+    let plan = NttPlan::new(&m, CALIBRATION_N).expect("Q124 supports the calibration size");
+    let xs = burst_residues(m.value(), 0xCA11_B8A7E);
+    let ys = burst_residues(m.value(), 0x5E1EC7);
+    let butterflies = (CALIBRATION_N / 2) as f64 * f64::from(CALIBRATION_N.trailing_zeros());
+
+    let mut measurements = Vec::new();
+    for backend in super::registry() {
+        if !backend.consumable() {
+            continue; // PISA: representative cost, wrong numbers (§4.2).
+        }
+        // NTT leg: repeated forwards over the same buffer keep every
+        // input reduced (transform outputs are reduced residues).
+        let mut x = ResidueSoa::from_u128s(&xs);
+        let mut scratch = ResidueSoa::zeros(CALIBRATION_N);
+        let ntt_ns = median_ns(CALIBRATION_TOTAL, CALIBRATION_KEEP, || {
+            backend.forward_ntt(&plan, &mut x, &mut scratch)
+        });
+        // vmul leg: the point-wise half of the convolution theorem.
+        let sx = ResidueSoa::from_u128s(&xs);
+        let sy = ResidueSoa::from_u128s(&ys);
+        let mut out = ResidueSoa::zeros(CALIBRATION_N);
+        let vmul_ns = median_ns(CALIBRATION_TOTAL, CALIBRATION_KEEP, || {
+            backend.vmul(&sx, &sy, &mut out, &m)
+        });
+        measurements.push(Measurement {
+            name: backend.name(),
+            tier: backend.tier(),
+            ntt_ns,
+            vmul_ns,
+            ns_per_butterfly: (ntt_ns + vmul_ns) / butterflies,
+            eligible: backend.tier() != Tier::Mqx,
+        });
+    }
+
+    // Stable sort: ties keep registry order (fastest static tier first).
+    let mut ranked: Vec<(f64, Arc<dyn Backend>)> = measurements
+        .iter()
+        .filter(|meas| meas.eligible)
+        .map(|meas| {
+            let backend = by_name(meas.name).expect("measured backends come from the registry");
+            (meas.ns_per_butterfly, backend)
+        })
+        .collect();
+    ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scores"));
+
+    Calibration {
+        rule: Rule::Measured,
+        measurements,
+        ranking: ranked.into_iter().map(|(_, backend)| backend).collect(),
+    }
+}
+
+fn burst_residues(q: u128, seed: u64) -> Vec<u128> {
+    let mut state = seed | 1;
+    (0..CALIBRATION_N)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            u128::from(state) % q
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_run_covers_every_consumable_backend() {
+        let cal = run(Rule::Measured);
+        assert_eq!(cal.rule(), Rule::Measured);
+        let measured: Vec<_> = cal.measurements().iter().map(|m| m.name).collect();
+        for backend in super::super::available() {
+            assert_eq!(
+                measured.contains(&backend.name()),
+                backend.consumable(),
+                "{} measured iff consumable",
+                backend.name()
+            );
+        }
+        for m in cal.measurements() {
+            assert!(m.ntt_ns > 0.0 && m.vmul_ns > 0.0, "{}", m.name);
+            assert!(m.ns_per_butterfly > 0.0, "{}", m.name);
+            assert_eq!(m.eligible, m.tier != Tier::Mqx, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn measured_ranking_is_sorted_and_mqx_free() {
+        let cal = run(Rule::Measured);
+        assert!(!cal.ranking().is_empty());
+        let scores: Vec<f64> = cal
+            .ranking()
+            .iter()
+            .map(|b| cal.score_of(b.name()).expect("ranked ⇒ measured"))
+            .collect();
+        assert!(scores.windows(2).all(|w| w[0] <= w[1]), "{scores:?}");
+        for b in cal.ranking() {
+            assert!(b.consumable());
+            assert_ne!(b.tier(), Tier::Mqx);
+        }
+        assert_eq!(cal.winner().name(), cal.ranking()[0].name());
+    }
+
+    #[test]
+    fn static_run_reproduces_the_static_rule() {
+        let cal = run(Rule::Static);
+        assert_eq!(cal.rule(), Rule::Static);
+        assert!(cal.measurements().is_empty());
+        assert!(Arc::ptr_eq(&cal.winner(), &super::super::default_backend()));
+        // Every channel falls back to the static winner.
+        let channels = cal.channel_backends(4);
+        assert_eq!(channels.len(), 4);
+        for b in &channels {
+            assert!(Arc::ptr_eq(b, &cal.winner()));
+        }
+    }
+
+    #[test]
+    fn channel_backends_stay_within_the_ranking() {
+        let cal = run(Rule::Measured);
+        let channels = cal.channel_backends(5);
+        assert_eq!(channels.len(), 5);
+        let winner_score = cal.score_of(cal.winner().name()).unwrap();
+        for b in &channels {
+            assert!(b.consumable());
+            let score = cal.score_of(b.name()).expect("assigned ⇒ measured");
+            assert!(
+                score <= winner_score * COMPETITIVE_MARGIN,
+                "{} at {score} vs winner {winner_score}",
+                b.name()
+            );
+        }
+        assert!(Arc::ptr_eq(&channels[0], &cal.winner()));
+    }
+
+    #[test]
+    fn median_ns_keeps_only_the_tail() {
+        let mut calls = 0;
+        let ns = median_ns(10, 5, || calls += 1);
+        assert_eq!(calls, 10);
+        assert!(ns >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "keep must be")]
+    fn median_ns_rejects_zero_keep() {
+        let _ = median_ns(10, 0, || {});
+    }
+}

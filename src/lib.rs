@@ -11,9 +11,15 @@
 //! AVX-512 on a server and the portable engine in a container, with no
 //! rebuild and no `cfg(target_feature)` in caller code:
 //!
-//! * [`Ring::auto`] — picks the fastest available tier;
+//! * [`Ring::auto`] — picks the fastest tier **as measured on this
+//!   machine**: a one-shot startup micro-calibration ranks every
+//!   consumable backend by observed ns/butterfly (memoized; see
+//!   [`backend::calibration`]), with `MQX_BACKEND=<name>` pinning a
+//!   tier and `MQX_CALIBRATE=off` restoring the static
+//!   detected+compiled rule;
 //! * [`Ring::with_backend_name`] / [`RingBuilder`] — pins a tier;
-//! * [`backend::available`] — enumerates what this host offers;
+//! * [`backend::available`] — enumerates what this host offers (the
+//!   registry is built once per process and memoized);
 //! * [`RnsRing`] — shards a wider-than-word modulus across word-sized
 //!   residue channels (one backend-dispatched ring each) with CRT
 //!   recombination;

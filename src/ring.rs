@@ -36,7 +36,9 @@ use std::sync::Arc;
 
 /// How a [`RingBuilder`] picks its backend.
 enum BackendChoice {
-    /// Fastest detected consumable hardware tier.
+    /// The process's auto selection: the `MQX_BACKEND` pin when set,
+    /// otherwise the measured-calibration winner (static rule under
+    /// `MQX_CALIBRATE=off`). See [`backend::selected_backend`].
     Auto,
     /// Look the name up in the registry at build time.
     Named(String),
@@ -61,6 +63,7 @@ pub struct RingBuilder {
     algorithm: MulAlgorithm,
     choice: BackendChoice,
     cache: Arc<PlanCache>,
+    scratch_workers: Option<usize>,
 }
 
 impl RingBuilder {
@@ -72,6 +75,7 @@ impl RingBuilder {
             algorithm: MulAlgorithm::Schoolbook,
             choice: BackendChoice::Auto,
             cache: Arc::clone(plan_cache::global()),
+            scratch_workers: None,
         }
     }
 
@@ -104,12 +108,23 @@ impl RingBuilder {
         self
     }
 
+    /// Sizes the ring's internal scratch pool for `workers` concurrent
+    /// polymul callers (three pooled buffers each). Without a hint the
+    /// pool is sized from [`std::thread::available_parallelism`], which
+    /// under-provisions when an executor runs more workers than the
+    /// machine has hardware threads — past the pool's capacity, extra
+    /// in-flight calls degrade to steady-state malloc/free churn.
+    pub fn scratch_concurrency(mut self, workers: usize) -> Self {
+        self.scratch_workers = Some(workers);
+        self
+    }
+
     /// Builds the ring: validates the modulus, constructs the NTT plan,
     /// resolves the backend, and sets up the lock-free scratch pool
     /// (buffers themselves are allocated lazily on first use).
     pub fn build(self) -> Result<Ring, Error> {
         let backend = match self.choice {
-            BackendChoice::Auto => backend::default_backend(),
+            BackendChoice::Auto => backend::selected_backend()?,
             BackendChoice::Instance(b) => b,
             BackendChoice::Named(name) => {
                 backend::by_name(&name).ok_or_else(|| Error::UnknownBackend {
@@ -123,13 +138,17 @@ impl RingBuilder {
         let n = plan.size();
         let psi = plan.psi().map(ResidueSoa::from_u128s);
         let psi_inv = plan.psi_inv().map(ResidueSoa::from_u128s);
+        let scratch = match self.scratch_workers {
+            Some(workers) => ScratchPool::with_concurrency(n, workers),
+            None => ScratchPool::new(n),
+        };
         Ok(Ring {
             modulus,
             plan,
             backend,
             psi,
             psi_inv,
-            scratch: ScratchPool::new(n),
+            scratch,
         })
     }
 }
@@ -172,10 +191,15 @@ impl fmt::Debug for Ring {
 
 impl Ring {
     /// Builds an `n`-point ring over the prime `modulus` on the fastest
-    /// vector tier for this (binary, machine) pair: the best tier that
-    /// is both runtime-detected on the CPU and compiled with its target
-    /// features enabled (AVX-512 → AVX2 → portable). See
-    /// [`backend::default_backend`] for the rationale.
+    /// vector tier **as measured on this machine**: the first auto
+    /// build triggers a one-shot micro-calibration that times a short
+    /// NTT + `vmul` burst on every consumable backend and ranks tiers
+    /// by observed ns/butterfly (memoized process-wide; see
+    /// [`backend::calibration`]). Two environment overrides:
+    /// `MQX_BACKEND=<name>` pins a registry backend (unknown names
+    /// fail with [`Error::UnknownBackend`]), and `MQX_CALIBRATE=off`
+    /// skips the measurement and restores the static
+    /// detected+compiled rule ([`backend::default_backend`]).
     pub fn auto(modulus: u128, n: usize) -> Result<Ring, Error> {
         RingBuilder::new(modulus, n).build()
     }

@@ -40,7 +40,7 @@
 //! # Ok::<(), mqx::Error>(())
 //! ```
 
-use crate::backend::Backend;
+use crate::backend::{self, Backend};
 use crate::error::Error;
 use crate::plan_cache::{self, PlanCache};
 use crate::ring::{Ring, RingBuilder};
@@ -68,7 +68,11 @@ enum BasisChoice {
 
 /// How the builder assigns a backend to each channel.
 enum ChannelBackends {
-    /// Every channel uses [`Ring::auto`]'s default tier.
+    /// Channels draw from the process's measured calibration ranking:
+    /// near-tied tiers round-robin across channels (so channels may
+    /// land on different tiers), an `MQX_BACKEND` pin applies to every
+    /// channel, and `MQX_CALIBRATE=off` gives every channel the
+    /// static-rule tier. See `backend::calibration`.
     Auto,
     /// Every channel pins the named registry backend.
     Uniform(String),
@@ -97,6 +101,7 @@ pub struct RnsRingBuilder {
     backends: ChannelBackends,
     algorithm: MulAlgorithm,
     cache: Arc<PlanCache>,
+    scratch_workers: Option<usize>,
 }
 
 impl RnsRingBuilder {
@@ -111,6 +116,7 @@ impl RnsRingBuilder {
             backends: ChannelBackends::Auto,
             algorithm: MulAlgorithm::Schoolbook,
             cache: Arc::clone(plan_cache::global()),
+            scratch_workers: None,
         }
     }
 
@@ -175,6 +181,16 @@ impl RnsRingBuilder {
         self
     }
 
+    /// Sizes every channel ring's scratch pool for `workers` concurrent
+    /// callers (see `RingBuilder::scratch_concurrency`): servers
+    /// driving the ring through a wide
+    /// [`RingExecutor`](crate::RingExecutor) pass the executor width so
+    /// in-flight channel products never degrade to malloc/free churn.
+    pub fn scratch_concurrency(mut self, workers: usize) -> Self {
+        self.scratch_workers = Some(workers);
+        self
+    }
+
     /// Builds the ring: resolves the basis, validates coprimality,
     /// precomputes the Garner constants, and opens one backend-dispatched
     /// [`Ring`] per channel (plans served by the configured cache).
@@ -203,15 +219,28 @@ impl RnsRingBuilder {
                 });
             }
         }
+        // Resolve the auto selection once for the whole basis: channels
+        // draw from the calibration's competitive set (one env/memo
+        // consult instead of k), honoring the MQX_BACKEND pin.
+        let auto_assignments = match self.backends {
+            ChannelBackends::Auto => Some(backend::selected_channel_backends(moduli.len())?),
+            _ => None,
+        };
         let rings: Vec<Ring> = moduli
             .iter()
             .enumerate()
             .map(|(i, &q)| {
-                let builder = RingBuilder::new(q, self.n)
+                let mut builder = RingBuilder::new(q, self.n)
                     .mul_algorithm(self.algorithm)
                     .plan_cache(Arc::clone(&self.cache));
+                if let Some(workers) = self.scratch_workers {
+                    builder = builder.scratch_concurrency(workers);
+                }
                 match &self.backends {
-                    ChannelBackends::Auto => builder,
+                    ChannelBackends::Auto => {
+                        let assignments = auto_assignments.as_ref().expect("resolved above");
+                        builder.backend(Arc::clone(&assignments[i]))
+                    }
                     ChannelBackends::Uniform(name) => builder.backend_name(name),
                     ChannelBackends::PerChannel(backends) => {
                         builder.backend(Arc::clone(&backends[i]))
@@ -292,8 +321,11 @@ impl fmt::Debug for RnsRing {
 
 impl RnsRing {
     /// Builds an `n`-point ring over an auto-generated basis of
-    /// `channels` word-sized (62-bit) NTT primes, each channel on the
-    /// fastest vector tier this machine can execute.
+    /// `channels` word-sized (62-bit) NTT primes, channels assigned
+    /// from the measured calibration ranking (near-tied tiers
+    /// round-robin, so channels may land on different tiers; see
+    /// [`backend::calibration`](crate::backend::calibration) and the
+    /// `MQX_BACKEND` / `MQX_CALIBRATE` overrides).
     pub fn auto(channels: usize, n: usize) -> Result<RnsRing, Error> {
         RnsRingBuilder::new(n)
             .generated_basis(DEFAULT_BASIS_BITS, channels)

@@ -7,41 +7,89 @@
 //! twiddle tables. [`ScratchPool`] moves those buffers behind a fixed
 //! array of atomic slots: callers *check out* one `n`-residue buffer at
 //! a time (a transform needs one, a polynomial product three), use it,
-//! and the guard returns it on drop. Checkout and return are single
-//! atomic pointer swaps per slot probed — no mutex, no ABA hazard
-//! (whole boxes are exchanged, never linked), and no allocation once
-//! the pool has warmed up to the caller's concurrency level.
+//! and the guard returns it on drop. Checkout and return probe slots
+//! with plain loads and touch only a promising slot with one atomic
+//! pointer swap/CAS — no mutex, no ABA hazard (whole boxes are
+//! exchanged, never linked), and no allocation once the pool has
+//! warmed up to the caller's concurrency level.
 //!
 //! With `W` concurrent polymul callers the pool converges on
-//! `min(3·W, SLOTS)` live buffers; beyond that, overflow buffers are
+//! `min(3·W, capacity)` live buffers; beyond that, overflow buffers are
 //! simply freed on return, so a burst never permanently grows the pool.
+//! The capacity is sized at construction: by default three buffers per
+//! hardware thread ([`std::thread::available_parallelism`], clamped so
+//! small containers still absorb oversubscribed pools and huge hosts
+//! don't pin unbounded memory), or explicitly from a worker-count hint
+//! (`RingBuilder::scratch_concurrency` /
+//! `RnsRingBuilder::scratch_concurrency`) when the caller knows its
+//! executor is wider than the machine.
 
 use mqx_simd::ResidueSoa;
 use std::ops::{Deref, DerefMut};
 use std::ptr;
 use std::sync::atomic::{AtomicPtr, Ordering};
 
-/// Number of atomic slots per pool: three buffers for every worker of a
-/// sizeable thread-pool without contention, small enough that a
-/// full-pool probe is a handful of loads.
-const SLOTS: usize = 32;
+/// Smallest slot count a default-sized pool gets: three buffers for
+/// each of ~10 workers even on a single-core container, where thread
+/// pools routinely oversubscribe the one hardware thread.
+const MIN_DEFAULT_SLOTS: usize = 32;
+
+/// Hard ceiling on slots for any pool: bounds the full-pool probe cost
+/// and the parked-buffer memory on very wide hosts (256 workers × 3
+/// buffers each).
+const MAX_SLOTS: usize = 768;
+
+/// Buffers a polymul holds at once — the sizing unit for capacity.
+const BUFFERS_PER_CALLER: usize = 3;
+
+/// Default slot count: three buffers per hardware thread, clamped to
+/// `[MIN_DEFAULT_SLOTS, MAX_SLOTS]`.
+fn default_slots() -> usize {
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    (threads.saturating_mul(BUFFERS_PER_CALLER)).clamp(MIN_DEFAULT_SLOTS, MAX_SLOTS)
+}
 
 /// A lock-free checkout/return pool of `n`-residue scratch buffers for
 /// one ring geometry.
 #[derive(Debug)]
 pub(crate) struct ScratchPool {
     n: usize,
-    slots: [AtomicPtr<ResidueSoa>; SLOTS],
+    slots: Box<[AtomicPtr<ResidueSoa>]>,
 }
 
 impl ScratchPool {
-    /// An empty pool for `n`-residue buffers; buffers are allocated
-    /// lazily on first checkout.
+    /// An empty pool for `n`-residue buffers, sized for this machine's
+    /// hardware parallelism; buffers are allocated lazily on first
+    /// checkout.
     pub fn new(n: usize) -> ScratchPool {
+        ScratchPool::with_slots(n, default_slots())
+    }
+
+    /// An empty pool sized for `workers` concurrent polymul callers
+    /// (three buffers each, capped at [`MAX_SLOTS`]). Use when the
+    /// caller knows its executor width exceeds the hardware thread
+    /// count the default sizing assumes.
+    pub fn with_concurrency(n: usize, workers: usize) -> ScratchPool {
+        let slots = workers
+            .max(1)
+            .saturating_mul(BUFFERS_PER_CALLER)
+            .min(MAX_SLOTS);
+        ScratchPool::with_slots(n, slots)
+    }
+
+    fn with_slots(n: usize, slots: usize) -> ScratchPool {
         ScratchPool {
             n,
-            slots: std::array::from_fn(|_| AtomicPtr::new(ptr::null_mut())),
+            slots: (0..slots)
+                .map(|_| AtomicPtr::new(ptr::null_mut()))
+                .collect(),
         }
+    }
+
+    /// Number of buffers the pool can park (its slot count).
+    #[cfg(test)]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
     }
 
     /// Checks a buffer out of the pool, allocating a fresh one if every
@@ -49,7 +97,15 @@ impl ScratchPool {
     /// (pooled buffers carry whatever the previous caller left); every
     /// user overwrites before reading.
     pub fn checkout(&self) -> ScratchGuard<'_> {
-        for slot in &self.slots {
+        for slot in self.slots.iter() {
+            // Read-mostly probe: only attempt the RMW on slots that
+            // look occupied, so a miss scans with plain loads instead
+            // of dirtying every slot's cache line with a swap (pools
+            // can be hundreds of slots wide). A stale null read just
+            // falls through to allocation — benign.
+            if slot.load(Ordering::Relaxed).is_null() {
+                continue;
+            }
             let p = slot.swap(ptr::null_mut(), Ordering::Acquire);
             if !p.is_null() {
                 // SAFETY: a non-null slot pointer was produced by
@@ -72,7 +128,13 @@ impl ScratchPool {
     /// pool is full.
     fn give_back(&self, buf: Box<ResidueSoa>) {
         let p = Box::into_raw(buf);
-        for slot in &self.slots {
+        for slot in self.slots.iter() {
+            // Same read-mostly probe as checkout: CAS only slots that
+            // look empty, so returning into a full pool scans with
+            // loads rather than failed RMWs.
+            if !slot.load(Ordering::Relaxed).is_null() {
+                continue;
+            }
             if slot
                 .compare_exchange(ptr::null_mut(), p, Ordering::Release, Ordering::Relaxed)
                 .is_ok()
@@ -99,7 +161,7 @@ impl ScratchPool {
 
 impl Drop for ScratchPool {
     fn drop(&mut self) {
-        for slot in &mut self.slots {
+        for slot in self.slots.iter_mut() {
             let p = *slot.get_mut();
             if !p.is_null() {
                 // SAFETY: `&mut self` guarantees no concurrent checkout;
@@ -175,12 +237,33 @@ mod tests {
     }
 
     #[test]
-    fn overflow_beyond_slots_is_freed_not_leaked() {
+    fn overflow_beyond_capacity_is_freed_not_leaked() {
         let pool = ScratchPool::new(8);
-        let guards: Vec<_> = (0..SLOTS + 4).map(|_| pool.checkout()).collect();
+        let capacity = pool.capacity();
+        let guards: Vec<_> = (0..capacity + 4).map(|_| pool.checkout()).collect();
         drop(guards);
-        // Only SLOTS buffers fit; the rest were freed on return.
-        assert_eq!(pool.pooled(), SLOTS);
+        // Only `capacity` buffers fit; the rest were freed on return.
+        assert_eq!(pool.pooled(), capacity);
+    }
+
+    #[test]
+    fn default_capacity_tracks_hardware_parallelism() {
+        let pool = ScratchPool::new(8);
+        let threads = std::thread::available_parallelism().map_or(1, usize::from);
+        let expected = (threads * BUFFERS_PER_CALLER).clamp(MIN_DEFAULT_SLOTS, MAX_SLOTS);
+        assert_eq!(pool.capacity(), expected);
+    }
+
+    #[test]
+    fn concurrency_hint_sizes_three_buffers_per_worker() {
+        assert_eq!(ScratchPool::with_concurrency(8, 40).capacity(), 120);
+        // Zero-worker hints still yield a usable pool.
+        assert_eq!(ScratchPool::with_concurrency(8, 0).capacity(), 3);
+        // The ceiling bounds absurd hints.
+        assert_eq!(
+            ScratchPool::with_concurrency(8, usize::MAX).capacity(),
+            MAX_SLOTS
+        );
     }
 
     #[test]
@@ -221,5 +304,46 @@ mod tests {
             }
         });
         assert!(pool.pooled() <= 24, "at most three buffers per worker");
+    }
+
+    #[test]
+    fn high_worker_hammer_converges_without_steady_state_churn() {
+        // The old fixed 32-slot pool degraded to malloc/free churn past
+        // ~10 workers (3 buffers per in-flight polymul); a hinted pool
+        // must absorb the full working set.
+        const WORKERS: usize = 24;
+        let pool = ScratchPool::with_concurrency(16, WORKERS);
+        assert!(pool.capacity() >= WORKERS * BUFFERS_PER_CALLER);
+        std::thread::scope(|scope| {
+            for t in 0..WORKERS as u64 {
+                let pool = &pool;
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        let mut a = pool.checkout();
+                        let mut b = pool.checkout();
+                        let mut tmp = pool.checkout();
+                        let v = u128::from(t * 1000 + i);
+                        a.set(0, v);
+                        b.set(0, v + 1);
+                        tmp.set(0, v + 2);
+                        assert_eq!(a.get(0), v);
+                        assert_eq!(b.get(0), v + 1);
+                        assert_eq!(tmp.get(0), v + 2);
+                    }
+                });
+            }
+        });
+        // Warm pool: at most the working set is parked, and a full-width
+        // burst round-trips with zero overflow frees afterwards.
+        assert!(pool.pooled() <= WORKERS * BUFFERS_PER_CALLER);
+        let guards: Vec<_> = (0..WORKERS * BUFFERS_PER_CALLER)
+            .map(|_| pool.checkout())
+            .collect();
+        drop(guards);
+        assert_eq!(
+            pool.pooled(),
+            WORKERS * BUFFERS_PER_CALLER,
+            "the hinted pool parks the whole 3·W working set"
+        );
     }
 }

@@ -172,6 +172,40 @@ fn blas_tiers_agree_with_baselines() {
     assert_eq!(ring.lower(&ring.vmul(&ba, &bb)), scalar_prod);
 }
 
+/// The calibrated auto pick must be a real engine whose products are
+/// bit-identical to the portable reference — whatever tier the startup
+/// measurement ranked first on this host (and however `MQX_CALIBRATE`
+/// is set: measured and static selections both resolve to consumable
+/// non-MQX backends).
+#[test]
+fn calibrated_auto_pick_agrees_with_portable() {
+    let (a, b) = workload(primes::Q124);
+
+    let cal = backend::calibration();
+    let winner = cal.winner();
+    assert!(winner.consumable(), "calibration winner must be consumable");
+    assert_ne!(
+        winner.tier(),
+        mqx::Tier::Mqx,
+        "calibration never selects an MQX tier"
+    );
+
+    let auto_ring = Ring::auto(primes::Q124, N).unwrap();
+    let portable_ring = Ring::with_backend_name(primes::Q124, N, "portable").unwrap();
+    assert_eq!(
+        auto_ring.polymul_cyclic(&a, &b).unwrap(),
+        portable_ring.polymul_cyclic(&a, &b).unwrap(),
+        "calibrated pick '{}' cyclic",
+        auto_ring.backend().name()
+    );
+    assert_eq!(
+        auto_ring.polymul_negacyclic(&a, &b).unwrap(),
+        portable_ring.polymul_negacyclic(&a, &b).unwrap(),
+        "calibrated pick '{}' negacyclic",
+        auto_ring.backend().name()
+    );
+}
+
 #[test]
 fn two_field_crt_consistency() {
     // RNS invariant, now through the sharded front door: an `RnsRing`

@@ -173,6 +173,58 @@ fn serve_throughput_sweeps_worker_counts() {
 }
 
 #[test]
+fn calibrate_reports_a_measured_ranking_and_winner() {
+    let report = mqx_bench::experiments::calibrate::run(quick());
+    // Honor the documented env overrides instead of assuming them
+    // unset: MQX_CALIBRATE=off flips the process rule to "static" (the
+    // experiment then re-measures for the table), and an MQX_BACKEND
+    // pin decouples `selected` from the measured winner.
+    let calibrate_off = matches!(
+        std::env::var("MQX_CALIBRATE").as_deref(),
+        Ok("off") | Ok("0")
+    );
+    let pinned = std::env::var("MQX_BACKEND").is_ok_and(|v| !v.is_empty());
+    assert_eq!(
+        report.rule,
+        if calibrate_off { "static" } else { "measured" }
+    );
+    assert!(!report.backends.is_empty());
+    assert!(!report.ranking.is_empty());
+    assert_eq!(report.winner, report.ranking[0]);
+    // Measured backends cover every consumable registry entry; each
+    // carries positive burst timings.
+    let consumable = mqx::backend::available()
+        .iter()
+        .filter(|b| b.consumable())
+        .count();
+    assert_eq!(report.backends.len(), consumable);
+    for row in &report.backends {
+        assert!(row.ntt_ns > 0.0 && row.vmul_ns > 0.0, "{}", row.name);
+        assert!(row.ns_per_butterfly > 0.0, "{}", row.name);
+        assert_eq!(row.winner, row.name == report.winner);
+    }
+    // The winner carries the best score among the ranked backends.
+    let winner_score = report
+        .backends
+        .iter()
+        .find(|r| r.winner)
+        .expect("winner row present")
+        .ns_per_butterfly;
+    for row in report.backends.iter().filter(|r| r.eligible) {
+        assert!(
+            row.ns_per_butterfly >= winner_score,
+            "{} beats the declared winner",
+            row.name
+        );
+    }
+    // Without overrides the selection is the measured winner; a pin or
+    // the static rule may legitimately pick something else.
+    if !pinned && !calibrate_off {
+        assert_eq!(report.selected, report.winner);
+    }
+}
+
+#[test]
 fn fig1_headline_orders_baseline_vs_optimized() {
     let rows = mqx_bench::experiments::fig1::run(quick());
     assert!(rows.len() >= 5);

@@ -42,20 +42,31 @@ fn auto_selects_a_working_consumable_backend() {
 }
 
 #[test]
-fn auto_matches_runtime_detection_and_compile_flags() {
+fn auto_matches_the_measured_calibration() {
+    // Auto selection follows the startup measurement, not a
+    // compile-flag guess: whatever tier the calibration ranked first
+    // on this (binary, machine) pair is the one the ring runs on —
+    // unless the documented MQX_BACKEND pin overrides it, in which
+    // case the pin wins and the winner comparison does not apply.
     let ring = Ring::auto(primes::Q124, N).unwrap();
-    // A hardware tier is auto-selected only when the host can execute
-    // it (detected) AND this build can inline it (compiled with the
-    // target features); otherwise the fully-optimized portable engine
-    // is measurably faster and wins.
-    let expected = if mqx::simd::avx512_detected() && mqx::simd::avx512_compiled() {
+    let cal = backend::calibration();
+    match std::env::var("MQX_BACKEND") {
+        Ok(pin) if !pin.is_empty() => assert_eq!(ring.backend().name(), pin),
+        _ => assert_eq!(ring.backend().name(), cal.winner().name()),
+    }
+
+    // The static detected+compiled rule survives as the
+    // MQX_CALIBRATE=off fallback and keeps its original contract: a
+    // hardware tier only when the host can execute it (detected) AND
+    // this build can inline it (compiled with the target features).
+    let expected_static = if mqx::simd::avx512_detected() && mqx::simd::avx512_compiled() {
         "avx512"
     } else if mqx::simd::avx2_detected() && mqx::simd::avx2_compiled() {
         "avx2"
     } else {
         "portable"
     };
-    assert_eq!(ring.backend().name(), expected);
+    assert_eq!(backend::default_backend().name(), expected_static);
 }
 
 /// The forced-portable check from the acceptance criteria: pinning the
