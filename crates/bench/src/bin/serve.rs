@@ -1,5 +1,7 @@
 //! Batched polymul serving throughput: requests/sec through the
-//! work-stealing `RingExecutor` as worker count and batch size vary.
+//! work-stealing `RingExecutor` as worker count and batch size vary,
+//! plus the serving-QoS scenario (per-priority-class latency
+//! percentiles and deadline shedding).
 fn main() {
     mqx_bench::experiments::serve::run(mqx_bench::quick_mode());
 }

@@ -1,6 +1,8 @@
 //! Batched polymul serving throughput (extension beyond the paper's
 //! single-kernel scope): requests/sec through the facade's
-//! work-stealing `RingExecutor` as worker count and batch size vary.
+//! work-stealing `RingExecutor` as worker count and batch size vary,
+//! plus the serving-QoS scenario — per-priority-class completion
+//! latency under saturation and deadline shedding.
 //!
 //! The paper's §6 scaling argument — batched independent NTTs keep
 //! every core's vector units saturated — is exactly the serving regime:
@@ -8,11 +10,17 @@
 //! a queue of mixed cyclic/negacyclic requests fanned out as work
 //! items. This sweep measures how far that holds on the running host:
 //! ideal scaling is flat ns/request as workers grow; the deltas are the
-//! scheduler plus memory-bandwidth tax.
+//! scheduler plus memory-bandwidth tax. The QoS leg then mixes the
+//! three priority classes in one saturated batch (interleaved
+//! submission, so the injector must reorder) and reports each class's
+//! p50/p99 completion latency — High should finish far ahead of Low —
+//! and runs a deadline batch whose budget only covers part of the
+//! work, counting how many requests the executor sheds instead of
+//! serving stale.
 
 use crate::report::{fmt_ns, write_json, Table};
 use mqx::core::primes;
-use mqx::{PolyOp, PolyRing, PolymulRequest, Ring, RingExecutor};
+use mqx::{Error, PolyOp, PolyRing, PolymulRequest, Priority, RequestHandle, Ring, RingExecutor};
 use mqx_json::impl_to_json;
 use std::sync::Arc;
 use std::time::Instant;
@@ -46,8 +54,49 @@ impl_to_json!(ServeRow {
     backend,
 });
 
-fn requests(n: usize, batch: usize) -> Vec<PolymulRequest> {
-    let mut state = 0x5E47_u64 ^ 0x5EED;
+/// Per-class completion latency of the QoS scenario.
+#[derive(Clone, Debug)]
+pub struct QosRow {
+    /// The scenario leg: a priority class (`high`/`normal`/`low`) of
+    /// the saturated mixed batch, or `deadline` for the shedding leg.
+    pub scenario: String,
+    /// Requests submitted in this leg.
+    pub requests: usize,
+    /// Requests that completed with a product.
+    pub completed: usize,
+    /// Requests shed with `DeadlineExceeded`.
+    pub shed: usize,
+    /// Median completion latency (ns from batch start), completed
+    /// requests only; `0` when nothing completed.
+    pub p50_ns: f64,
+    /// 99th-percentile completion latency, completed requests only.
+    pub p99_ns: f64,
+}
+
+impl_to_json!(QosRow {
+    scenario,
+    requests,
+    completed,
+    shed,
+    p50_ns,
+    p99_ns,
+});
+
+/// The full serving artifact: the worker × batch throughput sweep plus
+/// the QoS scenario's per-class latency percentiles.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// The worker × batch throughput sweep.
+    pub sweep: Vec<ServeRow>,
+    /// The QoS scenario rows (one per priority class, one deadline
+    /// leg).
+    pub qos: Vec<QosRow>,
+}
+
+impl_to_json!(ServeReport { sweep, qos });
+
+fn requests(n: usize, batch: usize, seed: u64) -> Vec<PolymulRequest> {
+    let mut state = seed ^ 0x5EED;
     let mut poly = move || -> Vec<u128> {
         (0..n)
             .map(|_| {
@@ -70,9 +119,141 @@ fn requests(n: usize, batch: usize) -> Vec<PolymulRequest> {
         .collect()
 }
 
+/// Nearest-rank percentile of an ascending-sorted sample; `0` for an
+/// empty one.
+fn percentile(sorted_ns: &[f64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[idx]
+}
+
+/// Polls a set of class-tagged handles with `try_wait` until every one
+/// resolves, recording each request's completion latency from `t0`.
+/// Returns `(latencies per class, shed count per class)`.
+fn drain<const K: usize>(
+    mut pending: Vec<Option<(usize, usize, RequestHandle)>>,
+    t0: Instant,
+    mut on_product: impl FnMut(usize, mqx::Coefficients),
+) -> ([Vec<f64>; K], [usize; K]) {
+    let mut latencies: [Vec<f64>; K] = std::array::from_fn(|_| Vec::new());
+    let mut shed = [0_usize; K];
+    let mut open = pending.len();
+    while open > 0 {
+        for slot in pending.iter_mut() {
+            let Some((class, index, handle)) = slot.take() else {
+                continue;
+            };
+            match handle.try_wait() {
+                Ok(result) => {
+                    open -= 1;
+                    match result {
+                        Ok(product) => {
+                            latencies[class].push(t0.elapsed().as_nanos() as f64);
+                            on_product(index, product);
+                        }
+                        Err(Error::DeadlineExceeded) => shed[class] += 1,
+                        Err(e) => panic!("unexpected serving error: {e}"),
+                    }
+                }
+                Err(handle) => *slot = Some((class, index, handle)),
+            }
+        }
+        std::thread::yield_now();
+    }
+    for class in &mut latencies {
+        class.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    }
+    (latencies, shed)
+}
+
+/// Runs the QoS scenario on `ring`: a saturated mixed-priority batch
+/// (per-class latency percentiles, correctness-gated against the
+/// sequential reference) and a deadline batch whose budget covers only
+/// part of the work.
+fn qos_scenario(ring: &Arc<dyn PolyRing>, n: usize, quick: bool) -> Vec<QosRow> {
+    let workers = if quick { 2 } else { 4 };
+    let per_class = if quick { 8 } else { 48 };
+    let pool = RingExecutor::new(workers).expect("non-zero workers");
+
+    // --- Mixed-priority leg -------------------------------------------------
+    let reqs = requests(n, per_class * 3, 0x0905);
+    let sequential: Vec<_> = reqs
+        .iter()
+        .map(|r| ring.polymul(r.op, &r.a, &r.b).expect("valid request"))
+        .collect();
+    // Interleave Low → Normal → High on submission: the injector (not
+    // submission order) must produce the class separation.
+    let classes = [Priority::Low, Priority::Normal, Priority::High];
+    let t0 = Instant::now();
+    let pending: Vec<Option<(usize, usize, RequestHandle)>> = reqs
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let priority = classes[i % classes.len()];
+            let handle = pool
+                .submit(ring, r.with_priority(priority))
+                .expect("valid request");
+            Some((priority as usize, i, handle))
+        })
+        .collect();
+    let (latencies, _) = drain::<3>(pending, t0, |index, product| {
+        assert_eq!(product, sequential[index], "pool must match sequential");
+    });
+
+    let mut rows: Vec<QosRow> = Priority::ALL
+        .into_iter()
+        .map(|priority| {
+            let class = &latencies[priority as usize];
+            QosRow {
+                scenario: priority.to_string(),
+                requests: per_class,
+                completed: class.len(),
+                shed: 0,
+                p50_ns: percentile(class, 0.50),
+                p99_ns: percentile(class, 0.99),
+            }
+        })
+        .collect();
+
+    // --- Deadline leg -------------------------------------------------------
+    // Budget ≈ the time to serve half the batch at ideal scaling, so a
+    // saturated pool must shed the stale tail instead of serving it.
+    let reqs = requests(n, per_class * 3, 0xDEAD);
+    let probe = Instant::now();
+    ring.polymul(reqs[0].op, &reqs[0].a, &reqs[0].b)
+        .expect("valid request");
+    let budget = probe.elapsed() * (reqs.len() as u32) / (2 * workers as u32);
+    let total = reqs.len();
+    let t0 = Instant::now();
+    let deadline = t0 + budget;
+    let pending: Vec<Option<(usize, usize, RequestHandle)>> = reqs
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let handle = pool
+                .submit(ring, r.with_deadline(deadline))
+                .expect("valid request");
+            Some((0, i, handle))
+        })
+        .collect();
+    let (latencies, shed) = drain::<1>(pending, t0, |_, _| {});
+    rows.push(QosRow {
+        scenario: "deadline".to_string(),
+        requests: total,
+        completed: latencies[0].len(),
+        shed: shed[0],
+        p50_ns: percentile(&latencies[0], 0.50),
+        p99_ns: percentile(&latencies[0], 0.99),
+    });
+    rows
+}
+
 /// Sweeps worker count × batch size at `2^12` points (`2^10`, smaller
-/// batches in quick mode) and prints the throughput table.
-pub fn run(quick: bool) -> Vec<ServeRow> {
+/// batches in quick mode), runs the QoS scenario, and prints both
+/// tables.
+pub fn run(quick: bool) -> ServeReport {
     let log_n = if quick { 9 } else { 12 };
     let n = 1_usize << log_n;
     let worker_counts: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
@@ -84,7 +265,7 @@ pub fn run(quick: bool) -> Vec<ServeRow> {
 
     let mut rows = Vec::new();
     for &batch in batches {
-        let reqs = requests(n, batch);
+        let reqs = requests(n, batch, 0x5E47);
         // Correctness gate before any timing: the pool must reproduce
         // the sequential products bit for bit.
         let sequential: Vec<_> = reqs
@@ -148,6 +329,24 @@ pub fn run(quick: bool) -> Vec<ServeRow> {
     }
     table.print();
 
-    write_json("serve_throughput", &rows);
-    rows
+    let qos = qos_scenario(&ring, n, quick);
+    let mut table = Table::new(
+        "serving QoS — per-class completion latency, saturated mixed batch",
+        &["scenario", "requests", "completed", "shed", "p50", "p99"],
+    );
+    for r in &qos {
+        table.row(&[
+            r.scenario.clone(),
+            r.requests.to_string(),
+            r.completed.to_string(),
+            r.shed.to_string(),
+            fmt_ns(r.p50_ns),
+            fmt_ns(r.p99_ns),
+        ]);
+    }
+    table.print();
+
+    let report = ServeReport { sweep: rows, qos };
+    write_json("serve_throughput", &report);
+    report
 }

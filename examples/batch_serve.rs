@@ -15,9 +15,9 @@
 
 use mqx::bignum::BigUint;
 use mqx::core::primes;
-use mqx::{PolyOp, PolyRing, PolymulRequest, Ring, RingExecutor, RnsRing};
+use mqx::{Error, PolyOp, PolyRing, PolymulRequest, Priority, Ring, RingExecutor, RnsRing};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn random_words(n: usize, q: u128, seed: &mut u64) -> Vec<u128> {
     (0..n)
@@ -117,6 +117,69 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         t0.elapsed()
     );
     assert_eq!(wide_out.len(), wide_batch);
+
+    // QoS: the serving layer a multi-tenant front end needs. Bulk work
+    // rides the Low class, interactive requests overtake it via High,
+    // stale requests are shed at their deadline instead of burning
+    // workers, and cancellation discards queued work cooperatively.
+    let a = random_words(n, primes::Q124, &mut seed);
+    let b = random_words(n, primes::Q124, &mut seed);
+    let bulk: Vec<_> = (0..32)
+        .map(|_| {
+            pool.submit(
+                &ring,
+                PolymulRequest::new(PolyOp::Cyclic, a.clone().into(), b.clone().into())
+                    .with_priority(Priority::Low),
+            )
+        })
+        .collect::<Result<_, _>>()?;
+    let t0 = Instant::now();
+    let urgent = pool.submit(
+        &ring,
+        PolymulRequest::new(PolyOp::Negacyclic, a.clone().into(), b.clone().into())
+            .with_priority(Priority::High),
+    )?;
+    // A bounded wait: hand the handle back on timeout instead of
+    // blocking the front end forever (here it resolves well in time).
+    let product = match urgent.wait_timeout(Duration::from_secs(30)) {
+        Ok(result) => result?,
+        Err(_still_running) => unreachable!("30s is plenty for one product"),
+    };
+    println!(
+        "QoS: High-priority request overtook 32 queued Low requests in {:?} \
+         (n = {}, product len {})",
+        t0.elapsed(),
+        n,
+        product.len()
+    );
+
+    // Already past its deadline: resolved at submit, zero channels run.
+    let stale = pool.submit(
+        &ring,
+        PolymulRequest::new(PolyOp::Cyclic, a.clone().into(), b.clone().into())
+            .with_deadline(Instant::now()),
+    )?;
+    assert!(matches!(stale.wait(), Err(Error::DeadlineExceeded)));
+
+    // Cancel one queued bulk request; the rest complete normally.
+    let mut bulk = bulk;
+    let doomed = bulk.pop().expect("queued bulk work");
+    doomed.cancel();
+    let cancelled = matches!(doomed.wait(), Err(Error::Cancelled));
+    let mut served = 0;
+    for handle in bulk {
+        handle.wait()?;
+        served += 1;
+    }
+    println!(
+        "QoS: stale request shed at its deadline; cancel {} \
+         ({served} bulk requests still served)",
+        if cancelled {
+            "discarded the queued request"
+        } else {
+            "arrived after completion (no-op)"
+        }
+    );
 
     Ok(())
 }

@@ -30,11 +30,12 @@
 //! memoized ranking. Two environment variables override it:
 //!
 //! * `MQX_BACKEND=<name>` pins the named registry backend for every
-//!   auto selection (unknown names surface as
+//!   auto selection (whitespace-trimmed; unknown names surface as
 //!   [`Error::UnknownBackend`] at ring build; non-consumable names —
 //!   wrong numbers by design — as [`Error::NonConsumableBackend`]);
-//! * `MQX_CALIBRATE=off` (or `0`) skips the measurement and restores
-//!   the static detected+compiled rule bit for bit.
+//! * `MQX_CALIBRATE=off` (`0` and `false` work too, any casing — see
+//!   [`calibration_enabled`]) skips the measurement and restores the
+//!   static detected+compiled rule bit for bit.
 //!
 //! ```
 //! use mqx::backend;
@@ -289,21 +290,41 @@ pub(crate) fn select_channels(pin: Option<&str>, k: usize) -> Result<Vec<Arc<dyn
     }
 }
 
-/// Reads the `MQX_BACKEND` pin from the environment (empty counts as
-/// unset).
+/// Reads the `MQX_BACKEND` pin from the environment. Surrounding
+/// whitespace is trimmed (an exported `MQX_BACKEND=" portable"` must
+/// not fail as an unknown backend) and an empty or all-whitespace value
+/// counts as unset.
 pub(crate) fn env_pin() -> Option<String> {
     match std::env::var("MQX_BACKEND") {
-        Ok(name) if !name.is_empty() => Some(name),
+        Ok(name) => {
+            let trimmed = name.trim();
+            if trimmed.is_empty() {
+                None
+            } else {
+                Some(trimmed.to_string())
+            }
+        }
         _ => None,
     }
 }
 
-/// `MQX_CALIBRATE=off` (or `0`) disables the startup measurement.
-fn calibration_enabled() -> bool {
-    !matches!(
-        std::env::var("MQX_CALIBRATE").as_deref(),
-        Ok("off") | Ok("0")
-    )
+/// Whether the `MQX_CALIBRATE` environment variable leaves the startup
+/// measurement enabled: any of `off`, `0`, or `false` — matched
+/// case-insensitively, surrounding whitespace trimmed — disables it;
+/// everything else (including unset) enables it.
+///
+/// This reads the environment on every call; the memoized
+/// [`calibration`](super::calibration) consults it once, at first use.
+pub fn calibration_enabled() -> bool {
+    match std::env::var("MQX_CALIBRATE") {
+        Ok(value) => {
+            let value = value.trim();
+            !(value.eq_ignore_ascii_case("off")
+                || value.eq_ignore_ascii_case("false")
+                || value == "0")
+        }
+        Err(_) => true,
+    }
 }
 
 /// The static fallback: the detected+compiled winner first, then the

@@ -110,6 +110,14 @@ pub enum Error {
         /// The ring's channel count.
         channels: usize,
     },
+    /// The request was cancelled via
+    /// [`RequestHandle::cancel`](crate::RequestHandle::cancel) before it
+    /// finished executing; its remaining channels were skipped.
+    Cancelled,
+    /// The request's deadline passed before it finished executing (it
+    /// was shed at submit or at dequeue instead of burning worker
+    /// time).
+    DeadlineExceeded,
 }
 
 impl fmt::Display for Error {
@@ -170,6 +178,11 @@ impl fmt::Display for Error {
             Error::ChannelOutOfRange { channel, channels } => write!(
                 f,
                 "channel index {channel} is out of range for a ring with {channels} channels"
+            ),
+            Error::Cancelled => write!(f, "request was cancelled before it finished executing"),
+            Error::DeadlineExceeded => write!(
+                f,
+                "request deadline passed before it finished executing; it was shed"
             ),
         }
     }
@@ -294,5 +307,17 @@ mod tests {
         };
         let msg = e.to_string();
         assert!(msg.contains('3') && msg.contains('2'), "{msg}");
+    }
+
+    #[test]
+    fn qos_errors_are_actionable() {
+        let e = Error::Cancelled;
+        assert!(e.to_string().contains("cancelled"), "{e}");
+        assert!(e.source().is_none());
+
+        let e = Error::DeadlineExceeded;
+        let msg = e.to_string();
+        assert!(msg.contains("deadline") && msg.contains("shed"), "{msg}");
+        assert!(e.source().is_none());
     }
 }

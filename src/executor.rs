@@ -1,5 +1,7 @@
 //! [`RingExecutor`]: a work-stealing thread-pool that serves queues of
-//! polynomial products against any shared [`PolyRing`].
+//! polynomial products against any shared [`PolyRing`], with
+//! serving-grade QoS — request priorities, deadlines, and cooperative
+//! cancellation.
 //!
 //! The source paper's throughput argument is that CPUs close the gap to
 //! specialized hardware by keeping vector units saturated across *many
@@ -21,12 +23,36 @@
 //! channel performs the CRT join and wakes the caller's
 //! [`RequestHandle`].
 //!
+//! # Quality of service
+//!
+//! A real multi-tenant queue is never uniform: interactive requests
+//! share the pool with bulk batches, and stale work must be shed. Each
+//! request therefore carries [`SubmitOptions`]:
+//!
+//! * a [`Priority`] class — the shared injector keeps one FIFO per
+//!   class and workers drain it strictly `High → Normal → Low`
+//!   (submission order within a class);
+//! * an optional deadline ([`std::time::Instant`]) — a request whose
+//!   deadline has passed by the time a worker dequeues it (or that is
+//!   already expired at submit) resolves
+//!   [`Error::DeadlineExceeded`] without running any remaining channel;
+//! * cooperative cancellation — [`RequestHandle::cancel`] marks the
+//!   request, queued channels are skipped at dequeue, and the handle
+//!   resolves [`Error::Cancelled`] (a request that already finished
+//!   keeps its product: cancel is then a no-op).
+//!
+//! Handles also offer non-blocking and bounded waits
+//! ([`RequestHandle::try_wait`], [`RequestHandle::wait_timeout`],
+//! [`RequestHandle::wait_deadline`]) so a front end can poll or give up
+//! without abandoning the result.
+//!
 //! [`Ring`]: crate::Ring
 //! [`RnsRing`]: crate::RnsRing
 //!
 //! ```
 //! use std::sync::Arc;
-//! use mqx::{core::primes, Coefficients, PolyOp, PolyRing, PolymulRequest, Ring, RingExecutor};
+//! use mqx::{core::primes, Coefficients, PolyOp, PolyRing, PolymulRequest, Priority, Ring,
+//!           RingExecutor};
 //!
 //! let ring: Arc<dyn PolyRing> = Arc::new(Ring::auto(primes::Q124, 64)?);
 //! let pool = RingExecutor::new(4)?;
@@ -40,6 +66,13 @@
 //!     .collect();
 //! let products = pool.serve(&ring, requests)?;
 //! assert_eq!(products.len(), 8);
+//!
+//! // An interactive request overtakes queued bulk work.
+//! let a: Vec<u128> = (0..64_u64).map(u128::from).collect();
+//! let urgent = PolymulRequest::new(PolyOp::Cyclic, a.clone().into(), a.into())
+//!     .with_priority(Priority::High);
+//! let product = pool.submit(&ring, urgent)?.wait()?;
+//! assert_eq!(product.len(), 64);
 //! # Ok::<(), mqx::Error>(())
 //! ```
 
@@ -50,9 +83,97 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-/// One queued polynomial product: the operation and both operands, in
-/// the ring's native [`Coefficients`] representation.
+/// Scheduling class of a request: the injector drains strictly
+/// `High → Normal → Low`, submission order within a class.
+///
+/// The derived order matches the drain order (`High < Normal < Low`),
+/// so sorting requests by priority yields execution order.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Interactive traffic: dequeued before everything else.
+    High = 0,
+    /// The default class.
+    #[default]
+    Normal = 1,
+    /// Bulk/background work: runs only when no higher class is queued.
+    Low = 2,
+}
+
+/// Number of [`Priority`] classes (one injector FIFO each).
+const CLASSES: usize = 3;
+
+impl Priority {
+    /// Every class, drain order first.
+    pub const ALL: [Priority; CLASSES] = [Priority::High, Priority::Normal, Priority::Low];
+
+    /// The injector FIFO this class maps to.
+    fn class(self) -> usize {
+        self as usize
+    }
+}
+
+impl std::fmt::Display for Priority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        })
+    }
+}
+
+/// Per-request scheduling options: a [`Priority`] class and an optional
+/// deadline. Builder-style, so call sites name only what they change:
+///
+/// ```
+/// use mqx::{Priority, SubmitOptions};
+/// use std::time::Duration;
+///
+/// let opts = SubmitOptions::new()
+///     .priority(Priority::High)
+///     .timeout(Duration::from_millis(50));
+/// assert_eq!(opts.priority, Priority::High);
+/// assert!(opts.deadline.is_some());
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SubmitOptions {
+    /// Scheduling class ([`Priority::Normal`] by default).
+    pub priority: Priority,
+    /// Latest useful completion time: a request still queued past this
+    /// instant is shed with [`Error::DeadlineExceeded`] instead of
+    /// burning worker time. `None` (the default) never sheds.
+    pub deadline: Option<Instant>,
+}
+
+impl SubmitOptions {
+    /// Default options: [`Priority::Normal`], no deadline.
+    pub fn new() -> SubmitOptions {
+        SubmitOptions::default()
+    }
+
+    /// Sets the scheduling class.
+    pub fn priority(mut self, priority: Priority) -> SubmitOptions {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the absolute deadline.
+    pub fn deadline(mut self, deadline: Instant) -> SubmitOptions {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the deadline relative to now.
+    pub fn timeout(self, budget: Duration) -> SubmitOptions {
+        self.deadline(Instant::now() + budget)
+    }
+}
+
+/// One queued polynomial product: the operation, both operands in the
+/// ring's native [`Coefficients`] representation, and the scheduling
+/// [`SubmitOptions`].
 #[derive(Clone, Debug)]
 pub struct PolymulRequest {
     /// Cyclic or negacyclic.
@@ -61,12 +182,44 @@ pub struct PolymulRequest {
     pub a: Coefficients,
     /// Right operand.
     pub b: Coefficients,
+    /// Scheduling options (normal priority, no deadline, unless set via
+    /// the `with_*` builders).
+    pub options: SubmitOptions,
 }
 
 impl PolymulRequest {
-    /// Bundles an operation and its operands.
+    /// Bundles an operation and its operands with default scheduling
+    /// (normal priority, no deadline).
     pub fn new(op: PolyOp, a: Coefficients, b: Coefficients) -> Self {
-        PolymulRequest { op, a, b }
+        PolymulRequest {
+            op,
+            a,
+            b,
+            options: SubmitOptions::default(),
+        }
+    }
+
+    /// Replaces the scheduling options wholesale.
+    pub fn with_options(mut self, options: SubmitOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Sets the scheduling class.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.options.priority = priority;
+        self
+    }
+
+    /// Sets the absolute deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.options.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the deadline relative to now.
+    pub fn with_timeout(self, budget: Duration) -> Self {
+        self.with_deadline(Instant::now() + budget)
     }
 }
 
@@ -77,6 +230,12 @@ struct RequestState {
     op: PolyOp,
     a: Vec<Vec<u128>>,
     b: Vec<Vec<u128>>,
+    /// Latest useful completion time; checked when a worker dequeues
+    /// the request or one of its channels.
+    deadline: Option<Instant>,
+    /// Set by [`RequestHandle::cancel`]; checked at the same dequeue
+    /// points as the deadline.
+    cancelled: AtomicBool,
     /// One slot per channel, filled as channel products land.
     slots: Mutex<Vec<Option<Vec<u128>>>>,
     /// Channels still running; the worker that decrements this to zero
@@ -84,13 +243,34 @@ struct RequestState {
     remaining: AtomicUsize,
     /// Set on the first channel error (errors win over the join).
     failed: AtomicBool,
+    /// The first channel error, published into `outcome` by the last
+    /// channel to land. Kept separate so `outcome` holds a value *only*
+    /// once the request is fully resolved — the "finished" signal.
+    first_error: Mutex<Option<Error>>,
+    /// The request's final result. Written exactly once, by the worker
+    /// that finishes the last channel (after the CRT join, when there is
+    /// one), so `Some` here means "`wait` will not block".
     outcome: Mutex<Option<Result<Coefficients, Error>>>,
     done: Condvar,
 }
 
 impl RequestState {
+    /// Why a dequeued task of this request should be skipped instead of
+    /// executed, if any reason applies. Cancellation wins over an
+    /// expired deadline.
+    fn shed_reason(&self) -> Option<Error> {
+        if self.cancelled.load(Ordering::Acquire) {
+            return Some(Error::Cancelled);
+        }
+        match self.deadline {
+            Some(deadline) if Instant::now() >= deadline => Some(Error::DeadlineExceeded),
+            _ => None,
+        }
+    }
+
     /// Records one channel's result; the last channel to land performs
-    /// the join and wakes the handle.
+    /// the join (errors win over the join) and publishes the outcome,
+    /// waking the handle.
     fn finish_channel(&self, channel: usize, result: Result<Vec<u128>, Error>) {
         match result {
             Ok(product) => {
@@ -98,20 +278,26 @@ impl RequestState {
             }
             Err(e) => {
                 self.failed.store(true, Ordering::Release);
-                let mut outcome = self.outcome.lock().expect("request outcome poisoned");
-                if outcome.is_none() {
-                    *outcome = Some(Err(e));
+                let mut first = self.first_error.lock().expect("request error poisoned");
+                if first.is_none() {
+                    *first = Some(e);
                 }
             }
         }
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let mut outcome = self.outcome.lock().expect("request outcome poisoned");
-            if !self.failed.load(Ordering::Acquire) {
+            let resolved = if self.failed.load(Ordering::Acquire) {
+                Err(self
+                    .first_error
+                    .lock()
+                    .expect("request error poisoned")
+                    .take()
+                    .expect("failed request recorded its error"))
+            } else {
                 // The join runs under the same panic guard as the
                 // channel kernels: a panicking `PolyRing::join` must
                 // surface as a request error, not a dead worker and a
                 // poisoned handle.
-                let joined = catch_unwind(AssertUnwindSafe(|| {
+                catch_unwind(AssertUnwindSafe(|| {
                     let parts: Vec<Vec<u128>> = self
                         .slots
                         .lock()
@@ -121,10 +307,23 @@ impl RequestState {
                         .collect();
                     self.ring.join(parts)
                 }))
-                .unwrap_or(Err(Error::JoinPanicked));
-                *outcome = Some(joined);
-            }
+                .unwrap_or(Err(Error::JoinPanicked))
+            };
+            // Publishing the outcome is the single "finished" signal:
+            // it happens strictly after the join, so a handle observing
+            // `Some` (is_finished, try_wait) never races the join
+            // window.
+            let mut outcome = self.outcome.lock().expect("request outcome poisoned");
+            *outcome = Some(resolved);
             self.done.notify_all();
+        }
+    }
+
+    /// Resolves every channel of a freshly dequeued (not yet fanned-out)
+    /// request with `reason`, without running any kernel.
+    fn resolve_shed(&self, reason: Error) {
+        for channel in 0..self.a.len() {
+            self.finish_channel(channel, Err(reason.clone()));
         }
     }
 }
@@ -132,7 +331,8 @@ impl RequestState {
 /// A claim on one submitted request's eventual result.
 ///
 /// Dropping the handle without waiting is fine: the request still runs
-/// to completion and its result is discarded.
+/// to completion and its result is discarded. To actively discard
+/// queued work, call [`cancel`](RequestHandle::cancel) first.
 pub struct RequestHandle {
     state: Arc<RequestState>,
 }
@@ -147,17 +347,17 @@ impl std::fmt::Debug for RequestHandle {
 }
 
 impl RequestHandle {
-    /// Blocks until every channel of the request has executed and
-    /// returns the joined product (or the first channel error).
+    /// Blocks until the request is fully resolved and returns the
+    /// joined product — or the first channel error,
+    /// [`Error::Cancelled`], or [`Error::DeadlineExceeded`] when the
+    /// request was shed.
     pub fn wait(self) -> Result<Coefficients, Error> {
         let mut outcome = self.state.outcome.lock().expect("request outcome poisoned");
         loop {
             // The outcome is published before the notify, and spurious
             // wakeups re-check, so this cannot hang.
-            if self.state.remaining.load(Ordering::Acquire) == 0 {
-                if let Some(result) = outcome.take() {
-                    return result;
-                }
+            if let Some(result) = outcome.take() {
+                return result;
             }
             outcome = self
                 .state
@@ -167,10 +367,71 @@ impl RequestHandle {
         }
     }
 
-    /// Whether the request has fully executed (its `wait` would not
-    /// block).
+    /// Non-blocking wait: the result when the request has resolved,
+    /// the handle itself (to try again later) when it has not.
+    pub fn try_wait(self) -> Result<Result<Coefficients, Error>, RequestHandle> {
+        let taken = self
+            .state
+            .outcome
+            .lock()
+            .expect("request outcome poisoned")
+            .take();
+        match taken {
+            Some(result) => Ok(result),
+            None => Err(self),
+        }
+    }
+
+    /// Bounded wait: blocks at most `timeout`, returning the result or
+    /// handing the handle back when time runs out.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Result<Coefficients, Error>, Self> {
+        self.wait_deadline(Instant::now() + timeout)
+    }
+
+    /// Bounded wait against an absolute deadline (see
+    /// [`wait_timeout`](RequestHandle::wait_timeout)).
+    pub fn wait_deadline(self, deadline: Instant) -> Result<Result<Coefficients, Error>, Self> {
+        {
+            let mut outcome = self.state.outcome.lock().expect("request outcome poisoned");
+            loop {
+                if let Some(result) = outcome.take() {
+                    return Ok(result);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                outcome = self
+                    .state
+                    .done
+                    .wait_timeout(outcome, deadline - now)
+                    .expect("request outcome poisoned")
+                    .0;
+            }
+        }
+        Err(self)
+    }
+
+    /// Requests cooperative cancellation: channels not yet started are
+    /// skipped at dequeue and the request resolves
+    /// [`Error::Cancelled`]. Channels already executing run to
+    /// completion (kernels are never interrupted mid-flight), and a
+    /// request that has already finished keeps its product — cancelling
+    /// it is a no-op.
+    pub fn cancel(&self) {
+        self.state.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether the request has fully resolved (its `wait` would not
+    /// block). Decided from the published outcome — not the channel
+    /// counter — so this stays `false` through the CRT-join window
+    /// between the last channel landing and the join completing.
     pub fn is_finished(&self) -> bool {
-        self.state.remaining.load(Ordering::Acquire) == 0
+        self.state
+            .outcome
+            .lock()
+            .expect("request outcome poisoned")
+            .is_some()
     }
 }
 
@@ -186,8 +447,9 @@ enum Task {
 
 /// Queue state shared between the executor handle and its workers.
 struct Shared {
-    /// New requests land here (FIFO).
-    injector: Mutex<VecDeque<Task>>,
+    /// New requests land here: one FIFO per [`Priority`] class, drained
+    /// strictly by class (submission order within a class).
+    injector: Mutex<[VecDeque<Task>; CLASSES]>,
     /// Per-worker deques: the owner pushes/pops the back (LIFO keeps a
     /// request's channels hot in one worker's cache), thieves take the
     /// front (FIFO steals the oldest, largest-granularity work).
@@ -199,8 +461,11 @@ struct Shared {
 }
 
 impl Shared {
-    /// Pops work: own deque first (back), then the injector, then a
-    /// steal sweep over the other workers' deques (front).
+    /// Pops work: own deque first (back), then the injector (highest
+    /// non-empty class), then a steal sweep over the other workers'
+    /// deques (front). In-flight channels in the local deques outrank
+    /// even high-priority injected requests: finishing started work
+    /// releases its handle soonest and keeps its operands cache-hot.
     fn find_task(&self, worker: usize) -> Option<Task> {
         if let Some(task) = self.locals[worker]
             .lock()
@@ -209,8 +474,13 @@ impl Shared {
         {
             return Some(task);
         }
-        if let Some(task) = self.injector.lock().expect("injector poisoned").pop_front() {
-            return Some(task);
+        {
+            let mut classes = self.injector.lock().expect("injector poisoned");
+            for class in classes.iter_mut() {
+                if let Some(task) = class.pop_front() {
+                    return Some(task);
+                }
+            }
         }
         let n = self.locals.len();
         for offset in 1..n {
@@ -226,17 +496,32 @@ impl Shared {
         None
     }
 
-    /// Wakes idle workers after queueing work. Taking the idle lock
-    /// orders the notify after any concurrent pre-sleep queue re-check,
-    /// so wakeups cannot be lost.
-    fn notify(&self) {
+    /// Wakes one idle worker after queueing a single task. Taking the
+    /// idle lock orders the notify after any concurrent pre-sleep queue
+    /// re-check, so wakeups cannot be lost; waking just one worker
+    /// avoids a thundering herd stampeding a wide pool for one item.
+    fn notify_one(&self) {
+        let _guard = self.idle.lock().expect("idle lock poisoned");
+        self.wake.notify_one();
+    }
+
+    /// Wakes every idle worker — for fan-out bursts (a multi-channel
+    /// request exposing `k − 1` stealable items at once) and shutdown,
+    /// where every worker must observe the flag.
+    fn notify_all(&self) {
         let _guard = self.idle.lock().expect("idle lock poisoned");
         self.wake.notify_all();
     }
 
-    /// Runs one channel of one request, converting panics into a
-    /// request error rather than a hung handle.
+    /// Runs one channel of one request — unless the request has been
+    /// cancelled or its deadline has passed, in which case the channel
+    /// is resolved with the shed error instead of burning worker time.
+    /// Kernel panics become a request error rather than a hung handle.
     fn run_channel(&self, state: &Arc<RequestState>, channel: usize) {
+        if let Some(reason) = state.shed_reason() {
+            state.finish_channel(channel, Err(reason));
+            return;
+        }
         let result = catch_unwind(AssertUnwindSafe(|| {
             state
                 .ring
@@ -250,6 +535,13 @@ impl Shared {
         loop {
             match self.find_task(worker) {
                 Some(Task::Request(state)) => {
+                    // Dequeue-time QoS check: an expired or cancelled
+                    // request resolves here, before any fan-out, so none
+                    // of its channels ever reaches a kernel.
+                    if let Some(reason) = state.shed_reason() {
+                        state.resolve_shed(reason);
+                        continue;
+                    }
                     let k = state.a.len();
                     if k > 1 {
                         // Fan out: keep channel 0, expose the rest for
@@ -261,7 +553,7 @@ impl Shared {
                                 local.push_back(Task::Channel(Arc::clone(&state), channel));
                             }
                         }
-                        self.notify();
+                        self.notify_all();
                     }
                     self.run_channel(&state, 0);
                 }
@@ -287,7 +579,13 @@ impl Shared {
     }
 
     fn has_queued_work(&self) -> bool {
-        if !self.injector.lock().expect("injector poisoned").is_empty() {
+        if self
+            .injector
+            .lock()
+            .expect("injector poisoned")
+            .iter()
+            .any(|class| !class.is_empty())
+        {
             return true;
         }
         self.locals
@@ -319,7 +617,7 @@ impl RingExecutor {
             return Err(Error::NoWorkers);
         }
         let shared = Arc::new(Shared {
-            injector: Mutex::new(VecDeque::new()),
+            injector: Mutex::new(std::array::from_fn(|_| VecDeque::new())),
             locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             idle: Mutex::new(()),
             wake: Condvar::new(),
@@ -348,7 +646,10 @@ impl RingExecutor {
     /// Queues one product against `ring` and returns a handle to its
     /// eventual result. Operands are validated (length, coefficient
     /// range, representation) up front, so errors surface here rather
-    /// than inside the pool.
+    /// than inside the pool. The request's [`SubmitOptions`] govern its
+    /// injector class and deadline; a deadline already expired at
+    /// submit resolves the handle to [`Error::DeadlineExceeded`]
+    /// immediately, without queueing (and without running) anything.
     ///
     /// # Errors
     ///
@@ -364,6 +665,7 @@ impl RingExecutor {
         if request.op == PolyOp::Negacyclic && !ring.supports_negacyclic() {
             return Err(Error::NoNegacyclicSupport { n: ring.size() });
         }
+        let options = request.options;
         let a = ring.split(&request.a)?;
         let b = ring.split(&request.b)?;
         let channels = a.len();
@@ -381,18 +683,29 @@ impl RingExecutor {
             op: request.op,
             a,
             b,
+            deadline: options.deadline,
+            cancelled: AtomicBool::new(false),
             slots: Mutex::new(vec![None; channels]),
             remaining: AtomicUsize::new(channels),
             failed: AtomicBool::new(false),
+            first_error: Mutex::new(None),
             outcome: Mutex::new(None),
             done: Condvar::new(),
         });
-        self.shared
-            .injector
-            .lock()
-            .expect("injector poisoned")
+        if let Some(deadline) = options.deadline {
+            if Instant::now() >= deadline {
+                // Dead on arrival: resolve without touching the queues,
+                // so zero channels execute even on a saturated pool.
+                state.remaining.store(0, Ordering::Release);
+                *state.outcome.lock().expect("request outcome poisoned") =
+                    Some(Err(Error::DeadlineExceeded));
+                return Ok(RequestHandle { state });
+            }
+        }
+        self.shared.injector.lock().expect("injector poisoned")[options.priority.class()]
             .push_back(Task::Request(Arc::clone(&state)));
-        self.shared.notify();
+        // One queued item, one woken worker.
+        self.shared.notify_one();
         Ok(RequestHandle { state })
     }
 
@@ -400,23 +713,65 @@ impl RingExecutor {
     /// submission order. All requests are injected before the first
     /// wait, so the pool sees the full `channels × batch` work list at
     /// once.
+    ///
+    /// # Errors
+    ///
+    /// The first error — at submit (validation) or at wait (a channel
+    /// failure, or a request shed by its deadline or cancelled from
+    /// another thread). Since the whole batch fails as one, the other
+    /// requests of the batch are cancelled (via the cooperative
+    /// cancellation path) and drained before this returns, so a failed
+    /// batch leaves the pool idle instead of leaking orphaned work
+    /// whose results nobody collects.
     pub fn serve(
         &self,
         ring: &Arc<dyn PolyRing>,
         requests: Vec<PolymulRequest>,
     ) -> Result<Vec<Coefficients>, Error> {
-        let handles = requests
-            .into_iter()
-            .map(|r| self.submit(ring, r))
-            .collect::<Result<Vec<_>, _>>()?;
-        handles.into_iter().map(RequestHandle::wait).collect()
+        let mut handles = Vec::with_capacity(requests.len());
+        for request in requests {
+            match self.submit(ring, request) {
+                Ok(handle) => handles.push(handle),
+                Err(e) => {
+                    cancel_and_drain(handles);
+                    return Err(e);
+                }
+            }
+        }
+        let mut products = Vec::with_capacity(handles.len());
+        let mut pending = handles.into_iter();
+        for handle in pending.by_ref() {
+            match handle.wait() {
+                Ok(product) => products.push(product),
+                Err(e) => {
+                    // The rest of the batch is now pointless: nobody
+                    // will see its results, so shed it rather than let
+                    // it keep burning worker time behind our back.
+                    cancel_and_drain(pending.collect());
+                    return Err(e);
+                }
+            }
+        }
+        Ok(products)
+    }
+}
+
+/// Cancels every handle, then waits each out: when this returns, every
+/// task those requests had queued has been resolved (shed or finished)
+/// and none of the batch is left running in the pool.
+fn cancel_and_drain(handles: Vec<RequestHandle>) {
+    for handle in &handles {
+        handle.cancel();
+    }
+    for handle in handles {
+        let _ = handle.wait();
     }
 }
 
 impl Drop for RingExecutor {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
-        self.shared.notify();
+        self.shared.notify_all();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -458,6 +813,44 @@ mod tests {
             RingExecutor::new(0).unwrap_err(),
             Error::NoWorkers
         ));
+    }
+
+    #[test]
+    fn priority_classes_order_and_default() {
+        assert_eq!(Priority::default(), Priority::Normal);
+        assert!(Priority::High < Priority::Normal);
+        assert!(Priority::Normal < Priority::Low);
+        assert_eq!(Priority::ALL.map(|p| p.class()), [0, 1, 2]);
+        assert_eq!(Priority::High.to_string(), "high");
+    }
+
+    #[test]
+    fn submit_options_builders_compose() {
+        let opts = SubmitOptions::new();
+        assert_eq!(opts.priority, Priority::Normal);
+        assert!(opts.deadline.is_none());
+
+        let at = Instant::now() + Duration::from_secs(3600);
+        let opts = SubmitOptions::new().priority(Priority::Low).deadline(at);
+        assert_eq!(opts.priority, Priority::Low);
+        assert_eq!(opts.deadline, Some(at));
+
+        let req = PolymulRequest::new(
+            PolyOp::Cyclic,
+            vec![0_u128; 4].into(),
+            vec![0_u128; 4].into(),
+        );
+        assert_eq!(req.options, SubmitOptions::default());
+        let req = req.with_priority(Priority::High).with_deadline(at);
+        assert_eq!(req.options.priority, Priority::High);
+        assert_eq!(req.options.deadline, Some(at));
+        let req = req.with_options(SubmitOptions::new());
+        assert_eq!(req.options, SubmitOptions::default());
+
+        // The relative forms land in the future.
+        let before = Instant::now();
+        let timed = SubmitOptions::new().timeout(Duration::from_secs(60));
+        assert!(timed.deadline.unwrap() > before);
     }
 
     #[test]
@@ -562,6 +955,56 @@ mod tests {
         for (handle, want) in handles.into_iter().rev().zip(expected.into_iter().rev()) {
             assert_eq!(handle.wait().unwrap(), want);
         }
+    }
+
+    #[test]
+    fn mixed_priorities_all_complete_with_correct_results() {
+        // Correctness (not ordering — that needs a saturated 1-worker
+        // pool, covered by tests/executor_qos.rs): every class's product
+        // is bit-identical to the direct call.
+        let dyn_ring: Arc<dyn PolyRing> = Arc::new(Ring::auto(primes::Q124, N).unwrap());
+        let pool = RingExecutor::new(2).unwrap();
+        let mut handles = Vec::new();
+        let mut expected = Vec::new();
+        for (i, priority) in (0..12_u64).zip(Priority::ALL.into_iter().cycle()) {
+            let a = poly(N, primes::Q124, i * 2 + 31);
+            let b = poly(N, primes::Q124, i * 2 + 32);
+            expected.push(
+                dyn_ring
+                    .polymul(PolyOp::Cyclic, &a.clone().into(), &b.clone().into())
+                    .unwrap(),
+            );
+            handles.push(
+                pool.submit(
+                    &dyn_ring,
+                    PolymulRequest::new(PolyOp::Cyclic, a.into(), b.into()).with_priority(priority),
+                )
+                .unwrap(),
+            );
+        }
+        for (handle, want) in handles.into_iter().zip(expected) {
+            assert_eq!(handle.wait().unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn expired_deadline_resolves_without_queueing() {
+        let dyn_ring: Arc<dyn PolyRing> = Arc::new(Ring::auto(primes::Q124, N).unwrap());
+        let pool = RingExecutor::new(1).unwrap();
+        let a = poly(N, primes::Q124, 3);
+        let handle = pool
+            .submit(
+                &dyn_ring,
+                PolymulRequest::new(PolyOp::Cyclic, a.clone().into(), a.into())
+                    .with_deadline(Instant::now()),
+            )
+            .unwrap();
+        // Resolved synchronously at submit: no worker involved.
+        assert!(handle.is_finished());
+        assert!(matches!(
+            handle.wait().unwrap_err(),
+            Error::DeadlineExceeded
+        ));
     }
 
     #[test]

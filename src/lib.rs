@@ -26,7 +26,11 @@
 //! * [`PolyRing`] — the object-safe trait unifying both ring kinds, so
 //!   callers are generic over single- and multi-modulus rings;
 //! * [`RingExecutor`] — a work-stealing thread-pool serving queues of
-//!   polymul requests against any shared `Arc<dyn PolyRing>`;
+//!   polymul requests against any shared `Arc<dyn PolyRing>`, with
+//!   serving QoS: [`Priority`] classes drained strictly
+//!   High → Normal → Low, per-request deadlines shed at dequeue, and
+//!   cooperative cancellation ([`SubmitOptions`] /
+//!   [`RequestHandle::cancel`]);
 //! * [`plan_cache`] — the keyed (optionally capacity-bounded) NTT-plan
 //!   cache behind every ring open.
 //!
@@ -95,7 +99,7 @@ mod scratch;
 
 pub use backend::{Backend, Tier};
 pub use error::Error;
-pub use executor::{PolymulRequest, RequestHandle, RingExecutor};
+pub use executor::{PolymulRequest, Priority, RequestHandle, RingExecutor, SubmitOptions};
 pub use plan_cache::PlanCache;
 pub use poly::{Coefficients, PolyOp, PolyRing};
 pub use ring::{Ring, RingBuilder};

@@ -2,14 +2,15 @@
 //! memoized determinism, the `MQX_BACKEND` pin, the `MQX_CALIBRATE=off`
 //! static fallback, and the winner invariants.
 //!
-//! Environment-variable scenarios live in one sequential test
-//! (`env_overrides_round_trip`): the process environment is shared
-//! across the parallel test threads, so every test in this binary that
-//! can *read* the environment — auto builds, `select(None)`, and any
-//! first touch of `backend::calibration()` (whose init reads
-//! `MQX_CALIBRATE`) — takes [`ENV_LOCK`] while
-//! `env_overrides_round_trip` mutates `MQX_BACKEND` (concurrent
-//! getenv/setenv is undefined behavior on glibc). The remaining tests
+//! Environment-variable scenarios are serialized under one lock: the
+//! process environment is shared across the parallel test threads, so
+//! every test in this binary that can *read* the environment — auto
+//! builds, `select(None)`, and any first touch of
+//! `backend::calibration()` (whose init reads `MQX_CALIBRATE`) — takes
+//! [`ENV_LOCK`] while `env_overrides_round_trip` and
+//! `calibrate_toggle_round_trips_forgiving_spellings` mutate
+//! `MQX_BACKEND` / `MQX_CALIBRATE` (concurrent getenv/setenv is
+//! undefined behavior on glibc). The remaining tests
 //! use only the parameterized `calibrate::run` entry point, which
 //! takes the rule explicitly and never consults the environment.
 
@@ -142,6 +143,20 @@ fn env_overrides_round_trip() {
     let rns = RnsRing::auto(2, 64).expect("pinned RNS build");
     assert_eq!(rns.backend_names(), ["portable", "portable"]);
 
+    // Shell-quoting artifacts must not break the pin: surrounding
+    // whitespace is trimmed before the registry lookup.
+    std::env::set_var("MQX_BACKEND", " portable ");
+    let ring = Ring::auto(primes::Q124, 64).expect("whitespace-padded pin");
+    assert_eq!(ring.backend().name(), "portable");
+
+    // An all-whitespace value counts as unset, like the empty string.
+    std::env::set_var("MQX_BACKEND", "   ");
+    let ring = Ring::auto(primes::Q124, 64).expect("blank pin is unset");
+    assert_eq!(
+        ring.backend().name(),
+        backend::calibration().winner().name()
+    );
+
     std::env::set_var("MQX_BACKEND", "not-a-backend");
     match Ring::auto(primes::Q124, 64).unwrap_err() {
         Error::UnknownBackend { name, available } => {
@@ -161,6 +176,40 @@ fn env_overrides_round_trip() {
         ring.backend().name(),
         backend::calibration().winner().name()
     );
+}
+
+#[test]
+fn calibrate_toggle_round_trips_forgiving_spellings() {
+    // `calibration_enabled` reads the environment on every call (the
+    // process memo consults it once, at first use), so the parsing
+    // round-trips directly. Holds the lock: it reads what the other
+    // env tests write.
+    let _guard = env_lock();
+    let prior = std::env::var("MQX_CALIBRATE").ok();
+
+    for disabled in [
+        "off", "OFF", "Off", " off ", "0", "false", "FALSE", " False ",
+    ] {
+        std::env::set_var("MQX_CALIBRATE", disabled);
+        assert!(
+            !calibrate::calibration_enabled(),
+            "{disabled:?} must disable calibration"
+        );
+    }
+    for enabled in ["on", "1", "true", "", "  ", "anything-else"] {
+        std::env::set_var("MQX_CALIBRATE", enabled);
+        assert!(
+            calibrate::calibration_enabled(),
+            "{enabled:?} must leave calibration on"
+        );
+    }
+    std::env::remove_var("MQX_CALIBRATE");
+    assert!(calibrate::calibration_enabled(), "unset leaves it on");
+
+    match prior {
+        Some(value) => std::env::set_var("MQX_CALIBRATE", value),
+        None => std::env::remove_var("MQX_CALIBRATE"),
+    }
 }
 
 #[test]

@@ -153,11 +153,11 @@ fn rns_scaling_covers_widening_moduli() {
 }
 
 #[test]
-fn serve_throughput_sweeps_worker_counts() {
-    let rows = mqx_bench::experiments::serve::run(quick());
-    let workers: Vec<usize> = rows.iter().map(|r| r.workers).collect();
+fn serve_throughput_sweeps_worker_counts_and_reports_qos() {
+    let report = mqx_bench::experiments::serve::run(quick());
+    let workers: Vec<usize> = report.sweep.iter().map(|r| r.workers).collect();
     assert_eq!(workers, vec![1, 2, 4], "quick-mode worker sweep");
-    for r in &rows {
+    for r in &report.sweep {
         assert_eq!(r.batch, 16, "quick-mode batch size");
         assert!(r.ns > 0.0 && r.ns_per_request > 0.0);
         assert!(
@@ -165,6 +165,22 @@ fn serve_throughput_sweeps_worker_counts() {
             "{r:?}"
         );
         assert!(!r.backend.is_empty());
+    }
+    // The QoS scenario: one row per priority class plus the deadline
+    // leg. Every request is accounted for (completed or shed) and the
+    // percentiles are ordered; actual class separation and shed counts
+    // are wall-clock properties, checked by the release-mode binary.
+    let scenarios: Vec<&str> = report.qos.iter().map(|r| r.scenario.as_str()).collect();
+    assert_eq!(scenarios, vec!["high", "normal", "low", "deadline"]);
+    for r in &report.qos {
+        assert!(r.requests > 0, "{r:?}");
+        assert_eq!(r.completed + r.shed, r.requests, "{r:?}");
+        if r.scenario != "deadline" {
+            assert_eq!(r.shed, 0, "no deadline ⇒ nothing shed: {r:?}");
+        }
+        if r.completed > 0 {
+            assert!(r.p50_ns > 0.0 && r.p50_ns <= r.p99_ns, "{r:?}");
+        }
     }
     // Structural only: wall-clock scaling with workers is too noisy
     // under the parallel test runner (and this CI box may have one
@@ -178,12 +194,10 @@ fn calibrate_reports_a_measured_ranking_and_winner() {
     // Honor the documented env overrides instead of assuming them
     // unset: MQX_CALIBRATE=off flips the process rule to "static" (the
     // experiment then re-measures for the table), and an MQX_BACKEND
-    // pin decouples `selected` from the measured winner.
-    let calibrate_off = matches!(
-        std::env::var("MQX_CALIBRATE").as_deref(),
-        Ok("off") | Ok("0")
-    );
-    let pinned = std::env::var("MQX_BACKEND").is_ok_and(|v| !v.is_empty());
+    // pin decouples `selected` from the measured winner. Both parse
+    // through the facade's own (trimmed, case-insensitive) rules.
+    let calibrate_off = !mqx::backend::calibrate::calibration_enabled();
+    let pinned = std::env::var("MQX_BACKEND").is_ok_and(|v| !v.trim().is_empty());
     assert_eq!(
         report.rule,
         if calibrate_off { "static" } else { "measured" }

@@ -189,6 +189,41 @@ fn executor_serves_rns_batches_bit_identical_to_sequential() {
     assert_eq!(served, sequential);
 }
 
+/// Single-item wakeups on a wide pool: each submit wakes one worker
+/// (`notify_one`, not a thundering herd), so a drip-fed stream of
+/// single requests across a 16-worker pool must never lose a wakeup —
+/// every handle resolves, interleaved with full-batch bursts.
+#[test]
+fn wide_pool_drip_fed_single_submits_never_lose_wakeups() {
+    const WIDE: usize = 16;
+    let ring: Arc<dyn PolyRing> = Arc::new(Ring::auto(primes::Q124, N).unwrap());
+    let pool = RingExecutor::new(WIDE).unwrap();
+
+    let a = poly(N, primes::Q124, 77);
+    let expected = ring
+        .polymul(PolyOp::Cyclic, &a.clone().into(), &a.clone().into())
+        .unwrap();
+    // Drip feed: one request at a time, waited immediately, so almost
+    // every submit finds all 16 workers asleep and must wake exactly
+    // the one that will run it.
+    for _ in 0..48 {
+        let handle = pool
+            .submit(
+                &ring,
+                PolymulRequest::new(PolyOp::Cyclic, a.clone().into(), a.clone().into()),
+            )
+            .unwrap();
+        assert_eq!(handle.wait().unwrap(), expected);
+    }
+    // Burst right after the drip: queued items outnumber wakeups per
+    // submit, so idle workers must still drain the backlog.
+    let requests: Vec<PolymulRequest> = (0..64)
+        .map(|_| PolymulRequest::new(PolyOp::Cyclic, a.clone().into(), a.clone().into()))
+        .collect();
+    let served = pool.serve(&ring, requests).unwrap();
+    assert!(served.iter().all(|p| *p == expected));
+}
+
 /// Submitting from several threads at once (the server front-end shape):
 /// every handle resolves to its own request's reference result.
 #[test]
