@@ -503,6 +503,90 @@ impl FheRnsNtt {
         self.crt.product()
     }
 
+    /// Coefficient-wise sum mod `Q` — the big-integer reference for the
+    /// executor's `Add` op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice's length differs from the transform size.
+    pub fn add(&self, a: &[BigUint], b: &[BigUint]) -> Vec<BigUint> {
+        assert_eq!(a.len(), self.n, "length must match the transform size");
+        assert_eq!(b.len(), self.n, "length must match the transform size");
+        let q = self.crt.product();
+        a.iter().zip(b).map(|(x, y)| x.add_mod(y, q)).collect()
+    }
+
+    /// Coefficient-wise difference mod `Q` — the big-integer reference
+    /// for the executor's `Sub` op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice's length differs from the transform size.
+    pub fn sub(&self, a: &[BigUint], b: &[BigUint]) -> Vec<BigUint> {
+        assert_eq!(a.len(), self.n, "length must match the transform size");
+        assert_eq!(b.len(), self.n, "length must match the transform size");
+        let q = self.crt.product();
+        a.iter().zip(b).map(|(x, y)| x.sub_mod(y, q)).collect()
+    }
+
+    /// Divide-and-round by the last channel modulus, the schoolbook way:
+    /// `round(x / q_last) mod Q′` with `Q′ = Q / q_last`, computed as
+    /// `⌊(x + ⌊q_last/2⌋) / q_last⌋` over full-width integers. This is
+    /// the reference the RNS-domain `Rescale` op must reproduce channel
+    /// by channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice's length differs from the transform size, the
+    /// basis has fewer than two channels, or any coefficient is at or
+    /// above the product modulus.
+    pub fn rescale(&self, a: &[BigUint]) -> Vec<BigUint> {
+        assert_eq!(a.len(), self.n, "length must match the transform size");
+        assert!(
+            self.channels() >= 2,
+            "rescale needs a channel to drop and one to keep"
+        );
+        let q_last = BigUint::from(*self.moduli().last().expect("non-empty basis"));
+        let half = BigUint::from(self.moduli().last().expect("non-empty basis") / 2);
+        let (reduced, _) = self.crt.product().div_rem(&q_last);
+        a.iter()
+            .map(|x| {
+                assert!(x < self.crt.product(), "coefficient out of range");
+                let (quot, _) = (x + &half).div_rem(&q_last);
+                let (_, rem) = quot.div_rem(&reduced);
+                rem
+            })
+            .collect()
+    }
+
+    /// Re-expresses each coefficient's residues in an arbitrary target
+    /// basis by direct big-integer reduction — one row per target
+    /// modulus. Serves as the oracle for RNS-domain `BasisExtend`, which
+    /// must land on the same residues without ever materializing the
+    /// big integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice's length differs from the transform size, any
+    /// target modulus is zero, or any coefficient is at or above the
+    /// product modulus.
+    pub fn basis_extend(&self, a: &[BigUint], targets: &[u128]) -> Vec<Vec<u128>> {
+        assert_eq!(a.len(), self.n, "length must match the transform size");
+        targets
+            .iter()
+            .map(|&p| {
+                assert!(p != 0, "target modulus must be non-zero");
+                let p_big = BigUint::from(p);
+                a.iter()
+                    .map(|x| {
+                        assert!(x < self.crt.product(), "coefficient out of range");
+                        (x % &p_big).to_u128().expect("word-sized residue")
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
     /// Cyclic product in `ℤ_Q[x]/(xⁿ − 1)` with `Q = ∏ q_i`: decompose,
     /// run the convolution theorem per channel (forward, point-wise
     /// multiply, inverse — all in division-based arithmetic), then
@@ -693,5 +777,83 @@ mod tests {
     #[should_panic(expected = "one root of unity per modulus")]
     fn rns_channel_mismatch_rejected() {
         let _ = FheRnsNtt::new(&[primes::Q30], 8, &[]);
+    }
+
+    fn two_channel_rns(n: usize) -> FheRnsNtt {
+        let moduli = [primes::Q62, primes::Q30];
+        let omegas: Vec<u128> = moduli
+            .iter()
+            .map(|&q| {
+                nt::root_of_unity(&Modulus::new_prime(q).unwrap(), n as u64).expect("root exists")
+            })
+            .collect();
+        FheRnsNtt::new(&moduli, n, &omegas)
+    }
+
+    fn coeffs(rns: &FheRnsNtt, seed: u64) -> Vec<BigUint> {
+        let mut state = seed;
+        (0..rns.size())
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1);
+                BigUint::from(state).mul_mod(&BigUint::from(state ^ 0x5555), rns.product())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn add_sub_roundtrip_mod_product() {
+        let rns = two_channel_rns(16);
+        let a = coeffs(&rns, 0x11);
+        let b = coeffs(&rns, 0x22);
+        let sum = rns.add(&a, &b);
+        for s in &sum {
+            assert!(s < rns.product());
+        }
+        assert_eq!(rns.sub(&sum, &b), a);
+        assert_eq!(rns.sub(&b, &b), vec![BigUint::zero(); 16]);
+    }
+
+    #[test]
+    fn rescale_is_divide_and_round() {
+        let rns = two_channel_rns(16);
+        let q_last = BigUint::from(primes::Q30);
+        let a = coeffs(&rns, 0x33);
+        let out = rns.rescale(&a);
+        let (reduced, _) = rns.product().div_rem(&q_last);
+        for (y, x) in out.iter().zip(&a) {
+            assert!(y < &reduced);
+            // Nearest integer to x/q_last, then reduced mod Q′.
+            let half = BigUint::from(primes::Q30 / 2);
+            let (quot, _) = (x + &half).div_rem(&q_last);
+            let (_, expected) = quot.div_rem(&reduced);
+            assert_eq!(y, &expected);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "channel to drop")]
+    fn rescale_needs_two_channels() {
+        let n = 8;
+        let q = primes::Q30;
+        let omega = nt::root_of_unity(&Modulus::new_prime(q).unwrap(), n as u64).unwrap();
+        let rns = FheRnsNtt::new(&[q], n, &[omega]);
+        let _ = rns.rescale(&vec![BigUint::zero(); n]);
+    }
+
+    #[test]
+    fn basis_extend_reduces_into_targets() {
+        let rns = two_channel_rns(8);
+        let a = coeffs(&rns, 0x44);
+        let targets = [primes::Q62, 97, (1 << 61) - 1];
+        let rows = rns.basis_extend(&a, &targets);
+        assert_eq!(rows.len(), targets.len());
+        for (row, &p) in rows.iter().zip(&targets) {
+            assert_eq!(row.len(), rns.size());
+            for (r, x) in row.iter().zip(&a) {
+                assert_eq!(*r, (x % &BigUint::from(p)).to_u128().unwrap());
+            }
+        }
     }
 }

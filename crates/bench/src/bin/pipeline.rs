@@ -1,0 +1,45 @@
+//! Mixed-op ciphertext pipeline replay: polymul→rescale→add chains
+//! (plus basis-extension tails) across the QoS priority classes,
+//! correctness-gated against sequential `apply`, with per-op and
+//! per-class latency percentiles. After the run, the written
+//! `pipeline_trace.json` artifact is read back and validated through
+//! `mqx_json`'s parser so CI catches a malformed artifact immediately.
+
+use mqx_json::Json;
+
+fn main() {
+    let quick = mqx_bench::quick_mode();
+    let report = mqx_bench::experiments::pipeline::run(quick);
+
+    // Validate the artifact end to end: the JSON the run produced must
+    // parse and carry the per-op/per-class percentile rows. Quick mode
+    // skips the file write, so validate the identical rendered bytes
+    // instead.
+    let rendered;
+    let (source, text) = if quick {
+        use mqx_json::ToJson;
+        rendered = report.to_json().pretty();
+        ("in-memory artifact", rendered.as_str())
+    } else {
+        rendered = std::fs::read_to_string("repro_results/pipeline_trace.json")
+            .expect("pipeline_trace.json was just written");
+        ("repro_results/pipeline_trace.json", rendered.as_str())
+    };
+    let parsed = Json::parse(text).expect("artifact must be valid JSON");
+    for key in ["per_op", "per_class"] {
+        let rows = parsed
+            .get(key)
+            .and_then(Json::as_arr)
+            .unwrap_or_else(|| panic!("artifact must carry `{key}` rows"));
+        assert!(!rows.is_empty(), "`{key}` must not be empty");
+        for row in rows {
+            for field in ["key", "requests", "p50_ns", "p99_ns"] {
+                assert!(
+                    row.get(field).is_some(),
+                    "`{key}` rows must carry `{field}`"
+                );
+            }
+        }
+    }
+    println!("[{source} parses: per-op and per-class percentile rows present]");
+}

@@ -1,0 +1,404 @@
+//! Mixed-op ciphertext pipeline replay: polymul→rescale→add chains
+//! (with a basis-extension tail on alternating chains) interleaved
+//! across the three QoS priority classes, served through the
+//! work-stealing `RingExecutor` on a shared `RnsRing`.
+//!
+//! Production FHE/ZK traffic is a graph of ring operations, not one
+//! verb: a keyswitching-style polymul is followed by a modulus rescale,
+//! ciphertext adds combine partial results, and basis extension feeds
+//! the next multiplication level. This experiment replays that shape
+//! two ways:
+//!
+//! 1. **Stage waves** — every chain's stage-`s` requests are served as
+//!    one mixed-priority batch via [`RingExecutor::serve`], and each
+//!    wave is asserted bit-identical to sequential
+//!    [`PolyRing::apply`] execution of the same trace (the acceptance
+//!    gate for the op vocabulary).
+//! 2. **Latency replay** — the full trace is resubmitted as standalone
+//!    requests, the entire batch submitted before any handle is
+//!    collected, with per-request completion latency recorded and
+//!    bucketed by op and by priority class.
+//!
+//! The artifact `pipeline_trace.json` carries per-op and per-class
+//! p50/p99 latency rows.
+
+use crate::experiments::serve::{drain, percentile};
+use crate::report::{fmt_ns, write_json, Table};
+use mqx::bignum::BigUint;
+use mqx::{
+    Coefficients, PolyOp, PolyRing, Priority, RequestHandle, RingExecutor, RingOp, RingRequest,
+    RnsRing,
+};
+use mqx_json::impl_to_json;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The ops the trace exercises, in bucket order.
+const OPS: [RingOp; 4] = [
+    RingOp::Polymul(PolyOp::Negacyclic),
+    RingOp::Rescale,
+    RingOp::Add,
+    RingOp::BasisExtend { extra_channels: 1 },
+];
+
+/// Latency percentiles for one bucket of the replayed trace (an op or
+/// a priority class).
+#[derive(Clone, Debug)]
+pub struct LatencyRow {
+    /// Bucket key: the op name (`polymul-negacyclic`, `rescale`, …) or
+    /// the class name (`high`/`normal`/`low`).
+    pub key: String,
+    /// Requests in this bucket.
+    pub requests: usize,
+    /// Median completion latency (ns from batch start).
+    pub p50_ns: f64,
+    /// 99th-percentile completion latency.
+    pub p99_ns: f64,
+}
+
+impl_to_json!(LatencyRow {
+    key,
+    requests,
+    p50_ns,
+    p99_ns,
+});
+
+/// The full pipeline artifact.
+#[derive(Clone, Debug)]
+pub struct PipelineReport {
+    /// Transform size `n`.
+    pub n: usize,
+    /// RNS channel count of the shared ring.
+    pub channels: usize,
+    /// Number of polymul→rescale→add chains in the trace.
+    pub chains: usize,
+    /// Total standalone requests in the latency replay.
+    pub trace_requests: usize,
+    /// Whether every executor wave matched sequential `apply` bit for
+    /// bit (the run panics before reporting `false`; the field makes
+    /// the gate visible in the artifact).
+    pub verified_bit_identical: bool,
+    /// Per-op latency percentiles, aggregated over classes.
+    pub per_op: Vec<LatencyRow>,
+    /// Per-class latency percentiles, aggregated over ops.
+    pub per_class: Vec<LatencyRow>,
+}
+
+impl_to_json!(PipelineReport {
+    n,
+    channels,
+    chains,
+    trace_requests,
+    verified_bit_identical,
+    per_op,
+    per_class,
+});
+
+/// One chain's working set: the stage inputs/outputs as computed by the
+/// sequential oracle.
+struct Chain {
+    priority: Priority,
+    a: Coefficients,
+    b: Coefficients,
+    c: Coefficients,
+    d: Coefficients,
+    p1: Coefficients,
+    p2: Coefficients,
+    r1: Coefficients,
+    r2: Coefficients,
+    sum: Coefficients,
+    extended: Option<Coefficients>,
+}
+
+fn big_poly(n: usize, product: &BigUint, state: &mut u64) -> Coefficients {
+    let coeffs: Vec<BigUint> = (0..n)
+        .map(|_| {
+            *state ^= *state << 13;
+            *state ^= *state >> 7;
+            *state ^= *state << 17;
+            let hi = BigUint::from(*state);
+            *state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
+            hi.mul_mod(&BigUint::from(*state), product)
+        })
+        .collect();
+    Coefficients::Big(coeffs)
+}
+
+/// Builds the trace and runs every chain sequentially through
+/// [`PolyRing::apply`] — the oracle the executor legs are gated
+/// against. Coefficients are drawn below `product`, the ring's product
+/// modulus.
+fn oracle_chains(
+    ring: &Arc<dyn PolyRing>,
+    product: &BigUint,
+    n: usize,
+    chains: usize,
+) -> Vec<Chain> {
+    let classes = [Priority::High, Priority::Normal, Priority::Low];
+    let mut state = 0x17E_u64;
+    (0..chains)
+        .map(|i| {
+            let a = big_poly(n, product, &mut state);
+            let b = big_poly(n, product, &mut state);
+            let c = big_poly(n, product, &mut state);
+            let d = big_poly(n, product, &mut state);
+            let mul = RingOp::Polymul(PolyOp::Negacyclic);
+            let p1 = ring.apply(&mul, &a, Some(&b)).expect("oracle polymul");
+            let p2 = ring.apply(&mul, &c, Some(&d)).expect("oracle polymul");
+            let r1 = ring
+                .apply(&RingOp::Rescale, &p1, None)
+                .expect("oracle rescale");
+            let r2 = ring
+                .apply(&RingOp::Rescale, &p2, None)
+                .expect("oracle rescale");
+            let sum = ring
+                .apply(&RingOp::Add, &r1, Some(&r2))
+                .expect("oracle add");
+            let extended = (i % 2 == 0).then(|| {
+                ring.apply(&RingOp::BasisExtend { extra_channels: 1 }, &sum, None)
+                    .expect("oracle basis extension")
+            });
+            Chain {
+                priority: classes[i % classes.len()],
+                a,
+                b,
+                c,
+                d,
+                p1,
+                p2,
+                r1,
+                r2,
+                sum,
+                extended,
+            }
+        })
+        .collect()
+}
+
+/// Serves each pipeline stage as one mixed-priority wave through
+/// [`RingExecutor::serve`] and asserts the wave matches the sequential
+/// oracle bit for bit.
+fn stage_waves(pool: &RingExecutor, ring: &Arc<dyn PolyRing>, chains: &[Chain]) {
+    // Stage 1: both polymuls of every chain.
+    let wave: Vec<RingRequest> = chains
+        .iter()
+        .flat_map(|ch| {
+            [
+                RingRequest::polymul(PolyOp::Negacyclic, ch.a.clone(), ch.b.clone())
+                    .with_priority(ch.priority),
+                RingRequest::polymul(PolyOp::Negacyclic, ch.c.clone(), ch.d.clone())
+                    .with_priority(ch.priority),
+            ]
+        })
+        .collect();
+    let served = pool.serve(ring, wave).expect("polymul wave");
+    let expected: Vec<&Coefficients> = chains.iter().flat_map(|ch| [&ch.p1, &ch.p2]).collect();
+    for (got, want) in served.iter().zip(expected) {
+        assert_eq!(got, want, "polymul wave must match sequential apply");
+    }
+
+    // Stage 2: rescales.
+    let wave: Vec<RingRequest> = chains
+        .iter()
+        .flat_map(|ch| {
+            [
+                RingRequest::rescale(ch.p1.clone()).with_priority(ch.priority),
+                RingRequest::rescale(ch.p2.clone()).with_priority(ch.priority),
+            ]
+        })
+        .collect();
+    let served = pool.serve(ring, wave).expect("rescale wave");
+    let expected: Vec<&Coefficients> = chains.iter().flat_map(|ch| [&ch.r1, &ch.r2]).collect();
+    for (got, want) in served.iter().zip(expected) {
+        assert_eq!(got, want, "rescale wave must match sequential apply");
+    }
+
+    // Stage 3: adds.
+    let wave: Vec<RingRequest> = chains
+        .iter()
+        .map(|ch| RingRequest::add(ch.r1.clone(), ch.r2.clone()).with_priority(ch.priority))
+        .collect();
+    let served = pool.serve(ring, wave).expect("add wave");
+    for (got, ch) in served.iter().zip(chains) {
+        assert_eq!(got, &ch.sum, "add wave must match sequential apply");
+    }
+
+    // Stage 4: basis extension on the chains that carry one.
+    let tail: Vec<(&Chain, &Coefficients)> = chains
+        .iter()
+        .filter_map(|ch| ch.extended.as_ref().map(|e| (ch, e)))
+        .collect();
+    let wave: Vec<RingRequest> = tail
+        .iter()
+        .map(|(ch, _)| RingRequest::basis_extend(ch.sum.clone(), 1).with_priority(ch.priority))
+        .collect();
+    let served = pool.serve(ring, wave).expect("basis-extension wave");
+    for (got, (_, want)) in served.iter().zip(&tail) {
+        assert_eq!(
+            got, *want,
+            "basis-extension wave must match sequential apply"
+        );
+    }
+}
+
+/// Replays the whole trace as standalone requests — the entire batch
+/// submitted before any handle is collected — and returns the sorted
+/// completion latencies bucketed by `(op, class)`.
+fn latency_replay(
+    pool: &RingExecutor,
+    ring: &Arc<dyn PolyRing>,
+    chains: &[Chain],
+) -> [Vec<f64>; 12] {
+    // (bucket, request, expected product) per trace entry, interleaved
+    // across chains so the injector sees mixed classes throughout.
+    let mut trace: Vec<(usize, RingRequest, &Coefficients)> = Vec::new();
+    for ch in chains {
+        let class = ch.priority as usize;
+        let bucket = |op_idx: usize| op_idx * Priority::ALL.len() + class;
+        trace.push((
+            bucket(0),
+            RingRequest::polymul(PolyOp::Negacyclic, ch.a.clone(), ch.b.clone())
+                .with_priority(ch.priority),
+            &ch.p1,
+        ));
+        trace.push((
+            bucket(0),
+            RingRequest::polymul(PolyOp::Negacyclic, ch.c.clone(), ch.d.clone())
+                .with_priority(ch.priority),
+            &ch.p2,
+        ));
+        trace.push((
+            bucket(1),
+            RingRequest::rescale(ch.p1.clone()).with_priority(ch.priority),
+            &ch.r1,
+        ));
+        trace.push((
+            bucket(1),
+            RingRequest::rescale(ch.p2.clone()).with_priority(ch.priority),
+            &ch.r2,
+        ));
+        trace.push((
+            bucket(2),
+            RingRequest::add(ch.r1.clone(), ch.r2.clone()).with_priority(ch.priority),
+            &ch.sum,
+        ));
+        if let Some(extended) = &ch.extended {
+            trace.push((
+                bucket(3),
+                RingRequest::basis_extend(ch.sum.clone(), 1).with_priority(ch.priority),
+                extended,
+            ));
+        }
+    }
+
+    let expected: Vec<&Coefficients> = trace.iter().map(|(_, _, want)| *want).collect();
+    let t0 = Instant::now();
+    let pending: Vec<Option<(usize, usize, RequestHandle)>> = trace
+        .into_iter()
+        .enumerate()
+        .map(|(i, (bucket, request, _))| {
+            let handle = pool.submit(ring, request).expect("valid trace request");
+            Some((bucket, i, handle))
+        })
+        .collect();
+    let (latencies, shed) = drain::<12>(pending, t0, |index, product| {
+        assert_eq!(
+            &product, expected[index],
+            "trace replay must match sequential apply"
+        );
+    });
+    assert_eq!(shed.iter().sum::<usize>(), 0, "no deadlines in the replay");
+    latencies
+}
+
+/// Builds the trace, runs the stage waves (correctness gate), replays
+/// the trace for latency, prints both tables, and writes
+/// `pipeline_trace.json`.
+pub fn run(quick: bool) -> PipelineReport {
+    let (n, chains_len, workers) = if quick { (256, 6, 2) } else { (2048, 12, 4) };
+    let channels = 3;
+    let concrete = RnsRing::auto(channels, n).expect("RNS ring");
+    let product = concrete.product_modulus().clone();
+    let ring: Arc<dyn PolyRing> = Arc::new(concrete);
+    let pool = RingExecutor::new(workers).expect("non-zero workers");
+
+    let chains = oracle_chains(&ring, &product, n, chains_len);
+    stage_waves(&pool, &ring, &chains);
+    let latencies = latency_replay(&pool, &ring, &chains);
+
+    let row = |key: String, samples: Vec<f64>| -> LatencyRow {
+        let mut sorted = samples;
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        LatencyRow {
+            key,
+            requests: sorted.len(),
+            p50_ns: percentile(&sorted, 0.50),
+            p99_ns: percentile(&sorted, 0.99),
+        }
+    };
+    let classes = Priority::ALL.len();
+    let per_op: Vec<LatencyRow> = OPS
+        .iter()
+        .enumerate()
+        .map(|(op_idx, op)| {
+            let samples = (0..classes)
+                .flat_map(|class| latencies[op_idx * classes + class].iter().copied())
+                .collect();
+            row(op.name().to_string(), samples)
+        })
+        .collect();
+    let per_class: Vec<LatencyRow> = Priority::ALL
+        .into_iter()
+        .map(|priority| {
+            let class = priority as usize;
+            let samples = (0..OPS.len())
+                .flat_map(|op_idx| latencies[op_idx * classes + class].iter().copied())
+                .collect();
+            row(priority.to_string(), samples)
+        })
+        .collect();
+
+    let trace_requests: usize = latencies.iter().map(Vec::len).sum();
+    let report = PipelineReport {
+        n,
+        channels,
+        chains: chains_len,
+        trace_requests,
+        verified_bit_identical: true,
+        per_op,
+        per_class,
+    };
+
+    let mut table = Table::new(
+        &format!("pipeline replay — per-op completion latency, {n}-point {channels}-channel ring"),
+        &["op", "requests", "p50", "p99"],
+    );
+    for r in &report.per_op {
+        table.row(&[
+            r.key.clone(),
+            r.requests.to_string(),
+            fmt_ns(r.p50_ns),
+            fmt_ns(r.p99_ns),
+        ]);
+    }
+    table.print();
+
+    let mut table = Table::new(
+        "pipeline replay — per-class completion latency, mixed-op trace",
+        &["class", "requests", "p50", "p99"],
+    );
+    for r in &report.per_class {
+        table.row(&[
+            r.key.clone(),
+            r.requests.to_string(),
+            fmt_ns(r.p50_ns),
+            fmt_ns(r.p99_ns),
+        ]);
+    }
+    table.print();
+
+    write_json("pipeline_trace", &report);
+    report
+}

@@ -121,7 +121,7 @@ fn requests(n: usize, batch: usize, seed: u64) -> Vec<PolymulRequest> {
 
 /// Nearest-rank percentile of an ascending-sorted sample; `0` for an
 /// empty one.
-fn percentile(sorted_ns: &[f64], p: f64) -> f64 {
+pub(crate) fn percentile(sorted_ns: &[f64], p: f64) -> f64 {
     if sorted_ns.is_empty() {
         return 0.0;
     }
@@ -129,10 +129,10 @@ fn percentile(sorted_ns: &[f64], p: f64) -> f64 {
     sorted_ns[idx]
 }
 
-/// Polls a set of class-tagged handles with `try_wait` until every one
-/// resolves, recording each request's completion latency from `t0`.
-/// Returns `(latencies per class, shed count per class)`.
-fn drain<const K: usize>(
+/// Polls a set of bucket-tagged handles with `try_wait` until every
+/// one resolves, recording each request's completion latency from
+/// `t0`. Returns `(latencies per bucket, shed count per bucket)`.
+pub(crate) fn drain<const K: usize>(
     mut pending: Vec<Option<(usize, usize, RequestHandle)>>,
     t0: Instant,
     mut on_product: impl FnMut(usize, mqx::Coefficients),
@@ -280,13 +280,25 @@ pub fn run(quick: bool) -> ServeReport {
             // tail) instead of `time_ntt`: the per-call request clone —
             // a fixed serial memcpy — must stay *outside* the timed
             // region or it flattens the very scaling this sweep
-            // measures.
+            // measures. Inside the timed region the whole batch is
+            // submitted before any handle is collected: a wait
+            // interleaved into the submit loop parks the caller on
+            // request `i` while requests `i+1..` sit unsubmitted, so
+            // the pool would drain one request deep no matter how many
+            // workers it has.
             let iters = if quick { 6 } else { 16 };
             let mut samples: Vec<f64> = (0..iters)
                 .map(|_| {
                     let batch_reqs = reqs.clone();
                     let t0 = Instant::now();
-                    let served = pool.serve(&ring, batch_reqs).expect("valid batch");
+                    let handles: Vec<RequestHandle> = batch_reqs
+                        .into_iter()
+                        .map(|r| pool.submit(&ring, r).expect("valid request"))
+                        .collect();
+                    let served: Vec<_> = handles
+                        .into_iter()
+                        .map(|h| h.wait().expect("served request"))
+                        .collect();
                     let dt = t0.elapsed().as_nanos() as f64;
                     std::hint::black_box(served);
                     dt

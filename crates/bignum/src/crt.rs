@@ -164,6 +164,50 @@ impl CrtContext {
     ///
     /// Panics if `residues.len() != self.channels()`.
     pub fn recombine(&self, residues: &[u128]) -> BigUint {
+        self.mixed_radix(residues).1
+    }
+
+    /// The Garner mixed-radix digits `v_0, …, v_{k−1}` of the value the
+    /// residues represent: `x = v_0 + v_1·m_0 + v_2·m_0·m_1 + …` with
+    /// each digit `v_i < m_i` (word-sized).
+    ///
+    /// This is [`recombine`](CrtContext::recombine) stopped one step
+    /// short of the final summation. The digits are the natural
+    /// interface for *basis extension*: re-expressing `x` modulo a new
+    /// coprime prime `p` is the word-level fold
+    /// `x mod p = Σ v_i · (prefix_i mod p) mod p` — no wide arithmetic
+    /// in the per-coefficient loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `residues.len() != self.channels()`.
+    pub fn digits(&self, residues: &[u128]) -> Vec<u128> {
+        self.mixed_radix(residues).0
+    }
+
+    /// `prefix_i = m_0 ⋯ m_{i−1}` reduced modulo `p` for every channel
+    /// — the fold table a basis extension precomputes per target
+    /// modulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is zero.
+    pub fn prefixes_mod(&self, p: u128) -> Vec<u128> {
+        assert!(p != 0, "fold modulus must be non-zero");
+        let big = BigUint::from(p);
+        self.prefixes
+            .iter()
+            .map(|prefix| {
+                (prefix % &big)
+                    .to_u128()
+                    .expect("residue of a u128 modulus fits")
+            })
+            .collect()
+    }
+
+    /// Shared Garner walk: returns the mixed-radix digits together with
+    /// the recombined value.
+    fn mixed_radix(&self, residues: &[u128]) -> (Vec<u128>, BigUint) {
         assert_eq!(
             residues.len(),
             self.channels(),
@@ -171,7 +215,9 @@ impl CrtContext {
         );
         // x accumulates the mixed-radix expansion
         // v_0 + v_1·m_0 + v_2·m_0·m_1 + …, each digit v_i < m_i.
+        let mut digits = Vec::with_capacity(residues.len());
         let mut x = &BigUint::from(residues[0]) % &self.big_moduli[0];
+        digits.push(x.to_u128().expect("digit below a u128 modulus fits"));
         let channels = residues
             .iter()
             .zip(&self.big_moduli)
@@ -183,8 +229,9 @@ impl CrtContext {
             // v_i = (r_i − x) · prefix[i]⁻¹ mod m_i.
             let digit = r.sub_mod(&(&x % m), m).mul_mod(inv, m);
             x = &x + &(&digit * prefix);
+            digits.push(digit.to_u128().expect("digit below a u128 modulus fits"));
         }
-        x
+        (digits, x)
     }
 }
 
@@ -307,6 +354,33 @@ mod tests {
         );
         let msg = CrtError::NotCoprime { i: 0, j: 1 }.to_string();
         assert!(msg.contains("not coprime"), "{msg}");
+    }
+
+    #[test]
+    fn digits_fold_to_residues_in_any_coprime_target() {
+        let moduli = [
+            4_611_686_018_427_387_847_u128, // largest 62-bit prime
+            1_073_741_789,                  // below 2^30
+            16_381,                         // below 2^14
+        ];
+        let ctx = CrtContext::new(&moduli).unwrap();
+        let x = &(&BigUint::from(u128::MAX) * &BigUint::from(987_654_321_u64)) % ctx.product();
+        let digits = ctx.digits(&ctx.to_residues(&x));
+        assert_eq!(digits.len(), 3);
+        for (d, m) in digits.iter().zip(&moduli) {
+            assert!(d < m, "digit {d} not below its radix {m}");
+        }
+        // The digits rebuild the value…
+        assert_eq!(ctx.recombine(&ctx.to_residues(&x)), x);
+        // …and fold to x mod p for a target prime outside the basis,
+        // using only the precomputed prefix table.
+        let p = 2_147_483_647_u128; // 2^31 − 1, coprime to the basis
+        let prefixes = ctx.prefixes_mod(p);
+        let folded = digits
+            .iter()
+            .zip(&prefixes)
+            .fold(0_u128, |acc, (&d, &pre)| (acc + (d % p) * pre % p) % p);
+        assert_eq!(BigUint::from(folded), &x % &BigUint::from(p));
     }
 
     #[test]

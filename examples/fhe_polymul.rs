@@ -15,7 +15,7 @@
 //! ```
 
 use mqx::bignum::BigUint;
-use mqx::{plan_cache, RnsRing};
+use mqx::{plan_cache, Coefficients, PolyOp, PolyRing, RingOp, RnsRing};
 use std::time::Instant;
 
 /// A toy RLWE "ciphertext": two polynomials (c0, c1) with big-integer
@@ -99,6 +99,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  d0[0] = {}", d0[0]);
     println!("  d1[0] = {}", d1[0]);
     println!("  d2[0] = {}", d2[0]);
+
+    // --- Ciphertext pipeline: polymul → rescale → add ------------------
+    // After a multiplication the ciphertext's scale has grown by one
+    // level; schemes drop the last RNS channel with a divide-and-round
+    // correction (`Rescale`) and keep computing over the reduced basis.
+    // The op vocabulary drives the whole chain through one `apply`
+    // surface — the same ops an executor serves as per-channel work
+    // items.
+    let t0 = Instant::now();
+    let product = ring.apply(
+        &RingOp::Polymul(PolyOp::Negacyclic),
+        &Coefficients::Big(ct_a.c0.clone()),
+        Some(&Coefficients::Big(ct_b.c0.clone())),
+    )?;
+    let rescaled = ring.apply(&RingOp::Rescale, &product, None)?;
+    let combined = ring.apply(&RingOp::Add, &rescaled, Some(&rescaled))?;
+    let chain_elapsed = t0.elapsed();
+    assert_eq!(product, Coefficients::Big(d0.clone()));
+    let q_last = *ring.moduli().last().expect("non-empty basis");
+    println!(
+        "\npipeline polymul → rescale → add at n = {n}: {chain_elapsed:?} \
+         (rescale dropped q = {q_last}, {} → {} channels)",
+        ring.channels(),
+        ring.channels() - 1
+    );
+    // Rescale is divide-and-round in residue arithmetic: pin the first
+    // coefficient against the big-integer definition.
+    let (expected, _) = (&d0[0] + &BigUint::from(q_last / 2)).div_rem(&BigUint::from(q_last));
+    if let Coefficients::Big(rescaled) = &rescaled {
+        assert_eq!(rescaled[0], expected);
+        println!(
+            "  round(d0[0]/q_last) = {} (residue-domain ≡ big-integer)",
+            rescaled[0]
+        );
+    }
+    if let Coefficients::Big(combined) = &combined {
+        println!("  (rescaled + rescaled)[0] = {}", combined[0]);
+    }
 
     // Cross-check one product against the O(n²) schoolbook over the
     // product modulus on a smaller instance (no NTT code shared).

@@ -110,6 +110,35 @@ pub enum Error {
         /// The ring's channel count.
         channels: usize,
     },
+    /// The requested [`RingOp`](crate::RingOp) is not supported by this
+    /// ring (e.g. `Rescale` needs at least two RNS channels, and a
+    /// single-modulus `Ring` has no channel structure to drop or
+    /// extend).
+    UnsupportedOp {
+        /// The rejected operation's name.
+        op: &'static str,
+        /// Why the ring rejected it.
+        reason: &'static str,
+    },
+    /// The number of operands does not match the operation's arity
+    /// (binary ops such as `Add` need two operands, unary ops such as
+    /// `Rescale` exactly one).
+    OperandCountMismatch {
+        /// The operation's name.
+        op: &'static str,
+        /// The arity the operation requires.
+        expected: usize,
+        /// The number of operands that were passed.
+        got: usize,
+    },
+    /// The two operands of a binary operation have different lengths;
+    /// rejected at submit instead of panicking inside a worker.
+    OperandLengthMismatch {
+        /// Length of the first operand.
+        a: usize,
+        /// Length of the second operand.
+        b: usize,
+    },
     /// The request was cancelled via
     /// [`RequestHandle::cancel`](crate::RequestHandle::cancel) before it
     /// finished executing; its remaining channels were skipped.
@@ -178,6 +207,17 @@ impl fmt::Display for Error {
             Error::ChannelOutOfRange { channel, channels } => write!(
                 f,
                 "channel index {channel} is out of range for a ring with {channels} channels"
+            ),
+            Error::UnsupportedOp { op, reason } => {
+                write!(f, "ring does not support the {op} operation: {reason}")
+            }
+            Error::OperandCountMismatch { op, expected, got } => write!(
+                f,
+                "the {op} operation takes {expected} operand(s) but was given {got}"
+            ),
+            Error::OperandLengthMismatch { a, b } => write!(
+                f,
+                "binary operation operands have mismatched lengths ({a} vs {b})"
             ),
             Error::Cancelled => write!(f, "request was cancelled before it finished executing"),
             Error::DeadlineExceeded => write!(
@@ -307,6 +347,29 @@ mod tests {
         };
         let msg = e.to_string();
         assert!(msg.contains('3') && msg.contains('2'), "{msg}");
+    }
+
+    #[test]
+    fn op_errors_are_actionable() {
+        let e = Error::UnsupportedOp {
+            op: "rescale",
+            reason: "needs at least two RNS channels",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("rescale") && msg.contains("two RNS"), "{msg}");
+        assert!(e.source().is_none());
+
+        let e = Error::OperandCountMismatch {
+            op: "add",
+            expected: 2,
+            got: 1,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("add") && msg.contains("2 operand"), "{msg}");
+
+        let e = Error::OperandLengthMismatch { a: 1024, b: 512 };
+        let msg = e.to_string();
+        assert!(msg.contains("1024") && msg.contains("512"), "{msg}");
     }
 
     #[test]

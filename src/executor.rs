@@ -1,7 +1,8 @@
 //! [`RingExecutor`]: a work-stealing thread-pool that serves queues of
-//! polynomial products against any shared [`PolyRing`], with
-//! serving-grade QoS — request priorities, deadlines, and cooperative
-//! cancellation.
+//! ring operations — the whole [`RingOp`] vocabulary: polymul, add,
+//! sub, modulus rescale, RNS basis extension — against any shared
+//! [`PolyRing`], with serving-grade QoS — request priorities,
+//! deadlines, and cooperative cancellation.
 //!
 //! The source paper's throughput argument is that CPUs close the gap to
 //! specialized hardware by keeping vector units saturated across *many
@@ -14,14 +15,18 @@
 //! plus one deque per worker, with idle workers stealing from busy
 //! ones.
 //!
-//! Each submitted request is fanned out through the ring's channel
-//! decomposition ([`PolyRing::split`]): a single-modulus [`Ring`] is
-//! one work item, a `k`-channel [`RnsRing`] becomes `k` independent
-//! word-sized items that different workers pick up — `channels × batch`
-//! items in flight for a batch, replacing the scoped threads `RnsRing`
-//! spawns per one-shot call. The worker that finishes a request's last
-//! channel performs the CRT join and wakes the caller's
-//! [`RequestHandle`].
+//! Each submitted request ([`RingRequest`], or a [`PolymulRequest`] for
+//! source compatibility) is fanned out through the ring's channel
+//! decomposition ([`PolyRing::split`] /
+//! [`PolyRing::op_output_channels`]): a single-modulus [`Ring`] is one
+//! work item, a `k`-channel [`RnsRing`] becomes one independent
+//! word-sized item per *output* channel (`k` for polymul/add/sub,
+//! `k − 1` for rescale, `k + extra` for basis extension) that different
+//! workers pick up — `channels × batch` items in flight for a batch,
+//! replacing the scoped threads `RnsRing` spawns per one-shot call. The
+//! worker that finishes a request's last channel performs the op's join
+//! ([`PolyRing::op_join`] — CRT recombination only for the ops that
+//! need it) and wakes the caller's [`RequestHandle`].
 //!
 //! # Quality of service
 //!
@@ -77,6 +82,7 @@
 //! ```
 
 use crate::error::Error;
+use crate::ops::RingOp;
 use crate::poly::{Coefficients, PolyOp, PolyRing};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -223,13 +229,133 @@ impl PolymulRequest {
     }
 }
 
+/// One queued ring operation: any [`RingOp`], its operand(s), and the
+/// scheduling [`SubmitOptions`]. The general form of
+/// [`PolymulRequest`] — which converts [`Into`] this type, so every
+/// existing polymul call site keeps working unchanged.
+///
+/// ```
+/// use mqx::{Priority, RingOp, RingRequest};
+/// use mqx::bignum::BigUint;
+///
+/// let x: Vec<BigUint> = (0..64_u64).map(BigUint::from).collect();
+/// let req = RingRequest::rescale(x.clone().into()).with_priority(Priority::High);
+/// assert_eq!(req.op(), &RingOp::Rescale);
+/// assert!(req.b().is_none());
+/// let ext = RingRequest::basis_extend(x.into(), 1);
+/// assert_eq!(ext.op(), &RingOp::BasisExtend { extra_channels: 1 });
+/// ```
+#[derive(Clone, Debug)]
+pub struct RingRequest {
+    op: RingOp,
+    a: Coefficients,
+    b: Option<Coefficients>,
+    options: SubmitOptions,
+}
+
+impl RingRequest {
+    /// Bundles an operation with its operand(s) and default scheduling.
+    /// Binary ops take `Some(b)`, unary ops `None` — checked against
+    /// the op's arity at submit.
+    pub fn new(op: RingOp, a: Coefficients, b: Option<Coefficients>) -> Self {
+        RingRequest {
+            op,
+            a,
+            b,
+            options: SubmitOptions::default(),
+        }
+    }
+
+    /// A polynomial product (cyclic or negacyclic).
+    pub fn polymul(op: PolyOp, a: Coefficients, b: Coefficients) -> Self {
+        RingRequest::new(RingOp::Polymul(op), a, Some(b))
+    }
+
+    /// A coefficient-wise modular addition.
+    pub fn add(a: Coefficients, b: Coefficients) -> Self {
+        RingRequest::new(RingOp::Add, a, Some(b))
+    }
+
+    /// A coefficient-wise modular subtraction (`a − b`).
+    pub fn sub(a: Coefficients, b: Coefficients) -> Self {
+        RingRequest::new(RingOp::Sub, a, Some(b))
+    }
+
+    /// A modulus rescale (drop the last RNS channel, divide-and-round).
+    pub fn rescale(a: Coefficients) -> Self {
+        RingRequest::new(RingOp::Rescale, a, None)
+    }
+
+    /// An RNS basis extension by `extra_channels` fresh coprime primes.
+    pub fn basis_extend(a: Coefficients, extra_channels: usize) -> Self {
+        RingRequest::new(RingOp::BasisExtend { extra_channels }, a, None)
+    }
+
+    /// The requested operation.
+    pub fn op(&self) -> &RingOp {
+        &self.op
+    }
+
+    /// The first operand.
+    pub fn a(&self) -> &Coefficients {
+        &self.a
+    }
+
+    /// The second operand, for binary ops.
+    pub fn b(&self) -> Option<&Coefficients> {
+        self.b.as_ref()
+    }
+
+    /// The scheduling options.
+    pub fn options(&self) -> SubmitOptions {
+        self.options
+    }
+
+    /// Replaces the scheduling options wholesale.
+    pub fn with_options(mut self, options: SubmitOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Sets the scheduling class.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.options.priority = priority;
+        self
+    }
+
+    /// Sets the absolute deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.options.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the deadline relative to now.
+    pub fn with_timeout(self, budget: Duration) -> Self {
+        self.with_deadline(Instant::now() + budget)
+    }
+}
+
+impl From<PolymulRequest> for RingRequest {
+    fn from(request: PolymulRequest) -> Self {
+        RingRequest {
+            op: RingOp::Polymul(request.op),
+            a: request.a,
+            b: Some(request.b),
+            options: request.options,
+        }
+    }
+}
+
 /// The shared state of one in-flight request: per-channel operands in,
 /// per-channel products out, joined by whichever worker finishes last.
 struct RequestState {
     ring: Arc<dyn PolyRing>,
-    op: PolyOp,
+    op: RingOp,
     a: Vec<Vec<u128>>,
-    b: Vec<Vec<u128>>,
+    b: Option<Vec<Vec<u128>>>,
+    /// Output-channel fan-out width (the number of work items) — for
+    /// basis-changing ops this differs from `a.len()`.
+    tasks: usize,
     /// Latest useful completion time; checked when a worker dequeues
     /// the request or one of its channels.
     deadline: Option<Instant>,
@@ -305,7 +431,7 @@ impl RequestState {
                         .iter_mut()
                         .map(|slot| slot.take().expect("every channel landed"))
                         .collect();
-                    self.ring.join(parts)
+                    self.ring.op_join(&self.op, parts)
                 }))
                 .unwrap_or(Err(Error::JoinPanicked))
             };
@@ -322,7 +448,7 @@ impl RequestState {
     /// Resolves every channel of a freshly dequeued (not yet fanned-out)
     /// request with `reason`, without running any kernel.
     fn resolve_shed(&self, reason: Error) {
-        for channel in 0..self.a.len() {
+        for channel in 0..self.tasks {
             self.finish_channel(channel, Err(reason.clone()));
         }
     }
@@ -340,7 +466,7 @@ pub struct RequestHandle {
 impl std::fmt::Debug for RequestHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RequestHandle")
-            .field("channels", &self.state.a.len())
+            .field("channels", &self.state.tasks)
             .field("finished", &self.is_finished())
             .finish()
     }
@@ -525,7 +651,7 @@ impl Shared {
         let result = catch_unwind(AssertUnwindSafe(|| {
             state
                 .ring
-                .channel_polymul(channel, state.op, &state.a[channel], &state.b[channel])
+                .channel_apply(&state.op, channel, &state.a, state.b.as_deref())
         }))
         .unwrap_or(Err(Error::ChannelPanicked { channel }));
         state.finish_channel(channel, result);
@@ -542,7 +668,7 @@ impl Shared {
                         state.resolve_shed(reason);
                         continue;
                     }
-                    let k = state.a.len();
+                    let k = state.tasks;
                     if k > 1 {
                         // Fan out: keep channel 0, expose the rest for
                         // stealing.
@@ -643,39 +769,76 @@ impl RingExecutor {
         self.workers.len()
     }
 
-    /// Queues one product against `ring` and returns a handle to its
-    /// eventual result. Operands are validated (length, coefficient
-    /// range, representation) up front, so errors surface here rather
-    /// than inside the pool. The request's [`SubmitOptions`] govern its
-    /// injector class and deadline; a deadline already expired at
-    /// submit resolves the handle to [`Error::DeadlineExceeded`]
-    /// immediately, without queueing (and without running) anything.
+    /// Queues one ring operation against `ring` and returns a handle to
+    /// its eventual result. Accepts anything [`Into`] a [`RingRequest`]
+    /// — a [`PolymulRequest`] included. Operands are validated (arity,
+    /// length, coefficient range, representation) up front, so errors
+    /// surface here rather than inside the pool. The request's
+    /// [`SubmitOptions`] govern its injector class and deadline; a
+    /// deadline already expired at submit resolves the handle to
+    /// [`Error::DeadlineExceeded`] immediately, without queueing (and
+    /// without running) anything.
     ///
     /// # Errors
     ///
     /// [`Error::NoNegacyclicSupport`] for a negacyclic request on a ring
-    /// without one, [`Error::ChannelCountMismatch`] for a `split` whose
-    /// decomposition is empty or uneven (a misbehaving [`PolyRing`]
-    /// impl), plus the [`PolyRing::split`] validation errors.
+    /// without one, [`Error::UnsupportedOp`] for an op the ring cannot
+    /// execute, [`Error::OperandCountMismatch`] when the operand count
+    /// does not match the op's arity, [`Error::OperandLengthMismatch`]
+    /// for unequal binary operands, [`Error::ChannelCountMismatch`] for
+    /// a `split` whose decomposition is empty or uneven (a misbehaving
+    /// [`PolyRing`] impl), plus the [`PolyRing::split`] validation
+    /// errors.
     pub fn submit(
         &self,
         ring: &Arc<dyn PolyRing>,
-        request: PolymulRequest,
+        request: impl Into<RingRequest>,
     ) -> Result<RequestHandle, Error> {
-        if request.op == PolyOp::Negacyclic && !ring.supports_negacyclic() {
+        let request: RingRequest = request.into();
+        if request.op == RingOp::Polymul(PolyOp::Negacyclic) && !ring.supports_negacyclic() {
             return Err(Error::NoNegacyclicSupport { n: ring.size() });
+        }
+        // Arity before anything touches the operands: binary ops need
+        // exactly two, unary ops exactly one.
+        let got = 1 + usize::from(request.b.is_some());
+        if got != request.op.arity() {
+            return Err(Error::OperandCountMismatch {
+                op: request.op.name(),
+                expected: request.op.arity(),
+                got,
+            });
+        }
+        // Mismatched binary operands are a submit-time error with a
+        // dedicated variant — never a panic inside a worker.
+        if let Some(b) = &request.b {
+            if request.a.len() != b.len() {
+                return Err(Error::OperandLengthMismatch {
+                    a: request.a.len(),
+                    b: b.len(),
+                });
+            }
         }
         let options = request.options;
         let a = ring.split(&request.a)?;
-        let b = ring.split(&request.b)?;
+        let b = request.b.as_ref().map(|b| ring.split(b)).transpose()?;
         let channels = a.len();
         // Defend against degenerate PolyRing impls: a zero-channel or
         // uneven split would wrap the remaining-channels counter (or
         // index out of range) and leave the handle waiting forever.
-        if channels == 0 || b.len() != channels {
+        if channels == 0 || b.as_ref().is_some_and(|b| b.len() != channels) {
             return Err(Error::ChannelCountMismatch {
                 expected: ring.channels().max(1),
-                got: channels.min(b.len()),
+                got: channels.min(b.as_ref().map_or(channels, Vec::len)),
+            });
+        }
+        // Fan-out width is the op's *output* channel count (≠ input
+        // channels for rescale / basis extension); resolving it here
+        // also rejects unsupported ops before anything is queued.
+        let tasks = ring.op_output_channels(&request.op)?;
+        if tasks == 0 {
+            return Err(Error::ChannelCountMismatch {
+                expected: ring.channels().max(1),
+                got: 0,
             });
         }
         let state = Arc::new(RequestState {
@@ -683,10 +846,11 @@ impl RingExecutor {
             op: request.op,
             a,
             b,
+            tasks,
             deadline: options.deadline,
             cancelled: AtomicBool::new(false),
-            slots: Mutex::new(vec![None; channels]),
-            remaining: AtomicUsize::new(channels),
+            slots: Mutex::new(vec![None; tasks]),
+            remaining: AtomicUsize::new(tasks),
             failed: AtomicBool::new(false),
             first_error: Mutex::new(None),
             outcome: Mutex::new(None),
@@ -726,7 +890,7 @@ impl RingExecutor {
     pub fn serve(
         &self,
         ring: &Arc<dyn PolyRing>,
-        requests: Vec<PolymulRequest>,
+        requests: Vec<impl Into<RingRequest>>,
     ) -> Result<Vec<Coefficients>, Error> {
         let mut handles = Vec::with_capacity(requests.len());
         for request in requests {
@@ -896,15 +1060,56 @@ mod tests {
     fn submit_validates_before_queueing() {
         let dyn_ring: Arc<dyn PolyRing> = Arc::new(Ring::auto(primes::Q124, N).unwrap());
         let pool = RingExecutor::new(1).unwrap();
-        // Wrong length.
+        // Wrong length (both operands agree, but not with the ring).
         let short = PolymulRequest::new(
+            PolyOp::Cyclic,
+            vec![0_u128; N - 1].into(),
+            vec![0_u128; N - 1].into(),
+        );
+        assert!(matches!(
+            pool.submit(&dyn_ring, short).unwrap_err(),
+            Error::LengthMismatch { .. }
+        ));
+        // Mismatched binary operands get the dedicated variant, before
+        // any split runs.
+        let uneven = PolymulRequest::new(
             PolyOp::Cyclic,
             vec![0_u128; N - 1].into(),
             vec![0_u128; N].into(),
         );
         assert!(matches!(
-            pool.submit(&dyn_ring, short).unwrap_err(),
-            Error::LengthMismatch { .. }
+            pool.submit(&dyn_ring, uneven).unwrap_err(),
+            Error::OperandLengthMismatch { a, b } if a == N - 1 && b == N
+        ));
+        // Arity mismatches: a unary op with two operands, a binary op
+        // with one.
+        let two_for_unary = RingRequest::new(
+            RingOp::Rescale,
+            vec![0_u128; N].into(),
+            Some(vec![0_u128; N].into()),
+        );
+        assert!(matches!(
+            pool.submit(&dyn_ring, two_for_unary).unwrap_err(),
+            Error::OperandCountMismatch {
+                op: "rescale",
+                expected: 1,
+                got: 2
+            }
+        ));
+        let one_for_binary = RingRequest::new(RingOp::Add, vec![0_u128; N].into(), None);
+        assert!(matches!(
+            pool.submit(&dyn_ring, one_for_binary).unwrap_err(),
+            Error::OperandCountMismatch {
+                op: "add",
+                expected: 2,
+                got: 1
+            }
+        ));
+        // An op the ring cannot execute is rejected before queueing.
+        let rescale_on_word = RingRequest::rescale(vec![0_u128; N].into());
+        assert!(matches!(
+            pool.submit(&dyn_ring, rescale_on_word).unwrap_err(),
+            Error::UnsupportedOp { op: "rescale", .. }
         ));
         // Wrong representation.
         let big = PolymulRequest::new(

@@ -25,11 +25,15 @@
 //!   recombination;
 //! * [`PolyRing`] — the object-safe trait unifying both ring kinds, so
 //!   callers are generic over single- and multi-modulus rings;
+//! * [`RingOp`] — the executor-facing ciphertext-pipeline vocabulary
+//!   (polymul, add, sub, modulus rescale, RNS basis extension), each op
+//!   decomposed into independent per-channel work items through the
+//!   [`PolyRing`] `channel_apply`/`op_join` contract;
 //! * [`RingExecutor`] — a work-stealing thread-pool serving queues of
-//!   polymul requests against any shared `Arc<dyn PolyRing>`, with
-//!   serving QoS: [`Priority`] classes drained strictly
-//!   High → Normal → Low, per-request deadlines shed at dequeue, and
-//!   cooperative cancellation ([`SubmitOptions`] /
+//!   [`RingRequest`]s (any [`RingOp`]) against any shared
+//!   `Arc<dyn PolyRing>`, with serving QoS: [`Priority`] classes drained
+//!   strictly High → Normal → Low, per-request deadlines shed at
+//!   dequeue, and cooperative cancellation ([`SubmitOptions`] /
 //!   [`RequestHandle::cancel`]);
 //! * [`plan_cache`] — the keyed (optionally capacity-bounded) NTT-plan
 //!   cache behind every ring open.
@@ -91,6 +95,7 @@
 pub mod backend;
 mod error;
 mod executor;
+mod ops;
 pub mod plan_cache;
 mod poly;
 mod ring;
@@ -99,7 +104,10 @@ mod scratch;
 
 pub use backend::{Backend, Tier};
 pub use error::Error;
-pub use executor::{PolymulRequest, Priority, RequestHandle, RingExecutor, SubmitOptions};
+pub use executor::{
+    PolymulRequest, Priority, RequestHandle, RingExecutor, RingRequest, SubmitOptions,
+};
+pub use ops::RingOp;
 pub use plan_cache::PlanCache;
 pub use poly::{Coefficients, PolyOp, PolyRing};
 pub use ring::{Ring, RingBuilder};

@@ -35,6 +35,7 @@
 //! ```
 
 use crate::error::Error;
+use crate::ops::RingOp;
 use mqx_bignum::BigUint;
 
 /// Which quotient ring a polynomial product runs in.
@@ -199,6 +200,137 @@ pub trait PolyRing: Send + Sync {
     /// running [`channel_polymul`](PolyRing::channel_polymul) on every
     /// channel) into coefficients in the ring's native representation.
     fn join(&self, channels: Vec<Vec<u128>>) -> Result<Coefficients, Error>;
+
+    /// Number of *output* channels a [`RingOp`] decomposes into — the
+    /// fan-out width a scheduler uses. Equal to [`channels`] for
+    /// basis-preserving ops; one less for [`RingOp::Rescale`]; larger
+    /// for [`RingOp::BasisExtend`].
+    ///
+    /// The default supports the basis-preserving ops and rejects the
+    /// basis-changing ones, matching the default
+    /// [`channel_apply`](PolyRing::channel_apply).
+    ///
+    /// [`channels`]: PolyRing::channels
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnsupportedOp`] when the ring cannot execute `op`.
+    fn op_output_channels(&self, op: &RingOp) -> Result<usize, Error> {
+        match op {
+            RingOp::Polymul(_) | RingOp::Add | RingOp::Sub => Ok(self.channels()),
+            _ => Err(Error::UnsupportedOp {
+                op: op.name(),
+                reason: "this ring only provides the basis-preserving ops",
+            }),
+        }
+    }
+
+    /// Runs one *output* channel of `op` over full channel-major operand
+    /// splits (as produced by [`split`](PolyRing::split)). Binary ops
+    /// take the second operand in `b`; unary ops pass `None`.
+    ///
+    /// Work items receive the *whole* split — not just their own channel
+    /// — because basis-changing ops need cross-channel inputs: a
+    /// [`RingOp::Rescale`] output channel reads the dropped last channel,
+    /// and a fresh [`RingOp::BasisExtend`] channel folds Garner digits of
+    /// every input channel. Like
+    /// [`channel_polymul`](PolyRing::channel_polymul), this is pure with
+    /// respect to the ring: safe to call for different channels
+    /// concurrently and in any order.
+    ///
+    /// The default delegates [`RingOp::Polymul`] to `channel_polymul`
+    /// and rejects everything else, so trait implementors that predate
+    /// the op vocabulary keep working unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnsupportedOp`] for ops the ring cannot execute,
+    /// [`Error::OperandCountMismatch`] when `b` does not match the op's
+    /// arity, [`Error::ChannelOutOfRange`] for a bad channel index, plus
+    /// the per-channel kernel errors.
+    fn channel_apply(
+        &self,
+        op: &RingOp,
+        channel: usize,
+        a: &[Vec<u128>],
+        b: Option<&[Vec<u128>]>,
+    ) -> Result<Vec<u128>, Error> {
+        match op {
+            RingOp::Polymul(p) => {
+                let b = b.ok_or(Error::OperandCountMismatch {
+                    op: op.name(),
+                    expected: 2,
+                    got: 1,
+                })?;
+                let ra = a.get(channel).ok_or(Error::ChannelOutOfRange {
+                    channel,
+                    channels: a.len(),
+                })?;
+                let rb = b.get(channel).ok_or(Error::ChannelOutOfRange {
+                    channel,
+                    channels: b.len(),
+                })?;
+                self.channel_polymul(channel, *p, ra, rb)
+            }
+            _ => Err(Error::UnsupportedOp {
+                op: op.name(),
+                reason: "this ring only provides the basis-preserving ops",
+            }),
+        }
+    }
+
+    /// Recombines the per-channel results of `op` (channel-major, one
+    /// entry per [`op_output_channels`](PolyRing::op_output_channels))
+    /// into coefficients — CRT recombination over the op's *output*
+    /// basis, which differs from the input basis for the basis-changing
+    /// ops.
+    ///
+    /// The default joins over the input basis, which is correct for
+    /// every basis-preserving op.
+    fn op_join(&self, op: &RingOp, channels: Vec<Vec<u128>>) -> Result<Coefficients, Error> {
+        let _ = op;
+        self.join(channels)
+    }
+
+    /// Whole-request convenience for any [`RingOp`]: validate arity and
+    /// operand lengths, split, run every output channel sequentially on
+    /// the calling thread, join. This is the sequential oracle the
+    /// executor's fan-out path is checked against.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::OperandCountMismatch`] when the operand count does not
+    /// match the op's arity, [`Error::OperandLengthMismatch`] for
+    /// unequal binary operands, plus the split/apply/join errors.
+    fn apply(
+        &self,
+        op: &RingOp,
+        a: &Coefficients,
+        b: Option<&Coefficients>,
+    ) -> Result<Coefficients, Error> {
+        let got = 1 + usize::from(b.is_some());
+        if got != op.arity() {
+            return Err(Error::OperandCountMismatch {
+                op: op.name(),
+                expected: op.arity(),
+                got,
+            });
+        }
+        if let Some(b) = b {
+            if a.len() != b.len() {
+                return Err(Error::OperandLengthMismatch {
+                    a: a.len(),
+                    b: b.len(),
+                });
+            }
+        }
+        let sa = self.split(a)?;
+        let sb = b.map(|b| self.split(b)).transpose()?;
+        let parts = (0..self.op_output_channels(op)?)
+            .map(|ch| self.channel_apply(op, ch, &sa, sb.as_deref()))
+            .collect::<Result<Vec<_>, _>>()?;
+        self.op_join(op, parts)
+    }
 
     /// Whole-request convenience: split both operands, run every
     /// channel sequentially on the calling thread, join.

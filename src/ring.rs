@@ -447,6 +447,81 @@ impl crate::PolyRing for Ring {
             channels.pop().expect("one channel"),
         ))
     }
+
+    fn op_output_channels(&self, op: &crate::RingOp) -> Result<usize, Error> {
+        use crate::RingOp;
+        match op {
+            RingOp::Polymul(_) | RingOp::Add | RingOp::Sub => Ok(1),
+            _ => Err(Error::UnsupportedOp {
+                op: op.name(),
+                reason: "a single-modulus ring has no RNS channel structure to drop or extend",
+            }),
+        }
+    }
+
+    fn channel_apply(
+        &self,
+        op: &crate::RingOp,
+        channel: usize,
+        a: &[Vec<u128>],
+        b: Option<&[Vec<u128>]>,
+    ) -> Result<Vec<u128>, Error> {
+        use crate::RingOp;
+        if channel != 0 {
+            return Err(Error::ChannelOutOfRange {
+                channel,
+                channels: 1,
+            });
+        }
+        let ra = a.first().ok_or(Error::ChannelCountMismatch {
+            expected: 1,
+            got: 0,
+        })?;
+        match op {
+            RingOp::Polymul(p) => {
+                let b = b.ok_or(Error::OperandCountMismatch {
+                    op: op.name(),
+                    expected: 2,
+                    got: 1,
+                })?;
+                let rb = b.first().ok_or(Error::ChannelCountMismatch {
+                    expected: 1,
+                    got: 0,
+                })?;
+                self.channel_polymul(0, *p, ra, rb)
+            }
+            RingOp::Add | RingOp::Sub => {
+                let b = b.ok_or(Error::OperandCountMismatch {
+                    op: op.name(),
+                    expected: 2,
+                    got: 1,
+                })?;
+                let rb = b.first().ok_or(Error::ChannelCountMismatch {
+                    expected: 1,
+                    got: 0,
+                })?;
+                if ra.len() != rb.len() {
+                    return Err(Error::OperandLengthMismatch {
+                        a: ra.len(),
+                        b: rb.len(),
+                    });
+                }
+                let sa = ResidueSoa::from_u128s(ra);
+                let sb = ResidueSoa::from_u128s(rb);
+                let mut out = ResidueSoa::zeros(ra.len());
+                if matches!(op, RingOp::Add) {
+                    self.vadd(&sa, &sb, &mut out);
+                } else {
+                    self.vsub(&sa, &sb, &mut out);
+                }
+                Ok(out.to_u128s())
+            }
+            _ => Err(Error::UnsupportedOp {
+                op: op.name(),
+                reason: "a single-modulus ring has no RNS channel structure to drop or extend",
+            }),
+        }
+    }
 }
 
 #[cfg(test)]

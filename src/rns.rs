@@ -42,13 +42,16 @@
 
 use crate::backend::{self, Backend};
 use crate::error::Error;
+use crate::ops::RingOp;
 use crate::plan_cache::{self, PlanCache};
 use crate::ring::{Ring, RingBuilder};
 use mqx_bignum::crt::CrtContext;
 use mqx_bignum::BigUint;
-use mqx_core::{primes, MulAlgorithm};
+use mqx_core::{primes, Modulus, MulAlgorithm};
+use mqx_simd::ResidueSoa;
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Default channel width for generated bases: the widest prime that
 /// still fits the 62-bit single-word fast path of the engine tiers.
@@ -254,8 +257,69 @@ impl RnsRingBuilder {
             rings,
             crt,
             n: self.n,
+            rescale: OnceLock::new(),
+            extend: Mutex::new(HashMap::new()),
         })
     }
+}
+
+/// Precomputed constants for [`RingOp::Rescale`]: built once per ring on
+/// first use and memoized (the same cached-constants discipline as
+/// [`PlanCache`] entries — pay the inversions at setup, never per
+/// coefficient).
+struct RescaleCtx {
+    /// `h = ⌊q_last / 2⌋` — the divide-and-round bias, reduced mod
+    /// `q_last`.
+    half: u128,
+    /// `h mod q_i` for every surviving channel `i < k − 1`.
+    half_mod: Vec<u128>,
+    /// `(q_last mod q_i)⁻¹ mod q_i` for every surviving channel.
+    q_inv: Vec<u128>,
+    /// Garner constants over the surviving basis `q_0, …, q_{k−2}` (the
+    /// op's output basis).
+    crt: CrtContext,
+}
+
+impl RescaleCtx {
+    fn new(ring: &RnsRing) -> Self {
+        let k = ring.channels();
+        debug_assert!(k >= 2, "rescale context needs a channel to drop");
+        let q_last = ring.moduli()[k - 1];
+        let half = q_last / 2;
+        let survivors = &ring.rings[..k - 1];
+        let half_mod = survivors.iter().map(|r| r.modulus().reduce(half)).collect();
+        let q_inv = survivors
+            .iter()
+            .map(|r| {
+                r.modulus()
+                    .inv_mod(q_last)
+                    .expect("pairwise-coprime basis makes q_last invertible in every channel")
+            })
+            .collect();
+        let crt = CrtContext::new(&ring.moduli()[..k - 1])
+            .expect("a prefix of a validated basis is a validated basis");
+        RescaleCtx {
+            half,
+            half_mod,
+            q_inv,
+            crt,
+        }
+    }
+}
+
+/// Precomputed constants for one [`RingOp::BasisExtend`] width: the
+/// generated extension primes, the per-target Garner prefix fold tables,
+/// and the extended-basis CRT constants. Cached per `extra_channels` in
+/// the ring (again the [`PlanCache`] discipline: keyed, built once,
+/// shared by every request).
+struct BasisExtendCtx {
+    /// Barrett contexts for the appended primes, in channel order.
+    extra: Vec<Modulus>,
+    /// `tables[t][i] = (m_0 ⋯ m_{i−1}) mod p_t` — the word-level fold
+    /// table for target prime `t` over the source basis digits.
+    tables: Vec<Vec<u128>>,
+    /// Garner constants over the extended basis (the op's output basis).
+    crt: CrtContext,
 }
 
 /// Picks a basis whose product spans at least `target_bits` bits: the
@@ -307,6 +371,11 @@ pub struct RnsRing {
     rings: Vec<Ring>,
     crt: CrtContext,
     n: usize,
+    /// Lazily-built [`RingOp::Rescale`] constants (valid once `k ≥ 2`).
+    rescale: OnceLock<RescaleCtx>,
+    /// Lazily-built [`RingOp::BasisExtend`] constants, keyed by
+    /// `extra_channels`.
+    extend: Mutex<HashMap<usize, Arc<BasisExtendCtx>>>,
 }
 
 impl fmt::Debug for RnsRing {
@@ -428,24 +497,7 @@ impl RnsRing {
     /// [`Error::LengthMismatch`] when any channel vector is not
     /// `n`-long.
     pub fn recombine(&self, channels: &[Vec<u128>]) -> Result<Vec<BigUint>, Error> {
-        if channels.len() != self.channels() {
-            return Err(Error::ChannelCountMismatch {
-                expected: self.channels(),
-                got: channels.len(),
-            });
-        }
-        for channel in channels {
-            self.check_len(channel.len())?;
-        }
-        let mut digits = vec![0_u128; self.channels()];
-        Ok((0..self.n)
-            .map(|j| {
-                for (digit, channel) in digits.iter_mut().zip(channels) {
-                    *digit = channel[j];
-                }
-                self.crt.recombine(&digits)
-            })
-            .collect())
+        recombine_with(&self.crt, channels, self.n)
     }
 
     /// Negacyclic product in `ℤ_Q[x]/(xⁿ + 1)` — the RLWE workhorse
@@ -510,6 +562,118 @@ impl RnsRing {
         let per_channel = results.into_iter().collect::<Result<Vec<_>, _>>()?;
         self.recombine(&per_channel)
     }
+
+    /// The rescale constants, built on first use. Errors when the basis
+    /// has no channel to drop.
+    fn rescale_ctx(&self) -> Result<&RescaleCtx, Error> {
+        if self.channels() < 2 {
+            return Err(Error::UnsupportedOp {
+                op: "rescale",
+                reason: "needs at least two RNS channels (one to drop, one to keep)",
+            });
+        }
+        Ok(self.rescale.get_or_init(|| RescaleCtx::new(self)))
+    }
+
+    /// The basis-extension constants for this width, built on first use
+    /// and cached per `extra_channels`.
+    fn basis_extend_ctx(&self, extra_channels: usize) -> Result<Arc<BasisExtendCtx>, Error> {
+        if extra_channels == 0 {
+            return Err(Error::UnsupportedOp {
+                op: "basis-extend",
+                reason: "needs at least one extra channel to extend into",
+            });
+        }
+        let mut cache = self.extend.lock().expect("basis-extension cache poisoned");
+        if let Some(ctx) = cache.get(&extra_channels) {
+            return Ok(Arc::clone(ctx));
+        }
+
+        // Fresh NTT primes for the appended channels: walk the same
+        // descending 62-bit chain the generated bases use, skipping any
+        // prime already in this basis. Each retry asks for a longer
+        // chain, so the walk either finds enough fresh primes or the
+        // chain itself runs out (→ BasisGeneration).
+        let two_adicity = self.n.trailing_zeros() + 1;
+        let mut want = self.channels() + extra_channels;
+        let fresh = loop {
+            let chain = primes::ntt_prime_chain(DEFAULT_BASIS_BITS, two_adicity, want).ok_or(
+                Error::BasisGeneration {
+                    bits: DEFAULT_BASIS_BITS,
+                    two_adicity,
+                    count: want,
+                },
+            )?;
+            let fresh: Vec<u128> = chain
+                .into_iter()
+                .filter(|q| !self.moduli().contains(q))
+                .collect();
+            if fresh.len() >= extra_channels {
+                break fresh[..extra_channels].to_vec();
+            }
+            want += extra_channels - fresh.len();
+        };
+
+        let mut extended = self.moduli().to_vec();
+        extended.extend_from_slice(&fresh);
+        let crt = CrtContext::new(&extended)?;
+        let tables = fresh.iter().map(|&p| self.crt.prefixes_mod(p)).collect();
+        let extra = fresh
+            .iter()
+            .map(|&p| Modulus::new(p).map_err(Error::from))
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let ctx = Arc::new(BasisExtendCtx { extra, tables, crt });
+        cache.insert(extra_channels, Arc::clone(&ctx));
+        Ok(ctx)
+    }
+
+    /// The basis a [`RingOp::BasisExtend`] with this width targets: the
+    /// ring's own primes followed by `extra_channels` freshly generated
+    /// coprime NTT primes (deterministic per ring — the constants are
+    /// cached, so every request extending by the same width lands in the
+    /// same basis).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnsupportedOp`] for a zero extension,
+    /// [`Error::BasisGeneration`] when the prime chain cannot supply
+    /// enough fresh primes.
+    pub fn extended_moduli(&self, extra_channels: usize) -> Result<Vec<u128>, Error> {
+        Ok(self.basis_extend_ctx(extra_channels)?.crt.moduli().to_vec())
+    }
+}
+
+/// Garner recombination of channel-major residues against an arbitrary
+/// basis context (the ring's own, or an op's output basis).
+fn recombine_with(
+    crt: &CrtContext,
+    channels: &[Vec<u128>],
+    n: usize,
+) -> Result<Vec<BigUint>, Error> {
+    if channels.len() != crt.channels() {
+        return Err(Error::ChannelCountMismatch {
+            expected: crt.channels(),
+            got: channels.len(),
+        });
+    }
+    for channel in channels {
+        if channel.len() != n {
+            return Err(Error::LengthMismatch {
+                expected: n,
+                got: channel.len(),
+            });
+        }
+    }
+    let mut digits = vec![0_u128; crt.channels()];
+    Ok((0..n)
+        .map(|j| {
+            for (digit, channel) in digits.iter_mut().zip(channels) {
+                *digit = channel[j];
+            }
+            crt.recombine(&digits)
+        })
+        .collect())
 }
 
 /// An [`RnsRing`] exposes its residue channels directly: `split` is CRT
@@ -560,6 +724,180 @@ impl crate::PolyRing for RnsRing {
 
     fn join(&self, channels: Vec<Vec<u128>>) -> Result<crate::Coefficients, Error> {
         self.recombine(&channels).map(crate::Coefficients::Big)
+    }
+
+    fn op_output_channels(&self, op: &RingOp) -> Result<usize, Error> {
+        match op {
+            RingOp::Polymul(_) | RingOp::Add | RingOp::Sub => Ok(self.channels()),
+            RingOp::Rescale => self.rescale_ctx().map(|ctx| ctx.crt.channels()),
+            RingOp::BasisExtend { extra_channels } => self
+                .basis_extend_ctx(*extra_channels)
+                .map(|ctx| ctx.crt.channels()),
+        }
+    }
+
+    fn channel_apply(
+        &self,
+        op: &RingOp,
+        channel: usize,
+        a: &[Vec<u128>],
+        b: Option<&[Vec<u128>]>,
+    ) -> Result<Vec<u128>, Error> {
+        let k = self.channels();
+        if a.len() != k {
+            return Err(Error::ChannelCountMismatch {
+                expected: k,
+                got: a.len(),
+            });
+        }
+        let binary = || {
+            let b = b.ok_or(Error::OperandCountMismatch {
+                op: op.name(),
+                expected: 2,
+                got: 1,
+            })?;
+            if b.len() != k {
+                return Err(Error::ChannelCountMismatch {
+                    expected: k,
+                    got: b.len(),
+                });
+            }
+            Ok(b)
+        };
+        match op {
+            RingOp::Polymul(p) => {
+                let b = binary()?;
+                let (ra, rb) =
+                    a.get(channel)
+                        .zip(b.get(channel))
+                        .ok_or(Error::ChannelOutOfRange {
+                            channel,
+                            channels: k,
+                        })?;
+                self.channel_polymul(channel, *p, ra, rb)
+            }
+            RingOp::Add | RingOp::Sub => {
+                let b = binary()?;
+                let ring = self.rings.get(channel).ok_or(Error::ChannelOutOfRange {
+                    channel,
+                    channels: k,
+                })?;
+                let (ra, rb) = (&a[channel], &b[channel]);
+                if ra.len() != rb.len() {
+                    return Err(Error::OperandLengthMismatch {
+                        a: ra.len(),
+                        b: rb.len(),
+                    });
+                }
+                let sa = ResidueSoa::from_u128s(ra);
+                let sb = ResidueSoa::from_u128s(rb);
+                let mut out = ResidueSoa::zeros(ra.len());
+                if matches!(op, RingOp::Add) {
+                    ring.vadd(&sa, &sb, &mut out);
+                } else {
+                    ring.vsub(&sa, &sb, &mut out);
+                }
+                Ok(out.to_u128s())
+            }
+            RingOp::Rescale => {
+                if b.is_some() {
+                    return Err(Error::OperandCountMismatch {
+                        op: op.name(),
+                        expected: 1,
+                        got: 2,
+                    });
+                }
+                let ctx = self.rescale_ctx()?;
+                if channel >= k - 1 {
+                    return Err(Error::ChannelOutOfRange {
+                        channel,
+                        channels: k - 1,
+                    });
+                }
+                let (ai, last) = (&a[channel], &a[k - 1]);
+                if ai.len() != last.len() {
+                    return Err(Error::LengthMismatch {
+                        expected: last.len(),
+                        got: ai.len(),
+                    });
+                }
+                // out = round(x / q_last) mod q_i, entirely word-level:
+                // with v = (x + h) mod q_last (computable from the last
+                // channel alone), round(x / q_last) = (x + h − v)/q_last,
+                // so out_i = (a_i + h − v) · q_last⁻¹ mod q_i.
+                let m_last = self.rings[k - 1].modulus();
+                let m_i = self.rings[channel].modulus();
+                let (h_i, q_inv) = (ctx.half_mod[channel], ctx.q_inv[channel]);
+                Ok(ai
+                    .iter()
+                    .zip(last)
+                    .map(|(&a_i, &a_last)| {
+                        let v = m_last.add_mod(a_last, ctx.half);
+                        let t = m_i.sub_mod(m_i.add_mod(a_i, h_i), m_i.reduce(v));
+                        m_i.mul_mod(t, q_inv)
+                    })
+                    .collect())
+            }
+            RingOp::BasisExtend { extra_channels } => {
+                if b.is_some() {
+                    return Err(Error::OperandCountMismatch {
+                        op: op.name(),
+                        expected: 1,
+                        got: 2,
+                    });
+                }
+                let n = a[0].len();
+                if let Some(bad) = a.iter().find(|ch| ch.len() != n) {
+                    return Err(Error::LengthMismatch {
+                        expected: n,
+                        got: bad.len(),
+                    });
+                }
+                // Channels inside the source basis pass through
+                // unchanged; fresh channels fold the Garner mixed-radix
+                // digits of each coefficient against the precomputed
+                // `prefix mod p_t` table — word arithmetic only.
+                if channel < k {
+                    return Ok(a[channel].clone());
+                }
+                let ctx = self.basis_extend_ctx(*extra_channels)?;
+                let t = channel - k;
+                let m_t = ctx.extra.get(t).ok_or(Error::ChannelOutOfRange {
+                    channel,
+                    channels: ctx.crt.channels(),
+                })?;
+                let table = &ctx.tables[t];
+                let mut residues = vec![0_u128; k];
+                Ok((0..n)
+                    .map(|j| {
+                        for (r, ch) in residues.iter_mut().zip(a) {
+                            *r = ch[j];
+                        }
+                        self.crt
+                            .digits(&residues)
+                            .iter()
+                            .zip(table)
+                            .fold(0_u128, |acc, (&d, &pre)| {
+                                m_t.add_mod(acc, m_t.mul_mod(m_t.reduce(d), pre))
+                            })
+                    })
+                    .collect())
+            }
+        }
+    }
+
+    fn op_join(&self, op: &RingOp, channels: Vec<Vec<u128>>) -> Result<crate::Coefficients, Error> {
+        match op {
+            RingOp::Rescale => {
+                let ctx = self.rescale_ctx()?;
+                recombine_with(&ctx.crt, &channels, self.n).map(crate::Coefficients::Big)
+            }
+            RingOp::BasisExtend { extra_channels } => {
+                let ctx = self.basis_extend_ctx(*extra_channels)?;
+                recombine_with(&ctx.crt, &channels, self.n).map(crate::Coefficients::Big)
+            }
+            _ => self.join(channels),
+        }
     }
 }
 

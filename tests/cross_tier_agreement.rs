@@ -206,6 +206,82 @@ fn calibrated_auto_pick_agrees_with_portable() {
     );
 }
 
+/// The op-vocabulary agreement check: every consumable backend tier
+/// must produce bit-identical `Add` and `Rescale` outputs — the word
+/// ring's vector-add path dispatches through the pinned backend, and
+/// the RNS rescale runs per channel over backend-opened rings.
+#[test]
+fn every_backend_tier_agrees_on_add_and_rescale() {
+    use mqx::bignum::BigUint;
+    use mqx::{Coefficients, PolyRing, RingOp, RnsRingBuilder};
+
+    // Word-ring Add across every consumable tier vs portable.
+    let (a, b) = workload(primes::Q124);
+    let a_c = Coefficients::Word(a);
+    let b_c = Coefficients::Word(b);
+    let portable = Ring::with_backend_name(primes::Q124, N, "portable").unwrap();
+    let reference_add = portable.apply(&RingOp::Add, &a_c, Some(&b_c)).unwrap();
+    for backend in backend::available() {
+        if !backend.consumable() {
+            continue;
+        }
+        let name = backend.name();
+        let ring = Ring::with_backend(primes::Q124, N, backend).unwrap();
+        assert_eq!(
+            ring.apply(&RingOp::Add, &a_c, Some(&b_c)).unwrap(),
+            reference_add,
+            "{name} word add"
+        );
+    }
+
+    // RNS Add + Rescale: the same two-channel basis pinned per tier.
+    let basis = [primes::Q62, primes::Q30];
+    let rns = |name: &str| {
+        RnsRingBuilder::new(N)
+            .moduli(&basis)
+            .backend_name(name)
+            .build()
+            .unwrap()
+    };
+    let portable_rns = rns("portable");
+    let product = portable_rns.product_modulus().clone();
+    let coeffs = |seed: u64| -> Coefficients {
+        let mut state = seed;
+        Coefficients::Big(
+            (0..N)
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    BigUint::from(u128::from(state))
+                        .mul_mod(&BigUint::from(u128::from(!state)), &product)
+                })
+                .collect::<Vec<BigUint>>(),
+        )
+    };
+    let ra = coeffs(0xC0FFEE);
+    let rb = coeffs(0xF00D);
+    let reference_add = portable_rns.apply(&RingOp::Add, &ra, Some(&rb)).unwrap();
+    let reference_rescale = portable_rns.apply(&RingOp::Rescale, &ra, None).unwrap();
+    for backend in backend::available() {
+        if !backend.consumable() {
+            continue;
+        }
+        let name = backend.name();
+        let ring = rns(name);
+        assert_eq!(
+            ring.apply(&RingOp::Add, &ra, Some(&rb)).unwrap(),
+            reference_add,
+            "{name} rns add"
+        );
+        assert_eq!(
+            ring.apply(&RingOp::Rescale, &ra, None).unwrap(),
+            reference_rescale,
+            "{name} rns rescale"
+        );
+    }
+}
+
 #[test]
 fn two_field_crt_consistency() {
     // RNS invariant, now through the sharded front door: an `RnsRing`

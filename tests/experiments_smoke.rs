@@ -189,6 +189,32 @@ fn serve_throughput_sweeps_worker_counts_and_reports_qos() {
 }
 
 #[test]
+fn pipeline_replay_buckets_every_op_and_class() {
+    let report = mqx_bench::experiments::pipeline::run(quick());
+    assert!(report.verified_bit_identical);
+    assert_eq!(report.channels, 3);
+    // One row per op and per class, each with consistent percentiles.
+    let op_keys: Vec<&str> = report.per_op.iter().map(|r| r.key.as_str()).collect();
+    assert_eq!(
+        op_keys,
+        ["polymul-negacyclic", "rescale", "add", "basis-extend"]
+    );
+    let class_keys: Vec<&str> = report.per_class.iter().map(|r| r.key.as_str()).collect();
+    assert_eq!(class_keys, ["high", "normal", "low"]);
+    for r in report.per_op.iter().chain(&report.per_class) {
+        assert!(r.requests > 0, "{r:?}");
+        assert!(r.p50_ns > 0.0 && r.p50_ns <= r.p99_ns, "{r:?}");
+    }
+    // Both groupings bucket the same trace.
+    let by_op: usize = report.per_op.iter().map(|r| r.requests).sum();
+    let by_class: usize = report.per_class.iter().map(|r| r.requests).sum();
+    assert_eq!(by_op, report.trace_requests);
+    assert_eq!(by_class, report.trace_requests);
+    // Bit-identity vs sequential execution is asserted inside run();
+    // latency ordering across classes is left to the release binary.
+}
+
+#[test]
 fn calibrate_reports_a_measured_ranking_and_winner() {
     let report = mqx_bench::experiments::calibrate::run(quick());
     // Honor the documented env overrides instead of assuming them
