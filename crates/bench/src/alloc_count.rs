@@ -1,0 +1,71 @@
+//! Bench-only counting allocator: measures bytes and calls allocated
+//! per served request, so the `pipeline` experiment can report whether
+//! the serving path is actually allocation-free in steady state.
+//!
+//! The counter is compiled in only under the `alloc-count` feature —
+//! installing a `#[global_allocator]` affects the whole binary, so the
+//! default build keeps the system allocator untouched and the
+//! `pipeline` artifact flags its allocation rows as not-counted.
+
+#[cfg(feature = "alloc-count")]
+mod imp {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static BYTES: AtomicU64 = AtomicU64::new(0);
+    static CALLS: AtomicU64 = AtomicU64::new(0);
+
+    /// [`System`] with relaxed counters on every allocating entry
+    /// point. Deallocation is not tracked: the report measures
+    /// allocation pressure, not live footprint.
+    struct CountingAlloc;
+
+    // SAFETY: delegates every operation to `System` unchanged; the
+    // counters are side effects only.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            CALLS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            CALLS.fetch_add(1, Ordering::Relaxed);
+            System.alloc_zeroed(layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            let grown = new_size.saturating_sub(layout.size());
+            BYTES.fetch_add(grown as u64, Ordering::Relaxed);
+            CALLS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    #[global_allocator]
+    static COUNTING: CountingAlloc = CountingAlloc;
+
+    pub fn snapshot() -> Option<(u64, u64)> {
+        Some((BYTES.load(Ordering::Relaxed), CALLS.load(Ordering::Relaxed)))
+    }
+}
+
+#[cfg(not(feature = "alloc-count"))]
+mod imp {
+    pub fn snapshot() -> Option<(u64, u64)> {
+        None
+    }
+}
+
+/// Cumulative `(bytes_allocated, allocation_calls)` since process
+/// start, or `None` when the binary was built without the
+/// `alloc-count` feature. Subtract two snapshots to attribute
+/// allocation pressure to a region of code.
+pub fn snapshot() -> Option<(u64, u64)> {
+    imp::snapshot()
+}

@@ -1,5 +1,23 @@
 //! Backend auto-tuning calibration: the measured ns/butterfly ranking
 //! behind `Ring::auto`, as a reproducible JSON artifact.
+//!
+//! Exits non-zero if the lazy-reduction fused polymul path measures
+//! more than 10% slower than the canonical path on any tier — the
+//! fused pipeline is the default, so a regression there must fail CI
+//! loudly instead of shipping a slower default.
 fn main() {
-    mqx_bench::experiments::calibrate::run(mqx_bench::quick_mode());
+    let report = mqx_bench::experiments::calibrate::run(mqx_bench::quick_mode());
+    let regressions: Vec<&str> = report
+        .lazy
+        .iter()
+        .filter(|row| row.regression)
+        .map(|row| row.name.as_str())
+        .collect();
+    if !regressions.is_empty() {
+        eprintln!(
+            "error: lazy fused polymul ranked >10% slower than canonical on: {}",
+            regressions.join(", ")
+        );
+        std::process::exit(1);
+    }
 }

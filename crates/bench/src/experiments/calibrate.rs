@@ -15,6 +15,9 @@
 
 use crate::report::{fmt_ns, write_json, Table};
 use mqx::backend::{self, calibrate};
+use mqx::core::{primes, Modulus};
+use mqx::ntt::NttPlan;
+use mqx::simd::ResidueSoa;
 use mqx_json::impl_to_json;
 
 /// One backend's calibration measurement.
@@ -46,6 +49,43 @@ impl_to_json!(CalibrateRow {
     winner,
 });
 
+/// Lazy-vs-canonical polymul pipeline comparison for one backend: the
+/// ns/butterfly delta the lazy-reduction fused path buys on this tier.
+#[derive(Clone, Debug)]
+pub struct LazyRow {
+    /// Registry name of the measured backend.
+    pub name: String,
+    /// The backend's vector tier.
+    pub tier: String,
+    /// Median ns/butterfly of a full cyclic polymul through the
+    /// canonical per-stage-reduced path.
+    pub canonical_ns_per_butterfly: f64,
+    /// Median ns/butterfly of the same polymul through the
+    /// lazy-reduction fused path (Shoup butterflies, 2q/4q domains).
+    pub lazy_ns_per_butterfly: f64,
+    /// `canonical / lazy` — above 1.0 means the lazy path is faster.
+    pub speedup: f64,
+    /// Whether the lazy path measured more than [`LAZY_REGRESSION_MARGIN`]
+    /// slower than canonical on this tier (a result the `calibrate` bin
+    /// turns into a non-zero exit).
+    pub regression: bool,
+}
+
+impl_to_json!(LazyRow {
+    name,
+    tier,
+    canonical_ns_per_butterfly,
+    lazy_ns_per_butterfly,
+    speedup,
+    regression,
+});
+
+/// A lazy measurement above `canonical × this` counts as a regression:
+/// the fused pipeline exists to be faster, so "more than 10% slower"
+/// fails the `calibrate` bin loudly instead of shipping a silently
+/// slower default path.
+pub const LAZY_REGRESSION_MARGIN: f64 = 1.10;
+
 /// The full calibration artifact.
 #[derive(Clone, Debug)]
 pub struct CalibrateReport {
@@ -61,6 +101,9 @@ pub struct CalibrateReport {
     pub ranking: Vec<String>,
     /// Per-backend measurements, registry order.
     pub backends: Vec<CalibrateRow>,
+    /// Lazy-vs-canonical polymul pipeline deltas, one row per
+    /// consumable backend (same registry order as `backends`).
+    pub lazy: Vec<LazyRow>,
 }
 
 impl_to_json!(CalibrateReport {
@@ -69,6 +112,7 @@ impl_to_json!(CalibrateReport {
     winner,
     ranking,
     backends,
+    lazy,
 });
 
 /// Reports the process calibration (running a fresh measured pass when
@@ -152,13 +196,89 @@ pub fn run(_quick: bool) -> CalibrateReport {
         winner.name(),
     );
 
+    let lazy = measure_lazy_rows();
+    let mut lazy_table = Table::new(
+        "lazy-reduction fused polymul vs canonical — median ns/butterfly",
+        &["backend", "tier", "canonical", "lazy", "speedup", "note"],
+    );
+    for r in &lazy {
+        let note = if r.regression {
+            "REGRESSION (>10% slower)"
+        } else {
+            "ok"
+        };
+        lazy_table.row(&[
+            r.name.clone(),
+            r.tier.clone(),
+            format!("{:.3}", r.canonical_ns_per_butterfly),
+            format!("{:.3}", r.lazy_ns_per_butterfly),
+            format!("{:.2}x", r.speedup),
+            note.to_string(),
+        ]);
+    }
+    lazy_table.print();
+
     let report = CalibrateReport {
         rule: process.rule().to_string(),
         selected,
         winner: winner.name().to_string(),
         ranking,
         backends: rows,
+        lazy,
     };
     write_json("calibration", &report);
     report
+}
+
+/// Times a full cyclic polymul through the canonical and lazy-fused
+/// backend entry points on every consumable registry backend, at the
+/// same size the startup calibration uses.
+fn measure_lazy_rows() -> Vec<LazyRow> {
+    const N: usize = 256;
+    const TOTAL: usize = 20;
+    const KEEP: usize = 10;
+    let m = Modulus::new_prime(primes::Q124).expect("Q124 is prime");
+    let plan = NttPlan::new(&m, N).expect("Q124 supports the calibration size");
+    // One cyclic polymul = forward(a) + forward(b) + inverse.
+    let butterflies = 3.0 * (N / 2) as f64 * f64::from(N.trailing_zeros());
+    let poly = |seed: u64| -> Vec<u128> {
+        let mut state = seed | 1;
+        (0..N)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                u128::from(state) % m.value()
+            })
+            .collect()
+    };
+    let a = poly(0xCA11_B8A7E);
+    let b = poly(0x5E1EC7);
+
+    backend::available()
+        .into_iter()
+        .filter(|backend| backend.consumable())
+        .map(|backend| {
+            let mut sa = ResidueSoa::from_u128s(&a);
+            let mut sb = ResidueSoa::from_u128s(&b);
+            let mut tmp = ResidueSoa::zeros(N);
+            // Products of reduced inputs stay reduced, so re-running the
+            // kernel over the previous output is a valid steady state
+            // for both paths.
+            let canonical = calibrate::median_ns(TOTAL, KEEP, || {
+                backend.polymul_cyclic(&plan, &mut sa, &mut sb, &mut tmp)
+            }) / butterflies;
+            let lazy = calibrate::median_ns(TOTAL, KEEP, || {
+                backend.polymul_cyclic_fused(&plan, &mut sa, &mut sb, &mut tmp)
+            }) / butterflies;
+            LazyRow {
+                name: backend.name().to_string(),
+                tier: backend.tier().to_string(),
+                canonical_ns_per_butterfly: canonical,
+                lazy_ns_per_butterfly: lazy,
+                speedup: canonical / lazy,
+                regression: lazy > canonical * LAZY_REGRESSION_MARGIN,
+            }
+        })
+        .collect()
 }

@@ -82,6 +82,15 @@ pub struct PipelineReport {
     pub per_op: Vec<LatencyRow>,
     /// Per-class latency percentiles, aggregated over ops.
     pub per_class: Vec<LatencyRow>,
+    /// Whether allocation pressure was measured (requires building the
+    /// bench crate with `--features alloc-count`, which installs the
+    /// counting global allocator). When `false` the two rates below
+    /// are reported as zero.
+    pub alloc_counted: bool,
+    /// Mean heap bytes allocated per request during the latency replay.
+    pub bytes_per_request: f64,
+    /// Mean allocator calls per request during the latency replay.
+    pub allocs_per_request: f64,
 }
 
 impl_to_json!(PipelineReport {
@@ -92,6 +101,9 @@ impl_to_json!(PipelineReport {
     verified_bit_identical,
     per_op,
     per_class,
+    alloc_counted,
+    bytes_per_request,
+    allocs_per_request,
 });
 
 /// One chain's working set: the stage inputs/outputs as computed by the
@@ -326,7 +338,16 @@ pub fn run(quick: bool) -> PipelineReport {
 
     let chains = oracle_chains(&ring, &product, n, chains_len);
     stage_waves(&pool, &ring, &chains);
+    // The stage waves above double as pool/scratch warm-up, so the
+    // replay's allocation count reflects steady-state serving, not
+    // first-touch buffer builds.
+    let before = crate::alloc_count::snapshot();
     let latencies = latency_replay(&pool, &ring, &chains);
+    let allocated = crate::alloc_count::snapshot().zip(before).map(
+        |((bytes_after, calls_after), (bytes_before, calls_before))| {
+            (bytes_after - bytes_before, calls_after - calls_before)
+        },
+    );
 
     let row = |key: String, samples: Vec<f64>| -> LatencyRow {
         let mut sorted = samples;
@@ -361,6 +382,7 @@ pub fn run(quick: bool) -> PipelineReport {
         .collect();
 
     let trace_requests: usize = latencies.iter().map(Vec::len).sum();
+    let per_request = |total: u64| total as f64 / trace_requests.max(1) as f64;
     let report = PipelineReport {
         n,
         channels,
@@ -369,6 +391,9 @@ pub fn run(quick: bool) -> PipelineReport {
         verified_bit_identical: true,
         per_op,
         per_class,
+        alloc_counted: allocated.is_some(),
+        bytes_per_request: allocated.map_or(0.0, |(bytes, _)| per_request(bytes)),
+        allocs_per_request: allocated.map_or(0.0, |(_, calls)| per_request(calls)),
     };
 
     let mut table = Table::new(
@@ -398,6 +423,18 @@ pub fn run(quick: bool) -> PipelineReport {
         ]);
     }
     table.print();
+
+    if report.alloc_counted {
+        println!(
+            "allocation pressure: {:.0} bytes / {:.1} allocator calls per request \
+             (replay of {} requests, counting allocator installed)",
+            report.bytes_per_request, report.allocs_per_request, report.trace_requests,
+        );
+    } else {
+        println!(
+            "allocation pressure: not counted — rebuild with `--features alloc-count` to measure"
+        );
+    }
 
     write_json("pipeline_trace", &report);
     report

@@ -13,6 +13,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc_count;
 pub mod experiments;
 pub mod report;
 pub mod timing;

@@ -61,18 +61,40 @@ impl ShoupMul {
     #[inline]
     pub fn mul(&self, x: u128) -> u128 {
         debug_assert!(x < self.q);
-        let (qhat, _) = DWord::from(x).mul_wide_schoolbook(DWord::from(self.w_shoup));
-        // Low halves of x·w and q̂·q; their difference is exact mod 2^128
-        // and lands in [0, 2q).
-        let xw_lo = x.wrapping_mul(self.w);
-        let qq_lo = u128::from(qhat).wrapping_mul(self.q);
-        let r = xw_lo.wrapping_sub(qq_lo);
+        let r = mul_lazy(x, self.w, self.w_shoup, self.q);
         if r >= self.q {
             r - self.q
         } else {
             r
         }
     }
+
+    /// Computes `x·w mod q` *lazily*: the result is only reduced into
+    /// `[0, 2q)` and the final conditional subtraction is skipped.
+    ///
+    /// Unlike [`ShoupMul::mul`] this accepts **any** `x`, reduced or not:
+    /// with `q̂ = ⌊x·w'/2^128⌋` the error of the quotient estimate is
+    /// `x·w/q − q̂ < x/2^128 + 1 < 2`, so `x·w − q̂·q ∈ [0, 2q)` for every
+    /// `x < 2^128`. This is what lets lazy butterflies feed unreduced
+    /// `[0, 4q)` values straight back into the next stage.
+    #[inline]
+    pub fn mul_lazy(&self, x: u128) -> u128 {
+        mul_lazy(x, self.w, self.w_shoup, self.q)
+    }
+}
+
+/// Free-function form of [`ShoupMul::mul_lazy`] for callers that store
+/// the `(w, w')` pair themselves (twiddle tables): returns
+/// `x·w − ⌊x·w'/2^128⌋·q ∈ [0, 2q)` for any `x`, where `w' = ⌊w·2^128/q⌋`
+/// (see [`ShoupMul::constant`]) and `w < q`.
+#[inline]
+pub fn mul_lazy(x: u128, w: u128, w_shoup: u128, q: u128) -> u128 {
+    let (qhat, _) = DWord::from(x).mul_wide_schoolbook(DWord::from(w_shoup));
+    // Low halves of x·w and q̂·q; their difference is exact mod 2^128
+    // and lands in [0, 2q).
+    let xw_lo = x.wrapping_mul(w);
+    let qq_lo = u128::from(qhat).wrapping_mul(q);
+    xw_lo.wrapping_sub(qq_lo)
 }
 
 /// `⌊w·2^128 / q⌋` by restoring long division over 256 bits (runs once
@@ -142,6 +164,28 @@ mod tests {
             let s = ShoupMul::new(w, &m);
             for x in [0_u128, 1, q - 1, q / 2] {
                 assert_eq!(s.mul(x), m.mul_mod(x, w));
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_lands_in_two_q_for_arbitrary_inputs() {
+        let m = Modulus::new(primes::Q124).unwrap();
+        let q = m.value();
+        let mut state: u128 = 0x1234_5678_9ABC_DEF0_0FED_CBA9_8765_4321;
+        for _ in 0..40 {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
+            let w = state % q;
+            let s = ShoupMul::new(w, &m);
+            // Unreduced inputs up to the full u128 range: lazy output must
+            // stay below 2q and agree with Barrett mod q.
+            for x in [0_u128, 1, q - 1, q, 2 * q - 1, 4 * q - 1, u128::MAX, state] {
+                let r = s.mul_lazy(x);
+                assert!(r < 2 * q, "x={x:#x} w={w:#x} r={r:#x}");
+                assert_eq!(r % q, m.mul_mod(x % q, w), "x={x:#x} w={w:#x}");
+                assert_eq!(r, mul_lazy(x, w, s.constant(), q));
             }
         }
     }

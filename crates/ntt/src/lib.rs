@@ -20,6 +20,46 @@
 //! * [`polymul`] — cyclic and negacyclic polynomial multiplication via
 //!   the convolution theorem, plus schoolbook references.
 //!
+//! # The lazy-reduction fused pipeline
+//!
+//! Every dataflow above also has a **lazy** variant (the default path
+//! the `mqx` facade serves): butterflies multiply by twiddles with
+//! Shoup's precomputed-quotient trick — for each twiddle `w` the plan
+//! stores `w' = ⌊w·2¹²⁸/q⌋`, so `x·w mod q` costs one 128×128→256
+//! high product plus two wrapping low products, **and the result is
+//! only guaranteed below `2q`**. Instead of correcting immediately,
+//! the kernels let coefficients ride in relaxed domains — `[0, 2q)`
+//! through the constant-geometry SIMD stages, `[0, 4q)` through the
+//! scalar Cooley–Tukey/Gentleman–Sande stages — paying at most one
+//! conditional fold per butterfly where a canonical kernel pays a full
+//! Barrett reduction. This is sound because moduli are capped at 124
+//! bits ([`mqx_core::MAX_MODULUS_BITS`]), so `4q < 2¹²⁶` never
+//! overflows a `u128`.
+//!
+//! [`NttPlan::polymul_fused_cyclic_simd`] /
+//! [`NttPlan::polymul_fused_negacyclic_simd`] (and the scalar
+//! [`polymul::polymul_fused_cyclic`] /
+//! [`polymul::polymul_fused_negacyclic`]) chain twist → forward →
+//! forward → pointwise → inverse with **no canonicalization between
+//! stages and no allocation**: the only full reductions are one fold
+//! to canonical feeding the Barrett pointwise multiply, and the final
+//! pass, which merges the `n⁻¹` scale (negacyclic: a precomputed
+//! `ψ^{−i}·n⁻¹` table) with the closing correction to `[0, q)`. Both
+//! entry contracts are `debug_assert`ed: forward-lazy inputs must be
+//! `< 2q`, scalar inverse/pointwise entries `< 4q`.
+//!
+//! The fused path is **bit-identical** to the canonical one — both
+//! return the unique canonical residue of the same ring element — and
+//! the canonical kernels remain as the correctness oracle at every
+//! tier. Memory cost: the Shoup quotients roughly double a plan's
+//! twiddle storage (one extra `u128` per twiddle across the CT tables,
+//! Pease stage tables and their lane-expanded forms, plus the merged
+//! negacyclic twist tables — about `6n` constants per plan), paid once
+//! per (modulus, size) and amortized by the facade's plan cache. The
+//! facade's `MQX_LAZY=off` escape hatch (same grammar as
+//! `MQX_CALIBRATE`) reroutes products to the canonical kernels for
+//! A/B measurement and bisecting.
+//!
 //! # Example
 //!
 //! ```

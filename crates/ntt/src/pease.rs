@@ -15,7 +15,11 @@
 //! `vpermt2q` (`SimdEngine::interleave_lo`/`interleave_hi`).
 
 use crate::plan::{NttPlan, StageTwiddles};
-use mqx_simd::{addmod, mulmod, submod, ResidueSoa, SimdEngine, VDword, VModulus};
+use mqx_core::shoup;
+use mqx_simd::{
+    addmod, addmod_lazy, mulmod, mulmod_shoup_lazy, reduce_2q_to_q, submod, submod_lazy,
+    ResidueSoa, SimdEngine, VDword, VModulus,
+};
 
 /// Runs all Pease stages with scalar arithmetic. On return `x` holds the
 /// transform in **bit-reversed** order (the caller applies the final
@@ -99,6 +103,174 @@ pub(crate) fn pease_simd<E: SimdEngine>(
             E::store(E::interleave_hi(sum.lo, diff.lo), &mut yl[base + lanes..]);
         }
         std::mem::swap(x, y);
+    }
+}
+
+/// Runs all Pease stages with *lazy* Gentleman–Sande butterflies: the
+/// sum leg is `fold_{2q}(u + v)` (one conditional correction) and the
+/// difference leg is `shoup_lazy(u − v + 2q, w)` (no correction at all —
+/// the lazy Shoup multiply accepts the unreduced `[0, 4q)` difference and
+/// returns `[0, 2q)`). Coefficients therefore stay in `[0, 2q)` across
+/// every stage, and the AVX paths drop their per-butterfly
+/// compare-subtract pairs to one. Output is bit-reversed, as in
+/// [`pease_simd`].
+pub(crate) fn pease_lazy_simd<E: SimdEngine>(
+    plan: &NttPlan,
+    x: &mut ResidueSoa,
+    y: &mut ResidueSoa,
+    stages: &[StageTwiddles],
+    vm: &VModulus<E>,
+) {
+    let n = x.len();
+    let half = n / 2;
+    let q = plan.modulus().value();
+    let two_q = 2 * q;
+    for stage in stages {
+        if half < E::LANES {
+            // Tiny transform: scalar lazy butterflies keep the dataflow
+            // (and the lazy domain) identical without partial vectors.
+            for i in 0..half {
+                let u = x.get(i);
+                let v = x.get(i + half);
+                let mut sum = u + v;
+                if sum >= two_q {
+                    sum -= two_q;
+                }
+                let diff = shoup::mul_lazy(u + two_q - v, stage.at(i), stage.at_shoup(i), q);
+                y.set(2 * i, sum);
+                y.set(2 * i + 1, diff);
+            }
+            std::mem::swap(x, y);
+            continue;
+        }
+
+        let lanes = E::LANES;
+        let repeat = 1_usize << stage.shift;
+        for i in (0..half).step_by(lanes) {
+            let u = x.load_vector::<E>(i);
+            let v = x.load_vector::<E>(i + half);
+            let (w, w_shoup) = if repeat < lanes {
+                (
+                    stage
+                        .expanded
+                        .as_ref()
+                        .expect("expanded table exists when repeat < 8")
+                        .load_vector::<E>(i),
+                    stage
+                        .expanded_shoup
+                        .as_ref()
+                        .expect("expanded Shoup table exists when repeat < 8")
+                        .load_vector::<E>(i),
+                )
+            } else {
+                (
+                    VDword::<E>::broadcast(stage.at(i)),
+                    VDword::<E>::broadcast(stage.at_shoup(i)),
+                )
+            };
+            let sum = addmod_lazy::<E>(u, v, vm);
+            let diff = mulmod_shoup_lazy::<E>(submod_lazy::<E>(u, v, vm), w, w_shoup, vm);
+
+            let (yh, yl) = y.parts_mut();
+            let base = 2 * i;
+            E::store(E::interleave_lo(sum.hi, diff.hi), &mut yh[base..]);
+            E::store(E::interleave_hi(sum.hi, diff.hi), &mut yh[base + lanes..]);
+            E::store(E::interleave_lo(sum.lo, diff.lo), &mut yl[base..]);
+            E::store(E::interleave_hi(sum.lo, diff.lo), &mut yl[base + lanes..]);
+        }
+        std::mem::swap(x, y);
+    }
+}
+
+/// Lazy point-wise multiply `a[i] ← a[i]·b[i] mod q` between the fused
+/// forward and inverse passes: both operands arrive in `[0, 2q)`, are
+/// folded to canonical with one correction each (Barrett needs reduced
+/// operands), and the product leaves canonical — a valid `< 2q` input
+/// for the lazy inverse.
+pub(crate) fn pointwise_fold_mul_simd<E: SimdEngine>(
+    a: &mut ResidueSoa,
+    b: &ResidueSoa,
+    vm: &VModulus<E>,
+) {
+    let n = a.len();
+    let lanes = E::LANES;
+    let mut i = 0;
+    while i + lanes <= n {
+        let x = reduce_2q_to_q::<E>(a.load_vector::<E>(i), vm);
+        let y = reduce_2q_to_q::<E>(b.load_vector::<E>(i), vm);
+        a.store_vector::<E>(i, mulmod::<E>(x, y, vm));
+        i += lanes;
+    }
+    let m = vm.scalar;
+    let q = m.value();
+    while i < n {
+        let fold = |v: u128| if v >= q { v - q } else { v };
+        a.set(i, m.mul_mod(fold(a.get(i)), fold(b.get(i))));
+        i += 1;
+    }
+}
+
+/// The fused inverse's final pass: multiply every residue by the
+/// constant `(c, c_shoup)` with a lazy Shoup multiply, then canonicalize
+/// with a single conditional subtraction — `n⁻¹` scale and canonical
+/// reduction in one sweep.
+pub(crate) fn scale_shoup_canonical_simd<E: SimdEngine>(
+    x: &mut ResidueSoa,
+    c: u128,
+    c_shoup: u128,
+    vm: &VModulus<E>,
+) {
+    let n = x.len();
+    let cv = VDword::<E>::broadcast(c);
+    let csv = VDword::<E>::broadcast(c_shoup);
+    let lanes = E::LANES;
+    let mut i = 0;
+    while i + lanes <= n {
+        let v = x.load_vector::<E>(i);
+        let r = mulmod_shoup_lazy::<E>(v, cv, csv, vm);
+        x.store_vector::<E>(i, reduce_2q_to_q::<E>(r, vm));
+        i += lanes;
+    }
+    let q = vm.scalar.value();
+    while i < n {
+        let r = shoup::mul_lazy(x.get(i), c, c_shoup, q);
+        x.set(i, if r >= q { r - q } else { r });
+        i += 1;
+    }
+}
+
+/// Element-wise lazy Shoup multiply by a per-index table — the ψ twist
+/// (and, with `canonicalize`, the merged `ψ^{−i}·n⁻¹` untwist) of the
+/// fused negacyclic pipeline. Leaves values in `[0, 2q)`, or canonical
+/// `[0, q)` when `canonicalize` is set.
+pub(crate) fn twist_shoup_simd<E: SimdEngine>(
+    x: &mut ResidueSoa,
+    w: &ResidueSoa,
+    w_shoup: &ResidueSoa,
+    vm: &VModulus<E>,
+    canonicalize: bool,
+) {
+    let n = x.len();
+    let lanes = E::LANES;
+    let mut i = 0;
+    while i + lanes <= n {
+        let v = x.load_vector::<E>(i);
+        let mut r =
+            mulmod_shoup_lazy::<E>(v, w.load_vector::<E>(i), w_shoup.load_vector::<E>(i), vm);
+        if canonicalize {
+            r = reduce_2q_to_q::<E>(r, vm);
+        }
+        x.store_vector::<E>(i, r);
+        i += lanes;
+    }
+    let q = vm.scalar.value();
+    while i < n {
+        let mut r = shoup::mul_lazy(x.get(i), w.get(i), w_shoup.get(i), q);
+        if canonicalize && r >= q {
+            r -= q;
+        }
+        x.set(i, r);
+        i += 1;
     }
 }
 

@@ -3,7 +3,7 @@
 
 use crate::error::NttError;
 use crate::pease;
-use mqx_core::{nt, Modulus};
+use mqx_core::{nt, shoup, Modulus, RootError, ShoupMul};
 use mqx_simd::{ResidueSoa, SimdEngine, VModulus};
 
 /// Per-stage twiddle table for the Pease dataflow.
@@ -19,11 +19,15 @@ use mqx_simd::{ResidueSoa, SimdEngine, VModulus};
 pub(crate) struct StageTwiddles {
     /// Distinct twiddles: `values[j] = ω^{j·2^s}`, `len = 2^{log₂n−1−s}`.
     pub values: Vec<u128>,
+    /// Shoup constants `⌊values[j]·2^128/q⌋`, same indexing as `values`.
+    pub values_shoup: Vec<u128>,
     /// The stage index `s` (twiddle for index `i` is `values[i >> shift]`).
     pub shift: u32,
     /// Full per-index table in SoA form, present when the repeat length
     /// `2^s` is below the widest vector (8 lanes).
     pub expanded: Option<ResidueSoa>,
+    /// Shoup constants of `expanded`, same layout.
+    pub expanded_shoup: Option<ResidueSoa>,
 }
 
 impl StageTwiddles {
@@ -32,6 +36,57 @@ impl StageTwiddles {
     pub fn at(&self, i: usize) -> u128 {
         self.values[i >> self.shift]
     }
+
+    /// The Shoup constant of the twiddle applied at butterfly index `i`.
+    #[inline]
+    pub fn at_shoup(&self, i: usize) -> u128 {
+        self.values_shoup[i >> self.shift]
+    }
+}
+
+/// Precomputed ψ twist tables for the fused negacyclic pipeline: the
+/// forward twist `ψ^i` and the *merged* untwist-and-scale `ψ^{−i}·n⁻¹`,
+/// each with its Shoup constant so both element-wise passes run as lazy
+/// Shoup multiplies.
+#[derive(Clone, Debug)]
+pub(crate) struct FusedTwist {
+    /// `ψ^i`, canonical, SoA layout.
+    pub psi: ResidueSoa,
+    /// Shoup constants of `ψ^i`.
+    pub psi_shoup: ResidueSoa,
+    /// `ψ^{−i}`, canonical — the *unmerged* untwist used by the canonical
+    /// (non-lazy) pipeline, whose inverse NTT already applies `n⁻¹`.
+    pub psi_inv: ResidueSoa,
+    /// `ψ^{−i}·n⁻¹`, canonical — the fused pipeline's single final pass.
+    pub psi_inv_n: ResidueSoa,
+    /// Shoup constants of `ψ^{−i}·n⁻¹`.
+    pub psi_inv_n_shoup: ResidueSoa,
+}
+
+/// Debug-asserts the lazy coefficient-domain contract: every value below
+/// `bound`. Compiled out of release builds.
+#[inline]
+pub(crate) fn debug_assert_domain(x: &[u128], bound: u128, what: &str) {
+    if cfg!(debug_assertions) {
+        for (i, &v) in x.iter().enumerate() {
+            assert!(v < bound, "{what}: coefficient {i} = {v:#x} ≥ {bound:#x}");
+        }
+    }
+}
+
+/// SoA form of [`debug_assert_domain`].
+#[inline]
+pub(crate) fn debug_assert_domain_soa(x: &ResidueSoa, bound: u128, what: &str) {
+    if cfg!(debug_assertions) {
+        for i in 0..x.len() {
+            let v = x.get(i);
+            assert!(v < bound, "{what}: coefficient {i} = {v:#x} ≥ {bound:#x}");
+        }
+    }
+}
+
+fn shoup_constants(m: &Modulus, ws: &[u128]) -> Vec<u128> {
+    ws.iter().map(|&w| ShoupMul::new(w, m).constant()).collect()
 }
 
 /// A reusable NTT plan: Barrett constants, twiddle tables for every
@@ -50,10 +105,15 @@ pub struct NttPlan {
     omega_inv: u128,
     /// n⁻¹ mod q, for the inverse transform.
     n_inv: u128,
+    /// Shoup constant of `n_inv`, for the fused lazy scale.
+    n_inv_shoup: u128,
     /// Cooley–Tukey per-stage tables: stage with butterfly span `len`
     /// holds `len/2` twiddles `ω^{(n/len)·j}`.
     ct_fwd: Vec<Vec<u128>>,
     ct_inv: Vec<Vec<u128>>,
+    /// Shoup constants of the Cooley–Tukey tables, same shapes.
+    ct_fwd_shoup: Vec<Vec<u128>>,
+    ct_inv_shoup: Vec<Vec<u128>>,
     /// Pease per-stage tables (forward and inverse).
     pub(crate) pease_fwd: Vec<StageTwiddles>,
     pub(crate) pease_inv: Vec<StageTwiddles>,
@@ -63,6 +123,9 @@ pub struct NttPlan {
     /// `psi[i] = ψ^i` and `psi_inv[i] = ψ^{−i}`.
     psi: Option<Vec<u128>>,
     psi_inv: Option<Vec<u128>>,
+    /// Twist tables (SoA + Shoup constants) for the fused negacyclic
+    /// pipeline; present exactly when `psi` is.
+    twist: Option<FusedTwist>,
 }
 
 impl NttPlan {
@@ -93,6 +156,8 @@ impl NttPlan {
 
         let ct_fwd = build_ct_tables(m, n, omega);
         let ct_inv = build_ct_tables(m, n, omega_inv);
+        let ct_fwd_shoup: Vec<Vec<u128>> = ct_fwd.iter().map(|t| shoup_constants(m, t)).collect();
+        let ct_inv_shoup: Vec<Vec<u128>> = ct_inv.iter().map(|t| shoup_constants(m, t)).collect();
         let pease_fwd = build_pease_tables(m, n, omega);
         let pease_inv = build_pease_tables(m, n, omega_inv);
 
@@ -136,6 +201,21 @@ impl NttPlan {
             }
         };
 
+        // Twist tables for the fused lazy pipeline: merge ψ^{−i} with the
+        // n⁻¹ scale so the untwist is the *only* pass after the lazy
+        // inverse transform.
+        let twist = psi.as_ref().map(|fwd| {
+            let inv = psi_inv.as_ref().expect("psi and psi_inv built together");
+            let psi_inv_n: Vec<u128> = inv.iter().map(|&w| m.mul_mod(w, n_inv)).collect();
+            FusedTwist {
+                psi: ResidueSoa::from_u128s(fwd),
+                psi_shoup: ResidueSoa::from_u128s(&shoup_constants(m, fwd)),
+                psi_inv: ResidueSoa::from_u128s(inv),
+                psi_inv_n_shoup: ResidueSoa::from_u128s(&shoup_constants(m, &psi_inv_n)),
+                psi_inv_n: ResidueSoa::from_u128s(&psi_inv_n),
+            }
+        });
+
         Ok(NttPlan {
             m: *m,
             n,
@@ -143,13 +223,17 @@ impl NttPlan {
             omega,
             omega_inv,
             n_inv,
+            n_inv_shoup: ShoupMul::new(n_inv, m).constant(),
             ct_fwd,
             ct_inv,
+            ct_fwd_shoup,
+            ct_inv_shoup,
             pease_fwd,
             pease_inv,
             bitrev,
             psi,
             psi_inv,
+            twist,
         })
     }
 
@@ -202,6 +286,33 @@ impl NttPlan {
         self.psi_inv.as_deref()
     }
 
+    /// `ψ^i` in SoA layout, ready for vectorized element-wise twists —
+    /// shared here so higher layers need not duplicate the table.
+    pub fn psi_soa(&self) -> Option<&ResidueSoa> {
+        self.twist.as_ref().map(|t| &t.psi)
+    }
+
+    /// `ψ^{−i}` in SoA layout (the unmerged untwist; the fused pipeline
+    /// uses the merged `ψ^{−i}·n⁻¹` table internally).
+    pub fn psi_inv_soa(&self) -> Option<&ResidueSoa> {
+        self.twist.as_ref().map(|t| &t.psi_inv)
+    }
+
+    /// The Shoup constant `⌊n⁻¹·2^128/q⌋` of the inverse scale factor.
+    pub fn n_inv_shoup(&self) -> u128 {
+        self.n_inv_shoup
+    }
+
+    pub(crate) fn fused_twist(&self) -> Option<&FusedTwist> {
+        self.twist.as_ref()
+    }
+
+    fn no_negacyclic_root(&self) -> NttError {
+        NttError::NoRoot(RootError::NoSuchRoot {
+            order: 2 * self.n as u64,
+        })
+    }
+
     // ---- scalar dataflow: iterative Cooley–Tukey ------------------------
 
     /// In-place forward NTT, natural order in and out — the paper's
@@ -251,6 +362,72 @@ impl NttPlan {
                     let v = m.mul_mod(x[block + j + half], tw[j]);
                     x[block + j] = m.add_mod(u, v);
                     x[block + j + half] = m.sub_mod(u, v);
+                }
+            }
+        }
+    }
+
+    // ---- scalar lazy dataflow (Harvey butterflies, [0, 4q) domain) ------
+
+    /// In-place *lazy* forward NTT: Harvey-style butterflies keep every
+    /// coefficient in `[0, 4q)` with **one** conditional correction per
+    /// butterfly (the canonical path pays a Barrett µ-multiply plus two
+    /// trial-subtract selects). Natural order in and out.
+    ///
+    /// Domain contract (debug-asserted): inputs `< 2q`; outputs are
+    /// unreduced in `[0, 4q)` — feed them to [`NttPlan::inverse_lazy_scalar`]
+    /// or fold them before canonical consumers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.size()`.
+    pub fn forward_lazy_scalar(&self, x: &mut [u128]) {
+        assert_eq!(x.len(), self.n, "input length must match plan size");
+        debug_assert_domain(x, 2 * self.m.value(), "forward_lazy input");
+        self.bit_reverse_permute(x);
+        self.ct_butterflies_lazy(x, &self.ct_fwd, &self.ct_fwd_shoup);
+    }
+
+    /// In-place lazy inverse NTT **without** the `n⁻¹` scale — the fused
+    /// pipeline folds that scale (and the final canonical reduction) into
+    /// a single Shoup pass after this call.
+    ///
+    /// Domain contract (debug-asserted): inputs `< 4q`; outputs `< 4q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.size()`.
+    pub fn inverse_lazy_scalar(&self, x: &mut [u128]) {
+        assert_eq!(x.len(), self.n, "input length must match plan size");
+        debug_assert_domain(x, 4 * self.m.value(), "inverse_lazy input");
+        self.bit_reverse_permute(x);
+        self.ct_butterflies_lazy(x, &self.ct_inv, &self.ct_inv_shoup);
+    }
+
+    /// Harvey lazy Cooley–Tukey butterflies: `u` is folded from `[0, 4q)`
+    /// into `[0, 2q)` (the single conditional), `t = v·w` comes out of the
+    /// lazy Shoup multiply already `< 2q`, and the outputs `u + t` /
+    /// `u − t + 2q` stay `< 4q` without further correction.
+    fn ct_butterflies_lazy(
+        &self,
+        x: &mut [u128],
+        tables: &[Vec<u128>],
+        shoup_tables: &[Vec<u128>],
+    ) {
+        let q = self.m.value();
+        let two_q = 2 * q;
+        for (s, (tw, tws)) in tables.iter().zip(shoup_tables).enumerate() {
+            let half = 1_usize << s;
+            let len = half * 2;
+            for block in (0..self.n).step_by(len) {
+                for j in 0..half {
+                    let mut u = x[block + j];
+                    if u >= two_q {
+                        u -= two_q;
+                    }
+                    let t = shoup::mul_lazy(x[block + j + half], tw[j], tws[j], q);
+                    x[block + j] = u + t;
+                    x[block + j + half] = u + two_q - t;
                 }
             }
         }
@@ -329,6 +506,121 @@ impl NttPlan {
         }
         std::mem::swap(x, scratch);
     }
+
+    // ---- fused lazy pipelines (SIMD, Gentleman–Sande lazy butterflies) --
+
+    /// Lazy forward NTT over SoA data: Gentleman–Sande-shaped Pease
+    /// butterflies whose sum leg pays one conditional fold against `2q`
+    /// and whose difference leg is a correction-free lazy Shoup multiply.
+    /// Every coefficient stays in `[0, 2q)` across all stages.
+    ///
+    /// Domain contract (debug-asserted): inputs `< 2q`; outputs `< 2q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ from the plan size.
+    pub fn forward_lazy_simd<E: SimdEngine>(&self, x: &mut ResidueSoa, scratch: &mut ResidueSoa) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(scratch.len(), self.n);
+        debug_assert_domain_soa(x, 2 * self.m.value(), "forward_lazy input");
+        let vm = VModulus::<E>::new(&self.m);
+        pease::pease_lazy_simd::<E>(self, x, scratch, &self.pease_fwd, &vm);
+        self.bit_reverse_soa(x, scratch);
+    }
+
+    /// Lazy inverse NTT over SoA data **without** the `n⁻¹` scale (see
+    /// [`NttPlan::forward_lazy_simd`] for the butterfly shape).
+    ///
+    /// Domain contract (debug-asserted): inputs `< 2q`; outputs `< 2q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ from the plan size.
+    pub fn inverse_lazy_simd<E: SimdEngine>(&self, x: &mut ResidueSoa, scratch: &mut ResidueSoa) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(scratch.len(), self.n);
+        debug_assert_domain_soa(x, 2 * self.m.value(), "inverse_lazy input");
+        let vm = VModulus::<E>::new(&self.m);
+        pease::pease_lazy_simd::<E>(self, x, scratch, &self.pease_inv, &vm);
+        self.bit_reverse_soa(x, scratch);
+    }
+
+    /// Fused cyclic polynomial product: forward(a), forward(b), pointwise
+    /// multiply, inverse — all in the lazy `[0, 2q)` domain, with the
+    /// canonical reduction and the `n⁻¹` scale merged into one final
+    /// Shoup pass. No allocation; `a` holds the canonical result.
+    ///
+    /// Bit-identical to the canonical forward/pointwise/inverse pipeline:
+    /// both produce the unique canonical residues of the same ring
+    /// element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ from the plan size; debug-asserts inputs
+    /// `< 2q`.
+    pub fn polymul_fused_cyclic_simd<E: SimdEngine>(
+        &self,
+        a: &mut ResidueSoa,
+        b: &mut ResidueSoa,
+        scratch: &mut ResidueSoa,
+    ) {
+        assert_eq!(a.len(), self.n);
+        assert_eq!(b.len(), self.n);
+        assert_eq!(scratch.len(), self.n);
+        debug_assert_domain_soa(a, 2 * self.m.value(), "polymul_fused input a");
+        debug_assert_domain_soa(b, 2 * self.m.value(), "polymul_fused input b");
+        let vm = VModulus::<E>::new(&self.m);
+        pease::pease_lazy_simd::<E>(self, a, scratch, &self.pease_fwd, &vm);
+        self.bit_reverse_soa(a, scratch);
+        pease::pease_lazy_simd::<E>(self, b, scratch, &self.pease_fwd, &vm);
+        self.bit_reverse_soa(b, scratch);
+        pease::pointwise_fold_mul_simd::<E>(a, b, &vm);
+        pease::pease_lazy_simd::<E>(self, a, scratch, &self.pease_inv, &vm);
+        self.bit_reverse_soa(a, scratch);
+        pease::scale_shoup_canonical_simd::<E>(a, self.n_inv, self.n_inv_shoup, &vm);
+    }
+
+    /// Fused negacyclic polynomial product: lazy ψ-twist, the fused
+    /// cyclic body without its final scale, then a single merged
+    /// `ψ^{−i}·n⁻¹` untwist-and-canonicalize pass. No allocation; `a`
+    /// holds the canonical result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NttError::NoRoot`] if the field has no 2n-th root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ from the plan size; debug-asserts inputs
+    /// `< 2q`.
+    pub fn polymul_fused_negacyclic_simd<E: SimdEngine>(
+        &self,
+        a: &mut ResidueSoa,
+        b: &mut ResidueSoa,
+        scratch: &mut ResidueSoa,
+    ) -> Result<(), NttError> {
+        assert_eq!(a.len(), self.n);
+        assert_eq!(b.len(), self.n);
+        assert_eq!(scratch.len(), self.n);
+        let twist = self
+            .twist
+            .as_ref()
+            .ok_or_else(|| self.no_negacyclic_root())?;
+        debug_assert_domain_soa(a, 2 * self.m.value(), "polymul_fused input a");
+        debug_assert_domain_soa(b, 2 * self.m.value(), "polymul_fused input b");
+        let vm = VModulus::<E>::new(&self.m);
+        pease::twist_shoup_simd::<E>(a, &twist.psi, &twist.psi_shoup, &vm, false);
+        pease::twist_shoup_simd::<E>(b, &twist.psi, &twist.psi_shoup, &vm, false);
+        pease::pease_lazy_simd::<E>(self, a, scratch, &self.pease_fwd, &vm);
+        self.bit_reverse_soa(a, scratch);
+        pease::pease_lazy_simd::<E>(self, b, scratch, &self.pease_fwd, &vm);
+        self.bit_reverse_soa(b, scratch);
+        pease::pointwise_fold_mul_simd::<E>(a, b, &vm);
+        pease::pease_lazy_simd::<E>(self, a, scratch, &self.pease_inv, &vm);
+        self.bit_reverse_soa(a, scratch);
+        pease::twist_shoup_simd::<E>(a, &twist.psi_inv_n, &twist.psi_inv_n_shoup, &vm, true);
+        Ok(())
+    }
 }
 
 fn build_ct_tables(m: &Modulus, n: usize, omega: u128) -> Vec<Vec<u128>> {
@@ -361,18 +653,25 @@ fn build_pease_tables(m: &Modulus, n: usize, omega: u128) -> Vec<StageTwiddles> 
             values.push(w);
             w = m.mul_mod(w, step);
         }
+        let values_shoup = shoup_constants(m, &values);
         // Expand per-index for stages whose repeat run (2^s) is shorter
         // than the widest vector, so SIMD loads see the right pattern.
-        let expanded = if (1_usize << s) < 8 {
+        let (expanded, expanded_shoup) = if (1_usize << s) < 8 {
             let full: Vec<u128> = (0..half).map(|i| values[i >> s]).collect();
-            Some(ResidueSoa::from_u128s(&full))
+            let full_shoup: Vec<u128> = (0..half).map(|i| values_shoup[i >> s]).collect();
+            (
+                Some(ResidueSoa::from_u128s(&full)),
+                Some(ResidueSoa::from_u128s(&full_shoup)),
+            )
         } else {
-            None
+            (None, None)
         };
         stages.push(StageTwiddles {
             values,
+            values_shoup,
             shift: s,
             expanded,
+            expanded_shoup,
         });
     }
     stages
@@ -483,6 +782,73 @@ mod tests {
 
             p.inverse_simd::<Portable>(&mut soa, &mut scratch);
             assert_eq!(soa.to_u128s(), x, "roundtrip n={n}");
+        }
+    }
+
+    #[test]
+    fn lazy_scalar_kernels_agree_with_canonical_mod_q() {
+        for n in [8_usize, 64, 256] {
+            let p = plan(primes::Q124, n);
+            let q = primes::Q124;
+            let x = ramp(n, q);
+            let mut canonical = x.clone();
+            p.forward_scalar(&mut canonical);
+
+            let mut lazy = x.clone();
+            p.forward_lazy_scalar(&mut lazy);
+            for (i, (&l, &c)) in lazy.iter().zip(&canonical).enumerate() {
+                assert!(l < 4 * q, "lazy output domain, index {i}");
+                assert_eq!(l % q, c, "index {i} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_simd_pipelines_match_canonical_scalar() {
+        use crate::polymul;
+        use mqx_simd::Portable;
+        for n in [16_usize, 64, 512] {
+            let p = plan(primes::Q124, n);
+            let a = ramp(n, primes::Q124);
+            let b: Vec<u128> = a.iter().map(|&v| (v * 7 + 3) % primes::Q124).collect();
+
+            let expected = polymul::polymul_cyclic(&p, &a, &b);
+            let mut sa = ResidueSoa::from_u128s(&a);
+            let mut sb = ResidueSoa::from_u128s(&b);
+            let mut scratch = ResidueSoa::zeros(n);
+            p.polymul_fused_cyclic_simd::<Portable>(&mut sa, &mut sb, &mut scratch);
+            assert_eq!(sa.to_u128s(), expected, "cyclic n={n}");
+
+            let expected = polymul::polymul_negacyclic(&p, &a, &b).unwrap();
+            let mut sa = ResidueSoa::from_u128s(&a);
+            let mut sb = ResidueSoa::from_u128s(&b);
+            p.polymul_fused_negacyclic_simd::<Portable>(&mut sa, &mut sb, &mut scratch)
+                .unwrap();
+            assert_eq!(sa.to_u128s(), expected, "negacyclic n={n}");
+        }
+    }
+
+    #[test]
+    fn lazy_simd_transform_roundtrips_in_domain() {
+        use mqx_simd::Portable;
+        let q = primes::Q120;
+        let n = 128;
+        let p = plan(q, n);
+        let x = ramp(n, q);
+        let mut soa = ResidueSoa::from_u128s(&x);
+        let mut scratch = ResidueSoa::zeros(n);
+        p.forward_lazy_simd::<Portable>(&mut soa, &mut scratch);
+        let mut expected = x.clone();
+        p.forward_scalar(&mut expected);
+        for (i, &e) in expected.iter().enumerate() {
+            assert!(soa.get(i) < 2 * q, "GS-lazy stays in [0,2q), index {i}");
+            assert_eq!(soa.get(i) % q, e, "index {i}");
+        }
+        p.inverse_lazy_simd::<Portable>(&mut soa, &mut scratch);
+        // Fold to canonical and undo n: x == lazy_roundtrip · n⁻¹ mod q.
+        let m = p.modulus();
+        for (i, &xi) in x.iter().enumerate() {
+            assert_eq!(m.mul_mod(soa.get(i) % q, p.n_inv()), xi, "index {i}");
         }
     }
 

@@ -111,6 +111,9 @@ impl<E: SimdEngine> VDword<E> {
 pub struct VModulus<E: SimdEngine> {
     /// Modulus, split and splatted.
     pub q: VDword<E>,
+    /// `2q`, split and splatted — the upper bound of the lazy butterfly
+    /// domain (fits: `q ≤ 2^124`).
+    pub two_q: VDword<E>,
     /// Barrett constant µ, split and splatted.
     pub mu: VDword<E>,
     /// Barrett shift `k = 2·bits(q) + 1`.
@@ -141,6 +144,7 @@ impl<E: SimdEngine> VModulus<E> {
     pub fn new(m: &Modulus) -> Self {
         VModulus {
             q: VDword::broadcast(m.value()),
+            two_q: VDword::broadcast(2 * m.value()),
             mu: VDword::broadcast(m.mu()),
             k: m.barrett_shift(),
             scalar: *m,
@@ -421,6 +425,106 @@ pub fn mulmod_karatsuba<E: SimdEngine>(a: VDword<E>, b: VDword<E>, m: &VModulus<
     barrett_reduce::<E>(mul_256_karatsuba::<E>(a, b), m)
 }
 
+// ---------------------------------------------------------------------------
+// Lazy-reduction kernels (Shoup butterflies, [0, 2q)/[0, 4q) domains).
+//
+// The fused NTT pipeline keeps coefficients *unreduced* between butterflies:
+// at most one conditional correction per butterfly instead of the full
+// trial-subtract pair of `addmod`/`submod` plus Barrett's µ multiply. The
+// ops below are the vector counterparts of `mqx_core::shoup::mul_lazy` and
+// the scalar fold helpers in `mqx_ntt`.
+// ---------------------------------------------------------------------------
+
+/// `a + b mod 2^128` per lane — raw carry chain, no reduction. Safe for
+/// lazy values: both operands stay below `2^126`, so the sum never
+/// carries out.
+#[inline]
+fn add_wrap<E: SimdEngine>(a: VDword<E>, b: VDword<E>) -> VDword<E> {
+    let (lo, c) = E::adc0(a.lo, b.lo);
+    let (hi, _) = E::adc(a.hi, b.hi, c);
+    VDword { hi, lo }
+}
+
+/// `a − b mod 2^128` per lane — raw borrow chain, wrapping.
+#[inline]
+fn sub_wrap<E: SimdEngine>(a: VDword<E>, b: VDword<E>) -> VDword<E> {
+    let (lo, b0) = E::sbb0(a.lo, b.lo);
+    let (hi, _) = E::sbb(a.hi, b.hi, b0);
+    VDword { hi, lo }
+}
+
+/// Low 128 bits of the 256-bit lane product `a·b`.
+#[inline]
+fn mullo_128<E: SimdEngine>(a: VDword<E>, b: VDword<E>) -> VDword<E> {
+    let (h, l) = E::mul_wide(a.lo, b.lo);
+    let hi = E::add(h, E::add(E::mullo(a.lo, b.hi), E::mullo(a.hi, b.lo)));
+    VDword { hi, lo: l }
+}
+
+/// One conditional correction: `x − c` where the trial subtraction's
+/// borrow selects between `x` and `x − c`. The single compare-subtract
+/// the lazy butterflies are allowed.
+#[inline]
+fn fold_once<E: SimdEngine>(x: VDword<E>, c: VDword<E>) -> VDword<E> {
+    let (sl, b0) = E::sbb0(x.lo, c.lo);
+    let (sh, b1) = E::sbb(x.hi, c.hi, b0);
+    // b1 set ⇔ x < c ⇒ keep x; otherwise take the subtracted value.
+    VDword {
+        hi: E::blend(b1, sh, x.hi),
+        lo: E::blend(b1, sl, x.lo),
+    }
+}
+
+/// Lazy modular addition for the `[0, 2q)` butterfly domain: `a + b`
+/// followed by a single conditional subtraction of `2q`. Inputs `< 2q`
+/// produce an output `< 2q` — one correction where [`addmod`] needs a
+/// full trial-subtract select against `q`.
+#[inline]
+pub fn addmod_lazy<E: SimdEngine>(a: VDword<E>, b: VDword<E>, m: &VModulus<E>) -> VDword<E> {
+    fold_once::<E>(add_wrap::<E>(a, b), m.two_q)
+}
+
+/// Lazy modular subtraction: `a − b + 2q`, completely branch-free (zero
+/// corrections). Inputs `< 2q` produce an output `< 4q`, which
+/// [`mulmod_shoup_lazy`] accepts directly — the Gentleman–Sande butterfly
+/// therefore pays no correction at all on its difference leg.
+#[inline]
+pub fn submod_lazy<E: SimdEngine>(a: VDword<E>, b: VDword<E>, m: &VModulus<E>) -> VDword<E> {
+    sub_wrap::<E>(add_wrap::<E>(a, m.two_q), b)
+}
+
+/// Lazy Shoup multiplication by a precomputed `(w, w' = ⌊w·2^128/q⌋)`
+/// pair: `r = x·w − ⌊x·w'/2^128⌋·q ∈ [0, 2q)` for **any** lane value
+/// `x`, reduced or not (see `mqx_core::shoup::mul_lazy` for the bound).
+/// Three low-half multiplies and one widening multiply replace the
+/// eight-multiply Barrett sequence, with no correction step.
+#[inline]
+pub fn mulmod_shoup_lazy<E: SimdEngine>(
+    x: VDword<E>,
+    w: VDword<E>,
+    w_shoup: VDword<E>,
+    m: &VModulus<E>,
+) -> VDword<E> {
+    // q̂ = hi128(x · w') — limbs 2 and 3 of the 256-bit product.
+    let p = mul_256_schoolbook::<E>(x, w_shoup);
+    let qhat = VDword { hi: p[3], lo: p[2] };
+    sub_wrap::<E>(mullo_128::<E>(x, w), mullo_128::<E>(qhat, m.q))
+}
+
+/// Canonicalizes a `[0, 2q)` lazy value into `[0, q)` with one
+/// conditional subtraction.
+#[inline]
+pub fn reduce_2q_to_q<E: SimdEngine>(x: VDword<E>, m: &VModulus<E>) -> VDword<E> {
+    fold_once::<E>(x, m.q)
+}
+
+/// Folds a `[0, 4q)` value into `[0, 2q)` with one conditional
+/// subtraction of `2q`.
+#[inline]
+pub fn reduce_4q_to_2q<E: SimdEngine>(x: VDword<E>, m: &VModulus<E>) -> VDword<E> {
+    fold_once::<E>(x, m.two_q)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -589,5 +693,65 @@ mod tests {
         assert_eq!(v2.to_u128s(), xs);
         let b = VDword::<P>::broadcast(42);
         assert_eq!(b.extract(3), 42);
+    }
+
+    #[test]
+    fn lazy_ops_respect_domains_and_agree_mod_q() {
+        use mqx_core::ShoupMul;
+        for q in [primes::Q124, primes::Q120, primes::Q62] {
+            let m = vmod(q);
+            // Lazy-domain inputs in [0, 2q), including both extremes.
+            let a: Vec<u128> = (0..8)
+                .map(|i| match i {
+                    0 => 0,
+                    1 => 2 * q - 1,
+                    2 => q,
+                    3 => q - 1,
+                    _ => (0xABCD_u128.wrapping_mul(i as u128 + 3) * 0x1234_5678) % (2 * q),
+                })
+                .collect();
+            let b: Vec<u128> = (0..8)
+                .map(|i| match i {
+                    0 => 2 * q - 1,
+                    1 => 0,
+                    2 => q + 1,
+                    3 => q - 1,
+                    _ => (0x9876_u128.wrapping_mul(i as u128 + 7) * 0x0FED_CBA9) % (2 * q),
+                })
+                .collect();
+            let av = VDword::<P>::from_u128s(&a);
+            let bv = VDword::<P>::from_u128s(&b);
+
+            let sum = addmod_lazy(av, bv, &m);
+            let diff = submod_lazy(av, bv, &m);
+            for i in 0..8 {
+                let s = sum.extract(i);
+                assert!(s < 2 * q, "sum lane {i} out of [0,2q)");
+                assert_eq!(s % q, m.scalar.add_mod(a[i] % q, b[i] % q), "sum lane {i}");
+                let d = diff.extract(i);
+                assert!(d < 4 * q, "diff lane {i} out of [0,4q)");
+                assert_eq!(d % q, m.scalar.sub_mod(a[i] % q, b[i] % q), "diff lane {i}");
+            }
+
+            // Shoup lazy multiply accepts the unreduced [0,4q) difference.
+            let w = q / 3 + 1;
+            let sm = ShoupMul::new(w, &m.scalar);
+            let wv = VDword::<P>::broadcast(sm.multiplier());
+            let wsv = VDword::<P>::broadcast(sm.constant());
+            let prod = mulmod_shoup_lazy(diff, wv, wsv, &m);
+            for i in 0..8 {
+                let p = prod.extract(i);
+                assert!(p < 2 * q, "prod lane {i} out of [0,2q)");
+                assert_eq!(p, sm.mul_lazy(diff.extract(i)), "prod lane {i}");
+            }
+
+            // Folds: [0,4q) → [0,2q) → [0,q), each a single correction.
+            let folded = reduce_4q_to_2q(diff, &m);
+            let canon = reduce_2q_to_q(reduce_2q_to_q(folded, &m), &m);
+            for i in 0..8 {
+                assert!(folded.extract(i) < 2 * q, "fold lane {i}");
+                assert_eq!(canon.extract(i), diff.extract(i) % q, "canon lane {i}");
+            }
+        }
     }
 }

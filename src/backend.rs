@@ -150,6 +150,61 @@ pub trait Backend: Send + Sync {
         std::mem::swap(a, scratch);
         self.inverse_ntt(plan, a, scratch);
     }
+
+    /// Cyclic polynomial product through the *fused lazy pipeline*:
+    /// forward(a), forward(b), point-wise multiply and inverse run
+    /// back-to-back in the `[0, 2q)` Shoup-butterfly domain, with the
+    /// canonical reduction and `n⁻¹` scale merged into the final pass.
+    /// Same contract as [`Backend::polymul_cyclic`] (result in `a`, `b`
+    /// clobbered, no allocation) and bit-identical to it.
+    ///
+    /// The default implementation falls back to the canonical path, so
+    /// every backend is correct by construction; the engine-backed
+    /// registry tiers all override it with the lazy kernels.
+    fn polymul_cyclic_fused(
+        &self,
+        plan: &NttPlan,
+        a: &mut ResidueSoa,
+        b: &mut ResidueSoa,
+        scratch: &mut ResidueSoa,
+    ) {
+        self.polymul_cyclic(plan, a, b, scratch);
+    }
+
+    /// Negacyclic polynomial product through the fused lazy pipeline:
+    /// ψ twist, fused cyclic body, merged `ψ^{−i}·n⁻¹` untwist. Result in
+    /// `a`, `b` clobbered, no allocation; bit-identical to the canonical
+    /// twist/cyclic/untwist sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`mqx_ntt::NttError::NoRoot`] when the plan's field has no
+    /// 2n-th root of unity.
+    fn polymul_negacyclic_fused(
+        &self,
+        plan: &NttPlan,
+        a: &mut ResidueSoa,
+        b: &mut ResidueSoa,
+        scratch: &mut ResidueSoa,
+    ) -> Result<(), mqx_ntt::NttError> {
+        let (psi, psi_inv) = match (plan.psi_soa(), plan.psi_inv_soa()) {
+            (Some(p), Some(pi)) => (p, pi),
+            _ => {
+                return Err(mqx_ntt::NttError::NoRoot(mqx_core::RootError::NoSuchRoot {
+                    order: 2 * plan.size() as u64,
+                }))
+            }
+        };
+        let m = plan.modulus();
+        self.vmul(a, psi, scratch, m);
+        std::mem::swap(a, scratch);
+        self.vmul(b, psi, scratch, m);
+        std::mem::swap(b, scratch);
+        self.polymul_cyclic(plan, a, b, scratch);
+        self.vmul(a, psi_inv, scratch, m);
+        std::mem::swap(a, scratch);
+        Ok(())
+    }
 }
 
 impl fmt::Debug for dyn Backend {
@@ -218,6 +273,26 @@ impl<E: SimdEngine> Backend for EngineBackend<E> {
 
     fn axpy(&self, a: u128, x: &ResidueSoa, y: &mut ResidueSoa, m: &Modulus) {
         mqx_blas::simd::axpy::<E>(a, x, y, m);
+    }
+
+    fn polymul_cyclic_fused(
+        &self,
+        plan: &NttPlan,
+        a: &mut ResidueSoa,
+        b: &mut ResidueSoa,
+        scratch: &mut ResidueSoa,
+    ) {
+        plan.polymul_fused_cyclic_simd::<E>(a, b, scratch);
+    }
+
+    fn polymul_negacyclic_fused(
+        &self,
+        plan: &NttPlan,
+        a: &mut ResidueSoa,
+        b: &mut ResidueSoa,
+        scratch: &mut ResidueSoa,
+    ) -> Result<(), mqx_ntt::NttError> {
+        plan.polymul_fused_negacyclic_simd::<E>(a, b, scratch)
     }
 }
 

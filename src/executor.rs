@@ -648,10 +648,15 @@ impl Shared {
             state.finish_channel(channel, Err(reason));
             return;
         }
+        // `_into` form: the ring writes into this vector (reusing pooled
+        // scratch internally), so the only steady-state allocation per
+        // work item is the output buffer itself.
         let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut out = Vec::new();
             state
                 .ring
-                .channel_apply(&state.op, channel, &state.a, state.b.as_deref())
+                .channel_apply_into(&state.op, channel, &state.a, state.b.as_deref(), &mut out)
+                .map(|()| out)
         }))
         .unwrap_or(Err(Error::ChannelPanicked { channel }));
         state.finish_channel(channel, result);

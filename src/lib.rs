@@ -110,7 +110,7 @@ pub use executor::{
 pub use ops::RingOp;
 pub use plan_cache::PlanCache;
 pub use poly::{Coefficients, PolyOp, PolyRing};
-pub use ring::{Ring, RingBuilder};
+pub use ring::{lazy_enabled, Ring, RingBuilder};
 pub use rns::{RnsRing, RnsRingBuilder};
 
 pub use mqx_baseline as baseline;

@@ -196,6 +196,31 @@ pub trait PolyRing: Send + Sync {
         b: &[u128],
     ) -> Result<Vec<u128>, Error>;
 
+    /// [`channel_polymul`](PolyRing::channel_polymul) writing into a
+    /// caller-owned vector, so a scheduler draining many requests can
+    /// reuse one output buffer per worker instead of allocating a fresh
+    /// `Vec` per work item. `out` is cleared and overwritten; on error
+    /// its contents are unspecified.
+    ///
+    /// The default delegates to the allocating form — implementors with
+    /// a pooled-scratch fast path (both [`Ring`](crate::Ring) and
+    /// [`RnsRing`](crate::RnsRing)) override it to write directly.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`channel_polymul`](PolyRing::channel_polymul).
+    fn channel_polymul_into(
+        &self,
+        channel: usize,
+        op: PolyOp,
+        a: &[u128],
+        b: &[u128],
+        out: &mut Vec<u128>,
+    ) -> Result<(), Error> {
+        *out = self.channel_polymul(channel, op, a, b)?;
+        Ok(())
+    }
+
     /// Recombines per-channel products (channel-major, as produced by
     /// running [`channel_polymul`](PolyRing::channel_polymul) on every
     /// channel) into coefficients in the ring's native representation.
@@ -276,6 +301,52 @@ pub trait PolyRing: Send + Sync {
                 op: op.name(),
                 reason: "this ring only provides the basis-preserving ops",
             }),
+        }
+    }
+
+    /// [`channel_apply`](PolyRing::channel_apply) writing into a
+    /// caller-owned vector — the form the executor's fan-out path uses,
+    /// so steady-state serving reuses one output buffer per worker.
+    /// `out` is cleared and overwritten; on error its contents are
+    /// unspecified.
+    ///
+    /// The default routes [`RingOp::Polymul`] through
+    /// [`channel_polymul_into`](PolyRing::channel_polymul_into) (with
+    /// the same arity/channel validation as `channel_apply`) and falls
+    /// back to the allocating `channel_apply` for every other op.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`channel_apply`](PolyRing::channel_apply).
+    fn channel_apply_into(
+        &self,
+        op: &RingOp,
+        channel: usize,
+        a: &[Vec<u128>],
+        b: Option<&[Vec<u128>]>,
+        out: &mut Vec<u128>,
+    ) -> Result<(), Error> {
+        match op {
+            RingOp::Polymul(p) => {
+                let b = b.ok_or(Error::OperandCountMismatch {
+                    op: op.name(),
+                    expected: 2,
+                    got: 1,
+                })?;
+                let ra = a.get(channel).ok_or(Error::ChannelOutOfRange {
+                    channel,
+                    channels: a.len(),
+                })?;
+                let rb = b.get(channel).ok_or(Error::ChannelOutOfRange {
+                    channel,
+                    channels: b.len(),
+                })?;
+                self.channel_polymul_into(channel, *p, ra, rb, out)
+            }
+            _ => {
+                *out = self.channel_apply(op, channel, a, b)?;
+                Ok(())
+            }
         }
     }
 

@@ -34,6 +34,26 @@ use mqx_simd::ResidueSoa;
 use std::fmt;
 use std::sync::Arc;
 
+/// Returns `true` unless `MQX_LAZY` is set to `off`, `false` or `0`
+/// (case-insensitive, surrounding whitespace ignored — the same grammar
+/// as `MQX_CALIBRATE`). When enabled (the default), rings route
+/// polynomial products through the lazy-reduction fused NTT pipeline
+/// ([`Backend::polymul_cyclic_fused`]); when disabled they use the
+/// canonical per-stage-reduced kernels. Both paths are bit-identical —
+/// the escape hatch exists for benchmarking the delta and for
+/// bisecting, not for correctness.
+pub fn lazy_enabled() -> bool {
+    match std::env::var("MQX_LAZY") {
+        Ok(value) => {
+            let value = value.trim();
+            !(value.eq_ignore_ascii_case("off")
+                || value.eq_ignore_ascii_case("false")
+                || value == "0")
+        }
+        _ => true,
+    }
+}
+
 /// How a [`RingBuilder`] picks its backend.
 enum BackendChoice {
     /// The process's auto selection: the `MQX_BACKEND` pin when set,
@@ -64,6 +84,7 @@ pub struct RingBuilder {
     choice: BackendChoice,
     cache: Arc<PlanCache>,
     scratch_workers: Option<usize>,
+    lazy: Option<bool>,
 }
 
 impl RingBuilder {
@@ -76,6 +97,7 @@ impl RingBuilder {
             choice: BackendChoice::Auto,
             cache: Arc::clone(plan_cache::global()),
             scratch_workers: None,
+            lazy: None,
         }
     }
 
@@ -119,6 +141,15 @@ impl RingBuilder {
         self
     }
 
+    /// Forces the lazy-reduction fused polymul pipeline on (`true`) or
+    /// off (`false`) for this ring, overriding the process-wide
+    /// [`lazy_enabled`] default (`MQX_LAZY`). The two paths are
+    /// bit-identical; this knob exists for A/B measurement.
+    pub fn lazy(mut self, lazy: bool) -> Self {
+        self.lazy = Some(lazy);
+        self
+    }
+
     /// Builds the ring: validates the modulus, constructs the NTT plan,
     /// resolves the backend, and sets up the lock-free scratch pool
     /// (buffers themselves are allocated lazily on first use).
@@ -136,19 +167,17 @@ impl RingBuilder {
         let modulus = Modulus::new_prime(self.modulus)?.with_algorithm(self.algorithm);
         let plan = self.cache.plan_for(&modulus, self.n)?;
         let n = plan.size();
-        let psi = plan.psi().map(ResidueSoa::from_u128s);
-        let psi_inv = plan.psi_inv().map(ResidueSoa::from_u128s);
         let scratch = match self.scratch_workers {
             Some(workers) => ScratchPool::with_concurrency(n, workers),
             None => ScratchPool::new(n),
         };
+        let lazy = self.lazy.unwrap_or_else(lazy_enabled);
         Ok(Ring {
             modulus,
             plan,
             backend,
-            psi,
-            psi_inv,
             scratch,
+            lazy,
         })
     }
 }
@@ -172,11 +201,11 @@ pub struct Ring {
     modulus: Modulus,
     plan: Arc<NttPlan>,
     backend: Arc<dyn Backend>,
-    /// ψ^i / ψ^{−i} tables in SoA form, when the field has a 2n-th root:
-    /// lets the negacyclic twist run through the backend's `vmul`.
-    psi: Option<ResidueSoa>,
-    psi_inv: Option<ResidueSoa>,
     scratch: ScratchPool,
+    /// Route polynomial products through the lazy-reduction fused
+    /// pipeline ([`Backend::polymul_cyclic_fused`]). Bit-identical to
+    /// the canonical path; see [`lazy_enabled`].
+    lazy: bool,
 }
 
 impl fmt::Debug for Ring {
@@ -253,7 +282,14 @@ impl Ring {
 
     /// Whether negacyclic (`xⁿ + 1`) operations are available.
     pub fn supports_negacyclic(&self) -> bool {
-        self.psi.is_some()
+        self.plan.psi_soa().is_some()
+    }
+
+    /// Whether this ring routes polynomial products through the
+    /// lazy-reduction fused pipeline (the default; see [`lazy_enabled`]
+    /// and [`RingBuilder::lazy`]).
+    pub fn is_lazy(&self) -> bool {
+        self.lazy
     }
 
     fn check_len(&self, got: usize) -> Result<(), Error> {
@@ -319,6 +355,20 @@ impl Ring {
     /// the only allocation is the returned vector (plus a one-time
     /// buffer build while the pool warms up).
     pub fn polymul_cyclic(&self, a: &[u128], b: &[u128]) -> Result<Vec<u128>, Error> {
+        let mut out = Vec::new();
+        self.polymul_cyclic_into(a, b, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Ring::polymul_cyclic`] writing into a caller-owned vector: the
+    /// steady-state allocation-free slice form (`out` is resized once
+    /// and reused across calls; all working buffers come from the pool).
+    pub fn polymul_cyclic_into(
+        &self,
+        a: &[u128],
+        b: &[u128],
+        out: &mut Vec<u128>,
+    ) -> Result<(), Error> {
         self.check_len(a.len())?;
         self.check_len(b.len())?;
         let mut sa = self.scratch.checkout();
@@ -326,9 +376,17 @@ impl Ring {
         let mut tmp = self.scratch.checkout();
         sa.copy_from_u128s(a);
         sb.copy_from_u128s(b);
-        self.backend
-            .polymul_cyclic(&self.plan, &mut sa, &mut sb, &mut tmp);
-        Ok(sa.to_u128s())
+        if self.lazy {
+            self.backend
+                .polymul_cyclic_fused(&self.plan, &mut sa, &mut sb, &mut tmp);
+        } else {
+            self.backend
+                .polymul_cyclic(&self.plan, &mut sa, &mut sb, &mut tmp);
+        }
+        out.clear();
+        out.resize(self.plan.size(), 0);
+        sa.write_u128s(out);
+        Ok(())
     }
 
     /// Cyclic product over SoA buffers with the result left in `a` — the
@@ -337,7 +395,12 @@ impl Ring {
         self.check_len(a.len())?;
         self.check_len(b.len())?;
         let mut tmp = self.scratch.checkout();
-        self.backend.polymul_cyclic(&self.plan, a, b, &mut tmp);
+        if self.lazy {
+            self.backend
+                .polymul_cyclic_fused(&self.plan, a, b, &mut tmp);
+        } else {
+            self.backend.polymul_cyclic(&self.plan, a, b, &mut tmp);
+        }
         Ok(())
     }
 
@@ -351,36 +414,72 @@ impl Ring {
     /// [`Error::NoNegacyclicSupport`] if the field has no `2n`-th root
     /// of unity (check [`Ring::supports_negacyclic`]).
     pub fn polymul_negacyclic(&self, a: &[u128], b: &[u128]) -> Result<Vec<u128>, Error> {
+        let mut out = Vec::new();
+        self.polymul_negacyclic_into(a, b, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Ring::polymul_negacyclic`] writing into a caller-owned vector:
+    /// the steady-state allocation-free slice form.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NoNegacyclicSupport`] if the field has no `2n`-th root
+    /// of unity.
+    pub fn polymul_negacyclic_into(
+        &self,
+        a: &[u128],
+        b: &[u128],
+        out: &mut Vec<u128>,
+    ) -> Result<(), Error> {
         self.check_len(a.len())?;
         self.check_len(b.len())?;
-        let (psi, psi_inv) = match (&self.psi, &self.psi_inv) {
-            (Some(p), Some(pi)) => (p, pi),
-            _ => {
-                return Err(Error::NoNegacyclicSupport {
-                    n: self.plan.size(),
-                })
-            }
-        };
+        if !self.supports_negacyclic() {
+            return Err(Error::NoNegacyclicSupport {
+                n: self.plan.size(),
+            });
+        }
 
         let mut sa = self.scratch.checkout();
         let mut sb = self.scratch.checkout();
         let mut tmp = self.scratch.checkout();
-
-        // Twist: buf ← input ⊙ ψ.
         sa.copy_from_u128s(a);
-        self.backend.vmul(&sa, psi, &mut tmp, &self.modulus);
-        std::mem::swap(&mut *sa, &mut *tmp);
         sb.copy_from_u128s(b);
-        self.backend.vmul(&sb, psi, &mut tmp, &self.modulus);
-        std::mem::swap(&mut *sb, &mut *tmp);
 
-        // Cyclic product of the twisted operands (includes the n⁻¹).
-        self.backend
-            .polymul_cyclic(&self.plan, &mut sa, &mut sb, &mut tmp);
+        if self.lazy {
+            // Whole-pipeline fused form: twist, transforms, pointwise
+            // and merged untwist·n⁻¹ all stay in the lazy domains.
+            self.backend
+                .polymul_negacyclic_fused(&self.plan, &mut sa, &mut sb, &mut tmp)
+                .map_err(|_| Error::NoNegacyclicSupport {
+                    n: self.plan.size(),
+                })?;
+        } else {
+            let (psi, psi_inv) = self
+                .plan
+                .psi_soa()
+                .zip(self.plan.psi_inv_soa())
+                .expect("supports_negacyclic checked above");
 
-        // Untwist: result ⊙ ψ^{−i}.
-        self.backend.vmul(&sa, psi_inv, &mut tmp, &self.modulus);
-        Ok(tmp.to_u128s())
+            // Twist: buf ← input ⊙ ψ.
+            self.backend.vmul(&sa, psi, &mut tmp, &self.modulus);
+            std::mem::swap(&mut *sa, &mut *tmp);
+            self.backend.vmul(&sb, psi, &mut tmp, &self.modulus);
+            std::mem::swap(&mut *sb, &mut *tmp);
+
+            // Cyclic product of the twisted operands (includes the n⁻¹).
+            self.backend
+                .polymul_cyclic(&self.plan, &mut sa, &mut sb, &mut tmp);
+
+            // Untwist: result ⊙ ψ^{−i}, landing back in `sa`.
+            self.backend.vmul(&sa, psi_inv, &mut tmp, &self.modulus);
+            std::mem::swap(&mut *sa, &mut *tmp);
+        }
+
+        out.clear();
+        out.resize(self.plan.size(), 0);
+        sa.write_u128s(out);
+        Ok(())
     }
 }
 
@@ -397,7 +496,7 @@ impl crate::PolyRing for Ring {
     }
 
     fn supports_negacyclic(&self) -> bool {
-        self.psi.is_some()
+        Ring::supports_negacyclic(self)
     }
 
     fn channels(&self) -> usize {
@@ -433,6 +532,26 @@ impl crate::PolyRing for Ring {
         match op {
             crate::PolyOp::Cyclic => self.polymul_cyclic(a, b),
             crate::PolyOp::Negacyclic => self.polymul_negacyclic(a, b),
+        }
+    }
+
+    fn channel_polymul_into(
+        &self,
+        channel: usize,
+        op: crate::PolyOp,
+        a: &[u128],
+        b: &[u128],
+        out: &mut Vec<u128>,
+    ) -> Result<(), Error> {
+        if channel != 0 {
+            return Err(Error::ChannelOutOfRange {
+                channel,
+                channels: 1,
+            });
+        }
+        match op {
+            crate::PolyOp::Cyclic => self.polymul_cyclic_into(a, b, out),
+            crate::PolyOp::Negacyclic => self.polymul_negacyclic_into(a, b, out),
         }
     }
 

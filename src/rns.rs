@@ -722,6 +722,24 @@ impl crate::PolyRing for RnsRing {
         }
     }
 
+    fn channel_polymul_into(
+        &self,
+        channel: usize,
+        op: crate::PolyOp,
+        a: &[u128],
+        b: &[u128],
+        out: &mut Vec<u128>,
+    ) -> Result<(), Error> {
+        let ring = self.rings.get(channel).ok_or(Error::ChannelOutOfRange {
+            channel,
+            channels: self.rings.len(),
+        })?;
+        match op {
+            crate::PolyOp::Cyclic => ring.polymul_cyclic_into(a, b, out),
+            crate::PolyOp::Negacyclic => ring.polymul_negacyclic_into(a, b, out),
+        }
+    }
+
     fn join(&self, channels: Vec<Vec<u128>>) -> Result<crate::Coefficients, Error> {
         self.recombine(&channels).map(crate::Coefficients::Big)
     }

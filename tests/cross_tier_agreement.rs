@@ -138,6 +138,47 @@ fn every_backend_polymul_is_bit_identical_to_portable() {
     assert!(consumable_count >= 2, "portable + mqx-functional minimum");
 }
 
+/// The lazy-reduction fused pipeline is part of the same §5.3 bitwise
+/// contract: on every consumable tier, the fused path must reproduce
+/// the canonical portable reference exactly — lazy 2q/4q domains and
+/// Shoup butterflies change the arithmetic route, never the bits.
+#[test]
+fn every_backend_fused_polymul_is_bit_identical_to_canonical_portable() {
+    use mqx::RingBuilder;
+
+    let (a, b) = workload(primes::Q124);
+
+    let canonical_portable = RingBuilder::new(primes::Q124, N)
+        .backend_name("portable")
+        .lazy(false)
+        .build()
+        .unwrap();
+    let reference_cyclic = canonical_portable.polymul_cyclic(&a, &b).unwrap();
+    let reference_nega = canonical_portable.polymul_negacyclic(&a, &b).unwrap();
+
+    for backend in backend::available() {
+        if !backend.consumable() {
+            continue;
+        }
+        let name = backend.name();
+        let fused = RingBuilder::new(primes::Q124, N)
+            .backend(backend)
+            .lazy(true)
+            .build()
+            .unwrap();
+        assert_eq!(
+            fused.polymul_cyclic(&a, &b).unwrap(),
+            reference_cyclic,
+            "{name} fused cyclic"
+        );
+        assert_eq!(
+            fused.polymul_negacyclic(&a, &b).unwrap(),
+            reference_nega,
+            "{name} fused negacyclic"
+        );
+    }
+}
+
 #[test]
 fn blas_tiers_agree_with_baselines() {
     let m = Modulus::new(primes::Q124).unwrap();

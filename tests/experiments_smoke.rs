@@ -262,6 +262,73 @@ fn calibrate_reports_a_measured_ranking_and_winner() {
     if !pinned && !calibrate_off {
         assert_eq!(report.selected, report.winner);
     }
+    // The lazy-vs-canonical comparison carries one row per consumable
+    // backend, with finite positive measurements on both paths. The
+    // "lazy must not regress" gate itself is enforced by the release
+    // `calibrate` binary (non-zero exit) — quick-mode timings under the
+    // parallel test runner are too noisy for a ratio bound here.
+    assert_eq!(report.lazy.len(), consumable);
+    for (lazy_row, backend_row) in report.lazy.iter().zip(&report.backends) {
+        assert_eq!(lazy_row.name, backend_row.name);
+        assert!(
+            lazy_row.canonical_ns_per_butterfly > 0.0 && lazy_row.lazy_ns_per_butterfly > 0.0,
+            "{}",
+            lazy_row.name
+        );
+        assert!(lazy_row.speedup.is_finite() && lazy_row.speedup > 0.0);
+        assert_eq!(
+            lazy_row.regression,
+            lazy_row.lazy_ns_per_butterfly
+                > lazy_row.canonical_ns_per_butterfly
+                    * mqx_bench::experiments::calibrate::LAZY_REGRESSION_MARGIN
+        );
+    }
+}
+
+/// The `polymul_fused` smoke leg: one end-to-end mixed-size burst
+/// proving the default (lazy) serving path is bit-identical to a
+/// canonical-path ring on the same backend, through the public
+/// executor-facing API.
+#[test]
+fn polymul_fused_smoke_leg() {
+    use mqx::core::primes;
+    use mqx::RingBuilder;
+
+    quick();
+    for n in [256_usize, 1024] {
+        let lazy = RingBuilder::new(primes::Q124, n)
+            .lazy(true)
+            .build()
+            .unwrap();
+        let canonical = RingBuilder::new(primes::Q124, n)
+            .lazy(false)
+            .build()
+            .unwrap();
+        assert!(lazy.is_lazy() && !canonical.is_lazy());
+        let mut state = 0x5AFE_u64;
+        let mut poly = |q: u128| -> Vec<u128> {
+            (0..n)
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    u128::from(state) % q
+                })
+                .collect()
+        };
+        let a = poly(primes::Q124);
+        let b = poly(primes::Q124);
+        assert_eq!(
+            lazy.polymul_cyclic(&a, &b).unwrap(),
+            canonical.polymul_cyclic(&a, &b).unwrap(),
+            "cyclic n={n}"
+        );
+        assert_eq!(
+            lazy.polymul_negacyclic(&a, &b).unwrap(),
+            canonical.polymul_negacyclic(&a, &b).unwrap(),
+            "negacyclic n={n}"
+        );
+    }
 }
 
 #[test]
