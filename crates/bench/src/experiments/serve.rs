@@ -20,6 +20,7 @@
 
 use crate::report::{fmt_ns, write_json, Table};
 use mqx::core::primes;
+use mqx::frontdoor::{block_on, join_all, FrontDoor};
 use mqx::{Error, PolyOp, PolyRing, PolymulRequest, Priority, RequestHandle, Ring, RingExecutor};
 use mqx_json::impl_to_json;
 use std::sync::Arc;
@@ -82,18 +83,105 @@ impl_to_json!(QosRow {
     p99_ns,
 });
 
-/// The full serving artifact: the worker × batch throughput sweep plus
-/// the QoS scenario's per-class latency percentiles.
+/// The machine the artifact was measured on — so a flat scaling curve
+/// reads as "one-core container", not as a scheduler regression.
+#[derive(Clone, Debug)]
+pub struct HostContext {
+    /// `std::thread::available_parallelism()` on the running host (`0`
+    /// when the host cannot report it).
+    pub available_parallelism: usize,
+    /// The executor worker counts the throughput sweep actually ran.
+    pub sweep_worker_counts: Vec<usize>,
+    /// Worker threads used by the QoS scenario pool.
+    pub qos_workers: usize,
+    /// Worker threads behind the admission-control front door.
+    pub admission_workers: usize,
+}
+
+impl_to_json!(HostContext {
+    available_parallelism,
+    sweep_worker_counts,
+    qos_workers,
+    admission_workers,
+});
+
+/// One priority class of the admission-control leg: a front-door burst
+/// against per-class bounded queues.
+#[derive(Clone, Debug)]
+pub struct AdmissionRow {
+    /// Priority class (`high`/`normal`/`low`).
+    pub class: String,
+    /// The class's configured queue-depth limit.
+    pub depth_limit: usize,
+    /// Requests submitted to this class.
+    pub submitted: usize,
+    /// Requests that completed with a product (bit-identity-gated
+    /// against sequential execution).
+    pub completed: usize,
+    /// Requests shed at submit with `Error::Overloaded`.
+    pub shed_at_submit: u64,
+    /// Deepest the class's pending queue got at admission time.
+    pub queue_high_water: usize,
+}
+
+impl_to_json!(AdmissionRow {
+    class,
+    depth_limit,
+    submitted,
+    completed,
+    shed_at_submit,
+    queue_high_water,
+});
+
+/// The `AdmissionStats` totals of the admission leg, with the
+/// reconciliation verdict the acceptance gate checks.
+#[derive(Clone, Debug)]
+pub struct AdmissionSummary {
+    /// Worker threads behind the front door.
+    pub workers: usize,
+    /// Requests offered to the front door.
+    pub submitted: u64,
+    /// Requests admitted into the executor.
+    pub admitted: u64,
+    /// Requests shed at submit across all classes.
+    pub shed_at_submit: u64,
+    /// Whether `admitted + shed_at_submit == submitted` held.
+    pub reconciled: bool,
+}
+
+impl_to_json!(AdmissionSummary {
+    workers,
+    submitted,
+    admitted,
+    shed_at_submit,
+    reconciled,
+});
+
+/// The full serving artifact: host context, the worker × batch
+/// throughput sweep, the QoS scenario's per-class latency percentiles,
+/// and the admission-control leg.
 #[derive(Clone, Debug)]
 pub struct ServeReport {
+    /// The machine and pool shapes behind every number below.
+    pub host: HostContext,
     /// The worker × batch throughput sweep.
     pub sweep: Vec<ServeRow>,
     /// The QoS scenario rows (one per priority class, one deadline
     /// leg).
     pub qos: Vec<QosRow>,
+    /// The admission-control leg, one row per priority class.
+    pub admission: Vec<AdmissionRow>,
+    /// The admission leg's reconciling totals.
+    pub admission_summary: AdmissionSummary,
 }
 
-impl_to_json!(ServeReport { sweep, qos });
+impl_to_json!(ServeReport {
+    host,
+    sweep,
+    qos,
+    admission,
+    admission_summary,
+});
 
 fn requests(n: usize, batch: usize, seed: u64) -> Vec<PolymulRequest> {
     let mut state = seed ^ 0x5EED;
@@ -250,9 +338,87 @@ fn qos_scenario(ring: &Arc<dyn PolyRing>, n: usize, quick: bool) -> Vec<QosRow> 
     rows
 }
 
+/// Runs the admission-control leg: an async burst through a
+/// [`FrontDoor`] whose per-class queues are deliberately shallower than
+/// the burst, awaited as one `join_all` under `block_on`. Admitted
+/// products are bit-identity-gated against sequential execution; shed
+/// requests must resolve `Error::Overloaded`; the stats must reconcile.
+fn admission_scenario(
+    ring: &Arc<dyn PolyRing>,
+    n: usize,
+    quick: bool,
+) -> (Vec<AdmissionRow>, AdmissionSummary) {
+    let workers = if quick { 2 } else { 4 };
+    let per_class = if quick { 12 } else { 48 };
+    // Shallow enough that a saturated burst sheds, deep enough that the
+    // pool still serves a meaningful fraction.
+    let depth = if quick { 4 } else { 16 };
+    let door = FrontDoor::builder(workers)
+        .queue_depth(depth)
+        .build()
+        .expect("non-zero workers");
+
+    let reqs = requests(n, per_class * 3, 0xAD);
+    let sequential: Vec<_> = reqs
+        .iter()
+        .map(|r| ring.polymul(r.op, &r.a, &r.b).expect("valid request"))
+        .collect();
+    let classes = [Priority::Low, Priority::Normal, Priority::High];
+    let tagged: Vec<(usize, Priority)> = (0..reqs.len())
+        .map(|i| (i, classes[i % classes.len()]))
+        .collect();
+    let futures: Vec<_> = reqs
+        .into_iter()
+        .zip(&tagged)
+        .map(|(r, &(_, priority))| {
+            door.submit(ring, r.with_priority(priority))
+                .expect("valid request")
+        })
+        .collect();
+
+    let mut completed = [0_usize; 3];
+    for (outcome, &(index, priority)) in block_on(join_all(futures)).into_iter().zip(&tagged) {
+        match outcome {
+            Ok(product) => {
+                assert_eq!(product, sequential[index], "admitted must match sequential");
+                completed[priority as usize] += 1;
+            }
+            Err(Error::Overloaded { class, .. }) => {
+                assert_eq!(class, priority, "shed in its own class");
+            }
+            Err(e) => panic!("unexpected admission outcome: {e}"),
+        }
+    }
+
+    let stats = door.stats();
+    assert!(
+        stats.reconciles(),
+        "admitted + shed must equal submitted: {stats:?}"
+    );
+    let rows = Priority::ALL
+        .into_iter()
+        .map(|priority| AdmissionRow {
+            class: priority.to_string(),
+            depth_limit: door.queue_depth_limit(priority),
+            submitted: per_class,
+            completed: completed[priority as usize],
+            shed_at_submit: stats.shed_at_submit_for(priority),
+            queue_high_water: stats.high_water_for(priority),
+        })
+        .collect();
+    let summary = AdmissionSummary {
+        workers,
+        submitted: stats.submitted,
+        admitted: stats.admitted,
+        shed_at_submit: stats.shed_at_submit_total(),
+        reconciled: stats.reconciles(),
+    };
+    (rows, summary)
+}
+
 /// Sweeps worker count × batch size at `2^12` points (`2^10`, smaller
-/// batches in quick mode), runs the QoS scenario, and prints both
-/// tables.
+/// batches in quick mode), runs the QoS scenario and the
+/// admission-control leg, and prints the tables.
 pub fn run(quick: bool) -> ServeReport {
     let log_n = if quick { 9 } else { 12 };
     let n = 1_usize << log_n;
@@ -358,7 +524,50 @@ pub fn run(quick: bool) -> ServeReport {
     }
     table.print();
 
-    let report = ServeReport { sweep: rows, qos };
+    let (admission, admission_summary) = admission_scenario(&ring, n, quick);
+    let mut table = Table::new(
+        "admission control — async front-door burst, bounded per-class queues",
+        &[
+            "class",
+            "depth limit",
+            "submitted",
+            "completed",
+            "shed@submit",
+            "high water",
+        ],
+    );
+    for r in &admission {
+        table.row(&[
+            r.class.clone(),
+            r.depth_limit.to_string(),
+            r.submitted.to_string(),
+            r.completed.to_string(),
+            r.shed_at_submit.to_string(),
+            r.queue_high_water.to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "  admission totals: {} submitted = {} admitted + {} shed (reconciled: {})\n",
+        admission_summary.submitted,
+        admission_summary.admitted,
+        admission_summary.shed_at_submit,
+        admission_summary.reconciled,
+    );
+
+    let host = HostContext {
+        available_parallelism: std::thread::available_parallelism().map_or(0, |p| p.get()),
+        sweep_worker_counts: worker_counts.to_vec(),
+        qos_workers: if quick { 2 } else { 4 },
+        admission_workers: admission_summary.workers,
+    };
+    let report = ServeReport {
+        host,
+        sweep: rows,
+        qos,
+        admission,
+        admission_summary,
+    };
     write_json("serve_throughput", &report);
     report
 }

@@ -15,6 +15,7 @@
 
 use mqx::bignum::BigUint;
 use mqx::core::primes;
+use mqx::frontdoor::{block_on, join_all, FrontDoor};
 use mqx::{Error, PolyOp, PolyRing, PolymulRequest, Priority, Ring, RingExecutor, RnsRing};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -179,6 +180,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             "arrived after completion (no-op)"
         }
+    );
+
+    // The other completion style: futures through the admission-
+    // controlled front door. One `block_on` collects the whole batch
+    // via `join_all` — no thread parked per request — and the door's
+    // stats reconcile every admission decision.
+    let door = FrontDoor::builder(workers)
+        .queue_depth(batch.max(1))
+        .build()?;
+    let async_batch = batch.min(64);
+    let futures: Vec<_> = (0..async_batch)
+        .map(|i| {
+            let op = if i % 2 == 0 {
+                PolyOp::Negacyclic
+            } else {
+                PolyOp::Cyclic
+            };
+            let a = random_words(n, primes::Q124, &mut seed);
+            let b = random_words(n, primes::Q124, &mut seed);
+            door.submit(&ring, PolymulRequest::new(op, a.into(), b.into()))
+        })
+        .collect::<Result<_, _>>()?;
+    let t0 = Instant::now();
+    let mut ok = 0_usize;
+    for outcome in block_on(join_all(futures)) {
+        match outcome {
+            Ok(product) => {
+                assert_eq!(product.len(), n);
+                ok += 1;
+            }
+            Err(Error::Overloaded { class, depth }) => {
+                println!("async: shed at submit ({class} class at depth {depth})");
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let stats = door.stats();
+    assert!(stats.reconciles(), "admitted + shed == submitted");
+    println!(
+        "async: awaited {ok}/{async_batch} futures through the front door in {:?} \
+         (admitted {} / shed {}, books reconcile)",
+        t0.elapsed(),
+        stats.admitted,
+        stats.shed_at_submit_total(),
     );
 
     Ok(())

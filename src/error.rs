@@ -147,6 +147,19 @@ pub enum Error {
     /// was shed at submit or at dequeue instead of burning worker
     /// time).
     DeadlineExceeded,
+    /// The request was shed at admission: its priority class's bounded
+    /// queue in a [`FrontDoor`](crate::frontdoor::FrontDoor) was
+    /// already at its configured depth, so the request was refused
+    /// immediately — zero channels executed, zero caller blocking —
+    /// instead of growing the queue without bound. Well-behaved clients
+    /// can opt into backpressure instead via
+    /// [`FrontDoor::reserve`](crate::frontdoor::FrontDoor::reserve).
+    Overloaded {
+        /// The priority class whose queue was full.
+        class: crate::executor::Priority,
+        /// That class's configured depth limit.
+        depth: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -223,6 +236,11 @@ impl fmt::Display for Error {
             Error::DeadlineExceeded => write!(
                 f,
                 "request deadline passed before it finished executing; it was shed"
+            ),
+            Error::Overloaded { class, depth } => write!(
+                f,
+                "request shed at admission: the {class} class queue is at its depth limit \
+                 ({depth}); retry later or reserve() a permit for backpressure"
             ),
         }
     }
@@ -381,6 +399,17 @@ mod tests {
         let e = Error::DeadlineExceeded;
         let msg = e.to_string();
         assert!(msg.contains("deadline") && msg.contains("shed"), "{msg}");
+        assert!(e.source().is_none());
+
+        let e = Error::Overloaded {
+            class: crate::executor::Priority::Low,
+            depth: 2,
+        };
+        let msg = e.to_string();
+        assert!(
+            msg.contains("low") && msg.contains('2') && msg.contains("reserve"),
+            "{msg}"
+        );
         assert!(e.source().is_none());
     }
 }

@@ -88,8 +88,15 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::task::Waker;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// An observer fired exactly once, just before a request's outcome is
+/// published — the hook the [`frontdoor`](crate::frontdoor) admission
+/// layer uses to count deadline sheds and cancellations even when the
+/// caller drops its handle without waiting.
+pub(crate) type PublishHook = Box<dyn Fn(&Result<Coefficients, Error>) + Send + Sync>;
 
 /// Scheduling class of a request: the injector drains strictly
 /// `High → Normal → Low`, submission order within a class.
@@ -108,14 +115,14 @@ pub enum Priority {
 }
 
 /// Number of [`Priority`] classes (one injector FIFO each).
-const CLASSES: usize = 3;
+pub(crate) const CLASSES: usize = 3;
 
 impl Priority {
     /// Every class, drain order first.
     pub const ALL: [Priority; CLASSES] = [Priority::High, Priority::Normal, Priority::Low];
 
     /// The injector FIFO this class maps to.
-    fn class(self) -> usize {
+    pub(crate) fn class(self) -> usize {
         self as usize
     }
 }
@@ -378,6 +385,14 @@ struct RequestState {
     /// one), so `Some` here means "`wait` will not block".
     outcome: Mutex<Option<Result<Coefficients, Error>>>,
     done: Condvar,
+    /// The async completion path: a [`Waker`] parked by a pending
+    /// future's `poll`, fired exactly once when the outcome is
+    /// published (last channel joined, shed, or cancelled). Re-polls
+    /// replace the stored waker. Locked strictly after `outcome`.
+    waker: Mutex<Option<Waker>>,
+    /// Fired once, just before the outcome becomes observable (stats
+    /// accounting for the admission layer). `None` for plain submits.
+    on_publish: Option<PublishHook>,
 }
 
 impl RequestState {
@@ -435,13 +450,34 @@ impl RequestState {
                 }))
                 .unwrap_or(Err(Error::JoinPanicked))
             };
-            // Publishing the outcome is the single "finished" signal:
-            // it happens strictly after the join, so a handle observing
-            // `Some` (is_finished, try_wait) never races the join
-            // window.
+            self.publish(resolved);
+        }
+    }
+
+    /// Publishes the request's final result — the single "finished"
+    /// signal, reached exactly once per request. Fires the publish hook
+    /// first (so admission stats are current before any waiter can
+    /// observe the outcome), then writes the outcome under its lock
+    /// (strictly after the join, so a handle observing `Some` never
+    /// races the join window), wakes condvar waiters, and finally fires
+    /// the parked async waker — outside the locks, since a waker may do
+    /// arbitrary (cheap) work like unparking a `block_on` thread.
+    fn publish(&self, resolved: Result<Coefficients, Error>) {
+        if let Some(hook) = &self.on_publish {
+            hook(&resolved);
+        }
+        let waker = {
             let mut outcome = self.outcome.lock().expect("request outcome poisoned");
+            debug_assert!(outcome.is_none(), "a request resolves exactly once");
             *outcome = Some(resolved);
             self.done.notify_all();
+            // Same lock order as registration (outcome → waker): any
+            // waker parked before this point is drained here; any poll
+            // after it observes the published outcome. No lost wakeups.
+            self.waker.lock().expect("request waker poisoned").take()
+        };
+        if let Some(waker) = waker {
+            waker.wake();
         }
     }
 
@@ -558,6 +594,57 @@ impl RequestHandle {
             .lock()
             .expect("request outcome poisoned")
             .is_some()
+    }
+
+    /// A detached cancellation handle for this request: a cheap clone
+    /// of the shared state that outlives the handle (or the future
+    /// wrapping it), so a front end can drop the result claim yet still
+    /// discard the queued work later.
+    pub fn canceller(&self) -> Canceller {
+        Canceller {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// The async completion primitive behind
+    /// [`frontdoor::AsyncRequestHandle`](crate::frontdoor::AsyncRequestHandle):
+    /// takes the outcome if the request has resolved, otherwise parks
+    /// `waker` in the request's shared outcome slot (replacing any
+    /// previously parked waker) to be fired exactly once at
+    /// publication. The waker is registered under the outcome lock —
+    /// the same lock, in the same order, publication drains it under —
+    /// so a wakeup can never be lost between the check and the park.
+    pub(crate) fn poll_take(&self, waker: &Waker) -> Option<Result<Coefficients, Error>> {
+        let mut outcome = self.state.outcome.lock().expect("request outcome poisoned");
+        if let Some(result) = outcome.take() {
+            return Some(result);
+        }
+        *self.state.waker.lock().expect("request waker poisoned") = Some(waker.clone());
+        None
+    }
+}
+
+/// A detached, clonable cancellation claim on one submitted request —
+/// [`RequestHandle::canceller`]. Cancelling through it behaves exactly
+/// like [`RequestHandle::cancel`]: cooperative, idempotent, and a no-op
+/// once the request has resolved.
+#[derive(Clone)]
+pub struct Canceller {
+    state: Arc<RequestState>,
+}
+
+impl Canceller {
+    /// Requests cooperative cancellation (see [`RequestHandle::cancel`]).
+    pub fn cancel(&self) {
+        self.state.cancelled.store(true, Ordering::Release);
+    }
+}
+
+impl std::fmt::Debug for Canceller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Canceller")
+            .field("cancelled", &self.state.cancelled.load(Ordering::Acquire))
+            .finish()
     }
 }
 
@@ -774,6 +861,30 @@ impl RingExecutor {
         self.workers.len()
     }
 
+    /// A cheap snapshot of the pending queue length of every
+    /// [`Priority`] class (drain order: `[High, Normal, Low]`) — the
+    /// requests injected but not yet picked up by a worker. Channels of
+    /// requests already being fanned out or executed are not counted:
+    /// this is the *admission* depth, the number a bounded front door
+    /// compares against its per-class limits, and the number to watch
+    /// when debugging saturation (a class pinned at its limit is
+    /// shedding or starving).
+    ///
+    /// Accounting is implicit — the injector FIFOs themselves are
+    /// measured under their lock, so the snapshot is exact at the
+    /// instant it is taken and cannot drift from reality the way a
+    /// shadow counter could.
+    pub fn queue_depths(&self) -> [usize; CLASSES] {
+        let classes = self.shared.injector.lock().expect("injector poisoned");
+        std::array::from_fn(|class| classes[class].len())
+    }
+
+    /// The pending queue length of one [`Priority`] class (see
+    /// [`queue_depths`](RingExecutor::queue_depths)).
+    pub fn queue_depth(&self, priority: Priority) -> usize {
+        self.shared.injector.lock().expect("injector poisoned")[priority.class()].len()
+    }
+
     /// Queues one ring operation against `ring` and returns a handle to
     /// its eventual result. Accepts anything [`Into`] a [`RingRequest`]
     /// — a [`PolymulRequest`] included. Operands are validated (arity,
@@ -799,7 +910,22 @@ impl RingExecutor {
         ring: &Arc<dyn PolyRing>,
         request: impl Into<RingRequest>,
     ) -> Result<RequestHandle, Error> {
-        let request: RingRequest = request.into();
+        self.submit_with_hook(ring, request.into(), None)
+    }
+
+    /// [`submit`](RingExecutor::submit) with an optional publish
+    /// observer: `hook` fires exactly once, just before the request's
+    /// outcome becomes observable — even when the request is shed or
+    /// its handle/future is dropped without waiting. This is how the
+    /// [`frontdoor`](crate::frontdoor) keeps deadline-shed and
+    /// cancellation counts exact without requiring callers to consume
+    /// every handle.
+    pub(crate) fn submit_with_hook(
+        &self,
+        ring: &Arc<dyn PolyRing>,
+        request: RingRequest,
+        on_publish: Option<PublishHook>,
+    ) -> Result<RequestHandle, Error> {
         if request.op == RingOp::Polymul(PolyOp::Negacyclic) && !ring.supports_negacyclic() {
             return Err(Error::NoNegacyclicSupport { n: ring.size() });
         }
@@ -860,14 +986,17 @@ impl RingExecutor {
             first_error: Mutex::new(None),
             outcome: Mutex::new(None),
             done: Condvar::new(),
+            waker: Mutex::new(None),
+            on_publish,
         });
         if let Some(deadline) = options.deadline {
             if Instant::now() >= deadline {
                 // Dead on arrival: resolve without touching the queues,
                 // so zero channels execute even on a saturated pool.
+                // `publish` (not a bare outcome write) so the publish
+                // hook still observes the shed.
                 state.remaining.store(0, Ordering::Release);
-                *state.outcome.lock().expect("request outcome poisoned") =
-                    Some(Err(Error::DeadlineExceeded));
+                state.publish(Err(Error::DeadlineExceeded));
                 return Ok(RequestHandle { state });
             }
         }

@@ -34,7 +34,17 @@
 //!   `Arc<dyn PolyRing>`, with serving QoS: [`Priority`] classes drained
 //!   strictly High → Normal → Low, per-request deadlines shed at
 //!   dequeue, and cooperative cancellation ([`SubmitOptions`] /
-//!   [`RequestHandle::cancel`]);
+//!   [`RequestHandle::cancel`] / detached [`Canceller`]s);
+//! * [`frontdoor`] — the admission-controlled async façade a network
+//!   service fronts the executor with:
+//!   [`FrontDoor`](frontdoor::FrontDoor) submits resolve through
+//!   [`Future`](std::future::Future)-based
+//!   [`AsyncRequestHandle`](frontdoor::AsyncRequestHandle)s (std wakers
+//!   only; a minimal [`frontdoor::block_on`] ships in-tree), per-class
+//!   bounded queue depth sheds overload with [`Error::Overloaded`],
+//!   `reserve()` permits give backpressure, and
+//!   [`AdmissionStats`](frontdoor::AdmissionStats) reconciles every
+//!   admission decision;
 //! * [`plan_cache`] — the keyed (optionally capacity-bounded) NTT-plan
 //!   cache behind every ring open.
 //!
@@ -95,6 +105,7 @@
 pub mod backend;
 mod error;
 mod executor;
+pub mod frontdoor;
 mod ops;
 pub mod plan_cache;
 mod poly;
@@ -105,7 +116,7 @@ mod scratch;
 pub use backend::{Backend, Tier};
 pub use error::Error;
 pub use executor::{
-    PolymulRequest, Priority, RequestHandle, RingExecutor, RingRequest, SubmitOptions,
+    Canceller, PolymulRequest, Priority, RequestHandle, RingExecutor, RingRequest, SubmitOptions,
 };
 pub use ops::RingOp;
 pub use plan_cache::PlanCache;

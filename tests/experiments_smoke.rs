@@ -182,6 +182,34 @@ fn serve_throughput_sweeps_worker_counts_and_reports_qos() {
             assert!(r.p50_ns > 0.0 && r.p50_ns <= r.p99_ns, "{r:?}");
         }
     }
+    // Host context: the artifact is self-explaining about the machine
+    // it was measured on and the pool shapes it ran.
+    assert_eq!(report.host.sweep_worker_counts, vec![1, 2, 4]);
+    assert!(report.host.qos_workers > 0 && report.host.admission_workers > 0);
+    // `available_parallelism` may legitimately be unreportable (0), but
+    // never mis-reported negative-ish garbage.
+    assert!(report.host.available_parallelism < 10_000);
+    // The admission leg: one row per priority class, books balanced.
+    let classes: Vec<&str> = report.admission.iter().map(|r| r.class.as_str()).collect();
+    assert_eq!(classes, vec!["high", "normal", "low"]);
+    let summary = &report.admission_summary;
+    assert!(summary.reconciled, "{summary:?}");
+    assert_eq!(summary.admitted + summary.shed_at_submit, summary.submitted);
+    let completed: usize = report.admission.iter().map(|r| r.completed).sum();
+    let shed: u64 = report.admission.iter().map(|r| r.shed_at_submit).sum();
+    assert_eq!(
+        completed as u64, summary.admitted,
+        "every admitted request completed"
+    );
+    assert_eq!(shed, summary.shed_at_submit);
+    for r in &report.admission {
+        assert_eq!(
+            r.completed as u64 + r.shed_at_submit,
+            r.submitted as u64,
+            "{r:?}"
+        );
+        assert!(r.queue_high_water <= r.depth_limit, "{r:?}");
+    }
     // Structural only: wall-clock scaling with workers is too noisy
     // under the parallel test runner (and this CI box may have one
     // core); the release-mode `serve` binary is the quantitative check.

@@ -1,0 +1,498 @@
+//! Acceptance suite for the async front door: awaited futures are
+//! bit-identical to blocking waits for every `RingOp` on both ring
+//! kinds, saturation sheds with `Error::Overloaded` and zero channels
+//! executed, wakers fire exactly once (no busy-poll), the
+//! drop-the-future-then-cancel order works, `reserve()` permits give
+//! backpressure instead of shedding, and `AdmissionStats` reconcile
+//! under a concurrent submit hammer.
+//!
+//! Scheduling-sensitive tests reuse the `executor_qos` idiom: a
+//! one-worker pool occupied by a gated "blocker" request, so everything
+//! submitted behind it piles up in the injector at depths the test
+//! controls exactly.
+
+use mqx::bignum::BigUint;
+use mqx::core::primes;
+use mqx::frontdoor::{block_on, join_all, AsyncRequestHandle, FrontDoor};
+use mqx::{
+    Coefficients, Error, PolyOp, PolyRing, PolymulRequest, Priority, Ring, RingRequest, RnsRing,
+};
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::{Duration, Instant};
+
+const N: usize = 64;
+/// `a[0]` value marking the request that parks on the gate.
+const BLOCKER_TAG: u128 = 999_999;
+
+/// A one-way gate: closed until `open()`, then open forever.
+struct Gate {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new() -> Gate {
+        Gate {
+            open: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn open(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.cv.wait(open).unwrap();
+        }
+    }
+}
+
+/// Spins until `cond` holds, panicking after a generous timeout so a
+/// regression fails instead of hanging the suite.
+fn spin_until(what: &str, cond: impl Fn() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::yield_now();
+    }
+}
+
+/// Wraps a real [`Ring`], logging every executed channel's `a[0]` tag
+/// and parking requests tagged [`BLOCKER_TAG`] on a gate until the test
+/// releases them.
+struct GatedRing {
+    inner: Ring,
+    gate: Gate,
+    blocker_started: AtomicBool,
+    executed: AtomicUsize,
+    log: Mutex<Vec<u128>>,
+}
+
+impl GatedRing {
+    fn new() -> GatedRing {
+        GatedRing {
+            inner: Ring::auto(primes::Q124, N).unwrap(),
+            gate: Gate::new(),
+            blocker_started: AtomicBool::new(false),
+            executed: AtomicUsize::new(0),
+            log: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn executed(&self) -> usize {
+        self.executed.load(Ordering::Acquire)
+    }
+
+    fn log(&self) -> Vec<u128> {
+        self.log.lock().unwrap().clone()
+    }
+}
+
+impl PolyRing for GatedRing {
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+    fn modulus_bits(&self) -> u64 {
+        PolyRing::modulus_bits(&self.inner)
+    }
+    fn supports_negacyclic(&self) -> bool {
+        self.inner.supports_negacyclic()
+    }
+    fn channels(&self) -> usize {
+        1
+    }
+    fn split(&self, coeffs: &Coefficients) -> Result<Vec<Vec<u128>>, Error> {
+        PolyRing::split(&self.inner, coeffs)
+    }
+    fn channel_polymul(
+        &self,
+        channel: usize,
+        op: PolyOp,
+        a: &[u128],
+        b: &[u128],
+    ) -> Result<Vec<u128>, Error> {
+        if a[0] == BLOCKER_TAG {
+            self.blocker_started.store(true, Ordering::Release);
+            self.gate.wait();
+        }
+        self.log.lock().unwrap().push(a[0]);
+        self.executed.fetch_add(1, Ordering::AcqRel);
+        PolyRing::channel_polymul(&self.inner, channel, op, a, b)
+    }
+    fn join(&self, channels: Vec<Vec<u128>>) -> Result<Coefficients, Error> {
+        PolyRing::join(&self.inner, channels)
+    }
+}
+
+/// A request whose `a[0]` carries `tag` (the rest zeros).
+fn tagged(tag: u128) -> PolymulRequest {
+    let mut a = vec![0_u128; N];
+    a[0] = tag;
+    PolymulRequest::new(PolyOp::Cyclic, a.into(), vec![1_u128; N].into())
+}
+
+/// Occupies the door's single worker with the gated blocker (submitted
+/// straight to the executor, outside admission) and waits until it is
+/// actually executing, so everything submitted afterwards piles up in
+/// the injector.
+fn occupy_worker(
+    door: &FrontDoor,
+    ring: &Arc<dyn PolyRing>,
+    gated: &Arc<GatedRing>,
+) -> mqx::RequestHandle {
+    let handle = door.executor().submit(ring, tagged(BLOCKER_TAG)).unwrap();
+    spin_until("blocker to reach the worker", || {
+        gated.blocker_started.load(Ordering::Acquire)
+    });
+    handle
+}
+
+fn big_coeffs(n: usize, product: &BigUint, seed: u64) -> Vec<BigUint> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let hi = BigUint::from(u128::from(state));
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
+            hi.mul_mod(&BigUint::from(u128::from(state)), product)
+        })
+        .collect()
+}
+
+fn word_coeffs(seed: u64) -> Coefficients {
+    let mut state = seed;
+    Coefficients::Word(
+        (0..N)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                u128::from(state) % primes::Q124
+            })
+            .collect(),
+    )
+}
+
+/// The acceptance gate: for every supported `RingOp`, the coefficients
+/// an `AsyncRequestHandle` resolves to under `block_on` are
+/// bit-identical to what the blocking `RequestHandle::wait` returns for
+/// the same request against the same shared ring.
+fn assert_async_matches_blocking(ring: &Arc<dyn PolyRing>, cases: Vec<RingRequest>) {
+    let door = FrontDoor::new(2).unwrap();
+    let mut futures = Vec::new();
+    let mut blocking = Vec::new();
+    for request in cases {
+        blocking.push(door.executor().submit(ring, request.clone()).unwrap());
+        futures.push(door.submit(ring, request).unwrap());
+    }
+    let submitted = futures.len() as u64;
+    let awaited = block_on(join_all(futures));
+    for (i, (awaited, handle)) in awaited.into_iter().zip(blocking).enumerate() {
+        let expected = handle.wait().unwrap();
+        assert_eq!(awaited.unwrap(), expected, "op case {i} diverged");
+    }
+    let stats = door.stats();
+    assert!(stats.reconciles());
+    assert_eq!(stats.admitted, submitted, "nothing shed at these depths");
+    assert_eq!(stats.shed_at_submit_total(), 0);
+}
+
+#[test]
+fn awaited_futures_match_blocking_waits_for_every_op_on_word_ring() {
+    let ring: Arc<dyn PolyRing> = Arc::new(Ring::auto(primes::Q124, N).unwrap());
+    let mut cases = Vec::new();
+    for i in 0..12_u64 {
+        let a = word_coeffs(0x11 + i);
+        let b = word_coeffs(0x22 + i);
+        cases.push(match i % 4 {
+            0 => RingRequest::polymul(PolyOp::Negacyclic, a, b),
+            1 => RingRequest::polymul(PolyOp::Cyclic, a, b),
+            2 => RingRequest::add(a, b),
+            _ => RingRequest::sub(a, b),
+        });
+    }
+    assert_async_matches_blocking(&ring, cases);
+}
+
+#[test]
+fn awaited_futures_match_blocking_waits_for_every_op_on_rns_ring() {
+    let concrete = RnsRing::auto(3, N).unwrap();
+    let product = concrete.product_modulus().clone();
+    let ring: Arc<dyn PolyRing> = Arc::new(concrete);
+    let mut cases = Vec::new();
+    for i in 0..18_u64 {
+        let a = Coefficients::Big(big_coeffs(N, &product, 0xA1 ^ i));
+        let b = Coefficients::Big(big_coeffs(N, &product, 0xB2 ^ (i << 1)));
+        cases.push(match i % 6 {
+            0 => RingRequest::polymul(PolyOp::Negacyclic, a, b),
+            1 => RingRequest::polymul(PolyOp::Cyclic, a, b),
+            2 => RingRequest::add(a, b),
+            3 => RingRequest::sub(a, b),
+            4 => RingRequest::rescale(a),
+            _ => RingRequest::basis_extend(a, 1),
+        });
+    }
+    assert_async_matches_blocking(&ring, cases);
+}
+
+#[test]
+fn saturated_low_queue_sheds_overloaded_with_zero_channels_executed() {
+    let gated = Arc::new(GatedRing::new());
+    let ring: Arc<dyn PolyRing> = Arc::clone(&gated) as Arc<dyn PolyRing>;
+    let door = FrontDoor::builder(1)
+        .queue_depth_for(Priority::Low, 2)
+        .build()
+        .unwrap();
+    let blocker = occupy_worker(&door, &ring, &gated);
+
+    // Two Low requests fill the depth-2 class while the worker is held.
+    let queued: Vec<_> = (0..2)
+        .map(|i| {
+            door.submit(&ring, tagged(i).with_priority(Priority::Low))
+                .unwrap()
+        })
+        .collect();
+    assert_eq!(door.executor().queue_depth(Priority::Low), 2);
+
+    // The third is shed at submit: resolved immediately, never blocks,
+    // never enters the executor.
+    let shed = door
+        .submit(&ring, tagged(7).with_priority(Priority::Low))
+        .unwrap();
+    assert!(shed.is_finished(), "shed requests resolve at submit");
+    assert!(matches!(
+        block_on(shed),
+        Err(Error::Overloaded {
+            class: Priority::Low,
+            depth: 2
+        })
+    ));
+    // Nothing has completed a kernel: the blocker is parked on the
+    // gate ahead of its log line, and everything else is queued.
+    assert_eq!(gated.executed(), 0, "no channel executed yet");
+
+    gated.gate.open();
+    blocker.wait().unwrap();
+    for future in queued {
+        block_on(future).unwrap();
+    }
+    // The shed request executed zero channels: its tag never reached
+    // the ring.
+    assert!(!gated.log().contains(&7), "shed request never executed");
+    assert_eq!(gated.executed(), 3, "blocker + the two admitted");
+
+    let stats = door.stats();
+    assert!(stats.reconciles(), "admitted + shed == submitted");
+    assert_eq!(stats.submitted, 3);
+    assert_eq!(stats.admitted, 2);
+    assert_eq!(stats.shed_at_submit_for(Priority::Low), 1);
+    assert_eq!(stats.high_water_for(Priority::Low), 2);
+}
+
+/// A waker that only counts its wakes.
+struct CountingWaker {
+    wakes: AtomicUsize,
+}
+
+impl Wake for CountingWaker {
+    fn wake(self: Arc<Self>) {
+        self.wakes.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.wakes.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+#[test]
+fn parked_future_is_woken_exactly_once_with_no_busy_poll() {
+    let gated = Arc::new(GatedRing::new());
+    let ring: Arc<dyn PolyRing> = Arc::clone(&gated) as Arc<dyn PolyRing>;
+    let door = FrontDoor::new(1).unwrap();
+    let blocker = occupy_worker(&door, &ring, &gated);
+
+    let mut future = door.submit(&ring, tagged(7)).unwrap();
+    let counter = Arc::new(CountingWaker {
+        wakes: AtomicUsize::new(0),
+    });
+    let waker = Waker::from(Arc::clone(&counter));
+    let mut cx = Context::from_waker(&waker);
+
+    // Parked: the poll registers the waker in the outcome slot.
+    assert!(matches!(Pin::new(&mut future).poll(&mut cx), Poll::Pending));
+    assert_eq!(counter.wakes.load(Ordering::Acquire), 0, "nothing to wake");
+
+    gated.gate.open();
+    blocker.wait().unwrap();
+    spin_until("the publication wake", || {
+        counter.wakes.load(Ordering::Acquire) == 1
+    });
+    // Exactly once: no spurious re-wakes after publication.
+    std::thread::sleep(Duration::from_millis(30));
+    assert_eq!(counter.wakes.load(Ordering::Acquire), 1, "woken once");
+
+    match Pin::new(&mut future).poll(&mut cx) {
+        Poll::Ready(result) => assert_eq!(result.unwrap().len(), N),
+        Poll::Pending => panic!("woken future must be ready"),
+    }
+}
+
+#[test]
+fn dropping_the_future_then_cancelling_sheds_the_queued_work() {
+    let gated = Arc::new(GatedRing::new());
+    let ring: Arc<dyn PolyRing> = Arc::clone(&gated) as Arc<dyn PolyRing>;
+    let door = FrontDoor::new(1).unwrap();
+    let blocker = occupy_worker(&door, &ring, &gated);
+
+    let victim = door.submit(&ring, tagged(7)).unwrap();
+    let canceller = victim.canceller().expect("in-flight request");
+    // The front end loses interest: result claim dropped first, the
+    // cancel fired after — the race the detached canceller exists for.
+    drop(victim);
+    canceller.cancel();
+
+    gated.gate.open();
+    blocker.wait().unwrap();
+    // Nobody awaits the victim, but the publication hook still counts
+    // its cancellation.
+    spin_until("the cancellation to be counted", || {
+        door.stats().cancelled == 1
+    });
+    assert!(!gated.log().contains(&7), "cancelled request never ran");
+    assert_eq!(gated.executed(), 1, "only the blocker executed");
+    let stats = door.stats();
+    assert!(stats.reconciles());
+    assert_eq!(stats.admitted, 1, "the victim was admitted before cancel");
+}
+
+#[test]
+fn deadline_sheds_are_counted_at_publication() {
+    let gated = Arc::new(GatedRing::new());
+    let ring: Arc<dyn PolyRing> = Arc::clone(&gated) as Arc<dyn PolyRing>;
+    let door = FrontDoor::new(1).unwrap();
+    let blocker = occupy_worker(&door, &ring, &gated);
+
+    // Dead on arrival: admitted (it passed admission), then shed by its
+    // deadline before reaching a kernel — and dropped unawaited.
+    let doomed = door
+        .submit(&ring, tagged(7).with_deadline(Instant::now()))
+        .unwrap();
+    assert!(doomed.is_finished());
+    drop(doomed);
+    assert_eq!(door.stats().shed_at_deadline, 1);
+
+    gated.gate.open();
+    blocker.wait().unwrap();
+    assert_eq!(gated.executed(), 1, "the doomed request never ran");
+    assert!(door.stats().reconciles());
+}
+
+#[test]
+fn reserve_blocks_through_saturation_and_its_submit_cannot_be_shed() {
+    let gated = Arc::new(GatedRing::new());
+    let ring: Arc<dyn PolyRing> = Arc::clone(&gated) as Arc<dyn PolyRing>;
+    let door = FrontDoor::builder(1)
+        .queue_depth_for(Priority::Normal, 2)
+        .build()
+        .unwrap();
+    let blocker = occupy_worker(&door, &ring, &gated);
+
+    let queued: Vec<_> = (0..2)
+        .map(|i| door.submit(&ring, tagged(i)).unwrap())
+        .collect();
+    // Saturated: no permit without blocking, and unreserved submits
+    // shed.
+    assert!(door.try_reserve(Priority::Normal).is_none());
+    assert!(door
+        .reserve_timeout(Priority::Normal, Duration::from_millis(10))
+        .is_none());
+    assert!(matches!(
+        block_on(door.submit(&ring, tagged(50)).unwrap()),
+        Err(Error::Overloaded { .. })
+    ));
+
+    std::thread::scope(|s| {
+        let reserver = s.spawn(|| door.reserve(Priority::Normal));
+        // Give the reserver time to park, then drain the queue.
+        std::thread::sleep(Duration::from_millis(20));
+        gated.gate.open();
+        let permit = reserver.join().expect("reserver thread");
+        let future = door.submit_reserved(permit, &ring, tagged(60)).unwrap();
+        assert!(block_on(future).is_ok(), "reserved submit completed");
+    });
+
+    blocker.wait().unwrap();
+    for future in queued {
+        block_on(future).unwrap();
+    }
+    let stats = door.stats();
+    assert!(stats.reconciles());
+    assert_eq!(stats.admitted, 3, "two queued + one reserved");
+    assert_eq!(stats.shed_at_submit_for(Priority::Normal), 1);
+}
+
+#[test]
+fn concurrent_submit_hammer_reconciles_and_every_future_resolves() {
+    let ring: Arc<dyn PolyRing> = Arc::new(Ring::auto(primes::Q124, N).unwrap());
+    let door = FrontDoor::builder(2).queue_depth(4).build().unwrap();
+
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 25;
+    let completed = AtomicUsize::new(0);
+    let shed = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let (door, ring) = (&door, &ring);
+            let (completed, shed) = (&completed, &shed);
+            s.spawn(move || {
+                let futures: Vec<AsyncRequestHandle> = (0..PER_THREAD)
+                    .map(|i| {
+                        door.submit(ring, tagged(u128::from(t * PER_THREAD + i)))
+                            .unwrap()
+                    })
+                    .collect();
+                for outcome in block_on(join_all(futures)) {
+                    match outcome {
+                        Ok(product) => {
+                            assert_eq!(product.len(), N);
+                            completed.fetch_add(1, Ordering::AcqRel);
+                        }
+                        Err(Error::Overloaded {
+                            class: Priority::Normal,
+                            depth: 4,
+                        }) => {
+                            shed.fetch_add(1, Ordering::AcqRel);
+                        }
+                        Err(other) => panic!("unexpected outcome: {other}"),
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = door.stats();
+    assert!(stats.reconciles(), "books balance under concurrency");
+    assert_eq!(stats.submitted, THREADS * PER_THREAD);
+    assert_eq!(stats.admitted, completed.load(Ordering::Acquire) as u64);
+    assert_eq!(
+        stats.shed_at_submit_total(),
+        shed.load(Ordering::Acquire) as u64
+    );
+    assert!(
+        stats.high_water_for(Priority::Normal) <= 4,
+        "admission never let the class past its limit, saw {}",
+        stats.high_water_for(Priority::Normal)
+    );
+}
