@@ -23,22 +23,30 @@ mod imp {
     // SAFETY: delegates every operation to `System` unchanged; the
     // counters are side effects only.
     unsafe impl GlobalAlloc for CountingAlloc {
+        // SAFETY: same contract as `System::alloc`, to which this
+        // forwards with `layout` unchanged.
         unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
             BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
             CALLS.fetch_add(1, Ordering::Relaxed);
             System.alloc(layout)
         }
 
+        // SAFETY: same contract as `System::dealloc`; `ptr`/`layout`
+        // pass through unchanged.
         unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
             System.dealloc(ptr, layout)
         }
 
+        // SAFETY: same contract as `System::alloc_zeroed`, to which
+        // this forwards with `layout` unchanged.
         unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
             BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
             CALLS.fetch_add(1, Ordering::Relaxed);
             System.alloc_zeroed(layout)
         }
 
+        // SAFETY: same contract as `System::realloc`; all three
+        // arguments pass through unchanged.
         unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
             let grown = new_size.saturating_sub(layout.size());
             BYTES.fetch_add(grown as u64, Ordering::Relaxed);

@@ -1,0 +1,11 @@
+// Fixture: unsafe with no SAFETY comment anywhere near it.
+pub fn read_first(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+// A stale comment separated by code must not count either:
+// SAFETY: stale — the binding below breaks the chain.
+pub fn read_second(p: *const u8) -> u8 {
+    let q = p;
+    unsafe { *q }
+}

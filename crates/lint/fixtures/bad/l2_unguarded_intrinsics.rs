@@ -1,0 +1,7 @@
+use std::arch::x86_64::*;
+
+// SAFETY: the caller checked the feature (it did not — that is the point).
+#[target_feature(enable = "avx2")]
+pub unsafe fn sum4(a: __m256i, b: __m256i) -> __m256i {
+    _mm256_add_epi64(a, b)
+}

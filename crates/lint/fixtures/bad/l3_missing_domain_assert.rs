@@ -1,0 +1,12 @@
+// Fixture: in-place lazy/fused kernels without domain asserts.
+pub fn forward_lazy_scalar(q: u128, x: &mut [u128]) {
+    for v in x.iter_mut() {
+        *v %= 2 * q;
+    }
+}
+
+pub fn polymul_fused(a: &mut [u128], b: &[u128]) {
+    for (x, y) in a.iter_mut().zip(b) {
+        *x = x.wrapping_mul(*y);
+    }
+}

@@ -1,0 +1,9 @@
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+pub fn bump(c: &AtomicUsize) -> usize {
+    c.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn gate(f: &AtomicBool) -> bool {
+    f.load(Ordering::Acquire)
+}

@@ -1,0 +1,8 @@
+pub fn hot(x: Option<u32>, y: Result<u32, ()>) -> u32 {
+    let a = x.unwrap();
+    let b = y.expect("y must be set");
+    if a > b {
+        panic!("impossible");
+    }
+    a + b
+}

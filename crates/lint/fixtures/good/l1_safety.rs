@@ -1,0 +1,19 @@
+// Fixture: every accepted SAFETY-comment shape.
+pub fn read(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}
+
+pub struct Holder(*mut u8);
+
+// SAFETY: the pointer is uniquely owned, never aliased across threads.
+#[allow(clippy::non_send_fields_in_send_ty)]
+unsafe impl Send for Holder {}
+
+#[cfg(test)]
+mod tests {
+    // Test code asserts (and even goes unsafe) freely.
+    fn peek(p: *const u8) -> u8 {
+        unsafe { *p }
+    }
+}

@@ -1,0 +1,16 @@
+use std::arch::x86_64::*;
+
+// The panic guard every engine entry point calls first.
+fn require_avx2() {
+    assert!(avx2_detected(), "engine executed on an unsupported host");
+}
+
+fn avx2_detected() -> bool {
+    std::arch::is_x86_feature_detected!("avx2")
+}
+
+// SAFETY: `require_avx2` panic-guards every data entry point.
+#[target_feature(enable = "avx2")]
+pub unsafe fn sum4(a: __m256i, b: __m256i) -> __m256i {
+    _mm256_add_epi64(a, b)
+}

@@ -1,0 +1,32 @@
+// Fixture: lazy kernels carrying their domain checks, plus the shapes
+// that are exempt by design.
+pub fn forward_lazy_scalar(q: u128, x: &mut [u128]) {
+    debug_assert_domain(x, 2 * q, "forward_lazy input");
+    for v in x.iter_mut() {
+        *v %= 2 * q;
+    }
+}
+
+// Value-level helper: no `&mut` buffer, exempt.
+pub fn mul_lazy(x: u128, w: u128) -> u128 {
+    x.wrapping_mul(w)
+}
+
+// Builder-style accessor: `mut self`, not `&mut`, exempt.
+pub struct RingBuilder {
+    lazy: bool,
+}
+
+impl RingBuilder {
+    pub fn lazy(mut self, on: bool) -> Self {
+        self.lazy = on;
+        self
+    }
+}
+
+// Trait declaration without a body: nothing to assert in, exempt.
+pub trait Kernels {
+    fn polymul_fused(&self, a: &mut [u128], b: &mut [u128]);
+}
+
+fn debug_assert_domain(_x: &[u128], _bound: u128, _what: &str) {}

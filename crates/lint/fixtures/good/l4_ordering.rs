@@ -1,0 +1,12 @@
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+pub fn bump(c: &AtomicUsize) -> usize {
+    // ORDERING: statistics counter; nothing synchronizes through it.
+    c.fetch_add(1, Ordering::Relaxed)
+}
+
+// ORDERING: one comment may justify a short run of related accesses —
+// the Acquire below pairs with the publisher's Release store.
+pub fn gate(f: &AtomicBool) -> bool {
+    f.load(Ordering::Acquire)
+}

@@ -1,0 +1,16 @@
+pub enum Error {
+    Missing,
+}
+
+pub fn hot(x: Option<u32>) -> Result<u32, Error> {
+    x.ok_or(Error::Missing)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_asserts_freely() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

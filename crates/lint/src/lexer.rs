@@ -1,0 +1,393 @@
+//! A token-level Rust source scanner — just enough lexing for the lint
+//! rules, in the spirit of the hand-rolled `mqx_json` parser.
+//!
+//! The scanner splits a source file into identifier and punctuation
+//! tokens with line numbers, strips string/char/byte literals (their
+//! contents can never trigger a rule), and records comment text per
+//! line so rules can check for `// SAFETY:` / `// ORDERING:`
+//! annotations. It is deliberately not a full Rust lexer: numeric
+//! literals are discarded, and nothing is interned — a whole-workspace
+//! scan is still a few milliseconds.
+
+/// One lexed token: an identifier/keyword or a single punctuation
+/// character, with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token text (identifier) or single punctuation character.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is an identifier or keyword (starts with a
+    /// letter or underscore).
+    pub fn is_ident(&self) -> bool {
+        self.text
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+    }
+}
+
+/// A scanned source file: tokens, raw lines, and per-line comment text.
+#[derive(Debug)]
+pub struct ScannedFile {
+    /// All identifier/punctuation tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Raw source lines (index 0 is line 1).
+    pub lines: Vec<String>,
+    /// Comment text found on each line (`""` when the line has none);
+    /// parallel to `lines`. A block comment spanning lines contributes
+    /// to every line it covers.
+    pub comments: Vec<String>,
+    /// Whether each line carries at least one token (code, not just
+    /// comments/whitespace); parallel to `lines`.
+    pub has_code: Vec<bool>,
+}
+
+impl ScannedFile {
+    /// Comment text on 1-based `line`, or `""`.
+    pub fn comment_on(&self, line: u32) -> &str {
+        self.comments
+            .get(line as usize - 1)
+            .map_or("", String::as_str)
+    }
+
+    /// Whether 1-based `line` carries any code token.
+    pub fn line_has_code(&self, line: u32) -> bool {
+        self.has_code
+            .get(line as usize - 1)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// The raw text of 1-based `line`, or `""`.
+    pub fn line_text(&self, line: u32) -> &str {
+        self.lines.get(line as usize - 1).map_or("", String::as_str)
+    }
+}
+
+/// Scans `source` into tokens, comments, and line metadata.
+pub fn scan(source: &str) -> ScannedFile {
+    let lines: Vec<String> = source.lines().map(str::to_owned).collect();
+    let line_count = lines.len().max(1);
+    let mut comments = vec![String::new(); line_count];
+    let mut has_code = vec![false; line_count];
+    let mut tokens = Vec::new();
+
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let note_comment = |comments: &mut Vec<String>, line: u32, text: &str| {
+        let idx = line as usize - 1;
+        if idx < comments.len() {
+            if !comments[idx].is_empty() {
+                comments[idx].push(' ');
+            }
+            comments[idx].push_str(text);
+        }
+    };
+    let mark_code = |has_code: &mut Vec<bool>, line: u32| {
+        let idx = line as usize - 1;
+        if idx < has_code.len() {
+            has_code[idx] = true;
+        }
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                // Line comment (incl. doc comments): record text, eat line.
+                let start = i;
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                note_comment(&mut comments, line, &text);
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                // Block comment, possibly nested and multi-line.
+                let mut depth = 1;
+                let mut seg_start = i;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else if chars[i] == '\n' {
+                        let text: String = chars[seg_start..i].iter().collect();
+                        note_comment(&mut comments, line, text.trim());
+                        line += 1;
+                        i += 1;
+                        seg_start = i;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let text: String = chars[seg_start..i].iter().collect();
+                note_comment(&mut comments, line, text.trim());
+            }
+            '"' => {
+                mark_code(&mut has_code, line);
+                i = skip_string(&chars, i, &mut line);
+            }
+            'r' | 'b' if starts_raw_or_byte_string(&chars, i) => {
+                mark_code(&mut has_code, line);
+                i = skip_raw_or_byte(&chars, i, &mut line);
+            }
+            '\'' => {
+                mark_code(&mut has_code, line);
+                i = skip_char_or_lifetime(&chars, i, &mut line);
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                mark_code(&mut has_code, line);
+                tokens.push(Token {
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                // Numeric literal: consumed and discarded (suffixes and
+                // hex digits ride along; `1.5` splits benignly at `.`).
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                mark_code(&mut has_code, line);
+            }
+            c => {
+                mark_code(&mut has_code, line);
+                tokens.push(Token {
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+
+    ScannedFile {
+        tokens,
+        lines,
+        comments,
+        has_code,
+    }
+}
+
+/// Skips a `"..."` string starting at `chars[i] == '"'`; returns the
+/// index just past the closing quote. The string is marked as code on
+/// its opening line.
+fn skip_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => {
+                // An escape consumes the next char — which in a
+                // line-continuation (`\` at end of line) is the newline.
+                if chars.get(i + 1) == Some(&'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Whether position `i` starts `r"`, `r#"`, `b"`, `br"`, or `b'`.
+fn starts_raw_or_byte_string(chars: &[char], i: usize) -> bool {
+    match chars[i] {
+        'r' => matches!(chars.get(i + 1), Some('"' | '#')),
+        'b' => match chars.get(i + 1) {
+            Some('"' | '\'') => true,
+            Some('r') => matches!(chars.get(i + 2), Some('"' | '#')),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Skips raw strings (`r".."`, `r#".."#`), byte strings (`b".."`,
+/// `br#".."#`), and byte chars (`b'x'`).
+fn skip_raw_or_byte(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    if chars[i] == 'b' {
+        i += 1;
+        if chars.get(i) == Some(&'\'') {
+            // Byte char: b'x' or b'\n'.
+            i += 1;
+            if chars.get(i) == Some(&'\\') {
+                i += 1;
+            }
+            i += 1;
+            if chars.get(i) == Some(&'\'') {
+                i += 1;
+            }
+            return i;
+        }
+    }
+    let mut raw = false;
+    if chars.get(i) == Some(&'r') {
+        raw = true;
+        i += 1;
+    }
+    let mut hashes = 0;
+    while chars.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if chars.get(i) != Some(&'"') {
+        return i; // not actually a string start; resume scanning
+    }
+    i += 1;
+    'outer: while i < chars.len() {
+        if chars[i] == '\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if chars[i] == '"' {
+            // A raw string closes on `"` followed by the right number
+            // of hashes.
+            for h in 0..hashes {
+                if chars.get(i + 1 + h) != Some(&'#') {
+                    i += 1;
+                    continue 'outer;
+                }
+            }
+            return i + 1 + hashes;
+        }
+        if !raw && chars[i] == '\\' {
+            // Plain (non-raw) byte string: honor escapes, including
+            // the `\`-newline line continuation.
+            if chars.get(i + 1) == Some(&'\n') {
+                *line += 1;
+            }
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Skips a char literal (`'x'`, `'\n'`) or a lifetime (`'a`), starting
+/// at `chars[i] == '\''`.
+fn skip_char_or_lifetime(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    match chars.get(i) {
+        Some('\\') => {
+            // Escaped char literal: skip to the closing quote.
+            i += 2;
+            while i < chars.len() && chars[i] != '\'' {
+                if chars[i] == '\n' {
+                    *line += 1;
+                }
+                i += 1;
+            }
+            i + 1
+        }
+        Some(c) if c.is_ascii_alphanumeric() || *c == '_' => {
+            if chars.get(i + 1) == Some(&'\'') {
+                i + 2 // 'x' — a one-char literal
+            } else {
+                // Lifetime: consume the identifier, no closing quote.
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                i
+            }
+        }
+        Some('\'') => i + 1, // '' — malformed, step over
+        _ => {
+            // Some other single char literal like '(' or '{'.
+            if chars.get(i + 1) == Some(&'\'') {
+                i + 2
+            } else {
+                i
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(s: &ScannedFile) -> Vec<&str> {
+        s.tokens
+            .iter()
+            .filter(|t| t.is_ident())
+            .map(|t| t.text.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_tokenize() {
+        let s = scan(r#"let x = "unsafe // not a comment"; // SAFETY: real"#);
+        assert_eq!(idents(&s), ["let", "x"]);
+        assert!(s.comment_on(1).contains("SAFETY:"));
+        assert!(s.line_has_code(1));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_skipped() {
+        let s = scan("let y = r#\"unsafe \" quote\"#; unsafe {}");
+        let ids = idents(&s);
+        assert_eq!(ids, ["let", "y", "unsafe"]);
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let s = scan("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let ids = idents(&s);
+        assert!(ids.contains(&"fn"));
+        assert!(ids.contains(&"str"));
+        // neither 'x' nor lifetimes produce stray quote tokens
+        assert!(!s.tokens.iter().any(|t| t.text == "'"));
+    }
+
+    #[test]
+    fn block_comments_record_on_every_line() {
+        let s = scan("/* SAFETY: spans\nlines */\nunsafe {}");
+        assert!(s.comment_on(1).contains("SAFETY:"));
+        assert!(s.comment_on(2).contains("lines"));
+        assert!(!s.line_has_code(1));
+        assert!(s.line_has_code(3));
+        assert_eq!(s.tokens[0].line, 3);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_tokens() {
+        let s = scan("let a = \"two\nline string\";\nunsafe {}");
+        let u = s.tokens.iter().find(|t| t.text == "unsafe").unwrap();
+        assert_eq!(u.line, 3);
+    }
+
+    #[test]
+    fn line_numbers_track_string_line_continuations() {
+        // `\` at end of line inside a string escapes the newline; the
+        // lexer must still count it as a line.
+        let s = scan("let a = \"one \\\n two\";\nunsafe {}");
+        let u = s.tokens.iter().find(|t| t.text == "unsafe").unwrap();
+        assert_eq!(u.line, 3);
+    }
+}

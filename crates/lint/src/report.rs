@@ -1,0 +1,109 @@
+//! The machine-readable artifact: `lint_report.json`.
+//!
+//! Built on [`mqx_json::Json`] like every other artifact in this
+//! workspace, so CI consumers (and the bench binaries' re-read
+//! pattern) can parse it back with `Json::parse`.
+
+use crate::config::Config;
+use crate::rules::{Finding, RuleId};
+use mqx_json::Json;
+
+/// Builds the report value: schema tag, scan scope, per-rule counts,
+/// findings with `file:line` spans, and the active suppressions.
+pub fn report_json(
+    root: &str,
+    files_scanned: usize,
+    findings: &[Finding],
+    config: &Config,
+    deny: bool,
+) -> Json {
+    let rules = Json::Arr(
+        RuleId::all()
+            .iter()
+            .map(|rule| {
+                Json::Obj(vec![
+                    ("id".to_owned(), Json::Str(rule.as_str().to_owned())),
+                    (
+                        "description".to_owned(),
+                        Json::Str(rule.description().to_owned()),
+                    ),
+                    (
+                        "findings".to_owned(),
+                        Json::Int(findings.iter().filter(|f| f.rule == *rule).count() as i128),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    let findings_json = Json::Arr(
+        findings
+            .iter()
+            .map(|f| {
+                Json::Obj(vec![
+                    ("rule".to_owned(), Json::Str(f.rule.as_str().to_owned())),
+                    ("file".to_owned(), Json::Str(f.file.clone())),
+                    ("line".to_owned(), Json::Int(i128::from(f.line))),
+                    ("message".to_owned(), Json::Str(f.message.clone())),
+                ])
+            })
+            .collect(),
+    );
+    let allows = Json::Arr(
+        config
+            .allows
+            .iter()
+            .map(|a| {
+                Json::Obj(vec![
+                    ("rule".to_owned(), Json::Str(a.rule.clone())),
+                    ("file".to_owned(), Json::Str(a.file.clone())),
+                    ("contains".to_owned(), Json::Str(a.contains.clone())),
+                    ("reason".to_owned(), Json::Str(a.reason.clone())),
+                ])
+            })
+            .collect(),
+    );
+    Json::Obj(vec![
+        (
+            "schema".to_owned(),
+            Json::Str("mqx_lint_report/v1".to_owned()),
+        ),
+        ("root".to_owned(), Json::Str(root.to_owned())),
+        ("deny".to_owned(), Json::Bool(deny)),
+        ("files_scanned".to_owned(), Json::Int(files_scanned as i128)),
+        ("clean".to_owned(), Json::Bool(findings.is_empty())),
+        ("rules".to_owned(), rules),
+        ("findings".to_owned(), findings_json),
+        ("allowlist".to_owned(), allows),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_roundtrips_through_mqx_json() {
+        let findings = vec![Finding {
+            rule: RuleId::L1,
+            file: "src/a.rs".to_owned(),
+            line: 7,
+            message: "msg".to_owned(),
+        }];
+        let json = report_json("/ws", 42, &findings, &Config::default(), true);
+        let parsed = Json::parse(&json.pretty()).expect("self-emitted JSON parses");
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some("mqx_lint_report/v1")
+        );
+        assert_eq!(
+            parsed.get("files_scanned").and_then(Json::as_i128),
+            Some(42)
+        );
+        assert_eq!(parsed.get("clean"), Some(&Json::Bool(false)));
+        let f = parsed.get("findings").and_then(Json::as_arr).unwrap();
+        assert_eq!(f[0].get("line").and_then(Json::as_i128), Some(7));
+        let rules = parsed.get("rules").and_then(Json::as_arr).unwrap();
+        assert_eq!(rules.len(), 5);
+        assert_eq!(rules[0].get("findings").and_then(Json::as_i128), Some(1));
+    }
+}

@@ -87,7 +87,7 @@ mod plan;
 pub mod polymul;
 
 pub use error::NttError;
-pub use plan::NttPlan;
+pub use plan::{debug_assert_domain, debug_assert_domain_soa, NttPlan};
 
 #[cfg(test)]
 mod proptests;

@@ -125,6 +125,7 @@ pub(crate) fn pease_lazy_simd<E: SimdEngine>(
     let half = n / 2;
     let q = plan.modulus().value();
     let two_q = 2 * q;
+    crate::plan::debug_assert_domain_soa(x, two_q, "pease_lazy input");
     for stage in stages {
         if half < E::LANES {
             // Tiny transform: scalar lazy butterflies keep the dataflow

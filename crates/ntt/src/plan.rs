@@ -65,8 +65,14 @@ pub(crate) struct FusedTwist {
 
 /// Debug-asserts the lazy coefficient-domain contract: every value below
 /// `bound`. Compiled out of release builds.
+///
+/// This is the check lint rule **L3** demands at the entry of every
+/// in-place `*_lazy_*` / `*_fused_*` kernel: lazy forward transforms
+/// accept `[0, 2q)`, lazy inverse transforms accept `[0, 4q)`, and the
+/// fused polymul pipelines accept canonical (or `[0, 2q)`) operands.
+/// See the README's "Correctness tooling" section.
 #[inline]
-pub(crate) fn debug_assert_domain(x: &[u128], bound: u128, what: &str) {
+pub fn debug_assert_domain(x: &[u128], bound: u128, what: &str) {
     if cfg!(debug_assertions) {
         for (i, &v) in x.iter().enumerate() {
             assert!(v < bound, "{what}: coefficient {i} = {v:#x} ≥ {bound:#x}");
@@ -76,7 +82,7 @@ pub(crate) fn debug_assert_domain(x: &[u128], bound: u128, what: &str) {
 
 /// SoA form of [`debug_assert_domain`].
 #[inline]
-pub(crate) fn debug_assert_domain_soa(x: &ResidueSoa, bound: u128, what: &str) {
+pub fn debug_assert_domain_soa(x: &ResidueSoa, bound: u128, what: &str) {
     if cfg!(debug_assertions) {
         for i in 0..x.len() {
             let v = x.get(i);
@@ -416,6 +422,9 @@ impl NttPlan {
     ) {
         let q = self.m.value();
         let two_q = 2 * q;
+        // Widest domain either caller feeds: the lazy inverse passes
+        // `[0, 4q)`; the `u` fold below assumes nothing more.
+        debug_assert_domain(x, 4 * q, "ct_butterflies_lazy input");
         for (s, (tw, tws)) in tables.iter().zip(shoup_tables).enumerate() {
             let half = 1_usize << s;
             let len = half * 2;

@@ -168,6 +168,8 @@ pub fn polymul_fused_cyclic(plan: &NttPlan, a: &mut [u128], b: &mut [u128]) {
     assert_eq!(a.len(), plan.size());
     assert_eq!(b.len(), plan.size());
     let q = plan.modulus().value();
+    crate::plan::debug_assert_domain(a, 2 * q, "polymul_fused_cyclic input a");
+    crate::plan::debug_assert_domain(b, 2 * q, "polymul_fused_cyclic input b");
     plan.forward_lazy_scalar(a);
     plan.forward_lazy_scalar(b);
     pointwise_fold_mul(a, b, plan.modulus());
@@ -209,6 +211,8 @@ pub fn polymul_fused_negacyclic(
         }
     };
     let q = plan.modulus().value();
+    crate::plan::debug_assert_domain(a, 2 * q, "polymul_fused_negacyclic input a");
+    crate::plan::debug_assert_domain(b, 2 * q, "polymul_fused_negacyclic input b");
     // Lazy ψ twist: canonical inputs leave in [0, 2q), a valid lazy
     // forward domain.
     for (i, v) in a.iter_mut().enumerate() {

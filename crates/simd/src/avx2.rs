@@ -32,6 +32,8 @@ fn require_avx2() {
 
 #[inline]
 fn sign_flip(a: __m256i) -> __m256i {
+    // SAFETY: xor/set1 are lane-wise AVX2 ops with no memory access;
+    // callers pass vectors built by the guarded entry points below.
     unsafe { _mm256_xor_si256(a, _mm256_set1_epi64x(i64::MIN)) }
 }
 
@@ -46,6 +48,8 @@ impl SimdEngine for Avx2 {
     #[inline]
     fn splat(x: u64) -> Self::V {
         require_avx2();
+        // SAFETY: the `require_avx2` guard above proved the feature;
+        // set1 touches no memory.
         unsafe { _mm256_set1_epi64x(x as i64) }
     }
 
@@ -53,12 +57,16 @@ impl SimdEngine for Avx2 {
     fn load(src: &[u64]) -> Self::V {
         require_avx2();
         assert!(src.len() >= 4, "avx2 load needs 4 lanes");
+        // SAFETY: guard above proved AVX2; the length assert guarantees
+        // 32 readable bytes and `loadu` has no alignment requirement.
         unsafe { _mm256_loadu_si256(src.as_ptr().cast()) }
     }
 
     #[inline]
     fn store(v: Self::V, dst: &mut [u64]) {
         assert!(dst.len() >= 4, "avx2 store needs 4 lanes");
+        // SAFETY: `v` exists only on a guarded host (`splat`/`load`); the
+        // length assert guarantees 32 writable bytes; `storeu` is unaligned.
         unsafe { _mm256_storeu_si256(dst.as_mut_ptr().cast(), v) }
     }
 
@@ -72,11 +80,15 @@ impl SimdEngine for Avx2 {
 
     #[inline]
     fn add(a: Self::V, b: Self::V) -> Self::V {
+        // SAFETY: lane-wise AVX2 op with no memory access; `__m256i` inputs
+        // exist only via `splat`/`load`, whose `require_avx2` guard ran.
         unsafe { _mm256_add_epi64(a, b) }
     }
 
     #[inline]
     fn sub(a: Self::V, b: Self::V) -> Self::V {
+        // SAFETY: lane-wise AVX2 op with no memory access; `__m256i` inputs
+        // exist only via `splat`/`load`, whose `require_avx2` guard ran.
         unsafe { _mm256_sub_epi64(a, b) }
     }
 
@@ -84,6 +96,8 @@ impl SimdEngine for Avx2 {
     fn mullo(a: Self::V, b: Self::V) -> Self::V {
         // No vpmullq below AVX-512DQ: assemble the low 64 bits from three
         // vpmuludq partials: lo = ll + ((lh + hl) << 32).
+        // SAFETY: lane-wise AVX2 op with no memory access; `__m256i` inputs
+        // exist only via `splat`/`load`, whose `require_avx2` guard ran.
         unsafe {
             let ll = _mm256_mul_epu32(a, b);
             let lh = _mm256_mul_epu32(a, _mm256_srli_epi64::<32>(b));
@@ -95,42 +109,58 @@ impl SimdEngine for Avx2 {
 
     #[inline]
     fn mul32_wide(a: Self::V, b: Self::V) -> Self::V {
+        // SAFETY: lane-wise AVX2 op with no memory access; `__m256i` inputs
+        // exist only via `splat`/`load`, whose `require_avx2` guard ran.
         unsafe { _mm256_mul_epu32(a, b) }
     }
 
     #[inline]
     fn mullo32(a: Self::V, b: Self::V) -> Self::V {
+        // SAFETY: lane-wise AVX2 op with no memory access; `__m256i` inputs
+        // exist only via `splat`/`load`, whose `require_avx2` guard ran.
         unsafe { _mm256_mullo_epi32(a, b) }
     }
 
     #[inline]
     fn shl(a: Self::V, n: u32) -> Self::V {
+        // SAFETY: lane-wise AVX2 op with no memory access; `__m256i` inputs
+        // exist only via `splat`/`load`, whose `require_avx2` guard ran.
         unsafe { _mm256_sll_epi64(a, _mm_cvtsi32_si128(n as i32)) }
     }
 
     #[inline]
     fn shr(a: Self::V, n: u32) -> Self::V {
+        // SAFETY: lane-wise AVX2 op with no memory access; `__m256i` inputs
+        // exist only via `splat`/`load`, whose `require_avx2` guard ran.
         unsafe { _mm256_srl_epi64(a, _mm_cvtsi32_si128(n as i32)) }
     }
 
     #[inline]
     fn and(a: Self::V, b: Self::V) -> Self::V {
+        // SAFETY: lane-wise AVX2 op with no memory access; `__m256i` inputs
+        // exist only via `splat`/`load`, whose `require_avx2` guard ran.
         unsafe { _mm256_and_si256(a, b) }
     }
 
     #[inline]
     fn or(a: Self::V, b: Self::V) -> Self::V {
+        // SAFETY: lane-wise AVX2 op with no memory access; `__m256i` inputs
+        // exist only via `splat`/`load`, whose `require_avx2` guard ran.
         unsafe { _mm256_or_si256(a, b) }
     }
 
     #[inline]
     fn xor(a: Self::V, b: Self::V) -> Self::V {
+        // SAFETY: lane-wise AVX2 op with no memory access; `__m256i` inputs
+        // exist only via `splat`/`load`, whose `require_avx2` guard ran.
         unsafe { _mm256_xor_si256(a, b) }
     }
 
     #[inline]
     fn cmp_lt(a: Self::V, b: Self::V) -> Self::M {
         // Unsigned a < b via signed compare on sign-flipped operands.
+        // SAFETY: lane-wise AVX2 op with no memory access; `__m256i` inputs
+        // exist only via `splat`/`load`, whose `require_avx2` guard ran.
         unsafe { _mm256_cmpgt_epi64(sign_flip(b), sign_flip(a)) }
     }
 
@@ -141,31 +171,43 @@ impl SimdEngine for Avx2 {
 
     #[inline]
     fn cmp_eq(a: Self::V, b: Self::V) -> Self::M {
+        // SAFETY: lane-wise AVX2 op with no memory access; `__m256i` inputs
+        // exist only via `splat`/`load`, whose `require_avx2` guard ran.
         unsafe { _mm256_cmpeq_epi64(a, b) }
     }
 
     #[inline]
     fn mask_zero() -> Self::M {
+        // SAFETY: lane-wise AVX2 op with no memory access; `__m256i` inputs
+        // exist only via `splat`/`load`, whose `require_avx2` guard ran.
         unsafe { _mm256_setzero_si256() }
     }
 
     #[inline]
     fn mask_and(a: Self::M, b: Self::M) -> Self::M {
+        // SAFETY: lane-wise AVX2 op with no memory access; `__m256i` inputs
+        // exist only via `splat`/`load`, whose `require_avx2` guard ran.
         unsafe { _mm256_and_si256(a, b) }
     }
 
     #[inline]
     fn mask_or(a: Self::M, b: Self::M) -> Self::M {
+        // SAFETY: lane-wise AVX2 op with no memory access; `__m256i` inputs
+        // exist only via `splat`/`load`, whose `require_avx2` guard ran.
         unsafe { _mm256_or_si256(a, b) }
     }
 
     #[inline]
     fn mask_not(a: Self::M) -> Self::M {
+        // SAFETY: lane-wise AVX2 op with no memory access; `__m256i` inputs
+        // exist only via `splat`/`load`, whose `require_avx2` guard ran.
         unsafe { _mm256_xor_si256(a, _mm256_set1_epi64x(-1)) }
     }
 
     #[inline]
     fn mask_to_bits(m: Self::M) -> u64 {
+        // SAFETY: lane-wise AVX2 op with no memory access; `__m256i` inputs
+        // exist only via `splat`/`load`, whose `require_avx2` guard ran.
         unsafe { _mm256_movemask_pd(_mm256_castsi256_pd(m)) as u64 }
     }
 
@@ -178,11 +220,15 @@ impl SimdEngine for Avx2 {
                 0
             }
         };
+        // SAFETY: lane-wise AVX2 op with no memory access; `__m256i` inputs
+        // exist only via `splat`/`load`, whose `require_avx2` guard ran.
         unsafe { _mm256_setr_epi64x(lane(0), lane(1), lane(2), lane(3)) }
     }
 
     #[inline]
     fn blend(m: Self::M, a: Self::V, b: Self::V) -> Self::V {
+        // SAFETY: lane-wise AVX2 op with no memory access; `__m256i` inputs
+        // exist only via `splat`/`load`, whose `require_avx2` guard ran.
         unsafe { _mm256_blendv_epi8(a, b, m) }
     }
 
@@ -200,6 +246,8 @@ impl SimdEngine for Avx2 {
     fn interleave_lo(a: Self::V, b: Self::V) -> Self::V {
         // Pre-permute both operands so in-lane unpack produces the true
         // element-wise interleave: [a0, b0, a1, b1].
+        // SAFETY: lane-wise AVX2 op with no memory access; `__m256i` inputs
+        // exist only via `splat`/`load`, whose `require_avx2` guard ran.
         unsafe {
             let pa = _mm256_permute4x64_epi64::<0xD8>(a); // [a0, a2, a1, a3]
             let pb = _mm256_permute4x64_epi64::<0xD8>(b);
@@ -209,6 +257,8 @@ impl SimdEngine for Avx2 {
 
     #[inline]
     fn interleave_hi(a: Self::V, b: Self::V) -> Self::V {
+        // SAFETY: lane-wise AVX2 op with no memory access; `__m256i` inputs
+        // exist only via `splat`/`load`, whose `require_avx2` guard ran.
         unsafe {
             let pa = _mm256_permute4x64_epi64::<0xD8>(a);
             let pb = _mm256_permute4x64_epi64::<0xD8>(b);

@@ -46,6 +46,8 @@ impl SimdEngine for Avx512 {
     #[inline]
     fn splat(x: u64) -> Self::V {
         require_avx512();
+        // SAFETY: the `require_avx512` guard above proved the features;
+        // set1 touches no memory.
         unsafe { _mm512_set1_epi64(x as i64) }
     }
 
@@ -53,12 +55,16 @@ impl SimdEngine for Avx512 {
     fn load(src: &[u64]) -> Self::V {
         require_avx512();
         assert!(src.len() >= 8, "avx512 load needs 8 lanes");
+        // SAFETY: guard above proved AVX-512; the length assert guarantees
+        // 64 readable bytes and `loadu` has no alignment requirement.
         unsafe { _mm512_loadu_si512(src.as_ptr().cast()) }
     }
 
     #[inline]
     fn store(v: Self::V, dst: &mut [u64]) {
         assert!(dst.len() >= 8, "avx512 store needs 8 lanes");
+        // SAFETY: `v` exists only on a guarded host (`splat`/`load`); the
+        // length assert guarantees 64 writable bytes; `storeu` is unaligned.
         unsafe { _mm512_storeu_si512(dst.as_mut_ptr().cast(), v) }
     }
 
@@ -72,66 +78,92 @@ impl SimdEngine for Avx512 {
 
     #[inline]
     fn add(a: Self::V, b: Self::V) -> Self::V {
+        // SAFETY: lane-wise AVX-512 op with no memory access; `__m512i`
+        // inputs exist only via `splat`/`load`, whose `require_avx512` guard ran.
         unsafe { _mm512_add_epi64(a, b) }
     }
 
     #[inline]
     fn sub(a: Self::V, b: Self::V) -> Self::V {
+        // SAFETY: lane-wise AVX-512 op with no memory access; `__m512i`
+        // inputs exist only via `splat`/`load`, whose `require_avx512` guard ran.
         unsafe { _mm512_sub_epi64(a, b) }
     }
 
     #[inline]
     fn mullo(a: Self::V, b: Self::V) -> Self::V {
+        // SAFETY: lane-wise AVX-512 op with no memory access; `__m512i`
+        // inputs exist only via `splat`/`load`, whose `require_avx512` guard ran.
         unsafe { _mm512_mullo_epi64(a, b) }
     }
 
     #[inline]
     fn mul32_wide(a: Self::V, b: Self::V) -> Self::V {
+        // SAFETY: lane-wise AVX-512 op with no memory access; `__m512i`
+        // inputs exist only via `splat`/`load`, whose `require_avx512` guard ran.
         unsafe { _mm512_mul_epu32(a, b) }
     }
 
     #[inline]
     fn mullo32(a: Self::V, b: Self::V) -> Self::V {
+        // SAFETY: lane-wise AVX-512 op with no memory access; `__m512i`
+        // inputs exist only via `splat`/`load`, whose `require_avx512` guard ran.
         unsafe { _mm512_mullo_epi32(a, b) }
     }
 
     #[inline]
     fn shl(a: Self::V, n: u32) -> Self::V {
+        // SAFETY: lane-wise AVX-512 op with no memory access; `__m512i`
+        // inputs exist only via `splat`/`load`, whose `require_avx512` guard ran.
         unsafe { _mm512_sll_epi64(a, _mm_cvtsi32_si128(n as i32)) }
     }
 
     #[inline]
     fn shr(a: Self::V, n: u32) -> Self::V {
+        // SAFETY: lane-wise AVX-512 op with no memory access; `__m512i`
+        // inputs exist only via `splat`/`load`, whose `require_avx512` guard ran.
         unsafe { _mm512_srl_epi64(a, _mm_cvtsi32_si128(n as i32)) }
     }
 
     #[inline]
     fn and(a: Self::V, b: Self::V) -> Self::V {
+        // SAFETY: lane-wise AVX-512 op with no memory access; `__m512i`
+        // inputs exist only via `splat`/`load`, whose `require_avx512` guard ran.
         unsafe { _mm512_and_si512(a, b) }
     }
 
     #[inline]
     fn or(a: Self::V, b: Self::V) -> Self::V {
+        // SAFETY: lane-wise AVX-512 op with no memory access; `__m512i`
+        // inputs exist only via `splat`/`load`, whose `require_avx512` guard ran.
         unsafe { _mm512_or_si512(a, b) }
     }
 
     #[inline]
     fn xor(a: Self::V, b: Self::V) -> Self::V {
+        // SAFETY: lane-wise AVX-512 op with no memory access; `__m512i`
+        // inputs exist only via `splat`/`load`, whose `require_avx512` guard ran.
         unsafe { _mm512_xor_si512(a, b) }
     }
 
     #[inline]
     fn cmp_lt(a: Self::V, b: Self::V) -> Self::M {
+        // SAFETY: lane-wise AVX-512 op with no memory access; `__m512i`
+        // inputs exist only via `splat`/`load`, whose `require_avx512` guard ran.
         unsafe { _mm512_cmplt_epu64_mask(a, b) }
     }
 
     #[inline]
     fn cmp_le(a: Self::V, b: Self::V) -> Self::M {
+        // SAFETY: lane-wise AVX-512 op with no memory access; `__m512i`
+        // inputs exist only via `splat`/`load`, whose `require_avx512` guard ran.
         unsafe { _mm512_cmple_epu64_mask(a, b) }
     }
 
     #[inline]
     fn cmp_eq(a: Self::V, b: Self::V) -> Self::M {
+        // SAFETY: lane-wise AVX-512 op with no memory access; `__m512i`
+        // inputs exist only via `splat`/`load`, whose `require_avx512` guard ran.
         unsafe { _mm512_cmpeq_epi64_mask(a, b) }
     }
 
@@ -167,22 +199,30 @@ impl SimdEngine for Avx512 {
 
     #[inline]
     fn blend(m: Self::M, a: Self::V, b: Self::V) -> Self::V {
+        // SAFETY: lane-wise AVX-512 op with no memory access; `__m512i`
+        // inputs exist only via `splat`/`load`, whose `require_avx512` guard ran.
         unsafe { _mm512_mask_blend_epi64(m, a, b) }
     }
 
     #[inline]
     fn mask_add(src: Self::V, m: Self::M, a: Self::V, b: Self::V) -> Self::V {
+        // SAFETY: lane-wise AVX-512 op with no memory access; `__m512i`
+        // inputs exist only via `splat`/`load`, whose `require_avx512` guard ran.
         unsafe { _mm512_mask_add_epi64(src, m, a, b) }
     }
 
     #[inline]
     fn mask_sub(src: Self::V, m: Self::M, a: Self::V, b: Self::V) -> Self::V {
+        // SAFETY: lane-wise AVX-512 op with no memory access; `__m512i`
+        // inputs exist only via `splat`/`load`, whose `require_avx512` guard ran.
         unsafe { _mm512_mask_sub_epi64(src, m, a, b) }
     }
 
     #[inline]
     fn interleave_lo(a: Self::V, b: Self::V) -> Self::V {
         // One vpermt2q: indices 0..3 of a interleaved with 8..11 of b.
+        // SAFETY: lane-wise AVX-512 op with no memory access; `__m512i`
+        // inputs exist only via `splat`/`load`, whose `require_avx512` guard ran.
         unsafe {
             let idx = _mm512_setr_epi64(0, 8, 1, 9, 2, 10, 3, 11);
             _mm512_permutex2var_epi64(a, idx, b)
@@ -191,6 +231,8 @@ impl SimdEngine for Avx512 {
 
     #[inline]
     fn interleave_hi(a: Self::V, b: Self::V) -> Self::V {
+        // SAFETY: lane-wise AVX-512 op with no memory access; `__m512i`
+        // inputs exist only via `splat`/`load`, whose `require_avx512` guard ran.
         unsafe {
             let idx = _mm512_setr_epi64(4, 12, 5, 13, 6, 14, 7, 15);
             _mm512_permutex2var_epi64(a, idx, b)

@@ -168,6 +168,12 @@ pub trait Backend: Send + Sync {
         b: &mut ResidueSoa,
         scratch: &mut ResidueSoa,
     ) {
+        // The default delegates to the canonical path, whose add/sub
+        // folds assume canonical inputs — hence the tighter `q` bound
+        // (engine overrides accept the full [0, 2q) lazy domain).
+        let q = plan.modulus().value();
+        mqx_ntt::debug_assert_domain_soa(a, q, "polymul_cyclic_fused (default) input a");
+        mqx_ntt::debug_assert_domain_soa(b, q, "polymul_cyclic_fused (default) input b");
         self.polymul_cyclic(plan, a, b, scratch);
     }
 
@@ -187,6 +193,10 @@ pub trait Backend: Send + Sync {
         b: &mut ResidueSoa,
         scratch: &mut ResidueSoa,
     ) -> Result<(), mqx_ntt::NttError> {
+        // Canonical-only, as for the cyclic default above.
+        let q = plan.modulus().value();
+        mqx_ntt::debug_assert_domain_soa(a, q, "polymul_negacyclic_fused (default) input a");
+        mqx_ntt::debug_assert_domain_soa(b, q, "polymul_negacyclic_fused (default) input b");
         let (psi, psi_inv) = match (plan.psi_soa(), plan.psi_inv_soa()) {
             (Some(p), Some(pi)) => (p, pi),
             _ => {
@@ -282,6 +292,11 @@ impl<E: SimdEngine> Backend for EngineBackend<E> {
         b: &mut ResidueSoa,
         scratch: &mut ResidueSoa,
     ) {
+        // The lazy pipeline accepts the full [0, 2q) Shoup domain, not
+        // just canonical inputs (rule L3; see NttPlan::polymul_fused_*).
+        let q = plan.modulus().value();
+        mqx_ntt::debug_assert_domain_soa(a, 2 * q, "polymul_cyclic_fused input a");
+        mqx_ntt::debug_assert_domain_soa(b, 2 * q, "polymul_cyclic_fused input b");
         plan.polymul_fused_cyclic_simd::<E>(a, b, scratch);
     }
 
@@ -292,6 +307,10 @@ impl<E: SimdEngine> Backend for EngineBackend<E> {
         b: &mut ResidueSoa,
         scratch: &mut ResidueSoa,
     ) -> Result<(), mqx_ntt::NttError> {
+        // Same [0, 2q) lazy domain as the cyclic override above.
+        let q = plan.modulus().value();
+        mqx_ntt::debug_assert_domain_soa(a, 2 * q, "polymul_negacyclic_fused input a");
+        mqx_ntt::debug_assert_domain_soa(b, 2 * q, "polymul_negacyclic_fused input b");
         plan.polymul_fused_negacyclic_simd::<E>(a, b, scratch)
     }
 }

@@ -400,6 +400,9 @@ impl RequestState {
     /// executed, if any reason applies. Cancellation wins over an
     /// expired deadline.
     fn shed_reason(&self) -> Option<Error> {
+        // ORDERING: Acquire pairs with the Release store in `cancel`,
+        // so a worker that observes the flag also observes everything
+        // the cancelling thread did before setting it.
         if self.cancelled.load(Ordering::Acquire) {
             return Some(Error::Cancelled);
         }
@@ -418,6 +421,9 @@ impl RequestState {
                 self.slots.lock().expect("request slots poisoned")[channel] = Some(product);
             }
             Err(e) => {
+                // ORDERING: Release pairs with the Acquire re-load in
+                // the last-channel branch below, which must observe the
+                // error recorded under the mutex that follows.
                 self.failed.store(true, Ordering::Release);
                 let mut first = self.first_error.lock().expect("request error poisoned");
                 if first.is_none() {
@@ -425,6 +431,11 @@ impl RequestState {
                 }
             }
         }
+        // ORDERING: AcqRel on the countdown — the Release half makes
+        // this channel's slot/error writes visible to whichever worker
+        // hits zero; the Acquire half makes that worker see every other
+        // channel's writes. The Acquire load of `failed` then pairs
+        // with the Release store above.
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             let resolved = if self.failed.load(Ordering::Acquire) {
                 Err(self
@@ -581,6 +592,9 @@ impl RequestHandle {
     /// request that has already finished keeps its product — cancelling
     /// it is a no-op.
     pub fn cancel(&self) {
+        // ORDERING: Release pairs with the Acquire load in
+        // `shed_reason` — a worker that sees the flag sees everything
+        // sequenced before this call.
         self.state.cancelled.store(true, Ordering::Release);
     }
 
@@ -636,12 +650,17 @@ pub struct Canceller {
 impl Canceller {
     /// Requests cooperative cancellation (see [`RequestHandle::cancel`]).
     pub fn cancel(&self) {
+        // ORDERING: Release, exactly as in `RequestHandle::cancel`
+        // (pairs with the Acquire load in `shed_reason`).
         self.state.cancelled.store(true, Ordering::Release);
     }
 }
 
 impl std::fmt::Debug for Canceller {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // ORDERING: Acquire matches the readers of this flag; for a
+        // Debug snapshot Relaxed would do, but consistency is cheaper
+        // than a second convention.
         f.debug_struct("Canceller")
             .field("cancelled", &self.state.cancelled.load(Ordering::Acquire))
             .finish()
@@ -787,6 +806,9 @@ impl Shared {
                     if self.has_queued_work() {
                         continue;
                     }
+                    // ORDERING: Acquire pairs with the Release store in
+                    // `Drop`, so an exiting worker observes every write
+                    // the shutting-down thread made first.
                     if self.shutdown.load(Ordering::Acquire) {
                         return;
                     }
@@ -995,6 +1017,9 @@ impl RingExecutor {
                 // so zero channels execute even on a saturated pool.
                 // `publish` (not a bare outcome write) so the publish
                 // hook still observes the shed.
+                // ORDERING: Release to match the countdown convention
+                // on `remaining`; no worker ever sees this request, so
+                // nothing can race the store.
                 state.remaining.store(0, Ordering::Release);
                 state.publish(Err(Error::DeadlineExceeded));
                 return Ok(RequestHandle { state });
@@ -1068,6 +1093,8 @@ fn cancel_and_drain(handles: Vec<RequestHandle>) {
 
 impl Drop for RingExecutor {
     fn drop(&mut self) {
+        // ORDERING: Release pairs with the workers' Acquire load in the
+        // idle loop — an exiting worker sees all pre-shutdown writes.
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.notify_all();
         for handle in self.workers.drain(..) {

@@ -536,6 +536,9 @@ impl FrontDoor {
     /// stay exact even when the caller never awaits the future.
     fn publish_hook(&self) -> PublishHook {
         let counters = Arc::clone(&self.counters);
+        // ORDERING: all AdmissionStats counters are Relaxed — they are
+        // monotonic statistics; nothing is published through them and
+        // `stats()` reads are intentionally non-atomic snapshots.
         Box::new(move |outcome| match outcome {
             Err(Error::DeadlineExceeded) => {
                 counters.shed_at_deadline.fetch_add(1, Ordering::Relaxed);
@@ -576,6 +579,7 @@ impl FrontDoor {
         let queued = self.pool.queue_depth(class);
         if queued + guard[idx] >= self.limits[idx] {
             drop(guard);
+            // ORDERING: Relaxed statistics counters (see publish_hook).
             self.counters.submitted.fetch_add(1, Ordering::Relaxed);
             self.counters.shed_at_submit[idx].fetch_add(1, Ordering::Relaxed);
             return Ok(AsyncRequestHandle::ready(Err(Error::Overloaded {
@@ -587,6 +591,7 @@ impl FrontDoor {
             .pool
             .submit_with_hook(ring, request, Some(self.publish_hook()))?;
         drop(guard);
+        // ORDERING: Relaxed statistics counters (see publish_hook).
         self.counters.submitted.fetch_add(1, Ordering::Relaxed);
         self.counters.admitted.fetch_add(1, Ordering::Relaxed);
         self.counters.queue_high_water[idx].fetch_max(queued + 1, Ordering::Relaxed);
@@ -699,6 +704,7 @@ impl FrontDoor {
         self.freed.notify_all();
         permit.disarm();
         let handle = result?;
+        // ORDERING: Relaxed statistics counters (see publish_hook).
         self.counters.submitted.fetch_add(1, Ordering::Relaxed);
         self.counters.admitted.fetch_add(1, Ordering::Relaxed);
         self.counters.queue_high_water[idx].fetch_max(queued + 1, Ordering::Relaxed);
@@ -707,6 +713,9 @@ impl FrontDoor {
 
     /// A point-in-time [`AdmissionStats`] snapshot.
     pub fn stats(&self) -> AdmissionStats {
+        // ORDERING: Relaxed reads of the statistics counters; the
+        // snapshot is advisory and deliberately not atomic across
+        // fields (see publish_hook).
         AdmissionStats {
             submitted: self.counters.submitted.load(Ordering::Relaxed),
             admitted: self.counters.admitted.load(Ordering::Relaxed),
@@ -715,6 +724,7 @@ impl FrontDoor {
             }),
             shed_at_deadline: self.counters.shed_at_deadline.load(Ordering::Relaxed),
             cancelled: self.counters.cancelled.load(Ordering::Relaxed),
+            // ORDERING: Relaxed, as for every counter above.
             queue_high_water: std::array::from_fn(|i| {
                 self.counters.queue_high_water[i].load(Ordering::Relaxed)
             }),

@@ -133,6 +133,9 @@ impl PlanCache {
         let tick = inner.tick;
         if let Some(entry) = inner.plans.get_mut(&key) {
             entry.last_used = tick;
+            // ORDERING: statistics counter; Relaxed because the map
+            // itself is protected by the mutex above and nothing is
+            // published through the counter.
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(&entry.plan));
         }
@@ -144,6 +147,7 @@ impl PlanCache {
                 last_used: tick,
             },
         );
+        // ORDERING: statistics counter, as for `hits` above.
         self.misses.fetch_add(1, Ordering::Relaxed);
         if let Some(capacity) = self.capacity {
             while inner.plans.len() > capacity {
@@ -156,6 +160,7 @@ impl PlanCache {
                     .map(|(k, _)| *k)
                     .expect("non-empty over-capacity map");
                 inner.plans.remove(&oldest);
+                // ORDERING: statistics counter, as for `hits` above.
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -164,6 +169,8 @@ impl PlanCache {
 
     /// Current hit/miss/eviction/entry counters.
     pub fn stats(&self) -> CacheStats {
+        // ORDERING: Relaxed counter reads — the snapshot is advisory
+        // and intentionally not atomic across the three counters.
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),

@@ -103,17 +103,21 @@ impl ScratchPool {
             // of dirtying every slot's cache line with a swap (pools
             // can be hundreds of slots wide). A stale null read just
             // falls through to allocation — benign.
+            // ORDERING: the Relaxed probe is advisory (stale reads only
+            // mis-skip a slot); the Acquire swap below pairs with
+            // `give_back`'s Release CAS so every write to the buffer
+            // made before publication is visible to the new owner.
             if slot.load(Ordering::Relaxed).is_null() {
                 continue;
             }
             let p = slot.swap(ptr::null_mut(), Ordering::Acquire);
             if !p.is_null() {
-                // SAFETY: a non-null slot pointer was produced by
-                // `Box::into_raw` in `give_back` and ownership was
-                // transferred to the slot; the swap above took it back
-                // exclusively.
                 return ScratchGuard {
                     pool: self,
+                    // SAFETY: a non-null slot pointer was produced by
+                    // `Box::into_raw` in `give_back` and ownership was
+                    // transferred to the slot; the swap above took it
+                    // back exclusively.
                     buf: Some(unsafe { Box::from_raw(p) }),
                 };
             }
@@ -132,6 +136,10 @@ impl ScratchPool {
             // Same read-mostly probe as checkout: CAS only slots that
             // look empty, so returning into a full pool scans with
             // loads rather than failed RMWs.
+            // ORDERING: Relaxed probe is advisory; the Release CAS
+            // publishes the buffer (pairs with checkout's Acquire
+            // swap), and its Relaxed failure ordering is fine — a lost
+            // race reads nothing through the pointer.
             if !slot.load(Ordering::Relaxed).is_null() {
                 continue;
             }
@@ -152,6 +160,8 @@ impl ScratchPool {
     /// for tests and diagnostics).
     #[cfg(test)]
     pub fn pooled(&self) -> usize {
+        // ORDERING: racy diagnostic snapshot; Relaxed loads because no
+        // decision here requires synchronizing with buffer contents.
         self.slots
             .iter()
             .filter(|s| !s.load(Ordering::Relaxed).is_null())

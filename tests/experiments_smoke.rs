@@ -374,3 +374,22 @@ fn fig1_headline_orders_baseline_vs_optimized() {
     let rpu = find("RPU").expect("rpu row");
     assert!(rpu < scalar, "ASIC reference is fastest class");
 }
+
+#[test]
+fn lint_gate_passes_on_the_tree() {
+    // The same scan CI runs with `--deny`: the workspace must stay
+    // clean so the static-analysis gate cannot fail on a fresh clone.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let config = mqx_lint::Config::load(&root.join("lint.toml")).expect("lint.toml parses");
+    let outcome = mqx_lint::lint_workspace(root, &config).expect("workspace scan succeeds");
+    assert!(
+        outcome.findings.is_empty(),
+        "mqx_lint --deny would fail:\n{}",
+        outcome
+            .findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
