@@ -634,6 +634,45 @@ impl FheRnsNtt {
             })
             .collect()
     }
+
+    /// The relinearization composite, the schoolbook way: cyclic product
+    /// mod `Q`, re-read in the basis extended by `extension`, then
+    /// divide-and-round by the last extension prime —
+    /// `round(a·b / p_last) mod (Q·∏extension / p_last)`. This is the
+    /// big-integer reference for the executor's
+    /// `OpGraph::relinearize` chain (polymul → basis-extend → rescale),
+    /// which must land on the same coefficients with exactly one CRT
+    /// join.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice's length differs from the transform size,
+    /// `extension` is empty, or any extension prime is zero.
+    pub fn relinearize(&self, a: &[BigUint], b: &[BigUint], extension: &[u128]) -> Vec<BigUint> {
+        let p_last = *extension.last().expect("at least one extension prime");
+        assert!(
+            extension.iter().all(|&p| p != 0),
+            "extension primes must be non-zero"
+        );
+        // The product before the extension already bounds the polymul
+        // output, so extending the basis leaves every value unchanged —
+        // only the modulus the final reduction runs under grows.
+        let mut extended = self.crt.product().clone();
+        for &p in extension {
+            extended = &extended * &BigUint::from(p);
+        }
+        let (surviving, _) = extended.div_rem(&BigUint::from(p_last));
+        let half = BigUint::from(p_last / 2);
+        let q_last = BigUint::from(p_last);
+        self.polymul_cyclic(a, b)
+            .iter()
+            .map(|x| {
+                let (quot, _) = (x + &half).div_rem(&q_last);
+                let (_, rem) = quot.div_rem(&surviving);
+                rem
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -840,6 +879,34 @@ mod tests {
         let omega = nt::root_of_unity(&Modulus::new_prime(q).unwrap(), n as u64).unwrap();
         let rns = FheRnsNtt::new(&[q], n, &[omega]);
         let _ = rns.rescale(&vec![BigUint::zero(); n]);
+    }
+
+    #[test]
+    fn relinearize_matches_rescale_in_the_extended_basis() {
+        let n = 16;
+        let rns = two_channel_rns(n);
+        let chain = mqx_core::primes::ntt_prime_chain(62, 20, 3).unwrap();
+        let p = *chain
+            .iter()
+            .find(|&&p| p != primes::Q62 && p != primes::Q30)
+            .unwrap();
+        let a = coeffs(&rns, 0x55);
+        let b = coeffs(&rns, 0x66);
+        let got = rns.relinearize(&a, &b, &[p]);
+
+        // The composite must equal the chain run step by step: the
+        // product sits below Q, so extending the basis leaves its value
+        // untouched and the extended ring's rescale does the rest.
+        let ext_moduli = [primes::Q62, primes::Q30, p];
+        let omegas: Vec<u128> = ext_moduli
+            .iter()
+            .map(|&q| {
+                nt::root_of_unity(&Modulus::new_prime(q).unwrap(), n as u64).expect("root exists")
+            })
+            .collect();
+        let extended = FheRnsNtt::new(&ext_moduli, n, &omegas);
+        let product = rns.polymul_cyclic(&a, &b);
+        assert_eq!(got, extended.rescale(&product));
     }
 
     #[test]

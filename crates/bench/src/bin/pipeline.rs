@@ -41,5 +41,33 @@ fn main() {
             }
         }
     }
-    println!("[{source} parses: per-op and per-class percentile rows present]");
+    // The graphs-vs-op-at-a-time delta rides in the same artifact.
+    let delta = parsed
+        .get("graph_delta")
+        .expect("artifact must carry `graph_delta`");
+    for field in [
+        "chains",
+        "op_wall_ns",
+        "graph_wall_ns",
+        "graph_p50_ns",
+        "graph_p99_ns",
+        "op_allocs_per_chain",
+        "graph_allocs_per_chain",
+    ] {
+        assert!(
+            delta.get(field).is_some(),
+            "`graph_delta` must carry `{field}`"
+        );
+    }
+    // With the counting allocator installed, the resident-residue path
+    // must allocate strictly less per chain than op-at-a-time replay —
+    // the quantitative claim behind op graphs, enforced in CI.
+    if report.alloc_counted {
+        assert!(
+            report.graph_delta.graph_allocs_per_chain < report.graph_delta.op_allocs_per_chain,
+            "graph replay must allocate less per chain: {:?}",
+            report.graph_delta
+        );
+    }
+    println!("[{source} parses: per-op, per-class, and graph-delta rows present]");
 }

@@ -26,8 +26,8 @@ use crate::experiments::serve::{drain, percentile};
 use crate::report::{fmt_ns, write_json, Table};
 use mqx::bignum::BigUint;
 use mqx::{
-    Coefficients, PolyOp, PolyRing, Priority, RequestHandle, RingExecutor, RingOp, RingRequest,
-    RnsRing,
+    Coefficients, OpGraph, PolyOp, PolyRing, Priority, RequestHandle, RingExecutor, RingOp,
+    RingRequest, RnsRing,
 };
 use mqx_json::impl_to_json;
 use std::sync::Arc;
@@ -63,6 +63,46 @@ impl_to_json!(LatencyRow {
     p99_ns,
 });
 
+/// Graphs-vs-op-at-a-time delta: the same trace replayed once as
+/// standalone requests (materializing coefficients and joining CRT
+/// after every op) and once as one [`OpGraph`] per chain (resident
+/// residues, one join at the graph output).
+#[derive(Clone, Debug)]
+pub struct GraphDelta {
+    /// Chains in each replay (one graph request per chain).
+    pub chains: usize,
+    /// Wall-clock for the op-at-a-time replay of the full trace (ns).
+    pub op_wall_ns: f64,
+    /// Wall-clock for the graph replay of the same trace (ns).
+    pub graph_wall_ns: f64,
+    /// Median whole-chain completion latency in the graph replay.
+    pub graph_p50_ns: f64,
+    /// 99th-percentile whole-chain completion latency in the graph
+    /// replay.
+    pub graph_p99_ns: f64,
+    /// Mean heap bytes per chain, op-at-a-time replay (0 when the
+    /// counting allocator is not installed).
+    pub op_bytes_per_chain: f64,
+    /// Mean heap bytes per chain, graph replay.
+    pub graph_bytes_per_chain: f64,
+    /// Mean allocator calls per chain, op-at-a-time replay.
+    pub op_allocs_per_chain: f64,
+    /// Mean allocator calls per chain, graph replay.
+    pub graph_allocs_per_chain: f64,
+}
+
+impl_to_json!(GraphDelta {
+    chains,
+    op_wall_ns,
+    graph_wall_ns,
+    graph_p50_ns,
+    graph_p99_ns,
+    op_bytes_per_chain,
+    graph_bytes_per_chain,
+    op_allocs_per_chain,
+    graph_allocs_per_chain,
+});
+
 /// The full pipeline artifact.
 #[derive(Clone, Debug)]
 pub struct PipelineReport {
@@ -91,6 +131,8 @@ pub struct PipelineReport {
     pub bytes_per_request: f64,
     /// Mean allocator calls per request during the latency replay.
     pub allocs_per_request: f64,
+    /// The graphs-vs-op-at-a-time comparison over the same trace.
+    pub graph_delta: GraphDelta,
 }
 
 impl_to_json!(PipelineReport {
@@ -104,6 +146,7 @@ impl_to_json!(PipelineReport {
     alloc_counted,
     bytes_per_request,
     allocs_per_request,
+    graph_delta,
 });
 
 /// One chain's working set: the stage inputs/outputs as computed by the
@@ -325,6 +368,76 @@ fn latency_replay(
     latencies
 }
 
+/// One chain as a single dependency graph: both polymuls, both
+/// rescales, the add, and (on alternating chains) the basis-extension
+/// tail — submitted as ONE request with resident residues between
+/// nodes.
+fn chain_graph(extend: bool) -> OpGraph {
+    let mut g = OpGraph::builder(4);
+    let p1 = g
+        .polymul(
+            PolyOp::Negacyclic,
+            mqx::Operand::Input(0),
+            mqx::Operand::Input(1),
+        )
+        .expect("in-arity polymul");
+    let p2 = g
+        .polymul(
+            PolyOp::Negacyclic,
+            mqx::Operand::Input(2),
+            mqx::Operand::Input(3),
+        )
+        .expect("in-arity polymul");
+    let r1 = g.rescale(p1).expect("rescale arm");
+    let r2 = g.rescale(p2).expect("rescale arm");
+    let sum = g.add(r1, r2).expect("same-width add");
+    let out = if extend {
+        g.basis_extend(sum, 1).expect("extension tail")
+    } else {
+        sum
+    };
+    g.build(out).expect("the chain graph is statically valid")
+}
+
+/// Replays the trace as one graph request per chain — whole batch
+/// submitted before any handle is collected — asserting each graph
+/// matches sequential [`PolyRing::apply_graph`] evaluation bit for bit.
+///
+/// The graph's intermediate values live in the basis each node's chain
+/// has reached (the post-rescale add runs mod `Q′`, not mod `Q`), so
+/// the oracle is the resident sequential evaluator, not the
+/// materializing op-at-a-time chain.
+fn graph_replay(
+    pool: &RingExecutor,
+    ring: &Arc<dyn PolyRing>,
+    chains: &[Chain],
+    expected: &[Coefficients],
+) -> Vec<f64> {
+    let t0 = Instant::now();
+    let pending: Vec<Option<(usize, usize, RequestHandle)>> = chains
+        .iter()
+        .enumerate()
+        .map(|(i, ch)| {
+            let request = RingRequest::graph(
+                chain_graph(ch.extended.is_some()),
+                vec![ch.a.clone(), ch.b.clone(), ch.c.clone(), ch.d.clone()],
+            )
+            .with_priority(ch.priority);
+            let handle = pool.submit(ring, request).expect("valid chain graph");
+            Some((0, i, handle))
+        })
+        .collect();
+    let (latencies, shed) = drain::<1>(pending, t0, |index, product| {
+        assert_eq!(
+            product, expected[index],
+            "graph replay must match sequential apply_graph"
+        );
+    });
+    assert_eq!(shed[0], 0, "no deadlines in the graph replay");
+    let [latencies] = latencies;
+    latencies
+}
+
 /// Builds the trace, runs the stage waves (correctness gate), replays
 /// the trace for latency, prints both tables, and writes
 /// `pipeline_trace.json`.
@@ -342,8 +455,33 @@ pub fn run(quick: bool) -> PipelineReport {
     // replay's allocation count reflects steady-state serving, not
     // first-touch buffer builds.
     let before = crate::alloc_count::snapshot();
+    let op_t0 = Instant::now();
     let latencies = latency_replay(&pool, &ring, &chains);
+    let op_wall_ns = op_t0.elapsed().as_nanos() as f64;
     let allocated = crate::alloc_count::snapshot().zip(before).map(
+        |((bytes_after, calls_after), (bytes_before, calls_before))| {
+            (bytes_after - bytes_before, calls_after - calls_before)
+        },
+    );
+
+    // The same trace as one dependency graph per chain. The sequential
+    // apply_graph oracle runs first — outside the measured window — and
+    // doubles as warm-up for the sub-width resident contexts.
+    let graph_expected: Vec<Coefficients> = chains
+        .iter()
+        .map(|ch| {
+            ring.apply_graph(
+                &chain_graph(ch.extended.is_some()),
+                &[ch.a.clone(), ch.b.clone(), ch.c.clone(), ch.d.clone()],
+            )
+            .expect("sequential graph oracle")
+        })
+        .collect();
+    let graph_before = crate::alloc_count::snapshot();
+    let graph_t0 = Instant::now();
+    let graph_latencies = graph_replay(&pool, &ring, &chains, &graph_expected);
+    let graph_wall_ns = graph_t0.elapsed().as_nanos() as f64;
+    let graph_allocated = crate::alloc_count::snapshot().zip(graph_before).map(
         |((bytes_after, calls_after), (bytes_before, calls_before))| {
             (bytes_after - bytes_before, calls_after - calls_before)
         },
@@ -383,6 +521,18 @@ pub fn run(quick: bool) -> PipelineReport {
 
     let trace_requests: usize = latencies.iter().map(Vec::len).sum();
     let per_request = |total: u64| total as f64 / trace_requests.max(1) as f64;
+    let per_chain = |total: u64| total as f64 / chains_len.max(1) as f64;
+    let graph_delta = GraphDelta {
+        chains: chains_len,
+        op_wall_ns,
+        graph_wall_ns,
+        graph_p50_ns: percentile(&graph_latencies, 0.50),
+        graph_p99_ns: percentile(&graph_latencies, 0.99),
+        op_bytes_per_chain: allocated.map_or(0.0, |(bytes, _)| per_chain(bytes)),
+        graph_bytes_per_chain: graph_allocated.map_or(0.0, |(bytes, _)| per_chain(bytes)),
+        op_allocs_per_chain: allocated.map_or(0.0, |(_, calls)| per_chain(calls)),
+        graph_allocs_per_chain: graph_allocated.map_or(0.0, |(_, calls)| per_chain(calls)),
+    };
     let report = PipelineReport {
         n,
         channels,
@@ -394,6 +544,7 @@ pub fn run(quick: bool) -> PipelineReport {
         alloc_counted: allocated.is_some(),
         bytes_per_request: allocated.map_or(0.0, |(bytes, _)| per_request(bytes)),
         allocs_per_request: allocated.map_or(0.0, |(_, calls)| per_request(calls)),
+        graph_delta,
     };
 
     let mut table = Table::new(
@@ -433,6 +584,28 @@ pub fn run(quick: bool) -> PipelineReport {
     } else {
         println!(
             "allocation pressure: not counted — rebuild with `--features alloc-count` to measure"
+        );
+    }
+
+    let delta = &report.graph_delta;
+    println!(
+        "graphs vs op-at-a-time: {} chains, wall {} -> {} ({:.2}x), \
+         whole-chain p50 {} p99 {}",
+        delta.chains,
+        fmt_ns(delta.op_wall_ns),
+        fmt_ns(delta.graph_wall_ns),
+        delta.op_wall_ns / delta.graph_wall_ns.max(1.0),
+        fmt_ns(delta.graph_p50_ns),
+        fmt_ns(delta.graph_p99_ns),
+    );
+    if report.alloc_counted {
+        println!(
+            "graphs vs op-at-a-time: allocs/chain {:.1} -> {:.1}, bytes/chain {:.0} -> {:.0} \
+             (resident residues, one CRT join per chain)",
+            delta.op_allocs_per_chain,
+            delta.graph_allocs_per_chain,
+            delta.op_bytes_per_chain,
+            delta.graph_bytes_per_chain,
         );
     }
 

@@ -15,7 +15,11 @@
 //! ```
 
 use mqx::bignum::BigUint;
-use mqx::{plan_cache, Coefficients, PolyOp, PolyRing, RingOp, RnsRing};
+use mqx::{
+    plan_cache, Coefficients, OpGraph, Operand, PolyOp, PolyRing, RingExecutor, RingOp,
+    RingRequest, RnsRing,
+};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A toy RLWE "ciphertext": two polynomials (c0, c1) with big-integer
@@ -104,9 +108,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // After a multiplication the ciphertext's scale has grown by one
     // level; schemes drop the last RNS channel with a divide-and-round
     // correction (`Rescale`) and keep computing over the reduced basis.
-    // The op vocabulary drives the whole chain through one `apply`
-    // surface — the same ops an executor serves as per-channel work
-    // items.
+    //
+    // Op-at-a-time, every `apply` splits its operands into residues and
+    // CRT-joins the result back to big integers — three joins for this
+    // chain — and after the rescale the caller must open a ring over
+    // the reduced basis by hand to keep the add width-correct.
     let t0 = Instant::now();
     let product = ring.apply(
         &RingOp::Polymul(PolyOp::Negacyclic),
@@ -114,13 +120,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Some(&Coefficients::Big(ct_b.c0.clone())),
     )?;
     let rescaled = ring.apply(&RingOp::Rescale, &product, None)?;
-    let combined = ring.apply(&RingOp::Add, &rescaled, Some(&rescaled))?;
+    let reduced = RnsRing::with_moduli(&ring.moduli()[..ring.channels() - 1], n)?;
+    let combined = reduced.apply(&RingOp::Add, &rescaled, Some(&rescaled))?;
     let chain_elapsed = t0.elapsed();
     assert_eq!(product, Coefficients::Big(d0.clone()));
     let q_last = *ring.moduli().last().expect("non-empty basis");
     println!(
         "\npipeline polymul → rescale → add at n = {n}: {chain_elapsed:?} \
-         (rescale dropped q = {q_last}, {} → {} channels)",
+         (rescale dropped q = {q_last}, {} → {} channels; 3 CRT joins)",
         ring.channels(),
         ring.channels() - 1
     );
@@ -134,8 +141,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             rescaled[0]
         );
     }
-    if let Coefficients::Big(combined) = &combined {
-        println!("  (rescaled + rescaled)[0] = {}", combined[0]);
+
+    // The same chain as ONE submitted request. An `OpGraph` carries the
+    // dependency structure — polymul feeding a rescale feeding an add of
+    // the rescaled value with itself — so the executor keeps residues
+    // resident between nodes, tracks the basis width across the rescale
+    // automatically, and recombines exactly once at the graph output:
+    // one CRT join instead of three, and no hand-built reduced ring.
+    let graph = {
+        let mut b = OpGraph::builder(2);
+        let prod = b.polymul(PolyOp::Negacyclic, Operand::Input(0), Operand::Input(1))?;
+        let scaled = b.rescale(prod)?;
+        let out = b.add(scaled, scaled)?;
+        b.build(out)?
+    };
+    let pool = RingExecutor::new(ring.channels())?;
+    let dyn_ring: Arc<dyn PolyRing> = Arc::new(RnsRing::with_moduli(ring.moduli(), n)?);
+    let t0 = Instant::now();
+    let graphed = pool
+        .submit(
+            &dyn_ring,
+            RingRequest::graph(
+                graph,
+                vec![
+                    Coefficients::Big(ct_a.c0.clone()),
+                    Coefficients::Big(ct_b.c0.clone()),
+                ],
+            ),
+        )?
+        .wait()?;
+    let graph_elapsed = t0.elapsed();
+    assert_eq!(graphed, combined, "graph request ≡ op-at-a-time chain");
+    println!(
+        "op graph (1 join) vs op-at-a-time (3 joins): {graph_elapsed:?} vs \
+         {chain_elapsed:?} ({:.2}x) — same bits",
+        chain_elapsed.as_secs_f64() / graph_elapsed.as_secs_f64()
+    );
+    if let Coefficients::Big(graphed) = &graphed {
+        println!("  (rescaled + rescaled)[0] = {}", graphed[0]);
     }
 
     // Cross-check one product against the O(n²) schoolbook over the

@@ -147,6 +147,19 @@ pub enum Error {
     /// was shed at submit or at dequeue instead of burning worker
     /// time).
     DeadlineExceeded,
+    /// An [`OpGraph`](crate::OpGraph) contains a dependency cycle: no
+    /// topological order exists, so no executor schedule can satisfy its
+    /// edges. Rejected at graph build, before anything is queued.
+    GraphCycle,
+    /// An [`OpGraph`](crate::OpGraph) failed structural validation at
+    /// build (a dangling operand reference, an unused intermediate node,
+    /// operands whose channel bases cannot match, an empty graph, …).
+    InvalidGraph {
+        /// Index of the offending node.
+        node: usize,
+        /// What the node violates.
+        reason: &'static str,
+    },
     /// The request was shed at admission: its priority class's bounded
     /// queue in a [`FrontDoor`](crate::frontdoor::FrontDoor) was
     /// already at its configured depth, so the request was refused
@@ -237,6 +250,13 @@ impl fmt::Display for Error {
                 f,
                 "request deadline passed before it finished executing; it was shed"
             ),
+            Error::GraphCycle => write!(
+                f,
+                "op graph contains a dependency cycle; no execution order can satisfy its edges"
+            ),
+            Error::InvalidGraph { node, reason } => {
+                write!(f, "op graph node {node} is invalid: {reason}")
+            }
             Error::Overloaded { class, depth } => write!(
                 f,
                 "request shed at admission: the {class} class queue is at its depth limit \
@@ -388,6 +408,24 @@ mod tests {
         let e = Error::OperandLengthMismatch { a: 1024, b: 512 };
         let msg = e.to_string();
         assert!(msg.contains("1024") && msg.contains("512"), "{msg}");
+    }
+
+    #[test]
+    fn graph_errors_are_actionable() {
+        let e = Error::GraphCycle;
+        assert!(e.to_string().contains("cycle"), "{e}");
+        assert!(e.source().is_none());
+
+        let e = Error::InvalidGraph {
+            node: 4,
+            reason: "operand references a later node",
+        };
+        let msg = e.to_string();
+        assert!(
+            msg.contains("node 4") && msg.contains("later node"),
+            "{msg}"
+        );
+        assert!(e.source().is_none());
     }
 
     #[test]

@@ -28,6 +28,22 @@
 //! ([`PolyRing::op_join`] — CRT recombination only for the ops that
 //! need it) and wakes the caller's [`RequestHandle`].
 //!
+//! # Op-graph requests
+//!
+//! The unit of work is a *dependency graph*, not a single op: a
+//! [`RingRequest::graph`] carries an [`OpGraph`] of [`RingOp`] nodes
+//! (a single op compiles to the one-node graph — behavior identical to
+//! the paragraph above). Fan-out is per `(node × output channel)` with
+//! an atomic indegree countdown per node: a node's channels enter the
+//! stealing deques the moment its last graph predecessor completes, so
+//! stage `s + 1` of request A overlaps stage `s` of request B on the
+//! same pool. Between nodes nothing is recombined — intermediates stay
+//! channel-major residues ([`PolyRing::channel_apply_at`]), and the
+//! single CRT join runs at the graph's output node
+//! ([`PolyRing::join_at`]). QoS is per-graph: one priority class, one
+//! deadline, one handle; a shed (deadline or cancel) skips every
+//! unstarted node.
+//!
 //! # Quality of service
 //!
 //! A real multi-tenant queue is never uniform: interactive requests
@@ -82,12 +98,13 @@
 //! ```
 
 use crate::error::Error;
+use crate::graph::{OpGraph, Operand};
 use crate::ops::RingOp;
 use crate::poly::{Coefficients, PolyOp, PolyRing};
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::task::Waker;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -236,28 +253,52 @@ impl PolymulRequest {
     }
 }
 
-/// One queued ring operation: any [`RingOp`], its operand(s), and the
-/// scheduling [`SubmitOptions`]. The general form of
-/// [`PolymulRequest`] — which converts [`Into`] this type, so every
-/// existing polymul call site keeps working unchanged.
+/// One queued unit of ring work: a single [`RingOp`] with its
+/// operand(s), or a whole [`OpGraph`] with the graph's external
+/// operands — plus the scheduling [`SubmitOptions`]. The general form
+/// of [`PolymulRequest`] — which converts [`Into`] this type, so every
+/// existing polymul call site keeps working unchanged. A single op is
+/// exactly the one-node graph ([`OpGraph::single`]): both forms take
+/// the same path through the pool.
 ///
 /// ```
-/// use mqx::{Priority, RingOp, RingRequest};
+/// use mqx::{OpGraph, PolyOp, Priority, RingOp, RingRequest};
 /// use mqx::bignum::BigUint;
 ///
 /// let x: Vec<BigUint> = (0..64_u64).map(BigUint::from).collect();
 /// let req = RingRequest::rescale(x.clone().into()).with_priority(Priority::High);
 /// assert_eq!(req.op(), &RingOp::Rescale);
 /// assert!(req.b().is_none());
-/// let ext = RingRequest::basis_extend(x.into(), 1);
+/// let ext = RingRequest::basis_extend(x.clone().into(), 1);
 /// assert_eq!(ext.op(), &RingOp::BasisExtend { extra_channels: 1 });
+///
+/// // A composite kernel: one request, one handle, one CRT join.
+/// let relin = RingRequest::graph(
+///     OpGraph::relinearize(PolyOp::Negacyclic, 1),
+///     vec![x.clone().into(), x.into()],
+/// );
+/// assert_eq!(relin.op(), &RingOp::Rescale); // the graph's output op
 /// ```
 #[derive(Clone, Debug)]
 pub struct RingRequest {
-    op: RingOp,
-    a: Coefficients,
-    b: Option<Coefficients>,
+    kind: RequestKind,
     options: SubmitOptions,
+}
+
+/// What a [`RingRequest`] carries: one op, or one dependency graph.
+#[derive(Clone, Debug)]
+enum RequestKind {
+    /// A single ring operation (compiles to [`OpGraph::single`]).
+    Op {
+        op: RingOp,
+        a: Coefficients,
+        b: Option<Coefficients>,
+    },
+    /// A dependency graph over `operands` (one per [`OpGraph::inputs`]).
+    Graph {
+        graph: OpGraph,
+        operands: Vec<Coefficients>,
+    },
 }
 
 impl RingRequest {
@@ -266,9 +307,20 @@ impl RingRequest {
     /// the op's arity at submit.
     pub fn new(op: RingOp, a: Coefficients, b: Option<Coefficients>) -> Self {
         RingRequest {
-            op,
-            a,
-            b,
+            kind: RequestKind::Op { op, a, b },
+            options: SubmitOptions::default(),
+        }
+    }
+
+    /// Bundles a whole dependency graph with its external operands
+    /// (`operands[i]` feeds `Operand::Input(i)`; the count is checked
+    /// against [`OpGraph::inputs`] at submit). The graph executes as
+    /// *one* request: one priority class, one deadline, one handle, one
+    /// CRT join at the output node — intermediates stay resident
+    /// channel-major residues.
+    pub fn graph(graph: OpGraph, operands: Vec<Coefficients>) -> Self {
+        RingRequest {
+            kind: RequestKind::Graph { graph, operands },
             options: SubmitOptions::default(),
         }
     }
@@ -298,19 +350,46 @@ impl RingRequest {
         RingRequest::new(RingOp::BasisExtend { extra_channels }, a, None)
     }
 
-    /// The requested operation.
+    /// The requested operation — for a graph request, the *output*
+    /// node's op (what the request resolves to at its root).
     pub fn op(&self) -> &RingOp {
-        &self.op
+        match &self.kind {
+            RequestKind::Op { op, .. } => op,
+            RequestKind::Graph { graph, .. } => graph.output_op(),
+        }
     }
 
     /// The first operand.
+    ///
+    /// # Panics
+    ///
+    /// For a malformed graph request carrying zero operands (a state
+    /// submit would reject, since every valid graph names at least one
+    /// input).
     pub fn a(&self) -> &Coefficients {
-        &self.a
+        match &self.kind {
+            RequestKind::Op { a, .. } => a,
+            RequestKind::Graph { operands, .. } => operands
+                .first()
+                .expect("a graph request names at least one operand"),
+        }
     }
 
-    /// The second operand, for binary ops.
+    /// The second operand: `Some` for binary ops, and for graph
+    /// requests with at least two external inputs.
     pub fn b(&self) -> Option<&Coefficients> {
-        self.b.as_ref()
+        match &self.kind {
+            RequestKind::Op { b, .. } => b.as_ref(),
+            RequestKind::Graph { operands, .. } => operands.get(1),
+        }
+    }
+
+    /// The dependency graph, for graph requests.
+    pub fn op_graph(&self) -> Option<&OpGraph> {
+        match &self.kind {
+            RequestKind::Op { .. } => None,
+            RequestKind::Graph { graph, .. } => Some(graph),
+        }
     }
 
     /// The scheduling options.
@@ -345,49 +424,82 @@ impl RingRequest {
 impl From<PolymulRequest> for RingRequest {
     fn from(request: PolymulRequest) -> Self {
         RingRequest {
-            op: RingOp::Polymul(request.op),
-            a: request.a,
-            b: Some(request.b),
+            kind: RequestKind::Op {
+                op: RingOp::Polymul(request.op),
+                a: request.a,
+                b: Some(request.b),
+            },
             options: request.options,
         }
     }
 }
 
-/// The shared state of one in-flight request: per-channel operands in,
-/// per-channel products out, joined by whichever worker finishes last.
+/// Execution state of one [`OpGraph`] node inside a request: its
+/// fan-out bookkeeping (channel slots, work-item countdown), its
+/// scheduling gate (indegree countdown), and its materialized output
+/// for downstream nodes.
+struct NodeExec {
+    /// Channel width of the node's operands — the basis the op chain
+    /// has reached at this node's inputs.
+    in_width: usize,
+    /// Output-channel fan-out width (the number of work items) — for
+    /// basis-changing ops this differs from `in_width`.
+    tasks: usize,
+    /// One slot per output channel, filled as channel results land.
+    slots: Mutex<Vec<Option<Vec<u128>>>>,
+    /// Work items of this node still running; the worker that
+    /// decrements this to zero completes the node.
+    remaining: AtomicUsize,
+    /// Distinct graph predecessors not yet complete — the scheduling
+    /// gate. The node's channels enter the deques when this hits zero
+    /// (root nodes start at zero and are fanned out at dequeue).
+    pending: AtomicUsize,
+    /// Distinct successor node ids whose `pending` this node's
+    /// completion decrements.
+    successors: Vec<usize>,
+    /// The node's channel-major result, materialized at completion for
+    /// successors to read. Never set for the output node (its slots
+    /// feed the join directly) or on the failure path.
+    output: OnceLock<Vec<Vec<u128>>>,
+}
+
+/// The shared state of one in-flight request: split external operands
+/// in, per-node channel results chained through resident residues, one
+/// CRT join at the graph's output node by whichever worker finishes its
+/// last work item.
 struct RequestState {
     ring: Arc<dyn PolyRing>,
-    op: RingOp,
-    a: Vec<Vec<u128>>,
-    b: Option<Vec<Vec<u128>>>,
-    /// Output-channel fan-out width (the number of work items) — for
-    /// basis-changing ops this differs from `a.len()`.
-    tasks: usize,
+    /// The dependency graph (a single op is its one-node graph).
+    graph: OpGraph,
+    /// Split external operands, channel-major, one per graph input.
+    inputs: Vec<Vec<Vec<u128>>>,
+    /// Per-node execution state, indexed like `graph.nodes()`.
+    nodes: Vec<NodeExec>,
+    /// Nodes with no graph predecessors — fanned out at dequeue.
+    roots: Vec<usize>,
     /// Latest useful completion time; checked when a worker dequeues
-    /// the request or one of its channels.
+    /// the request or one of its work items.
     deadline: Option<Instant>,
     /// Set by [`RequestHandle::cancel`]; checked at the same dequeue
     /// points as the deadline.
     cancelled: AtomicBool,
-    /// One slot per channel, filled as channel products land.
-    slots: Mutex<Vec<Option<Vec<u128>>>>,
-    /// Channels still running; the worker that decrements this to zero
-    /// joins and notifies.
-    remaining: AtomicUsize,
-    /// Set on the first channel error (errors win over the join).
+    /// Set on the first work-item error (errors win over the join);
+    /// remaining items of the whole graph retire without running their
+    /// kernels once this is up.
     failed: AtomicBool,
-    /// The first channel error, published into `outcome` by the last
-    /// channel to land. Kept separate so `outcome` holds a value *only*
-    /// once the request is fully resolved — the "finished" signal.
+    /// The first error, published into `outcome` when the output node
+    /// completes. Kept separate so `outcome` holds a value *only* once
+    /// the request is fully resolved — the "finished" signal. Always
+    /// recorded *before* `failed` is raised.
     first_error: Mutex<Option<Error>>,
     /// The request's final result. Written exactly once, by the worker
-    /// that finishes the last channel (after the CRT join, when there is
+    /// that completes the output node (after the CRT join, when there is
     /// one), so `Some` here means "`wait` will not block".
     outcome: Mutex<Option<Result<Coefficients, Error>>>,
     done: Condvar,
     /// The async completion path: a [`Waker`] parked by a pending
     /// future's `poll`, fired exactly once when the outcome is
-    /// published (last channel joined, shed, or cancelled). Re-polls
+    /// published (output node joined, shed, or cancelled). Re-polls
     /// replace the stored waker. Locked strictly after `outcome`.
     waker: Mutex<Option<Waker>>,
     /// Fired once, just before the outcome becomes observable (stats
@@ -409,59 +521,6 @@ impl RequestState {
         match self.deadline {
             Some(deadline) if Instant::now() >= deadline => Some(Error::DeadlineExceeded),
             _ => None,
-        }
-    }
-
-    /// Records one channel's result; the last channel to land performs
-    /// the join (errors win over the join) and publishes the outcome,
-    /// waking the handle.
-    fn finish_channel(&self, channel: usize, result: Result<Vec<u128>, Error>) {
-        match result {
-            Ok(product) => {
-                self.slots.lock().expect("request slots poisoned")[channel] = Some(product);
-            }
-            Err(e) => {
-                // ORDERING: Release pairs with the Acquire re-load in
-                // the last-channel branch below, which must observe the
-                // error recorded under the mutex that follows.
-                self.failed.store(true, Ordering::Release);
-                let mut first = self.first_error.lock().expect("request error poisoned");
-                if first.is_none() {
-                    *first = Some(e);
-                }
-            }
-        }
-        // ORDERING: AcqRel on the countdown — the Release half makes
-        // this channel's slot/error writes visible to whichever worker
-        // hits zero; the Acquire half makes that worker see every other
-        // channel's writes. The Acquire load of `failed` then pairs
-        // with the Release store above.
-        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let resolved = if self.failed.load(Ordering::Acquire) {
-                Err(self
-                    .first_error
-                    .lock()
-                    .expect("request error poisoned")
-                    .take()
-                    .expect("failed request recorded its error"))
-            } else {
-                // The join runs under the same panic guard as the
-                // channel kernels: a panicking `PolyRing::join` must
-                // surface as a request error, not a dead worker and a
-                // poisoned handle.
-                catch_unwind(AssertUnwindSafe(|| {
-                    let parts: Vec<Vec<u128>> = self
-                        .slots
-                        .lock()
-                        .expect("request slots poisoned")
-                        .iter_mut()
-                        .map(|slot| slot.take().expect("every channel landed"))
-                        .collect();
-                    self.ring.op_join(&self.op, parts)
-                }))
-                .unwrap_or(Err(Error::JoinPanicked))
-            };
-            self.publish(resolved);
         }
     }
 
@@ -491,14 +550,6 @@ impl RequestState {
             waker.wake();
         }
     }
-
-    /// Resolves every channel of a freshly dequeued (not yet fanned-out)
-    /// request with `reason`, without running any kernel.
-    fn resolve_shed(&self, reason: Error) {
-        for channel in 0..self.tasks {
-            self.finish_channel(channel, Err(reason.clone()));
-        }
-    }
 }
 
 /// A claim on one submitted request's eventual result.
@@ -513,7 +564,7 @@ pub struct RequestHandle {
 impl std::fmt::Debug for RequestHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RequestHandle")
-            .field("channels", &self.state.tasks)
+            .field("nodes", &self.state.nodes.len())
             .field("finished", &self.is_finished())
             .finish()
     }
@@ -669,12 +720,12 @@ impl std::fmt::Debug for Canceller {
 
 /// One schedulable unit of work.
 enum Task {
-    /// A freshly injected request: the picking worker fans its channels
-    /// out (keeping channel 0 for itself, queueing the rest locally
-    /// where idle workers steal them).
+    /// A freshly injected request: the picking worker fans its root
+    /// nodes' channels out (keeping the first item for itself, queueing
+    /// the rest locally where idle workers steal them).
     Request(Arc<RequestState>),
-    /// One residue channel of a request.
-    Channel(Arc<RequestState>, usize),
+    /// One output channel of one graph node of a request.
+    Channel(Arc<RequestState>, usize, usize),
 }
 
 /// Queue state shared between the executor handle and its workers.
@@ -745,27 +796,208 @@ impl Shared {
         self.wake.notify_all();
     }
 
-    /// Runs one channel of one request — unless the request has been
-    /// cancelled or its deadline has passed, in which case the channel
-    /// is resolved with the shed error instead of burning worker time.
-    /// Kernel panics become a request error rather than a hung handle.
-    fn run_channel(&self, state: &Arc<RequestState>, channel: usize) {
+    /// Runs one output channel of one graph node — unless the request
+    /// has been cancelled, its deadline has passed, or another work
+    /// item already failed, in which case the item retires without
+    /// burning kernel time. Kernel panics become a request error rather
+    /// than a hung handle.
+    fn run_node_channel(
+        &self,
+        state: &Arc<RequestState>,
+        node_id: usize,
+        channel: usize,
+        worker: usize,
+    ) {
         if let Some(reason) = state.shed_reason() {
-            state.finish_channel(channel, Err(reason));
+            self.finish_node_channel(state, node_id, channel, Err(reason), worker);
             return;
         }
+        // ORDERING: Acquire pairs with the Release store in
+        // `finish_node_channel`'s error branch: observing the flag
+        // guarantees `first_error` is already recorded, so this item can
+        // retire bare — the graph drains without running another kernel
+        // and the output node publishes that first error.
+        if state.failed.load(Ordering::Acquire) {
+            self.retire_node_channel(state, node_id, worker);
+            return;
+        }
+        let gnode = &state.graph.nodes()[node_id];
+        let node = &state.nodes[node_id];
         // `_into` form: the ring writes into this vector (reusing pooled
         // scratch internally), so the only steady-state allocation per
-        // work item is the output buffer itself.
+        // work item is the output buffer itself. Operand resolution runs
+        // under the same panic guard as the kernel: a violated
+        // scheduling invariant (a successor running before its
+        // predecessor materialized) surfaces as a request error, never a
+        // dead worker.
         let result = catch_unwind(AssertUnwindSafe(|| {
+            let resolve = |operand: &Operand| -> &[Vec<u128>] {
+                match *operand {
+                    Operand::Input(i) => &state.inputs[i],
+                    Operand::Node(j) => state.nodes[j]
+                        .output
+                        .get()
+                        .expect("predecessors complete before a node is scheduled"),
+                }
+            };
+            let a = resolve(&gnode.operands()[0]);
+            let b = gnode.operands().get(1).map(resolve);
             let mut out = Vec::new();
             state
                 .ring
-                .channel_apply_into(&state.op, channel, &state.a, state.b.as_deref(), &mut out)
+                .channel_apply_at_into(gnode.op(), node.in_width, channel, a, b, &mut out)
                 .map(|()| out)
         }))
         .unwrap_or(Err(Error::ChannelPanicked { channel }));
-        state.finish_channel(channel, result);
+        self.finish_node_channel(state, node_id, channel, result, worker);
+    }
+
+    /// Records one work item's result; the item that retires a node's
+    /// last channel completes the node (join-and-publish for the output
+    /// node, successor countdown otherwise).
+    fn finish_node_channel(
+        &self,
+        state: &Arc<RequestState>,
+        node_id: usize,
+        channel: usize,
+        result: Result<Vec<u128>, Error>,
+        worker: usize,
+    ) {
+        match result {
+            Ok(product) => {
+                state.nodes[node_id]
+                    .slots
+                    .lock()
+                    .expect("node slots poisoned")[channel] = Some(product);
+            }
+            Err(e) => {
+                // The error is recorded strictly before the flag goes
+                // up, so `failed == true` implies `first_error` is set.
+                {
+                    let mut first = state.first_error.lock().expect("request error poisoned");
+                    if first.is_none() {
+                        *first = Some(e);
+                    }
+                }
+                // ORDERING: Release pairs with the Acquire loads in
+                // `run_node_channel` and `complete_node` — any observer
+                // of the flag also observes the error recorded above.
+                state.failed.store(true, Ordering::Release);
+            }
+        }
+        self.retire_node_channel(state, node_id, worker);
+    }
+
+    /// Counts one work item of `node_id` as done (the bare countdown —
+    /// the failure-drain path uses it directly, skipping slots and
+    /// kernels); the worker that retires the node's last item completes
+    /// the node.
+    fn retire_node_channel(&self, state: &Arc<RequestState>, node_id: usize, worker: usize) {
+        // ORDERING: AcqRel on the countdown — the Release half makes
+        // this item's slot/error writes visible to whichever worker
+        // hits zero; the Acquire half makes that worker see every other
+        // item's writes.
+        if state.nodes[node_id]
+            .remaining
+            .fetch_sub(1, Ordering::AcqRel)
+            == 1
+        {
+            self.complete_node(state, node_id, worker);
+        }
+    }
+
+    /// Completes a node whose last work item just retired. For the
+    /// output node — which, by the graph's no-dead-nodes invariant,
+    /// always completes last — this joins and publishes the request.
+    /// For interior nodes it materializes the channel-major result and
+    /// counts down each successor's indegree, fanning out any node that
+    /// becomes ready.
+    fn complete_node(&self, state: &Arc<RequestState>, node_id: usize, worker: usize) {
+        let node = &state.nodes[node_id];
+        // ORDERING: Acquire pairs with the Release store in
+        // `finish_node_channel`'s error branch: seeing the flag
+        // guarantees the first error is recorded and takeable below.
+        let failed = state.failed.load(Ordering::Acquire);
+        if node_id == state.graph.output() {
+            let resolved = if failed {
+                Err(state
+                    .first_error
+                    .lock()
+                    .expect("request error poisoned")
+                    .take()
+                    .expect("failed request recorded its error"))
+            } else {
+                // The join runs under the same panic guard as the
+                // channel kernels: a panicking `PolyRing` join must
+                // surface as a request error, not a dead worker and a
+                // poisoned handle. Single-node graphs join through
+                // `op_join` — exactly the pre-graph behavior — while
+                // multi-node chains join over the width the chain
+                // reached.
+                catch_unwind(AssertUnwindSafe(|| {
+                    let parts: Vec<Vec<u128>> = node
+                        .slots
+                        .lock()
+                        .expect("node slots poisoned")
+                        .iter_mut()
+                        .map(|slot| slot.take().expect("every channel landed"))
+                        .collect();
+                    if state.graph.len() == 1 {
+                        state.ring.op_join(state.graph.output_op(), parts)
+                    } else {
+                        state.ring.join_at(node.tasks, parts)
+                    }
+                }))
+                .unwrap_or(Err(Error::JoinPanicked))
+            };
+            state.publish(resolved);
+            return;
+        }
+        if !failed {
+            let parts: Vec<Vec<u128>> = node
+                .slots
+                .lock()
+                .expect("node slots poisoned")
+                .iter_mut()
+                .map(|slot| slot.take().expect("every channel landed"))
+                .collect();
+            // OnceLock orders this set before any successor's get; the
+            // first (only) completion wins.
+            let _ = node.output.set(parts);
+        }
+        let mut ready = Vec::new();
+        for &successor in &node.successors {
+            // ORDERING: AcqRel on the indegree countdown — the Release
+            // half publishes this node's materialized output to the
+            // worker that schedules the successor; the Acquire half
+            // makes that worker observe every *other* predecessor's
+            // output as well.
+            if state.nodes[successor]
+                .pending
+                .fetch_sub(1, Ordering::AcqRel)
+                == 1
+            {
+                ready.push(successor);
+            }
+        }
+        if ready.is_empty() {
+            return;
+        }
+        let mut pushed = 0;
+        {
+            let mut local = self.locals[worker].lock().expect("worker deque poisoned");
+            for successor in ready {
+                for channel in 0..state.nodes[successor].tasks {
+                    local.push_back(Task::Channel(Arc::clone(state), successor, channel));
+                    pushed += 1;
+                }
+            }
+        }
+        if pushed > 1 {
+            // This worker pops one next iteration; invite thieves for
+            // the rest.
+            self.notify_all();
+        }
     }
 
     fn worker_loop(&self, worker: usize) {
@@ -773,28 +1005,36 @@ impl Shared {
             match self.find_task(worker) {
                 Some(Task::Request(state)) => {
                     // Dequeue-time QoS check: an expired or cancelled
-                    // request resolves here, before any fan-out, so none
-                    // of its channels ever reaches a kernel.
+                    // request resolves here, before any fan-out, so no
+                    // work item of any node ever reaches a kernel.
                     if let Some(reason) = state.shed_reason() {
-                        state.resolve_shed(reason);
+                        state.publish(Err(reason));
                         continue;
                     }
-                    let k = state.tasks;
-                    if k > 1 {
-                        // Fan out: keep channel 0, expose the rest for
-                        // stealing.
+                    // Fan out every root node's channels: keep the
+                    // first item, expose the rest for stealing.
+                    let mut items = state.roots.iter().flat_map(|&node| {
+                        (0..state.nodes[node].tasks).map(move |channel| (node, channel))
+                    });
+                    let first = items.next();
+                    let rest: Vec<(usize, usize)> = items.collect();
+                    if !rest.is_empty() {
                         {
                             let mut local =
                                 self.locals[worker].lock().expect("worker deque poisoned");
-                            for channel in 1..k {
-                                local.push_back(Task::Channel(Arc::clone(&state), channel));
+                            for (node, channel) in rest {
+                                local.push_back(Task::Channel(Arc::clone(&state), node, channel));
                             }
                         }
                         self.notify_all();
                     }
-                    self.run_channel(&state, 0);
+                    if let Some((node, channel)) = first {
+                        self.run_node_channel(&state, node, channel, worker);
+                    }
                 }
-                Some(Task::Channel(state, channel)) => self.run_channel(&state, channel),
+                Some(Task::Channel(state, node, channel)) => {
+                    self.run_node_channel(&state, node, channel, worker)
+                }
                 None => {
                     let guard = self.idle.lock().expect("idle lock poisoned");
                     // Re-check under the idle lock: a submitter that
@@ -886,7 +1126,9 @@ impl RingExecutor {
     /// A cheap snapshot of the pending queue length of every
     /// [`Priority`] class (drain order: `[High, Normal, Low]`) — the
     /// requests injected but not yet picked up by a worker. Channels of
-    /// requests already being fanned out or executed are not counted:
+    /// requests already being fanned out or executed are not counted,
+    /// and a multi-node [`OpGraph`] request occupies exactly **one**
+    /// entry however many node × channel work items it will fan out to:
     /// this is the *admission* depth, the number a bounded front door
     /// compares against its per-class limits, and the number to watch
     /// when debugging saturation (a class pinned at its limit is
@@ -948,62 +1190,131 @@ impl RingExecutor {
         request: RingRequest,
         on_publish: Option<PublishHook>,
     ) -> Result<RequestHandle, Error> {
-        if request.op == RingOp::Polymul(PolyOp::Negacyclic) && !ring.supports_negacyclic() {
-            return Err(Error::NoNegacyclicSupport { n: ring.size() });
-        }
-        // Arity before anything touches the operands: binary ops need
-        // exactly two, unary ops exactly one.
-        let got = 1 + usize::from(request.b.is_some());
-        if got != request.op.arity() {
-            return Err(Error::OperandCountMismatch {
-                op: request.op.name(),
-                expected: request.op.arity(),
-                got,
-            });
-        }
-        // Mismatched binary operands are a submit-time error with a
+        let options = request.options;
+        // Compile both request forms to the graph shape: a single op is
+        // its one-node graph over its own operands, so everything past
+        // this match is one path.
+        let (graph, operands) = match request.kind {
+            RequestKind::Op { op, a, b } => {
+                if op == RingOp::Polymul(PolyOp::Negacyclic) && !ring.supports_negacyclic() {
+                    return Err(Error::NoNegacyclicSupport { n: ring.size() });
+                }
+                // Arity before anything touches the operands: binary ops
+                // need exactly two, unary ops exactly one.
+                let got = 1 + usize::from(b.is_some());
+                if got != op.arity() {
+                    return Err(Error::OperandCountMismatch {
+                        op: op.name(),
+                        expected: op.arity(),
+                        got,
+                    });
+                }
+                let mut operands = vec![a];
+                operands.extend(b);
+                (OpGraph::single(op), operands)
+            }
+            RequestKind::Graph { graph, operands } => {
+                if operands.len() != graph.inputs() {
+                    return Err(Error::OperandCountMismatch {
+                        op: "op-graph",
+                        expected: graph.inputs(),
+                        got: operands.len(),
+                    });
+                }
+                if !ring.supports_negacyclic()
+                    && graph
+                        .nodes()
+                        .iter()
+                        .any(|n| n.op() == &RingOp::Polymul(PolyOp::Negacyclic))
+                {
+                    return Err(Error::NoNegacyclicSupport { n: ring.size() });
+                }
+                (graph, operands)
+            }
+        };
+        // Mismatched operand lengths are a submit-time error with a
         // dedicated variant — never a panic inside a worker.
-        if let Some(b) = &request.b {
-            if request.a.len() != b.len() {
+        for pair in operands.windows(2) {
+            if pair[0].len() != pair[1].len() {
                 return Err(Error::OperandLengthMismatch {
-                    a: request.a.len(),
-                    b: b.len(),
+                    a: pair[0].len(),
+                    b: pair[1].len(),
                 });
             }
         }
-        let options = request.options;
-        let a = ring.split(&request.a)?;
-        let b = request.b.as_ref().map(|b| ring.split(b)).transpose()?;
-        let channels = a.len();
+        let inputs = operands
+            .iter()
+            .map(|c| ring.split(c))
+            .collect::<Result<Vec<_>, _>>()?;
         // Defend against degenerate PolyRing impls: a zero-channel or
-        // uneven split would wrap the remaining-channels counter (or
-        // index out of range) and leave the handle waiting forever.
-        if channels == 0 || b.as_ref().is_some_and(|b| b.len() != channels) {
+        // uneven split would wrap a remaining-items counter (or index
+        // out of range) and leave the handle waiting forever.
+        let channels = inputs.first().map_or(0, Vec::len);
+        if channels == 0 || inputs.iter().any(|i| i.len() != channels) {
             return Err(Error::ChannelCountMismatch {
                 expected: ring.channels().max(1),
-                got: channels.min(b.as_ref().map_or(channels, Vec::len)),
+                got: inputs.iter().map(Vec::len).min().unwrap_or(0),
             });
         }
-        // Fan-out width is the op's *output* channel count (≠ input
-        // channels for rescale / basis extension); resolving it here
-        // also rejects unsupported ops before anything is queued.
-        let tasks = ring.op_output_channels(&request.op)?;
-        if tasks == 0 {
+        // Resolve every node's channel widths against this ring — the
+        // fan-out plan. This also rejects ops the ring cannot execute
+        // (at the width the chain reaches them) before anything is
+        // queued.
+        let plan = graph.plan_widths(ring.channels(), |op, w| ring.op_output_channels_at(op, w))?;
+        if plan.iter().any(|w| w.output == 0) {
             return Err(Error::ChannelCountMismatch {
                 expected: ring.channels().max(1),
                 got: 0,
             });
         }
+        // Scheduling topology: indegrees count *distinct* predecessor
+        // nodes (a node consuming the same predecessor twice still waits
+        // for one completion), successors mirror them.
+        let mut successors: Vec<Vec<usize>> = vec![Vec::new(); graph.len()];
+        let mut roots = Vec::new();
+        let mut indegree = vec![0_usize; graph.len()];
+        for (id, node) in graph.nodes().iter().enumerate() {
+            let preds: BTreeSet<usize> = node
+                .operands()
+                .iter()
+                .filter_map(|operand| match *operand {
+                    Operand::Node(j) => Some(j),
+                    Operand::Input(_) => None,
+                })
+                .collect();
+            indegree[id] = preds.len();
+            if preds.is_empty() {
+                roots.push(id);
+            }
+            for j in preds {
+                successors[j].push(id);
+            }
+        }
+        let nodes = plan
+            .iter()
+            .zip(successors)
+            .zip(&indegree)
+            .map(|((widths, successors), &pending)| NodeExec {
+                in_width: widths.input,
+                tasks: widths.output,
+                slots: Mutex::new(vec![None; widths.output]),
+                remaining: AtomicUsize::new(widths.output),
+                // ORDERING: plain constructor stores — the Arc
+                // publication below (injector mutex) orders them before
+                // any worker's first load.
+                pending: AtomicUsize::new(pending),
+                successors,
+                output: OnceLock::new(),
+            })
+            .collect();
         let state = Arc::new(RequestState {
             ring: Arc::clone(ring),
-            op: request.op,
-            a,
-            b,
-            tasks,
+            graph,
+            inputs,
+            nodes,
+            roots,
             deadline: options.deadline,
             cancelled: AtomicBool::new(false),
-            slots: Mutex::new(vec![None; tasks]),
-            remaining: AtomicUsize::new(tasks),
             failed: AtomicBool::new(false),
             first_error: Mutex::new(None),
             outcome: Mutex::new(None),
@@ -1014,13 +1325,9 @@ impl RingExecutor {
         if let Some(deadline) = options.deadline {
             if Instant::now() >= deadline {
                 // Dead on arrival: resolve without touching the queues,
-                // so zero channels execute even on a saturated pool.
+                // so zero work items execute even on a saturated pool.
                 // `publish` (not a bare outcome write) so the publish
                 // hook still observes the shed.
-                // ORDERING: Release to match the countdown convention
-                // on `remaining`; no worker ever sees this request, so
-                // nothing can race the store.
-                state.remaining.store(0, Ordering::Release);
                 state.publish(Err(Error::DeadlineExceeded));
                 return Ok(RequestHandle { state });
             }

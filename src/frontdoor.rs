@@ -38,6 +38,13 @@
 //! future without awaiting it), and per-class queue high-water marks
 //! show how close each class ran to its limit.
 //!
+//! The unit of admission is the *request*, whatever its shape: a
+//! multi-node [`OpGraph`](crate::OpGraph) request submitted via
+//! [`RingRequest::graph`](crate::RingRequest::graph) occupies one
+//! queue slot, resolves through one future, and counts once in every
+//! stat, exactly like a single-op request — however many node ×
+//! channel work items it fans out to behind the door.
+//!
 //! ```
 //! use std::sync::Arc;
 //! use mqx::core::primes;

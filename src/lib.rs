@@ -29,6 +29,11 @@
 //!   (polymul, add, sub, modulus rescale, RNS basis extension), each op
 //!   decomposed into independent per-channel work items through the
 //!   [`PolyRing`] `channel_apply`/`op_join` contract;
+//! * [`OpGraph`] — dependency graphs of [`RingOp`] nodes executed as
+//!   *one* request with resident residues: intermediates stay
+//!   channel-major between nodes and the CRT join runs exactly once, at
+//!   the graph output (canned composite kernels:
+//!   [`OpGraph::relinearize`], [`OpGraph::multiply_accumulate`]);
 //! * [`RingExecutor`] — a work-stealing thread-pool serving queues of
 //!   [`RingRequest`]s (any [`RingOp`]) against any shared
 //!   `Arc<dyn PolyRing>`, with serving QoS: [`Priority`] classes drained
@@ -106,6 +111,7 @@ pub mod backend;
 mod error;
 mod executor;
 pub mod frontdoor;
+mod graph;
 mod ops;
 pub mod plan_cache;
 mod poly;
@@ -118,6 +124,7 @@ pub use error::Error;
 pub use executor::{
     Canceller, PolymulRequest, Priority, RequestHandle, RingExecutor, RingRequest, SubmitOptions,
 };
+pub use graph::{GraphNode, OpGraph, OpGraphBuilder, Operand};
 pub use ops::RingOp;
 pub use plan_cache::PlanCache;
 pub use poly::{Coefficients, PolyOp, PolyRing};

@@ -35,6 +35,7 @@
 //! ```
 
 use crate::error::Error;
+use crate::graph::{OpGraph, Operand};
 use crate::ops::RingOp;
 use mqx_bignum::BigUint;
 
@@ -363,6 +364,111 @@ pub trait PolyRing: Send + Sync {
         self.join(channels)
     }
 
+    /// [`op_output_channels`](PolyRing::op_output_channels) at an
+    /// explicit operand `width` — the resident form an
+    /// [`OpGraph`](crate::OpGraph) needs, where a mid-chain node's
+    /// operands may sit in a narrower (post-rescale) or wider
+    /// (post-extend) basis than the ring's native one.
+    ///
+    /// The default only accepts the native width and delegates, so
+    /// implementors that predate op graphs keep working for single-node
+    /// graphs unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnsupportedOp`] when the ring cannot execute `op` at
+    /// `width` channels.
+    fn op_output_channels_at(&self, op: &RingOp, width: usize) -> Result<usize, Error> {
+        if width == self.channels() {
+            return self.op_output_channels(op);
+        }
+        Err(Error::UnsupportedOp {
+            op: op.name(),
+            reason: "this ring only executes ops at its native channel width",
+        })
+    }
+
+    /// [`channel_apply`](PolyRing::channel_apply) at an explicit operand
+    /// `width`: `a` (and `b`, for binary ops) hold `width` channel-major
+    /// residue vectors over the basis an op chain has reached — the
+    /// ring's native basis truncated by rescales and/or extended by the
+    /// ring's deterministic fresh primes. This is how graph execution
+    /// keeps residues resident between nodes: intermediate results stay
+    /// channel-major and feed the next node's `channel_apply_at`
+    /// directly, with no CRT join in between.
+    ///
+    /// The default only accepts the native width and delegates to
+    /// [`channel_apply`](PolyRing::channel_apply).
+    ///
+    /// # Errors
+    ///
+    /// Those of [`channel_apply`](PolyRing::channel_apply), plus
+    /// [`Error::UnsupportedOp`] when the ring cannot execute `op` at
+    /// `width` channels.
+    fn channel_apply_at(
+        &self,
+        op: &RingOp,
+        width: usize,
+        channel: usize,
+        a: &[Vec<u128>],
+        b: Option<&[Vec<u128>]>,
+    ) -> Result<Vec<u128>, Error> {
+        if width == self.channels() {
+            return self.channel_apply(op, channel, a, b);
+        }
+        Err(Error::UnsupportedOp {
+            op: op.name(),
+            reason: "this ring only executes ops at its native channel width",
+        })
+    }
+
+    /// [`channel_apply_at`](PolyRing::channel_apply_at) writing into a
+    /// caller-owned vector — the executor's graph fan-out form. `out`
+    /// is cleared and overwritten; on error its contents are
+    /// unspecified.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`channel_apply_at`](PolyRing::channel_apply_at).
+    fn channel_apply_at_into(
+        &self,
+        op: &RingOp,
+        width: usize,
+        channel: usize,
+        a: &[Vec<u128>],
+        b: Option<&[Vec<u128>]>,
+        out: &mut Vec<u128>,
+    ) -> Result<(), Error> {
+        if width == self.channels() {
+            return self.channel_apply_into(op, channel, a, b, out);
+        }
+        *out = self.channel_apply_at(op, width, channel, a, b)?;
+        Ok(())
+    }
+
+    /// [`join`](PolyRing::join) over an explicit basis `width`: CRT
+    /// recombination of `width` channel-major vectors over the first
+    /// `width` moduli of the ring's prefix chain (native primes,
+    /// truncated or extended as an op chain rescaled/extended). This is
+    /// the *single* join an [`OpGraph`](crate::OpGraph) performs, at its
+    /// output node only.
+    ///
+    /// The default only accepts the native width and delegates.
+    ///
+    /// # Errors
+    ///
+    /// Those of [`join`](PolyRing::join), plus [`Error::UnsupportedOp`]
+    /// for a non-native width the ring cannot recombine.
+    fn join_at(&self, width: usize, channels: Vec<Vec<u128>>) -> Result<Coefficients, Error> {
+        if width == self.channels() {
+            return self.join(channels);
+        }
+        Err(Error::UnsupportedOp {
+            op: "join",
+            reason: "this ring only recombines its native channel width",
+        })
+    }
+
     /// Whole-request convenience for any [`RingOp`]: validate arity and
     /// operand lengths, split, run every output channel sequentially on
     /// the calling thread, join. This is the sequential oracle the
@@ -401,6 +507,87 @@ pub trait PolyRing: Send + Sync {
             .map(|ch| self.channel_apply(op, ch, &sa, sb.as_deref()))
             .collect::<Result<Vec<_>, _>>()?;
         self.op_join(op, parts)
+    }
+
+    /// Evaluates a whole [`OpGraph`] sequentially on the calling thread
+    /// with *resident residues*: operands are split once, every node
+    /// chains over channel-major residue state via
+    /// [`channel_apply_at`](PolyRing::channel_apply_at), and exactly one
+    /// CRT join runs — at the output node. This is the sequential
+    /// oracle the executor's dependency-aware fan-out is checked
+    /// against, and the cheap path for callers without an executor.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::OperandCountMismatch`] when `operands` does not match
+    /// [`OpGraph::inputs`], [`Error::OperandLengthMismatch`] for
+    /// unequal operand lengths, plus the split/apply/join errors (a
+    /// ring that cannot execute some node at its chain width reports
+    /// [`Error::UnsupportedOp`]).
+    fn apply_graph(
+        &self,
+        graph: &OpGraph,
+        operands: &[Coefficients],
+    ) -> Result<Coefficients, Error> {
+        if operands.len() != graph.inputs() {
+            return Err(Error::OperandCountMismatch {
+                op: "op-graph",
+                expected: graph.inputs(),
+                got: operands.len(),
+            });
+        }
+        for pair in operands.windows(2) {
+            if pair[0].len() != pair[1].len() {
+                return Err(Error::OperandLengthMismatch {
+                    a: pair[0].len(),
+                    b: pair[1].len(),
+                });
+            }
+        }
+        let inputs = operands
+            .iter()
+            .map(|c| self.split(c))
+            .collect::<Result<Vec<_>, _>>()?;
+        let plan = graph.plan_widths(self.channels(), |op, w| self.op_output_channels_at(op, w))?;
+        let mut results: Vec<Option<Vec<Vec<u128>>>> = (0..graph.len()).map(|_| None).collect();
+        let dangling = |node| Error::InvalidGraph {
+            node,
+            reason: "operand references a value the graph evaluation has not produced",
+        };
+        for (id, node) in graph.nodes().iter().enumerate() {
+            let widths = plan.get(id).copied().ok_or_else(|| dangling(id))?;
+            let resolve = |operand: &Operand| -> Result<&[Vec<u128>], Error> {
+                match *operand {
+                    Operand::Input(i) => {
+                        inputs.get(i).map(Vec::as_slice).ok_or_else(|| dangling(id))
+                    }
+                    Operand::Node(j) => results
+                        .get(j)
+                        .and_then(|r| r.as_deref())
+                        .ok_or_else(|| dangling(id)),
+                }
+            };
+            let a = resolve(node.operands().first().ok_or_else(|| dangling(id))?)?;
+            let b = node.operands().get(1).map(resolve).transpose()?;
+            let parts = (0..widths.output)
+                .map(|ch| self.channel_apply_at(node.op(), widths.input, ch, a, b))
+                .collect::<Result<Vec<_>, _>>()?;
+            if let Some(slot) = results.get_mut(id) {
+                *slot = Some(parts);
+            }
+        }
+        let out_width = plan
+            .get(graph.output())
+            .map_or(self.channels(), |w| w.output);
+        let parts = results
+            .get_mut(graph.output())
+            .and_then(Option::take)
+            .ok_or_else(|| dangling(graph.output()))?;
+        if graph.len() == 1 {
+            self.op_join(graph.output_op(), parts)
+        } else {
+            self.join_at(out_width, parts)
+        }
     }
 
     /// Whole-request convenience: split both operands, run every

@@ -259,6 +259,8 @@ impl RnsRingBuilder {
             n: self.n,
             rescale: OnceLock::new(),
             extend: Mutex::new(HashMap::new()),
+            resident: Mutex::new(HashMap::new()),
+            fresh: Mutex::new(Vec::new()),
         })
     }
 }
@@ -322,6 +324,63 @@ struct BasisExtendCtx {
     crt: CrtContext,
 }
 
+/// Precomputed constants for one *resident width* `m`: the basis an op
+/// chain reaches after rescales (`m < k`, a prefix of the ring's own
+/// primes) or basis extensions (`m > k`, the ring's primes followed by
+/// its deterministic fresh primes). Width uniquely determines the basis
+/// because every basis in a graph is a prefix of one chain —
+/// [`RingOp::BasisExtend`] appends to the end, [`RingOp::Rescale`] drops
+/// from the end. Cached per width in the ring ([`PlanCache`]
+/// discipline: keyed, built once, shared by every graph).
+struct WidthCtx {
+    /// Barrett contexts for the width's primes, in channel order.
+    mods: Vec<Modulus>,
+    /// Garner constants over the width's basis — the single join an op
+    /// graph runs at its output when the chain ends at this width.
+    crt: CrtContext,
+    /// `h = ⌊q_last / 2⌋` for rescaling *from* this width (0 when the
+    /// width has no channel to drop).
+    half: u128,
+    /// `h mod q_i` for every surviving channel `i < m − 1`.
+    half_mod: Vec<u128>,
+    /// `(q_last mod q_i)⁻¹ mod q_i` for every surviving channel.
+    q_inv: Vec<u128>,
+}
+
+impl WidthCtx {
+    fn new(moduli: &[u128]) -> Result<Self, Error> {
+        let crt = CrtContext::new(moduli)?;
+        let mods = moduli
+            .iter()
+            .map(|&q| Modulus::new(q).map_err(Error::from))
+            .collect::<Result<Vec<_>, _>>()?;
+        let m = moduli.len();
+        let (half, half_mod, q_inv) = if m >= 2 {
+            let q_last = moduli[m - 1];
+            let half = q_last / 2;
+            let survivors = &mods[..m - 1];
+            let half_mod = survivors.iter().map(|md| md.reduce(half)).collect();
+            let q_inv = survivors
+                .iter()
+                .map(|md| {
+                    md.inv_mod(q_last)
+                        .expect("pairwise-coprime basis makes q_last invertible in every channel")
+                })
+                .collect();
+            (half, half_mod, q_inv)
+        } else {
+            (0, Vec::new(), Vec::new())
+        };
+        Ok(WidthCtx {
+            mods,
+            crt,
+            half,
+            half_mod,
+            q_inv,
+        })
+    }
+}
+
 /// Picks a basis whose product spans at least `target_bits` bits: the
 /// fewest word-sized channels that can carry the target with balanced
 /// widths, widened (and eventually spilled into an extra channel) until
@@ -376,6 +435,14 @@ pub struct RnsRing {
     /// Lazily-built [`RingOp::BasisExtend`] constants, keyed by
     /// `extra_channels`.
     extend: Mutex<HashMap<usize, Arc<BasisExtendCtx>>>,
+    /// Lazily-built resident-width constants for op-graph chains, keyed
+    /// by channel width.
+    resident: Mutex<HashMap<usize, Arc<WidthCtx>>>,
+    /// The deterministic fresh-prime suffix of the ring's basis chain
+    /// (the primes [`RingOp::BasisExtend`] extends into), grown on
+    /// demand; a prefix of this list is *the* extension basis for every
+    /// width.
+    fresh: Mutex<Vec<u128>>,
 }
 
 impl fmt::Debug for RnsRing {
@@ -589,31 +656,7 @@ impl RnsRing {
             return Ok(Arc::clone(ctx));
         }
 
-        // Fresh NTT primes for the appended channels: walk the same
-        // descending 62-bit chain the generated bases use, skipping any
-        // prime already in this basis. Each retry asks for a longer
-        // chain, so the walk either finds enough fresh primes or the
-        // chain itself runs out (→ BasisGeneration).
-        let two_adicity = self.n.trailing_zeros() + 1;
-        let mut want = self.channels() + extra_channels;
-        let fresh = loop {
-            let chain = primes::ntt_prime_chain(DEFAULT_BASIS_BITS, two_adicity, want).ok_or(
-                Error::BasisGeneration {
-                    bits: DEFAULT_BASIS_BITS,
-                    two_adicity,
-                    count: want,
-                },
-            )?;
-            let fresh: Vec<u128> = chain
-                .into_iter()
-                .filter(|q| !self.moduli().contains(q))
-                .collect();
-            if fresh.len() >= extra_channels {
-                break fresh[..extra_channels].to_vec();
-            }
-            want += extra_channels - fresh.len();
-        };
-
+        let fresh = self.fresh_primes(extra_channels)?;
         let mut extended = self.moduli().to_vec();
         extended.extend_from_slice(&fresh);
         let crt = CrtContext::new(&extended)?;
@@ -626,6 +669,80 @@ impl RnsRing {
         let ctx = Arc::new(BasisExtendCtx { extra, tables, crt });
         cache.insert(extra_channels, Arc::clone(&ctx));
         Ok(ctx)
+    }
+
+    /// The first `count` fresh NTT primes of the ring's deterministic
+    /// extension chain: walk the same descending 62-bit chain the
+    /// generated bases use, skipping any prime already in this basis.
+    /// Each retry asks for a longer chain, so the walk either finds
+    /// enough fresh primes or the chain itself runs out
+    /// (→ `BasisGeneration`). The result is memoized, and a shorter
+    /// request is always a prefix of a longer one — the property that
+    /// lets a channel *width* uniquely name a basis in op-graph chains.
+    fn fresh_primes(&self, count: usize) -> Result<Vec<u128>, Error> {
+        let mut cache = self.fresh.lock().expect("fresh-prime cache poisoned");
+        if cache.len() >= count {
+            return Ok(cache[..count].to_vec());
+        }
+        let two_adicity = self.n.trailing_zeros() + 1;
+        let mut want = self.channels() + count;
+        let fresh = loop {
+            let chain = primes::ntt_prime_chain(DEFAULT_BASIS_BITS, two_adicity, want).ok_or(
+                Error::BasisGeneration {
+                    bits: DEFAULT_BASIS_BITS,
+                    two_adicity,
+                    count: want,
+                },
+            )?;
+            let fresh: Vec<u128> = chain
+                .into_iter()
+                .filter(|q| !self.moduli().contains(q))
+                .collect();
+            if fresh.len() >= count {
+                break fresh[..count].to_vec();
+            }
+            want += count - fresh.len();
+        };
+        *cache = fresh;
+        Ok(cache.clone())
+    }
+
+    /// The moduli of resident width `m`: a prefix of the ring's basis
+    /// chain (own primes, then deterministic fresh primes). See
+    /// [`WidthCtx`].
+    fn width_moduli(&self, width: usize) -> Result<Vec<u128>, Error> {
+        if width == 0 {
+            return Err(Error::UnsupportedOp {
+                op: "op-graph",
+                reason: "an op chain rescaled the basis away (zero channels left)",
+            });
+        }
+        let k = self.channels();
+        if width <= k {
+            return Ok(self.moduli()[..width].to_vec());
+        }
+        let mut moduli = self.moduli().to_vec();
+        moduli.extend(self.fresh_primes(width - k)?);
+        Ok(moduli)
+    }
+
+    /// The resident-width constants for `width` channels, built on
+    /// first use and cached. Warmed at submit so graph validation
+    /// errors surface before any work item runs.
+    fn width_ctx(&self, width: usize) -> Result<Arc<WidthCtx>, Error> {
+        if let Some(ctx) = self
+            .resident
+            .lock()
+            .expect("resident-width cache poisoned")
+            .get(&width)
+        {
+            return Ok(Arc::clone(ctx));
+        }
+        // Build outside the lock (fresh_primes takes its own); racing
+        // builders produce identical contexts, first insert wins.
+        let ctx = Arc::new(WidthCtx::new(&self.width_moduli(width)?)?);
+        let mut cache = self.resident.lock().expect("resident-width cache poisoned");
+        Ok(Arc::clone(cache.entry(width).or_insert(ctx)))
     }
 
     /// The basis a [`RingOp::BasisExtend`] with this width targets: the
@@ -916,6 +1033,255 @@ impl crate::PolyRing for RnsRing {
             }
             _ => self.join(channels),
         }
+    }
+
+    fn op_output_channels_at(&self, op: &RingOp, width: usize) -> Result<usize, Error> {
+        let k = self.channels();
+        if width == k {
+            return self.op_output_channels(op);
+        }
+        match op {
+            RingOp::Polymul(_) => {
+                if width < k {
+                    Ok(width)
+                } else {
+                    Err(Error::UnsupportedOp {
+                        op: op.name(),
+                        reason: "extension channels have no NTT plans; multiply before extending",
+                    })
+                }
+            }
+            RingOp::Add | RingOp::Sub => {
+                if width > k {
+                    self.width_ctx(width)?;
+                }
+                Ok(width)
+            }
+            RingOp::Rescale => {
+                if width < 2 {
+                    return Err(Error::UnsupportedOp {
+                        op: op.name(),
+                        reason: "needs at least two RNS channels (one to drop, one to keep)",
+                    });
+                }
+                self.width_ctx(width)?;
+                Ok(width - 1)
+            }
+            RingOp::BasisExtend { extra_channels } => {
+                if *extra_channels == 0 {
+                    return Err(Error::UnsupportedOp {
+                        op: op.name(),
+                        reason: "needs at least one extra channel to extend into",
+                    });
+                }
+                self.width_ctx(width)?;
+                self.width_ctx(width + extra_channels)?;
+                Ok(width + extra_channels)
+            }
+        }
+    }
+
+    fn channel_apply_at(
+        &self,
+        op: &RingOp,
+        width: usize,
+        channel: usize,
+        a: &[Vec<u128>],
+        b: Option<&[Vec<u128>]>,
+    ) -> Result<Vec<u128>, Error> {
+        let k = self.channels();
+        if width == k {
+            return self.channel_apply(op, channel, a, b);
+        }
+        if a.len() != width {
+            return Err(Error::ChannelCountMismatch {
+                expected: width,
+                got: a.len(),
+            });
+        }
+        let binary = || {
+            let b = b.ok_or(Error::OperandCountMismatch {
+                op: op.name(),
+                expected: 2,
+                got: 1,
+            })?;
+            if b.len() != width {
+                return Err(Error::ChannelCountMismatch {
+                    expected: width,
+                    got: b.len(),
+                });
+            }
+            Ok(b)
+        };
+        let unary = || {
+            if b.is_some() {
+                return Err(Error::OperandCountMismatch {
+                    op: op.name(),
+                    expected: 1,
+                    got: 2,
+                });
+            }
+            Ok(())
+        };
+        match op {
+            RingOp::Polymul(p) => {
+                if width > k {
+                    return Err(Error::UnsupportedOp {
+                        op: op.name(),
+                        reason: "extension channels have no NTT plans; multiply before extending",
+                    });
+                }
+                let b = binary()?;
+                let (ra, rb) =
+                    a.get(channel)
+                        .zip(b.get(channel))
+                        .ok_or(Error::ChannelOutOfRange {
+                            channel,
+                            channels: width,
+                        })?;
+                // Channel `channel < width < k` is one of the ring's own
+                // primes — the native kernel applies.
+                self.channel_polymul(channel, *p, ra, rb)
+            }
+            RingOp::Add | RingOp::Sub => {
+                let b = binary()?;
+                let (ra, rb) =
+                    a.get(channel)
+                        .zip(b.get(channel))
+                        .ok_or(Error::ChannelOutOfRange {
+                            channel,
+                            channels: width,
+                        })?;
+                if ra.len() != rb.len() {
+                    return Err(Error::OperandLengthMismatch {
+                        a: ra.len(),
+                        b: rb.len(),
+                    });
+                }
+                if channel < k {
+                    // One of the ring's own channels: the SIMD engine
+                    // path, exactly as at native width.
+                    let ring = &self.rings[channel];
+                    let sa = ResidueSoa::from_u128s(ra);
+                    let sb = ResidueSoa::from_u128s(rb);
+                    let mut out = ResidueSoa::zeros(ra.len());
+                    if matches!(op, RingOp::Add) {
+                        ring.vadd(&sa, &sb, &mut out);
+                    } else {
+                        ring.vsub(&sa, &sb, &mut out);
+                    }
+                    Ok(out.to_u128s())
+                } else {
+                    // An extension channel: scalar Barrett arithmetic
+                    // over the fresh prime.
+                    let ctx = self.width_ctx(width)?;
+                    let m = &ctx.mods[channel];
+                    Ok(ra
+                        .iter()
+                        .zip(rb)
+                        .map(|(&x, &y)| {
+                            if matches!(op, RingOp::Add) {
+                                m.add_mod(x, y)
+                            } else {
+                                m.sub_mod(x, y)
+                            }
+                        })
+                        .collect())
+                }
+            }
+            RingOp::Rescale => {
+                unary()?;
+                if width < 2 {
+                    return Err(Error::UnsupportedOp {
+                        op: op.name(),
+                        reason: "needs at least two RNS channels (one to drop, one to keep)",
+                    });
+                }
+                let ctx = self.width_ctx(width)?;
+                if channel >= width - 1 {
+                    return Err(Error::ChannelOutOfRange {
+                        channel,
+                        channels: width - 1,
+                    });
+                }
+                let (ai, last) = (&a[channel], &a[width - 1]);
+                if ai.len() != last.len() {
+                    return Err(Error::LengthMismatch {
+                        expected: last.len(),
+                        got: ai.len(),
+                    });
+                }
+                // Same word-level divide-and-round as the native-width
+                // path, against this width's chain constants.
+                let m_last = &ctx.mods[width - 1];
+                let m_i = &ctx.mods[channel];
+                let (h_i, q_inv) = (ctx.half_mod[channel], ctx.q_inv[channel]);
+                Ok(ai
+                    .iter()
+                    .zip(last)
+                    .map(|(&a_i, &a_last)| {
+                        let v = m_last.add_mod(a_last, ctx.half);
+                        let t = m_i.sub_mod(m_i.add_mod(a_i, h_i), m_i.reduce(v));
+                        m_i.mul_mod(t, q_inv)
+                    })
+                    .collect())
+            }
+            RingOp::BasisExtend { extra_channels } => {
+                unary()?;
+                let n = a[0].len();
+                if let Some(bad) = a.iter().find(|ch| ch.len() != n) {
+                    return Err(Error::LengthMismatch {
+                        expected: n,
+                        got: bad.len(),
+                    });
+                }
+                let target = width + extra_channels;
+                if channel >= target {
+                    return Err(Error::ChannelOutOfRange {
+                        channel,
+                        channels: target,
+                    });
+                }
+                if channel < width {
+                    return Ok(a[channel].clone());
+                }
+                // A fresh channel: fold the Garner digits of the
+                // source-width basis against its prefix table mod the
+                // target prime (table built per work item, O(width) —
+                // amortized over the n-coefficient fold below).
+                let src = self.width_ctx(width)?;
+                let tgt = self.width_ctx(target)?;
+                let m_t = &tgt.mods[channel];
+                let table = src.crt.prefixes_mod(tgt.crt.moduli()[channel]);
+                let mut residues = vec![0_u128; width];
+                Ok((0..n)
+                    .map(|j| {
+                        for (r, ch) in residues.iter_mut().zip(a) {
+                            *r = ch[j];
+                        }
+                        src.crt
+                            .digits(&residues)
+                            .iter()
+                            .zip(&table)
+                            .fold(0_u128, |acc, (&d, &pre)| {
+                                m_t.add_mod(acc, m_t.mul_mod(m_t.reduce(d), pre))
+                            })
+                    })
+                    .collect())
+            }
+        }
+    }
+
+    fn join_at(
+        &self,
+        width: usize,
+        channels: Vec<Vec<u128>>,
+    ) -> Result<crate::Coefficients, Error> {
+        if width == self.channels() {
+            return self.join(channels);
+        }
+        let ctx = self.width_ctx(width)?;
+        recombine_with(&ctx.crt, &channels, self.n).map(crate::Coefficients::Big)
     }
 }
 

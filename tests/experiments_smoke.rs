@@ -238,6 +238,24 @@ fn pipeline_replay_buckets_every_op_and_class() {
     let by_class: usize = report.per_class.iter().map(|r| r.requests).sum();
     assert_eq!(by_op, report.trace_requests);
     assert_eq!(by_class, report.trace_requests);
+    // The graph leg replayed every chain as one request and timed it.
+    let delta = &report.graph_delta;
+    assert_eq!(delta.chains, report.chains);
+    assert!(delta.op_wall_ns > 0.0 && delta.graph_wall_ns > 0.0);
+    assert!(delta.graph_p50_ns > 0.0 && delta.graph_p50_ns <= delta.graph_p99_ns);
+    if report.alloc_counted {
+        // The resident-residue promise in numbers: one split set and
+        // one CRT join per chain must allocate strictly less than the
+        // five-to-six materializing requests it replaces.
+        assert!(
+            delta.graph_allocs_per_chain < delta.op_allocs_per_chain,
+            "graphs must allocate less per chain: {delta:?}"
+        );
+        assert!(
+            delta.graph_bytes_per_chain < delta.op_bytes_per_chain,
+            "graphs must allocate fewer bytes per chain: {delta:?}"
+        );
+    }
     // Bit-identity vs sequential execution is asserted inside run();
     // latency ordering across classes is left to the release binary.
 }
